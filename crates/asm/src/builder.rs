@@ -1,0 +1,1059 @@
+//! The [`Asm`] program builder.
+
+use std::collections::BTreeMap;
+
+use certa_isa::{reg, AluOp, CmpOp, FCmpOp, FpuOp, FReg, FuncMeta, Instr, MemWidth, Program, Reg};
+
+use crate::error::AsmError;
+
+/// Base address of the data segment. Addresses below this are a guard region:
+/// any access to them is a crash, which is how wild pointers produced by
+/// corrupted address arithmetic are detected.
+pub const DATA_BASE: u32 = 0x1000;
+
+/// Number of bytes below the initial stack pointer reserved as a red zone;
+/// the simulator's default memory sizing accounts for it.
+pub const STACK_RED_ZONE: u32 = 4096;
+
+/// A macro-assembler building a [`Program`].
+///
+/// One method per mnemonic, plus labels, functions and a data-segment
+/// allocator. See the [crate-level docs](crate) for a worked example.
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<Instr>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    data: Vec<u8>,
+    functions: Vec<FuncMeta>,
+    open: Option<(String, usize, bool)>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // labels & functions
+    // ------------------------------------------------------------------
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (a programming error in the
+    /// guest being built).
+    pub fn label(&mut self, name: &str) {
+        self.try_label(name)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Defines `name` at the current position, returning an error instead of
+    /// panicking on duplicates. Re-defining a label at the *same* position is
+    /// a no-op (tolerated so `.func f` followed by `f:` works in the text
+    /// dialect).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if the label already points at a
+    /// different position.
+    pub fn try_label(&mut self, name: &str) -> Result<(), AsmError> {
+        let here = self.code.len();
+        match self.labels.get(name) {
+            Some(&pos) if pos == here => Ok(()),
+            Some(_) => Err(AsmError::DuplicateLabel {
+                label: name.to_string(),
+            }),
+            None => {
+                self.labels.insert(name.to_string(), here);
+                Ok(())
+            }
+        }
+    }
+
+    /// The position of a previously defined label, if any.
+    #[must_use]
+    pub fn label_index(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// Opens a function. Also defines `name` as a label. `eligible` marks the
+    /// function for low-reliability tagging per the paper's methodology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another function is still open or the label already exists.
+    pub fn func(&mut self, name: &str, eligible: bool) {
+        assert!(
+            self.open.is_none(),
+            "cannot open `{name}`: function `{}` still open",
+            self.open.as_ref().map(|o| o.0.as_str()).unwrap_or("")
+        );
+        self.label(name);
+        self.open = Some((name.to_string(), self.code.len(), eligible));
+    }
+
+    /// Closes the currently open function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is open or the function is empty.
+    pub fn endfunc(&mut self) {
+        let (name, start, eligible) = self.open.take().expect("endfunc with no open function");
+        let end = self.code.len();
+        assert!(end > start, "function `{name}` is empty");
+        self.functions.push(FuncMeta {
+            name,
+            start,
+            end,
+            eligible,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // data segment
+    // ------------------------------------------------------------------
+
+    /// Pads the data segment to `align` bytes (a power of two).
+    pub fn align(&mut self, align: usize) {
+        debug_assert!(align.is_power_of_two());
+        while self.data.len() % align != 0 {
+            self.data.push(0);
+        }
+    }
+
+    /// Appends raw bytes to the data segment, returning their absolute
+    /// address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u32 {
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Appends 32-bit words (little-endian, 4-byte aligned), returning their
+    /// absolute address.
+    pub fn data_words(&mut self, words: &[i32]) -> u32 {
+        self.align(4);
+        let addr = DATA_BASE + self.data.len() as u32;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends 16-bit halfwords (little-endian, 2-byte aligned), returning
+    /// their absolute address.
+    pub fn data_halves(&mut self, halves: &[i16]) -> u32 {
+        self.align(2);
+        let addr = DATA_BASE + self.data.len() as u32;
+        for h in halves {
+            self.data.extend_from_slice(&h.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends 64-bit floats (little-endian, 8-byte aligned), returning their
+    /// absolute address.
+    pub fn data_f64s(&mut self, values: &[f64]) -> u32 {
+        self.align(8);
+        let addr = DATA_BASE + self.data.len() as u32;
+        for v in values {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Reserves `n` zeroed bytes (4-byte aligned), returning their absolute
+    /// address. Used for input/output buffers and scratch arrays.
+    pub fn data_zero(&mut self, n: usize) -> u32 {
+        self.align(4);
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.data.resize(self.data.len() + n, 0);
+        addr
+    }
+
+    /// Current size of the data segment in bytes.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    // ------------------------------------------------------------------
+    // raw emission
+    // ------------------------------------------------------------------
+
+    /// Emits an arbitrary instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.code.push(instr);
+    }
+
+    fn emit_branch(&mut self, cond: CmpOp, rs: Reg, rt: Reg, label: &str) {
+        self.fixups.push((self.code.len(), label.to_string()));
+        self.code.push(Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target: 0,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // integer ALU
+    // ------------------------------------------------------------------
+
+    /// `rd = rs + rt`
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs - rt`
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs * rt` (low 32 bits)
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs / rt` (signed; 0 on division by zero)
+    pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Div,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs % rt` (signed; 0 on division by zero)
+    pub fn rem(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs / rt` (unsigned)
+    pub fn divu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Divu,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs % rt` (unsigned)
+    pub fn remu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Remu,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs & rt`
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::And,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs | rt`
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs ^ rt`
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = !(rs | rt)`
+    pub fn nor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Nor,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs << rt`
+    pub fn sll(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs >> rt` (logical)
+    pub fn srl(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = rs >> rt` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Sra,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = (rs < rt) as u32` (signed)
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    /// `rd = (rs < rt) as u32` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs,
+            rt,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // immediates
+    // ------------------------------------------------------------------
+
+    fn alu_imm(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: i32) {
+        self.emit(Instr::AluImm { op, rd, rs, imm });
+    }
+
+    /// `rd = rs + imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Add, rd, rs, imm);
+    }
+
+    /// `rd = rs * imm`
+    pub fn muli(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Mul, rd, rs, imm);
+    }
+
+    /// `rd = rs & imm`
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::And, rd, rs, imm);
+    }
+
+    /// `rd = rs | imm`
+    pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Or, rd, rs, imm);
+    }
+
+    /// `rd = rs ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Xor, rd, rs, imm);
+    }
+
+    /// `rd = rs << imm`
+    pub fn slli(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Sll, rd, rs, imm);
+    }
+
+    /// `rd = rs >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Srl, rd, rs, imm);
+    }
+
+    /// `rd = rs >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Sra, rd, rs, imm);
+    }
+
+    /// `rd = (rs < imm) as u32` (signed)
+    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i32) {
+        self.alu_imm(AluOp::Slt, rd, rs, imm);
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i32) {
+        self.emit(Instr::Li { rd, imm });
+    }
+
+    /// `rd = addr` — load-address pseudo-instruction for data-segment
+    /// addresses returned by the `data_*` allocators.
+    pub fn la(&mut self, rd: Reg, addr: u32) {
+        self.emit(Instr::Li {
+            rd,
+            imm: addr as i32,
+        });
+    }
+
+    /// `rd = rs` (register move; `or rd, rs, $zero`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.or(rd, rs, reg::ZERO);
+    }
+
+    /// `rd = -rs`
+    pub fn neg(&mut self, rd: Reg, rs: Reg) {
+        self.sub(rd, reg::ZERO, rs);
+    }
+
+    /// `rd = !rs`
+    pub fn not(&mut self, rd: Reg, rs: Reg) {
+        self.nor(rd, rs, reg::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // memory
+    // ------------------------------------------------------------------
+
+    /// `rd = mem32[base + off]`
+    pub fn lw(&mut self, rd: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Load {
+            width: MemWidth::Word,
+            signed: true,
+            rd,
+            base,
+            off,
+        });
+    }
+
+    /// `rd = sign_extend(mem16[base + off])`
+    pub fn lh(&mut self, rd: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Load {
+            width: MemWidth::Half,
+            signed: true,
+            rd,
+            base,
+            off,
+        });
+    }
+
+    /// `rd = zero_extend(mem16[base + off])`
+    pub fn lhu(&mut self, rd: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Load {
+            width: MemWidth::Half,
+            signed: false,
+            rd,
+            base,
+            off,
+        });
+    }
+
+    /// `rd = sign_extend(mem8[base + off])`
+    pub fn lb(&mut self, rd: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Load {
+            width: MemWidth::Byte,
+            signed: true,
+            rd,
+            base,
+            off,
+        });
+    }
+
+    /// `rd = zero_extend(mem8[base + off])`
+    pub fn lbu(&mut self, rd: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Load {
+            width: MemWidth::Byte,
+            signed: false,
+            rd,
+            base,
+            off,
+        });
+    }
+
+    /// `mem32[base + off] = rs`
+    pub fn sw(&mut self, rs: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Store {
+            width: MemWidth::Word,
+            rs,
+            base,
+            off,
+        });
+    }
+
+    /// `mem16[base + off] = rs`
+    pub fn sh(&mut self, rs: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Store {
+            width: MemWidth::Half,
+            rs,
+            base,
+            off,
+        });
+    }
+
+    /// `mem8[base + off] = rs`
+    pub fn sb(&mut self, rs: Reg, off: i32, base: Reg) {
+        self.emit(Instr::Store {
+            width: MemWidth::Byte,
+            rs,
+            base,
+            off,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // control flow
+    // ------------------------------------------------------------------
+
+    /// Branch to `label` if `rs == rt`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Eq, rs, rt, label);
+    }
+
+    /// Branch to `label` if `rs != rt`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Ne, rs, rt, label);
+    }
+
+    /// Branch to `label` if `rs < rt` (signed).
+    pub fn blt(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Lt, rs, rt, label);
+    }
+
+    /// Branch to `label` if `rs >= rt` (signed).
+    pub fn bge(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Ge, rs, rt, label);
+    }
+
+    /// Branch to `label` if `rs <= rt` (signed).
+    pub fn ble(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Ge, rt, rs, label);
+    }
+
+    /// Branch to `label` if `rs > rt` (signed).
+    pub fn bgt(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Lt, rt, rs, label);
+    }
+
+    /// Branch to `label` if `rs < rt` (unsigned).
+    pub fn bltu(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Ltu, rs, rt, label);
+    }
+
+    /// Branch to `label` if `rs >= rt` (unsigned).
+    pub fn bgeu(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.emit_branch(CmpOp::Geu, rs, rt, label);
+    }
+
+    /// Branch to `label` if `rs == 0`.
+    pub fn beqz(&mut self, rs: Reg, label: &str) {
+        self.beq(rs, reg::ZERO, label);
+    }
+
+    /// Branch to `label` if `rs != 0`.
+    pub fn bnez(&mut self, rs: Reg, label: &str) {
+        self.bne(rs, reg::ZERO, label);
+    }
+
+    /// Branch to `label` if `rs <= 0` (signed).
+    pub fn blez(&mut self, rs: Reg, label: &str) {
+        self.ble(rs, reg::ZERO, label);
+    }
+
+    /// Branch to `label` if `rs > 0` (signed).
+    pub fn bgtz(&mut self, rs: Reg, label: &str) {
+        self.bgt(rs, reg::ZERO, label);
+    }
+
+    /// Branch to `label` if `rs < 0` (signed).
+    pub fn bltz(&mut self, rs: Reg, label: &str) {
+        self.blt(rs, reg::ZERO, label);
+    }
+
+    /// Branch to `label` if `rs >= 0` (signed).
+    pub fn bgez(&mut self, rs: Reg, label: &str) {
+        self.bge(rs, reg::ZERO, label);
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: &str) {
+        self.fixups.push((self.code.len(), label.to_string()));
+        self.code.push(Instr::Jump { target: 0 });
+    }
+
+    /// Call `label` (writes return address to `$ra`).
+    pub fn call(&mut self, label: &str) {
+        self.fixups.push((self.code.len(), label.to_string()));
+        self.code.push(Instr::Call { target: 0 });
+    }
+
+    /// Indirect jump through `rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Instr::JumpReg { rs });
+    }
+
+    /// Return (`jr $ra`).
+    pub fn ret(&mut self) {
+        self.jr(reg::RA);
+    }
+
+    /// Halt execution.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    // ------------------------------------------------------------------
+    // stack helpers (o32-flavoured)
+    // ------------------------------------------------------------------
+
+    /// Function prologue: pushes `$ra` plus the given saved registers and
+    /// leaves `extra` additional bytes of frame space. Returns the frame size.
+    pub fn prologue(&mut self, saved: &[Reg], extra: i32) -> i32 {
+        let frame = 4 * (saved.len() as i32 + 1) + extra;
+        self.addi(reg::SP, reg::SP, -frame);
+        self.sw(reg::RA, frame - 4, reg::SP);
+        for (i, &r) in saved.iter().enumerate() {
+            self.sw(r, frame - 8 - 4 * i as i32, reg::SP);
+        }
+        frame
+    }
+
+    /// Function epilogue matching [`Asm::prologue`]: restores and returns.
+    pub fn epilogue(&mut self, saved: &[Reg], extra: i32) {
+        let frame = 4 * (saved.len() as i32 + 1) + extra;
+        self.lw(reg::RA, frame - 4, reg::SP);
+        for (i, &r) in saved.iter().enumerate() {
+            self.lw(r, frame - 8 - 4 * i as i32, reg::SP);
+        }
+        self.addi(reg::SP, reg::SP, frame);
+        self.ret();
+    }
+
+    // ------------------------------------------------------------------
+    // floating point
+    // ------------------------------------------------------------------
+
+    /// `fd = fs + ft`
+    pub fn fadd(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.emit(Instr::Fpu {
+            op: FpuOp::Add,
+            fd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `fd = fs - ft`
+    pub fn fsub(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.emit(Instr::Fpu {
+            op: FpuOp::Sub,
+            fd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `fd = fs * ft`
+    pub fn fmul(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.emit(Instr::Fpu {
+            op: FpuOp::Mul,
+            fd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `fd = fs / ft`
+    pub fn fdiv(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.emit(Instr::Fpu {
+            op: FpuOp::Div,
+            fd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `fd = min(fs, ft)`
+    pub fn fmin(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.emit(Instr::Fpu {
+            op: FpuOp::Min,
+            fd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `fd = max(fs, ft)`
+    pub fn fmax(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.emit(Instr::Fpu {
+            op: FpuOp::Max,
+            fd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `fd = fs`
+    pub fn fmov(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::FMov { fd, fs });
+    }
+
+    /// `fd = |fs|`
+    pub fn fabs(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::FAbs { fd, fs });
+    }
+
+    /// `fd = -fs`
+    pub fn fneg(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::FNeg { fd, fs });
+    }
+
+    /// `fd = sqrt(fs)`
+    pub fn fsqrt(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::FSqrt { fd, fs });
+    }
+
+    /// `fd = value`
+    pub fn fli(&mut self, fd: FReg, value: f64) {
+        self.emit(Instr::FLi { fd, value });
+    }
+
+    /// `fd = mem_f64[base + off]`
+    pub fn fld(&mut self, fd: FReg, off: i32, base: Reg) {
+        self.emit(Instr::FLoad { fd, base, off });
+    }
+
+    /// `mem_f64[base + off] = fs`
+    pub fn fsd(&mut self, fs: FReg, off: i32, base: Reg) {
+        self.emit(Instr::FStore { fs, base, off });
+    }
+
+    /// `fd = rs as f64`
+    pub fn cvt_if(&mut self, fd: FReg, rs: Reg) {
+        self.emit(Instr::CvtIF { fd, rs });
+    }
+
+    /// `rd = fs as i32` (truncating, saturating)
+    pub fn cvt_fi(&mut self, rd: Reg, fs: FReg) {
+        self.emit(Instr::CvtFI { rd, fs });
+    }
+
+    /// `rd = (fs < ft) as u32`
+    pub fn fcmp_lt(&mut self, rd: Reg, fs: FReg, ft: FReg) {
+        self.emit(Instr::FCmp {
+            op: FCmpOp::Lt,
+            rd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `rd = (fs <= ft) as u32`
+    pub fn fcmp_le(&mut self, rd: Reg, fs: FReg, ft: FReg) {
+        self.emit(Instr::FCmp {
+            op: FCmpOp::Le,
+            rd,
+            fs,
+            ft,
+        });
+    }
+
+    /// `rd = (fs == ft) as u32`
+    pub fn fcmp_eq(&mut self, rd: Reg, fs: FReg, ft: FReg) {
+        self.emit(Instr::FCmp {
+            op: FCmpOp::Eq,
+            rd,
+            fs,
+            ft,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // assembly
+    // ------------------------------------------------------------------
+
+    /// Resolves all label references and produces a validated [`Program`].
+    ///
+    /// The entry point is the label `main` if defined, otherwise instruction
+    /// 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a label is undefined, a function is still
+    /// open, or the final program fails validation.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let Asm {
+            mut code,
+            labels,
+            fixups,
+            data,
+            functions,
+            open,
+        } = self;
+        if let Some((name, _, _)) = open {
+            return Err(AsmError::UnclosedFunction { name });
+        }
+        for (at, label) in fixups {
+            let Some(&target) = labels.get(&label) else {
+                return Err(AsmError::UndefinedLabel { label, at });
+            };
+            code[at].set_static_target(target);
+        }
+        let entry = labels.get("main").copied().unwrap_or(0);
+        let program = Program {
+            code,
+            data,
+            entry,
+            functions,
+            labels,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_isa::reg::{A0, RA, S0, SP, T0, T1, V0};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.j("fwd");
+        a.label("back");
+        a.halt();
+        a.label("fwd");
+        a.j("back");
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.code[0].static_target(), Some(2));
+        assert_eq!(p.code[2].static_target(), Some(1));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.j("nowhere");
+        a.halt();
+        a.endfunc();
+        match a.assemble() {
+            Err(AsmError::UndefinedLabel { label, at }) => {
+                assert_eq!(label, "nowhere");
+                assert_eq!(at, 0);
+            }
+            other => panic!("expected UndefinedLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+    }
+
+    #[test]
+    fn relabel_at_same_position_is_noop() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.label("x"); // same position: tolerated
+        assert_eq!(a.label_index("x"), Some(0));
+    }
+
+    #[test]
+    fn unclosed_function_is_error() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.halt();
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::UnclosedFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_defaults_to_main() {
+        let mut a = Asm::new();
+        a.func("helper", false);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn data_allocators_align_and_address() {
+        let mut a = Asm::new();
+        let b = a.data_bytes(&[1, 2, 3]);
+        let w = a.data_words(&[10, -20]);
+        let f = a.data_f64s(&[1.5]);
+        let z = a.data_zero(8);
+        assert_eq!(b, DATA_BASE);
+        assert_eq!(w, DATA_BASE + 4); // padded from 3 to 4
+        assert_eq!(f % 8, 0);
+        assert_eq!(z % 4, 0);
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        assert_eq!(&p.data[0..3], &[1, 2, 3]);
+        let off = (w - DATA_BASE) as usize;
+        assert_eq!(
+            i32::from_le_bytes(p.data[off..off + 4].try_into().unwrap()),
+            10
+        );
+    }
+
+    #[test]
+    fn pseudo_branches_swap_operands() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.label("l");
+        a.ble(T0, T1, "l"); // => bge T1, T0
+        a.bgt(T0, T1, "l"); // => blt T1, T0
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        match p.code[0] {
+            Instr::Branch { cond, rs, rt, .. } => {
+                assert_eq!(cond, CmpOp::Ge);
+                assert_eq!((rs, rt), (T1, T0));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match p.code[1] {
+            Instr::Branch { cond, rs, rt, .. } => {
+                assert_eq!(cond, CmpOp::Lt);
+                assert_eq!((rs, rt), (T1, T0));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prologue_epilogue_are_balanced() {
+        let mut a = Asm::new();
+        a.func("f", false);
+        let frame = a.prologue(&[S0], 8);
+        assert_eq!(frame, 16);
+        a.mv(V0, A0);
+        a.epilogue(&[S0], 8);
+        a.endfunc();
+        a.func("main", false);
+        a.call("f");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        // prologue: addi sp, sw ra, sw s0 — epilogue: lw ra, lw s0, addi sp, jr
+        let f = p.function("f").unwrap();
+        assert_eq!(f.end - f.start, 3 + 1 + 4);
+        // ensure SP adjustments cancel
+        let mut delta = 0i32;
+        for i in &p.code[f.start..f.end] {
+            if let Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs,
+                imm,
+            } = i
+            {
+                if *rd == SP && *rs == SP {
+                    delta += imm;
+                }
+            }
+        }
+        assert_eq!(delta, 0);
+        // RA is saved and restored at the same offset
+        let saves: Vec<_> = p.code[f.start..f.end]
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Store { rs, off, .. } if *rs == RA => Some(*off),
+                _ => None,
+            })
+            .collect();
+        let loads: Vec<_> = p.code[f.start..f.end]
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Load { rd, off, .. } if *rd == RA => Some(*off),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(saves, loads);
+    }
+
+    #[test]
+    fn function_table_records_eligibility() {
+        let mut a = Asm::new();
+        a.func("kernel", true);
+        a.nop();
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        assert!(p.function("kernel").unwrap().eligible);
+        assert!(!p.function("main").unwrap().eligible);
+        assert!(p.is_eligible(0));
+        assert!(!p.is_eligible(2));
+    }
+}

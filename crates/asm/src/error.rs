@@ -1,0 +1,74 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// Errors produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+        /// Code index of the referencing instruction.
+        at: usize,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// `func` was called while another function was still open.
+    NestedFunction {
+        /// Name of the function being opened.
+        name: String,
+    },
+    /// `endfunc` was called with no open function.
+    NoOpenFunction,
+    /// A function was opened but never closed before `assemble`.
+    UnclosedFunction {
+        /// Name of the still-open function.
+        name: String,
+    },
+    /// The program failed final validation.
+    Invalid(certa_isa::ProgramError),
+    /// An empty function (no instructions) was closed.
+    EmptyFunction {
+        /// Name of the empty function.
+        name: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label, at } => {
+                write!(f, "undefined label `{label}` referenced at instruction {at}")
+            }
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::NestedFunction { name } => {
+                write!(f, "cannot open function `{name}`: another function is open")
+            }
+            AsmError::NoOpenFunction => write!(f, "endfunc called with no open function"),
+            AsmError::UnclosedFunction { name } => {
+                write!(f, "function `{name}` was never closed")
+            }
+            AsmError::Invalid(e) => write!(f, "program validation failed: {e}"),
+            AsmError::EmptyFunction { name } => write!(f, "function `{name}` has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<certa_isa::ProgramError> for AsmError {
+    fn from(e: certa_isa::ProgramError) -> Self {
+        AsmError::Invalid(e)
+    }
+}

@@ -1,0 +1,210 @@
+//! Exports a [`Program`] back to the textual dialect accepted by
+//! [`crate::parse_program`], enabling a full round trip:
+//! builder → `Program` → text → `Program`.
+//!
+//! Data-segment contents are exported as raw `.byte` runs (the original
+//! directive granularity is not recorded in a `Program`), and code labels
+//! are regenerated as `L<index>`; functions and eligibility are preserved.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use certa_isa::{Instr, MemWidth, Program};
+
+/// Renders `program` in the textual assembly dialect.
+///
+/// The output parses back (via [`crate::parse_program`]) to a program with
+/// identical code, data, entry point, and function table. Original label
+/// *names* are kept where known; branch targets that have no label get a
+/// synthetic `L<index>`.
+#[must_use]
+pub fn export_program(program: &Program) -> String {
+    let mut out = String::new();
+
+    // ---- data section ----
+    if !program.data.is_empty() {
+        let _ = writeln!(out, ".data");
+        let _ = writeln!(out, "__data:");
+        for chunk in program.data.chunks(16) {
+            let bytes: Vec<String> = chunk.iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, "    .byte {}", bytes.join(", "));
+        }
+    }
+
+    // ---- label names per instruction index ----
+    let mut names: BTreeMap<usize, String> = BTreeMap::new();
+    for (name, &idx) in &program.labels {
+        names.entry(idx).or_insert_with(|| name.clone());
+    }
+    for instr in &program.code {
+        if let Some(t) = instr.static_target() {
+            names.entry(t).or_insert_with(|| format!("L{t}"));
+        }
+    }
+
+    let _ = writeln!(out, ".text");
+    let func_starts: BTreeMap<usize, (String, bool)> = program
+        .functions
+        .iter()
+        .map(|f| (f.start, (f.name.clone(), f.eligible)))
+        .collect();
+    let func_ends: BTreeMap<usize, ()> =
+        program.functions.iter().map(|f| (f.end, ())).collect();
+
+    for (i, instr) in program.code.iter().enumerate() {
+        if let Some((name, eligible)) = func_starts.get(&i) {
+            let _ = writeln!(
+                out,
+                ".func {name}{}",
+                if *eligible { " eligible" } else { "" }
+            );
+        }
+        if let Some(name) = names.get(&i) {
+            let _ = writeln!(out, "{name}:");
+        }
+        let _ = writeln!(out, "    {}", render_instr(instr, &names));
+        if func_ends.contains_key(&(i + 1)) {
+            let _ = writeln!(out, ".endfunc");
+        }
+    }
+    out
+}
+
+fn render_instr(instr: &Instr, names: &BTreeMap<usize, String>) -> String {
+    let target_name = |t: usize| {
+        names
+            .get(&t)
+            .cloned()
+            .unwrap_or_else(|| format!("L{t}"))
+    };
+    match *instr {
+        Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => format!("{} {}, {}, {}", cond.mnemonic(), rs, rt, target_name(target)),
+        Instr::Jump { target } => format!("j {}", target_name(target)),
+        Instr::Call { target } => format!("jal {}", target_name(target)),
+        Instr::AluImm { op, rd, rs, imm } => {
+            format!("{}i {rd}, {rs}, {imm}", op.mnemonic())
+        }
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            base,
+            off,
+        } => {
+            let m = match (width, signed) {
+                (MemWidth::Byte, true) => "lb",
+                (MemWidth::Byte, false) => "lbu",
+                (MemWidth::Half, true) => "lh",
+                (MemWidth::Half, false) => "lhu",
+                (MemWidth::Word, _) => "lw",
+            };
+            format!("{m} {rd}, {off}({base})")
+        }
+        Instr::Store {
+            width, rs, base, off,
+        } => {
+            let m = match width {
+                MemWidth::Byte => "sb",
+                MemWidth::Half => "sh",
+                MemWidth::Word => "sw",
+            };
+            format!("{m} {rs}, {off}({base})")
+        }
+        Instr::FLoad { fd, base, off } => format!("l.d {fd}, {off}({base})"),
+        Instr::FStore { fs, base, off } => format!("s.d {fs}, {off}({base})"),
+        // every other instruction's Display form is already valid dialect
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, Asm};
+    use certa_isa::reg::{A0, T0, T1, V0};
+
+    fn round_trip(program: &Program) -> Program {
+        let text = export_program(program);
+        parse_program(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{text}"))
+    }
+
+    #[test]
+    fn round_trips_code_and_functions() {
+        let mut a = Asm::new();
+        let buf = a.data_zero(16);
+        a.func("kernel", true);
+        a.la(T0, buf);
+        a.li(T1, 5);
+        a.label("loop");
+        a.addi(T1, T1, -1);
+        a.sw(T1, 4, T0);
+        a.bnez(T1, "loop");
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.li(A0, 1);
+        a.call("kernel");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+
+        let q = round_trip(&p);
+        assert_eq!(p.code, q.code);
+        assert_eq!(p.data, q.data);
+        assert_eq!(p.entry, q.entry);
+        assert_eq!(p.functions.len(), q.functions.len());
+        for (f, g) in p.functions.iter().zip(&q.functions) {
+            assert_eq!((f.start, f.end, f.eligible), (g.start, g.end, g.eligible));
+            assert_eq!(f.name, g.name);
+        }
+    }
+
+    #[test]
+    fn round_trips_float_instructions() {
+        use certa_isa::reg::{F0, F1, F2};
+        let mut a = Asm::new();
+        a.align(8);
+        let d = a.data_f64s(&[2.5]);
+        a.func("main", false);
+        a.la(T0, d);
+        a.fld(F0, 0, T0);
+        a.fli(F1, 4.0);
+        a.fmul(F2, F0, F1);
+        a.fsqrt(F2, F2);
+        a.cvt_fi(V0, F2);
+        a.fcmp_lt(T1, F0, F1);
+        a.fsd(F2, 0, T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let q = round_trip(&p);
+        assert_eq!(p.code, q.code);
+    }
+
+    #[test]
+    fn exported_program_executes_identically() {
+        use certa_sim::{Machine, MachineConfig};
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 6);
+        a.li(V0, 1);
+        a.label("fact");
+        a.mul(V0, V0, T0);
+        a.addi(T0, T0, -1);
+        a.bgtz(T0, "fact");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let q = round_trip(&p);
+        let mut m1 = Machine::new(&p, &MachineConfig::default());
+        let mut m2 = Machine::new(&q, &MachineConfig::default());
+        assert_eq!(m1.run_simple(), m2.run_simple());
+        assert_eq!(m1.reg(V0), 720);
+        assert_eq!(m2.reg(V0), 720);
+    }
+}

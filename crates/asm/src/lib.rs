@@ -1,0 +1,41 @@
+//! # certa-asm
+//!
+//! A macro-assembler for the [`certa-isa`](certa_isa) instruction set.
+//!
+//! Programs are written against [`Asm`], a builder that provides one method
+//! per mnemonic, string labels with forward references, a function table with
+//! the paper's *eligible* marking, and a data segment allocator. Calling
+//! [`Asm::assemble`] resolves every label and returns a validated
+//! [`Program`](certa_isa::Program).
+//!
+//! ## Example
+//!
+//! ```
+//! use certa_asm::Asm;
+//! use certa_isa::reg::{A0, T0, T1, V0, ZERO};
+//!
+//! // sum the integers 1..=n (n passed in $a0, result in $v0)
+//! let mut a = Asm::new();
+//! a.func("main", false);
+//! a.li(A0, 10);
+//! a.li(V0, 0);
+//! a.li(T0, 1);
+//! a.label("loop");
+//! a.add(V0, V0, T0);
+//! a.addi(T0, T0, 1);
+//! a.ble(T0, A0, "loop");
+//! a.halt();
+//! a.endfunc();
+//! let program = a.assemble().unwrap();
+//! assert!(program.validate().is_ok());
+//! ```
+
+mod builder;
+mod error;
+mod export;
+mod text;
+
+pub use builder::{Asm, DATA_BASE, STACK_RED_ZONE};
+pub use error::AsmError;
+pub use export::export_program;
+pub use text::{parse_program, ParseError};

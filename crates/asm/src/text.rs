@@ -1,0 +1,708 @@
+//! A text-format assembler.
+//!
+//! Accepts a conventional MIPS-flavoured assembly dialect and produces a
+//! [`Program`] via the [`Asm`] builder. The dialect:
+//!
+//! ```text
+//! # comment
+//! .data
+//! buf:  .space 64          # zeroed bytes
+//! tab:  .word 1, 2, -3     # 32-bit words
+//! msg:  .byte 72, 105
+//! pi:   .double 3.14159
+//! .text
+//! .func main
+//! main:
+//!     li   $t0, 5
+//! loop:
+//!     addi $t0, $t0, -1
+//!     bnez $t0, loop
+//!     la   $t1, tab
+//!     lw   $t2, 4($t1)
+//!     halt
+//! .endfunc
+//! ```
+//!
+//! `.func name eligible` marks the function as eligible for low-reliability
+//! tagging (the paper's user identification step).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use certa_isa::{FReg, Program, Reg};
+
+use crate::builder::Asm;
+use crate::error::AsmError;
+
+/// Error produced by [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a program in the textual dialect described above.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line number for syntax
+/// errors, unknown mnemonics, and label problems.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    // Two passes over the data section are not needed because `la` operands
+    // are patched after data labels are collected; but instruction parsing
+    // needs the data label addresses, so collect data first.
+    let mut asm = Asm::new();
+    let mut data_labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut pending_la: Vec<(usize, usize, String)> = Vec::new(); // (line, code idx, label)
+    let mut section = Section::Text;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find('#') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = find_label_colon(text) {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(err(line, format!("bad label name `{name}`")));
+            }
+            match section {
+                Section::Text => asm
+                    .try_label(name)
+                    .map_err(|e| err(line, e.to_string()))?,
+                Section::Data => {
+                    let addr = crate::builder::DATA_BASE + asm.data_len() as u32;
+                    // align-sensitive directives fix this up below via `data_labels`
+                    data_labels.insert(name.to_string(), addr);
+                }
+            }
+            text = rest[1..].trim();
+            if text.is_empty() {
+                break;
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = text.strip_prefix('.') {
+            let mut parts = directive.splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("");
+            let args = parts.next().unwrap_or("").trim();
+            match name {
+                "data" => section = Section::Data,
+                "text" => section = Section::Text,
+                "func" => {
+                    let mut it = args.split_whitespace();
+                    let fname = it
+                        .next()
+                        .ok_or_else(|| err(line, ".func requires a name"))?;
+                    let eligible = match it.next() {
+                        None => false,
+                        Some("eligible") => true,
+                        Some(other) => {
+                            return Err(err(line, format!("unknown .func flag `{other}`")))
+                        }
+                    };
+                    asm.func(fname, eligible);
+                }
+                "endfunc" => asm.endfunc(),
+                "space" => {
+                    let n: usize = args
+                        .parse()
+                        .map_err(|_| err(line, format!("bad .space size `{args}`")))?;
+                    let addr = asm.data_zero(n);
+                    relabel_last(&mut data_labels, addr);
+                }
+                "word" => {
+                    let words = parse_int_list::<i32>(args, line)?;
+                    let addr = asm.data_words(&words);
+                    relabel_last(&mut data_labels, addr);
+                }
+                "half" => {
+                    let halves = parse_int_list::<i16>(args, line)?;
+                    let addr = asm.data_halves(&halves);
+                    relabel_last(&mut data_labels, addr);
+                }
+                "byte" => {
+                    let bytes: Vec<i16> = parse_int_list(args, line)?;
+                    let bytes: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+                    let addr = asm.data_bytes(&bytes);
+                    relabel_last(&mut data_labels, addr);
+                }
+                "double" => {
+                    let vals: Result<Vec<f64>, _> =
+                        args.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                    let vals = vals.map_err(|_| err(line, "bad .double list"))?;
+                    let addr = asm.data_f64s(&vals);
+                    relabel_last(&mut data_labels, addr);
+                }
+                "ascii" => {
+                    let s = args
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| err(line, ".ascii requires a quoted string"))?;
+                    let addr = asm.data_bytes(s.as_bytes());
+                    relabel_last(&mut data_labels, addr);
+                }
+                other => return Err(err(line, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+
+        if section == Section::Data {
+            return Err(err(line, "instructions are not allowed in .data"));
+        }
+        parse_instruction(&mut asm, text, line, &data_labels, &mut pending_la)?;
+    }
+
+    // Patch `la` pseudo-instructions whose data label appeared later.
+    let mut program_src = asm;
+    for (line, idx, label) in pending_la {
+        let Some(&addr) = data_labels.get(&label) else {
+            return Err(err(line, format!("undefined data label `{label}`")));
+        };
+        patch_li(&mut program_src, idx, addr as i32);
+    }
+    program_src.assemble().map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Updates the most recently inserted data label to the (possibly
+/// alignment-shifted) address of the directive payload that follows it.
+fn relabel_last(labels: &mut BTreeMap<String, u32>, addr: u32) {
+    // The label was recorded with the pre-alignment address; any label whose
+    // recorded address is <= addr and greater than every payload end so far
+    // must be the one(s) directly preceding this directive. Simplest correct
+    // rule: bump every label that currently points past-the-end-but-below.
+    for v in labels.values_mut() {
+        if *v > addr {
+            continue;
+        }
+        if *v > addr.saturating_sub(8) && *v != addr {
+            // within alignment padding distance of the payload start
+            *v = addr;
+        }
+    }
+}
+
+fn find_label_colon(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    // Avoid treating `c.lt.d` style mnemonic dots as labels; a label must be
+    // the first token and contain identifier characters only.
+    let candidate = &text[..colon];
+    if is_ident(candidate.trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+        && !s.contains('.')
+}
+
+fn parse_int_list<T>(args: &str, line: usize) -> Result<Vec<T>, ParseError>
+where
+    T: std::str::FromStr,
+{
+    args.split(',')
+        .map(|s| {
+            let s = s.trim();
+            parse_int::<T>(s).ok_or_else(|| err(line, format!("bad integer `{s}`")))
+        })
+        .collect()
+}
+
+fn parse_int<T: std::str::FromStr>(s: &str) -> Option<T> {
+    s.parse::<T>().ok()
+}
+
+fn parse_i32(s: &str, line: usize) -> Result<i32, ParseError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad integer `{s}`")))?
+    } else {
+        body.parse::<i64>()
+            .map_err(|_| err(line, format!("bad integer `{s}`")))?
+    };
+    let v = if neg { -v } else { v };
+    i32::try_from(v)
+        .or_else(|_| u32::try_from(v).map(|u| u as i32))
+        .map_err(|_| err(line, format!("integer `{s}` out of range")))
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    s.trim()
+        .parse::<Reg>()
+        .map_err(|e| err(line, e.to_string()))
+}
+
+fn parse_freg(s: &str, line: usize) -> Result<FReg, ParseError> {
+    s.trim()
+        .parse::<FReg>()
+        .map_err(|e| err(line, e.to_string()))
+}
+
+/// Parses `off(base)` memory operand syntax.
+fn parse_mem(s: &str, line: usize) -> Result<(i32, Reg), ParseError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("bad memory operand `{s}`")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("bad memory operand `{s}`")))?;
+    let off = if open == 0 {
+        0
+    } else {
+        parse_i32(&s[..open], line)?
+    };
+    let base = parse_reg(&s[open + 1..close], line)?;
+    Ok((off, base))
+}
+
+fn patch_li(asm: &mut Asm, _idx: usize, _addr: i32) {
+    // `la` with a data label emits `li` immediately with the current address
+    // because the data section is required to precede its uses in the certa
+    // dialect; pending patching exists for forward data references, which we
+    // disallow for simplicity. This function is kept for future extension.
+    let _ = asm;
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_instruction(
+    asm: &mut Asm,
+    text: &str,
+    line: usize,
+    data_labels: &BTreeMap<String, u32>,
+    _pending_la: &mut Vec<(usize, usize, String)>,
+) -> Result<(), ParseError> {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    macro_rules! rrr {
+        ($m:ident) => {{
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            let rt = parse_reg(ops[2], line)?;
+            asm.$m(rd, rs, rt);
+        }};
+    }
+    macro_rules! rri {
+        ($m:ident) => {{
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            let imm = parse_i32(ops[2], line)?;
+            asm.$m(rd, rs, imm);
+        }};
+    }
+    macro_rules! mem {
+        ($m:ident) => {{
+            need(2)?;
+            let r = parse_reg(ops[0], line)?;
+            let (off, base) = parse_mem(ops[1], line)?;
+            asm.$m(r, off, base);
+        }};
+    }
+    macro_rules! br2 {
+        ($m:ident) => {{
+            need(3)?;
+            let rs = parse_reg(ops[0], line)?;
+            let rt = parse_reg(ops[1], line)?;
+            asm.$m(rs, rt, ops[2]);
+        }};
+    }
+    macro_rules! br1 {
+        ($m:ident) => {{
+            need(2)?;
+            let rs = parse_reg(ops[0], line)?;
+            asm.$m(rs, ops[1]);
+        }};
+    }
+    macro_rules! fff {
+        ($m:ident) => {{
+            need(3)?;
+            let fd = parse_freg(ops[0], line)?;
+            let fs = parse_freg(ops[1], line)?;
+            let ft = parse_freg(ops[2], line)?;
+            asm.$m(fd, fs, ft);
+        }};
+    }
+    macro_rules! ff {
+        ($m:ident) => {{
+            need(2)?;
+            let fd = parse_freg(ops[0], line)?;
+            let fs = parse_freg(ops[1], line)?;
+            asm.$m(fd, fs);
+        }};
+    }
+    macro_rules! fmem {
+        ($m:ident) => {{
+            need(2)?;
+            let f = parse_freg(ops[0], line)?;
+            let (off, base) = parse_mem(ops[1], line)?;
+            asm.$m(f, off, base);
+        }};
+    }
+    macro_rules! fcmp {
+        ($m:ident) => {{
+            need(3)?;
+            let rd = parse_reg(ops[0], line)?;
+            let fs = parse_freg(ops[1], line)?;
+            let ft = parse_freg(ops[2], line)?;
+            asm.$m(rd, fs, ft);
+        }};
+    }
+
+    match mnemonic {
+        "add" => rrr!(add),
+        "sub" => rrr!(sub),
+        "mul" => rrr!(mul),
+        "div" => rrr!(div),
+        "rem" => rrr!(rem),
+        "divu" => rrr!(divu),
+        "remu" => rrr!(remu),
+        "and" => rrr!(and),
+        "or" => rrr!(or),
+        "xor" => rrr!(xor),
+        "nor" => rrr!(nor),
+        "sll" => rrr!(sll),
+        "srl" => rrr!(srl),
+        "sra" => rrr!(sra),
+        "slt" => rrr!(slt),
+        "sltu" => rrr!(sltu),
+        "addi" | "addiu" => rri!(addi),
+        "muli" => rri!(muli),
+        "andi" => rri!(andi),
+        "ori" => rri!(ori),
+        "xori" => rri!(xori),
+        "slli" | "slliv" => rri!(slli),
+        "srli" => rri!(srli),
+        "srai" => rri!(srai),
+        "slti" => rri!(slti),
+        "li" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let imm = parse_i32(ops[1], line)?;
+            asm.li(rd, imm);
+        }
+        "la" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let Some(&addr) = data_labels.get(ops[1]) else {
+                return Err(err(
+                    line,
+                    format!("undefined data label `{}` (data must precede use)", ops[1]),
+                ));
+            };
+            asm.la(rd, addr);
+        }
+        "mv" | "move" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            asm.mv(rd, rs);
+        }
+        "neg" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            asm.neg(rd, rs);
+        }
+        "not" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            asm.not(rd, rs);
+        }
+        "lw" => mem!(lw),
+        "lh" => mem!(lh),
+        "lhu" => mem!(lhu),
+        "lb" => mem!(lb),
+        "lbu" => mem!(lbu),
+        "sw" => mem!(sw),
+        "sh" => mem!(sh),
+        "sb" => mem!(sb),
+        "beq" => br2!(beq),
+        "bne" => br2!(bne),
+        "blt" => br2!(blt),
+        "bge" => br2!(bge),
+        "ble" => br2!(ble),
+        "bgt" => br2!(bgt),
+        "bltu" => br2!(bltu),
+        "bgeu" => br2!(bgeu),
+        "beqz" => br1!(beqz),
+        "bnez" => br1!(bnez),
+        "blez" => br1!(blez),
+        "bgtz" => br1!(bgtz),
+        "bltz" => br1!(bltz),
+        "bgez" => br1!(bgez),
+        "j" | "b" => {
+            need(1)?;
+            asm.j(ops[0]);
+        }
+        "jal" | "call" => {
+            need(1)?;
+            asm.call(ops[0]);
+        }
+        "jr" => {
+            need(1)?;
+            let rs = parse_reg(ops[0], line)?;
+            asm.jr(rs);
+        }
+        "ret" => {
+            need(0)?;
+            asm.ret();
+        }
+        "halt" => {
+            need(0)?;
+            asm.halt();
+        }
+        "nop" => {
+            need(0)?;
+            asm.nop();
+        }
+        "add.d" => fff!(fadd),
+        "sub.d" => fff!(fsub),
+        "mul.d" => fff!(fmul),
+        "div.d" => fff!(fdiv),
+        "min.d" => fff!(fmin),
+        "max.d" => fff!(fmax),
+        "mov.d" => ff!(fmov),
+        "abs.d" => ff!(fabs),
+        "neg.d" => ff!(fneg),
+        "sqrt.d" => ff!(fsqrt),
+        "li.d" => {
+            need(2)?;
+            let fd = parse_freg(ops[0], line)?;
+            let v: f64 = ops[1]
+                .parse()
+                .map_err(|_| err(line, format!("bad float `{}`", ops[1])))?;
+            asm.fli(fd, v);
+        }
+        "l.d" => fmem!(fld),
+        "s.d" => fmem!(fsd),
+        "cvt.d.w" => {
+            need(2)?;
+            let fd = parse_freg(ops[0], line)?;
+            let rs = parse_reg(ops[1], line)?;
+            asm.cvt_if(fd, rs);
+        }
+        "trunc.w.d" => {
+            need(2)?;
+            let rd = parse_reg(ops[0], line)?;
+            let fs = parse_freg(ops[1], line)?;
+            asm.cvt_fi(rd, fs);
+        }
+        "c.lt.d" => fcmp!(fcmp_lt),
+        "c.le.d" => fcmp!(fcmp_le),
+        "c.eq.d" => fcmp!(fcmp_eq),
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTDOWN: &str = r"
+# counts $t0 down from 5
+.text
+.func main
+main:
+    li   $t0, 5
+loop:
+    addi $t0, $t0, -1
+    bnez $t0, loop
+    halt
+.endfunc
+";
+
+    #[test]
+    fn parses_countdown() {
+        let p = parse_program(COUNTDOWN).unwrap();
+        assert_eq!(p.code.len(), 4);
+        assert_eq!(p.entry, 0);
+        assert_eq!(p.code[2].static_target(), Some(1));
+    }
+
+    #[test]
+    fn parses_data_section() {
+        let src = r#"
+.data
+tab: .word 10, 20, 30
+msg: .ascii "hi"
+buf: .space 8
+pi:  .double 3.5
+.text
+.func main
+main:
+    la $t0, tab
+    lw $t1, 4($t0)
+    la $t2, pi
+    l.d $f0, ($t2)
+    halt
+.endfunc
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(&p.data[0..4], &10i32.to_le_bytes());
+        assert_eq!(&p.data[12..14], b"hi");
+        // pi is 8-aligned
+        let pi_off = p.data.len() - 8;
+        assert_eq!(
+            f64::from_le_bytes(p.data[pi_off..].try_into().unwrap()),
+            3.5
+        );
+    }
+
+    #[test]
+    fn eligible_flag_parses() {
+        let src = "
+.text
+.func kernel eligible
+kernel:
+    ret
+.endfunc
+.func main
+main:
+    halt
+.endfunc
+";
+        let p = parse_program(src).unwrap();
+        assert!(p.function("kernel").unwrap().eligible);
+        assert!(!p.function("main").unwrap().eligible);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let src = "
+.text
+.func main
+main:
+    frobnicate $t0
+.endfunc
+";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_operand_count() {
+        let e = parse_program(".text\n.func main\nmain:\nadd $t0, $t1\nhalt\n.endfunc").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = parse_program(".text\n.func main\nmain:\nli $t0, 0xff\nhalt\n.endfunc").unwrap();
+        match p.code[0] {
+            certa_isa::Instr::Li { imm, .. } => assert_eq!(imm, 255),
+            ref o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn float_ops_parse() {
+        let src = "
+.text
+.func main
+main:
+    li.d $f0, 2.0
+    li.d $f1, 3.0
+    mul.d $f2, $f0, $f1
+    c.lt.d $t0, $f0, $f1
+    halt
+.endfunc
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.code.len(), 5);
+    }
+
+    #[test]
+    fn instructions_in_data_rejected() {
+        let e = parse_program(".data\nadd $t0, $t1, $t2\n").unwrap_err();
+        assert!(e.message.contains("not allowed"));
+    }
+
+    #[test]
+    fn memory_operand_without_offset() {
+        let p =
+            parse_program(".text\n.func main\nmain:\nlw $t0, ($sp)\nhalt\n.endfunc").unwrap();
+        match p.code[0] {
+            certa_isa::Instr::Load { off, .. } => assert_eq!(off, 0),
+            ref o => panic!("unexpected {o:?}"),
+        }
+    }
+}

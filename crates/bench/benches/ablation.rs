@@ -1,0 +1,35 @@
+//! Criterion bench: the analysis-variant ablation (address protection,
+//! mask chain-breaking, load tagging) across all workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use certa_core::analyze_with;
+use certa_workloads::all_workloads;
+
+fn bench_ablation_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_variants");
+    let workloads = all_workloads();
+    let mpeg = workloads
+        .iter()
+        .find(|w| w.name() == "mpeg")
+        .expect("mpeg workload");
+    let program = mpeg.program().clone();
+    for (name, opts) in certa_bench::ablation_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| analyze_with(std::hint::black_box(&program), opts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_campaign");
+    group.sample_size(10);
+    group.bench_function("all_variants_small", |b| {
+        b.iter(|| std::hint::black_box(certa_bench::ablation(2, 4, 0x0AB1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_variants, bench_ablation_campaign);
+criterion_main!(benches);

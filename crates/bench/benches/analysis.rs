@@ -1,0 +1,23 @@
+//! Criterion bench: speed of the paper's static analysis (CFG + backward
+//! CVar dataflow) on every workload program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use certa_core::analyze;
+use certa_workloads::all_workloads;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_analysis");
+    for w in all_workloads() {
+        let program = w.program().clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.name()),
+            &program,
+            |b, program| b.iter(|| analyze(std::hint::black_box(program))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

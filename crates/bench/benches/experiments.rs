@@ -1,0 +1,45 @@
+//! Criterion benches: one per table/figure of the paper. Each bench runs a
+//! reduced-trial version of the same measurement path the `repro_*`
+//! binaries use, so `cargo bench` exercises every experiment end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use certa_bench::{figure, table2, table3, FigureSpec};
+
+const BENCH_TRIALS: usize = 3;
+const SEED: u64 = 0xBE7C;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2", |b| {
+        b.iter(|| std::hint::black_box(table2(BENCH_TRIALS, SEED)));
+    });
+    group.bench_function("table3", |b| {
+        b.iter(|| std::hint::black_box(table3()));
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for spec in FigureSpec::all() {
+        // Trim each sweep to its endpoints for the perf bench; the repro
+        // binaries run the full sweep.
+        let reduced = FigureSpec {
+            errors: vec![
+                *spec.errors.first().expect("non-empty sweep"),
+                *spec.errors.last().expect("non-empty sweep"),
+            ],
+            ..spec
+        };
+        group.bench_function(reduced.id, |b| {
+            b.iter(|| std::hint::black_box(figure(&reduced, BENCH_TRIALS, SEED)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

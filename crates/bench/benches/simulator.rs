@@ -1,0 +1,32 @@
+//! Criterion bench: functional-simulator throughput (golden runs of each
+//! workload, instructions per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use certa_sim::{Machine, MachineConfig, Outcome};
+use certa_workloads::all_workloads;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_golden_run");
+    group.sample_size(10);
+    for w in all_workloads() {
+        // measure instruction count once for throughput reporting
+        let config = MachineConfig::default();
+        let mut m = Machine::new(w.program(), &config);
+        w.prepare(&mut m);
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        group.throughput(Throughput::Elements(r.instructions));
+        group.bench_function(BenchmarkId::from_parameter(w.name()), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(w.program(), &config);
+                w.prepare(&mut m);
+                std::hint::black_box(m.run_simple())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Ablation of the analysis design choices (address protection, mask
+//! chain-breaking, load tagging). Usage: `repro_ablation [--trials N]`.
+fn main() {
+    let (trials, seed) = certa_bench::parse_cli(24);
+    let rows = certa_bench::ablation(trials, 4, seed);
+    print!("{}", certa_bench::render_ablation(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 6 (art sweep).
+//! Usage: `repro_fig6 [--trials N] [--seed S]`.
+fn main() {
+    let (trials, seed) = certa_bench::parse_cli(40);
+    let spec = certa_bench::FigureSpec::art();
+    let points = certa_bench::figure(&spec, trials, seed);
+    print!("{}", certa_bench::render_figure(&spec, &points));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (application/fidelity inventory).
+fn main() {
+    print!("{}", certa_bench::table1());
+}

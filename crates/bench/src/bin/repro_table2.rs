@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 2 (% catastrophic failures with/without
+//! control protection). Usage: `repro_table2 [--trials N] [--seed S]`.
+fn main() {
+    let (trials, seed) = certa_bench::parse_cli(40);
+    let rows = certa_bench::table2(trials, seed);
+    print!("{}", certa_bench::render_table2(&rows));
+}

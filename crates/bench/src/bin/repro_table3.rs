@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (% dynamic low-reliability instructions).
+fn main() {
+    print!("{}", certa_bench::render_table3(&certa_bench::table3()));
+}

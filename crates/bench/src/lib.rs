@@ -1,0 +1,674 @@
+//! # certa-bench
+//!
+//! The experiment harness: one function per table/figure of the paper, each
+//! returning printable rows so that the `repro_*` binaries and the criterion
+//! benches share the exact same measurement path.
+//!
+//! | Paper artifact | Function | Binary | Criterion bench |
+//! |---|---|---|---|
+//! | Table 1 | [`table1`] | `repro_table1` | `experiments` |
+//! | Table 2 | [`table2`] | `repro_table2` | `experiments` |
+//! | Table 3 | [`table3`] | `repro_table3` | `experiments` |
+//! | Figure 1 (Susan) | [`figure`] with [`FigureSpec::susan`] | `repro_fig1` | `experiments` |
+//! | Figure 2 (MPEG) | [`figure`] with [`FigureSpec::mpeg`] | `repro_fig2` | `experiments` |
+//! | Figure 3 (MCF) | [`figure`] with [`FigureSpec::mcf`] | `repro_fig3` | `experiments` |
+//! | Figure 4 (Blowfish) | [`figure`] with [`FigureSpec::blowfish`] | `repro_fig4` | `experiments` |
+//! | Figure 5 (GSM) | [`figure`] with [`FigureSpec::gsm`] | `repro_fig5` | `experiments` |
+//! | Figure 6 (ART) | [`figure`] with [`FigureSpec::art`] | `repro_fig6` | `experiments` |
+//! | Address-protection ablation | [`ablation`] | `repro_ablation` | `ablation` |
+
+use std::fmt::Write as _;
+
+use certa_core::{analyze, analyze_with, AnalysisOptions, TagMap};
+use certa_fault::{run_campaign, CampaignConfig, Protection};
+use certa_workloads::{all_workloads, FidelityDetail, Workload};
+
+/// One measured point of a campaign sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointStats {
+    /// Errors injected per trial.
+    pub errors: u64,
+    /// Trials executed.
+    pub trials: usize,
+    /// % of trials ending in catastrophic failure (crash or infinite run).
+    pub failure_pct: f64,
+    /// Mean normalized fidelity score over completed trials.
+    pub mean_score: f64,
+    /// % of all trials whose output clears the workload's fidelity
+    /// threshold (failures count as unacceptable).
+    pub acceptable_pct: f64,
+    /// Workload-specific scalar (mean PSNR dB, % bad frames, % optimal
+    /// schedules, % bytes correct, SNR loss dB, % recognized).
+    pub detail: f64,
+}
+
+fn detail_scalar(d: &FidelityDetail) -> f64 {
+    match *d {
+        FidelityDetail::Psnr { db } => db.min(60.0),
+        FidelityDetail::BadFrames { fraction } => fraction * 100.0,
+        FidelityDetail::Schedule(v) => {
+            if v == certa_fidelity::schedule::ScheduleFidelity::Optimal {
+                100.0
+            } else {
+                0.0
+            }
+        }
+        FidelityDetail::ByteSimilarity { fraction } => fraction * 100.0,
+        FidelityDetail::SnrLoss { db } => db.min(60.0),
+        FidelityDetail::Confidence { recognized, .. } => {
+            if recognized {
+                100.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Runs one campaign point and aggregates workload fidelity over it.
+#[must_use]
+pub fn measure_point(
+    workload: &dyn Workload,
+    tags: &TagMap,
+    protection: Protection,
+    errors: u64,
+    trials: usize,
+    seed: u64,
+) -> PointStats {
+    let config = CampaignConfig {
+        trials,
+        errors,
+        protection,
+        seed,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(workload.as_target(), tags, &config);
+    let mut scores = Vec::new();
+    let mut details = Vec::new();
+    let mut acceptable = 0usize;
+    for trial in &result.trials {
+        if trial.is_catastrophic() {
+            continue;
+        }
+        let f = workload.evaluate(&result.golden.output, trial.output.as_deref());
+        scores.push(f.score);
+        details.push(detail_scalar(&f.detail));
+        if f.acceptable {
+            acceptable += 1;
+        }
+    }
+    PointStats {
+        errors,
+        trials,
+        failure_pct: result.failure_rate() * 100.0,
+        mean_score: certa_fault::mean(&scores),
+        acceptable_pct: if trials == 0 {
+            0.0
+        } else {
+            acceptable as f64 / trials as f64 * 100.0
+        },
+        detail: certa_fault::mean(&details),
+    }
+}
+
+/// Object-safe helper: a `&dyn Workload` is also usable as `&dyn Target`.
+pub trait AsTarget {
+    /// Upcasts to the fault-injection target view.
+    fn as_target(&self) -> &dyn certa_fault::Target;
+}
+
+impl AsTarget for dyn Workload + '_ {
+    fn as_target(&self) -> &dyn certa_fault::Target {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Regenerates Table 1: the application/fidelity-measure inventory.
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: applications and their fidelity measures");
+    let _ = writeln!(out, "{:<10} {:<55} measure", "app", "description");
+    for w in all_workloads() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<55} {}",
+            w.name(),
+            w.description(),
+            w.fidelity_measure()
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Errors injected per trial.
+    pub errors: u64,
+    /// Golden dynamic instruction count.
+    pub instructions: u64,
+    /// % catastrophic failures with control protection.
+    pub with_protection_pct: f64,
+    /// % catastrophic failures without protection.
+    pub without_protection_pct: f64,
+}
+
+/// The paper's Table 2 error levels per application (low, high).
+#[must_use]
+pub fn table2_error_levels(app: &str) -> Vec<u64> {
+    match app {
+        "susan" => vec![2200],
+        "mpeg" => vec![20, 120],
+        "mcf" => vec![1, 340],
+        "blowfish" => vec![2, 20],
+        "gsm" => vec![10, 40],
+        "art" => vec![4],
+        "adpcm" => vec![3, 56],
+        _ => vec![1],
+    }
+}
+
+/// Regenerates Table 2: % catastrophic failures with and without control
+/// protection, at the paper's per-application error counts.
+#[must_use]
+pub fn table2(trials: usize, seed: u64) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let tags = analyze(w.program());
+        for errors in table2_error_levels(w.name()) {
+            let with = measure_point(&*w, &tags, Protection::On, errors, trials, seed);
+            let without = measure_point(&*w, &tags, Protection::Off, errors, trials, seed ^ 1);
+            let golden = certa_fault::run_campaign(
+                w.as_target(),
+                &tags,
+                &CampaignConfig {
+                    trials: 0,
+                    ..CampaignConfig::default()
+                },
+            )
+            .golden;
+            rows.push(Table2Row {
+                app: w.name(),
+                errors,
+                instructions: golden.instructions,
+                with_protection_pct: with.failure_pct,
+                without_protection_pct: without.failure_pct,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Table 2 rows in the paper's layout.
+#[must_use]
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: % catastrophic failures (infinite runs or crashes)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>14} {:>18} {:>20}",
+        "app", "errors", "instructions", "% fail (with)", "% fail (without)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>14} {:>17.1}% {:>19.1}%",
+            r.app, r.errors, r.instructions, r.with_protection_pct, r.without_protection_pct
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------
+
+/// One Table 3 row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Golden dynamic instruction count.
+    pub instructions: u64,
+    /// % of dynamic instructions tagged low-reliability.
+    pub low_reliability_pct: f64,
+    /// % of static instructions tagged low-reliability.
+    pub static_low_reliability_pct: f64,
+}
+
+/// Regenerates Table 3: dynamic instruction counts and the percentage the
+/// static analysis tags as low-reliability.
+#[must_use]
+pub fn table3() -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let tags = analyze(w.program());
+        let golden = certa_fault::run_campaign(
+            w.as_target(),
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                ..CampaignConfig::default()
+            },
+        )
+        .golden;
+        rows.push(Table3Row {
+            app: w.name(),
+            instructions: golden.instructions,
+            low_reliability_pct: tags.dynamic_low_reliability_fraction(&golden.exec_counts)
+                * 100.0,
+            static_low_reliability_pct: tags.stats().low_reliability_fraction() * 100.0,
+        });
+    }
+    rows
+}
+
+/// Renders Table 3 rows in the paper's layout.
+#[must_use]
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3: dynamic instructions identified as not leading to control"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>22} {:>21}",
+        "app", "instructions", "% low-rel (dynamic)", "% low-rel (static)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>21.1}% {:>20.1}%",
+            r.app, r.instructions, r.low_reliability_pct, r.static_low_reliability_pct
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figures 1–6
+// ---------------------------------------------------------------------
+
+/// Specification of one figure sweep.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Figure id in the paper ("fig1" ... "fig6").
+    pub id: &'static str,
+    /// Workload name.
+    pub app: &'static str,
+    /// Error counts swept on the x-axis.
+    pub errors: Vec<u64>,
+    /// Label of the workload-specific detail column.
+    pub detail_label: &'static str,
+    /// Whether to also sweep with static analysis OFF (Figure 1 does).
+    pub include_unprotected: bool,
+}
+
+impl FigureSpec {
+    /// Figure 1: Susan PSNR vs. errors, static analysis ON and OFF.
+    #[must_use]
+    pub fn susan() -> Self {
+        FigureSpec {
+            id: "fig1",
+            app: "susan",
+            errors: vec![100, 500, 920, 1100, 1550, 2300],
+            detail_label: "mean PSNR (dB)",
+            include_unprotected: true,
+        }
+    }
+
+    /// Figure 2: MPEG % bad frames + % failures vs. errors.
+    #[must_use]
+    pub fn mpeg() -> Self {
+        FigureSpec {
+            id: "fig2",
+            app: "mpeg",
+            errors: vec![1, 2, 5, 10, 20, 50],
+            detail_label: "% bad frames",
+            include_unprotected: false,
+        }
+    }
+
+    /// Figure 3: MCF % optimal schedules + % failures vs. errors.
+    #[must_use]
+    pub fn mcf() -> Self {
+        FigureSpec {
+            id: "fig3",
+            app: "mcf",
+            errors: vec![1, 5, 20, 50, 100, 200, 300],
+            detail_label: "% optimal schedules",
+            include_unprotected: false,
+        }
+    }
+
+    /// Figure 4: Blowfish % bytes correct + % failures vs. errors.
+    #[must_use]
+    pub fn blowfish() -> Self {
+        FigureSpec {
+            id: "fig4",
+            app: "blowfish",
+            errors: vec![5, 10, 15, 20, 25, 30, 35, 40],
+            detail_label: "% bytes correct",
+            include_unprotected: false,
+        }
+    }
+
+    /// Figure 5: GSM SNR loss + % failures vs. errors.
+    #[must_use]
+    pub fn gsm() -> Self {
+        FigureSpec {
+            id: "fig5",
+            app: "gsm",
+            errors: vec![1, 2, 5, 10, 20, 40],
+            detail_label: "SNR loss (dB)",
+            include_unprotected: false,
+        }
+    }
+
+    /// Figure 6: ART % images recognized + % failures vs. errors.
+    #[must_use]
+    pub fn art() -> Self {
+        FigureSpec {
+            id: "fig6",
+            app: "art",
+            errors: vec![1, 2, 3, 4],
+            detail_label: "% recognized",
+            include_unprotected: false,
+        }
+    }
+
+    /// All six figures in paper order.
+    #[must_use]
+    pub fn all() -> Vec<FigureSpec> {
+        vec![
+            FigureSpec::susan(),
+            FigureSpec::mpeg(),
+            FigureSpec::mcf(),
+            FigureSpec::blowfish(),
+            FigureSpec::gsm(),
+            FigureSpec::art(),
+        ]
+    }
+}
+
+/// One figure point (protected, plus optionally unprotected).
+#[derive(Debug, Clone)]
+pub struct FigurePoint {
+    /// Protected-run statistics.
+    pub protected: PointStats,
+    /// Unprotected-run statistics, when the figure includes them.
+    pub unprotected: Option<PointStats>,
+}
+
+/// Runs one figure's sweep.
+///
+/// # Panics
+///
+/// Panics if the spec names an unknown workload.
+#[must_use]
+pub fn figure(spec: &FigureSpec, trials: usize, seed: u64) -> Vec<FigurePoint> {
+    let workloads = all_workloads();
+    let w = workloads
+        .iter()
+        .find(|w| w.name() == spec.app)
+        .expect("figure spec names a known workload");
+    let tags = analyze(w.program());
+    spec.errors
+        .iter()
+        .map(|&errors| {
+            let protected = measure_point(&**w, &tags, Protection::On, errors, trials, seed);
+            let unprotected = spec.include_unprotected.then(|| {
+                measure_point(&**w, &tags, Protection::Off, errors, trials, seed ^ 0xF)
+            });
+            FigurePoint {
+                protected,
+                unprotected,
+            }
+        })
+        .collect()
+}
+
+/// Renders a figure sweep as the paper's series.
+#[must_use]
+pub fn render_figure(spec: &FigureSpec, points: &[FigurePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({}): {}", spec.id, spec.app, spec.detail_label);
+    if spec.include_unprotected {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>16} {:>16} {:>12} {:>14}",
+            "errors", "detail (ON)", "detail (OFF)", "% fail (ON)", "% fail (OFF)"
+        );
+        for p in points {
+            let u = p.unprotected.as_ref().expect("figure includes OFF series");
+            let _ = writeln!(
+                out,
+                "{:>8} {:>16.2} {:>16.2} {:>11.1}% {:>13.1}%",
+                p.protected.errors, p.protected.detail, u.detail, p.protected.failure_pct,
+                u.failure_pct
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>16} {:>12} {:>14}",
+            "errors", "detail", "% fail", "% acceptable"
+        );
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>16.2} {:>11.1}% {:>13.1}%",
+                p.protected.errors, p.protected.detail, p.protected.failure_pct,
+                p.protected.acceptable_pct
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Ablation: the design choices DESIGN.md calls out
+// ---------------------------------------------------------------------
+
+/// One ablation row: tag fractions and failure rates under analysis
+/// variants.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Analysis variant label.
+    pub variant: &'static str,
+    /// % of dynamic instructions tagged low-reliability.
+    pub low_reliability_pct: f64,
+    /// % catastrophic failures under protection at the probe error count.
+    pub failure_pct: f64,
+}
+
+/// Analysis variants studied by the ablation.
+#[must_use]
+pub fn ablation_variants() -> Vec<(&'static str, AnalysisOptions)> {
+    vec![
+        ("default", AnalysisOptions::default()),
+        (
+            "no-addr-protect",
+            AnalysisOptions {
+                protect_addresses: false,
+                ..AnalysisOptions::default()
+            },
+        ),
+        (
+            "no-mask-break",
+            AnalysisOptions {
+                mask_breaks_address_chains: false,
+                ..AnalysisOptions::default()
+            },
+        ),
+        (
+            "no-load-tagging",
+            AnalysisOptions {
+                tag_loads: false,
+                ..AnalysisOptions::default()
+            },
+        ),
+    ]
+}
+
+/// Runs the ablation over every workload: how each analysis design choice
+/// moves the taggable fraction and the protected failure rate.
+#[must_use]
+pub fn ablation(trials: usize, errors: u64, seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        for (variant, opts) in ablation_variants() {
+            let tags = analyze_with(w.program(), &opts);
+            let point = measure_point(&*w, &tags, Protection::On, errors, trials, seed);
+            let golden = certa_fault::run_campaign(
+                w.as_target(),
+                &tags,
+                &CampaignConfig {
+                    trials: 0,
+                    ..CampaignConfig::default()
+                },
+            )
+            .golden;
+            rows.push(AblationRow {
+                app: w.name(),
+                variant,
+                low_reliability_pct: tags.dynamic_low_reliability_fraction(&golden.exec_counts)
+                    * 100.0,
+                failure_pct: point.failure_pct,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders ablation rows.
+#[must_use]
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: analysis design choices vs. taggable fraction and protected failure rate"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<18} {:>20} {:>12}",
+        "app", "variant", "% low-rel (dyn)", "% fail"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<18} {:>19.1}% {:>11.1}%",
+            r.app, r.variant, r.low_reliability_pct, r.failure_pct
+        );
+    }
+    out
+}
+
+/// Parses the `--trials N` / `--seed N` CLI convention used by the
+/// `repro_*` binaries. Returns `(trials, seed)`.
+#[must_use]
+pub fn parse_cli(default_trials: usize) -> (usize, u64) {
+    let mut trials = default_trials;
+    let mut seed = 0xCE27A;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" if i + 1 < args.len() => {
+                trials = args[i + 1].parse().unwrap_or(default_trials);
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(seed);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    (trials, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_apps() {
+        let t = table1();
+        for app in ["susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"] {
+            assert!(t.contains(app), "table1 missing {app}");
+        }
+    }
+
+    #[test]
+    fn table3_covers_all_apps_with_sane_fractions() {
+        let rows = table3();
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.instructions > 1_000, "{} too small", r.app);
+            assert!((0.0..=100.0).contains(&r.low_reliability_pct));
+        }
+        // MCF must be the least taggable (the paper's outlier)
+        let mcf = rows.iter().find(|r| r.app == "mcf").expect("mcf row");
+        for r in &rows {
+            if r.app != "mcf" {
+                assert!(
+                    mcf.low_reliability_pct <= r.low_reliability_pct + 15.0,
+                    "mcf ({:.1}%) should be near the bottom vs {} ({:.1}%)",
+                    mcf.low_reliability_pct,
+                    r.app,
+                    r.low_reliability_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measure_point_zero_errors_is_perfect() {
+        let workloads = all_workloads();
+        let w = workloads.iter().find(|w| w.name() == "adpcm").expect("adpcm");
+        let tags = analyze(w.program());
+        let p = measure_point(&**w, &tags, Protection::On, 0, 3, 1);
+        assert_eq!(p.failure_pct, 0.0);
+        assert_eq!(p.acceptable_pct, 100.0);
+        assert_eq!(p.mean_score, 1.0);
+    }
+
+    #[test]
+    fn figure_specs_cover_the_six_figures() {
+        let ids: Vec<&str> = FigureSpec::all().iter().map(|s| s.id).collect();
+        assert_eq!(ids, ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"]);
+    }
+
+    #[test]
+    fn render_figure_smoke() {
+        let spec = FigureSpec {
+            id: "fig6",
+            app: "art",
+            errors: vec![1],
+            detail_label: "% recognized",
+            include_unprotected: false,
+        };
+        let points = figure(&spec, 2, 9);
+        let text = render_figure(&spec, &points);
+        assert!(text.contains("fig6"));
+        assert!(text.contains("errors"));
+    }
+}

@@ -1,0 +1,617 @@
+//! The backward CVar dataflow analysis (paper §3).
+//!
+//! `CVar` is represented as two 64-bit sets over [`certa_isa::RegRef`]
+//! dense indices (32 integer + 32 float registers):
+//!
+//! * the **control** set — registers feeding branch decisions and indirect
+//!   jumps; propagates unconditionally through def-use chains, exactly the
+//!   paper's algorithm;
+//! * the **address** set — registers feeding load/store address operands
+//!   (enabled by [`AnalysisOptions::protect_addresses`]; the companion
+//!   paper \[5\] treats address operations as requiring reliability, and an
+//!   unprotected address computation is an instant crash).
+//!
+//! The address set propagates through arithmetic like the control set with
+//! one refinement: a **bounding mask** (`andi` with a small immediate, or a
+//! logical right shift by ≥ 16) breaks the chain when
+//! [`AnalysisOptions::mask_breaks_address_chains`] is set (the default).
+//! A masked table index is always in bounds — a bit flip upstream of the
+//! mask yields a *different in-bounds index*, i.e. a data error, never a
+//! wild access. Without this refinement every byte of a cipher's state
+//! would transitively count as an address (S-box lookups) and the analysis
+//! would find almost nothing to tag in table-driven codecs; with it, the
+//! tagged fractions line up with the paper's Table 3.
+//!
+//! The analysis runs a worklist fixpoint over the whole-program CFG; an
+//! instruction is protected when its definition is in either set at its
+//! program point.
+
+use std::collections::VecDeque;
+
+use certa_isa::{AluOp, Instr, Program, RegRef, UseKind};
+
+use crate::cfg::Cfg;
+use crate::tags::{ProtectReason, Tag, TagMap};
+
+/// Tuning knobs for [`analyze_with`]; the defaults reproduce the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Treat address operands of loads/stores as requiring protection
+    /// (default `true`). Disabling this is the ablation studied in the
+    /// `ablation` bench: address corruption then becomes injectable and
+    /// crash rates rise sharply.
+    pub protect_addresses: bool,
+    /// Allow memory loads to be tagged low-reliability when their
+    /// destination is not in `CVar` (default `true`). When disabled, only
+    /// pure arithmetic is taggable.
+    pub tag_loads: bool,
+    /// Stop address-chain propagation at bounding masks (default `true`).
+    /// See the module docs for the rationale.
+    pub mask_breaks_address_chains: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            protect_addresses: true,
+            tag_loads: true,
+            mask_breaks_address_chains: true,
+        }
+    }
+}
+
+#[inline]
+fn bit(r: RegRef) -> u64 {
+    // $zero can appear in CVar (e.g. `beqz` compares against it) but is
+    // never killed: writes to it are discarded.
+    1u64 << r.dense_index()
+}
+
+/// Whether `instr` bounds its result into a small range, making downstream
+/// address arithmetic safe regardless of upstream bit flips.
+#[inline]
+fn is_bounding_mask(instr: &Instr) -> bool {
+    match *instr {
+        Instr::AluImm {
+            op: AluOp::And,
+            imm,
+            ..
+        } => (0..=0xFFFF).contains(&imm),
+        Instr::AluImm {
+            op: AluOp::Srl,
+            imm,
+            ..
+        } => imm >= 16,
+        Instr::AluImm {
+            op: AluOp::Remu,
+            imm,
+            ..
+        } => (1..=0x1_0000).contains(&imm),
+        _ => false,
+    }
+}
+
+/// The per-program-point dataflow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Live {
+    control: u64,
+    address: u64,
+}
+
+impl Live {
+    #[inline]
+    fn union(self, other: Live) -> Live {
+        Live {
+            control: self.control | other.control,
+            address: self.address | other.address,
+        }
+    }
+}
+
+/// Processes one instruction backward through the live state. Returns
+/// whether the instruction's definition was live in either set (i.e. the
+/// instruction is control/address-influencing).
+#[inline]
+fn step(instr: &Instr, live: &mut Live, opts: &AnalysisOptions) -> bool {
+    let (def_control, def_address) = match instr.def() {
+        Some(RegRef::Int(r)) if r.is_zero() => (false, false), // discarded write
+        Some(d) => {
+            let b = bit(d);
+            let c = live.control & b != 0;
+            let a = live.address & b != 0;
+            if c {
+                live.control &= !b;
+            }
+            if a {
+                live.address &= !b;
+            }
+            (c, a)
+        }
+        None => (false, false),
+    };
+    let address_chain_continues =
+        def_address && !(opts.mask_breaks_address_chains && is_bounding_mask(instr));
+    instr.for_each_use(|r, kind| {
+        let b = bit(r);
+        match kind {
+            UseKind::Control => live.control |= b,
+            UseKind::Address => {
+                if opts.protect_addresses {
+                    live.address |= b;
+                }
+            }
+            UseKind::Data => {}
+        }
+        if kind == UseKind::Data || kind == UseKind::Address {
+            // data operands of a control/address-influencing definition
+            // inherit the classification
+            if def_control {
+                live.control |= b;
+            }
+            if address_chain_continues {
+                live.address |= b;
+            }
+        }
+    });
+    def_control || def_address
+}
+
+/// Runs the paper's analysis with default options.
+#[must_use]
+pub fn analyze(program: &Program) -> TagMap {
+    analyze_with(program, &AnalysisOptions::default())
+}
+
+/// Runs the paper's analysis with explicit [`AnalysisOptions`].
+#[must_use]
+pub fn analyze_with(program: &Program, opts: &AnalysisOptions) -> TagMap {
+    let n = program.code.len();
+    if n == 0 {
+        return TagMap::new(Vec::new());
+    }
+    let cfg = Cfg::build(program);
+    let nb = cfg.len();
+    let preds = cfg.predecessors();
+
+    let mut live_in = vec![Live::default(); nb];
+    let mut live_out = vec![Live::default(); nb];
+
+    // Worklist seeded with every block (reverse order converges faster for
+    // backward problems).
+    let mut work: VecDeque<usize> = (0..nb).rev().collect();
+    let mut queued = vec![true; nb];
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let out = cfg.blocks[b]
+            .succs
+            .iter()
+            .fold(Live::default(), |acc, &s| acc.union(live_in[s]));
+        live_out[b] = out;
+        let mut live = out;
+        for i in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+            step(&program.code[i], &mut live, opts);
+        }
+        if live != live_in[b] {
+            live_in[b] = live;
+            for &p in &preds[b] {
+                if !queued[p] {
+                    queued[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+
+    // Classification pass with converged block-exit sets.
+    let mut tags = vec![Tag::Protected(ProtectReason::NotValueProducing); n];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut live = live_out[b];
+        for i in (block.start..block.end).rev() {
+            let instr = &program.code[i];
+            let def_live = step(instr, &mut live, opts);
+            tags[i] = classify(program, i, instr, def_live, opts);
+        }
+    }
+    TagMap::new(tags)
+}
+
+fn classify(
+    program: &Program,
+    index: usize,
+    instr: &Instr,
+    def_live: bool,
+    opts: &AnalysisOptions,
+) -> Tag {
+    if !instr.is_value_producing() {
+        return Tag::Protected(ProtectReason::NotValueProducing);
+    }
+    if matches!(instr, Instr::Call { .. }) {
+        // A call's "value" is the return address: inherently control.
+        return Tag::Protected(ProtectReason::NonArithmetic);
+    }
+    if matches!(instr, Instr::Load { .. } | Instr::FLoad { .. }) && !opts.tag_loads {
+        return Tag::Protected(ProtectReason::NonArithmetic);
+    }
+    if !program.is_eligible(index) {
+        return Tag::Protected(ProtectReason::Ineligible);
+    }
+    if def_live {
+        return Tag::Protected(ProtectReason::Control);
+    }
+    Tag::LowReliability
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_isa::reg::{A0, A1, T0, T1, T2, T3, T4, V0, F0, F1, F2};
+
+    fn assemble(build: impl FnOnce(&mut Asm)) -> Program {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.assemble().unwrap()
+    }
+
+    /// The paper's §3 worked example, transcribed to our ISA:
+    ///
+    /// ```text
+    /// I0: $2 = $4 + 1        * tagged
+    /// I1: LD $3, addr
+    /// I2: $2 = $3 + 2
+    /// I3: $3 = $3 + 8
+    /// I4: $10 = $8 - $4      * tagged
+    /// I5: $10 = $3 << $2
+    /// I6: $4 = $3 + $6       * tagged
+    /// I7: $3 = $3 + 1
+    /// I8: BNE $3, $10, label
+    /// ```
+    #[test]
+    fn paper_worked_example() {
+        use certa_isa::Reg;
+        let r = |i: u8| Reg::new(i);
+        let p = assemble(|a| {
+            let addr = a.data_words(&[0]);
+            a.func("kernel", true);
+            a.addi(r(2), r(4), 1); // I0
+            a.la(r(1), addr); //      address setup (assembler temp)
+            a.lw(r(3), 0, r(1)); //   I1
+            a.addi(r(2), r(3), 2); // I2
+            a.addi(r(3), r(3), 8); // I3
+            a.sub(r(10), r(8), r(4)); // I4
+            a.sll(r(10), r(3), r(2)); // I5
+            a.add(r(4), r(3), r(6)); // I6
+            a.addi(r(3), r(3), 1); // I7
+            a.label("target");
+            a.bne(r(3), r(10), "target"); // I8
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        // instruction indices shifted by the la at index 1
+        assert_eq!(tags.tag(0), Tag::LowReliability, "I0 must be tagged");
+        assert!(matches!(tags.tag(2), Tag::Protected(ProtectReason::Control)), "I1 load");
+        assert!(matches!(tags.tag(3), Tag::Protected(ProtectReason::Control)), "I2");
+        assert!(matches!(tags.tag(4), Tag::Protected(ProtectReason::Control)), "I3");
+        assert_eq!(tags.tag(5), Tag::LowReliability, "I4 must be tagged");
+        assert!(matches!(tags.tag(6), Tag::Protected(ProtectReason::Control)), "I5");
+        assert_eq!(tags.tag(7), Tag::LowReliability, "I6 must be tagged");
+        assert!(matches!(tags.tag(8), Tag::Protected(ProtectReason::Control)), "I7");
+    }
+
+    #[test]
+    fn loop_counter_is_protected_data_is_not() {
+        let p = assemble(|a| {
+            a.func("kernel", true);
+            a.li(T0, 0); // counter
+            a.li(T1, 10); // bound
+            a.li(T2, 0); // accumulator (pure data)
+            a.label("loop");
+            a.add(T2, T2, T0); // data
+            a.addi(T0, T0, 1); // counter
+            a.blt(T0, T1, "loop");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(0), Tag::Protected(ProtectReason::Control))); // li T0
+        assert!(matches!(tags.tag(1), Tag::Protected(ProtectReason::Control))); // li T1
+        assert_eq!(tags.tag(2), Tag::LowReliability); // li T2
+        assert_eq!(tags.tag(3), Tag::LowReliability); // add T2
+        assert!(matches!(tags.tag(4), Tag::Protected(ProtectReason::Control))); // addi T0
+    }
+
+    #[test]
+    fn address_computation_is_protected_by_default() {
+        let p = assemble(|a| {
+            let buf = a.data_zero(64);
+            a.func("kernel", true);
+            a.la(T0, buf);
+            a.li(T1, 4);
+            a.add(T2, T0, T1); // address arithmetic
+            a.lw(T3, 0, T2);
+            a.add(T4, T3, T3); // loaded value doubled: pure data
+            a.sw(T4, 8, T0);
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(2), Tag::Protected(ProtectReason::Control))); // add T2 (address)
+        assert_eq!(tags.tag(3), Tag::LowReliability); // the load's value is data
+        assert_eq!(tags.tag(4), Tag::LowReliability); // add T4
+    }
+
+    #[test]
+    fn address_protection_can_be_ablated() {
+        let p = assemble(|a| {
+            let buf = a.data_zero(64);
+            a.func("kernel", true);
+            a.la(T0, buf);
+            a.li(T1, 4);
+            a.add(T2, T0, T1);
+            a.lw(T3, 0, T2);
+            a.halt();
+            a.endfunc();
+        });
+        let opts = AnalysisOptions {
+            protect_addresses: false,
+            ..AnalysisOptions::default()
+        };
+        let tags = analyze_with(&p, &opts);
+        assert_eq!(tags.tag(2), Tag::LowReliability); // address arithmetic now unprotected
+    }
+
+    #[test]
+    fn bounding_mask_breaks_address_chain() {
+        // A table lookup `tab[x & 0xff]`: the mask is protected (it feeds
+        // the address) but the value chain *above* the mask stays taggable.
+        let p = assemble(|a| {
+            let tab = a.data_zero(256 * 4);
+            a.func("kernel", true);
+            a.li(T0, 7);
+            a.add(T1, T0, T0); // upstream data, pre-mask
+            a.andi(T2, T1, 255); // bounding mask
+            a.slli(T2, T2, 2);
+            a.la(T3, tab);
+            a.add(T3, T3, T2);
+            a.lw(V0, 0, T3);
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert_eq!(tags.tag(1), Tag::LowReliability, "pre-mask chain is data");
+        assert!(
+            matches!(tags.tag(2), Tag::Protected(ProtectReason::Control)),
+            "the mask itself feeds an address"
+        );
+        assert!(matches!(tags.tag(3), Tag::Protected(ProtectReason::Control)));
+
+        // Without the refinement the pre-mask chain is protected too.
+        let strict = AnalysisOptions {
+            mask_breaks_address_chains: false,
+            ..AnalysisOptions::default()
+        };
+        let tags = analyze_with(&p, &strict);
+        assert!(matches!(tags.tag(1), Tag::Protected(ProtectReason::Control)));
+    }
+
+    #[test]
+    fn shift_extract_also_breaks_address_chain() {
+        let p = assemble(|a| {
+            let tab = a.data_zero(256 * 4);
+            a.func("kernel", true);
+            a.li(T0, 0x1234_5678);
+            a.add(T1, T0, T0); // upstream data
+            a.srli(T2, T1, 24); // bounded to 0..255
+            a.slli(T2, T2, 2);
+            a.la(T3, tab);
+            a.add(T3, T3, T2);
+            a.lw(V0, 0, T3);
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert_eq!(tags.tag(1), Tag::LowReliability);
+    }
+
+    #[test]
+    fn control_propagates_through_masks() {
+        // Masks break *address* chains but never *control* chains.
+        let p = assemble(|a| {
+            a.func("kernel", true);
+            a.li(T0, 5);
+            a.add(T1, T0, T0); // feeds branch through the mask
+            a.andi(T2, T1, 255);
+            a.bnez(T2, "end");
+            a.nop();
+            a.label("end");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(1), Tag::Protected(ProtectReason::Control)));
+        assert!(matches!(tags.tag(2), Tag::Protected(ProtectReason::Control)));
+    }
+
+    #[test]
+    fn tag_loads_option_excludes_loads() {
+        let p = assemble(|a| {
+            let buf = a.data_zero(8);
+            a.func("kernel", true);
+            a.la(T0, buf);
+            a.lw(T1, 0, T0);
+            a.halt();
+            a.endfunc();
+        });
+        let default_tags = analyze(&p);
+        assert_eq!(default_tags.tag(1), Tag::LowReliability);
+        let opts = AnalysisOptions {
+            tag_loads: false,
+            ..AnalysisOptions::default()
+        };
+        let tags = analyze_with(&p, &opts);
+        assert!(matches!(
+            tags.tag(1),
+            Tag::Protected(ProtectReason::NonArithmetic)
+        ));
+    }
+
+    #[test]
+    fn ineligible_function_is_fully_protected() {
+        let p = assemble(|a| {
+            a.func("kernel", false); // NOT eligible
+            a.li(T2, 1);
+            a.add(T2, T2, T2);
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(
+            tags.tag(0),
+            Tag::Protected(ProtectReason::Ineligible)
+        ));
+        assert!(matches!(
+            tags.tag(1),
+            Tag::Protected(ProtectReason::Ineligible)
+        ));
+    }
+
+    #[test]
+    fn interprocedural_argument_flow() {
+        // main computes a value in A0 that the callee uses in a branch:
+        // the producing instruction in main must be protected even though
+        // the branch is in another function.
+        let p = assemble(|a| {
+            a.func("check", true);
+            a.bnez(A0, "nonzero");
+            a.li(V0, 0);
+            a.ret();
+            a.label("nonzero");
+            a.li(V0, 1);
+            a.ret();
+            a.endfunc();
+            a.func("main", true);
+            a.li(T0, 3);
+            a.add(A0, T0, T0); // flows to callee's branch
+            a.add(A1, T0, T0); // dead: pure data
+            a.call("check");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        let main = p.function("main").unwrap().start;
+        assert!(
+            matches!(tags.tag(main + 1), Tag::Protected(ProtectReason::Control)),
+            "A0 producer must be protected across the call"
+        );
+        assert_eq!(tags.tag(main + 2), Tag::LowReliability);
+    }
+
+    #[test]
+    fn return_value_flow_back_to_caller() {
+        // callee computes V0; caller branches on it: the callee's arithmetic
+        // feeding V0 must be protected via the return edge.
+        let p = assemble(|a| {
+            a.func("produce", true);
+            a.add(V0, A0, A0);
+            a.add(T1, A0, A0); // dead
+            a.ret();
+            a.endfunc();
+            a.func("main", true);
+            a.li(A0, 5);
+            a.call("produce");
+            a.beqz(V0, "skip");
+            a.nop();
+            a.label("skip");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(0), Tag::Protected(ProtectReason::Control)));
+        assert_eq!(tags.tag(1), Tag::LowReliability);
+    }
+
+    #[test]
+    fn calls_are_never_taggable() {
+        let p = assemble(|a| {
+            a.func("f", true);
+            a.ret();
+            a.endfunc();
+            a.func("main", true);
+            a.call("f");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(
+            tags.tag(1),
+            Tag::Protected(ProtectReason::NonArithmetic)
+        ));
+    }
+
+    #[test]
+    fn float_compare_feeding_branch_protects_float_chain() {
+        let p = assemble(|a| {
+            a.func("kernel", true);
+            a.fli(F0, 1.0);
+            a.fli(F1, 2.0);
+            a.fadd(F2, F0, F1); // feeds compare -> control
+            a.fcmp_lt(T0, F2, F1);
+            a.bnez(T0, "end");
+            a.fmul(F2, F0, F1); // dead data
+            a.label("end");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(2), Tag::Protected(ProtectReason::Control))); // fadd
+        assert!(matches!(tags.tag(3), Tag::Protected(ProtectReason::Control))); // fcmp
+        assert_eq!(tags.tag(5), Tag::LowReliability); // fmul after branch
+    }
+
+    #[test]
+    fn store_value_is_not_control_but_base_is() {
+        let p = assemble(|a| {
+            let buf = a.data_zero(16);
+            a.func("kernel", true);
+            a.la(T0, buf);
+            a.li(T1, 42); // stored value: data
+            a.sw(T1, 0, T0);
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(0), Tag::Protected(ProtectReason::Control))); // la (base)
+        assert_eq!(tags.tag(1), Tag::LowReliability); // stored value
+        assert!(matches!(
+            tags.tag(2),
+            Tag::Protected(ProtectReason::NotValueProducing)
+        )); // the store itself
+    }
+
+    #[test]
+    fn fixpoint_on_loop_carried_control_dependence() {
+        // value feeding the branch is computed through a loop-carried chain
+        let p = assemble(|a| {
+            a.func("kernel", true);
+            a.li(T0, 1);
+            a.li(T1, 100);
+            a.label("loop");
+            a.add(T0, T0, T0); // doubles each iteration; feeds branch
+            a.blt(T0, T1, "loop");
+            a.halt();
+            a.endfunc();
+        });
+        let tags = analyze(&p);
+        assert!(matches!(tags.tag(0), Tag::Protected(ProtectReason::Control)));
+        assert!(matches!(tags.tag(2), Tag::Protected(ProtectReason::Control)));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        let tags = analyze(&p);
+        assert!(tags.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Whole-program control-flow graph construction.
+//!
+//! Blocks are maximal straight-line instruction runs. Edges include
+//! fallthrough, branch targets, jumps, **call edges** (`jal` → callee entry)
+//! and **return edges** (`jr` inside a function → the instruction after each
+//! call site of that function). Call/return linkage is context-insensitive,
+//! which is what the paper's "We assume inter-procedural analysis" requires.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use certa_isa::{Instr, Program};
+
+/// A basic block: instructions `start..end` with successor block ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// Whole-program control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks, ordered by start index.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from instruction index to owning block id.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`, including interprocedural call and
+    /// return edges.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let n = program.code.len();
+        // ----- leaders -----
+        let mut leaders = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0);
+            leaders.insert(program.entry);
+        }
+        for (i, instr) in program.code.iter().enumerate() {
+            if let Some(t) = instr.static_target() {
+                leaders.insert(t);
+            }
+            if instr.is_control_transfer() && i + 1 < n {
+                leaders.insert(i + 1);
+            }
+        }
+        for f in &program.functions {
+            if f.start < n {
+                leaders.insert(f.start);
+            }
+        }
+
+        // ----- blocks -----
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; n];
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            for bo in &mut block_of[start..end] {
+                *bo = b;
+            }
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+            });
+        }
+
+        // ----- return points: function entry -> [instr after each call] ----
+        let mut return_points: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, instr) in program.code.iter().enumerate() {
+            if let Instr::Call { target } = instr {
+                if i + 1 < n {
+                    return_points.entry(*target).or_default().push(i + 1);
+                }
+            }
+        }
+        // Map instruction index -> containing function start (for jr lookup).
+        let func_start_of = |idx: usize| -> Option<usize> {
+            program.function_at(idx).map(|f| f.start)
+        };
+
+        // ----- edges -----
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let mut succs: Vec<usize> = Vec::new();
+            match program.code[last] {
+                Instr::Branch { target, .. } => {
+                    succs.push(block_of[target]);
+                    if blocks[b].end < n {
+                        succs.push(block_of[blocks[b].end]);
+                    }
+                }
+                Instr::Jump { target } => succs.push(block_of[target]),
+                Instr::Call { target } => succs.push(block_of[target]),
+                Instr::JumpReg { .. } => {
+                    // Return edge(s): to every return point of the containing
+                    // function. `jr` through anything other than a return
+                    // address is not used by certa guests; a corrupted target
+                    // is a dynamic crash, not a CFG edge.
+                    if let Some(fs) = func_start_of(last) {
+                        if let Some(rps) = return_points.get(&fs) {
+                            for &rp in rps {
+                                succs.push(block_of[rp]);
+                            }
+                        }
+                    }
+                }
+                Instr::Halt => {}
+                _ => {
+                    if blocks[b].end < n {
+                        succs.push(block_of[blocks[b].end]);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[b].succs = succs;
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// The block containing instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn block_of(&self, index: usize) -> usize {
+        self.block_of[index]
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Predecessor lists (computed on demand).
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Renders the CFG in Graphviz dot format (for debugging and docs).
+    #[must_use]
+    pub fn to_dot(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=monospace];\n");
+        for (b, block) in self.blocks.iter().enumerate() {
+            let mut body = String::new();
+            for i in block.start..block.end {
+                let _ = writeln!(body, "{i}: {}", program.code[i]);
+            }
+            let body = body.replace('"', "\\\"").replace('\n', "\\l");
+            let _ = writeln!(out, "  b{b} [label=\"{body}\"];");
+            for &s in &block.succs {
+                let _ = writeln!(out, "  b{b} -> b{s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_isa::reg::{A0, T0, V0};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 1);
+        a.addi(T0, T0, 1);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 3);
+        a.label("loop");
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        // blocks: [li], [addi, bnez], [halt]
+        assert_eq!(cfg.len(), 3);
+        let loop_block = cfg.block_of(1);
+        assert!(cfg.blocks[loop_block].succs.contains(&loop_block));
+        assert_eq!(cfg.blocks[cfg.block_of(3)].succs, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn call_and_return_edges() {
+        let mut a = Asm::new();
+        a.func("sq", false);
+        a.mul(V0, A0, A0);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.li(A0, 4);
+        a.call("sq");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        // call block -> sq entry; sq's jr -> instruction after the call (halt)
+        let call_block = cfg.block_of(3);
+        let sq_entry = cfg.block_of(0);
+        assert!(cfg.blocks[call_block].succs.contains(&sq_entry));
+        let ret_block = cfg.block_of(1);
+        let halt_block = cfg.block_of(4);
+        assert!(cfg.blocks[ret_block].succs.contains(&halt_block));
+    }
+
+    #[test]
+    fn multiple_call_sites_all_get_return_edges() {
+        let mut a = Asm::new();
+        a.func("f", false);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.call("f");
+        a.call("f");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let ret_block = cfg.block_of(0);
+        let after1 = cfg.block_of(2);
+        let after2 = cfg.block_of(3);
+        assert!(cfg.blocks[ret_block].succs.contains(&after1));
+        assert!(cfg.blocks[ret_block].succs.contains(&after2));
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 2);
+        a.label("l");
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "l");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let preds = cfg.predecessors();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                assert!(preds[s].contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_export_mentions_blocks() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let dot = cfg.to_dot(&p);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("halt"));
+    }
+}

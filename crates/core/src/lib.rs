@@ -1,0 +1,62 @@
+//! # certa-core
+//!
+//! The primary contribution of the IISWC 2006 paper *"Characterization of
+//! Error-Tolerant Applications when Protecting Control Data"*: a static
+//! analysis that walks **backward** through a program, maintaining the set
+//! `CVar` of variables (registers) likely to influence control flow, and tags
+//! every arithmetic instruction whose destination is **not** in `CVar` as
+//! *low-reliability* — safe to execute on unprotected hardware, because a bit
+//! flip in its result can only degrade output fidelity, not derail control.
+//!
+//! The analysis (paper §3):
+//!
+//! * Branch comparison operands and indirect-jump targets **add** registers
+//!   to `CVar` (control uses).
+//! * Memory address operands also add registers (address uses) — a corrupted
+//!   address is an immediate crash, and the companion paper \[5\] protects
+//!   "control, address, and data" operations separately.
+//! * An instruction *defining* a register in `CVar` removes that register
+//!   and adds the registers it uses; such instructions are
+//!   [`Tag::Protected`] with [`ProtectReason::Control`].
+//! * The walk crosses basic-block and procedure boundaries (interprocedural,
+//!   context-insensitive) and iterates to a fixpoint.
+//! * Memory is **not disambiguated**: a low-reliability value stored to
+//!   memory and later reloaded into a control computation is an accepted
+//!   residual failure path — exactly the limitation the paper reports in
+//!   §5.1.
+//!
+//! Only instructions inside functions the user marked *eligible*
+//! ([`certa_isa::FuncMeta::eligible`]) may be tagged low-reliability,
+//! matching the paper's methodology (§4).
+//!
+//! ## Example
+//!
+//! ```
+//! use certa_asm::Asm;
+//! use certa_core::{analyze, Tag};
+//! use certa_isa::reg::{T0, T1, T2, T3};
+//!
+//! let mut a = Asm::new();
+//! a.func("kernel", true); // user-identified as error-tolerant
+//! a.li(T0, 0);
+//! a.li(T1, 10);
+//! a.label("loop");
+//! a.add(T2, T2, T3);      // pure data: tagged low-reliability
+//! a.addi(T0, T0, 1);      // feeds the branch: protected
+//! a.blt(T0, T1, "loop");
+//! a.halt();
+//! a.endfunc();
+//! let program = a.assemble().unwrap();
+//!
+//! let tags = analyze(&program);
+//! assert_eq!(tags.tag(2), Tag::LowReliability);          // add  t2,t2,t3
+//! assert!(matches!(tags.tag(3), Tag::Protected(_)));     // addi t0,t0,1
+//! ```
+
+mod analysis;
+mod cfg;
+mod tags;
+
+pub use analysis::{analyze, analyze_with, AnalysisOptions};
+pub use cfg::{BasicBlock, Cfg};
+pub use tags::{annotate_listing, ProtectReason, Tag, TagMap, TagStats};

@@ -1,0 +1,308 @@
+//! Instruction tags and tag statistics.
+
+use std::fmt;
+
+/// Why an instruction must run on protected (reliable) hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtectReason {
+    /// The instruction's result reaches a control decision (its destination
+    /// is in `CVar` at that point) — the paper's core protection target.
+    Control,
+    /// The instruction is outside every user-identified eligible function
+    /// (paper §4: only eligible functions are tagged).
+    Ineligible,
+    /// The instruction produces no register value (stores, branches, jumps,
+    /// `halt`, `nop`) so the bit-flip fault model does not apply to it.
+    NotValueProducing,
+    /// The instruction is outside the taggable arithmetic class: calls
+    /// (their result is a return address, inherently control) and — when
+    /// [`crate::AnalysisOptions::tag_loads`] is disabled — memory loads.
+    NonArithmetic,
+}
+
+/// The protection tag the static analysis assigns to one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// The instruction may execute on low-reliability hardware: a single-bit
+    /// error in its result cannot (directly) change control flow.
+    LowReliability,
+    /// The instruction must be protected.
+    Protected(ProtectReason),
+}
+
+impl Tag {
+    /// Whether this instruction is tagged low-reliability.
+    #[must_use]
+    pub fn is_low_reliability(self) -> bool {
+        matches!(self, Tag::LowReliability)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tag::LowReliability => write!(f, "low-reliability"),
+            Tag::Protected(ProtectReason::Control) => write!(f, "protected (control)"),
+            Tag::Protected(ProtectReason::Ineligible) => write!(f, "protected (ineligible fn)"),
+            Tag::Protected(ProtectReason::NotValueProducing) => {
+                write!(f, "protected (no value)")
+            }
+            Tag::Protected(ProtectReason::NonArithmetic) => {
+                write!(f, "protected (non-arithmetic)")
+            }
+        }
+    }
+}
+
+/// Aggregate statistics over a [`TagMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Total static instructions.
+    pub total: usize,
+    /// Instructions tagged low-reliability.
+    pub low_reliability: usize,
+    /// Instructions protected because they influence control.
+    pub control: usize,
+    /// Instructions protected because their function is not eligible.
+    pub ineligible: usize,
+    /// Instructions that produce no value.
+    pub not_value_producing: usize,
+    /// Calls (and loads, when load tagging is disabled).
+    pub non_arithmetic: usize,
+}
+
+impl TagStats {
+    /// Static fraction of instructions tagged low-reliability.
+    #[must_use]
+    pub fn low_reliability_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.low_reliability as f64 / self.total as f64
+        }
+    }
+}
+
+/// The result of the static analysis: one [`Tag`] per instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagMap {
+    tags: Vec<Tag>,
+}
+
+impl TagMap {
+    /// Wraps a tag vector (one entry per instruction).
+    #[must_use]
+    pub fn new(tags: Vec<Tag>) -> Self {
+        TagMap { tags }
+    }
+
+    /// The tag of instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn tag(&self, index: usize) -> Tag {
+        self.tags[index]
+    }
+
+    /// Whether instruction `index` is tagged low-reliability.
+    #[must_use]
+    pub fn is_low_reliability(&self, index: usize) -> bool {
+        self.tags[index].is_low_reliability()
+    }
+
+    /// Number of instructions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Iterates over `(index, tag)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Tag)> + '_ {
+        self.tags.iter().copied().enumerate()
+    }
+
+    /// Static tag statistics.
+    #[must_use]
+    pub fn stats(&self) -> TagStats {
+        let mut s = TagStats {
+            total: self.tags.len(),
+            ..TagStats::default()
+        };
+        for t in &self.tags {
+            match t {
+                Tag::LowReliability => s.low_reliability += 1,
+                Tag::Protected(ProtectReason::Control) => s.control += 1,
+                Tag::Protected(ProtectReason::Ineligible) => s.ineligible += 1,
+                Tag::Protected(ProtectReason::NotValueProducing) => s.not_value_producing += 1,
+                Tag::Protected(ProtectReason::NonArithmetic) => s.non_arithmetic += 1,
+            }
+        }
+        s
+    }
+
+    /// The paper's Table 3 metric: the fraction of **dynamic** instruction
+    /// executions that are tagged low-reliability, given per-instruction
+    /// execution counts from a profiled run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec_counts.len()` differs from the tag map length.
+    #[must_use]
+    pub fn dynamic_low_reliability_fraction(&self, exec_counts: &[u64]) -> f64 {
+        assert_eq!(
+            exec_counts.len(),
+            self.tags.len(),
+            "execution counts must cover every instruction"
+        );
+        let mut low = 0u64;
+        let mut total = 0u64;
+        for (t, &c) in self.tags.iter().zip(exec_counts) {
+            total += c;
+            if t.is_low_reliability() {
+                low += c;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            low as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Index<usize> for TagMap {
+    type Output = Tag;
+
+    fn index(&self, index: usize) -> &Tag {
+        &self.tags[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_by_category() {
+        let m = TagMap::new(vec![
+            Tag::LowReliability,
+            Tag::Protected(ProtectReason::Control),
+            Tag::Protected(ProtectReason::Ineligible),
+            Tag::Protected(ProtectReason::NotValueProducing),
+            Tag::LowReliability,
+        ]);
+        let s = m.stats();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.low_reliability, 2);
+        assert_eq!(s.control, 1);
+        assert_eq!(s.ineligible, 1);
+        assert_eq!(s.not_value_producing, 1);
+        assert!((s.low_reliability_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_fraction_weights_by_exec_count() {
+        let m = TagMap::new(vec![Tag::LowReliability, Tag::Protected(ProtectReason::Control)]);
+        // low-rel instruction runs 90 times, protected runs 10 times
+        let f = m.dynamic_low_reliability_fraction(&[90, 10]);
+        assert!((f - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_fraction_empty_run_is_zero() {
+        let m = TagMap::new(vec![Tag::LowReliability]);
+        assert_eq!(m.dynamic_low_reliability_fraction(&[0]), 0.0);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(Tag::LowReliability.to_string(), "low-reliability");
+        assert!(Tag::Protected(ProtectReason::Control)
+            .to_string()
+            .contains("control"));
+    }
+}
+
+/// Renders a tag-annotated disassembly listing of `program`: one line per
+/// instruction with its index, text, and [`Tag`]. This is the human-facing
+/// output of the analysis (what a compiler would emit alongside the tagged
+/// executable).
+///
+/// # Panics
+///
+/// Panics if `tags` does not cover `program` (length mismatch).
+#[must_use]
+pub fn annotate_listing(program: &certa_isa::Program, tags: &TagMap) -> String {
+    use std::fmt::Write as _;
+    assert_eq!(
+        tags.len(),
+        program.code.len(),
+        "tag map must cover the program"
+    );
+    let mut by_index = std::collections::BTreeMap::new();
+    for (name, &idx) in &program.labels {
+        by_index.entry(idx).or_insert_with(Vec::new).push(name.clone());
+    }
+    let mut out = String::new();
+    for (i, instr) in program.code.iter().enumerate() {
+        if let Some(names) = by_index.get(&i) {
+            for n in names {
+                let _ = writeln!(out, "{n}:");
+            }
+        }
+        let marker = if tags.is_low_reliability(i) { "*" } else { " " };
+        let _ = writeln!(out, " {marker} {i:5}  {instr:<28} ; {}", tags.tag(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod annotate_tests {
+    use super::*;
+
+    #[test]
+    fn listing_marks_low_reliability_with_star() {
+        use certa_asm::Asm;
+        use certa_isa::reg::{T0, T1, T2};
+        let mut a = Asm::new();
+        a.func("kernel", true);
+        a.li(T0, 1);
+        a.li(T1, 10);
+        a.label("loop");
+        a.add(T2, T2, T2); // data
+        a.addi(T0, T0, 1); // control
+        a.blt(T0, T1, "loop");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let tags = crate::analyze(&p);
+        let listing = annotate_listing(&p, &tags);
+        assert!(listing.contains("kernel:"));
+        assert!(listing.contains("loop:"));
+        // the data add is starred, the counter is not
+        let data_line = listing.lines().find(|l| l.contains("add $t2")).unwrap();
+        assert!(data_line.trim_start().starts_with('*'));
+        let ctl_line = listing.lines().find(|l| l.contains("addi $t0")).unwrap();
+        assert!(!ctl_line.trim_start().starts_with('*'));
+        assert!(listing.contains("low-reliability"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn listing_rejects_mismatched_tags() {
+        let p = certa_isa::Program {
+            code: vec![certa_isa::Instr::Halt],
+            ..certa_isa::Program::default()
+        };
+        let tags = TagMap::new(Vec::new());
+        let _ = annotate_listing(&p, &tags);
+    }
+}

@@ -1,0 +1,466 @@
+//! Monte-Carlo fault-injection campaigns.
+
+use certa_core::TagMap;
+use certa_isa::Program;
+use certa_sim::{Machine, MachineConfig, Outcome};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::injector::{EligibleCounter, ErrorModel, FaultPlan, Injector, Protection};
+
+/// Something that can be fault-injected: a program plus the harness logic
+/// that stages its input into guest memory and extracts its output.
+///
+/// Implemented by every workload in `certa-workloads`.
+pub trait Target: Sync {
+    /// The program to execute.
+    fn program(&self) -> &Program;
+
+    /// Stages input data into guest memory before a run.
+    fn prepare(&self, machine: &mut Machine<'_>);
+
+    /// Extracts the output bytes after a halted run. `None` means the
+    /// output region was unreadable/malformed (treated as a completed run
+    /// with zero-fidelity output by callers that care).
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>>;
+
+    /// Data memory size required (defaults to 4 MiB).
+    fn mem_size(&self) -> u32 {
+        4 << 20
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of Monte-Carlo trials.
+    pub trials: usize,
+    /// Bit flips injected per trial (the paper's "errors inserted").
+    pub errors: u64,
+    /// Protection regime.
+    pub protection: Protection,
+    /// Base seed; trial `t` uses a seed derived from `(seed, t)`.
+    pub seed: u64,
+    /// Watchdog budget as a multiple of the golden instruction count.
+    pub watchdog_factor: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Value-corruption model (defaults to the paper's single bit flip).
+    pub model: ErrorModel,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials: 100,
+            errors: 1,
+            protection: Protection::On,
+            seed: 0xCE27A,
+            watchdog_factor: 10,
+            threads: 0,
+            model: ErrorModel::default(),
+        }
+    }
+}
+
+/// The fault-free reference run.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// Output captured from the golden run.
+    pub output: Vec<u8>,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Size of the eligible-injection population under the campaign's
+    /// protection regime.
+    pub eligible_population: u64,
+    /// Per-instruction execution counts (for Table 3 dynamic statistics).
+    pub exec_counts: Vec<u64>,
+}
+
+/// One trial's result.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Output bytes, if the run halted and the output region was readable.
+    pub output: Option<Vec<u8>>,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Bit flips actually applied (≤ requested when the run dies early).
+    pub injected: u32,
+}
+
+impl TrialResult {
+    /// Whether this trial ended in one of the paper's catastrophic failures
+    /// (crash or infinite run).
+    #[must_use]
+    pub fn is_catastrophic(&self) -> bool {
+        self.outcome.is_catastrophic()
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The fault-free reference run.
+    pub golden: GoldenRun,
+    /// Per-trial results, in trial order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl CampaignResult {
+    /// Fraction of trials that ended catastrophically (Table 2's
+    /// "% failures").
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        let failures = self.trials.iter().filter(|t| t.is_catastrophic()).count();
+        failures as f64 / self.trials.len() as f64
+    }
+
+    /// Iterates over the outputs of completed (halted) trials.
+    pub fn completed_outputs(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.trials
+            .iter()
+            .filter_map(|t| t.output.as_deref())
+    }
+
+    /// Counts trials by outcome: `(halted, crashed, infinite)`.
+    #[must_use]
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        let mut halted = 0;
+        let mut crashed = 0;
+        let mut infinite = 0;
+        for t in &self.trials {
+            match t.outcome {
+                Outcome::Halted => halted += 1,
+                Outcome::Crashed(_) => crashed += 1,
+                Outcome::InfiniteRun => infinite += 1,
+            }
+        }
+        (halted, crashed, infinite)
+    }
+}
+
+fn trial_seed(base: u64, trial: usize) -> u64 {
+    // SplitMix64 finalizer: decorrelates consecutive trial indices.
+    let mut z = base ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the golden (fault-free) reference for `target`, also measuring the
+/// eligible population under `protection`.
+///
+/// # Panics
+///
+/// Panics if the golden run does not halt cleanly — the guest program itself
+/// is broken, which is a harness bug, not an experimental outcome.
+#[must_use]
+pub fn golden_run(
+    target: &dyn Target,
+    tags: &TagMap,
+    protection: Protection,
+    watchdog: u64,
+) -> GoldenRun {
+    let program = target.program();
+    let config = MachineConfig {
+        mem_size: target.mem_size(),
+        max_instructions: watchdog,
+        profile: true,
+    };
+    let mut machine = Machine::new(program, &config);
+    target.prepare(&mut machine);
+    let mut counter = EligibleCounter::new(program, tags, protection);
+    let result = machine.run(&mut counter);
+    assert_eq!(
+        result.outcome,
+        Outcome::Halted,
+        "golden run must halt cleanly, got {}",
+        result.outcome
+    );
+    let output = target
+        .extract(&machine)
+        .expect("golden run must produce readable output");
+    GoldenRun {
+        output,
+        instructions: result.instructions,
+        eligible_population: counter.count,
+        exec_counts: machine.exec_counts().to_vec(),
+    }
+}
+
+/// Runs a full campaign: golden run, then `config.trials` parallel
+/// fault-injection trials.
+///
+/// # Panics
+///
+/// Panics if the golden run fails (see [`golden_run`]).
+#[must_use]
+pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig) -> CampaignResult {
+    // Large budget for the golden run; the trial watchdog derives from it.
+    let golden = golden_run(target, tags, config.protection, u64::MAX / 2);
+    let watchdog = golden
+        .instructions
+        .saturating_mul(config.watchdog_factor)
+        .max(golden.instructions + 1_000_000);
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    };
+
+    let program = target.program();
+    let machine_config = MachineConfig {
+        mem_size: target.mem_size(),
+        max_instructions: watchdog,
+        profile: false,
+    };
+
+    let run_one = |trial: usize| -> TrialResult {
+        let mut rng = SmallRng::seed_from_u64(trial_seed(config.seed, trial));
+        let plan = FaultPlan::sample(&mut rng, golden.eligible_population, config.errors);
+        let mut machine = Machine::new(program, &machine_config);
+        target.prepare(&mut machine);
+        let mut injector =
+            Injector::with_model(program, tags, config.protection, plan, config.model);
+        let result = machine.run(&mut injector);
+        let output = if result.outcome == Outcome::Halted {
+            target.extract(&machine)
+        } else {
+            None
+        };
+        TrialResult {
+            outcome: result.outcome,
+            output,
+            instructions: result.instructions,
+            injected: injector.injected(),
+        }
+    };
+
+    let trials: Vec<TrialResult> = if threads <= 1 || config.trials <= 1 {
+        (0..config.trials).map(run_one).collect()
+    } else {
+        let mut results: Vec<Option<TrialResult>> = vec![None; config.trials];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let chunks: Vec<&mut [Option<TrialResult>]> = {
+            // Split results into per-index cells via chunks of 1 handed out
+            // dynamically through the atomic counter.
+            results.chunks_mut(1).collect()
+        };
+        let cells: Vec<std::sync::Mutex<&mut [Option<TrialResult>]>> =
+            chunks.into_iter().map(std::sync::Mutex::new).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= config.trials {
+                        break;
+                    }
+                    let r = run_one(t);
+                    let mut cell = cells[t].lock().expect("trial cell poisoned");
+                    cell[0] = Some(r);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        drop(cells);
+        results
+            .into_iter()
+            .map(|r| r.expect("every trial filled"))
+            .collect()
+    };
+
+    CampaignResult { golden, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_core::analyze;
+    use certa_isa::reg::{T0, T1, T2, T3};
+
+    /// A tiny workload: sums an input array of 64 bytes into a 32-bit output.
+    struct SumTarget {
+        program: Program,
+        input_addr: u32,
+        output_addr: u32,
+    }
+
+    impl SumTarget {
+        fn new() -> Self {
+            let mut a = Asm::new();
+            let input_addr = a.data_zero(64);
+            let output_addr = a.data_zero(4);
+            a.func("sum", true);
+            a.la(T0, input_addr);
+            a.li(T1, 0);
+            a.li(T2, 0);
+            a.label("loop");
+            a.add(T3, T0, T1);
+            a.lbu(T3, 0, T3);
+            a.add(T2, T2, T3);
+            a.addi(T1, T1, 1);
+            a.slti(T3, T1, 64);
+            a.bnez(T3, "loop");
+            a.la(T0, output_addr);
+            a.sw(T2, 0, T0);
+            a.ret();
+            a.endfunc();
+            a.func("main", false);
+            a.call("sum");
+            a.halt();
+            a.endfunc();
+            SumTarget {
+                program: a.assemble().unwrap(),
+                input_addr,
+                output_addr,
+            }
+        }
+    }
+
+    impl Target for SumTarget {
+        fn program(&self) -> &Program {
+            &self.program
+        }
+
+        fn prepare(&self, machine: &mut Machine<'_>) {
+            let input: Vec<u8> = (0..64u8).collect();
+            machine.write_bytes(self.input_addr, &input).unwrap();
+        }
+
+        fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+            machine.read_bytes(self.output_addr, 4).ok().map(<[u8]>::to_vec)
+        }
+    }
+
+    #[test]
+    fn golden_run_captures_reference() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let g = golden_run(&t, &tags, Protection::On, 1_000_000);
+        let sum = u32::from_le_bytes(g.output.clone().try_into().unwrap());
+        assert_eq!(sum, (0..64u32).sum::<u32>());
+        assert!(g.eligible_population > 0);
+        assert!(g.instructions > 64 * 6);
+    }
+
+    #[test]
+    fn zero_errors_campaign_matches_golden() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 4,
+            errors: 0,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert_eq!(r.failure_rate(), 0.0);
+        for trial in &r.trials {
+            assert_eq!(trial.output.as_deref(), Some(&r.golden.output[..]));
+            assert_eq!(trial.injected, 0);
+        }
+    }
+
+    #[test]
+    fn protected_campaign_never_crashes_this_kernel() {
+        // With protection on, faults hit only the accumulator chain: outputs
+        // may differ but control never derails.
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 50,
+            errors: 2,
+            protection: Protection::On,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert_eq!(
+            r.failure_rate(),
+            0.0,
+            "protected sum kernel must not fail catastrophically"
+        );
+        // ... and at least one trial should actually corrupt the sum.
+        let corrupted = r
+            .completed_outputs()
+            .filter(|o| *o != &r.golden.output[..])
+            .count();
+        assert!(corrupted > 0, "faults should perturb some outputs");
+    }
+
+    #[test]
+    fn unprotected_campaign_fails_sometimes() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 60,
+            errors: 4,
+            protection: Protection::Off,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert!(
+            r.failure_rate() > 0.0,
+            "unprotected injection into addresses/branches should crash sometimes"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_fixed_seed() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 10,
+            errors: 1,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&t, &tags, &cfg);
+        let b = run_campaign(&t, &tags, &cfg);
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.output, y.output);
+            assert_eq!(x.instructions, y.instructions);
+        }
+    }
+
+    #[test]
+    fn injected_count_matches_errors_when_run_completes() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 8,
+            errors: 3,
+            protection: Protection::On,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        for trial in r.trials.iter().filter(|t| !t.is_catastrophic()) {
+            assert_eq!(trial.injected, 3);
+        }
+    }
+
+    #[test]
+    fn outcome_counts_partition_trials() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 30,
+            errors: 5,
+            protection: Protection::Off,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        let (h, c, i) = r.outcome_counts();
+        assert_eq!(h + c + i, 30);
+    }
+}

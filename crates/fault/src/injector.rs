@@ -1,0 +1,359 @@
+//! The bit-flip injector: a [`WritebackHook`] that tampers with sampled
+//! dynamic executions of eligible instructions.
+
+use std::collections::HashMap;
+
+use certa_core::TagMap;
+use certa_isa::Program;
+use certa_sim::WritebackHook;
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+/// Whether the static analysis' protection is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Inject only into instructions tagged low-reliability (protected run).
+    On,
+    /// Inject into any value-producing instruction (unprotected baseline).
+    Off,
+}
+
+/// The kind of value corruption applied at an injection point.
+///
+/// The paper studies [`ErrorModel::SingleBitFlip`]; the other models are
+/// provided as extensions for studying correlated upsets and latched
+/// faults with the same campaign machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ErrorModel {
+    /// XOR one uniformly chosen bit (the paper's soft-error model).
+    #[default]
+    SingleBitFlip,
+    /// XOR two adjacent bits (a correlated double upset).
+    AdjacentDoubleBitFlip,
+    /// Clear one uniformly chosen bit (stuck-at-0 on the latched result).
+    StuckAtZero,
+    /// Set one uniformly chosen bit (stuck-at-1 on the latched result).
+    StuckAtOne,
+}
+
+impl ErrorModel {
+    /// Applies the model to a 32-bit integer result at `bit % 32`.
+    #[inline]
+    #[must_use]
+    pub fn apply_u32(self, value: u32, bit: u8) -> u32 {
+        let m = 1u32 << (bit % 32);
+        match self {
+            ErrorModel::SingleBitFlip => value ^ m,
+            ErrorModel::AdjacentDoubleBitFlip => value ^ m ^ m.rotate_left(1),
+            ErrorModel::StuckAtZero => value & !m,
+            ErrorModel::StuckAtOne => value | m,
+        }
+    }
+
+    /// Applies the model to a 64-bit float result at `bit % 64`.
+    #[inline]
+    #[must_use]
+    pub fn apply_f64(self, value: f64, bit: u8) -> f64 {
+        let bits = value.to_bits();
+        let m = 1u64 << (bit % 64);
+        let new = match self {
+            ErrorModel::SingleBitFlip => bits ^ m,
+            ErrorModel::AdjacentDoubleBitFlip => bits ^ m ^ m.rotate_left(1),
+            ErrorModel::StuckAtZero => bits & !m,
+            ErrorModel::StuckAtOne => bits | m,
+        };
+        f64::from_bits(new)
+    }
+}
+
+/// A per-trial injection plan: which eligible dynamic executions receive a
+/// flip, and which bit position is flipped.
+///
+/// Bit positions are sampled in `0..64`; integer writebacks use the position
+/// modulo 32, which keeps the per-bit distribution uniform.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    flips: HashMap<u64, u8>,
+}
+
+impl FaultPlan {
+    /// Samples a plan with `errors` distinct injection points uniformly
+    /// distributed over a population of `eligible` dynamic executions.
+    ///
+    /// If `errors` exceeds the population, every execution receives a flip.
+    pub fn sample<R: Rng>(rng: &mut R, eligible: u64, errors: u64) -> Self {
+        let mut flips = HashMap::new();
+        if eligible == 0 || errors == 0 {
+            return FaultPlan { flips };
+        }
+        let errors = errors.min(eligible);
+        // `index_sample` works on usize; the eligible populations in this
+        // study are far below usize::MAX.
+        let picks = index_sample(rng, eligible as usize, errors as usize);
+        for p in picks {
+            flips.insert(p as u64, rng.gen_range(0..64u8));
+        }
+        FaultPlan { flips }
+    }
+
+    /// Builds a plan from explicit `(execution index, bit)` pairs (tests and
+    /// targeted experiments).
+    #[must_use]
+    pub fn from_pairs(pairs: &[(u64, u8)]) -> Self {
+        FaultPlan {
+            flips: pairs.iter().copied().collect(),
+        }
+    }
+
+    /// Number of planned flips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Whether the plan contains no flips.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    #[inline]
+    fn bit_for(&self, exec_index: u64) -> Option<u8> {
+        self.flips.get(&exec_index).copied()
+    }
+}
+
+/// The [`WritebackHook`] that applies a [`FaultPlan`] during simulation.
+///
+/// Counts eligible writebacks as they happen; when the count matches a
+/// planned injection point the destination value has one bit flipped before
+/// it is written to the register file. Corruption then propagates naturally
+/// through dependent instructions, as in the paper.
+#[derive(Debug)]
+pub struct Injector {
+    eligible: EligibleSet,
+    plan: FaultPlan,
+    model: ErrorModel,
+    seen: u64,
+    injected: u32,
+}
+
+#[derive(Debug)]
+enum EligibleSet {
+    /// Protection on: the boolean per instruction is `tag == LowReliability`.
+    Tagged(Vec<bool>),
+    /// Protection off: every value-producing writeback is eligible.
+    All,
+}
+
+impl Injector {
+    /// Creates an injector for `program` under the given protection regime
+    /// with the paper's single-bit-flip model.
+    #[must_use]
+    pub fn new(
+        program: &Program,
+        tags: &TagMap,
+        protection: Protection,
+        plan: FaultPlan,
+    ) -> Injector {
+        Self::with_model(program, tags, protection, plan, ErrorModel::SingleBitFlip)
+    }
+
+    /// Creates an injector with an explicit [`ErrorModel`].
+    #[must_use]
+    pub fn with_model(
+        program: &Program,
+        tags: &TagMap,
+        protection: Protection,
+        plan: FaultPlan,
+        model: ErrorModel,
+    ) -> Injector {
+        let eligible = match protection {
+            Protection::On => {
+                EligibleSet::Tagged((0..program.code.len()).map(|i| tags.is_low_reliability(i)).collect())
+            }
+            Protection::Off => EligibleSet::All,
+        };
+        Injector {
+            eligible,
+            plan,
+            model,
+            seen: 0,
+            injected: 0,
+        }
+    }
+
+    /// Number of eligible writebacks observed so far.
+    #[must_use]
+    pub fn eligible_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of bit flips actually applied so far.
+    #[must_use]
+    pub fn injected(&self) -> u32 {
+        self.injected
+    }
+
+    #[inline]
+    fn is_eligible(&self, instr_index: usize) -> bool {
+        match &self.eligible {
+            EligibleSet::Tagged(set) => set[instr_index],
+            EligibleSet::All => true,
+        }
+    }
+
+    #[inline]
+    fn next_bit(&mut self, instr_index: usize) -> Option<u8> {
+        if !self.is_eligible(instr_index) {
+            return None;
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        let bit = self.plan.bit_for(idx)?;
+        self.injected += 1;
+        Some(bit)
+    }
+}
+
+impl WritebackHook for Injector {
+    #[inline]
+    fn int_writeback(&mut self, instr_index: usize, value: u32) -> u32 {
+        match self.next_bit(instr_index) {
+            Some(bit) => self.model.apply_u32(value, bit),
+            None => value,
+        }
+    }
+
+    #[inline]
+    fn float_writeback(&mut self, instr_index: usize, value: f64) -> f64 {
+        match self.next_bit(instr_index) {
+            Some(bit) => self.model.apply_f64(value, bit),
+            None => value,
+        }
+    }
+}
+
+/// Counts eligible writebacks without injecting (used to size the population
+/// for plan sampling when exec-count profiling is unavailable).
+#[derive(Debug)]
+pub(crate) struct EligibleCounter {
+    eligible: Vec<bool>,
+    pub(crate) count: u64,
+}
+
+impl EligibleCounter {
+    pub(crate) fn new(program: &Program, tags: &TagMap, protection: Protection) -> Self {
+        let eligible = match protection {
+            Protection::On => (0..program.code.len())
+                .map(|i| tags.is_low_reliability(i))
+                .collect(),
+            Protection::Off => vec![true; program.code.len()],
+        };
+        EligibleCounter { eligible, count: 0 }
+    }
+}
+
+impl WritebackHook for EligibleCounter {
+    #[inline]
+    fn int_writeback(&mut self, instr_index: usize, value: u32) -> u32 {
+        self.count += u64::from(self.eligible[instr_index]);
+        value
+    }
+
+    #[inline]
+    fn float_writeback(&mut self, instr_index: usize, value: f64) -> f64 {
+        self.count += u64::from(self.eligible[instr_index]);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_sampling_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let plan = FaultPlan::sample(&mut rng, 1000, 10);
+        assert_eq!(plan.len(), 10);
+        let plan = FaultPlan::sample(&mut rng, 5, 10);
+        assert_eq!(plan.len(), 5, "errors capped at population");
+        let plan = FaultPlan::sample(&mut rng, 0, 10);
+        assert!(plan.is_empty());
+        let plan = FaultPlan::sample(&mut rng, 100, 0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn plan_indices_within_population() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let plan = FaultPlan::sample(&mut rng, 50, 20);
+        for (&idx, &bit) in &plan.flips {
+            assert!(idx < 50);
+            assert!(bit < 64);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = FaultPlan::sample(&mut SmallRng::seed_from_u64(9), 1000, 5);
+        let b = FaultPlan::sample(&mut SmallRng::seed_from_u64(9), 1000, 5);
+        assert_eq!(a.flips, b.flips);
+    }
+
+    #[test]
+    fn error_models_apply_correctly() {
+        assert_eq!(ErrorModel::SingleBitFlip.apply_u32(0b1000, 3), 0);
+        assert_eq!(ErrorModel::SingleBitFlip.apply_u32(0, 3), 0b1000);
+        assert_eq!(ErrorModel::AdjacentDoubleBitFlip.apply_u32(0, 3), 0b11000);
+        // double flip at the top bit wraps to bit 0
+        assert_eq!(
+            ErrorModel::AdjacentDoubleBitFlip.apply_u32(0, 31),
+            0x8000_0001
+        );
+        assert_eq!(ErrorModel::StuckAtZero.apply_u32(0xFF, 0), 0xFE);
+        assert_eq!(ErrorModel::StuckAtZero.apply_u32(0xFE, 0), 0xFE, "idempotent");
+        assert_eq!(ErrorModel::StuckAtOne.apply_u32(0, 4), 0x10);
+        assert_eq!(ErrorModel::StuckAtOne.apply_u32(0x10, 4), 0x10, "idempotent");
+        // float: flipping the same bit twice restores the value
+        let v = 1234.5678f64;
+        let once = ErrorModel::SingleBitFlip.apply_f64(v, 17);
+        let twice = ErrorModel::SingleBitFlip.apply_f64(once, 17);
+        assert_eq!(twice.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn stuck_at_models_are_idempotent_for_all_bits() {
+        for bit in 0..32u8 {
+            for value in [0u32, u32::MAX, 0xDEAD_BEEF] {
+                let z = ErrorModel::StuckAtZero.apply_u32(value, bit);
+                assert_eq!(ErrorModel::StuckAtZero.apply_u32(z, bit), z);
+                let o = ErrorModel::StuckAtOne.apply_u32(value, bit);
+                assert_eq!(ErrorModel::StuckAtOne.apply_u32(o, bit), o);
+            }
+        }
+    }
+
+    #[test]
+    fn uniformity_over_population() {
+        // Chi-square-ish sanity: over many samples, each of 10 slots should
+        // be hit roughly equally.
+        let mut counts = [0u32; 10];
+        for seed in 0..4000 {
+            let plan = FaultPlan::sample(&mut SmallRng::seed_from_u64(seed), 10, 1);
+            for &idx in plan.flips.keys() {
+                counts[idx as usize] += 1;
+            }
+        }
+        let expected = 400.0;
+        for &c in &counts {
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.25,
+                "slot count {c} deviates too far from {expected}: {counts:?}"
+            );
+        }
+    }
+}

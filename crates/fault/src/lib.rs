@@ -1,0 +1,38 @@
+//! # certa-fault
+//!
+//! The fault-injection engine reproducing the paper's methodology (§4):
+//!
+//! > *"We flip a bit in the result of an instruction that was tagged as not
+//! > influencing a control decision. \[...\] Single bit-flip errors were
+//! > randomly inserted with a uniform distribution. Once an error was
+//! > introduced in any instruction, it would propagate to all dependent
+//! > instructions."*
+//!
+//! A **campaign** first performs a fault-free *golden run* (capturing the
+//! reference output, the dynamic instruction count, and the eligible
+//! injection population), then executes Monte-Carlo trials: each trial
+//! uniformly samples `errors` distinct dynamic executions of *eligible*
+//! instructions and XORs one uniformly-chosen bit into each sampled result.
+//!
+//! Eligibility depends on [`Protection`]:
+//!
+//! * [`Protection::On`] — only instructions tagged
+//!   [`certa_core::Tag::LowReliability`] by the static analysis receive
+//!   faults (everything else is assumed protected by redundancy, per the
+//!   paper).
+//! * [`Protection::Off`] — every value-producing instruction is fair game
+//!   (the unprotected baseline of Table 2).
+//!
+//! Trials run in parallel with deterministic per-trial seeds, and each run
+//! is bounded by a watchdog of `watchdog_factor ×` the golden instruction
+//! count; runs that exceed it are the paper's "infinite execution" failures.
+
+mod campaign;
+mod injector;
+mod stats;
+
+pub use campaign::{
+    golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenRun, Target, TrialResult,
+};
+pub use injector::{ErrorModel, FaultPlan, Injector, Protection};
+pub use stats::{mean, proportion_ci95, stddev};

@@ -1,0 +1,81 @@
+//! Small statistics helpers for campaign post-processing.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Returns 0.0 for fewer than
+/// two values.
+#[must_use]
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// 95% Wilson score interval for a binomial proportion: returns
+/// `(lower, upper)` for `successes` out of `n`.
+///
+/// Used to attach confidence intervals to campaign failure rates.
+#[must_use]
+pub fn proportion_ci95(successes: usize, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_984_540_054_f64;
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138_089_935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        for (k, n) in [(0usize, 10usize), (5, 10), (10, 10), (1, 1000)] {
+            let (lo, hi) = proportion_ci95(k, n);
+            let p = k as f64 / n as f64;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "({k},{n}): {lo} {p} {hi}");
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_n() {
+        let (lo1, hi1) = proportion_ci95(5, 10);
+        let (lo2, hi2) = proportion_ci95(500, 1000);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn wilson_empty_sample() {
+        assert_eq!(proportion_ci95(0, 0), (0.0, 1.0));
+    }
+}

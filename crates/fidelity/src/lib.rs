@@ -1,0 +1,223 @@
+//! # certa-fidelity
+//!
+//! Application-specific fidelity measures (paper §2, Table 1). Each
+//! benchmark in the study defines "some sort of distance from the optimal
+//! solution"; this crate implements those distances:
+//!
+//! | Application | Measure | Function |
+//! |---|---|---|
+//! | Susan | PSNR of edge map vs. fault-free edge map | [`psnr`] |
+//! | MPEG  | % frames whose SNR loss exceeds the per-type threshold | [`mpeg::bad_frame_fraction`] |
+//! | MCF   | schedule validity/optimality | [`schedule::ScheduleFidelity`] |
+//! | Blowfish | % bytes matching the original plaintext | [`byte_similarity`] |
+//! | ADPCM | % similarity of decoded output | [`byte_similarity`] |
+//! | GSM   | SNR difference of decoded speech | [`snr_db`] / [`snr_loss_db`] |
+//! | ART   | confidence-of-match error | [`confidence_error`] |
+//!
+//! All functions are pure and dependency-free.
+
+pub mod mpeg;
+pub mod schedule;
+
+/// Peak signal-to-noise ratio in dB between two equal-length 8-bit images.
+///
+/// Returns `f64::INFINITY` for identical inputs. This is the measure the
+/// paper obtains from Imagemagick for Susan (threshold: 10 dB).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// let a = vec![10u8; 64];
+/// let mut b = a.clone();
+/// assert!(certa_fidelity::psnr(&a, &b).is_infinite());
+/// b[0] = 11;
+/// assert!(certa_fidelity::psnr(&a, &b) > 40.0);
+/// ```
+#[must_use]
+pub fn psnr(reference: &[u8], test: &[u8]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "image sizes must match");
+    assert!(!reference.is_empty(), "images must be non-empty");
+    let mse: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / mse).log10()
+    }
+}
+
+/// Signal-to-noise ratio in dB of `test` against `reference` for 16-bit PCM
+/// samples: `10·log10(Σ ref² / Σ (ref−test)²)`.
+///
+/// Returns `f64::INFINITY` for identical inputs and `f64::NEG_INFINITY` when
+/// the reference is all-zero but the test is not.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn snr_db(reference: &[i16], test: &[i16]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "sample counts must match");
+    assert!(!reference.is_empty(), "signals must be non-empty");
+    let mut signal = 0.0f64;
+    let mut noise = 0.0f64;
+    for (&r, &t) in reference.iter().zip(test) {
+        let rf = f64::from(r);
+        signal += rf * rf;
+        let d = rf - f64::from(t);
+        noise += d * d;
+    }
+    if noise == 0.0 {
+        f64::INFINITY
+    } else if signal == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// The GSM measure: SNR *loss* in dB of the faulty decode relative to the
+/// fault-free decode, both measured against the original source signal.
+///
+/// The paper deems voice "recognizable" up to a 6 dB loss.
+///
+/// # Panics
+///
+/// Panics if lengths differ or signals are empty.
+#[must_use]
+pub fn snr_loss_db(source: &[i16], golden_decode: &[i16], faulty_decode: &[i16]) -> f64 {
+    let golden_snr = snr_db(source, golden_decode);
+    let faulty_snr = snr_db(source, faulty_decode);
+    if golden_snr.is_infinite() && faulty_snr.is_infinite() {
+        0.0
+    } else {
+        (golden_snr - faulty_snr).max(0.0)
+    }
+}
+
+/// Fraction of positions whose bytes match, over `max(len_a, len_b)`
+/// positions (missing bytes count as mismatches). The Blowfish and ADPCM
+/// measure.
+///
+/// Returns 1.0 when both inputs are empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(certa_fidelity::byte_similarity(b"abcd", b"abcd"), 1.0);
+/// assert_eq!(certa_fidelity::byte_similarity(b"abcd", b"abXd"), 0.75);
+/// assert_eq!(certa_fidelity::byte_similarity(b"abcd", b"ab"), 0.5);
+/// ```
+#[must_use]
+pub fn byte_similarity(a: &[u8], b: &[u8]) -> f64 {
+    let total = a.len().max(b.len());
+    if total == 0 {
+        return 1.0;
+    }
+    let matches = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    matches as f64 / total as f64
+}
+
+/// The ART measure: absolute error between fault-free and faulty match
+/// confidence, normalized by the fault-free confidence magnitude.
+///
+/// Returns 0.0 when both are equal, and 1.0-scale values for large
+/// divergences.
+#[must_use]
+pub fn confidence_error(golden: f64, faulty: f64) -> f64 {
+    if golden == faulty {
+        return 0.0;
+    }
+    let scale = golden.abs().max(1e-12);
+    (golden - faulty).abs() / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        assert!(psnr(&[1, 2, 3], &[1, 2, 3]).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_error_magnitude() {
+        let reference = vec![128u8; 256];
+        let mut small = reference.clone();
+        small[0] = 129;
+        let mut large = reference.clone();
+        large[0] = 255;
+        assert!(psnr(&reference, &small) > psnr(&reference, &large));
+    }
+
+    #[test]
+    fn psnr_worst_case() {
+        let a = vec![0u8; 16];
+        let b = vec![255u8; 16];
+        assert!((psnr(&a, &b) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must match")]
+    fn psnr_length_mismatch_panics() {
+        let _ = psnr(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn snr_identical_is_infinite() {
+        assert!(snr_db(&[100, -50], &[100, -50]).is_infinite());
+    }
+
+    #[test]
+    fn snr_known_value() {
+        // signal [10,0], test [11,0]: SNR = 10*log10(100/1) = 20 dB
+        let s = snr_db(&[10, 0], &[11, 0]);
+        assert!((s - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_zero_reference() {
+        assert_eq!(snr_db(&[0, 0], &[1, 0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn snr_loss_zero_for_equal_decodes() {
+        let src = vec![100i16, -100, 50];
+        let dec = vec![90i16, -95, 55];
+        assert_eq!(snr_loss_db(&src, &dec, &dec), 0.0);
+    }
+
+    #[test]
+    fn snr_loss_positive_for_degraded_decode() {
+        let src: Vec<i16> = (0..64).map(|i| (f64::from(i) * 0.3).sin() as i16 * 100 + 500).collect();
+        let golden: Vec<i16> = src.iter().map(|&s| s + 5).collect();
+        let faulty: Vec<i16> = src.iter().map(|&s| s + 50).collect();
+        assert!(snr_loss_db(&src, &golden, &faulty) > 0.0);
+    }
+
+    #[test]
+    fn byte_similarity_edge_cases() {
+        assert_eq!(byte_similarity(b"", b""), 1.0);
+        assert_eq!(byte_similarity(b"", b"xy"), 0.0);
+        assert_eq!(byte_similarity(b"xyz", b"xyz"), 1.0);
+    }
+
+    #[test]
+    fn confidence_error_scales() {
+        assert_eq!(confidence_error(0.8, 0.8), 0.0);
+        assert!((confidence_error(0.8, 0.4) - 0.5).abs() < 1e-12);
+        assert!(confidence_error(0.0, 0.5) > 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! MPEG frame-quality classification (paper §2).
+//!
+//! > *"A frame is considered bad if the SNR value compared to the correct
+//! > frame is more than 2 dB for I frames, 4 dB for P frames and 6 dB for B
+//! > frames. The fidelity threshold, or the acceptable quality for viewers,
+//! > is 10% of bad frames."*
+//!
+//! We interpret "SNR value compared to the correct frame" as the **loss**
+//! in reconstruction SNR: each frame of the faulty reconstruction is
+//! compared against the source frame, and the drop relative to the
+//! fault-free reconstruction's SNR must stay within the per-type budget.
+
+/// MPEG frame types in decreasing order of importance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra-coded frame: decodable alone; losses are most visible.
+    I,
+    /// Predicted frame.
+    P,
+    /// Bidirectionally predicted frame; losses are least visible.
+    B,
+}
+
+impl FrameType {
+    /// Maximum tolerated SNR loss in dB for this frame type (paper §2).
+    #[must_use]
+    pub fn loss_threshold_db(self) -> f64 {
+        match self {
+            FrameType::I => 2.0,
+            FrameType::P => 4.0,
+            FrameType::B => 6.0,
+        }
+    }
+
+    /// One-letter name.
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            FrameType::I => 'I',
+            FrameType::P => 'P',
+            FrameType::B => 'B',
+        }
+    }
+}
+
+/// The paper's viewer-acceptability threshold: at most 10% bad frames.
+pub const BAD_FRAME_THRESHOLD: f64 = 0.10;
+
+/// One frame of 8-bit pixels with its coding type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame type (I/P/B).
+    pub kind: FrameType,
+    /// Row-major 8-bit pixels.
+    pub pixels: Vec<u8>,
+}
+
+/// SNR in dB of a decoded frame against its source frame (pixel domain).
+///
+/// # Panics
+///
+/// Panics if the frames differ in size or are empty.
+#[must_use]
+pub fn frame_snr_db(source: &[u8], decoded: &[u8]) -> f64 {
+    assert_eq!(source.len(), decoded.len(), "frame sizes must match");
+    assert!(!source.is_empty(), "frames must be non-empty");
+    let mut signal = 0.0f64;
+    let mut noise = 0.0f64;
+    for (&s, &d) in source.iter().zip(decoded) {
+        let sf = f64::from(s);
+        signal += sf * sf;
+        let df = sf - f64::from(d);
+        noise += df * df;
+    }
+    if noise == 0.0 {
+        f64::INFINITY
+    } else if signal == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Classifies each faulty frame as good/bad and returns the fraction of bad
+/// frames (the paper's MPEG fidelity measure).
+///
+/// For every frame `i`, the SNR of `faulty[i]` and of `golden[i]` against
+/// `source[i]` are compared; the frame is **bad** if the loss exceeds the
+/// type's threshold ([`FrameType::loss_threshold_db`]).
+///
+/// # Panics
+///
+/// Panics if the three sequences differ in length or any frame pair differs
+/// in size.
+#[must_use]
+pub fn bad_frame_fraction(source: &[Frame], golden: &[Frame], faulty: &[Frame]) -> f64 {
+    assert_eq!(source.len(), golden.len(), "frame counts must match");
+    assert_eq!(source.len(), faulty.len(), "frame counts must match");
+    if source.is_empty() {
+        return 0.0;
+    }
+    let mut bad = 0usize;
+    for ((s, g), f) in source.iter().zip(golden).zip(faulty) {
+        let golden_snr = frame_snr_db(&s.pixels, &g.pixels);
+        let faulty_snr = frame_snr_db(&s.pixels, &f.pixels);
+        let loss = match (golden_snr.is_infinite(), faulty_snr.is_infinite()) {
+            (true, true) => 0.0,
+            (true, false) => f64::INFINITY,
+            _ => (golden_snr - faulty_snr).max(0.0),
+        };
+        if loss > g.kind.loss_threshold_db() {
+            bad += 1;
+        }
+    }
+    bad as f64 / source.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(kind: FrameType, pixels: Vec<u8>) -> Frame {
+        Frame { kind, pixels }
+    }
+
+    #[test]
+    fn identical_reconstruction_has_no_bad_frames() {
+        let src = vec![frame(FrameType::I, vec![100; 64])];
+        let rec = src.clone();
+        assert_eq!(bad_frame_fraction(&src, &rec, &rec), 0.0);
+    }
+
+    #[test]
+    fn thresholds_ordered_by_importance() {
+        assert!(FrameType::I.loss_threshold_db() < FrameType::P.loss_threshold_db());
+        assert!(FrameType::P.loss_threshold_db() < FrameType::B.loss_threshold_db());
+    }
+
+    #[test]
+    fn heavy_corruption_marks_frame_bad() {
+        let src = vec![frame(FrameType::I, vec![100; 64])];
+        let golden = vec![frame(FrameType::I, vec![101; 64])]; // ~high SNR
+        let faulty = vec![frame(FrameType::I, vec![200; 64])]; // terrible
+        assert_eq!(bad_frame_fraction(&src, &golden, &faulty), 1.0);
+    }
+
+    #[test]
+    fn b_frames_tolerate_more_loss_than_i_frames() {
+        // Construct a corruption producing ~5 dB loss: bad for I (2 dB
+        // budget), fine for B (6 dB budget).
+        let src: Vec<u8> = (0..64).map(|i| 100 + (i % 32) as u8).collect();
+        let golden: Vec<u8> = src.iter().map(|&p| p + 2).collect();
+        let noisy: Vec<u8> = src.iter().map(|&p| p.wrapping_add(3)).collect();
+        let loss = frame_snr_db(&src, &golden) - frame_snr_db(&src, &noisy);
+        assert!(loss > 2.0 && loss < 6.0, "constructed loss was {loss} dB");
+
+        let s = vec![frame(FrameType::I, src.clone()), frame(FrameType::B, src.clone())];
+        let g = vec![
+            frame(FrameType::I, golden.clone()),
+            frame(FrameType::B, golden.clone()),
+        ];
+        let f = vec![frame(FrameType::I, noisy.clone()), frame(FrameType::B, noisy)];
+        let bad = bad_frame_fraction(&s, &g, &f);
+        assert!((bad - 0.5).abs() < 1e-12, "only the I frame should be bad");
+    }
+
+    #[test]
+    fn frame_snr_known_value() {
+        // all-128 source vs all-129: SNR = 10log10(128^2/1)
+        let snr = frame_snr_db(&[128; 16], &[129; 16]);
+        assert!((snr - 10.0 * (128.0f64 * 128.0).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(FrameType::I.letter(), 'I');
+        assert_eq!(FrameType::P.letter(), 'P');
+        assert_eq!(FrameType::B.letter(), 'B');
+    }
+}

@@ -1,0 +1,198 @@
+//! MCF schedule fidelity (paper §2, §5.2).
+//!
+//! The paper measures MCF by comparing the faulty run's schedule to the
+//! optimal one; failed runs were "not just inoptimal, but incomplete", i.e.
+//! a user could tell immediately that a rerun was needed. Accordingly a
+//! schedule is judged on three levels: did it parse, is it a *valid*
+//! flow/assignment, and does it achieve the optimal cost.
+
+/// A decoded vehicle schedule: per-timetabled-trip vehicle assignments plus
+/// the reported total cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `assignment[t]` = vehicle (or chain id) serving trip `t`.
+    pub assignment: Vec<u32>,
+    /// Total cost reported by the solver.
+    pub cost: i64,
+}
+
+impl Schedule {
+    /// Decodes the guest's output format: `cost:i64` (little-endian, 8
+    /// bytes) followed by `n` little-endian `u32` assignments.
+    ///
+    /// Returns `None` if the buffer is too short or malformed.
+    #[must_use]
+    pub fn decode(bytes: &[u8], trips: usize) -> Option<Self> {
+        let need = 8 + trips * 4;
+        if bytes.len() < need {
+            return None;
+        }
+        let cost = i64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let mut assignment = Vec::with_capacity(trips);
+        for t in 0..trips {
+            let off = 8 + t * 4;
+            assignment.push(u32::from_le_bytes(bytes[off..off + 4].try_into().ok()?));
+        }
+        Some(Schedule { assignment, cost })
+    }
+
+    /// Encodes in the guest's output format (used by golden references and
+    /// tests).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.assignment.len() * 4);
+        out.extend_from_slice(&self.cost.to_le_bytes());
+        for &a in &self.assignment {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// The three-level MCF fidelity verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleFidelity {
+    /// Output parsed, every trip is covered by a real vehicle, and the cost
+    /// equals the optimum.
+    Optimal,
+    /// Valid assignment but with a higher-than-optimal cost.
+    Suboptimal {
+        /// Percentage of extra cost over the optimum (rounded down).
+        extra_cost_percent: u32,
+    },
+    /// The output is visibly broken (unparseable, uncovered trips, vehicle
+    /// ids out of range, or a nonsensical cost) — the paper's "noticeably
+    /// incorrect ... incomplete" schedules.
+    Incomplete,
+}
+
+/// Judges a faulty schedule against the golden (optimal) one.
+///
+/// `vehicles` is the number of vehicles available; assignments outside
+/// `0..vehicles` mark the schedule incomplete.
+#[must_use]
+pub fn judge(golden: &Schedule, faulty: Option<&Schedule>, vehicles: u32) -> ScheduleFidelity {
+    let Some(s) = faulty else {
+        return ScheduleFidelity::Incomplete;
+    };
+    if s.assignment.len() != golden.assignment.len() {
+        return ScheduleFidelity::Incomplete;
+    }
+    if s.assignment.iter().any(|&v| v >= vehicles) {
+        return ScheduleFidelity::Incomplete;
+    }
+    if s.cost < 0 || s.cost > golden.cost.saturating_mul(1000) {
+        return ScheduleFidelity::Incomplete;
+    }
+    if s.cost == golden.cost && s.assignment == golden.assignment {
+        return ScheduleFidelity::Optimal;
+    }
+    if s.cost == golden.cost {
+        // Equal-cost alternative optimum still counts as optimal.
+        return ScheduleFidelity::Optimal;
+    }
+    if s.cost < golden.cost {
+        // Claims better-than-optimal cost: impossible, so corrupted.
+        return ScheduleFidelity::Incomplete;
+    }
+    let extra = (s.cost - golden.cost) as f64 / golden.cost.max(1) as f64 * 100.0;
+    ScheduleFidelity::Suboptimal {
+        extra_cost_percent: extra as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden() -> Schedule {
+        Schedule {
+            assignment: vec![0, 1, 0, 2],
+            cost: 100,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let g = golden();
+        let bytes = g.encode();
+        let d = Schedule::decode(&bytes, 4).unwrap();
+        assert_eq!(d, g);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(Schedule::decode(&[0u8; 10], 4).is_none());
+    }
+
+    #[test]
+    fn identical_schedule_is_optimal() {
+        let g = golden();
+        assert_eq!(judge(&g, Some(&g), 3), ScheduleFidelity::Optimal);
+    }
+
+    #[test]
+    fn equal_cost_alternative_is_optimal() {
+        let g = golden();
+        let alt = Schedule {
+            assignment: vec![1, 0, 1, 2],
+            cost: 100,
+        };
+        assert_eq!(judge(&g, Some(&alt), 3), ScheduleFidelity::Optimal);
+    }
+
+    #[test]
+    fn higher_cost_is_suboptimal_with_percent() {
+        let g = golden();
+        let s = Schedule {
+            assignment: vec![0, 1, 0, 2],
+            cost: 125,
+        };
+        assert_eq!(
+            judge(&g, Some(&s), 3),
+            ScheduleFidelity::Suboptimal {
+                extra_cost_percent: 25
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_vehicle_is_incomplete() {
+        let g = golden();
+        let s = Schedule {
+            assignment: vec![0, 99, 0, 2],
+            cost: 100,
+        };
+        assert_eq!(judge(&g, Some(&s), 3), ScheduleFidelity::Incomplete);
+    }
+
+    #[test]
+    fn impossible_cost_is_incomplete() {
+        let g = golden();
+        let cheaper = Schedule {
+            assignment: vec![0, 1, 0, 2],
+            cost: 10,
+        };
+        assert_eq!(judge(&g, Some(&cheaper), 3), ScheduleFidelity::Incomplete);
+        let absurd = Schedule {
+            assignment: vec![0, 1, 0, 2],
+            cost: i64::MAX,
+        };
+        assert_eq!(judge(&g, Some(&absurd), 3), ScheduleFidelity::Incomplete);
+    }
+
+    #[test]
+    fn missing_output_is_incomplete() {
+        assert_eq!(judge(&golden(), None, 3), ScheduleFidelity::Incomplete);
+    }
+
+    #[test]
+    fn wrong_length_is_incomplete() {
+        let g = golden();
+        let s = Schedule {
+            assignment: vec![0, 1],
+            cost: 100,
+        };
+        assert_eq!(judge(&g, Some(&s), 3), ScheduleFidelity::Incomplete);
+    }
+}

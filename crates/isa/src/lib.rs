@@ -1,0 +1,37 @@
+//! # certa-isa
+//!
+//! The instruction set architecture shared by every crate in the `certa`
+//! workspace: a small MIPS-like, three-address RISC with 32 integer and 32
+//! floating-point registers, byte-addressed little-endian data memory, and a
+//! Harvard-style instruction store (the program counter indexes instructions,
+//! not bytes).
+//!
+//! The ISA is designed to support the IISWC 2006 study *"Characterization of
+//! Error-Tolerant Applications when Protecting Control Data"*: every
+//! instruction exposes its **definition** (the register it writes) and its
+//! **uses** classified as *data*, *address*, or *control* operands, which is
+//! exactly the information the paper's backward CVar dataflow analysis
+//! consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use certa_isa::{Instr, AluOp, reg};
+//!
+//! let add = Instr::Alu { op: AluOp::Add, rd: reg::T0, rs: reg::T1, rt: reg::T2 };
+//! assert_eq!(add.def(), Some(certa_isa::RegRef::Int(reg::T0)));
+//! assert_eq!(add.to_string(), "add $t0, $t1, $t2");
+//! ```
+
+mod instr;
+mod program;
+mod register;
+
+pub use instr::{AluOp, CmpOp, FCmpOp, FpuOp, Instr, MemWidth, RegRef, UseKind};
+pub use program::{FuncMeta, Program, ProgramError};
+pub use register::{reg, FReg, Reg, RegParseError};
+
+/// Number of integer registers in the architecture.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point registers in the architecture.
+pub const NUM_FLOAT_REGS: usize = 32;

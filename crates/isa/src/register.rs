@@ -1,0 +1,281 @@
+//! Integer and floating-point register names.
+//!
+//! Registers follow the classic MIPS o32 conventions: `$zero` is hardwired to
+//! zero, `$v0`/`$v1` carry return values, `$a0`–`$a3` carry arguments,
+//! `$t0`–`$t9` are caller-saved temporaries, `$s0`–`$s7` are callee-saved,
+//! `$sp` is the stack pointer and `$ra` the return address.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An integer register (`$0` – `$31`).
+///
+/// `Reg(0)` (`$zero`) always reads as zero; writes to it are discarded by the
+/// simulator.
+///
+/// ```
+/// use certa_isa::{reg, Reg};
+/// assert_eq!(reg::SP.index(), 29);
+/// assert_eq!("$t3".parse::<Reg>().unwrap(), reg::T3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// A floating-point register (`$f0` – `$f31`) holding an IEEE-754 `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "integer register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index (0–31).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `$zero`.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Conventional MIPS name (e.g. `$t0`, `$sp`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        REG_NAMES[self.0 as usize]
+    }
+}
+
+impl FReg {
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "float register index out of range");
+        FReg(index)
+    }
+
+    /// The register's index (0–31).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const REG_NAMES: [&str; 32] = [
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3", "$t4",
+    "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7", "$t8", "$t9",
+    "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError(pub String);
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+impl FromStr for Reg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(pos) = REG_NAMES.iter().position(|n| *n == s) {
+            return Ok(Reg(pos as u8));
+        }
+        // Also accept `$0` .. `$31`.
+        if let Some(num) = s.strip_prefix('$') {
+            if let Ok(i) = num.parse::<u8>() {
+                if i < 32 {
+                    return Ok(Reg(i));
+                }
+            }
+        }
+        Err(RegParseError(s.to_string()))
+    }
+}
+
+impl FromStr for FReg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(num) = s.strip_prefix("$f") {
+            if let Ok(i) = num.parse::<u8>() {
+                if i < 32 {
+                    return Ok(FReg(i));
+                }
+            }
+        }
+        Err(RegParseError(s.to_string()))
+    }
+}
+
+/// Named register constants following the MIPS o32 convention.
+pub mod reg {
+    use super::{FReg, Reg};
+
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg::new(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg::new(1);
+    /// Return value 0.
+    pub const V0: Reg = Reg::new(2);
+    /// Return value 1.
+    pub const V1: Reg = Reg::new(3);
+    /// Argument 0.
+    pub const A0: Reg = Reg::new(4);
+    /// Argument 1.
+    pub const A1: Reg = Reg::new(5);
+    /// Argument 2.
+    pub const A2: Reg = Reg::new(6);
+    /// Argument 3.
+    pub const A3: Reg = Reg::new(7);
+    /// Caller-saved temporary 0.
+    pub const T0: Reg = Reg::new(8);
+    /// Caller-saved temporary 1.
+    pub const T1: Reg = Reg::new(9);
+    /// Caller-saved temporary 2.
+    pub const T2: Reg = Reg::new(10);
+    /// Caller-saved temporary 3.
+    pub const T3: Reg = Reg::new(11);
+    /// Caller-saved temporary 4.
+    pub const T4: Reg = Reg::new(12);
+    /// Caller-saved temporary 5.
+    pub const T5: Reg = Reg::new(13);
+    /// Caller-saved temporary 6.
+    pub const T6: Reg = Reg::new(14);
+    /// Caller-saved temporary 7.
+    pub const T7: Reg = Reg::new(15);
+    /// Callee-saved 0.
+    pub const S0: Reg = Reg::new(16);
+    /// Callee-saved 1.
+    pub const S1: Reg = Reg::new(17);
+    /// Callee-saved 2.
+    pub const S2: Reg = Reg::new(18);
+    /// Callee-saved 3.
+    pub const S3: Reg = Reg::new(19);
+    /// Callee-saved 4.
+    pub const S4: Reg = Reg::new(20);
+    /// Callee-saved 5.
+    pub const S5: Reg = Reg::new(21);
+    /// Callee-saved 6.
+    pub const S6: Reg = Reg::new(22);
+    /// Callee-saved 7.
+    pub const S7: Reg = Reg::new(23);
+    /// Caller-saved temporary 8.
+    pub const T8: Reg = Reg::new(24);
+    /// Caller-saved temporary 9.
+    pub const T9: Reg = Reg::new(25);
+    /// Kernel reserved 0 (used by the harness for scratch).
+    pub const K0: Reg = Reg::new(26);
+    /// Kernel reserved 1 (used by the harness for scratch).
+    pub const K1: Reg = Reg::new(27);
+    /// Global pointer (base of static data in the certa ABI).
+    pub const GP: Reg = Reg::new(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg::new(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg::new(30);
+    /// Return address.
+    pub const RA: Reg = Reg::new(31);
+
+    /// Floating-point return value.
+    pub const F0: FReg = FReg::new(0);
+    /// Floating-point temporary 1.
+    pub const F1: FReg = FReg::new(1);
+    /// Floating-point temporary 2.
+    pub const F2: FReg = FReg::new(2);
+    /// Floating-point temporary 3.
+    pub const F3: FReg = FReg::new(3);
+    /// Floating-point temporary 4.
+    pub const F4: FReg = FReg::new(4);
+    /// Floating-point temporary 5.
+    pub const F5: FReg = FReg::new(5);
+    /// Floating-point temporary 6.
+    pub const F6: FReg = FReg::new(6);
+    /// Floating-point temporary 7.
+    pub const F7: FReg = FReg::new(7);
+    /// Floating-point temporary 8.
+    pub const F8: FReg = FReg::new(8);
+    /// Floating-point temporary 9.
+    pub const F9: FReg = FReg::new(9);
+    /// Floating-point temporary 10.
+    pub const F10: FReg = FReg::new(10);
+    /// Floating-point temporary 11.
+    pub const F11: FReg = FReg::new(11);
+    /// Floating-point temporary 12 (first float argument).
+    pub const F12: FReg = FReg::new(12);
+    /// Floating-point temporary 13.
+    pub const F13: FReg = FReg::new(13);
+    /// Floating-point temporary 14 (second float argument).
+    pub const F14: FReg = FReg::new(14);
+    /// Floating-point temporary 15.
+    pub const F15: FReg = FReg::new(15);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for i in 0..32u8 {
+            let r = Reg::new(i);
+            assert_eq!(r.name().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn numeric_parse() {
+        assert_eq!("$29".parse::<Reg>().unwrap(), reg::SP);
+        assert_eq!("$f12".parse::<FReg>().unwrap(), reg::F12);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!("$t99".parse::<Reg>().is_err());
+        assert!("x5".parse::<Reg>().is_err());
+        assert!("$f40".parse::<FReg>().is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(reg::ZERO.is_zero());
+        assert!(!reg::T0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,46 @@
+//! # certa-sim
+//!
+//! Functional simulator for [`certa-isa`](certa_isa) programs — the
+//! reproduction's stand-in for the SimpleScalar environment used by the
+//! IISWC 2006 paper.
+//!
+//! The simulator executes the [`certa_isa::Instr`] enum directly (no binary
+//! encoding) and provides the three capabilities the paper's methodology
+//! needs:
+//!
+//! 1. **A writeback hook** ([`WritebackHook`]) invoked on every
+//!    value-producing instruction, through which the fault injector in
+//!    `certa-fault` flips bits in destination-register results.
+//! 2. **A crash taxonomy** ([`CrashKind`]): out-of-bounds or misaligned
+//!    memory accesses and wild program counters terminate the run — these
+//!    are the paper's "crash" catastrophic failures.
+//! 3. **A watchdog** ([`MachineConfig::max_instructions`]): runs exceeding
+//!    the budget are classified as the paper's "infinite execution"
+//!    catastrophic failures.
+//!
+//! ## Example
+//!
+//! ```
+//! use certa_asm::Asm;
+//! use certa_isa::reg::{T0, V0};
+//! use certa_sim::{Machine, MachineConfig, Outcome};
+//!
+//! let mut a = Asm::new();
+//! a.func("main", false);
+//! a.li(T0, 21);
+//! a.add(V0, T0, T0);
+//! a.halt();
+//! a.endfunc();
+//! let program = a.assemble().unwrap();
+//!
+//! let mut m = Machine::new(&program, &MachineConfig::default());
+//! let result = m.run_simple();
+//! assert_eq!(result.outcome, Outcome::Halted);
+//! assert_eq!(m.reg(V0), 42);
+//! ```
+
+mod machine;
+
+pub use machine::{
+    CrashKind, Machine, MachineConfig, MemError, NoHook, Outcome, RunResult, WritebackHook,
+};

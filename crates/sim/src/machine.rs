@@ -1,0 +1,1083 @@
+//! The functional simulator.
+
+use std::fmt;
+
+use certa_asm::DATA_BASE;
+use certa_isa::{reg, AluOp, FpuOp, FReg, Instr, MemWidth, Program, Reg};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Total data memory size in bytes. The data segment is loaded at
+    /// [`DATA_BASE`]; the stack pointer starts at `mem_size - 16` and grows
+    /// down.
+    pub mem_size: u32,
+    /// Watchdog: a run executing more than this many instructions is
+    /// classified as [`Outcome::InfiniteRun`] (the paper's "infinite
+    /// execution" failures).
+    pub max_instructions: u64,
+    /// Whether to record per-instruction execution counts (needed for the
+    /// paper's Table 3 dynamic statistics; small overhead).
+    pub profile: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_size: 4 << 20,
+            max_instructions: 500_000_000,
+            profile: false,
+        }
+    }
+}
+
+/// Why a run crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// A load or store touched memory outside `[DATA_BASE, mem_size)`.
+    /// Accesses below `DATA_BASE` (the guard region) are the typical result
+    /// of corrupted pointer arithmetic.
+    MemOutOfBounds {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A load or store address was not a multiple of the access size.
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// The program counter left the code array (wild `jr`, corrupted return
+    /// address, or falling off the end of the program).
+    PcOutOfRange {
+        /// The invalid instruction index.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::MemOutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds {size}-byte access at {addr:#x}")
+            }
+            CrashKind::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#x}")
+            }
+            CrashKind::PcOutOfRange { pc } => write!(f, "program counter out of range: {pc}"),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The program executed `halt`.
+    Halted,
+    /// The program crashed (a catastrophic failure in the paper's terms).
+    Crashed(CrashKind),
+    /// The watchdog expired (the paper's "infinite execution" failures).
+    InfiniteRun,
+}
+
+impl Outcome {
+    /// Whether this outcome is one of the paper's catastrophic failures
+    /// (crash or infinite run).
+    #[must_use]
+    pub fn is_catastrophic(&self) -> bool {
+        !matches!(self, Outcome::Halted)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Halted => write!(f, "halted"),
+            Outcome::Crashed(k) => write!(f, "crashed: {k}"),
+            Outcome::InfiniteRun => write!(f, "infinite run (watchdog)"),
+        }
+    }
+}
+
+/// Result of a completed [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic executions of value-producing instructions (the denominator
+    /// of the fault model's uniform sampling).
+    pub value_producing: u64,
+}
+
+/// Error returned by the host-side memory access helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// Faulting address.
+    pub addr: u32,
+    /// Requested length.
+    pub len: u32,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host access of {} bytes at {:#x} is out of bounds",
+            self.len, self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Hook invoked on every value-producing writeback; the fault injector
+/// overrides these to flip bits in instruction results.
+///
+/// The default implementations pass values through unchanged.
+pub trait WritebackHook {
+    /// Observes/modifies an integer register writeback.
+    #[inline]
+    fn int_writeback(&mut self, instr_index: usize, value: u32) -> u32 {
+        let _ = instr_index;
+        value
+    }
+
+    /// Observes/modifies a floating-point register writeback.
+    #[inline]
+    fn float_writeback(&mut self, instr_index: usize, value: f64) -> f64 {
+        let _ = instr_index;
+        value
+    }
+}
+
+/// A hook that does nothing (fault-free execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl WritebackHook for NoHook {}
+
+/// The simulator state: registers, memory, program counter.
+#[derive(Debug, Clone)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [u32; 32],
+    fregs: [f64; 32],
+    mem: Vec<u8>,
+    pc: u64,
+    icount: u64,
+    value_producing: u64,
+    exec_counts: Vec<u64>,
+    profile: bool,
+    max_instructions: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with the program's data segment loaded at
+    /// [`DATA_BASE`], `$sp` at the top of memory and `$gp` at `DATA_BASE`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data segment does not fit in `config.mem_size`.
+    #[must_use]
+    pub fn new(program: &'p Program, config: &MachineConfig) -> Self {
+        let mut mem = vec![0u8; config.mem_size as usize];
+        let lo = DATA_BASE as usize;
+        let hi = lo + program.data.len();
+        assert!(
+            hi + 4096 < config.mem_size as usize,
+            "data segment does not fit in configured memory"
+        );
+        mem[lo..hi].copy_from_slice(&program.data);
+        let mut regs = [0u32; 32];
+        regs[reg::SP.index()] = config.mem_size - 16;
+        regs[reg::GP.index()] = DATA_BASE;
+        Machine {
+            program,
+            regs,
+            fregs: [0.0; 32],
+            mem,
+            pc: program.entry as u64,
+            icount: 0,
+            value_producing: 0,
+            exec_counts: if config.profile {
+                vec![0; program.code.len()]
+            } else {
+                Vec::new()
+            },
+            profile: config.profile,
+            max_instructions: config.max_instructions,
+        }
+    }
+
+    /// Current value of an integer register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Current value of a floating-point register.
+    #[must_use]
+    pub fn freg(&self, r: FReg) -> f64 {
+        self.fregs[r.index()]
+    }
+
+    /// Sets an integer register (harness use).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Dynamic instructions executed so far.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.icount
+    }
+
+    /// Per-instruction execution counts (empty unless
+    /// [`MachineConfig::profile`] was set).
+    #[must_use]
+    pub fn exec_counts(&self) -> &[u64] {
+        &self.exec_counts
+    }
+
+    // ------------------------------------------------------------------
+    // host-side memory access (I/O injection and output capture)
+    // ------------------------------------------------------------------
+
+    fn host_range(&self, addr: u32, len: u32) -> Result<std::ops::Range<usize>, MemError> {
+        let start = addr as usize;
+        let end = start.checked_add(len as usize).ok_or(MemError { addr, len })?;
+        if addr < DATA_BASE || end > self.mem.len() {
+            return Err(MemError { addr, len });
+        }
+        Ok(start..end)
+    }
+
+    /// Reads guest memory (harness use; bounds-checked, alignment-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is outside addressable memory.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
+        Ok(&self.mem[self.host_range(addr, len)?])
+    }
+
+    /// Writes guest memory (harness use; bounds-checked, alignment-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is outside addressable memory.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        let range = self.host_range(addr, bytes.len() as u32)?;
+        self.mem[range].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a little-endian 32-bit word from guest memory (harness use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is outside addressable memory.
+    pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Writes a little-endian 32-bit word to guest memory (harness use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is outside addressable memory.
+    pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    // ------------------------------------------------------------------
+    // guest-side memory access
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn check_access(&self, addr: u32, size: u32) -> Result<usize, CrashKind> {
+        if addr % size != 0 {
+            return Err(CrashKind::Misaligned { addr, size });
+        }
+        let start = addr as usize;
+        let end = start + size as usize;
+        if addr < DATA_BASE || end > self.mem.len() {
+            return Err(CrashKind::MemOutOfBounds { addr, size });
+        }
+        Ok(start)
+    }
+
+    #[inline]
+    fn load(&self, addr: u32, width: MemWidth, signed: bool) -> Result<u32, CrashKind> {
+        let size = width.bytes();
+        let i = self.check_access(addr, size)?;
+        Ok(match (width, signed) {
+            (MemWidth::Byte, false) => u32::from(self.mem[i]),
+            (MemWidth::Byte, true) => self.mem[i] as i8 as i32 as u32,
+            (MemWidth::Half, false) => {
+                u32::from(u16::from_le_bytes([self.mem[i], self.mem[i + 1]]))
+            }
+            (MemWidth::Half, true) => {
+                i16::from_le_bytes([self.mem[i], self.mem[i + 1]]) as i32 as u32
+            }
+            (MemWidth::Word, _) => u32::from_le_bytes(
+                self.mem[i..i + 4].try_into().expect("4-byte slice"),
+            ),
+        })
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), CrashKind> {
+        let size = width.bytes();
+        let i = self.check_access(addr, size)?;
+        match width {
+            MemWidth::Byte => self.mem[i] = value as u8,
+            MemWidth::Half => self.mem[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            MemWidth::Word => self.mem[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn load_f64(&self, addr: u32) -> Result<f64, CrashKind> {
+        if addr % 8 != 0 {
+            return Err(CrashKind::Misaligned { addr, size: 8 });
+        }
+        let start = addr as usize;
+        let end = start + 8;
+        if addr < DATA_BASE || end > self.mem.len() {
+            return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
+        }
+        Ok(f64::from_le_bytes(
+            self.mem[start..end].try_into().expect("8-byte slice"),
+        ))
+    }
+
+    #[inline]
+    fn store_f64(&mut self, addr: u32, value: f64) -> Result<(), CrashKind> {
+        if addr % 8 != 0 {
+            return Err(CrashKind::Misaligned { addr, size: 8 });
+        }
+        let start = addr as usize;
+        let end = start + 8;
+        if addr < DATA_BASE || end > self.mem.len() {
+            return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
+        }
+        self.mem[start..end].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // execution
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn write_int<H: WritebackHook>(&mut self, hook: &mut H, instr_index: usize, rd: Reg, v: u32) {
+        self.value_producing += 1;
+        let v = hook.int_writeback(instr_index, v);
+        if !rd.is_zero() {
+            self.regs[rd.index()] = v;
+        }
+    }
+
+    #[inline]
+    fn write_float<H: WritebackHook>(
+        &mut self,
+        hook: &mut H,
+        instr_index: usize,
+        fd: FReg,
+        v: f64,
+    ) {
+        self.value_producing += 1;
+        let v = hook.float_writeback(instr_index, v);
+        self.fregs[fd.index()] = v;
+    }
+
+    /// Runs to completion with no hook.
+    pub fn run_simple(&mut self) -> RunResult {
+        self.run(&mut NoHook)
+    }
+
+    /// Runs to completion, invoking `hook` on every value-producing
+    /// writeback.
+    #[allow(clippy::too_many_lines)]
+    pub fn run<H: WritebackHook>(&mut self, hook: &mut H) -> RunResult {
+        let code = &self.program.code;
+        loop {
+            if self.icount >= self.max_instructions {
+                return self.finish(Outcome::InfiniteRun);
+            }
+            let Some(&instr) = usize::try_from(self.pc).ok().and_then(|pc| code.get(pc)) else {
+                return self.finish(Outcome::Crashed(CrashKind::PcOutOfRange { pc: self.pc }));
+            };
+            let at = self.pc as usize;
+            self.icount += 1;
+            if self.profile {
+                self.exec_counts[at] += 1;
+            }
+            let mut next = self.pc + 1;
+            match instr {
+                Instr::Alu { op, rd, rs, rt } => {
+                    let a = self.regs[rs.index()];
+                    let b = self.regs[rt.index()];
+                    let v = eval_alu(op, a, b);
+                    self.write_int(hook, at, rd, v);
+                }
+                Instr::AluImm { op, rd, rs, imm } => {
+                    let a = self.regs[rs.index()];
+                    let v = eval_alu(op, a, imm as u32);
+                    self.write_int(hook, at, rd, v);
+                }
+                Instr::Li { rd, imm } => self.write_int(hook, at, rd, imm as u32),
+                Instr::Load {
+                    width,
+                    signed,
+                    rd,
+                    base,
+                    off,
+                } => {
+                    let addr = self.regs[base.index()].wrapping_add(off as u32);
+                    match self.load(addr, width, signed) {
+                        Ok(v) => self.write_int(hook, at, rd, v),
+                        Err(k) => return self.finish(Outcome::Crashed(k)),
+                    }
+                }
+                Instr::Store {
+                    width, rs, base, off,
+                } => {
+                    let addr = self.regs[base.index()].wrapping_add(off as u32);
+                    let v = self.regs[rs.index()];
+                    if let Err(k) = self.store(addr, width, v) {
+                        return self.finish(Outcome::Crashed(k));
+                    }
+                }
+                Instr::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
+                    if cond.eval(self.regs[rs.index()], self.regs[rt.index()]) {
+                        next = target as u64;
+                    }
+                }
+                Instr::Jump { target } => next = target as u64,
+                Instr::Call { target } => {
+                    self.write_int(hook, at, reg::RA, (self.pc + 1) as u32);
+                    next = target as u64;
+                }
+                Instr::JumpReg { rs } => next = u64::from(self.regs[rs.index()]),
+                Instr::Fpu { op, fd, fs, ft } => {
+                    let a = self.fregs[fs.index()];
+                    let b = self.fregs[ft.index()];
+                    let v = match op {
+                        FpuOp::Add => a + b,
+                        FpuOp::Sub => a - b,
+                        FpuOp::Mul => a * b,
+                        FpuOp::Div => a / b,
+                        FpuOp::Min => a.min(b),
+                        FpuOp::Max => a.max(b),
+                    };
+                    self.write_float(hook, at, fd, v);
+                }
+                Instr::FMov { fd, fs } => {
+                    let v = self.fregs[fs.index()];
+                    self.write_float(hook, at, fd, v);
+                }
+                Instr::FAbs { fd, fs } => {
+                    let v = self.fregs[fs.index()].abs();
+                    self.write_float(hook, at, fd, v);
+                }
+                Instr::FNeg { fd, fs } => {
+                    let v = -self.fregs[fs.index()];
+                    self.write_float(hook, at, fd, v);
+                }
+                Instr::FSqrt { fd, fs } => {
+                    let v = self.fregs[fs.index()].sqrt();
+                    self.write_float(hook, at, fd, v);
+                }
+                Instr::FLi { fd, value } => self.write_float(hook, at, fd, value),
+                Instr::FLoad { fd, base, off } => {
+                    let addr = self.regs[base.index()].wrapping_add(off as u32);
+                    match self.load_f64(addr) {
+                        Ok(v) => self.write_float(hook, at, fd, v),
+                        Err(k) => return self.finish(Outcome::Crashed(k)),
+                    }
+                }
+                Instr::FStore { fs, base, off } => {
+                    let addr = self.regs[base.index()].wrapping_add(off as u32);
+                    let v = self.fregs[fs.index()];
+                    if let Err(k) = self.store_f64(addr, v) {
+                        return self.finish(Outcome::Crashed(k));
+                    }
+                }
+                Instr::CvtIF { fd, rs } => {
+                    let v = self.regs[rs.index()] as i32 as f64;
+                    self.write_float(hook, at, fd, v);
+                }
+                Instr::CvtFI { rd, fs } => {
+                    let f = self.fregs[fs.index()];
+                    let v = if f.is_nan() {
+                        0
+                    } else {
+                        f.clamp(i32::MIN as f64, i32::MAX as f64) as i32 as u32
+                    };
+                    self.write_int(hook, at, rd, v);
+                }
+                Instr::FCmp { op, rd, fs, ft } => {
+                    let v = u32::from(op.eval(self.fregs[fs.index()], self.fregs[ft.index()]));
+                    self.write_int(hook, at, rd, v);
+                }
+                Instr::Halt => return self.finish(Outcome::Halted),
+                Instr::Nop => {}
+            }
+            self.pc = next;
+        }
+    }
+
+    fn finish(&self, outcome: Outcome) -> RunResult {
+        RunResult {
+            outcome,
+            instructions: self.icount,
+            value_producing: self.value_producing,
+        }
+    }
+}
+
+#[inline]
+fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Nor => !(a | b),
+        AluOp::Sll => a.wrapping_shl(b),
+        AluOp::Srl => a.wrapping_shr(b),
+        AluOp::Sra => (a as i32).wrapping_shr(b) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_isa::reg::{A0, RA, SP, T0, T1, T2, V0, F0, F1, F2};
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (Program, RunResult) {
+        let mut a = Asm::new();
+        build(&mut a);
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let r = m.run_simple();
+        (p, r)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(A0, 100);
+        a.li(V0, 0);
+        a.li(T0, 1);
+        a.label("loop");
+        a.add(V0, V0, T0);
+        a.addi(T0, T0, 1);
+        a.ble(T0, A0, "loop");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0), 5050);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new();
+        a.func("double", false);
+        a.add(V0, A0, A0);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.li(A0, 21);
+        a.call("double");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0), 42);
+    }
+
+    #[test]
+    fn memory_round_trip_all_widths() {
+        let mut a = Asm::new();
+        let buf = a.data_zero(16);
+        a.func("main", false);
+        a.la(T0, buf);
+        a.li(T1, -2);
+        a.sw(T1, 0, T0);
+        a.lw(T2, 0, T0);
+        a.sh(T1, 4, T0);
+        a.lh(V0, 4, T0);
+        a.sb(T1, 8, T0);
+        a.lb(A0, 8, T0);
+        a.lbu(RA, 8, T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.reg(T2) as i32, -2);
+        assert_eq!(m.reg(V0) as i32, -2);
+        assert_eq!(m.reg(A0) as i32, -2);
+        assert_eq!(m.reg(RA), 0xfe);
+    }
+
+    #[test]
+    fn guard_region_access_crashes() {
+        let (_, r) = run_program(|a| {
+            a.func("main", false);
+            a.li(T0, 0x10); // below DATA_BASE
+            a.lw(T1, 0, T0);
+            a.halt();
+            a.endfunc();
+        });
+        assert!(matches!(
+            r.outcome,
+            Outcome::Crashed(CrashKind::MemOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_access_crashes() {
+        let (_, r) = run_program(|a| {
+            let buf = a.data_zero(8);
+            a.func("main", false);
+            a.la(T0, buf);
+            a.lw(T1, 1, T0);
+            a.halt();
+            a.endfunc();
+        });
+        assert!(matches!(
+            r.outcome,
+            Outcome::Crashed(CrashKind::Misaligned { addr: _, size: 4 })
+        ));
+    }
+
+    #[test]
+    fn wild_jump_crashes() {
+        let (_, r) = run_program(|a| {
+            a.func("main", false);
+            a.li(T0, 1_000_000);
+            a.jr(T0);
+            a.halt();
+            a.endfunc();
+        });
+        assert!(matches!(
+            r.outcome,
+            Outcome::Crashed(CrashKind::PcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loop() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.label("spin");
+        a.j("spin");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(
+            &p,
+            &MachineConfig {
+                max_instructions: 10_000,
+                ..MachineConfig::default()
+            },
+        );
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::InfiniteRun);
+        assert!(r.outcome.is_catastrophic());
+        assert_eq!(r.instructions, 10_000);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero_not_crash() {
+        let (_, r) = run_program(|a| {
+            a.func("main", false);
+            a.li(T0, 7);
+            a.li(T1, 0);
+            a.div(V0, T0, T1);
+            a.rem(A0, T0, T1);
+            a.halt();
+            a.endfunc();
+        });
+        assert_eq!(r.outcome, Outcome::Halted);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.fli(F0, 2.0);
+        a.fli(F1, 8.0);
+        a.fmul(F2, F0, F1);
+        a.fsqrt(F2, F2);
+        a.cvt_fi(V0, F2);
+        a.fcmp_lt(T0, F0, F1);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0), 4);
+        assert_eq!(m.reg(T0), 1);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 77);
+        a.addi(SP, SP, -8);
+        a.sw(T0, 0, SP);
+        a.li(T0, 0);
+        a.lw(V0, 0, SP);
+        a.addi(SP, SP, 8);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0), 77);
+    }
+
+    #[test]
+    fn hook_sees_writebacks_and_can_tamper() {
+        struct FlipFirst {
+            seen: u64,
+        }
+        impl WritebackHook for FlipFirst {
+            fn int_writeback(&mut self, _i: usize, v: u32) -> u32 {
+                self.seen += 1;
+                if self.seen == 1 {
+                    v ^ 0x8000_0000
+                } else {
+                    v
+                }
+            }
+        }
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 5);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let mut hook = FlipFirst { seen: 0 };
+        let r = m.run(&mut hook);
+        assert_eq!(r.outcome, Outcome::Halted);
+        assert_eq!(m.reg(T0), 5 | 0x8000_0000);
+        assert_eq!(hook.seen, r.value_producing);
+    }
+
+    #[test]
+    fn profile_counts_executions() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 3);
+        a.label("loop");
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(
+            &p,
+            &MachineConfig {
+                profile: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.run_simple();
+        assert_eq!(m.exec_counts()[0], 1); // li
+        assert_eq!(m.exec_counts()[1], 3); // addi in loop
+        assert_eq!(m.exec_counts()[2], 3); // bnez
+        assert_eq!(m.exec_counts()[3], 1); // halt
+    }
+
+    #[test]
+    fn host_io_round_trip() {
+        let mut a = Asm::new();
+        let buf = a.data_zero(64);
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        m.write_bytes(buf, b"hello").unwrap();
+        m.write_word(buf + 8, 0xdead_beef).unwrap();
+        assert_eq!(m.read_bytes(buf, 5).unwrap(), b"hello");
+        assert_eq!(m.read_word(buf + 8).unwrap(), 0xdead_beef);
+        assert!(m.read_bytes(0, 4).is_err()); // guard region
+        assert!(m.write_bytes(u32::MAX - 2, &[1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn writes_to_zero_register_discarded() {
+        let (_, r) = run_program(|a| {
+            a.func("main", false);
+            a.li(certa_isa::reg::ZERO, 123);
+            a.halt();
+            a.endfunc();
+        });
+        assert_eq!(r.outcome, Outcome::Halted);
+    }
+
+    #[test]
+    fn falling_off_end_crashes() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.nop();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let r = m.run_simple();
+        assert!(matches!(
+            r.outcome,
+            Outcome::Crashed(CrashKind::PcOutOfRange { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use certa_asm::{Asm, DATA_BASE};
+    use certa_isa::reg::{T0, T1, V0};
+
+    #[test]
+    fn watchdog_exact_boundary() {
+        // A program needing exactly N instructions halts with budget N but
+        // trips the watchdog with budget N-1.
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.nop();
+        a.nop();
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut ok = Machine::new(
+            &p,
+            &MachineConfig {
+                max_instructions: 3,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(ok.run_simple().outcome, Outcome::Halted);
+        let mut short = Machine::new(
+            &p,
+            &MachineConfig {
+                max_instructions: 2,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(short.run_simple().outcome, Outcome::InfiniteRun);
+    }
+
+    #[test]
+    fn store_at_last_valid_byte_succeeds_and_one_past_crashes() {
+        let mem_size = 1 << 20;
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, (mem_size - 1) as i32);
+        a.li(T1, 0x5A);
+        a.sb(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(
+            &p,
+            &MachineConfig {
+                mem_size,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.read_bytes(mem_size - 1, 1).unwrap(), &[0x5A]);
+
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, mem_size as i32);
+        a.li(T1, 1);
+        a.sb(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(
+            &p,
+            &MachineConfig {
+                mem_size,
+                ..MachineConfig::default()
+            },
+        );
+        assert!(matches!(
+            m.run_simple().outcome,
+            Outcome::Crashed(CrashKind::MemOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn first_data_byte_is_accessible_and_guard_edge_is_not() {
+        let mut a = Asm::new();
+        let first = a.data_bytes(&[0xAB]);
+        assert_eq!(first, DATA_BASE);
+        a.func("main", false);
+        a.li(T0, DATA_BASE as i32);
+        a.lbu(V0, 0, T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0), 0xAB);
+
+        let mut a = Asm::new();
+        a.data_bytes(&[0xAB]);
+        a.func("main", false);
+        a.li(T0, (DATA_BASE - 1) as i32);
+        a.lbu(V0, 0, T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert!(matches!(
+            m.run_simple().outcome,
+            Outcome::Crashed(CrashKind::MemOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_offset_addressing_works() {
+        let mut a = Asm::new();
+        let buf = a.data_words(&[11, 22, 33]);
+        a.func("main", false);
+        a.li(T0, (buf + 8) as i32);
+        a.lw(V0, -8, T0); // reads buf[0]
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0), 11);
+    }
+
+    #[test]
+    fn jr_to_halt_instruction_works() {
+        // jumping to any valid instruction index through a register is legal
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 2); // index of halt below
+        a.jr(T0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        assert_eq!(r.instructions, 3);
+    }
+
+    #[test]
+    fn shift_amounts_wrap_modulo_32() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 1);
+        a.li(T1, 33); // 33 % 32 == 1
+        a.sll(V0, T0, T1);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        m.run_simple();
+        assert_eq!(m.reg(V0), 2);
+    }
+
+    #[test]
+    fn i32_min_div_neg_one_does_not_trap() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, i32::MIN);
+        a.li(T1, -1);
+        a.div(V0, T0, T1);
+        a.rem(T1, T0, T1);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        assert_eq!(m.reg(V0) as i32, i32::MIN); // wrapping division
+    }
+
+    #[test]
+    fn float_writeback_count_includes_conversions() {
+        use certa_isa::reg::F0;
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 7);
+        a.cvt_if(F0, T0);
+        a.cvt_fi(V0, F0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let r = m.run_simple();
+        // li + cvt.d.w + trunc.w.d all produce values
+        assert_eq!(r.value_producing, 3);
+        assert_eq!(m.reg(V0), 7);
+    }
+}

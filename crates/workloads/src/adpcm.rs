@@ -1,0 +1,488 @@
+//! IMA ADPCM encode/decode (MiBench, Jack Jansen's package).
+//!
+//! The guest converts 16-bit PCM samples to 4-bit ADPCM (4:1 compression)
+//! and decodes them back, exactly like the benchmark in the paper: "ADPCM
+//! encode/decode have approximately 80% integer ALU operations and fewer
+//! than 10% branch operations". The quantizer is implemented with
+//! mask/select arithmetic instead of data branches (as DSP implementations
+//! do), so the sample datapath is visible to the static analysis as *data*;
+//! the step-index chain feeds table lookups and is protected.
+//!
+//! Fidelity (Table 1): percent similarity of the decoded PCM with errors
+//! against the decoded PCM without errors.
+
+use certa_asm::Asm;
+use certa_fault::Target;
+use certa_fidelity::byte_similarity;
+use certa_isa::reg::{S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+use crate::common::{emit_abs, emit_max, emit_min, read_output};
+use crate::{Fidelity, FidelityDetail, Workload};
+
+/// Number of PCM samples (must be even).
+pub const NUM_SAMPLES: usize = 256;
+/// Documented acceptability threshold (the paper defines none for ADPCM):
+/// at least 90% of output bytes intact.
+pub const SIMILARITY_THRESHOLD: f64 = 0.90;
+
+/// The IMA ADPCM index-adjustment table.
+pub const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// The IMA ADPCM step-size table (89 entries).
+pub const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Generates the synthetic speech-like input: two tones under an envelope.
+#[must_use]
+pub fn test_samples(n: usize) -> Vec<i16> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let envelope = 0.4 + 0.6 * (t / n as f64 * std::f64::consts::PI).sin();
+            let v = 6000.0 * (t * 2.0 * std::f64::consts::PI / 23.0).sin()
+                + 3500.0 * (t * 2.0 * std::f64::consts::PI / 7.0 + 1.0).sin();
+            (v * envelope) as i16
+        })
+        .collect()
+}
+
+/// Host-side IMA ADPCM encoder (mirrors the guest exactly).
+#[must_use]
+pub fn reference_encode(samples: &[i16]) -> Vec<u8> {
+    let mut valpred = 0i32;
+    let mut index = 0i32;
+    let mut out = vec![0u8; samples.len().div_ceil(2)];
+    for (i, &s) in samples.iter().enumerate() {
+        let step = STEP_TABLE[index as usize];
+        let mut diff = i32::from(s) - valpred;
+        let sign = i32::from(diff < 0);
+        diff = diff.abs();
+        let mut vpdiff = step >> 3;
+        let mut st = step;
+        let b2 = i32::from(diff >= st);
+        diff -= st * b2;
+        vpdiff += st * b2;
+        st >>= 1;
+        let b1 = i32::from(diff >= st);
+        diff -= st * b1;
+        vpdiff += st * b1;
+        st >>= 1;
+        let b0 = i32::from(diff >= st);
+        vpdiff += st * b0;
+        valpred += vpdiff * (1 - 2 * sign);
+        valpred = valpred.clamp(-32768, 32767);
+        let delta = ((sign << 3) | (b2 << 2) | (b1 << 1) | b0) as u8;
+        index += INDEX_TABLE[(delta & 15) as usize];
+        index = index.clamp(0, 88);
+        if i % 2 == 0 {
+            out[i / 2] = delta;
+        } else {
+            out[i / 2] |= delta << 4;
+        }
+    }
+    out
+}
+
+/// Host-side IMA ADPCM decoder (mirrors the guest exactly).
+#[must_use]
+pub fn reference_decode(adpcm: &[u8], n: usize) -> Vec<i16> {
+    let mut valpred = 0i32;
+    let mut index = 0i32;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = adpcm[i / 2];
+        let delta = i32::from(if i % 2 == 0 { byte & 15 } else { byte >> 4 });
+        let step = STEP_TABLE[index as usize];
+        let sign = (delta >> 3) & 1;
+        let b2 = (delta >> 2) & 1;
+        let b1 = (delta >> 1) & 1;
+        let b0 = delta & 1;
+        let vpdiff = (step >> 3) + step * b2 + (step >> 1) * b1 + (step >> 2) * b0;
+        valpred += vpdiff * (1 - 2 * sign);
+        valpred = valpred.clamp(-32768, 32767);
+        index += INDEX_TABLE[(delta & 15) as usize];
+        index = index.clamp(0, 88);
+        out.push(valpred as i16);
+    }
+    out
+}
+
+/// The ADPCM workload.
+#[derive(Debug)]
+pub struct AdpcmWorkload {
+    program: Program,
+    samples: Vec<i16>,
+    out_len_addr: u32,
+    out_addr: u32,
+}
+
+impl Default for AdpcmWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Emits `S3 = clamp(S3, -32768, 32767)` (valpred clamp), clobbering `T5`,
+/// `T7`–`T9` (NOT `T6`, which holds the delta across this helper).
+fn emit_valpred_clamp(a: &mut Asm) {
+    a.li(T5, 32767);
+    emit_min(a, T9, S3, T5, T7, T8);
+    a.li(T5, -32768);
+    emit_max(a, S3, T9, T5, T7, T8);
+}
+
+/// Emits the shared index update: `S4 = clamp(S4 + INDEX_TABLE[T6 & 15],
+/// 0, 88)`, with the delta in `T6` and the index table base in `S6`.
+/// Clobbers `T5`, `T7`–`T9`.
+fn emit_index_update(a: &mut Asm) {
+    a.andi(T7, T6, 15);
+    a.slli(T7, T7, 2);
+    a.add(T7, S6, T7);
+    a.lw(T7, 0, T7);
+    a.add(S4, S4, T7);
+    // clamp low at 0: v & ~(v >> 31)
+    a.srai(T8, S4, 31);
+    a.nor(T8, T8, certa_isa::reg::ZERO);
+    a.and(S4, S4, T8);
+    // clamp high at 88
+    a.li(T8, 88);
+    emit_min(a, T9, S4, T8, T7, T5);
+    a.mv(S4, T9);
+}
+
+impl AdpcmWorkload {
+    /// Builds the workload with the default speech-like input.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_samples(&test_samples(NUM_SAMPLES))
+    }
+
+    /// Builds the workload with explicit samples (an even count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` is odd or zero.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn with_samples(samples: &[i16]) -> Self {
+        assert!(!samples.is_empty() && samples.len() % 2 == 0);
+        let n = samples.len();
+        let mut a = Asm::new();
+        let in_addr = a.data_halves(samples);
+        let step_addr = a.data_words(&STEP_TABLE);
+        let index_addr = a.data_words(&INDEX_TABLE);
+        let packed_addr = a.data_zero(n / 2);
+        let out_len_addr = a.data_zero(4);
+        let out_addr = a.data_zero(n * 2);
+
+        // ------------------------------------------------------------
+        // adpcm_encode (eligible, leaf)
+        //   S0=in, S1=packed out, S2=i, S3=valpred, S4=index,
+        //   S5=step table, S6=index table, S7=pending low nibble
+        // ------------------------------------------------------------
+        a.func("adpcm_encode", true);
+        a.la(S0, in_addr);
+        a.la(S1, packed_addr);
+        a.la(S5, step_addr);
+        a.la(S6, index_addr);
+        a.li(S2, 0);
+        a.li(S3, 0);
+        a.li(S4, 0);
+        a.label("enc_loop");
+        // s = in[i]
+        a.slli(T0, S2, 1);
+        a.add(T0, S0, T0);
+        a.lh(T1, 0, T0);
+        // step = STEP_TABLE[index & 127]
+        a.andi(T2, S4, 127);
+        a.slli(T2, T2, 2);
+        a.add(T2, S5, T2);
+        a.lw(T2, 0, T2);
+        // diff = s - valpred; sign = diff < 0; diff = |diff|
+        a.sub(T3, T1, S3);
+        a.slt(T4, T3, certa_isa::reg::ZERO);
+        emit_abs(&mut a, T3, T3, T5);
+        // vpdiff = step >> 3
+        a.srai(T5, T2, 3);
+        // bit 2
+        a.slt(T6, T3, T2);
+        a.xori(T6, T6, 1);
+        a.mul(T7, T2, T6);
+        a.sub(T3, T3, T7);
+        a.add(T5, T5, T7);
+        a.srai(T2, T2, 1);
+        // bit 1
+        a.slt(T8, T3, T2);
+        a.xori(T8, T8, 1);
+        a.mul(T7, T2, T8);
+        a.sub(T3, T3, T7);
+        a.add(T5, T5, T7);
+        a.srai(T2, T2, 1);
+        // bit 0
+        a.slt(T9, T3, T2);
+        a.xori(T9, T9, 1);
+        a.mul(T7, T2, T9);
+        a.add(T5, T5, T7);
+        // delta = (sign<<3)|(b2<<2)|(b1<<1)|b0  (kept in T6)
+        a.slli(T6, T6, 2);
+        a.slli(T8, T8, 1);
+        a.or(T6, T6, T8);
+        a.or(T6, T6, T9);
+        a.slli(T7, T4, 3);
+        a.or(T6, T6, T7);
+        // valpred += vpdiff * (1 - 2*sign); clamp
+        a.slli(T7, T4, 1);
+        a.li(T8, 1);
+        a.sub(T7, T8, T7);
+        a.mul(T7, T5, T7);
+        a.add(S3, S3, T7);
+        emit_valpred_clamp(&mut a);
+        // index update (uses T6 = delta)
+        emit_index_update(&mut a);
+        // pack two deltas per byte: low nibble first
+        a.andi(T7, S2, 1);
+        a.bnez(T7, "enc_odd");
+        a.mv(S7, T6);
+        a.j("enc_next");
+        a.label("enc_odd");
+        a.slli(T7, T6, 4);
+        a.or(T7, S7, T7);
+        a.srai(T8, S2, 1);
+        a.add(T8, S1, T8);
+        a.sb(T7, 0, T8);
+        a.label("enc_next");
+        a.addi(S2, S2, 1);
+        a.slti(T7, S2, n as i32);
+        a.bnez(T7, "enc_loop");
+        a.ret();
+        a.endfunc();
+
+        // ------------------------------------------------------------
+        // adpcm_decode (eligible, leaf)
+        //   S0=packed in, S1=pcm out, rest as encoder
+        // ------------------------------------------------------------
+        a.func("adpcm_decode", true);
+        a.la(S0, packed_addr);
+        a.la(S1, out_addr);
+        a.la(S5, step_addr);
+        a.la(S6, index_addr);
+        a.li(S2, 0);
+        a.li(S3, 0);
+        a.li(S4, 0);
+        a.label("dec_loop");
+        // delta = nibble i
+        a.srai(T0, S2, 1);
+        a.add(T0, S0, T0);
+        a.lbu(T1, 0, T0);
+        a.andi(T2, S2, 1);
+        a.slli(T2, T2, 2); // 0 or 4
+        a.srl(T1, T1, T2);
+        a.andi(T6, T1, 15); // delta in T6
+        // step = STEP_TABLE[index & 127]
+        a.andi(T2, S4, 127);
+        a.slli(T2, T2, 2);
+        a.add(T2, S5, T2);
+        a.lw(T2, 0, T2);
+        // vpdiff = step>>3 + step*b2 + (step>>1)*b1 + (step>>2)*b0
+        a.srai(T5, T2, 3);
+        a.srli(T7, T6, 2);
+        a.andi(T7, T7, 1);
+        a.mul(T7, T2, T7);
+        a.add(T5, T5, T7);
+        a.srai(T8, T2, 1);
+        a.srli(T7, T6, 1);
+        a.andi(T7, T7, 1);
+        a.mul(T7, T8, T7);
+        a.add(T5, T5, T7);
+        a.srai(T8, T2, 2);
+        a.andi(T7, T6, 1);
+        a.mul(T7, T8, T7);
+        a.add(T5, T5, T7);
+        // sign
+        a.srli(T4, T6, 3);
+        a.andi(T4, T4, 1);
+        a.slli(T7, T4, 1);
+        a.li(T8, 1);
+        a.sub(T7, T8, T7);
+        a.mul(T7, T5, T7);
+        a.add(S3, S3, T7);
+        emit_valpred_clamp(&mut a);
+        emit_index_update(&mut a);
+        // out[i] = valpred
+        a.slli(T7, S2, 1);
+        a.add(T7, S1, T7);
+        a.sh(S3, 0, T7);
+        a.addi(S2, S2, 1);
+        a.slti(T7, S2, n as i32);
+        a.bnez(T7, "dec_loop");
+        a.ret();
+        a.endfunc();
+
+        // main
+        a.func("main", false);
+        a.call("adpcm_encode");
+        a.call("adpcm_decode");
+        a.la(T0, out_len_addr);
+        a.li(T1, (n * 2) as i32);
+        a.sw(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+
+        AdpcmWorkload {
+            program: a.assemble().expect("adpcm guest must assemble"),
+            samples: samples.to_vec(),
+            out_len_addr,
+            out_addr,
+        }
+    }
+
+    /// The PCM input samples.
+    #[must_use]
+    pub fn samples(&self) -> &[i16] {
+        &self.samples
+    }
+}
+
+impl Target for AdpcmWorkload {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, _machine: &mut Machine<'_>) {}
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        read_output(
+            machine,
+            self.out_len_addr,
+            self.out_addr,
+            (self.samples.len() * 2) as u32,
+        )
+    }
+}
+
+impl Workload for AdpcmWorkload {
+    fn name(&self) -> &'static str {
+        "adpcm"
+    }
+
+    fn description(&self) -> &'static str {
+        "IMA ADPCM 4:1 speech encode + decode (MiBench adpcm)"
+    }
+
+    fn fidelity_measure(&self) -> &'static str {
+        "% similarity of decoded PCM with errors vs. decoded PCM without errors"
+    }
+
+    fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity {
+        let Some(out) = trial else {
+            return Fidelity {
+                score: 0.0,
+                acceptable: false,
+                detail: FidelityDetail::ByteSimilarity { fraction: 0.0 },
+            };
+        };
+        let fraction = byte_similarity(golden, out);
+        Fidelity {
+            score: fraction,
+            acceptable: fraction >= SIMILARITY_THRESHOLD,
+            detail: FidelityDetail::ByteSimilarity { fraction },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::analyze;
+    use certa_fault::{run_campaign, CampaignConfig, Protection};
+    use certa_sim::{MachineConfig, Outcome};
+
+    use crate::common::i16s_to_bytes;
+
+    #[test]
+    fn reference_round_trip_tracks_the_signal() {
+        let samples = test_samples(NUM_SAMPLES);
+        let encoded = reference_encode(&samples);
+        assert_eq!(encoded.len(), NUM_SAMPLES / 2); // 4:1 over 16-bit
+        let decoded = reference_decode(&encoded, NUM_SAMPLES);
+        // ADPCM is lossy but must track the waveform closely once the
+        // predictor adapts
+        let snr = certa_fidelity::snr_db(&samples[32..], &decoded[32..]);
+        assert!(snr > 10.0, "ADPCM reconstruction SNR too low: {snr} dB");
+    }
+
+    #[test]
+    fn step_table_is_monotonic() {
+        for w in STEP_TABLE.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(STEP_TABLE.len(), 89);
+        assert_eq!(INDEX_TABLE.len(), 16);
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let w = AdpcmWorkload::new();
+        let mut m = Machine::new(w.program(), &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        let out = w.extract(&m).expect("output readable");
+        let expected = i16s_to_bytes(&reference_decode(
+            &reference_encode(w.samples()),
+            w.samples().len(),
+        ));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn evaluate_thresholds() {
+        let w = AdpcmWorkload::new();
+        let golden = vec![7u8; 16];
+        assert!(w.evaluate(&golden, Some(&golden)).acceptable);
+        assert!(!w.evaluate(&golden, None).acceptable);
+    }
+
+    #[test]
+    fn majority_of_dynamic_instructions_are_low_reliability() {
+        // Paper Table 3: ADPCM 93.26% low-reliability.
+        let w = AdpcmWorkload::new();
+        let tags = analyze(w.program());
+        let golden = certa_fault::run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                ..CampaignConfig::default()
+            },
+        )
+        .golden;
+        let frac = tags.dynamic_low_reliability_fraction(&golden.exec_counts);
+        assert!(frac > 0.35, "adpcm should be data-dominated, got {frac:.2}");
+    }
+
+    #[test]
+    fn protected_campaign_is_stable() {
+        let w = AdpcmWorkload::new();
+        let tags = analyze(w.program());
+        let r = run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 16,
+                errors: 3,
+                protection: Protection::On,
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(r.failure_rate(), 0.0);
+    }
+}

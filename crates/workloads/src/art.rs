@@ -1,0 +1,485 @@
+//! ART image recognition (SPEC 2000 `179.art`).
+//!
+//! An Adaptive-Resonance-style F1/F2 network: the net is first *trained* on
+//! two object patterns (bottom-up weights normalized ART-1 style,
+//! `w = p / (β + Σp)`), then a thermal image is scanned with a window the
+//! size of the learned objects and each window is matched against every
+//! category; the best match's confidence, category and position are the
+//! result (paper §2).
+//!
+//! The best-match tracking is implemented with `max.d` and comparison-based
+//! *selects* rather than data branches (as the vectorized SPEC code
+//! effectively is), so the dot-product datapath is taggable data; loop
+//! indices and addressing remain protected.
+//!
+//! Fidelity (Table 1): error in the confidence of the match; a trial is
+//! "recognized" when it reports the golden category (and the paper's Fig. 6
+//! plots % images recognized).
+
+use certa_asm::Asm;
+use certa_fault::Target;
+use certa_fidelity::confidence_error;
+use certa_isa::reg::{
+    F0, F1, F2, F3, F4, F5, F6, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T8, T9,
+};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+use crate::common::{emit_select, read_output, XorShift64};
+use crate::{Fidelity, FidelityDetail, Workload};
+
+/// Thermal image side length.
+pub const IMG: usize = 16;
+/// Learned-object window side length.
+pub const WIN: usize = 8;
+/// Number of trained categories.
+pub const CATEGORIES: usize = 2;
+/// Scan positions per axis.
+pub const SCAN: usize = IMG - WIN + 1;
+/// ART vigilance/normalization offset β.
+pub const BETA: f64 = 0.5;
+/// Output size: confidence f64 + category u32 + position u32.
+pub const OUT_LEN: usize = 16;
+
+/// The two learned object patterns (cross and square outline), row-major
+/// `WIN × WIN`, binary intensities.
+#[must_use]
+pub fn patterns() -> [Vec<f64>; CATEGORIES] {
+    let mut cross = vec![0.0f64; WIN * WIN];
+    let mut square = vec![0.0f64; WIN * WIN];
+    for y in 0..WIN {
+        for x in 0..WIN {
+            if x == 3 || x == 4 || y == 3 || y == 4 {
+                cross[y * WIN + x] = 1.0;
+            }
+            if x == 0 || x == 7 || y == 0 || y == 7 {
+                square[y * WIN + x] = 1.0;
+            }
+        }
+    }
+    [cross, square]
+}
+
+/// Generates the thermal image: low-level noise with the cross pattern
+/// embedded at window position `(3, 4)` (column 3, row 4).
+#[must_use]
+pub fn test_image(seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed);
+    let mut img = vec![0.0f64; IMG * IMG];
+    for v in &mut img {
+        *v = 0.05 + (rng.next_below(1000) as f64) / 10000.0; // 0.05..0.15
+    }
+    let [cross, _] = patterns();
+    let (px, py) = (3usize, 4usize);
+    for wy in 0..WIN {
+        for wx in 0..WIN {
+            img[(py + wy) * IMG + (px + wx)] += cross[wy * WIN + wx];
+        }
+    }
+    img
+}
+
+/// One scan result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recognition {
+    /// Best match confidence.
+    pub confidence: f64,
+    /// Winning category index.
+    pub category: u32,
+    /// Winning window position, encoded `py * SCAN + px`.
+    pub position: u32,
+}
+
+impl Recognition {
+    /// Decodes the guest's 16-byte output record.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != OUT_LEN {
+            return None;
+        }
+        Some(Recognition {
+            confidence: f64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            category: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            position: u32::from_le_bytes(bytes[12..16].try_into().ok()?),
+        })
+    }
+
+    /// Encodes into the guest's output format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(OUT_LEN);
+        out.extend_from_slice(&self.confidence.to_le_bytes());
+        out.extend_from_slice(&self.category.to_le_bytes());
+        out.extend_from_slice(&self.position.to_le_bytes());
+        out
+    }
+}
+
+/// Host-side reference (mirrors the guest bit-for-bit: IEEE f64 ops in the
+/// same order).
+#[must_use]
+pub fn reference_recognize(image: &[f64]) -> Recognition {
+    let pats = patterns();
+    // training: normalized bottom-up weights
+    let weights: Vec<Vec<f64>> = pats
+        .iter()
+        .map(|p| {
+            let mut sum = 0.0f64;
+            for &v in p {
+                sum += v;
+            }
+            let denom = BETA + sum;
+            p.iter().map(|&v| v / denom).collect()
+        })
+        .collect();
+    let mut best = Recognition {
+        confidence: -1.0e30,
+        category: 0,
+        position: 0,
+    };
+    for py in 0..SCAN {
+        for px in 0..SCAN {
+            for (c, w) in weights.iter().enumerate() {
+                let mut dot = 0.0f64;
+                let mut wsum = 0.0f64;
+                for wy in 0..WIN {
+                    for wx in 0..WIN {
+                        let v = image[(py + wy) * IMG + (px + wx)];
+                        dot += w[wy * WIN + wx] * v;
+                        wsum += v;
+                    }
+                }
+                let conf = dot / (BETA + wsum);
+                if best.confidence < conf {
+                    best = Recognition {
+                        confidence: conf,
+                        category: c as u32,
+                        position: (py * SCAN + px) as u32,
+                    };
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The ART workload.
+#[derive(Debug)]
+pub struct ArtWorkload {
+    program: Program,
+    image: Vec<f64>,
+    out_len_addr: u32,
+    out_addr: u32,
+}
+
+impl Default for ArtWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtWorkload {
+    /// Builds the workload with the default thermal image.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(3)
+    }
+
+    /// Builds the workload with a thermal image generated from `seed`.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn with_seed(seed: u64) -> Self {
+        let image = test_image(seed);
+        let pats = patterns();
+        let mut a = Asm::new();
+        let img_addr = a.data_f64s(&image);
+        let pat0_addr = a.data_f64s(&pats[0]);
+        let _pat1_addr = a.data_f64s(&pats[1]); // contiguous with pat0
+        a.align(8);
+        let weights_addr = a.data_zero(CATEGORIES * WIN * WIN * 8);
+        a.align(8);
+        let out_addr = a.data_zero(OUT_LEN); // starts with an f64: 8-aligned
+        let out_len_addr = a.data_zero(4);
+        let win2 = (WIN * WIN) as i32;
+
+        // ------------------------------------------------------------
+        // art_train (eligible): w[c] = p[c] / (BETA + sum(p[c]))
+        //   S0=pattern base, S1=weight base, S2=c, S3=k
+        // ------------------------------------------------------------
+        a.func("art_train", true);
+        a.la(S0, pat0_addr);
+        a.la(S1, weights_addr);
+        a.li(S2, 0);
+        a.label("tr_cat");
+        // sum
+        a.fli(F1, 0.0);
+        a.li(S3, 0);
+        a.label("tr_sum");
+        a.muli(T0, S2, win2);
+        a.add(T0, T0, S3);
+        a.slli(T0, T0, 3);
+        a.add(T0, S0, T0);
+        a.fld(F2, 0, T0);
+        a.fadd(F1, F1, F2);
+        a.addi(S3, S3, 1);
+        a.slti(T0, S3, win2);
+        a.bnez(T0, "tr_sum");
+        // denom = BETA + sum
+        a.fli(F3, BETA);
+        a.fadd(F1, F1, F3);
+        // normalize
+        a.li(S3, 0);
+        a.label("tr_norm");
+        a.muli(T0, S2, win2);
+        a.add(T0, T0, S3);
+        a.slli(T0, T0, 3);
+        a.add(T1, S0, T0);
+        a.fld(F2, 0, T1);
+        a.fdiv(F2, F2, F1);
+        a.add(T1, S1, T0);
+        a.fsd(F2, 0, T1);
+        a.addi(S3, S3, 1);
+        a.slti(T0, S3, win2);
+        a.bnez(T0, "tr_norm");
+        a.addi(S2, S2, 1);
+        a.slti(T0, S2, CATEGORIES as i32);
+        a.bnez(T0, "tr_cat");
+        a.ret();
+        a.endfunc();
+
+        // ------------------------------------------------------------
+        // art_scan (eligible):
+        //   S0=img, S1=weights, S2=py, S3=px, S4=c, S5=wy, S6=wx,
+        //   S7=best_cat, T8=best_pos, T9=pos scratch
+        //   F0=best, F1=dot, F2=wsum, F3=v, F4=wgt, F5=conf, F6=BETA
+        // ------------------------------------------------------------
+        a.func("art_scan", true);
+        a.la(S0, img_addr);
+        a.la(S1, weights_addr);
+        a.fli(F0, -1.0e30);
+        a.fli(F6, BETA);
+        a.li(S7, 0);
+        a.li(T8, 0);
+        a.li(S2, 0);
+        a.label("sc_py");
+        a.li(S3, 0);
+        a.label("sc_px");
+        a.li(S4, 0);
+        a.label("sc_cat");
+        a.fli(F1, 0.0);
+        a.fli(F2, 0.0);
+        a.li(S5, 0);
+        a.label("sc_wy");
+        a.li(S6, 0);
+        a.label("sc_wx");
+        // v = img[(py+wy)*IMG + px+wx]
+        a.add(T0, S2, S5);
+        a.muli(T0, T0, IMG as i32);
+        a.add(T0, T0, S3);
+        a.add(T0, T0, S6);
+        a.slli(T0, T0, 3);
+        a.add(T0, S0, T0);
+        a.fld(F3, 0, T0);
+        // wgt = w[c][wy*WIN+wx]
+        a.muli(T1, S5, WIN as i32);
+        a.add(T1, T1, S6);
+        a.muli(T2, S4, win2);
+        a.add(T1, T1, T2);
+        a.slli(T1, T1, 3);
+        a.add(T1, S1, T1);
+        a.fld(F4, 0, T1);
+        // dot += wgt*v; wsum += v
+        a.fmul(F4, F4, F3);
+        a.fadd(F1, F1, F4);
+        a.fadd(F2, F2, F3);
+        a.addi(S6, S6, 1);
+        a.slti(T0, S6, WIN as i32);
+        a.bnez(T0, "sc_wx");
+        a.addi(S5, S5, 1);
+        a.slti(T0, S5, WIN as i32);
+        a.bnez(T0, "sc_wy");
+        // conf = dot / (BETA + wsum)
+        a.fadd(F2, F2, F6);
+        a.fdiv(F5, F1, F2);
+        // better = best < conf (0/1); best = max(best, conf)
+        a.fcmp_lt(T0, F0, F5);
+        a.fmax(F0, F0, F5);
+        // best_cat = select(better, c, best_cat)
+        emit_select(&mut a, T1, T0, S4, S7, T2);
+        a.mv(S7, T1);
+        // pos = py*SCAN + px; best_pos = select(better, pos, best_pos)
+        a.muli(T9, S2, SCAN as i32);
+        a.add(T9, T9, S3);
+        emit_select(&mut a, T1, T0, T9, T8, T2);
+        a.mv(T8, T1);
+        a.addi(S4, S4, 1);
+        a.slti(T0, S4, CATEGORIES as i32);
+        a.bnez(T0, "sc_cat");
+        a.addi(S3, S3, 1);
+        a.slti(T0, S3, SCAN as i32);
+        a.bnez(T0, "sc_px");
+        a.addi(S2, S2, 1);
+        a.slti(T0, S2, SCAN as i32);
+        a.bnez(T0, "sc_py");
+        // publish
+        a.la(T0, out_addr);
+        a.fsd(F0, 0, T0);
+        a.sw(S7, 8, T0);
+        a.sw(T8, 12, T0);
+        a.ret();
+        a.endfunc();
+
+        // main (the entry never returns, so no prologue is needed even
+        // though it makes calls)
+        a.func("main", false);
+        a.call("art_train");
+        a.call("art_scan");
+        a.la(T0, out_len_addr);
+        a.li(T1, OUT_LEN as i32);
+        a.sw(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+
+        ArtWorkload {
+            program: a.assemble().expect("art guest must assemble"),
+            image,
+            out_len_addr,
+            out_addr,
+        }
+    }
+
+    /// The thermal image baked into the guest.
+    #[must_use]
+    pub fn image(&self) -> &[f64] {
+        &self.image
+    }
+}
+
+impl Target for ArtWorkload {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, _machine: &mut Machine<'_>) {}
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        read_output(machine, self.out_len_addr, self.out_addr, OUT_LEN as u32)
+    }
+}
+
+impl Workload for ArtWorkload {
+    fn name(&self) -> &'static str {
+        "art"
+    }
+
+    fn description(&self) -> &'static str {
+        "ART-style neural net: train two objects, scan a thermal image for the best match"
+    }
+
+    fn fidelity_measure(&self) -> &'static str {
+        "error in confidence of match; recognized = correct category reported"
+    }
+
+    fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity {
+        let failed = Fidelity {
+            score: 0.0,
+            acceptable: false,
+            detail: FidelityDetail::Confidence {
+                error: f64::INFINITY,
+                recognized: false,
+            },
+        };
+        let Some(g) = Recognition::decode(golden) else {
+            return failed;
+        };
+        let Some(out) = trial else { return failed };
+        let Some(t) = Recognition::decode(out) else {
+            return failed;
+        };
+        let error = confidence_error(g.confidence, t.confidence);
+        let recognized = t.category == g.category && error.is_finite() && error < 0.5;
+        Fidelity {
+            score: if recognized {
+                (1.0 - error).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            acceptable: recognized,
+            detail: FidelityDetail::Confidence { error, recognized },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::analyze;
+    use certa_fault::{run_campaign, CampaignConfig, Protection};
+    use certa_sim::{MachineConfig, Outcome};
+
+    #[test]
+    fn reference_finds_the_embedded_cross() {
+        let r = reference_recognize(&test_image(3));
+        assert_eq!(r.category, 0, "cross is category 0");
+        assert_eq!(r.position, 4 * SCAN as u32 + 3, "embedded at (3, 4)");
+        assert!(r.confidence > 0.0);
+    }
+
+    #[test]
+    fn recognition_record_round_trips() {
+        let r = Recognition {
+            confidence: 0.75,
+            category: 1,
+            position: 42,
+        };
+        assert_eq!(Recognition::decode(&r.encode()), Some(r));
+        assert!(Recognition::decode(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn guest_matches_reference_bit_for_bit() {
+        let w = ArtWorkload::new();
+        let mut m = Machine::new(w.program(), &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        let out = w.extract(&m).expect("output readable");
+        let expected = reference_recognize(w.image()).encode();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn evaluate_judges_recognition() {
+        let w = ArtWorkload::new();
+        let golden = reference_recognize(w.image()).encode();
+        let perfect = w.evaluate(&golden, Some(&golden));
+        assert!(perfect.acceptable);
+        // wrong category: not recognized
+        let mut wrong = Recognition::decode(&golden).unwrap();
+        wrong.category ^= 1;
+        let f = w.evaluate(&golden, Some(&wrong.encode()));
+        assert!(!f.acceptable);
+        // distorted confidence beyond 50%: not recognized
+        let mut distorted = Recognition::decode(&golden).unwrap();
+        distorted.confidence *= 3.0;
+        assert!(!w.evaluate(&golden, Some(&distorted.encode())).acceptable);
+        assert!(!w.evaluate(&golden, None).acceptable);
+    }
+
+    #[test]
+    fn protected_campaign_is_stable() {
+        let w = ArtWorkload::new();
+        let tags = analyze(w.program());
+        let r = run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 12,
+                errors: 2,
+                protection: Protection::On,
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(r.failure_rate(), 0.0);
+    }
+}

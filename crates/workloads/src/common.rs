@@ -1,0 +1,241 @@
+//! Shared guest-code emission helpers and output conventions.
+//!
+//! The branchless helpers matter for the characterization: real media
+//! kernels saturate and select with masks rather than branches, so the data
+//! path stays *data* in the eyes of the static analysis. Where an algorithm
+//! genuinely branches on data (shortest-path relaxation, quantizer range
+//! search), the workloads keep the branch and the analysis protects it —
+//! exactly the paper's distinction.
+
+use certa_asm::Asm;
+use certa_isa::Reg;
+use certa_sim::Machine;
+
+/// Emits `rd = |rs|` branchlessly (`(x ^ (x >> 31)) - (x >> 31)`).
+///
+/// `tmp` must differ from `rs`.
+pub fn emit_abs(a: &mut Asm, rd: Reg, rs: Reg, tmp: Reg) {
+    debug_assert_ne!(tmp, rs, "tmp must not alias rs");
+    a.srai(tmp, rs, 31);
+    a.xor(rd, rs, tmp);
+    a.sub(rd, rd, tmp);
+}
+
+/// Emits `rd = cond != 0 ? if_true : if_false` branchlessly, assuming
+/// `cond ∈ {0, 1}`: `rd = if_false + (if_true - if_false) * cond`.
+///
+/// `tmp` must differ from `cond`, `if_true` and `if_false`; `rd` may alias
+/// `if_false` but not `if_true` or `cond`.
+pub fn emit_select(a: &mut Asm, rd: Reg, cond: Reg, if_true: Reg, if_false: Reg, tmp: Reg) {
+    debug_assert_ne!(tmp, cond);
+    debug_assert_ne!(tmp, if_true);
+    debug_assert_ne!(tmp, if_false);
+    debug_assert_ne!(rd, if_true);
+    debug_assert_ne!(rd, cond);
+    a.sub(tmp, if_true, if_false);
+    a.mul(tmp, tmp, cond);
+    a.add(rd, if_false, tmp);
+}
+
+/// Emits `rd = clamp(rs, 0, 255)` branchlessly. Uses `t1`, `t2` as scratch;
+/// all of `rd`, `t1`, `t2` must be distinct from each other and from `rs`.
+pub fn emit_clamp_255(a: &mut Asm, rd: Reg, rs: Reg, t1: Reg, t2: Reg) {
+    // clear negatives: v & ~(v >> 31)
+    a.srai(t1, rs, 31);
+    a.nor(t1, t1, certa_isa::reg::ZERO);
+    a.and(rd, rs, t1);
+    // saturate above 255: v | ((255 - v) >> 31 mask) then mask to 8 bits
+    a.li(t1, 255);
+    a.sub(t2, t1, rd); // 255 - v (negative iff v > 255)
+    a.srai(t2, t2, 31); // all-ones iff v > 255
+    a.or(rd, rd, t2); // v or 0xffffffff
+    a.andi(rd, rd, 255);
+}
+
+/// Emits `rd = min(rs, rt)` (signed) branchlessly via `slt` + select.
+/// `t1`, `t2` are scratch; all five registers must be pairwise distinct.
+pub fn emit_min(a: &mut Asm, rd: Reg, rs: Reg, rt: Reg, t1: Reg, t2: Reg) {
+    a.slt(t1, rs, rt); // 1 if rs < rt
+    emit_select(a, rd, t1, rs, rt, t2);
+}
+
+/// Emits `rd = max(rs, rt)` (signed) branchlessly.
+/// `t1`, `t2` are scratch; all five registers must be pairwise distinct.
+pub fn emit_max(a: &mut Asm, rd: Reg, rs: Reg, rt: Reg, t1: Reg, t2: Reg) {
+    a.slt(t1, rt, rs); // 1 if rs > rt
+    emit_select(a, rd, t1, rs, rt, t2);
+}
+
+/// The standard output header used by every workload: a 4-byte length word
+/// at `len_addr`, followed by the payload at `buf_addr`.
+///
+/// Reads and validates the header, returning the payload. `None` when the
+/// recorded length is not exactly `expected_len` (a corrupted run trampled
+/// the header) or the region is unreadable.
+#[must_use]
+pub fn read_output(
+    machine: &Machine<'_>,
+    len_addr: u32,
+    buf_addr: u32,
+    expected_len: u32,
+) -> Option<Vec<u8>> {
+    let len = machine.read_word(len_addr).ok()?;
+    if len != expected_len {
+        return None;
+    }
+    machine.read_bytes(buf_addr, len).ok().map(<[u8]>::to_vec)
+}
+
+/// Converts an `i16` slice to little-endian bytes.
+#[must_use]
+pub fn i16s_to_bytes(samples: &[i16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 2);
+    for s in samples {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Converts little-endian bytes back to `i16` samples. Returns `None` for
+/// odd-length input.
+#[must_use]
+pub fn bytes_to_i16s(bytes: &[u8]) -> Option<Vec<i16>> {
+    if bytes.len() % 2 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect(),
+    )
+}
+
+/// A deterministic xorshift64* generator for synthetic input generation
+/// (keeps `certa-workloads` reproducible without threading `rand` through
+/// constructors).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is mapped to a fixed non-zero seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_isa::reg::{T0, T1, T2, T3, T4, V0};
+    use certa_sim::{Machine, MachineConfig, Outcome};
+
+    fn run_unary(input: i32, build: impl FnOnce(&mut Asm)) -> u32 {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, input);
+        build(&mut a);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        m.reg(V0)
+    }
+
+    #[test]
+    fn abs_is_branchless_and_correct() {
+        for v in [-5i32, 0, 7, i32::MIN + 1, i32::MAX] {
+            let got = run_unary(v, |a| emit_abs(a, V0, T0, T1));
+            assert_eq!(got as i32, v.abs(), "abs({v})");
+        }
+    }
+
+    #[test]
+    fn clamp_255_matrix() {
+        for (v, want) in [(-100, 0), (-1, 0), (0, 0), (128, 128), (255, 255), (256, 255), (99999, 255)] {
+            let got = run_unary(v, |a| emit_clamp_255(a, V0, T0, T1, T2));
+            assert_eq!(got, want as u32, "clamp({v})");
+        }
+    }
+
+    #[test]
+    fn select_both_arms() {
+        for (c, want) in [(0i32, 20u32), (1, 10)] {
+            let mut a = Asm::new();
+            a.func("main", false);
+            a.li(T0, c);
+            a.li(T1, 10);
+            a.li(T2, 20);
+            emit_select(&mut a, V0, T0, T1, T2, T3);
+            a.halt();
+            a.endfunc();
+            let p = a.assemble().unwrap();
+            let mut m = Machine::new(&p, &MachineConfig::default());
+            m.run_simple();
+            assert_eq!(m.reg(V0), want);
+        }
+    }
+
+    #[test]
+    fn min_max_branchless() {
+        for (x, y) in [(3i32, 9i32), (9, 3), (-5, 5), (7, 7), (-9, -2)] {
+            let mut a = Asm::new();
+            a.func("main", false);
+            a.li(T0, x);
+            a.li(T1, y);
+            emit_min(&mut a, V0, T0, T1, T2, T3);
+            emit_max(&mut a, T4, T0, T1, T2, T3);
+            a.halt();
+            a.endfunc();
+            let p = a.assemble().unwrap();
+            let mut m = Machine::new(&p, &MachineConfig::default());
+            m.run_simple();
+            assert_eq!(m.reg(V0) as i32, x.min(y), "min({x},{y})");
+            assert_eq!(m.reg(T4) as i32, x.max(y), "max({x},{y})");
+        }
+    }
+
+    #[test]
+    fn i16_byte_round_trip() {
+        let samples = vec![0i16, -1, 32767, -32768, 123];
+        let bytes = i16s_to_bytes(&samples);
+        assert_eq!(bytes_to_i16s(&bytes).unwrap(), samples);
+        assert!(bytes_to_i16s(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = XorShift64::new(5);
+        let mut b = XorShift64::new(5);
+        for _ in 0..100 {
+            let x = a.next_below(17);
+            assert_eq!(x, b.next_below(17));
+            assert!(x < 17);
+        }
+        // zero seed does not lock up
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! # certa-workloads
+//!
+//! The seven benchmark applications of the IISWC 2006 study (paper §2,
+//! Table 1), implemented as guest programs for the `certa` simulator with
+//! golden Rust references:
+//!
+//! | Workload | Paper origin | Fidelity measure |
+//! |---|---|---|
+//! | [`susan`] | MiBench susan (edge detection) | PSNR of edge map (≥ 10 dB) |
+//! | [`mpeg`] | MPEG video encoding | % bad frames by I/P/B SNR loss (≤ 10%) |
+//! | [`mcf`] | SPEC 2000 MCF (vehicle scheduler) | schedule optimality |
+//! | [`blowfish`] | MiBench blowfish | % bytes recovered after encrypt+decrypt |
+//! | [`adpcm`] | MiBench adpcm (IMA) | % similarity of decoded PCM |
+//! | [`gsm`] | MiBench gsm (speech codec) | SNR loss of decoded speech (≤ 6 dB) |
+//! | [`art`] | SPEC 2000 ART (neural net) | confidence-of-match error |
+//!
+//! Each module provides a `*Workload` type implementing both
+//! [`certa_fault::Target`] (program + I/O staging) and [`Workload`]
+//! (metadata + fidelity evaluation). Inputs are synthetic but structured,
+//! generated deterministically at construction and baked into the guest's
+//! data segment, so every trial of a campaign sees identical input.
+//!
+//! Guest kernels are written *branch-free over data* where real codecs are
+//! data-branch-free too (masks, saturation via bit tricks), so the static
+//! analysis can expose their genuine error tolerance; inherently
+//! control-dependent parts (loop bounds, table indices, shortest-path
+//! comparisons) remain branchy and therefore protected.
+
+pub mod adpcm;
+pub mod art;
+pub mod blowfish;
+pub mod common;
+pub mod gsm;
+pub mod mcf;
+pub mod mpeg;
+pub mod susan;
+
+use certa_fault::Target;
+use certa_fidelity::schedule::ScheduleFidelity;
+
+pub use adpcm::AdpcmWorkload;
+pub use art::ArtWorkload;
+pub use blowfish::BlowfishWorkload;
+pub use gsm::GsmWorkload;
+pub use mcf::McfWorkload;
+pub use mpeg::MpegWorkload;
+pub use susan::SusanWorkload;
+
+/// Workload-specific fidelity verdict for one completed trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FidelityDetail {
+    /// PSNR of the faulty output against the golden output (Susan).
+    Psnr {
+        /// PSNR in dB (infinite when identical).
+        db: f64,
+    },
+    /// Fraction of bad frames (MPEG).
+    BadFrames {
+        /// Fraction in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Schedule verdict (MCF).
+    Schedule(ScheduleFidelity),
+    /// Fraction of bytes matching (Blowfish, ADPCM).
+    ByteSimilarity {
+        /// Fraction in `[0, 1]`.
+        fraction: f64,
+    },
+    /// SNR loss of the decoded signal (GSM).
+    SnrLoss {
+        /// Loss in dB (0 = no degradation).
+        db: f64,
+    },
+    /// Recognition outcome (ART).
+    Confidence {
+        /// Relative error in match confidence.
+        error: f64,
+        /// Whether the object was still correctly recognized.
+        recognized: bool,
+    },
+}
+
+/// Fidelity of one completed trial: a normalized score plus the
+/// workload-specific detail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fidelity {
+    /// Normalized goodness in `[0, 1]` (1 = indistinguishable from golden).
+    pub score: f64,
+    /// Whether the output clears the paper's (or documented) fidelity
+    /// threshold for this application.
+    pub acceptable: bool,
+    /// Workload-specific measurement.
+    pub detail: FidelityDetail,
+}
+
+/// A benchmark application: a fault-injection [`Target`] plus metadata and
+/// the application-specific fidelity measure of Table 1.
+pub trait Workload: Target {
+    /// Short name (e.g. `"susan"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description.
+    fn description(&self) -> &'static str;
+
+    /// The fidelity measure as described in the paper's Table 1.
+    fn fidelity_measure(&self) -> &'static str;
+
+    /// Evaluates a completed trial's output against the golden output.
+    /// `None` (unreadable output region) must yield a zero-score fidelity.
+    fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity;
+}
+
+/// Constructs every workload in the study, in the paper's presentation
+/// order.
+#[must_use]
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(SusanWorkload::new()),
+        Box::new(MpegWorkload::new()),
+        Box::new(McfWorkload::new()),
+        Box::new(BlowfishWorkload::new()),
+        Box::new(GsmWorkload::new()),
+        Box::new(ArtWorkload::new()),
+        Box::new(AdpcmWorkload::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_seven() {
+        let w = all_workloads();
+        assert_eq!(w.len(), 7);
+        let names: Vec<&str> = w.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            ["susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"]
+        );
+    }
+
+    #[test]
+    fn every_program_validates_and_has_an_eligible_function() {
+        for w in all_workloads() {
+            let p = w.program();
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(
+                p.functions.iter().any(|f| f.eligible),
+                "{} must mark at least one eligible function",
+                w.name()
+            );
+            assert!(!w.description().is_empty());
+            assert!(!w.fidelity_measure().is_empty());
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! MCF single-depot vehicle scheduler (SPEC 2000 `181.mcf`).
+//!
+//! MCF schedules vehicles for timetabled trips: every trip needs a vehicle,
+//! a vehicle may serve a later trip if it can dead-head there in time, and
+//! each fresh vehicle costs a pull-out fee. SPEC's solver is a network
+//! simplex; this workload formulates the identical problem as a min-cost
+//! flow and solves it with **successive shortest paths** (Bellman–Ford on
+//! the residual network) — a standard exact algorithm for the same network
+//! flow problem, substituted per `DESIGN.md`.
+//!
+//! The solver is almost entirely *control*: shortest-path relaxations are
+//! comparisons, which is why the paper's Table 3 reports MCF as the least
+//! taggable application (8.9% low-reliability instructions).
+//!
+//! Fidelity (Table 1/§5.2): the schedule is compared against the optimum;
+//! corrupted runs produce schedules that are "not just inoptimal, but
+//! incomplete" — captured by
+//! [`certa_fidelity::schedule::ScheduleFidelity`].
+
+use certa_asm::Asm;
+use certa_fault::Target;
+use certa_fidelity::schedule::{judge, Schedule, ScheduleFidelity};
+use certa_isa::reg::{S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+use crate::common::read_output;
+use crate::{Fidelity, FidelityDetail, Workload};
+
+/// Number of timetabled trips.
+pub const TRIPS: usize = 12;
+/// Pull-out cost of deploying one vehicle.
+pub const PULLOUT: i32 = 50;
+/// Minimum dead-head gap between linked trips.
+pub const GAP: i32 = 5;
+/// "Infinity" for Bellman–Ford distances.
+const INF: i32 = 1 << 28;
+/// Output bytes: i64 cost + one u32 per trip.
+pub const OUT_LEN: usize = 8 + TRIPS * 4;
+
+/// The deterministic trip timetable: `(start, end)` per trip.
+#[must_use]
+pub fn trips() -> Vec<(i32, i32)> {
+    (0..TRIPS as i32)
+        .map(|i| {
+            let start = 10 * i + (i % 3) * 4;
+            let dur = 18 + (i * 7) % 9;
+            (start, start + dur)
+        })
+        .collect()
+}
+
+/// Whether a vehicle finishing trip `i` can serve trip `j`.
+fn compatible(t: &[(i32, i32)], i: usize, j: usize) -> bool {
+    t[i].1 + GAP <= t[j].0
+}
+
+/// Dead-head link cost from trip `i` to trip `j`.
+fn link_cost(t: &[(i32, i32)], i: usize, j: usize) -> i32 {
+    8 + (t[j].0 - t[i].1) / 4
+}
+
+#[derive(Debug, Clone)]
+struct Network {
+    /// Flat edge arrays; edge `2k+1` is the residual twin of edge `2k`.
+    from: Vec<i32>,
+    to: Vec<i32>,
+    cost: Vec<i32>,
+    cap: Vec<i32>,
+    /// Links: `(forward edge index, i, j, original cost)`.
+    links: Vec<(usize, usize, usize, i32)>,
+    nodes: usize,
+}
+
+fn build_network() -> Network {
+    let t = trips();
+    let nodes = 2 + 2 * TRIPS;
+    let mut n = Network {
+        from: Vec::new(),
+        to: Vec::new(),
+        cost: Vec::new(),
+        cap: Vec::new(),
+        links: Vec::new(),
+        nodes,
+    };
+    let add = |n: &mut Network, from: usize, to: usize, cost: i32| -> usize {
+        let e = n.from.len();
+        n.from.push(from as i32);
+        n.to.push(to as i32);
+        n.cost.push(cost);
+        n.cap.push(1);
+        n.from.push(to as i32);
+        n.to.push(from as i32);
+        n.cost.push(-cost);
+        n.cap.push(0);
+        e
+    };
+    for i in 0..TRIPS {
+        add(&mut n, 0, 2 + i, 0); // source -> out_i
+    }
+    for j in 0..TRIPS {
+        add(&mut n, 2 + TRIPS + j, 1, 0); // in_j -> sink
+    }
+    for i in 0..TRIPS {
+        for j in 0..TRIPS {
+            if i != j && compatible(&t, i, j) {
+                let c = link_cost(&t, i, j);
+                let e = add(&mut n, 2 + i, 2 + TRIPS + j, c - PULLOUT);
+                n.links.push((e, i, j, c));
+            }
+        }
+    }
+    n
+}
+
+/// Host-side reference solver (mirrors the guest's algorithm exactly,
+/// including iteration order and tie-breaking).
+#[must_use]
+pub fn reference_schedule() -> Schedule {
+    let mut n = build_network();
+    let edges = n.from.len();
+    loop {
+        let mut dist = vec![INF; n.nodes];
+        let mut parent = vec![-1i32; n.nodes];
+        dist[0] = 0;
+        for _ in 0..n.nodes - 1 {
+            for e in 0..edges {
+                if n.cap[e] == 0 {
+                    continue;
+                }
+                let u = n.from[e] as usize;
+                if dist[u] >= INF {
+                    continue;
+                }
+                let nd = dist[u] + n.cost[e];
+                let w = n.to[e] as usize;
+                if nd < dist[w] {
+                    dist[w] = nd;
+                    parent[w] = e as i32;
+                }
+            }
+        }
+        if dist[1] >= 0 {
+            break;
+        }
+        let mut v = 1usize;
+        while v != 0 {
+            let e = parent[v] as usize;
+            n.cap[e] -= 1;
+            n.cap[e ^ 1] += 1;
+            v = n.from[e] as usize;
+        }
+    }
+    // extract successor links
+    let mut succ = vec![-1i32; TRIPS];
+    let mut pred = vec![-1i32; TRIPS];
+    let mut link_sum = 0i64;
+    for &(e, i, j, c) in &n.links {
+        if n.cap[e] == 0 {
+            succ[i] = j as i32;
+            pred[j] = i as i32;
+            link_sum += i64::from(c);
+        }
+    }
+    // vehicle assignment by chain heads in trip order
+    let mut assignment = vec![0u32; TRIPS];
+    let mut vehicles = 0u32;
+    for i in 0..TRIPS {
+        if pred[i] < 0 {
+            let mut t = i as i32;
+            while t >= 0 {
+                assignment[t as usize] = vehicles;
+                t = succ[t as usize];
+            }
+            vehicles += 1;
+        }
+    }
+    Schedule {
+        assignment,
+        cost: i64::from(PULLOUT) * i64::from(vehicles) + link_sum,
+    }
+}
+
+/// The MCF workload.
+#[derive(Debug)]
+pub struct McfWorkload {
+    program: Program,
+    out_len_addr: u32,
+    out_addr: u32,
+}
+
+impl Default for McfWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl McfWorkload {
+    /// Builds the workload (the timetable is fixed and deterministic).
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn new() -> Self {
+        let n = build_network();
+        let edges = n.from.len() as i32;
+        let nodes = n.nodes as i32;
+        let nlinks = n.links.len() as i32;
+        let ntrips = TRIPS as i32;
+
+        let mut a = Asm::new();
+        let efrom = a.data_words(&n.from);
+        let eto = a.data_words(&n.to);
+        let ecost = a.data_words(&n.cost);
+        let ecap = a.data_words(&n.cap);
+        let linkidx =
+            a.data_words(&n.links.iter().map(|&(e, ..)| e as i32).collect::<Vec<_>>());
+        let linkfrom =
+            a.data_words(&n.links.iter().map(|&(_, i, ..)| i as i32).collect::<Vec<_>>());
+        let linkto =
+            a.data_words(&n.links.iter().map(|&(_, _, j, _)| j as i32).collect::<Vec<_>>());
+        let linkcost =
+            a.data_words(&n.links.iter().map(|&(.., c)| c).collect::<Vec<_>>());
+        let dist = a.data_zero(n.nodes * 4);
+        let parent = a.data_zero(n.nodes * 4);
+        let succ = a.data_zero(TRIPS * 4);
+        let pred = a.data_zero(TRIPS * 4);
+        let out_addr = a.data_zero(OUT_LEN);
+        let out_len_addr = a.data_zero(4);
+
+        // ------------------------------------------------------------
+        // mcf_solve (eligible, leaf): successive shortest paths
+        // ------------------------------------------------------------
+        a.func("mcf_solve", true);
+        a.la(S0, efrom);
+        a.la(S1, eto);
+        a.la(S2, ecost);
+        a.la(S3, ecap);
+        a.la(S4, dist);
+        a.la(S5, parent);
+        a.label("aug_loop");
+        // ---- init dist/parent ----
+        a.li(S6, 0);
+        a.label("init_loop");
+        a.slli(T0, S6, 2);
+        a.li(T2, INF);
+        a.add(T1, S4, T0);
+        a.sw(T2, 0, T1);
+        a.li(T2, -1);
+        a.add(T1, S5, T0);
+        a.sw(T2, 0, T1);
+        a.addi(S6, S6, 1);
+        a.slti(T0, S6, nodes);
+        a.bnez(T0, "init_loop");
+        a.sw(certa_isa::reg::ZERO, 0, S4); // dist[source] = 0
+        // ---- |V|-1 relaxation rounds ----
+        a.li(S7, 0);
+        a.label("round_loop");
+        a.li(S6, 0);
+        a.label("edge_loop");
+        a.slli(T0, S6, 2);
+        a.add(T1, S3, T0);
+        a.lw(T2, 0, T1); // cap[e]
+        a.beqz(T2, "edge_next");
+        a.add(T1, S0, T0);
+        a.lw(T3, 0, T1); // u
+        a.slli(T4, T3, 2);
+        a.add(T4, S4, T4);
+        a.lw(T5, 0, T4); // dist[u]
+        a.li(T6, INF);
+        a.bge(T5, T6, "edge_next");
+        a.add(T1, S2, T0);
+        a.lw(T6, 0, T1); // cost[e]
+        a.add(T5, T5, T6); // nd
+        a.add(T1, S1, T0);
+        a.lw(T7, 0, T1); // w
+        a.slli(T8, T7, 2);
+        a.add(T8, S4, T8);
+        a.lw(T9, 0, T8); // dist[w]
+        a.bge(T5, T9, "edge_next");
+        a.sw(T5, 0, T8); // dist[w] = nd
+        a.slli(T8, T7, 2);
+        a.add(T8, S5, T8);
+        a.sw(S6, 0, T8); // parent[w] = e
+        a.label("edge_next");
+        a.addi(S6, S6, 1);
+        a.slti(T0, S6, edges);
+        a.bnez(T0, "edge_loop");
+        a.addi(S7, S7, 1);
+        a.slti(T0, S7, nodes - 1);
+        a.bnez(T0, "round_loop");
+        // ---- profitable path? ----
+        a.lw(T0, 4, S4); // dist[sink]
+        a.bgez(T0, "aug_done");
+        // ---- augment along parent chain from sink ----
+        a.li(T1, 1); // v = sink
+        a.label("aug_walk");
+        a.slli(T2, T1, 2);
+        a.add(T2, S5, T2);
+        a.lw(T3, 0, T2); // e = parent[v]
+        a.bltz(T3, "aug_done"); // corrupt chain guard
+        a.slli(T4, T3, 2);
+        a.add(T5, S3, T4);
+        a.lw(T6, 0, T5);
+        a.addi(T6, T6, -1);
+        a.sw(T6, 0, T5); // cap[e]--
+        a.xori(T7, T3, 1);
+        a.slli(T7, T7, 2);
+        a.add(T7, S3, T7);
+        a.lw(T8, 0, T7);
+        a.addi(T8, T8, 1);
+        a.sw(T8, 0, T7); // cap[e^1]++
+        a.add(T4, S0, T4);
+        a.lw(T1, 0, T4); // v = from[e]
+        a.bnez(T1, "aug_walk");
+        a.j("aug_loop");
+        a.label("aug_done");
+        // ---- init succ/pred to -1 ----
+        a.la(S4, succ);
+        a.la(S5, pred);
+        a.li(S6, 0);
+        a.label("ps_init");
+        a.slli(T0, S6, 2);
+        a.li(T1, -1);
+        a.add(T2, S4, T0);
+        a.sw(T1, 0, T2);
+        a.add(T2, S5, T0);
+        a.sw(T1, 0, T2);
+        a.addi(S6, S6, 1);
+        a.slti(T0, S6, ntrips);
+        a.bnez(T0, "ps_init");
+        // ---- scan used links; accumulate link cost in S7 ----
+        a.la(S0, linkidx);
+        a.la(S1, linkfrom);
+        a.la(S2, linkto);
+        a.li(S7, 0);
+        a.li(S6, 0);
+        a.label("link_loop");
+        a.slli(T0, S6, 2);
+        a.add(T1, S0, T0);
+        a.lw(T2, 0, T1); // e
+        a.slli(T3, T2, 2);
+        a.add(T3, S3, T3);
+        a.lw(T4, 0, T3); // cap[e]
+        a.bnez(T4, "link_next"); // cap 1 => unused
+        a.add(T1, S1, T0);
+        a.lw(T5, 0, T1); // i
+        a.add(T1, S2, T0);
+        a.lw(T6, 0, T1); // j
+        a.slli(T7, T5, 2);
+        a.add(T7, S4, T7);
+        a.sw(T6, 0, T7); // succ[i] = j
+        a.slli(T7, T6, 2);
+        a.add(T7, S5, T7);
+        a.sw(T5, 0, T7); // pred[j] = i
+        a.la(T8, linkcost);
+        a.add(T8, T8, T0);
+        a.lw(T8, 0, T8);
+        a.add(S7, S7, T8); // link cost sum
+        a.label("link_next");
+        a.addi(S6, S6, 1);
+        a.slti(T0, S6, nlinks);
+        a.bnez(T0, "link_loop");
+        // ---- assignment by chain heads ----
+        a.la(S0, out_addr);
+        a.li(T9, 0); // vehicle counter
+        a.li(S6, 0); // trip
+        a.label("assign_loop");
+        a.slli(T0, S6, 2);
+        a.add(T1, S5, T0);
+        a.lw(T2, 0, T1); // pred[i]
+        a.bgez(T2, "assign_next");
+        a.mv(T3, S6); // t = i
+        a.label("chain_loop");
+        a.slli(T4, T3, 2);
+        a.add(T5, S0, T4);
+        a.sw(T9, 8, T5); // assignment[t] = v
+        a.add(T5, S4, T4);
+        a.lw(T3, 0, T5); // t = succ[t]
+        a.bgez(T3, "chain_loop");
+        a.addi(T9, T9, 1);
+        a.label("assign_next");
+        a.addi(S6, S6, 1);
+        a.slti(T0, S6, ntrips);
+        a.bnez(T0, "assign_loop");
+        // ---- cost = PULLOUT * vehicles + link sum (64-bit LE) ----
+        a.muli(T0, T9, PULLOUT);
+        a.add(T0, T0, S7);
+        a.sw(T0, 0, S0);
+        a.srai(T1, T0, 31);
+        a.sw(T1, 4, S0);
+        a.ret();
+        a.endfunc();
+
+        // main
+        a.func("main", false);
+        a.call("mcf_solve");
+        a.la(T0, out_len_addr);
+        a.li(T1, OUT_LEN as i32);
+        a.sw(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+
+        McfWorkload {
+            program: a.assemble().expect("mcf guest must assemble"),
+            out_len_addr,
+            out_addr,
+        }
+    }
+}
+
+impl Target for McfWorkload {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, _machine: &mut Machine<'_>) {}
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        read_output(machine, self.out_len_addr, self.out_addr, OUT_LEN as u32)
+    }
+}
+
+impl Workload for McfWorkload {
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn description(&self) -> &'static str {
+        "Single-depot vehicle scheduling solved as min-cost flow (successive shortest paths)"
+    }
+
+    fn fidelity_measure(&self) -> &'static str {
+        "schedule optimality vs. the optimal schedule (% extra cost; incomplete = failure)"
+    }
+
+    fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity {
+        let golden_schedule =
+            Schedule::decode(golden, TRIPS).expect("golden schedule must decode");
+        let faulty = trial.and_then(|t| Schedule::decode(t, TRIPS));
+        let verdict = judge(&golden_schedule, faulty.as_ref(), TRIPS as u32);
+        let (score, acceptable) = match verdict {
+            ScheduleFidelity::Optimal => (1.0, true),
+            ScheduleFidelity::Suboptimal { extra_cost_percent } => {
+                (1.0 / (1.0 + f64::from(extra_cost_percent) / 100.0), false)
+            }
+            ScheduleFidelity::Incomplete => (0.0, false),
+        };
+        Fidelity {
+            score,
+            acceptable,
+            detail: FidelityDetail::Schedule(verdict),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::analyze;
+    use certa_fault::{run_campaign, CampaignConfig, Protection};
+    use certa_sim::{MachineConfig, Outcome};
+
+    #[test]
+    fn timetable_has_compatible_pairs() {
+        let t = trips();
+        let n = build_network();
+        assert!(
+            n.links.len() > 5,
+            "instance must have real linking choices, got {}",
+            n.links.len()
+        );
+        for &(_, i, j, c) in &n.links {
+            assert!(compatible(&t, i, j));
+            assert!(c < PULLOUT, "links must be cheaper than a pull-out");
+        }
+    }
+
+    #[test]
+    fn reference_beats_naive_schedule() {
+        let s = reference_schedule();
+        let naive = i64::from(PULLOUT) * TRIPS as i64;
+        assert!(
+            s.cost < naive,
+            "optimal ({}) must beat one-vehicle-per-trip ({naive})",
+            s.cost
+        );
+        assert_eq!(s.assignment.len(), TRIPS);
+        // chained trips must not overlap
+        let t = trips();
+        for v in 0..TRIPS as u32 {
+            let mut served: Vec<usize> = (0..TRIPS).filter(|&i| s.assignment[i] == v).collect();
+            served.sort_by_key(|&i| t[i].0);
+            for w in served.windows(2) {
+                assert!(
+                    compatible(&t, w[0], w[1]),
+                    "vehicle {v} serves incompatible trips {} and {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let w = McfWorkload::new();
+        let mut m = Machine::new(w.program(), &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        let out = w.extract(&m).expect("output readable");
+        let got = Schedule::decode(&out, TRIPS).expect("decodable");
+        assert_eq!(got, reference_schedule());
+    }
+
+    #[test]
+    fn evaluate_verdicts() {
+        let w = McfWorkload::new();
+        let golden = reference_schedule().encode();
+        let perfect = w.evaluate(&golden, Some(&golden));
+        assert!(perfect.acceptable);
+        assert_eq!(perfect.score, 1.0);
+        assert!(!w.evaluate(&golden, None).acceptable);
+        // inflated cost: suboptimal
+        let mut sub = reference_schedule();
+        sub.cost += sub.cost / 4;
+        let f = w.evaluate(&golden, Some(&sub.encode()));
+        assert!(!f.acceptable);
+        assert!(matches!(
+            f.detail,
+            FidelityDetail::Schedule(ScheduleFidelity::Suboptimal { .. })
+        ));
+    }
+
+    #[test]
+    fn mcf_is_control_dominated() {
+        // Paper Table 3: MCF has only 8.9% low-reliability instructions —
+        // by far the least taggable application.
+        let w = McfWorkload::new();
+        let tags = analyze(w.program());
+        let golden = certa_fault::run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                ..CampaignConfig::default()
+            },
+        )
+        .golden;
+        let frac = tags.dynamic_low_reliability_fraction(&golden.exec_counts);
+        assert!(
+            frac < 0.35,
+            "mcf should be control-dominated, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn protected_campaign_is_stable() {
+        let w = McfWorkload::new();
+        let tags = analyze(w.program());
+        let r = run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 16,
+                errors: 1,
+                protection: Protection::On,
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(r.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,593 @@
+//! MPEG video encoder (paper §2).
+//!
+//! A block-transform video encoder with the MPEG frame-type structure:
+//! **I** frames are coded standalone (prediction from a flat mid-gray),
+//! **P** frames predict from the last reference frame's reconstruction,
+//! and **B** frames predict from the last reference with coarser
+//! quantization and never serve as references. Each 4×4 block goes through
+//! a 2-D integer Hadamard transform (the H.26x-family integer transform),
+//! dead-zone quantization by the frame type's step, dequantization, and
+//! inverse transform — the encoder's own reconstruction loop, which is
+//! what the decoder would see. Full MPEG-2 DCT/motion search is reduced
+//! per `DESIGN.md`; the I/P/B dependence structure, which is what the
+//! paper's fidelity measure keys on, is preserved.
+//!
+//! Fidelity (Table 1): % of bad frames, where a frame is bad if its SNR
+//! loss against the fault-free reconstruction exceeds 2 dB (I), 4 dB (P)
+//! or 6 dB (B); the viewer-acceptability threshold is 10% bad frames.
+
+use certa_asm::Asm;
+use certa_fault::Target;
+use certa_fidelity::mpeg::{bad_frame_fraction, Frame, FrameType, BAD_FRAME_THRESHOLD};
+use certa_isa::reg::{
+    A2, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9,
+};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+use crate::common::{emit_clamp_255, read_output, XorShift64};
+use crate::{Fidelity, FidelityDetail, Workload};
+
+/// Frame side length (square frames).
+pub const DIM: usize = 32;
+/// Pixels per frame.
+pub const FRAME_PIXELS: usize = DIM * DIM;
+/// Number of frames in the sequence.
+pub const NUM_FRAMES: usize = 6;
+/// The GOP pattern.
+pub const GOP: [FrameType; NUM_FRAMES] = [
+    FrameType::I,
+    FrameType::B,
+    FrameType::P,
+    FrameType::B,
+    FrameType::P,
+    FrameType::B,
+];
+
+/// Quantization shift per frame type (B frames are quantized coarser).
+#[must_use]
+pub fn quant_shift(kind: FrameType) -> i32 {
+    match kind {
+        FrameType::I | FrameType::P => 3,
+        FrameType::B => 4,
+    }
+}
+
+/// Per-frame prediction source: `None` for I frames (flat mid-gray),
+/// otherwise the index of the last reference (I/P) frame.
+#[must_use]
+pub fn pred_sources() -> [Option<usize>; NUM_FRAMES] {
+    let mut out = [None; NUM_FRAMES];
+    let mut last_ref: Option<usize> = None;
+    for (f, &kind) in GOP.iter().enumerate() {
+        out[f] = match kind {
+            FrameType::I => None,
+            FrameType::P | FrameType::B => last_ref,
+        };
+        if matches!(kind, FrameType::I | FrameType::P) {
+            last_ref = Some(f);
+        }
+    }
+    out
+}
+
+/// Generates the synthetic video: a gradient background with a bright
+/// square moving two pixels per frame, plus mild per-frame noise.
+#[must_use]
+pub fn test_video(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = XorShift64::new(seed);
+    (0..NUM_FRAMES)
+        .map(|f| {
+            let mut frame = vec![0u8; FRAME_PIXELS];
+            let sq_x = 4 + 2 * f;
+            for y in 0..DIM {
+                for x in 0..DIM {
+                    let mut v = 40 + (x as i32) * 3 + (y as i32);
+                    if (sq_x..sq_x + 8).contains(&x) && (10..18).contains(&y) {
+                        v = 220;
+                    }
+                    v += (rng.next_below(5) as i32) - 2;
+                    frame[y * DIM + x] = v.clamp(0, 255) as u8;
+                }
+            }
+            frame
+        })
+        .collect()
+}
+
+/// One-dimensional 4-point Hadamard butterfly (symmetric: used for both
+/// forward and inverse).
+fn hadamard4(a: i32, b: i32, c: i32, d: i32) -> (i32, i32, i32, i32) {
+    let u0 = a + b;
+    let u1 = c + d;
+    let u2 = a - b;
+    let v = c - d;
+    (u0 + u1, u0 - u1, u2 - v, u2 + v)
+}
+
+/// Host-side reference encoder: returns the reconstructed frames (mirrors
+/// the guest exactly).
+///
+/// # Panics
+///
+/// Panics if `video` has the wrong frame count or frame size.
+#[must_use]
+pub fn reference_encode(video: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    assert_eq!(video.len(), NUM_FRAMES);
+    let preds = pred_sources();
+    let mut recon: Vec<Vec<u8>> = vec![vec![0u8; FRAME_PIXELS]; NUM_FRAMES];
+    let flat = vec![128u8; FRAME_PIXELS];
+    for f in 0..NUM_FRAMES {
+        assert_eq!(video[f].len(), FRAME_PIXELS);
+        let k = quant_shift(GOP[f]);
+        let qmask = (1i32 << k) - 1;
+        let pred: Vec<u8> = match preds[f] {
+            None => flat.clone(),
+            Some(r) => recon[r].clone(),
+        };
+        for by in 0..DIM / 4 {
+            for bx in 0..DIM / 4 {
+                let mut tmp = [0i32; 16];
+                // forward rows
+                for r in 0..4 {
+                    let off = (by * 4 + r) * DIM + bx * 4;
+                    let resid = |i: usize| {
+                        i32::from(video[f][off + i]) - i32::from(pred[off + i])
+                    };
+                    let (a, b, c, d) = hadamard4(resid(0), resid(1), resid(2), resid(3));
+                    tmp[r * 4] = a;
+                    tmp[r * 4 + 1] = b;
+                    tmp[r * 4 + 2] = c;
+                    tmp[r * 4 + 3] = d;
+                }
+                // forward cols + quantize/dequantize
+                for c in 0..4 {
+                    let (a, b, cc, d) =
+                        hadamard4(tmp[c], tmp[4 + c], tmp[8 + c], tmp[12 + c]);
+                    for (r, h) in [a, b, cc, d].into_iter().enumerate() {
+                        let bias = (h >> 31) & qmask;
+                        let q = (h + bias) >> k;
+                        tmp[r * 4 + c] = q << k;
+                    }
+                }
+                // inverse rows
+                for r in 0..4 {
+                    let (a, b, c, d) =
+                        hadamard4(tmp[r * 4], tmp[r * 4 + 1], tmp[r * 4 + 2], tmp[r * 4 + 3]);
+                    tmp[r * 4] = a;
+                    tmp[r * 4 + 1] = b;
+                    tmp[r * 4 + 2] = c;
+                    tmp[r * 4 + 3] = d;
+                }
+                // inverse cols, normalize, reconstruct
+                for c in 0..4 {
+                    let (a, b, cc, d) =
+                        hadamard4(tmp[c], tmp[4 + c], tmp[8 + c], tmp[12 + c]);
+                    for (r, h) in [a, b, cc, d].into_iter().enumerate() {
+                        let v = (h + 8) >> 4;
+                        let off = (by * 4 + r) * DIM + bx * 4 + c;
+                        let pix = (v + i32::from(pred[off])).clamp(0, 255);
+                        recon[f][off] = pix as u8;
+                    }
+                }
+            }
+        }
+    }
+    recon
+}
+
+/// Emits the Hadamard butterfly on `(T2, T3, T4, T5)`; results land in
+/// `(T2, T3, T5, T4)` — note the swapped last pair. Clobbers `T6`–`T8`.
+fn emit_hadamard(a: &mut Asm) {
+    a.add(T6, T2, T3); // u0
+    a.add(T7, T4, T5); // u1
+    a.sub(T8, T2, T3); // u2
+    a.sub(T4, T4, T5); // v = c - d
+    a.add(T2, T6, T7); // a' = u0 + u1
+    a.sub(T3, T6, T7); // b' = u0 - u1
+    a.sub(T5, T8, T4); // c' = u2 - v
+    a.add(T4, T8, T4); // d' = u2 + v
+}
+
+/// The MPEG workload.
+#[derive(Debug)]
+pub struct MpegWorkload {
+    program: Program,
+    video: Vec<Vec<u8>>,
+    out_len_addr: u32,
+    out_addr: u32,
+}
+
+impl Default for MpegWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MpegWorkload {
+    /// Builds the workload with the default synthetic video.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(7)
+    }
+
+    /// Builds the workload with video generated from `seed`.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn with_seed(seed: u64) -> Self {
+        let video = test_video(seed);
+        let preds = pred_sources();
+        let dim = DIM as i32;
+
+        let mut a = Asm::new();
+        let flat: Vec<u8> = vec![128; FRAME_PIXELS];
+        let src_addr = {
+            let all: Vec<u8> = video.iter().flatten().copied().collect();
+            a.data_bytes(&all)
+        };
+        let flat_addr = a.data_bytes(&flat);
+        // per-frame params: [qshift, pred_index(-1 for I)] pairs
+        let params: Vec<i32> = (0..NUM_FRAMES)
+            .flat_map(|f| {
+                [
+                    quant_shift(GOP[f]),
+                    preds[f].map_or(-1, |r| r as i32),
+                ]
+            })
+            .collect();
+        let params_addr = a.data_words(&params);
+        let tmp_addr = a.data_zero(16 * 4);
+        let out_addr = a.data_zero(NUM_FRAMES * FRAME_PIXELS); // recon frames
+        let out_len_addr = a.data_zero(4);
+
+        // ------------------------------------------------------------
+        // mpeg_encode (eligible, leaf)
+        //   S0=src frame, S1=recon frame, S2=pred base, S3=by, S4=bx,
+        //   S5=qshift, S6=tmp, S7=f, A2=qmask, T9=minor loop counter
+        // ------------------------------------------------------------
+        a.func("mpeg_encode", true);
+        a.la(S6, tmp_addr);
+        a.li(S7, 0);
+        a.label("mf_frame");
+        a.muli(T0, S7, FRAME_PIXELS as i32);
+        a.la(T1, src_addr);
+        a.add(S0, T1, T0);
+        a.la(T1, out_addr);
+        a.add(S1, T1, T0);
+        // k and pred index
+        a.la(T1, params_addr);
+        a.slli(T2, S7, 3);
+        a.add(T1, T1, T2);
+        a.lw(S5, 0, T1);
+        a.lw(T3, 4, T1);
+        // qmask = (1 << k) - 1
+        a.li(A2, 1);
+        a.sll(A2, A2, S5);
+        a.addi(A2, A2, -1);
+        // pred base
+        a.bltz(T3, "mf_flat");
+        a.muli(T4, T3, FRAME_PIXELS as i32);
+        a.la(T5, out_addr);
+        a.add(S2, T5, T4);
+        a.j("mf_pred_done");
+        a.label("mf_flat");
+        a.la(S2, flat_addr);
+        a.label("mf_pred_done");
+        a.li(S3, 0); // by
+        a.label("mf_by");
+        a.li(S4, 0); // bx
+        a.label("mf_bx");
+
+        // ---- pass 1: forward rows (residual -> tmp) ----
+        a.li(T9, 0);
+        a.label("mf_p1");
+        // off = (by*4 + r)*DIM + bx*4
+        a.slli(T0, S3, 2);
+        a.add(T0, T0, T9);
+        a.muli(T0, T0, dim);
+        a.slli(T1, S4, 2);
+        a.add(T0, T0, T1);
+        a.add(T1, S0, T0);
+        a.lbu(T2, 0, T1);
+        a.lbu(T3, 1, T1);
+        a.lbu(T4, 2, T1);
+        a.lbu(T5, 3, T1);
+        a.add(T6, S2, T0);
+        a.lbu(T7, 0, T6);
+        a.sub(T2, T2, T7);
+        a.lbu(T7, 1, T6);
+        a.sub(T3, T3, T7);
+        a.lbu(T7, 2, T6);
+        a.sub(T4, T4, T7);
+        a.lbu(T7, 3, T6);
+        a.sub(T5, T5, T7);
+        emit_hadamard(&mut a);
+        a.slli(T6, T9, 4);
+        a.add(T6, S6, T6);
+        a.sw(T2, 0, T6);
+        a.sw(T3, 4, T6);
+        a.sw(T5, 8, T6);
+        a.sw(T4, 12, T6);
+        a.addi(T9, T9, 1);
+        a.slti(T0, T9, 4);
+        a.bnez(T0, "mf_p1");
+
+        // ---- pass 2: forward cols + quantize/dequantize ----
+        a.li(T9, 0);
+        a.label("mf_p2");
+        a.slli(T0, T9, 2);
+        a.add(T0, S6, T0);
+        a.lw(T2, 0, T0);
+        a.lw(T3, 16, T0);
+        a.lw(T4, 32, T0);
+        a.lw(T5, 48, T0);
+        emit_hadamard(&mut a);
+        for reg in [T2, T3, T5, T4] {
+            a.srai(T6, reg, 31);
+            a.and(T6, T6, A2);
+            a.add(reg, reg, T6);
+            a.sra(reg, reg, S5);
+            a.sll(reg, reg, S5);
+        }
+        a.sw(T2, 0, T0);
+        a.sw(T3, 16, T0);
+        a.sw(T5, 32, T0);
+        a.sw(T4, 48, T0);
+        a.addi(T9, T9, 1);
+        a.slti(T1, T9, 4);
+        a.bnez(T1, "mf_p2");
+
+        // ---- pass 3: inverse rows ----
+        a.li(T9, 0);
+        a.label("mf_p3");
+        a.slli(T0, T9, 4);
+        a.add(T0, S6, T0);
+        a.lw(T2, 0, T0);
+        a.lw(T3, 4, T0);
+        a.lw(T4, 8, T0);
+        a.lw(T5, 12, T0);
+        emit_hadamard(&mut a);
+        a.sw(T2, 0, T0);
+        a.sw(T3, 4, T0);
+        a.sw(T5, 8, T0);
+        a.sw(T4, 12, T0);
+        a.addi(T9, T9, 1);
+        a.slti(T1, T9, 4);
+        a.bnez(T1, "mf_p3");
+
+        // ---- pass 4: inverse cols, normalize, reconstruct ----
+        a.li(T9, 0);
+        a.label("mf_p4");
+        a.slli(T0, T9, 2);
+        a.add(T0, S6, T0);
+        a.lw(T2, 0, T0);
+        a.lw(T3, 16, T0);
+        a.lw(T4, 32, T0);
+        a.lw(T5, 48, T0);
+        emit_hadamard(&mut a);
+        // T8 = block origin = (by*4)*DIM + bx*4
+        a.slli(T8, S3, 2);
+        a.muli(T8, T8, dim);
+        a.slli(T0, S4, 2);
+        a.add(T8, T8, T0);
+        // values (T2,T3,T5,T4) are rows 0..3 of column T9
+        for (row, reg) in [(0i32, T2), (1, T3), (2, T5), (3, T4)] {
+            a.addi(reg, reg, 8);
+            a.srai(reg, reg, 4);
+            // off = origin + row*DIM + c
+            a.addi(T6, T8, row * dim);
+            a.add(T6, T6, T9);
+            a.add(T7, S2, T6);
+            a.lbu(T7, 0, T7);
+            a.add(reg, reg, T7);
+            emit_clamp_255(&mut a, T1, reg, T7, T0);
+            a.add(T7, S1, T6);
+            a.sb(T1, 0, T7);
+        }
+        a.addi(T9, T9, 1);
+        a.slti(T1, T9, 4);
+        a.bnez(T1, "mf_p4");
+
+        // ---- block/frame loop tails ----
+        a.addi(S4, S4, 1);
+        a.slti(T0, S4, dim / 4);
+        a.bnez(T0, "mf_bx");
+        a.addi(S3, S3, 1);
+        a.slti(T0, S3, dim / 4);
+        a.bnez(T0, "mf_by");
+        a.addi(S7, S7, 1);
+        a.slti(T0, S7, NUM_FRAMES as i32);
+        a.bnez(T0, "mf_frame");
+        a.ret();
+        a.endfunc();
+
+        // main
+        a.func("main", false);
+        a.call("mpeg_encode");
+        a.la(T0, out_len_addr);
+        a.li(T1, (NUM_FRAMES * FRAME_PIXELS) as i32);
+        a.sw(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+
+        MpegWorkload {
+            program: a.assemble().expect("mpeg guest must assemble"),
+            video,
+            out_len_addr,
+            out_addr,
+        }
+    }
+
+    /// The source frames baked into the guest.
+    #[must_use]
+    pub fn video(&self) -> &[Vec<u8>] {
+        &self.video
+    }
+
+    fn to_frames(&self, flat: &[u8]) -> Option<Vec<Frame>> {
+        if flat.len() != NUM_FRAMES * FRAME_PIXELS {
+            return None;
+        }
+        Some(
+            flat.chunks_exact(FRAME_PIXELS)
+                .zip(GOP)
+                .map(|(pixels, kind)| Frame {
+                    kind,
+                    pixels: pixels.to_vec(),
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Target for MpegWorkload {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, _machine: &mut Machine<'_>) {}
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        read_output(
+            machine,
+            self.out_len_addr,
+            self.out_addr,
+            (NUM_FRAMES * FRAME_PIXELS) as u32,
+        )
+    }
+}
+
+impl Workload for MpegWorkload {
+    fn name(&self) -> &'static str {
+        "mpeg"
+    }
+
+    fn description(&self) -> &'static str {
+        "Block-transform video encoder with I/P/B GOP structure and reconstruction loop"
+    }
+
+    fn fidelity_measure(&self) -> &'static str {
+        "% bad frames (SNR loss > 2/4/6 dB for I/P/B); threshold 10% bad frames"
+    }
+
+    fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity {
+        let failed = Fidelity {
+            score: 0.0,
+            acceptable: false,
+            detail: FidelityDetail::BadFrames { fraction: 1.0 },
+        };
+        let Some(out) = trial else { return failed };
+        let (Some(golden_frames), Some(faulty_frames)) =
+            (self.to_frames(golden), self.to_frames(out))
+        else {
+            return failed;
+        };
+        let source: Vec<Frame> = self
+            .video
+            .iter()
+            .zip(GOP)
+            .map(|(pixels, kind)| Frame {
+                kind,
+                pixels: pixels.clone(),
+            })
+            .collect();
+        let fraction = bad_frame_fraction(&source, &golden_frames, &faulty_frames);
+        Fidelity {
+            score: 1.0 - fraction,
+            acceptable: fraction <= BAD_FRAME_THRESHOLD,
+            detail: FidelityDetail::BadFrames { fraction },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::analyze;
+    use certa_fault::{run_campaign, CampaignConfig, Protection};
+    use certa_fidelity::mpeg::frame_snr_db;
+    use certa_sim::{MachineConfig, Outcome};
+
+    #[test]
+    fn gop_structure_is_sane() {
+        let preds = pred_sources();
+        assert_eq!(preds[0], None); // I
+        assert_eq!(preds[1], Some(0)); // B from I
+        assert_eq!(preds[2], Some(0)); // P from I
+        assert_eq!(preds[3], Some(2)); // B from P
+        assert_eq!(preds[4], Some(2)); // P from P
+        assert_eq!(preds[5], Some(4)); // B from P
+    }
+
+    #[test]
+    fn hadamard_is_self_inverse_up_to_16() {
+        for v in [(1, 2, 3, 4), (-7, 0, 100, -100), (255, -255, 128, 1)] {
+            let f = hadamard4(v.0, v.1, v.2, v.3);
+            let b = hadamard4(f.0, f.1, f.2, f.3);
+            assert_eq!((b.0 / 4, b.1 / 4, b.2 / 4, b.3 / 4), v);
+        }
+    }
+
+    #[test]
+    fn reference_reconstruction_is_high_quality() {
+        let video = test_video(7);
+        let recon = reference_encode(&video);
+        for (f, (src, rec)) in video.iter().zip(&recon).enumerate() {
+            let snr = frame_snr_db(src, rec);
+            assert!(
+                snr > 25.0,
+                "frame {f} reconstruction too lossy: {snr:.1} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let w = MpegWorkload::new();
+        let mut m = Machine::new(w.program(), &MachineConfig::default());
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        let out = w.extract(&m).expect("output readable");
+        let expected: Vec<u8> = reference_encode(w.video()).into_iter().flatten().collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn evaluate_counts_bad_frames() {
+        let w = MpegWorkload::new();
+        let golden: Vec<u8> = reference_encode(w.video()).into_iter().flatten().collect();
+        let perfect = w.evaluate(&golden, Some(&golden));
+        assert!(perfect.acceptable);
+        assert_eq!(perfect.score, 1.0);
+        // wreck the I frame: every frame that depends on it transitively is
+        // judged only by its own pixels, so exactly frame 0 turns bad here.
+        let mut bad = golden.clone();
+        for b in bad.iter_mut().take(FRAME_PIXELS) {
+            *b = b.wrapping_add(60);
+        }
+        let f = w.evaluate(&golden, Some(&bad));
+        assert!(matches!(
+            f.detail,
+            FidelityDetail::BadFrames { fraction } if fraction > 0.0
+        ));
+        assert!(!w.evaluate(&golden, None).acceptable);
+    }
+
+    #[test]
+    fn protected_campaign_is_stable() {
+        let w = MpegWorkload::new();
+        let tags = analyze(w.program());
+        let r = run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 12,
+                errors: 5,
+                protection: Protection::On,
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(r.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Susan edge detection (MiBench).
+//!
+//! Implements the Smallest Univalue Segment Assimilating Nucleus principle
+//! (paper §2): for every pixel, the brightness of each pixel inside a
+//! quasi-circular mask is compared against the mask's nucleus; the number of
+//! similar pixels (the USAN area `n`) is subtracted from the geometric
+//! threshold `g` to produce the edge response.
+//!
+//! Fidelity (Table 1): PSNR of the faulty edge map against the fault-free
+//! edge map — the paper uses Imagemagick's comparison with a 10 dB
+//! threshold; `certa-fidelity` provides the same PSNR computation.
+
+use certa_asm::Asm;
+use certa_fault::Target;
+use certa_fidelity::psnr;
+use certa_isa::reg::{S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T6};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+use crate::common::{emit_abs, read_output, XorShift64};
+use crate::{Fidelity, FidelityDetail, Workload};
+
+/// Image width and height (square image).
+pub const SIZE: usize = 48;
+/// Brightness-similarity threshold (the SUSAN `t` parameter).
+pub const THRESHOLD: i32 = 20;
+/// The paper's acceptability threshold: faulty output with PSNR below 10 dB
+/// is bad.
+pub const PSNR_THRESHOLD_DB: f64 = 10.0;
+
+/// Quasi-circular mask offsets `(dx, dy)` with `dx² + dy² ≤ 6`, nucleus
+/// excluded (20 neighbours).
+fn mask_offsets() -> Vec<(i32, i32)> {
+    let mut offsets = Vec::new();
+    for dy in -2i32..=2 {
+        for dx in -2i32..=2 {
+            if (dx, dy) != (0, 0) && dx * dx + dy * dy <= 6 {
+                offsets.push((dx, dy));
+            }
+        }
+    }
+    offsets
+}
+
+/// Geometric threshold `g = 3/4 · mask size`.
+fn geometric_threshold(mask_len: usize) -> i32 {
+    (3 * mask_len as i32) / 4
+}
+
+/// Host-side reference implementation (used to validate the guest and as
+/// documentation of the exact algorithm).
+#[must_use]
+pub fn reference_edges(image: &[u8]) -> Vec<u8> {
+    assert_eq!(image.len(), SIZE * SIZE);
+    let offsets = mask_offsets();
+    let g = geometric_threshold(offsets.len());
+    let scale = 255 / g;
+    let mut out = vec![0u8; SIZE * SIZE];
+    for y in 2..SIZE - 2 {
+        for x in 2..SIZE - 2 {
+            let c = i32::from(image[y * SIZE + x]);
+            let mut n = 0i32;
+            for &(dx, dy) in &offsets {
+                let p = i32::from(
+                    image[((y as i32 + dy) as usize) * SIZE + (x as i32 + dx) as usize],
+                );
+                if (c - p).abs() <= THRESHOLD {
+                    n += 1;
+                }
+            }
+            let r = (g - n).max(0);
+            out[y * SIZE + x] = (r * scale).min(255) as u8;
+        }
+    }
+    out
+}
+
+/// Generates the synthetic test image: a gradient background, a bright
+/// rectangle, a dark disc, and mild deterministic noise.
+#[must_use]
+pub fn test_image(seed: u64) -> Vec<u8> {
+    let mut rng = XorShift64::new(seed);
+    let mut img = vec![0u8; SIZE * SIZE];
+    for y in 0..SIZE {
+        for x in 0..SIZE {
+            let mut v = 60 + (x as i32 * 2) + (y as i32 / 2);
+            if (10..26).contains(&x) && (12..30).contains(&y) {
+                v = 210;
+            }
+            let dx = x as i32 - 32;
+            let dy = y as i32 - 30;
+            if dx * dx + dy * dy <= 64 {
+                v = 35;
+            }
+            v += (rng.next_below(7) as i32) - 3;
+            img[y * SIZE + x] = v.clamp(0, 255) as u8;
+        }
+    }
+    img
+}
+
+/// The Susan workload: guest program + input + fidelity evaluation.
+#[derive(Debug)]
+pub struct SusanWorkload {
+    program: Program,
+    image: Vec<u8>,
+    out_len_addr: u32,
+    out_addr: u32,
+}
+
+impl Default for SusanWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SusanWorkload {
+    /// Builds the workload with the default input image.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(1)
+    }
+
+    /// Builds the workload with an input image generated from `seed`.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn with_seed(seed: u64) -> Self {
+        let image = test_image(seed);
+        let offsets = mask_offsets();
+        let g = geometric_threshold(offsets.len());
+        let scale = 255 / g;
+        let size = SIZE as i32;
+
+        let mut a = Asm::new();
+        let in_addr = a.data_bytes(&image);
+        // linearized mask offsets: dy*SIZE + dx
+        let linear: Vec<i32> = offsets.iter().map(|&(dx, dy)| dy * size + dx).collect();
+        let mask_addr = a.data_words(&linear);
+        let out_len_addr = a.data_zero(4);
+        let out_addr = a.data_zero(SIZE * SIZE);
+
+        // --------------------------------------------------------------
+        // susan_edges: the eligible (error-tolerant) kernel
+        //   s0=in, s1=out, s2=y, s3=x, s4=idx, s5=c (nucleus), s6=n,
+        //   s7=k, t6=mask base, t0..t4 scratch
+        // --------------------------------------------------------------
+        a.func("susan_edges", true);
+        a.la(S0, in_addr);
+        a.la(S1, out_addr);
+        a.la(T6, mask_addr);
+        a.li(S2, 2); // y
+        a.label("su_y");
+        a.li(S3, 2); // x
+        a.label("su_x");
+        a.muli(S4, S2, size); // idx = y*SIZE + x
+        a.add(S4, S4, S3);
+        a.add(T0, S0, S4);
+        a.lbu(S5, 0, T0); // c = in[idx]
+        a.li(S6, 0); // n = 0
+        a.li(S7, 0); // k = 0
+        a.label("su_k");
+        a.slli(T0, S7, 2);
+        a.add(T0, T6, T0);
+        a.lw(T1, 0, T0); // off = mask[k]
+        a.add(T1, T1, S4); // idx + off
+        a.add(T1, S0, T1);
+        a.lbu(T2, 0, T1); // p = in[idx+off]
+        a.sub(T3, S5, T2); // c - p
+        emit_abs(&mut a, T3, T3, T4);
+        a.slti(T3, T3, THRESHOLD + 1); // similar?
+        a.add(S6, S6, T3); // n += similar
+        a.addi(S7, S7, 1);
+        a.slti(T0, S7, linear.len() as i32);
+        a.bnez(T0, "su_k");
+        // r = max(0, g - n) * scale
+        a.li(T0, g);
+        a.sub(T0, T0, S6);
+        a.srai(T1, T0, 31);
+        a.nor(T1, T1, certa_isa::reg::ZERO);
+        a.and(T0, T0, T1); // max(0, g-n)
+        a.muli(T0, T0, scale);
+        a.add(T1, S1, S4);
+        a.sb(T0, 0, T1); // out[idx] = r*scale
+        a.addi(S3, S3, 1);
+        a.slti(T0, S3, size - 2);
+        a.bnez(T0, "su_x");
+        a.addi(S2, S2, 1);
+        a.slti(T0, S2, size - 2);
+        a.bnez(T0, "su_y");
+        a.ret();
+        a.endfunc();
+
+        // --------------------------------------------------------------
+        // main: call the kernel, publish the output header
+        // --------------------------------------------------------------
+        a.func("main", false);
+        a.call("susan_edges");
+        a.la(T0, out_len_addr);
+        a.li(T1, (SIZE * SIZE) as i32);
+        a.sw(T1, 0, T0);
+        a.halt();
+        a.endfunc();
+
+
+        SusanWorkload {
+            program: a.assemble().expect("susan guest must assemble"),
+            image,
+            out_len_addr,
+            out_addr,
+        }
+    }
+
+    /// The input image baked into the guest.
+    #[must_use]
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+}
+
+impl Target for SusanWorkload {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, _machine: &mut Machine<'_>) {
+        // input is baked into the data segment
+    }
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        read_output(
+            machine,
+            self.out_len_addr,
+            self.out_addr,
+            (SIZE * SIZE) as u32,
+        )
+    }
+}
+
+impl Workload for SusanWorkload {
+    fn name(&self) -> &'static str {
+        "susan"
+    }
+
+    fn description(&self) -> &'static str {
+        "SUSAN edge detection over a synthetic structured image (MiBench)"
+    }
+
+    fn fidelity_measure(&self) -> &'static str {
+        "PSNR of edge map vs. fault-free edge map (threshold 10 dB)"
+    }
+
+    fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity {
+        let Some(out) = trial else {
+            return Fidelity {
+                score: 0.0,
+                acceptable: false,
+                detail: FidelityDetail::Psnr { db: 0.0 },
+            };
+        };
+        if out.len() != golden.len() {
+            return Fidelity {
+                score: 0.0,
+                acceptable: false,
+                detail: FidelityDetail::Psnr { db: 0.0 },
+            };
+        }
+        let db = psnr(golden, out);
+        Fidelity {
+            // score: 1 at >= 50 dB, 0 at 0 dB
+            score: (db / 50.0).clamp(0.0, 1.0),
+            acceptable: db >= PSNR_THRESHOLD_DB,
+            detail: FidelityDetail::Psnr { db },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_core::analyze;
+    use certa_fault::{run_campaign, CampaignConfig, Protection};
+    use certa_sim::{MachineConfig, Outcome};
+
+    #[test]
+    fn guest_matches_reference() {
+        let w = SusanWorkload::new();
+        let mut m = Machine::new(w.program(), &MachineConfig::default());
+        w.prepare(&mut m);
+        let r = m.run_simple();
+        assert_eq!(r.outcome, Outcome::Halted);
+        let out = w.extract(&m).expect("output readable");
+        assert_eq!(out, reference_edges(w.image()));
+    }
+
+    #[test]
+    fn edge_map_is_nontrivial() {
+        let w = SusanWorkload::new();
+        let edges = reference_edges(w.image());
+        let nonzero = edges.iter().filter(|&&p| p > 0).count();
+        assert!(
+            nonzero > 100,
+            "test image must produce a real edge map, got {nonzero} edge pixels"
+        );
+    }
+
+    #[test]
+    fn perfect_output_evaluates_perfect() {
+        let w = SusanWorkload::new();
+        let golden = reference_edges(w.image());
+        let f = w.evaluate(&golden, Some(&golden));
+        assert!(f.acceptable);
+        assert_eq!(f.score, 1.0);
+    }
+
+    #[test]
+    fn missing_output_scores_zero() {
+        let w = SusanWorkload::new();
+        let golden = reference_edges(w.image());
+        let f = w.evaluate(&golden, None);
+        assert!(!f.acceptable);
+        assert_eq!(f.score, 0.0);
+    }
+
+    #[test]
+    fn analysis_tags_a_majority_of_dynamic_susan_instructions() {
+        // Paper Table 3: susan runs 91.3% of dynamic instructions at low
+        // reliability. Our reduced kernel should also be strongly
+        // data-dominated.
+        let w = SusanWorkload::new();
+        let tags = analyze(w.program());
+        let golden = certa_fault::run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                ..CampaignConfig::default()
+            },
+        )
+        .golden;
+        let frac = tags.dynamic_low_reliability_fraction(&golden.exec_counts);
+        assert!(
+            frac > 0.4,
+            "susan should be data-dominated, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn protected_campaign_does_not_fail_catastrophically() {
+        let w = SusanWorkload::new();
+        let tags = analyze(w.program());
+        let r = run_campaign(
+            &w,
+            &tags,
+            &CampaignConfig {
+                trials: 12,
+                errors: 20,
+                protection: Protection::On,
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(r.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Reproduces the Susan experiment interactively: sweeps the error count
+//! with static analysis ON and OFF and prints the PSNR fidelity curve of
+//! the paper's Figure 1.
+//!
+//! Run with: `cargo run --release --example edge_detection_sweep`
+
+use certa::core::analyze;
+use certa::fault::{mean, run_campaign, CampaignConfig, Protection, Target};
+use certa::workloads::{FidelityDetail, SusanWorkload, Workload};
+
+fn main() {
+    let susan = SusanWorkload::new();
+    let tags = analyze(susan.program());
+    let stats = tags.stats();
+    println!(
+        "susan: {} instructions, {} tagged low-reliability ({:.1}% static)",
+        stats.total,
+        stats.low_reliability,
+        stats.low_reliability_fraction() * 100.0
+    );
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "errors", "PSNR ON (dB)", "PSNR OFF (dB)", "% fail ON", "% fail OFF"
+    );
+
+    for errors in [50u64, 200, 800, 1600, 2400] {
+        let mut cells = Vec::new();
+        for protection in [Protection::On, Protection::Off] {
+            let result = run_campaign(
+                &susan,
+                &tags,
+                &CampaignConfig {
+                    trials: 20,
+                    errors,
+                    protection,
+                    ..CampaignConfig::default()
+                },
+            );
+            let psnrs: Vec<f64> = result
+                .completed_outputs()
+                .map(|out| {
+                    match susan.evaluate(&result.golden.output, Some(out)).detail {
+                        FidelityDetail::Psnr { db } => db.min(60.0),
+                        other => unreachable!("susan yields PSNR, got {other:?}"),
+                    }
+                })
+                .collect();
+            cells.push((mean(&psnrs), result.failure_rate() * 100.0));
+        }
+        println!(
+            "{errors:>8} {:>14.2} {:>14.2} {:>11.1}% {:>11.1}%",
+            cells[0].0, cells[1].0, cells[0].1, cells[1].1
+        );
+    }
+    println!("\n(the paper's fidelity threshold is 10 dB PSNR)");
+}

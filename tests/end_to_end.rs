@@ -1,0 +1,246 @@
+//! End-to-end integration tests spanning the whole stack: assembler →
+//! analysis → simulator → fault campaign → fidelity evaluation.
+
+use certa::core::analyze;
+use certa::fault::{run_campaign, CampaignConfig, Protection};
+use certa::workloads::all_workloads;
+
+/// Campaigns with zero errors must reproduce the golden output exactly for
+/// every workload, and evaluate as perfect fidelity.
+#[test]
+fn zero_error_campaigns_are_lossless_for_every_workload() {
+    for w in all_workloads() {
+        let tags = analyze(w.program());
+        let result = run_campaign(
+            &*w,
+            &tags,
+            &CampaignConfig {
+                trials: 2,
+                errors: 0,
+                protection: Protection::On,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(result.failure_rate(), 0.0, "{}", w.name());
+        for trial in &result.trials {
+            assert_eq!(
+                trial.output.as_deref(),
+                Some(&result.golden.output[..]),
+                "{}: zero-error output must match golden",
+                w.name()
+            );
+            let f = w.evaluate(&result.golden.output, trial.output.as_deref());
+            assert!(f.acceptable, "{}", w.name());
+            assert!((f.score - 1.0).abs() < 1e-9, "{}", w.name());
+        }
+    }
+}
+
+/// The paper's central claim (Table 2): with control protection the
+/// applications survive faults that are catastrophic without it.
+#[test]
+fn protection_eliminates_catastrophic_failures() {
+    for w in all_workloads() {
+        // Skip the largest guests to keep the suite quick; the bench
+        // harness covers them (susan and mcf are exercised in their own
+        // module tests too).
+        if matches!(w.name(), "susan" | "mcf" | "art") {
+            continue;
+        }
+        let tags = analyze(w.program());
+        let errors = 8;
+        let protected = run_campaign(
+            &*w,
+            &tags,
+            &CampaignConfig {
+                trials: 25,
+                errors,
+                protection: Protection::On,
+                ..CampaignConfig::default()
+            },
+        );
+        let unprotected = run_campaign(
+            &*w,
+            &tags,
+            &CampaignConfig {
+                trials: 25,
+                errors,
+                protection: Protection::Off,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(
+            protected.failure_rate(),
+            0.0,
+            "{}: protected run must not fail catastrophically",
+            w.name()
+        );
+        assert!(
+            unprotected.failure_rate() > protected.failure_rate(),
+            "{}: unprotected ({:.2}) must fail more than protected ({:.2})",
+            w.name(),
+            unprotected.failure_rate(),
+            protected.failure_rate()
+        );
+    }
+}
+
+/// Fidelity must degrade (weakly) as the error count rises.
+#[test]
+fn fidelity_degrades_with_error_count() {
+    let workloads = all_workloads();
+    let w = workloads
+        .iter()
+        .find(|w| w.name() == "blowfish")
+        .expect("blowfish");
+    let tags = analyze(w.program());
+    let mut scores = Vec::new();
+    for errors in [1u64, 30] {
+        let result = run_campaign(
+            &**w,
+            &tags,
+            &CampaignConfig {
+                trials: 20,
+                errors,
+                protection: Protection::On,
+                ..CampaignConfig::default()
+            },
+        );
+        let mean: f64 = result
+            .completed_outputs()
+            .map(|o| w.evaluate(&result.golden.output, Some(o)).score)
+            .sum::<f64>()
+            / result.trials.len() as f64;
+        scores.push(mean);
+    }
+    assert!(
+        scores[0] >= scores[1],
+        "1-error fidelity {:.3} should be >= 30-error fidelity {:.3}",
+        scores[0],
+        scores[1]
+    );
+}
+
+/// Campaigns are bit-reproducible across identical configurations.
+#[test]
+fn campaigns_are_deterministic() {
+    let workloads = all_workloads();
+    let w = workloads.iter().find(|w| w.name() == "adpcm").expect("adpcm");
+    let tags = analyze(w.program());
+    let config = CampaignConfig {
+        trials: 10,
+        errors: 3,
+        protection: Protection::On,
+        seed: 1234,
+        threads: 3,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign(&**w, &tags, &config);
+    let b = run_campaign(&**w, &tags, &config);
+    for (x, y) in a.trials.iter().zip(&b.trials) {
+        assert_eq!(x.outcome, y.outcome);
+        assert_eq!(x.output, y.output);
+        assert_eq!(x.instructions, y.instructions);
+        assert_eq!(x.injected, y.injected);
+    }
+}
+
+/// The golden run's eligible population must shrink when protection is on
+/// (only tagged instructions are injectable) and the tag statistics must be
+/// internally consistent.
+#[test]
+fn eligible_population_and_tag_stats_are_consistent() {
+    for w in all_workloads() {
+        let tags = analyze(w.program());
+        let stats = tags.stats();
+        assert_eq!(
+            stats.total,
+            w.program().code.len(),
+            "{}: tag map covers the program",
+            w.name()
+        );
+        assert_eq!(
+            stats.total,
+            stats.low_reliability + stats.control + stats.ineligible + stats.not_value_producing
+                + stats.non_arithmetic,
+            "{}: tag categories partition the program",
+            w.name()
+        );
+        let on = run_campaign(
+            &*w,
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                protection: Protection::On,
+                ..CampaignConfig::default()
+            },
+        );
+        let off = run_campaign(
+            &*w,
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                protection: Protection::Off,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(
+            on.golden.eligible_population <= off.golden.eligible_population,
+            "{}: protected population must be a subset",
+            w.name()
+        );
+        assert!(
+            off.golden.eligible_population <= off.golden.instructions,
+            "{}: population bounded by instruction count",
+            w.name()
+        );
+    }
+}
+
+/// The extended error models run end-to-end: stuck-at faults never make a
+/// protected ADPCM run catastrophic, and campaigns remain deterministic
+/// under every model.
+#[test]
+fn extended_error_models_run_end_to_end() {
+    use certa::fault::ErrorModel;
+    let workloads = all_workloads();
+    let w = workloads.iter().find(|w| w.name() == "adpcm").expect("adpcm");
+    let tags = analyze(w.program());
+    for model in [
+        ErrorModel::SingleBitFlip,
+        ErrorModel::AdjacentDoubleBitFlip,
+        ErrorModel::StuckAtZero,
+        ErrorModel::StuckAtOne,
+    ] {
+        let config = CampaignConfig {
+            trials: 10,
+            errors: 4,
+            protection: Protection::On,
+            model,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&**w, &tags, &config);
+        assert_eq!(a.failure_rate(), 0.0, "{model:?}");
+        let b = run_campaign(&**w, &tags, &config);
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(x.output, y.output, "{model:?} must be deterministic");
+        }
+    }
+}
+
+/// Text-assembler round trip across a complete workload program: exporting
+/// the Susan guest and re-parsing it yields an identical, equally-analyzable
+/// program.
+#[test]
+fn workload_program_survives_text_round_trip() {
+    use certa::asm::{export_program, parse_program};
+    let workloads = all_workloads();
+    let w = workloads.iter().find(|w| w.name() == "susan").expect("susan");
+    let text = export_program(w.program());
+    let reparsed = parse_program(&text).expect("exported text re-parses");
+    assert_eq!(reparsed.code, w.program().code);
+    assert_eq!(reparsed.data, w.program().data);
+    let t1 = analyze(w.program());
+    let t2 = analyze(&reparsed);
+    assert_eq!(t1.stats(), t2.stats());
+}

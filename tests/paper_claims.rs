@@ -1,0 +1,169 @@
+//! Tests that pin the *shape* of the paper's headline results (not the
+//! absolute numbers — our substrate is a reduced simulator).
+
+use certa::core::analyze;
+use certa::fault::{run_campaign, CampaignConfig, Protection};
+use certa::workloads::all_workloads;
+
+/// Paper §5.1/Table 2: "without protecting control data, there is little or
+/// no error tolerance" — at the paper's *high* error levels, every
+/// unprotected application fails catastrophically in a large fraction of
+/// runs while the protected one stays near zero.
+#[test]
+fn table2_shape_high_error_levels() {
+    // (app, high error count from Table 2) — restricted to the faster
+    // guests so the suite stays under a minute; the bench binaries sweep
+    // all of them.
+    let cases = [("gsm", 40u64), ("adpcm", 56), ("blowfish", 20)];
+    for (name, errors) in cases {
+        let workloads = all_workloads();
+        let w = workloads.iter().find(|w| w.name() == name).expect("known app");
+        let tags = analyze(w.program());
+        let with = run_campaign(
+            &**w,
+            &tags,
+            &CampaignConfig {
+                trials: 30,
+                errors,
+                protection: Protection::On,
+                ..CampaignConfig::default()
+            },
+        );
+        let without = run_campaign(
+            &**w,
+            &tags,
+            &CampaignConfig {
+                trials: 30,
+                errors,
+                protection: Protection::Off,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(
+            with.failure_rate() <= 0.1,
+            "{name}: protected failures should be near zero, got {:.2}",
+            with.failure_rate()
+        );
+        assert!(
+            without.failure_rate() >= 0.3,
+            "{name}: unprotected failures should be frequent, got {:.2}",
+            without.failure_rate()
+        );
+    }
+}
+
+/// Paper Table 3 shape: MCF is the least taggable application; the media
+/// codecs expose a majority (or near-majority) of their dynamic execution
+/// as low-reliability instructions.
+#[test]
+fn table3_shape_mcf_is_the_outlier() {
+    let mut fractions = std::collections::BTreeMap::new();
+    for w in all_workloads() {
+        let tags = analyze(w.program());
+        let golden = run_campaign(
+            &*w,
+            &tags,
+            &CampaignConfig {
+                trials: 0,
+                ..CampaignConfig::default()
+            },
+        )
+        .golden;
+        fractions.insert(
+            w.name().to_string(),
+            tags.dynamic_low_reliability_fraction(&golden.exec_counts),
+        );
+    }
+    let mcf = fractions["mcf"];
+    for (app, f) in &fractions {
+        assert!(
+            mcf <= *f,
+            "mcf ({mcf:.3}) must be the minimum, but {app} has {f:.3}"
+        );
+    }
+    assert!(
+        fractions["adpcm"] > 0.5,
+        "adpcm should be data-dominated, got {:.3}",
+        fractions["adpcm"]
+    );
+    assert!(
+        fractions["mpeg"] > 0.5,
+        "mpeg should be data-dominated, got {:.3}",
+        fractions["mpeg"]
+    );
+}
+
+/// Paper §5.2 (Figure 3 shape): MCF still finds mostly-correct schedules at
+/// low error counts, and incorrect outputs are *noticeably* incorrect
+/// (incomplete), never silently claiming a better-than-optimal cost.
+#[test]
+fn mcf_errors_are_noticeable_not_silent() {
+    use certa::fidelity::schedule::{Schedule, ScheduleFidelity};
+    use certa::workloads::mcf::{reference_schedule, TRIPS};
+
+    let workloads = all_workloads();
+    let w = workloads.iter().find(|w| w.name() == "mcf").expect("mcf");
+    let tags = analyze(w.program());
+    let result = run_campaign(
+        &**w,
+        &tags,
+        &CampaignConfig {
+            trials: 40,
+            errors: 2,
+            protection: Protection::On,
+            ..CampaignConfig::default()
+        },
+    );
+    let golden = reference_schedule();
+    let mut optimal = 0;
+    for out in result.completed_outputs() {
+        let faulty = Schedule::decode(out, TRIPS);
+        match certa::fidelity::schedule::judge(&golden, faulty.as_ref(), TRIPS as u32) {
+            ScheduleFidelity::Optimal => optimal += 1,
+            ScheduleFidelity::Suboptimal { .. } | ScheduleFidelity::Incomplete => {}
+        }
+        // a corrupted schedule must never report a cost below the optimum
+        if let Some(s) = faulty {
+            if s.cost < golden.cost {
+                assert_ne!(
+                    certa::fidelity::schedule::judge(&golden, Some(&s), TRIPS as u32),
+                    ScheduleFidelity::Optimal,
+                    "better-than-optimal cost must be flagged"
+                );
+            }
+        }
+    }
+    assert!(
+        optimal * 2 > result.trials.len(),
+        "most low-error MCF runs should still be optimal ({optimal}/{})",
+        result.trials.len()
+    );
+}
+
+/// Paper §5.2 (Susan): with protection the fidelity stays above the 10 dB
+/// threshold at moderate error counts.
+#[test]
+fn susan_survives_moderate_errors_above_threshold() {
+    let workloads = all_workloads();
+    let w = workloads.iter().find(|w| w.name() == "susan").expect("susan");
+    let tags = analyze(w.program());
+    let result = run_campaign(
+        &**w,
+        &tags,
+        &CampaignConfig {
+            trials: 8,
+            errors: 100,
+            protection: Protection::On,
+            ..CampaignConfig::default()
+        },
+    );
+    assert_eq!(result.failure_rate(), 0.0);
+    let acceptable = result
+        .completed_outputs()
+        .filter(|o| w.evaluate(&result.golden.output, Some(o)).acceptable)
+        .count();
+    assert!(
+        acceptable * 4 >= result.trials.len() * 3,
+        "most 100-error susan runs should clear 10 dB ({acceptable}/8)"
+    );
+}

@@ -1,0 +1,229 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use certa::asm::Asm;
+use certa::core::{analyze, analyze_with, AnalysisOptions, Tag};
+use certa::fidelity::{byte_similarity, psnr, snr_db};
+use certa::isa::{reg, AluOp, Instr, Reg, RegRef};
+use certa::sim::{Machine, MachineConfig, Outcome};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    // avoid $zero so written values are observable, and avoid $sp/$gp so
+    // random programs do not wreck the memory conventions
+    prop::sample::select(vec![
+        reg::V0,
+        reg::V1,
+        reg::A0,
+        reg::A1,
+        reg::T0,
+        reg::T1,
+        reg::T2,
+        reg::T3,
+        reg::S0,
+        reg::S1,
+    ])
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+proptest! {
+    /// Every ALU instruction executed by the simulator matches the host
+    /// semantics implemented independently here.
+    #[test]
+    fn alu_semantics_match_host(op in arb_alu_op(), a in any::<u32>(), b in any::<u32>()) {
+        let mut asm = Asm::new();
+        asm.func("main", false);
+        asm.li(reg::T0, a as i32);
+        asm.li(reg::T1, b as i32);
+        asm.emit(Instr::Alu { op, rd: reg::V0, rs: reg::T0, rt: reg::T1 });
+        asm.halt();
+        asm.endfunc();
+        let program = asm.assemble().unwrap();
+        let mut m = Machine::new(&program, &MachineConfig::default());
+        prop_assert_eq!(m.run_simple().outcome, Outcome::Halted);
+        let expected = host_alu(op, a, b);
+        prop_assert_eq!(m.reg(reg::V0), expected);
+    }
+
+    /// Random straight-line programs always assemble, validate, analyze
+    /// without panicking, and produce a tag per instruction; with an
+    /// eligible function, instructions after the last control transfer can
+    /// only be LowReliability or protected-for-structure reasons.
+    #[test]
+    fn random_programs_analyze_totally(
+        ops in prop::collection::vec((arb_alu_op(), arb_reg(), arb_reg(), arb_reg()), 1..40),
+        eligible in any::<bool>(),
+    ) {
+        let mut asm = Asm::new();
+        asm.func("kernel", eligible);
+        for (op, rd, rs, rt) in &ops {
+            asm.emit(Instr::Alu { op: *op, rd: *rd, rs: *rs, rt: *rt });
+        }
+        asm.halt();
+        asm.endfunc();
+        let program = asm.assemble().unwrap();
+        prop_assert!(program.validate().is_ok());
+        let tags = analyze(&program);
+        prop_assert_eq!(tags.len(), program.code.len());
+        for (i, tag) in tags.iter() {
+            if !eligible && program.code[i].is_value_producing() {
+                prop_assert_ne!(tag, Tag::LowReliability);
+            }
+        }
+        // straight-line code with no branches or memory: every
+        // value-producing instruction in an eligible function is taggable
+        if eligible {
+            for (i, tag) in tags.iter().take(ops.len()) {
+                if program.code[i].is_value_producing() {
+                    prop_assert_eq!(tag, Tag::LowReliability, "instr {}", i);
+                }
+            }
+        }
+    }
+
+    /// The analysis is monotone in its options: disabling address
+    /// protection can only increase (or keep) the number of taggable
+    /// instructions.
+    #[test]
+    fn disabling_address_protection_is_monotone(
+        ops in prop::collection::vec((arb_alu_op(), arb_reg(), arb_reg(), arb_reg()), 1..30),
+        offs in prop::collection::vec(0u8..16, 1..5),
+    ) {
+        let mut asm = Asm::new();
+        let buf = asm.data_zero(256);
+        asm.func("kernel", true);
+        asm.la(reg::S7, buf);
+        for (op, rd, rs, rt) in &ops {
+            asm.emit(Instr::Alu { op: *op, rd: *rd, rs: *rs, rt: *rt });
+        }
+        for off in &offs {
+            asm.lw(reg::T4, i32::from(*off) * 4, reg::S7);
+            asm.sw(reg::T4, i32::from(*off) * 4 + 64, reg::S7);
+        }
+        asm.halt();
+        asm.endfunc();
+        let program = asm.assemble().unwrap();
+        let strict = analyze(&program).stats().low_reliability;
+        let relaxed = analyze_with(&program, &AnalysisOptions {
+            protect_addresses: false,
+            ..AnalysisOptions::default()
+        }).stats().low_reliability;
+        prop_assert!(relaxed >= strict);
+    }
+
+    /// The simulator is deterministic: identical programs and inputs give
+    /// identical register files and instruction counts.
+    #[test]
+    fn simulator_is_deterministic(
+        ops in prop::collection::vec((arb_alu_op(), arb_reg(), arb_reg(), arb_reg()), 1..30)
+    ) {
+        let mut asm = Asm::new();
+        asm.func("main", false);
+        for (op, rd, rs, rt) in &ops {
+            asm.emit(Instr::Alu { op: *op, rd: *rd, rs: *rs, rt: *rt });
+        }
+        asm.halt();
+        asm.endfunc();
+        let program = asm.assemble().unwrap();
+        let mut m1 = Machine::new(&program, &MachineConfig::default());
+        let mut m2 = Machine::new(&program, &MachineConfig::default());
+        let r1 = m1.run_simple();
+        let r2 = m2.run_simple();
+        prop_assert_eq!(r1, r2);
+        for i in 0..32u8 {
+            prop_assert_eq!(m1.reg(Reg::new(i)), m2.reg(Reg::new(i)));
+        }
+    }
+
+    /// PSNR properties: identity is infinite, symmetric in its arguments,
+    /// and any difference is finite and non-negative.
+    #[test]
+    fn psnr_properties(img in prop::collection::vec(any::<u8>(), 16..128), flip in 0usize..16) {
+        prop_assert!(psnr(&img, &img).is_infinite());
+        let mut other = img.clone();
+        let idx = flip % other.len();
+        other[idx] = other[idx].wrapping_add(1);
+        let p1 = psnr(&img, &other);
+        let p2 = psnr(&other, &img);
+        prop_assert!((p1 - p2).abs() < 1e-9);
+        prop_assert!(p1.is_finite() && p1 >= 0.0);
+    }
+
+    /// Byte similarity is within [0,1], reflexive and symmetric.
+    #[test]
+    fn byte_similarity_properties(a in prop::collection::vec(any::<u8>(), 0..64),
+                                  b in prop::collection::vec(any::<u8>(), 0..64)) {
+        let s = byte_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(byte_similarity(&a, &a), 1.0);
+        prop_assert_eq!(s, byte_similarity(&b, &a));
+    }
+
+    /// SNR decreases (weakly) as uniform noise amplitude grows.
+    #[test]
+    fn snr_monotone_in_noise(base in 500i16..5000, n in 8usize..64) {
+        let signal: Vec<i16> = (0..n).map(|i| (f64::from(base) * (i as f64 / 3.0).sin()) as i16).collect();
+        let noisy = |amp: i16| -> Vec<i16> {
+            signal.iter().enumerate().map(|(i, &s)| {
+                s.saturating_add(if i % 2 == 0 { amp } else { -amp })
+            }).collect()
+        };
+        let small = snr_db(&signal, &noisy(2));
+        let large = snr_db(&signal, &noisy(50));
+        prop_assert!(small >= large);
+    }
+
+    /// RegRef dense indexing is a bijection over both register files.
+    #[test]
+    fn regref_dense_index_bijection(idx in 0usize..64) {
+        prop_assert_eq!(RegRef::from_dense_index(idx).dense_index(), idx);
+    }
+}
+
+fn host_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Nor => !(a | b),
+        AluOp::Sll => a.wrapping_shl(b),
+        AluOp::Srl => a.wrapping_shr(b),
+        AluOp::Sra => (a as i32).wrapping_shr(b) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+    }
+}
