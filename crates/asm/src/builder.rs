@@ -132,7 +132,7 @@ impl Asm {
     /// Pads the data segment to `align` bytes (a power of two).
     pub fn align(&mut self, align: usize) {
         debug_assert!(align.is_power_of_two());
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
     }

@@ -1,0 +1,155 @@
+//! Criterion bench: fault-campaign throughput with checkpoint acceleration
+//! on vs. off.
+//!
+//! The workload is a synthetic ring-threshold kernel sized so its golden
+//! run exceeds 10M dynamic instructions — long enough that re-executing
+//! every trial from instruction zero dominates campaign cost. The bench
+//! prints the measured wall-clock speedup; the checkpointing acceptance
+//! target is ≥ 3×.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use certa_asm::Asm;
+use certa_core::analyze;
+use certa_fault::{golden_run, run_campaign, CampaignConfig, Protection, Target};
+use certa_isa::{reg, Program};
+use certa_sim::Machine;
+
+/// Ring buffer size (bytes); each slot is rewritten every `RING` iterations,
+/// which is what lets corrupted outputs heal and trials reconverge with the
+/// golden run — the behavior checkpointing exploits.
+const RING: usize = 4096;
+/// Loop iterations; ~12 instructions each puts the golden run past 12M.
+const ITERS: i32 = 1 << 20;
+
+/// Threshold-classifies a transformed byte stream into a ring buffer:
+/// `out[i % RING] = ((in[i % RING] * 3 + 7) & 0xff) < 128`.
+struct RingThresholdTarget {
+    program: Program,
+    input_addr: u32,
+    output_addr: u32,
+}
+
+impl RingThresholdTarget {
+    fn new() -> Self {
+        let mut a = Asm::new();
+        let input_addr = a.data_zero(RING);
+        let output_addr = a.data_zero(RING);
+        a.func("threshold", true);
+        a.la(reg::T0, input_addr);
+        a.la(reg::T4, output_addr);
+        a.li(reg::T1, 0);
+        a.label("loop");
+        a.andi(reg::T5, reg::T1, (RING - 1) as i32);
+        a.add(reg::T3, reg::T0, reg::T5);
+        a.lbu(reg::T3, 0, reg::T3);
+        a.muli(reg::T3, reg::T3, 3);
+        a.addi(reg::T3, reg::T3, 7);
+        a.andi(reg::T3, reg::T3, 255);
+        a.slti(reg::T3, reg::T3, 128);
+        a.add(reg::T6, reg::T4, reg::T5);
+        a.sb(reg::T3, 0, reg::T6);
+        a.addi(reg::T1, reg::T1, 1);
+        a.slti(reg::T6, reg::T1, ITERS);
+        a.bnez(reg::T6, "loop");
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.call("threshold");
+        a.halt();
+        a.endfunc();
+        RingThresholdTarget {
+            program: a.assemble().unwrap(),
+            input_addr,
+            output_addr,
+        }
+    }
+}
+
+impl Target for RingThresholdTarget {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, machine: &mut Machine<'_>) {
+        let input: Vec<u8> = (0..RING).map(|i| (i * 151 + 43) as u8).collect();
+        machine.write_bytes(self.input_addr, &input).unwrap();
+    }
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        machine
+            .read_bytes(self.output_addr, RING as u32)
+            .ok()
+            .map(<[u8]>::to_vec)
+    }
+}
+
+fn campaign_config(checkpointing: bool) -> CampaignConfig {
+    CampaignConfig {
+        trials: 24,
+        errors: 1,
+        protection: Protection::On,
+        seed: 0xBE11C,
+        checkpointing,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let target = RingThresholdTarget::new();
+    let tags = analyze(target.program());
+
+    let golden = golden_run(&target, &tags, Protection::On, u64::MAX / 2);
+    assert!(
+        golden.instructions >= 10_000_000,
+        "bench workload must exceed 10M golden instructions, got {}",
+        golden.instructions
+    );
+    println!(
+        "golden run: {} instructions, {} eligible injection points",
+        golden.instructions, golden.eligible_population
+    );
+
+    // Warmup pass for both modes: primes the page cache and the big
+    // checkpoint allocations, and double-checks the determinism contract.
+    let fast = run_campaign(&target, &tags, &campaign_config(true));
+    let slow = run_campaign(&target, &tags, &campaign_config(false));
+    for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
+        assert_eq!(a.outcome, b.outcome, "trial {i} outcome must match");
+        assert_eq!(a.output, b.output, "trial {i} output must match");
+        assert_eq!(a.instructions, b.instructions, "trial {i} icount must match");
+        assert_eq!(a.injected, b.injected, "trial {i} injected must match");
+    }
+
+    // Headline number: one warm timed campaign per mode.
+    let start = Instant::now();
+    std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true)));
+    let with_checkpoints = start.elapsed();
+    let start = Instant::now();
+    std::hint::black_box(run_campaign(&target, &tags, &campaign_config(false)));
+    let from_scratch = start.elapsed();
+    println!(
+        "campaign wall-clock: checkpointing on {:.3} s, off {:.3} s → {:.1}x speedup (target ≥ 3x)",
+        with_checkpoints.as_secs_f64(),
+        from_scratch.as_secs_f64(),
+        from_scratch.as_secs_f64() / with_checkpoints.as_secs_f64()
+    );
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(
+        golden.instructions * campaign_config(true).trials as u64,
+    ));
+    group.bench_function("checkpointing_on", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true))));
+    });
+    group.bench_function("checkpointing_off", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(&target, &tags, &campaign_config(false))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

@@ -3,13 +3,13 @@
 fn main() {
     let (trials, seed) = certa_bench::parse_cli(40);
     println!("=== certa: full reproduction (trials = {trials}) ===\n");
-    print!("{}\n", certa_bench::table1());
+    println!("{}", certa_bench::table1());
     let rows = certa_bench::table2(trials, seed);
-    print!("{}\n", certa_bench::render_table2(&rows));
-    print!("{}\n", certa_bench::render_table3(&certa_bench::table3()));
+    println!("{}", certa_bench::render_table2(&rows));
+    println!("{}", certa_bench::render_table3(&certa_bench::table3()));
     for spec in certa_bench::FigureSpec::all() {
         let points = certa_bench::figure(&spec, trials, seed);
-        print!("{}\n", certa_bench::render_figure(&spec, &points));
+        println!("{}", certa_bench::render_figure(&spec, &points));
     }
     let rows = certa_bench::ablation(trials.min(24), 4, seed);
     print!("{}", certa_bench::render_ablation(&rows));

@@ -1,12 +1,53 @@
 //! Monte-Carlo fault-injection campaigns.
+//!
+//! # Checkpoint acceleration
+//!
+//! A naive campaign re-executes every trial from instruction zero, even
+//! though everything before a trial's first bit flip is bit-identical to
+//! the golden run. With [`CampaignConfig::checkpointing`] (the default),
+//! the campaign instead:
+//!
+//! 1. **Checkpoints the golden run**: while the fault-free reference
+//!    executes, the campaign records up to 32 [`certa_sim::Snapshot`]s
+//!    (count auto-tuned from [`CampaignConfig::checkpoint_budget_bytes`]),
+//!    doubling the spacing whenever the budget would be exceeded, and
+//!    remembers how many *eligible* writebacks each snapshot had seen.
+//! 2. **Fast-forwards each trial**: a trial restores the latest checkpoint
+//!    at or before its [`FaultPlan::earliest_injection`] point and seeds
+//!    its [`Injector`] with the checkpoint's eligible-writeback count, so
+//!    the skipped prefix — which carries no flips — is never re-executed.
+//! 3. **Detects reconvergence**: once all of a trial's flips are applied,
+//!    the trial is compared against the golden snapshot at each subsequent
+//!    checkpoint boundary; if the states are bit-identical the rest of the
+//!    run *is* the golden run, so the golden outcome/output are spliced in
+//!    without executing the suffix. (Masked flips — the common case under
+//!    protection — converge quickly.)
+//! 4. **Schedules without reallocation**: worker threads
+//!    ([`std::thread::scope`]) each own one reusable [`Machine`]; restoring
+//!    a checkpoint is a straight `memcpy` into its existing buffers.
+//!    Trials are handed out sorted by injection point so neighboring
+//!    trials reuse warm checkpoints.
+//!
+//! **Determinism contract**: checkpointed trials are bit-identical —
+//! outcome, output, instruction count, and injected count — to running the
+//! same seed from scratch. Before the earliest flip a trial equals the
+//! golden run, so restoring a golden checkpoint there is exact; after the
+//! last flip, splicing only happens when the full architectural state
+//! equals the golden state, which makes the suffix exact too. The
+//! workspace property suite (`tests/property.rs`) verifies this
+//! equivalence across random seeds and workload sizes.
 
 use certa_core::TagMap;
 use certa_isa::Program;
-use certa_sim::{Machine, MachineConfig, Outcome};
+use certa_sim::{BoundedRun, Machine, MachineConfig, Outcome, Snapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::injector::{EligibleCounter, ErrorModel, FaultPlan, Injector, Protection};
+
+/// Hard cap on golden-run checkpoints, regardless of memory budget.
+const MAX_CHECKPOINTS: usize = 32;
 
 /// Something that can be fault-injected: a program plus the harness logic
 /// that stages its input into guest memory and extracts its output.
@@ -47,6 +88,18 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Value-corruption model (defaults to the paper's single bit flip).
     pub model: ErrorModel,
+    /// Accelerate trials with golden-run checkpoints (see the module docs).
+    /// Results are bit-identical either way; turning this off exists for
+    /// benchmarking and for double-checking the determinism contract.
+    pub checkpointing: bool,
+    /// Memory budget for golden-run checkpoints in bytes. The checkpoint
+    /// count is `budget / snapshot size`, clamped to `1..=32`.
+    pub checkpoint_budget_bytes: usize,
+    /// Initial checkpoint spacing in dynamic instructions. Spacing doubles
+    /// (and existing checkpoints are thinned) whenever the count would
+    /// exceed the budget, so any golden length ends up with a bounded,
+    /// roughly even checkpoint set.
+    pub checkpoint_stride: u64,
 }
 
 impl Default for CampaignConfig {
@@ -59,6 +112,9 @@ impl Default for CampaignConfig {
             watchdog_factor: 10,
             threads: 0,
             model: ErrorModel::default(),
+            checkpointing: true,
+            checkpoint_budget_bytes: 256 << 20,
+            checkpoint_stride: 1 << 16,
         }
     }
 }
@@ -166,6 +222,35 @@ pub fn golden_run(
     protection: Protection,
     watchdog: u64,
 ) -> GoldenRun {
+    // Zero budget keeps only the mandatory instruction-zero checkpoint and
+    // the maximal stride means the run is never paused: this is exactly the
+    // plain golden run, sharing one implementation with the checkpointed
+    // path so the two can never diverge.
+    let (golden, _) =
+        golden_run_checkpointed(target, tags, protection, watchdog, 0, u64::MAX);
+    golden
+}
+
+/// A golden-run snapshot plus the number of eligible writebacks it had
+/// seen — the unit the checkpointed scheduler fast-forwards trials to.
+struct Checkpoint {
+    snapshot: Snapshot,
+    eligible_seen: u64,
+}
+
+/// Runs the golden reference like [`golden_run`], additionally recording
+/// checkpoints: snapshots spaced `stride` dynamic instructions apart,
+/// thinned (keep every other, double the stride) whenever the count would
+/// exceed the memory budget. Checkpoint 0 is always the post-`prepare`
+/// state at instruction zero, so every trial has a restore point.
+fn golden_run_checkpointed(
+    target: &dyn Target,
+    tags: &TagMap,
+    protection: Protection,
+    watchdog: u64,
+    budget_bytes: usize,
+    stride: u64,
+) -> (GoldenRun, Vec<Checkpoint>) {
     let program = target.program();
     let config = MachineConfig {
         mem_size: target.mem_size(),
@@ -175,7 +260,42 @@ pub fn golden_run(
     let mut machine = Machine::new(program, &config);
     target.prepare(&mut machine);
     let mut counter = EligibleCounter::new(program, tags, protection);
-    let result = machine.run(&mut counter);
+
+    let mut checkpoints = vec![Checkpoint {
+        snapshot: machine.snapshot(),
+        eligible_seen: 0,
+    }];
+    let max_snapshots =
+        (budget_bytes / checkpoints[0].snapshot.size_bytes().max(1)).clamp(1, MAX_CHECKPOINTS);
+    let mut stride = stride.max(1);
+
+    let result = loop {
+        let next_at = machine.instructions().saturating_add(stride);
+        match machine.run_until(&mut counter, next_at) {
+            BoundedRun::Finished(result) => break result,
+            BoundedRun::Paused => {
+                if checkpoints.len() >= max_snapshots {
+                    // Keep every other checkpoint (0 always survives) and
+                    // double the spacing: the count stays bounded with
+                    // O(log golden_len) thinning rounds overall.
+                    let mut keep = false;
+                    checkpoints.retain(|_| {
+                        keep = !keep;
+                        keep
+                    });
+                    stride = stride.saturating_mul(2);
+                }
+                let last = checkpoints.last().expect("checkpoint 0 is never thinned");
+                if machine.instructions() - last.snapshot.instructions() >= stride {
+                    checkpoints.push(Checkpoint {
+                        snapshot: machine.snapshot(),
+                        eligible_seen: counter.count,
+                    });
+                }
+            }
+        }
+    };
+
     assert_eq!(
         result.outcome,
         Outcome::Halted,
@@ -185,16 +305,170 @@ pub fn golden_run(
     let output = target
         .extract(&machine)
         .expect("golden run must produce readable output");
-    GoldenRun {
+    let golden = GoldenRun {
         output,
         instructions: result.instructions,
         eligible_population: counter.count,
         exec_counts: machine.exec_counts().to_vec(),
+    };
+    (golden, checkpoints)
+}
+
+/// Runs one trial the slow way: fresh machine, staged input, execute from
+/// instruction zero. This is the reference path (`checkpointing: false`)
+/// the accelerated path must match bit-for-bit.
+fn run_trial_scratch(
+    target: &dyn Target,
+    tags: &TagMap,
+    config: &CampaignConfig,
+    machine_config: &MachineConfig,
+    plan: &FaultPlan,
+) -> TrialResult {
+    let program = target.program();
+    let mut machine = Machine::new(program, machine_config);
+    target.prepare(&mut machine);
+    let mut injector =
+        Injector::with_model(program, tags, config.protection, plan.clone(), config.model);
+    let result = machine.run(&mut injector);
+    let output = if result.outcome == Outcome::Halted {
+        target.extract(&machine)
+    } else {
+        None
+    };
+    TrialResult {
+        outcome: result.outcome,
+        output,
+        instructions: result.instructions,
+        injected: injector.injected(),
     }
 }
 
+/// Runs one trial from the nearest golden checkpoint at or before its
+/// earliest injection point, reusing `machine`'s buffers (restore is a
+/// `memcpy`, never an allocation). After the last flip is applied, the
+/// trial is compared with golden snapshots at checkpoint boundaries; on a
+/// bit-identical match the golden result is spliced in and the suffix is
+/// skipped. See the module docs for why both directions are exact.
+fn run_trial_checkpointed(
+    machine: &mut Machine<'_>,
+    target: &dyn Target,
+    tags: &TagMap,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+    checkpoints: &[Checkpoint],
+    golden: &GoldenRun,
+) -> TrialResult {
+    let planned = plan.len() as u32;
+    if planned == 0 {
+        // No flips will ever fire, so the trial *is* the golden run.
+        return TrialResult {
+            outcome: Outcome::Halted,
+            output: Some(golden.output.clone()),
+            instructions: golden.instructions,
+            injected: 0,
+        };
+    }
+
+    let earliest = plan.earliest_injection().expect("plan is non-empty");
+    let cp_index = checkpoints
+        .partition_point(|c| c.eligible_seen <= earliest)
+        .saturating_sub(1);
+    let checkpoint = &checkpoints[cp_index];
+    machine
+        .restore(&checkpoint.snapshot)
+        .expect("checkpoint memory image matches the trial machine");
+    let mut injector =
+        Injector::with_model(target.program(), tags, config.protection, plan.clone(), config.model)
+            .resume_from(checkpoint.eligible_seen);
+
+    let mut next_index = cp_index + 1;
+    let result = loop {
+        let Some(next_cp) = checkpoints.get(next_index) else {
+            // Past the last checkpoint: run out the remainder unbounded.
+            break machine.run(&mut injector);
+        };
+        match machine.run_until(&mut injector, next_cp.snapshot.instructions()) {
+            BoundedRun::Finished(result) => break result,
+            BoundedRun::Paused => {
+                if injector.injected() == planned && machine.state_eq(&next_cp.snapshot) {
+                    // Every planned flip is applied and the state has
+                    // reconverged with the golden run (the flips were
+                    // masked): the remainder is bit-identical to golden.
+                    return TrialResult {
+                        outcome: Outcome::Halted,
+                        output: Some(golden.output.clone()),
+                        instructions: golden.instructions,
+                        injected: injector.injected(),
+                    };
+                }
+                next_index += 1;
+            }
+        }
+    };
+    let output = if result.outcome == Outcome::Halted {
+        target.extract(machine)
+    } else {
+        None
+    };
+    TrialResult {
+        outcome: result.outcome,
+        output,
+        instructions: result.instructions,
+        injected: injector.injected(),
+    }
+}
+
+/// Runs `order`'s trials across `threads` scoped workers, each owning one
+/// reusable worker state (for checkpointed campaigns, a [`Machine`] whose
+/// buffers are recycled across trials). Trials are handed out in `order`
+/// through an atomic cursor; results land at their trial index.
+fn schedule_trials<W, G, F>(order: &[usize], threads: usize, mk_worker: G, run: F) -> Vec<TrialResult>
+where
+    W: Send,
+    G: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> TrialResult + Sync,
+{
+    let n = order.len();
+    let mut results: Vec<Option<TrialResult>> = vec![None; n];
+    let threads = threads.min(n);
+    if threads <= 1 || n <= 1 {
+        let mut worker = mk_worker();
+        for &t in order {
+            results[t] = Some(run(&mut worker, t));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut worker = mk_worker();
+                        let mut local = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&t) = order.get(k) else { break };
+                            local.push((t, run(&mut worker, t)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (t, result) in handle.join().expect("campaign worker panicked") {
+                    results[t] = Some(result);
+                }
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every trial filled"))
+        .collect()
+}
+
 /// Runs a full campaign: golden run, then `config.trials` parallel
-/// fault-injection trials.
+/// fault-injection trials (checkpoint-accelerated by default — see the
+/// module docs; results are bit-identical to from-scratch execution).
 ///
 /// # Panics
 ///
@@ -202,7 +476,23 @@ pub fn golden_run(
 #[must_use]
 pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig) -> CampaignResult {
     // Large budget for the golden run; the trial watchdog derives from it.
-    let golden = golden_run(target, tags, config.protection, u64::MAX / 2);
+    let golden_budget = u64::MAX / 2;
+    let (golden, checkpoints) = if config.checkpointing {
+        let (golden, checkpoints) = golden_run_checkpointed(
+            target,
+            tags,
+            config.protection,
+            golden_budget,
+            config.checkpoint_budget_bytes,
+            config.checkpoint_stride,
+        );
+        (golden, Some(checkpoints))
+    } else {
+        (
+            golden_run(target, tags, config.protection, golden_budget),
+            None,
+        )
+    };
     let watchdog = golden
         .instructions
         .saturating_mul(config.watchdog_factor)
@@ -221,58 +511,51 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         profile: false,
     };
 
-    let run_one = |trial: usize| -> TrialResult {
-        let mut rng = SmallRng::seed_from_u64(trial_seed(config.seed, trial));
-        let plan = FaultPlan::sample(&mut rng, golden.eligible_population, config.errors);
-        let mut machine = Machine::new(program, &machine_config);
-        target.prepare(&mut machine);
-        let mut injector =
-            Injector::with_model(program, tags, config.protection, plan, config.model);
-        let result = machine.run(&mut injector);
-        let output = if result.outcome == Outcome::Halted {
-            target.extract(&machine)
-        } else {
-            None
-        };
-        TrialResult {
-            outcome: result.outcome,
-            output,
-            instructions: result.instructions,
-            injected: injector.injected(),
-        }
-    };
-
-    let trials: Vec<TrialResult> = if threads <= 1 || config.trials <= 1 {
-        (0..config.trials).map(run_one).collect()
-    } else {
-        let mut results: Vec<Option<TrialResult>> = vec![None; config.trials];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let chunks: Vec<&mut [Option<TrialResult>]> = {
-            // Split results into per-index cells via chunks of 1 handed out
-            // dynamically through the atomic counter.
-            results.chunks_mut(1).collect()
-        };
-        let cells: Vec<std::sync::Mutex<&mut [Option<TrialResult>]>> =
-            chunks.into_iter().map(std::sync::Mutex::new).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if t >= config.trials {
-                        break;
-                    }
-                    let r = run_one(t);
-                    let mut cell = cells[t].lock().expect("trial cell poisoned");
-                    cell[0] = Some(r);
-                });
-            }
+    // Pre-sample every trial's plan. This matches sampling inside the
+    // trial exactly — the per-trial RNG is used for nothing else — and the
+    // scheduler needs the injection points up front to sort trials.
+    let plans: Vec<FaultPlan> = (0..config.trials)
+        .map(|t| {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(config.seed, t));
+            FaultPlan::sample(&mut rng, golden.eligible_population, config.errors)
         })
-        .expect("campaign worker panicked");
-        drop(cells);
-        results
-            .into_iter()
-            .map(|r| r.expect("every trial filled"))
-            .collect()
+        .collect();
+
+    let trials = match &checkpoints {
+        Some(checkpoints) => {
+            // Sort by injection point so neighboring trials restore the
+            // same (cache-warm) checkpoint.
+            let mut order: Vec<usize> = (0..config.trials).collect();
+            order.sort_by_key(|&t| plans[t].earliest_injection().unwrap_or(u64::MAX));
+            schedule_trials(
+                &order,
+                threads,
+                || {
+                    Machine::from_snapshot(program, &checkpoints[0].snapshot, &machine_config)
+                        .expect("checkpoint matches the campaign machine config")
+                },
+                |machine, t| {
+                    run_trial_checkpointed(
+                        machine,
+                        target,
+                        tags,
+                        config,
+                        &plans[t],
+                        checkpoints,
+                        &golden,
+                    )
+                },
+            )
+        }
+        None => {
+            let order: Vec<usize> = (0..config.trials).collect();
+            schedule_trials(
+                &order,
+                threads,
+                || (),
+                |(), t| run_trial_scratch(target, tags, config, &machine_config, &plans[t]),
+            )
+        }
     };
 
     CampaignResult { golden, trials }
@@ -445,6 +728,105 @@ mod tests {
         let r = run_campaign(&t, &tags, &cfg);
         for trial in r.trials.iter().filter(|t| !t.is_catastrophic()) {
             assert_eq!(trial.injected, 3);
+        }
+    }
+
+    /// The determinism contract: checkpointed and from-scratch campaigns
+    /// must agree on every per-trial observable, under both protection
+    /// regimes, with a stride small enough to exercise multi-checkpoint
+    /// restore, reconvergence splicing, and the unbounded tail.
+    #[test]
+    fn checkpointed_trials_match_scratch_exactly() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        for protection in [Protection::On, Protection::Off] {
+            for threads in [1, 3] {
+                let fast_cfg = CampaignConfig {
+                    trials: 24,
+                    errors: 2,
+                    protection,
+                    threads,
+                    checkpoint_stride: 50,
+                    ..CampaignConfig::default()
+                };
+                let slow_cfg = CampaignConfig {
+                    checkpointing: false,
+                    ..fast_cfg.clone()
+                };
+                let fast = run_campaign(&t, &tags, &fast_cfg);
+                let slow = run_campaign(&t, &tags, &slow_cfg);
+                assert_eq!(fast.golden.output, slow.golden.output);
+                assert_eq!(fast.golden.instructions, slow.golden.instructions);
+                assert_eq!(
+                    fast.golden.eligible_population,
+                    slow.golden.eligible_population
+                );
+                for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
+                    assert_eq!(a.outcome, b.outcome, "trial {i} outcome ({protection:?})");
+                    assert_eq!(a.output, b.output, "trial {i} output ({protection:?})");
+                    assert_eq!(
+                        a.instructions, b.instructions,
+                        "trial {i} instructions ({protection:?})"
+                    );
+                    assert_eq!(a.injected, b.injected, "trial {i} injected ({protection:?})");
+                }
+            }
+        }
+    }
+
+    /// Checkpointing during the golden run must not perturb the golden
+    /// observables (pauses are invisible to the simulated program).
+    #[test]
+    fn golden_run_is_unchanged_by_checkpointing() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let plain = golden_run(&t, &tags, Protection::On, 1_000_000);
+        let (checkpointed, cps) = golden_run_checkpointed(
+            &t,
+            &tags,
+            Protection::On,
+            1_000_000,
+            256 << 20,
+            50,
+        );
+        assert_eq!(plain.output, checkpointed.output);
+        assert_eq!(plain.instructions, checkpointed.instructions);
+        assert_eq!(plain.eligible_population, checkpointed.eligible_population);
+        assert_eq!(plain.exec_counts, checkpointed.exec_counts);
+        assert!(cps.len() > 2, "stride 50 must yield several checkpoints");
+        assert!(cps.len() <= MAX_CHECKPOINTS);
+        assert_eq!(cps[0].snapshot.instructions(), 0);
+        assert!(cps
+            .windows(2)
+            .all(|w| w[0].snapshot.instructions() < w[1].snapshot.instructions()));
+        assert!(cps.windows(2).all(|w| w[0].eligible_seen <= w[1].eligible_seen));
+    }
+
+    /// Tiny budgets degrade gracefully to a single instruction-zero
+    /// checkpoint (equivalent to re-running with reused buffers).
+    #[test]
+    fn single_checkpoint_budget_still_matches_scratch() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let fast_cfg = CampaignConfig {
+            trials: 10,
+            errors: 3,
+            protection: Protection::Off,
+            threads: 2,
+            checkpoint_budget_bytes: 1, // clamps to one snapshot
+            ..CampaignConfig::default()
+        };
+        let slow_cfg = CampaignConfig {
+            checkpointing: false,
+            ..fast_cfg.clone()
+        };
+        let fast = run_campaign(&t, &tags, &fast_cfg);
+        let slow = run_campaign(&t, &tags, &slow_cfg);
+        for (a, b) in fast.trials.iter().zip(&slow.trials) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.injected, b.injected);
         }
     }
 

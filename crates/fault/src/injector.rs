@@ -1,8 +1,6 @@
 //! The bit-flip injector: a [`WritebackHook`] that tampers with sampled
 //! dynamic executions of eligible instructions.
 
-use std::collections::HashMap;
-
 use certa_core::TagMap;
 use certa_isa::Program;
 use certa_sim::WritebackHook;
@@ -71,9 +69,15 @@ impl ErrorModel {
 ///
 /// Bit positions are sampled in `0..64`; integer writebacks use the position
 /// modulo 32, which keeps the per-bit distribution uniform.
+///
+/// Pairs are stored sorted by execution index, so lookups are binary
+/// searches and [`FaultPlan::earliest_injection`] — the quantity the
+/// checkpointing campaign scheduler sorts trials by — is `O(1)`.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    flips: HashMap<u64, u8>,
+    /// `(eligible execution index, bit position)`, sorted by index, unique
+    /// indices.
+    flips: Vec<(u64, u8)>,
 }
 
 impl FaultPlan {
@@ -82,27 +86,33 @@ impl FaultPlan {
     ///
     /// If `errors` exceeds the population, every execution receives a flip.
     pub fn sample<R: Rng>(rng: &mut R, eligible: u64, errors: u64) -> Self {
-        let mut flips = HashMap::new();
         if eligible == 0 || errors == 0 {
-            return FaultPlan { flips };
+            return FaultPlan::default();
         }
         let errors = errors.min(eligible);
         // `index_sample` works on usize; the eligible populations in this
         // study are far below usize::MAX.
         let picks = index_sample(rng, eligible as usize, errors as usize);
-        for p in picks {
-            flips.insert(p as u64, rng.gen_range(0..64u8));
-        }
+        let mut flips: Vec<(u64, u8)> = picks
+            .into_iter()
+            .map(|p| (p as u64, rng.gen_range(0..64u8)))
+            .collect();
+        flips.sort_unstable_by_key(|&(idx, _)| idx);
         FaultPlan { flips }
     }
 
     /// Builds a plan from explicit `(execution index, bit)` pairs (tests and
-    /// targeted experiments).
+    /// targeted experiments). When an index appears more than once, the
+    /// last pair wins.
     #[must_use]
     pub fn from_pairs(pairs: &[(u64, u8)]) -> Self {
-        FaultPlan {
-            flips: pairs.iter().copied().collect(),
-        }
+        let mut flips = pairs.to_vec();
+        // Stable-sort the reversed list so that, within equal indices, the
+        // pair latest in `pairs` comes first and survives the dedup.
+        flips.reverse();
+        flips.sort_by_key(|&(idx, _)| idx);
+        flips.dedup_by_key(|&mut (idx, _)| idx);
+        FaultPlan { flips }
     }
 
     /// Number of planned flips.
@@ -117,9 +127,29 @@ impl FaultPlan {
         self.flips.is_empty()
     }
 
+    /// The smallest planned eligible-execution index, or `None` for an
+    /// empty plan. The campaign scheduler restores each trial from the
+    /// latest checkpoint at or before this point.
+    #[must_use]
+    pub fn earliest_injection(&self) -> Option<u64> {
+        self.flips.first().map(|&(idx, _)| idx)
+    }
+
+    /// The planned `(execution index, bit)` pairs, sorted by index.
+    #[must_use]
+    pub fn pairs(&self) -> &[(u64, u8)] {
+        &self.flips
+    }
+
+    /// The planned bit position for `exec_index`, if any (binary search
+    /// over the sorted plan).
     #[inline]
-    fn bit_for(&self, exec_index: u64) -> Option<u8> {
-        self.flips.get(&exec_index).copied()
+    #[must_use]
+    pub fn bit_for(&self, exec_index: u64) -> Option<u8> {
+        self.flips
+            .binary_search_by_key(&exec_index, |&(idx, _)| idx)
+            .ok()
+            .map(|pos| self.flips[pos].1)
     }
 }
 
@@ -135,6 +165,10 @@ pub struct Injector {
     plan: FaultPlan,
     model: ErrorModel,
     seen: u64,
+    /// Position in the sorted plan of the next flip to apply. Because
+    /// `seen` only grows, the plan is consumed front to back — no lookup
+    /// per writeback, just one comparison.
+    cursor: usize,
     injected: u32,
 }
 
@@ -179,14 +213,40 @@ impl Injector {
             plan,
             model,
             seen: 0,
+            cursor: 0,
             injected: 0,
         }
+    }
+
+    /// Seeds the injector as if `eligible_seen` eligible writebacks had
+    /// already happened — used when a trial resumes from a checkpoint
+    /// taken mid-way through the golden run. Planned flips below
+    /// `eligible_seen` are skipped, exactly as they would have been missed
+    /// by a hook attached after that point.
+    ///
+    /// The campaign scheduler only resumes from checkpoints at or before a
+    /// plan's [`FaultPlan::earliest_injection`], so in practice nothing is
+    /// skipped and resumed trials are bit-identical to from-scratch ones.
+    #[must_use]
+    pub fn resume_from(mut self, eligible_seen: u64) -> Self {
+        self.seen = eligible_seen;
+        self.cursor = self
+            .plan
+            .pairs()
+            .partition_point(|&(idx, _)| idx < eligible_seen);
+        self
     }
 
     /// Number of eligible writebacks observed so far.
     #[must_use]
     pub fn eligible_seen(&self) -> u64 {
         self.seen
+    }
+
+    /// Number of planned flips (applied or still pending).
+    #[must_use]
+    pub fn planned(&self) -> u32 {
+        self.plan.len() as u32
     }
 
     /// Number of bit flips actually applied so far.
@@ -210,7 +270,11 @@ impl Injector {
         }
         let idx = self.seen;
         self.seen += 1;
-        let bit = self.plan.bit_for(idx)?;
+        let &(at, bit) = self.plan.pairs().get(self.cursor)?;
+        if at != idx {
+            return None;
+        }
+        self.cursor += 1;
         self.injected += 1;
         Some(bit)
     }
@@ -291,7 +355,7 @@ mod tests {
     fn plan_indices_within_population() {
         let mut rng = SmallRng::seed_from_u64(42);
         let plan = FaultPlan::sample(&mut rng, 50, 20);
-        for (&idx, &bit) in &plan.flips {
+        for &(idx, bit) in plan.pairs() {
             assert!(idx < 50);
             assert!(bit < 64);
         }
@@ -301,7 +365,44 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let a = FaultPlan::sample(&mut SmallRng::seed_from_u64(9), 1000, 5);
         let b = FaultPlan::sample(&mut SmallRng::seed_from_u64(9), 1000, 5);
-        assert_eq!(a.flips, b.flips);
+        assert_eq!(a.pairs(), b.pairs());
+    }
+
+    #[test]
+    fn plan_pairs_are_sorted_and_unique() {
+        let plan = FaultPlan::sample(&mut SmallRng::seed_from_u64(3), 10_000, 200);
+        assert!(plan.pairs().windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(plan.earliest_injection(), Some(plan.pairs()[0].0));
+    }
+
+    #[test]
+    fn earliest_injection_matches_minimum() {
+        assert_eq!(FaultPlan::default().earliest_injection(), None);
+        let plan = FaultPlan::from_pairs(&[(17, 3), (4, 1), (99, 0)]);
+        assert_eq!(plan.earliest_injection(), Some(4));
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_last_duplicate_wins() {
+        let plan = FaultPlan::from_pairs(&[(9, 1), (2, 5), (9, 7), (2, 6)]);
+        assert_eq!(plan.pairs(), &[(2, 6), (9, 7)]);
+        assert_eq!(plan.bit_for(2), Some(6));
+        assert_eq!(plan.bit_for(9), Some(7));
+        assert_eq!(plan.bit_for(3), None);
+    }
+
+    #[test]
+    fn bit_for_binary_search_agrees_with_linear_scan() {
+        let plan = FaultPlan::sample(&mut SmallRng::seed_from_u64(11), 5_000, 64);
+        for probe in 0..5_000u64 {
+            let linear = plan
+                .pairs()
+                .iter()
+                .find(|&&(idx, _)| idx == probe)
+                .map(|&(_, bit)| bit);
+            assert_eq!(plan.bit_for(probe), linear, "probe {probe}");
+        }
     }
 
     #[test]
@@ -338,13 +439,46 @@ mod tests {
     }
 
     #[test]
+    fn resumed_injector_skips_prior_indices() {
+        use certa_sim::WritebackHook;
+
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let program = a.assemble().unwrap();
+        let tags = certa_core::analyze(&program);
+        let plan = FaultPlan::from_pairs(&[(1, 0), (4, 2)]);
+
+        // Fresh injector: flips fire at eligible indices 1 and 4.
+        let mut fresh = Injector::new(&program, &tags, Protection::Off, plan.clone());
+        let flipped: Vec<bool> = (0..6)
+            .map(|_| fresh.int_writeback(0, 0) != 0)
+            .collect();
+        assert_eq!(flipped, [false, true, false, false, true, false]);
+        assert_eq!(fresh.injected(), 2);
+        assert_eq!(fresh.planned(), 2);
+
+        // Resumed at 2: index 1 is in the past and must be skipped; the
+        // flip at index 4 fires after two more writebacks (indices 2, 3).
+        let mut resumed =
+            Injector::new(&program, &tags, Protection::Off, plan).resume_from(2);
+        assert_eq!(resumed.eligible_seen(), 2);
+        let flipped: Vec<bool> = (0..4)
+            .map(|_| resumed.int_writeback(0, 0) != 0)
+            .collect();
+        assert_eq!(flipped, [false, false, true, false]);
+        assert_eq!(resumed.injected(), 1);
+    }
+
+    #[test]
     fn uniformity_over_population() {
         // Chi-square-ish sanity: over many samples, each of 10 slots should
         // be hit roughly equally.
         let mut counts = [0u32; 10];
         for seed in 0..4000 {
             let plan = FaultPlan::sample(&mut SmallRng::seed_from_u64(seed), 10, 1);
-            for &idx in plan.flips.keys() {
+            for &(idx, _) in plan.pairs() {
                 counts[idx as usize] += 1;
             }
         }

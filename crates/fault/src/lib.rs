@@ -26,6 +26,27 @@
 //! Trials run in parallel with deterministic per-trial seeds, and each run
 //! is bounded by a watchdog of `watchdog_factor ×` the golden instruction
 //! count; runs that exceed it are the paper's "infinite execution" failures.
+//!
+//! ## Checkpoint acceleration
+//!
+//! By default ([`CampaignConfig::checkpointing`]) campaigns do not
+//! re-execute each trial from instruction zero. The golden run records up
+//! to 32 simulator snapshots together with their eligible-writeback
+//! counts; each trial then restores the latest checkpoint at or before its
+//! earliest planned flip, executes only from there, and — once all of its
+//! flips have been applied — is spliced back onto the golden result as
+//! soon as its architectural state reconverges with a golden checkpoint.
+//! Worker threads own one reusable [`certa_sim::Machine`] each, so a
+//! restore is a `memcpy` with no allocation, and trials are scheduled
+//! sorted by injection point so neighbors share warm checkpoints.
+//!
+//! The acceleration is **exact**: outcome, output, instruction count, and
+//! injected count of every trial are bit-identical to from-scratch
+//! execution (see the determinism contract in the `campaign` module docs,
+//! the `checkpointed_trials_match_scratch_exactly` test, and the
+//! workspace-level property suite). A campaign-throughput criterion
+//! bench (`crates/bench/benches/campaign.rs`) measures the speedup — about
+//! 7× for a 12M-instruction golden run at 24 trials.
 
 mod campaign;
 mod injector;

@@ -18,6 +18,26 @@
 //!    the budget are classified as the paper's "infinite execution"
 //!    catastrophic failures.
 //!
+//! ## Checkpointing
+//!
+//! The simulator supports snapshot/restore of its complete architectural
+//! state ([`Snapshot`], [`Machine::snapshot`], [`Machine::restore`],
+//! [`Machine::from_snapshot`]) and bounded execution
+//! ([`Machine::run_until`]) that stops cleanly at an exact dynamic
+//! instruction count. Together these let a fault campaign checkpoint the
+//! golden run and fast-forward each trial to the neighborhood of its first
+//! injection point instead of re-executing from instruction zero.
+//!
+//! **Determinism contract:** the simulator is a pure function of
+//! (program, initial state, hook behavior). Restoring a snapshot taken at
+//! dynamic instruction *N* of some run and continuing — with a hook that
+//! behaves like the original hook from *N* onward — produces bit-identical
+//! architectural state, outcomes, and instruction counts to re-running from
+//! scratch. `run_until` pauses are invisible: splitting a run into any
+//! sequence of bounded steps yields exactly the same execution. The fault
+//! campaign's checkpoint acceleration relies on this contract and
+//! `certa-fault` enforces it with a property test.
+//!
 //! ## Example
 //!
 //! ```
@@ -42,5 +62,6 @@
 mod machine;
 
 pub use machine::{
-    CrashKind, Machine, MachineConfig, MemError, NoHook, Outcome, RunResult, WritebackHook,
+    BoundedRun, CrashKind, Machine, MachineConfig, MachineError, MemError, NoHook, Outcome,
+    RunResult, Snapshot, WritebackHook,
 };

@@ -114,6 +114,92 @@ pub struct RunResult {
     pub value_producing: u64,
 }
 
+/// Result of a bounded [`Machine::run_until`] step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedRun {
+    /// The program finished (halted, crashed, or tripped the watchdog)
+    /// before reaching the instruction target.
+    Finished(RunResult),
+    /// The dynamic instruction count reached the target; the machine is
+    /// paused at an instruction boundary and can be resumed with another
+    /// [`Machine::run_until`] or [`Machine::run`] call.
+    Paused,
+}
+
+/// Error from the fallible [`Machine`] constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// The program's data segment (plus the 4 KiB slack the loader
+    /// reserves above it) does not fit below `mem_size`.
+    DataSegmentTooLarge {
+        /// Bytes required: `DATA_BASE + data segment + 4096` slack.
+        required: usize,
+        /// Configured memory size.
+        mem_size: u32,
+    },
+    /// A snapshot's memory image size does not match the machine's
+    /// configured memory size.
+    MemSizeMismatch {
+        /// Memory bytes recorded in the snapshot.
+        snapshot: usize,
+        /// Memory bytes configured for the machine.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::DataSegmentTooLarge { required, mem_size } => write!(
+                f,
+                "data segment needs {required} bytes but only {mem_size} are configured"
+            ),
+            MachineError::MemSizeMismatch { snapshot, machine } => write!(
+                f,
+                "snapshot holds {snapshot} bytes of memory but the machine has {machine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A complete copy of the architectural state of a [`Machine`] at an
+/// instruction boundary: register files, program counter, dynamic counters,
+/// and the full memory image.
+///
+/// Snapshots make fault campaigns cheap: the golden run records them at
+/// intervals, and every trial then [`Machine::restore`]s the latest snapshot
+/// before its first injection point instead of re-executing the prefix.
+/// Restoring is a pure `memcpy` — no allocation, no zeroing.
+///
+/// Per-instruction profiling counts ([`Machine::exec_counts`]) are *not*
+/// part of a snapshot: they are a measurement artifact of one specific run,
+/// not architectural state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    regs: [u32; 32],
+    fregs: [f64; 32],
+    pc: u64,
+    icount: u64,
+    value_producing: u64,
+    mem: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Dynamic instruction count at which this snapshot was taken.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.icount
+    }
+
+    /// Approximate heap footprint in bytes (dominated by the memory image).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.mem.len() + std::mem::size_of::<Snapshot>()
+    }
+}
+
 /// Error returned by the host-side memory access helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemError {
@@ -180,23 +266,25 @@ impl<'p> Machine<'p> {
     /// Creates a machine with the program's data segment loaded at
     /// [`DATA_BASE`], `$sp` at the top of memory and `$gp` at `DATA_BASE`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the data segment does not fit in `config.mem_size`.
-    #[must_use]
-    pub fn new(program: &'p Program, config: &MachineConfig) -> Self {
-        let mut mem = vec![0u8; config.mem_size as usize];
+    /// Returns [`MachineError::DataSegmentTooLarge`] if the data segment
+    /// (plus 4 KiB of loader slack) does not fit in `config.mem_size`.
+    pub fn try_new(program: &'p Program, config: &MachineConfig) -> Result<Self, MachineError> {
         let lo = DATA_BASE as usize;
         let hi = lo + program.data.len();
-        assert!(
-            hi + 4096 < config.mem_size as usize,
-            "data segment does not fit in configured memory"
-        );
+        if hi + 4096 >= config.mem_size as usize {
+            return Err(MachineError::DataSegmentTooLarge {
+                required: hi + 4096,
+                mem_size: config.mem_size,
+            });
+        }
+        let mut mem = vec![0u8; config.mem_size as usize];
         mem[lo..hi].copy_from_slice(&program.data);
         let mut regs = [0u32; 32];
         regs[reg::SP.index()] = config.mem_size - 16;
         regs[reg::GP.index()] = DATA_BASE;
-        Machine {
+        Ok(Machine {
             program,
             regs,
             fregs: [0.0; 32],
@@ -211,7 +299,116 @@ impl<'p> Machine<'p> {
             },
             profile: config.profile,
             max_instructions: config.max_instructions,
+        })
+    }
+
+    /// Creates a machine, panicking on configuration errors (convenience
+    /// wrapper around [`Machine::try_new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data segment does not fit in `config.mem_size`.
+    #[must_use]
+    pub fn new(program: &'p Program, config: &MachineConfig) -> Self {
+        Self::try_new(program, config)
+            .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"))
+    }
+
+    /// Creates a machine whose architectural state is copied from
+    /// `snapshot`, with watchdog and profiling taken from `config`.
+    ///
+    /// The `config.mem_size` must match the snapshot's memory image — a
+    /// snapshot is a complete state, not a loadable program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemSizeMismatch`] if `config.mem_size`
+    /// differs from the snapshot's memory size.
+    pub fn from_snapshot(
+        program: &'p Program,
+        snapshot: &Snapshot,
+        config: &MachineConfig,
+    ) -> Result<Self, MachineError> {
+        if snapshot.mem.len() != config.mem_size as usize {
+            return Err(MachineError::MemSizeMismatch {
+                snapshot: snapshot.mem.len(),
+                machine: config.mem_size as usize,
+            });
         }
+        Ok(Machine {
+            program,
+            regs: snapshot.regs,
+            fregs: snapshot.fregs,
+            mem: snapshot.mem.clone(),
+            pc: snapshot.pc,
+            icount: snapshot.icount,
+            value_producing: snapshot.value_producing,
+            exec_counts: if config.profile {
+                vec![0; program.code.len()]
+            } else {
+                Vec::new()
+            },
+            profile: config.profile,
+            max_instructions: config.max_instructions,
+        })
+    }
+
+    /// Captures the complete architectural state at the current instruction
+    /// boundary. See [`Snapshot`] for what is (and is not) included.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            regs: self.regs,
+            fregs: self.fregs,
+            pc: self.pc,
+            icount: self.icount,
+            value_producing: self.value_producing,
+            mem: self.mem.clone(),
+        }
+    }
+
+    /// Overwrites this machine's architectural state with `snapshot`.
+    ///
+    /// This is the hot path of checkpointed fault campaigns: a straight
+    /// `memcpy` into the existing memory buffer — no allocation, no
+    /// zeroing. Watchdog budget and profiling configuration are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemSizeMismatch`] if the snapshot's memory
+    /// image differs in size from this machine's memory.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), MachineError> {
+        if snapshot.mem.len() != self.mem.len() {
+            return Err(MachineError::MemSizeMismatch {
+                snapshot: snapshot.mem.len(),
+                machine: self.mem.len(),
+            });
+        }
+        self.regs = snapshot.regs;
+        self.fregs = snapshot.fregs;
+        self.pc = snapshot.pc;
+        self.icount = snapshot.icount;
+        self.value_producing = snapshot.value_producing;
+        self.mem.copy_from_slice(&snapshot.mem);
+        Ok(())
+    }
+
+    /// Whether this machine's architectural state is bit-identical to
+    /// `snapshot` (floats compared by bit pattern, so NaNs compare
+    /// faithfully). Cheap fields are compared first so divergent states
+    /// usually return `false` without touching the memory image.
+    #[must_use]
+    pub fn state_eq(&self, snapshot: &Snapshot) -> bool {
+        self.icount == snapshot.icount
+            && self.pc == snapshot.pc
+            && self.value_producing == snapshot.value_producing
+            && self.regs == snapshot.regs
+            && self
+                .fregs
+                .iter()
+                .zip(&snapshot.fregs)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.mem == snapshot.mem
     }
 
     /// Current value of an integer register.
@@ -304,7 +501,7 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn check_access(&self, addr: u32, size: u32) -> Result<usize, CrashKind> {
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(CrashKind::Misaligned { addr, size });
         }
         let start = addr as usize;
@@ -348,7 +545,7 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn load_f64(&self, addr: u32) -> Result<f64, CrashKind> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(CrashKind::Misaligned { addr, size: 8 });
         }
         let start = addr as usize;
@@ -363,7 +560,7 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn store_f64(&mut self, addr: u32, value: f64) -> Result<(), CrashKind> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(CrashKind::Misaligned { addr, size: 8 });
         }
         let start = addr as usize;
@@ -408,10 +605,40 @@ impl<'p> Machine<'p> {
 
     /// Runs to completion, invoking `hook` on every value-producing
     /// writeback.
-    #[allow(clippy::too_many_lines)]
     pub fn run<H: WritebackHook>(&mut self, hook: &mut H) -> RunResult {
+        match self.run_loop::<H, false>(hook, 0) {
+            BoundedRun::Finished(result) => result,
+            BoundedRun::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Runs until the dynamic instruction count reaches `target` (absolute,
+    /// not relative), stopping cleanly at the instruction boundary, or until
+    /// the program finishes — whichever comes first.
+    ///
+    /// A target at or below the current count pauses immediately without
+    /// executing anything; a target beyond the program's natural end returns
+    /// [`BoundedRun::Finished`]. The bounded and unbounded paths share one
+    /// monomorphized dispatch loop, so `run_until` pays no per-instruction
+    /// dispatch penalty over [`Machine::run`].
+    pub fn run_until<H: WritebackHook>(&mut self, hook: &mut H, target: u64) -> BoundedRun {
+        self.run_loop::<H, true>(hook, target)
+    }
+
+    /// The single dispatch loop behind [`Machine::run`] and
+    /// [`Machine::run_until`]. `BOUNDED` is a const generic so the target
+    /// comparison is compiled out entirely for unbounded runs.
+    #[allow(clippy::too_many_lines)]
+    fn run_loop<H: WritebackHook, const BOUNDED: bool>(
+        &mut self,
+        hook: &mut H,
+        target: u64,
+    ) -> BoundedRun {
         let code = &self.program.code;
         loop {
+            if BOUNDED && self.icount >= target {
+                return BoundedRun::Paused;
+            }
             if self.icount >= self.max_instructions {
                 return self.finish(Outcome::InfiniteRun);
             }
@@ -543,12 +770,12 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn finish(&self, outcome: Outcome) -> RunResult {
-        RunResult {
+    fn finish(&self, outcome: Outcome) -> BoundedRun {
+        BoundedRun::Finished(RunResult {
             outcome,
             instructions: self.icount,
             value_producing: self.value_producing,
-        }
+        })
     }
 }
 
@@ -572,20 +799,8 @@ fn eval_alu(op: AluOp, a: u32, b: u32) -> u32 {
                 (a as i32).wrapping_rem(b as i32) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        AluOp::Remu => {
-            if b == 0 {
-                0
-            } else {
-                a % b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(0),
+        AluOp::Remu => a.checked_rem(b).unwrap_or(0),
         AluOp::And => a & b,
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,
@@ -891,6 +1106,262 @@ mod tests {
             r.outcome,
             Outcome::Crashed(CrashKind::PcOutOfRange { .. })
         ));
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_isa::reg::{A0, T0, V0};
+
+    /// 1 + 2 + ... + 100 in a loop: long enough to pause mid-run.
+    fn sum_program() -> Program {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(A0, 100);
+        a.li(V0, 0);
+        a.li(T0, 1);
+        a.label("loop");
+        a.add(V0, V0, T0);
+        a.addi(T0, T0, 1);
+        a.ble(T0, A0, "loop");
+        a.halt();
+        a.endfunc();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_data_segment() {
+        let mut a = Asm::new();
+        a.data_zero(10_000);
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let config = MachineConfig {
+            mem_size: 8192,
+            ..MachineConfig::default()
+        };
+        match Machine::try_new(&p, &config) {
+            Err(MachineError::DataSegmentTooLarge { required, mem_size }) => {
+                assert!(required > 8192);
+                assert_eq!(mem_size, 8192);
+            }
+            other => panic!("expected DataSegmentTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine configuration rejected")]
+    fn new_panics_on_oversized_data_segment() {
+        let mut a = Asm::new();
+        a.data_zero(10_000);
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let _ = Machine::new(
+            &p,
+            &MachineConfig {
+                mem_size: 8192,
+                ..MachineConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        let p = sum_program();
+        let config = MachineConfig::default();
+
+        // Reference: run straight through.
+        let mut reference = Machine::new(&p, &config);
+        let ref_result = reference.run_simple();
+
+        // Snapshot mid-run, finish, then restore and finish again.
+        let mut m = Machine::new(&p, &config);
+        assert_eq!(m.run_until(&mut NoHook, 57), BoundedRun::Paused);
+        let snap = m.snapshot();
+        assert_eq!(snap.instructions(), 57);
+        let first = m.run_simple();
+        assert_eq!(first, ref_result);
+
+        m.restore(&snap).unwrap();
+        assert!(m.state_eq(&snap));
+        assert_eq!(m.instructions(), 57);
+        let second = m.run_simple();
+        assert_eq!(second, ref_result);
+        assert_eq!(m.reg(V0), 5050);
+    }
+
+    #[test]
+    fn from_snapshot_resumes_identically() {
+        let p = sum_program();
+        let config = MachineConfig::default();
+        let mut golden = Machine::new(&p, &config);
+        let golden_result = golden.run_simple();
+
+        let mut m = Machine::new(&p, &config);
+        m.run_until(&mut NoHook, 123);
+        let snap = m.snapshot();
+        let mut resumed = Machine::from_snapshot(&p, &snap, &config).unwrap();
+        assert!(resumed.state_eq(&snap));
+        assert_eq!(resumed.run_simple(), golden_result);
+        assert_eq!(resumed.reg(V0), 5050);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_mem_size_mismatch() {
+        let p = sum_program();
+        let snap = Machine::new(&p, &MachineConfig::default()).snapshot();
+        let smaller = MachineConfig {
+            mem_size: 1 << 20,
+            ..MachineConfig::default()
+        };
+        assert!(matches!(
+            Machine::from_snapshot(&p, &snap, &smaller),
+            Err(MachineError::MemSizeMismatch { .. })
+        ));
+        let mut m = Machine::new(&p, &smaller);
+        assert!(matches!(
+            m.restore(&snap),
+            Err(MachineError::MemSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn run_until_stops_exactly_at_target() {
+        let p = sum_program();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_until(&mut NoHook, 10), BoundedRun::Paused);
+        assert_eq!(m.instructions(), 10);
+        // Resuming with a lower or equal target executes nothing.
+        assert_eq!(m.run_until(&mut NoHook, 10), BoundedRun::Paused);
+        assert_eq!(m.instructions(), 10);
+        assert_eq!(m.run_until(&mut NoHook, 5), BoundedRun::Paused);
+        assert_eq!(m.instructions(), 10);
+        // And a higher target continues from where it stopped.
+        assert_eq!(m.run_until(&mut NoHook, 11), BoundedRun::Paused);
+        assert_eq!(m.instructions(), 11);
+    }
+
+    #[test]
+    fn run_until_zero_executes_nothing() {
+        let p = sum_program();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let before = m.snapshot();
+        assert_eq!(m.run_until(&mut NoHook, 0), BoundedRun::Paused);
+        assert_eq!(m.instructions(), 0);
+        assert!(m.state_eq(&before));
+    }
+
+    #[test]
+    fn run_until_past_halt_finishes() {
+        let p = sum_program();
+        let mut straight = Machine::new(&p, &MachineConfig::default());
+        let expected = straight.run_simple();
+
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        match m.run_until(&mut NoHook, u64::MAX / 4) {
+            BoundedRun::Finished(r) => assert_eq!(r, expected),
+            BoundedRun::Paused => panic!("must finish before an enormous target"),
+        }
+        // Running again after halt finishes immediately at the same state:
+        // pc sits past the halt, which reports as a crash, exactly like
+        // calling run() twice would.
+        assert_eq!(m.instructions(), expected.instructions);
+    }
+
+    #[test]
+    fn run_until_target_exactly_at_halt_boundary() {
+        let p = sum_program();
+        let mut straight = Machine::new(&p, &MachineConfig::default());
+        let expected = straight.run_simple();
+        let n = expected.instructions;
+
+        // Target exactly N: the halt is the Nth instruction executed, so
+        // the run finishes rather than pausing.
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        match m.run_until(&mut NoHook, n) {
+            BoundedRun::Finished(r) => assert_eq!(r, expected),
+            BoundedRun::Paused => panic!("target N must execute the halt"),
+        }
+
+        // Target N-1 pauses with the halt still unexecuted; resuming
+        // finishes identically to the straight run.
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        assert_eq!(m.run_until(&mut NoHook, n - 1), BoundedRun::Paused);
+        assert_eq!(m.instructions(), n - 1);
+        assert_eq!(m.run(&mut NoHook), expected);
+    }
+
+    #[test]
+    fn interleaved_bounded_steps_match_straight_run() {
+        let p = sum_program();
+        let mut straight = Machine::new(&p, &MachineConfig::default());
+        let expected = straight.run_simple();
+
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let mut target = 0u64;
+        let result = loop {
+            target += 37;
+            match m.run_until(&mut NoHook, target) {
+                BoundedRun::Finished(r) => break r,
+                BoundedRun::Paused => assert_eq!(m.instructions(), target),
+            }
+        };
+        assert_eq!(result, expected);
+        for i in 0..32u8 {
+            assert_eq!(m.reg(Reg::new(i)), straight.reg(Reg::new(i)));
+        }
+    }
+
+    #[test]
+    fn watchdog_still_fires_inside_bounded_runs() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.label("spin");
+        a.j("spin");
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(
+            &p,
+            &MachineConfig {
+                max_instructions: 100,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(m.run_until(&mut NoHook, 50), BoundedRun::Paused);
+        match m.run_until(&mut NoHook, 1000) {
+            BoundedRun::Finished(r) => {
+                assert_eq!(r.outcome, Outcome::InfiniteRun);
+                assert_eq!(r.instructions, 100);
+            }
+            BoundedRun::Paused => panic!("watchdog must fire before the bound"),
+        }
+    }
+
+    #[test]
+    fn state_eq_detects_every_component() {
+        let p = sum_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until(&mut NoHook, 20);
+        let snap = m.snapshot();
+        assert!(m.state_eq(&snap));
+
+        let mut r = Machine::from_snapshot(&p, &snap, &config).unwrap();
+        r.set_reg(certa_isa::reg::S0, 0xDEAD);
+        assert!(!r.state_eq(&snap));
+
+        let mut r = Machine::from_snapshot(&p, &snap, &config).unwrap();
+        r.write_bytes(DATA_BASE + 64, &[1]).unwrap();
+        assert!(!r.state_eq(&snap));
+
+        let mut r = Machine::from_snapshot(&p, &snap, &config).unwrap();
+        r.run_until(&mut NoHook, 21);
+        assert!(!r.state_eq(&snap));
     }
 }
 

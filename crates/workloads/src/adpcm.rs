@@ -173,7 +173,7 @@ impl AdpcmWorkload {
     #[must_use]
     #[allow(clippy::too_many_lines)]
     pub fn with_samples(samples: &[i16]) -> Self {
-        assert!(!samples.is_empty() && samples.len() % 2 == 0);
+        assert!(!samples.is_empty() && samples.len().is_multiple_of(2));
         let n = samples.len();
         let mut a = Asm::new();
         let in_addr = a.data_halves(samples);

@@ -100,7 +100,7 @@ pub fn i16s_to_bytes(samples: &[i16]) -> Vec<u8> {
 /// odd-length input.
 #[must_use]
 pub fn bytes_to_i16s(bytes: &[u8]) -> Option<Vec<i16>> {
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return None;
     }
     Some(

@@ -73,8 +73,8 @@ pub fn reference_encode(samples: &[i16]) -> Vec<u8> {
     for f in 0..NUM_FRAMES {
         // open-loop block maximum of the prediction residual
         let mut m = 0i32;
-        for g in f * FRAME..(f + 1) * FRAME {
-            let s = i32::from(samples[g]);
+        for &sample in &samples[f * FRAME..(f + 1) * FRAME] {
+            let s = i32::from(sample);
             let pred = (14 * o1 - 7 * o2) >> 3;
             m = m.max((s - pred).abs());
             o2 = o1;

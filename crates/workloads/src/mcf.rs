@@ -152,8 +152,8 @@ pub fn reference_schedule() -> Schedule {
         }
     }
     // extract successor links
-    let mut succ = vec![-1i32; TRIPS];
-    let mut pred = vec![-1i32; TRIPS];
+    let mut succ = [-1i32; TRIPS];
+    let mut pred = [-1i32; TRIPS];
     let mut link_sum = 0i64;
     for &(e, i, j, c) in &n.links {
         if n.cap[e] == 0 {
@@ -165,8 +165,8 @@ pub fn reference_schedule() -> Schedule {
     // vehicle assignment by chain heads in trip order
     let mut assignment = vec![0u32; TRIPS];
     let mut vehicles = 0u32;
-    for i in 0..TRIPS {
-        if pred[i] < 0 {
+    for (i, &p) in pred.iter().enumerate() {
+        if p < 0 {
             let mut t = i as i32;
             while t >= 0 {
                 assignment[t as usize] = vehicles;

@@ -59,5 +59,5 @@ fn main() {
         machine.reg(V0),
         result.instructions
     );
-    assert_eq!(machine.reg(V0), 1 * 10 + 2 * 20 + 3 * 30 + 4 * 40);
+    assert_eq!(machine.reg(V0), 10 + 2 * 20 + 3 * 30 + 4 * 40);
 }

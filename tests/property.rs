@@ -4,8 +4,9 @@ use proptest::prelude::*;
 
 use certa::asm::Asm;
 use certa::core::{analyze, analyze_with, AnalysisOptions, Tag};
+use certa::fault::{run_campaign, CampaignConfig, Protection, Target};
 use certa::fidelity::{byte_similarity, psnr, snr_db};
-use certa::isa::{reg, AluOp, Instr, Reg, RegRef};
+use certa::isa::{reg, AluOp, Instr, Program, Reg, RegRef};
 use certa::sim::{Machine, MachineConfig, Outcome};
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -181,6 +182,115 @@ proptest! {
     fn regref_dense_index_bijection(idx in 0usize..64) {
         prop_assert_eq!(RegRef::from_dense_index(idx).dense_index(), idx);
     }
+
+    /// The checkpointing determinism contract: for random seeds, all three
+    /// workload sizes, both protection regimes, and varying error counts,
+    /// a checkpoint-accelerated campaign produces trial results that are
+    /// bit-identical (outcome, output, instruction count, injected count)
+    /// to from-scratch execution.
+    #[test]
+    fn checkpointed_campaigns_equal_scratch(seed in any::<u64>()) {
+        const SIZES: [usize; 3] = [64, 256, 1024];
+        let size = SIZES[(seed % 3) as usize];
+        let errors = (seed >> 2) % 4; // 0..=3, including the no-flip splice path
+        let protection = if seed & 2 == 0 { Protection::On } else { Protection::Off };
+        let threads = if seed & 16 == 0 { 1 } else { 2 }; // bit disjoint from `errors`
+
+        let target = TransformTarget::new(size);
+        let tags = analyze(&target.program);
+        let fast_cfg = CampaignConfig {
+            trials: 6,
+            errors,
+            protection,
+            seed,
+            threads,
+            checkpoint_stride: 64, // force several checkpoints even when small
+            ..CampaignConfig::default()
+        };
+        let slow_cfg = CampaignConfig { checkpointing: false, ..fast_cfg.clone() };
+        let fast = run_campaign(&target, &tags, &fast_cfg);
+        let slow = run_campaign(&target, &tags, &slow_cfg);
+
+        prop_assert_eq!(&fast.golden.output, &slow.golden.output);
+        prop_assert_eq!(fast.golden.instructions, slow.golden.instructions);
+        prop_assert_eq!(fast.golden.eligible_population, slow.golden.eligible_population);
+        for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
+            prop_assert_eq!(a.outcome, b.outcome, "trial {} outcome (size {})", i, size);
+            prop_assert_eq!(&a.output, &b.output, "trial {} output (size {})", i, size);
+            prop_assert_eq!(a.instructions, b.instructions, "trial {} instructions (size {})", i, size);
+            prop_assert_eq!(a.injected, b.injected, "trial {} injected (size {})", i, size);
+        }
+    }
+}
+
+/// A size-parameterized byte-transform kernel used by the checkpointing
+/// property: per element it computes `(b * 3 + 7) & 0xff`, stores it, and
+/// accumulates a checksum. Masked flips reconverge with the golden run
+/// (exercising the splice path); checksum/store flips diverge to the end
+/// (exercising the run-out path); address flips under `Protection::Off`
+/// crash (exercising early termination).
+struct TransformTarget {
+    program: Program,
+    input_addr: u32,
+    output_addr: u32,
+    size: usize,
+}
+
+impl TransformTarget {
+    fn new(size: usize) -> Self {
+        let mut a = Asm::new();
+        let input_addr = a.data_zero(size);
+        let output_addr = a.data_zero(size + 4);
+        a.func("transform", true);
+        a.la(reg::T0, input_addr);
+        a.la(reg::T4, output_addr);
+        a.li(reg::T1, 0);
+        a.li(reg::T2, 0);
+        a.label("loop");
+        a.add(reg::T3, reg::T0, reg::T1);
+        a.lbu(reg::T3, 0, reg::T3);
+        a.muli(reg::T3, reg::T3, 3);
+        a.addi(reg::T3, reg::T3, 7);
+        a.andi(reg::T3, reg::T3, 255);
+        a.add(reg::T2, reg::T2, reg::T3);
+        a.add(reg::T5, reg::T4, reg::T1);
+        a.sb(reg::T3, 0, reg::T5);
+        a.addi(reg::T1, reg::T1, 1);
+        a.slti(reg::T6, reg::T1, size as i32);
+        a.bnez(reg::T6, "loop");
+        a.la(reg::T5, output_addr + size as u32);
+        a.sw(reg::T2, 0, reg::T5);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.call("transform");
+        a.halt();
+        a.endfunc();
+        TransformTarget {
+            program: a.assemble().unwrap(),
+            input_addr,
+            output_addr,
+            size,
+        }
+    }
+}
+
+impl Target for TransformTarget {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, machine: &mut Machine<'_>) {
+        let input: Vec<u8> = (0..self.size).map(|i| (i * 37 + 11) as u8).collect();
+        machine.write_bytes(self.input_addr, &input).unwrap();
+    }
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        machine
+            .read_bytes(self.output_addr, self.size as u32 + 4)
+            .ok()
+            .map(<[u8]>::to_vec)
+    }
 }
 
 fn host_alu(op: AluOp, a: u32, b: u32) -> u32 {
@@ -202,20 +312,8 @@ fn host_alu(op: AluOp, a: u32, b: u32) -> u32 {
                 (a as i32).wrapping_rem(b as i32) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        AluOp::Remu => {
-            if b == 0 {
-                0
-            } else {
-                a % b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(0),
+        AluOp::Remu => a.checked_rem(b).unwrap_or(0),
         AluOp::And => a & b,
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,

@@ -1,0 +1,269 @@
+//! Vendored, dependency-free stand-in for the subset of the `rand` crate
+//! API this workspace consumes (builds run offline, so crates.io is not
+//! available).
+//!
+//! Implemented surface:
+//!
+//! * [`RngCore`] / [`Rng::gen_range`] over integer [`core::ops::Range`]s
+//! * [`SeedableRng::seed_from_u64`]
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded through SplitMix64
+//! * [`seq::index::sample`] — distinct-index sampling (partial
+//!   Fisher-Yates over a sparse map)
+//!
+//! Streams do **not** match the real `rand` crate bit-for-bit; everything in
+//! this workspace that depends on randomness asserts determinism per seed or
+//! statistical properties, never exact draws.
+
+use std::ops::Range;
+
+/// Core entropy source: 64 random bits at a time.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform value in `[lo, hi)`; `lo < hi` must hold.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let draw = below(rng, span);
+                ((lo as i128).wrapping_add(draw as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform value in `0..span` via 128-bit widening multiply (Lemire's
+/// multiply-shift; the bias is < 2^-64 per draw, irrelevant at the
+/// population sizes this workspace samples).
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u128::from(u64::MAX) {
+        // Not needed by this workspace's ranges; fall back to modulo.
+        let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        return wide % span;
+    }
+    (u128::from(rng.next_u64()) * span) >> 64
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open).
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Uniform boolean with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as the real rand crate does.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling.
+
+    pub mod index {
+        //! Distinct-index sampling.
+
+        use crate::RngCore;
+        use std::collections::HashMap;
+
+        /// The distinct indices chosen by [`sample`].
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The chosen indices, in draw order.
+            #[must_use]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of chosen indices.
+            #[must_use]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were chosen.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`
+        /// (partial Fisher-Yates over a sparse displacement map, so memory
+        /// is `O(amount)` even for huge populations).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`, mirroring the real crate.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from a population of {length}"
+            );
+            let mut displaced: HashMap<usize, usize> = HashMap::new();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = i + super::super::below(rng, (length - i) as u128) as usize;
+                let xi = displaced.get(&i).copied().unwrap_or(i);
+                let xj = displaced.remove(&j).unwrap_or(j);
+                out.push(xj);
+                if j != i {
+                    displaced.insert(j, xi);
+                }
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..64u8);
+            assert!(v < 64);
+            let w = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let picks: Vec<usize> = super::seq::index::sample(&mut rng, 50, 20).into_vec();
+            assert_eq!(picks.len(), 20);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 20, "indices must be distinct");
+            assert!(picks.iter().all(|&p| p < 50));
+        }
+    }
+
+    #[test]
+    fn index_sample_full_population() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut picks = super::seq::index::sample(&mut rng, 8, 8).into_vec();
+        picks.sort_unstable();
+        assert_eq!(picks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut counts = [0u32; 8];
+        for seed in 0..8000 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts skewed: {counts:?}");
+        }
+    }
+}
