@@ -130,12 +130,39 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     let start = Instant::now();
     std::hint::black_box(run_campaign(&target, &tags, &campaign_config(false)));
     let from_scratch = start.elapsed();
+    let speedup = from_scratch.as_secs_f64() / with_checkpoints.as_secs_f64();
     println!(
         "campaign wall-clock: checkpointing on {:.3} s, off {:.3} s → {:.1}x speedup (target ≥ 3x)",
         with_checkpoints.as_secs_f64(),
         from_scratch.as_secs_f64(),
-        from_scratch.as_secs_f64() / with_checkpoints.as_secs_f64()
+        speedup
     );
+    // MIPS-style throughput: the campaign simulates trials × golden-length
+    // instructions (an upper bound for checkpointed runs, which skip
+    // prefixes/suffixes — making the effective rate look even higher).
+    let campaign_instructions = golden.instructions * campaign_config(true).trials as u64;
+    let on_mips = campaign_instructions as f64 / with_checkpoints.as_secs_f64() / 1e6;
+    let off_mips = campaign_instructions as f64 / from_scratch.as_secs_f64() / 1e6;
+    println!(
+        "campaign throughput: checkpointing on {on_mips:.1} MIPS, off {off_mips:.1} MIPS \
+         ({campaign_instructions} simulated instructions per campaign)"
+    );
+    let json = format!(
+        "{{\"bench\":\"campaign\",\"golden_instructions\":{},\"trials\":{},\
+         \"checkpointing_on_secs\":{:.6},\"checkpointing_off_secs\":{:.6},\
+         \"speedup\":{:.3},\"checkpointing_on_mips\":{:.3},\"checkpointing_off_mips\":{:.3}}}\n",
+        golden.instructions,
+        campaign_config(true).trials,
+        with_checkpoints.as_secs_f64(),
+        from_scratch.as_secs_f64(),
+        speedup,
+        on_mips,
+        off_mips
+    );
+    match certa_bench::write_bench_json("campaign", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
+    }
 
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(3);

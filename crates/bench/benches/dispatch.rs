@@ -1,0 +1,161 @@
+//! Criterion bench: raw interpreter throughput per workload — the
+//! predecoded micro-op dispatch ([`Machine::run`]) against the reference
+//! `Instr` tree-walking interpreter ([`Machine::run_reference`]), both
+//! unprofiled and hook-free (the campaign's hot configuration).
+//!
+//! Prints MIPS (millions of simulated instructions per second) for each
+//! workload and the geometric-mean speedup (acceptance target ≥ 2×), and
+//! emits a `BENCH_dispatch.json` summary for the CI artifact trail.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use certa_bench::{geomean, write_bench_json};
+use certa_sim::{Machine, MachineConfig, NoHook, Outcome, RunResult};
+use certa_workloads::{all_workloads, Workload};
+
+fn machine_config(w: &dyn Workload) -> MachineConfig {
+    MachineConfig {
+        mem_size: w.mem_size(),
+        ..MachineConfig::default()
+    }
+}
+
+/// One timed golden run (machine construction and input staging excluded
+/// from the timed section).
+fn time_golden_once(w: &dyn Workload, reference: bool) -> (Duration, RunResult) {
+    let config = machine_config(w);
+    let mut m = Machine::new(w.program(), &config);
+    w.prepare(&mut m);
+    let start = Instant::now();
+    let r = if reference {
+        m.run_reference(&mut NoHook)
+    } else {
+        m.run_simple()
+    };
+    let elapsed = start.elapsed();
+    assert_eq!(r.outcome, Outcome::Halted, "{} golden run", w.name());
+    (elapsed, r)
+}
+
+/// Best-of-N wall-clock per pipeline, samples interleaved
+/// (reference/decoded alternating) so clock-frequency drift and cache
+/// warmup hit both pipelines evenly.
+fn time_golden_interleaved(
+    w: &dyn Workload,
+    samples: usize,
+) -> (Duration, RunResult, Duration, RunResult) {
+    let mut best_ref = Duration::MAX;
+    let mut best_dec = Duration::MAX;
+    let mut ref_result = None;
+    let mut dec_result = None;
+    for _ in 0..samples {
+        let (t, r) = time_golden_once(w, true);
+        best_ref = best_ref.min(t);
+        ref_result = Some(r);
+        let (t, r) = time_golden_once(w, false);
+        best_dec = best_dec.min(t);
+        dec_result = Some(r);
+    }
+    (
+        best_ref,
+        ref_result.expect("at least one sample"),
+        best_dec,
+        dec_result.expect("at least one sample"),
+    )
+}
+
+fn mips(instructions: u64, elapsed: Duration) -> f64 {
+    instructions as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+fn bench_dispatch_throughput(c: &mut Criterion) {
+    let workloads = all_workloads();
+
+    // Warmup sweep: both pipelines over every workload before any timing,
+    // so page cache, branch predictors, and clock governors reach steady
+    // state (single-core CI machines ramp noticeably).
+    for w in &workloads {
+        let _ = time_golden_once(&**w, true);
+        let _ = time_golden_once(&**w, false);
+    }
+
+    let mut rows = String::new();
+    let mut speedups = Vec::new();
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>9}",
+        "workload", "instructions", "ref MIPS", "decoded MIPS", "speedup"
+    );
+    for w in &workloads {
+        let (ref_time, ref_result, dec_time, dec_result) = time_golden_interleaved(&**w, 5);
+        assert_eq!(
+            ref_result, dec_result,
+            "{}: pipelines must agree before being compared",
+            w.name()
+        );
+        let ref_mips = mips(ref_result.instructions, ref_time);
+        let dec_mips = mips(dec_result.instructions, dec_time);
+        let speedup = dec_mips / ref_mips;
+        speedups.push(speedup);
+        println!(
+            "{:<10} {:>14} {:>12.1} {:>12.1} {:>8.2}x",
+            w.name(),
+            ref_result.instructions,
+            ref_mips,
+            dec_mips,
+            speedup
+        );
+        let _ = write!(
+            rows,
+            "{}{{\"name\":\"{}\",\"instructions\":{},\"reference_mips\":{:.3},\"decoded_mips\":{:.3},\"speedup\":{:.3}}}",
+            if rows.is_empty() { "" } else { "," },
+            w.name(),
+            ref_result.instructions,
+            ref_mips,
+            dec_mips,
+            speedup
+        );
+    }
+    let geo = geomean(&speedups);
+    println!("dispatch throughput geomean speedup: {geo:.2}x (target ≥ 2x)");
+
+    let json = format!(
+        "{{\"bench\":\"dispatch\",\"geomean_speedup\":{geo:.3},\"workloads\":[{rows}]}}\n"
+    );
+    match write_bench_json("dispatch", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_dispatch.json: {e}"),
+    }
+
+    // Criterion entries for the trajectory: decoded vs reference on every
+    // workload, throughput-annotated with the dynamic instruction count.
+    let mut group = c.benchmark_group("dispatch_throughput");
+    group.sample_size(5);
+    for w in &workloads {
+        let config = machine_config(&**w);
+        let mut probe = Machine::new(w.program(), &config);
+        w.prepare(&mut probe);
+        let instructions = probe.run_simple().instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_function(BenchmarkId::new("decoded", w.name()), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(w.program(), &config);
+                w.prepare(&mut m);
+                std::hint::black_box(m.run_simple())
+            });
+        });
+        group.bench_function(BenchmarkId::new("reference", w.name()), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(w.program(), &config);
+                w.prepare(&mut m);
+                std::hint::black_box(m.run_reference(&mut NoHook))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_throughput);
+criterion_main!(benches);

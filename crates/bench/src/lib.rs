@@ -581,6 +581,45 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Bench reporting: BENCH_*.json artifacts
+// ---------------------------------------------------------------------
+
+/// Geometric mean of strictly positive values (`0.0` for an empty slice).
+/// Used by the throughput benches to aggregate per-workload speedups
+/// without letting one outlier workload dominate.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Writes `BENCH_{name}.json` into the workspace root (the nearest
+/// ancestor of the current directory holding a `Cargo.lock`, since `cargo
+/// bench` runs benches with the *package* directory as CWD), so CI can
+/// upload every `BENCH_*.json` as a build artifact and track the perf
+/// trajectory across PRs. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying [`std::io::Error`] if the file cannot be
+/// written.
+pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    let mut root = std::env::current_dir()?;
+    for dir in std::env::current_dir()?.ancestors() {
+        if dir.join("Cargo.lock").is_file() {
+            root = dir.to_path_buf();
+            break;
+        }
+    }
+    let path = root.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Parses the `--trials N` / `--seed N` CLI convention used by the
 /// `repro_*` binaries. Returns `(trials, seed)`.
 #[must_use]
@@ -649,6 +688,16 @@ mod tests {
         assert_eq!(p.failure_pct, 0.0);
         assert_eq!(p.acceptable_pct, 100.0);
         assert_eq!(p.mean_score, 1.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // Order-independent.
+        assert!((geomean(&[0.5, 8.0]) - geomean(&[8.0, 0.5])).abs() < 1e-12);
     }
 
     #[test]

@@ -24,9 +24,15 @@
 //!    protection — converge quickly.)
 //! 4. **Schedules without reallocation**: worker threads
 //!    ([`std::thread::scope`]) each own one reusable [`Machine`]; restoring
-//!    a checkpoint is a straight `memcpy` into its existing buffers.
-//!    Trials are handed out sorted by injection point so neighboring
-//!    trials reuse warm checkpoints.
+//!    a checkpoint copies into its existing buffers — and because the
+//!    simulator tracks dirty pages, re-restoring the checkpoint a worker
+//!    is already based on copies only the pages the previous trial
+//!    touched, not the whole memory image. Trials are handed out sorted by
+//!    injection point so neighboring trials share (and cheaply re-restore)
+//!    the same checkpoint.
+//! 5. **Decodes once**: the program is lowered to the simulator's micro-op
+//!    form ([`certa_sim::DecodedProgram`]) a single time per campaign and
+//!    shared by the golden run and every trial machine.
 //!
 //! **Determinism contract**: checkpointed trials are bit-identical —
 //! outcome, output, instruction count, and injected count — to running the
@@ -39,10 +45,11 @@
 
 use certa_core::TagMap;
 use certa_isa::Program;
-use certa_sim::{BoundedRun, Machine, MachineConfig, Outcome, Snapshot};
+use certa_sim::{BoundedRun, DecodedProgram, Machine, MachineConfig, Outcome, Snapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::injector::{EligibleCounter, ErrorModel, FaultPlan, Injector, Protection};
 
@@ -226,8 +233,9 @@ pub fn golden_run(
     // the maximal stride means the run is never paused: this is exactly the
     // plain golden run, sharing one implementation with the checkpointed
     // path so the two can never diverge.
+    let decoded = Arc::new(DecodedProgram::new(target.program()));
     let (golden, _) =
-        golden_run_checkpointed(target, tags, protection, watchdog, 0, u64::MAX);
+        golden_run_checkpointed(target, &decoded, tags, protection, watchdog, 0, u64::MAX);
     golden
 }
 
@@ -245,6 +253,7 @@ struct Checkpoint {
 /// state at instruction zero, so every trial has a restore point.
 fn golden_run_checkpointed(
     target: &dyn Target,
+    decoded: &Arc<DecodedProgram>,
     tags: &TagMap,
     protection: Protection,
     watchdog: u64,
@@ -257,7 +266,8 @@ fn golden_run_checkpointed(
         max_instructions: watchdog,
         profile: true,
     };
-    let mut machine = Machine::new(program, &config);
+    let mut machine = Machine::try_new_with_decoded(program, decoded, &config)
+        .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"));
     target.prepare(&mut machine);
     let mut counter = EligibleCounter::new(program, tags, protection);
 
@@ -319,13 +329,15 @@ fn golden_run_checkpointed(
 /// the accelerated path must match bit-for-bit.
 fn run_trial_scratch(
     target: &dyn Target,
+    decoded: &Arc<DecodedProgram>,
     tags: &TagMap,
     config: &CampaignConfig,
     machine_config: &MachineConfig,
     plan: &FaultPlan,
 ) -> TrialResult {
     let program = target.program();
-    let mut machine = Machine::new(program, machine_config);
+    let mut machine = Machine::try_new_with_decoded(program, decoded, machine_config)
+        .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"));
     target.prepare(&mut machine);
     let mut injector =
         Injector::with_model(program, tags, config.protection, plan.clone(), config.model);
@@ -475,11 +487,15 @@ where
 /// Panics if the golden run fails (see [`golden_run`]).
 #[must_use]
 pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig) -> CampaignResult {
+    // One decode per campaign: the golden run and every trial machine share
+    // the same micro-op lowering.
+    let decoded = Arc::new(DecodedProgram::new(target.program()));
     // Large budget for the golden run; the trial watchdog derives from it.
     let golden_budget = u64::MAX / 2;
     let (golden, checkpoints) = if config.checkpointing {
         let (golden, checkpoints) = golden_run_checkpointed(
             target,
+            &decoded,
             tags,
             config.protection,
             golden_budget,
@@ -488,10 +504,16 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         );
         (golden, Some(checkpoints))
     } else {
-        (
-            golden_run(target, tags, config.protection, golden_budget),
-            None,
-        )
+        let (golden, _) = golden_run_checkpointed(
+            target,
+            &decoded,
+            tags,
+            config.protection,
+            golden_budget,
+            0,
+            u64::MAX,
+        );
+        (golden, None)
     };
     let watchdog = golden
         .instructions
@@ -531,8 +553,13 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                 &order,
                 threads,
                 || {
-                    Machine::from_snapshot(program, &checkpoints[0].snapshot, &machine_config)
-                        .expect("checkpoint matches the campaign machine config")
+                    Machine::from_snapshot_with_decoded(
+                        program,
+                        &decoded,
+                        &checkpoints[0].snapshot,
+                        &machine_config,
+                    )
+                    .expect("checkpoint matches the campaign machine config")
                 },
                 |machine, t| {
                     run_trial_checkpointed(
@@ -553,7 +580,9 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                 &order,
                 threads,
                 || (),
-                |(), t| run_trial_scratch(target, tags, config, &machine_config, &plans[t]),
+                |(), t| {
+                    run_trial_scratch(target, &decoded, tags, config, &machine_config, &plans[t])
+                },
             )
         }
     };
@@ -781,8 +810,10 @@ mod tests {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let plain = golden_run(&t, &tags, Protection::On, 1_000_000);
+        let decoded = Arc::new(DecodedProgram::new(&t.program));
         let (checkpointed, cps) = golden_run_checkpointed(
             &t,
+            &decoded,
             &tags,
             Protection::On,
             1_000_000,

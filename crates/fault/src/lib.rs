@@ -37,8 +37,13 @@
 //! flips have been applied — is spliced back onto the golden result as
 //! soon as its architectural state reconverges with a golden checkpoint.
 //! Worker threads own one reusable [`certa_sim::Machine`] each, so a
-//! restore is a `memcpy` with no allocation, and trials are scheduled
-//! sorted by injection point so neighbors share warm checkpoints.
+//! restore never allocates — and thanks to the simulator's dirty-page
+//! tracking, re-restoring the checkpoint a worker is already based on
+//! copies only the pages the previous trial touched. Trials are scheduled
+//! sorted by injection point so neighbors share warm checkpoints, and the
+//! program is lowered once per campaign to the simulator's predecoded
+//! micro-op form ([`certa_sim::DecodedProgram`]), shared by the golden run
+//! and every trial machine.
 //!
 //! The acceleration is **exact**: outcome, output, instruction count, and
 //! injected count of every trial are bit-identical to from-scratch

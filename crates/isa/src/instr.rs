@@ -584,6 +584,22 @@ impl Instr {
         }
     }
 
+    /// Whether executing this instruction can ever continue at the next
+    /// instruction index. Unconditional transfers (`j`, `jal`, `jr`) and
+    /// `halt` cannot; everything else — including conditional branches and
+    /// faultable memory accesses — can.
+    ///
+    /// The simulator's predecoder uses this to pick fused-pair heads: when
+    /// an instruction *did* fall through, its successor can retire in the
+    /// same dispatch iteration.
+    #[must_use]
+    pub fn can_fall_through(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Jump { .. } | Instr::Call { .. } | Instr::JumpReg { .. } | Instr::Halt
+        )
+    }
+
     /// Whether this instruction can change control flow (branch, jump, call,
     /// indirect jump, halt).
     #[must_use]
@@ -776,6 +792,31 @@ mod tests {
     fn call_defines_ra() {
         let i = Instr::Call { target: 3 };
         assert_eq!(i.def(), Some(RegRef::Int(reg::RA)));
+    }
+
+    #[test]
+    fn fall_through_excludes_unconditional_transfers_only() {
+        assert!(!Instr::Jump { target: 0 }.can_fall_through());
+        assert!(!Instr::Call { target: 0 }.can_fall_through());
+        assert!(!Instr::JumpReg { rs: reg::RA }.can_fall_through());
+        assert!(!Instr::Halt.can_fall_through());
+        // Conditional branches and faultable memory ops can fall through.
+        assert!(Instr::Branch {
+            cond: CmpOp::Eq,
+            rs: reg::T0,
+            rt: reg::T1,
+            target: 0
+        }
+        .can_fall_through());
+        assert!(Instr::Load {
+            width: MemWidth::Word,
+            signed: true,
+            rd: reg::T0,
+            base: reg::T1,
+            off: 0
+        }
+        .can_fall_through());
+        assert!(Instr::Nop.can_fall_through());
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! The predecode layer: lowering [`certa_isa::Instr`] into a dense,
+//! operand-resolved micro-op array the dispatch loop can execute without
+//! re-extracting enum payloads on every dynamic instruction.
+//!
+//! # Lowering
+//!
+//! [`DecodedProgram::new`] walks the instruction stream once and produces
+//! one [`MicroOp`] per instruction:
+//!
+//! * register operands become raw `u8` indices (no newtype unwrapping in
+//!   the hot loop),
+//! * branch/jump/call targets and memory offsets live in one `i32`
+//!   immediate slot,
+//! * sub-operation selectors (ALU op, access width, sign extension, branch
+//!   condition, FPU op) are folded into the opcode byte itself, so dispatch
+//!   is a single flat match,
+//! * `f64` immediates are spilled to a constant pool ([`MicroOp::imm`]
+//!   indexes it), keeping every micro-op a fixed 12 bytes.
+//!
+//! The array is strictly 1:1 with `Program::code`: micro-op `i` is
+//! instruction `i`, so the architectural `pc`, branch targets, profiling
+//! indices, and [`WritebackHook`](crate::WritebackHook) instruction indices
+//! are unchanged by predecoding.
+//!
+//! # Fusion
+//!
+//! A second pass marks **fused pair heads**: any instruction that can fall
+//! through ([`certa_isa::Instr::can_fall_through`]) to an existing
+//! successor. When the head actually does fall through at runtime, the
+//! dispatch loop retires its successor in the same iteration, skipping one
+//! fetch/bounds-check/loop-latch round trip.
+//!
+//! The assembler's common idioms — compare + branch, address compute +
+//! load/store, `li` + ALU — are the pairs this hits on every loop
+//! iteration, and in straight-line bodies nearly every instruction is
+//! covered.
+//!
+//! Because the array stays 1:1, fusion needs no branch-target analysis: a
+//! dynamic jump landing on the *second* half of a pair simply executes that
+//! slot's ordinary micro-op. The invariants fusion must preserve (and that
+//! the differential suite checks) are:
+//!
+//! * both halves bump `icount` and per-instruction `exec_counts`
+//!   individually,
+//! * every intermediate writeback — including the head's — flows through
+//!   the [`WritebackHook`](crate::WritebackHook), so fault-injection sites
+//!   are unchanged,
+//! * the second half only retires when the head *fell through* — a taken
+//!   branch, crash, or halt in the head ends the iteration exactly as
+//!   unfused execution would,
+//! * a pair never straddles a watchdog or [`run_until`]
+//!   boundary: when the second half would cross it, the head executes
+//!   alone as an ordinary micro-op.
+//!
+//! [`run_until`]: crate::Machine::run_until
+
+use certa_isa::{AluOp, CmpOp, FCmpOp, FpuOp, Instr, MemWidth, Program};
+
+/// Micro-op opcode with every sub-operation selector folded in.
+///
+/// The dispatch loop matches each variant with its own arm; the ALU block
+/// is laid out contiguously in [`AluOp::ALL`] order (register-register
+/// forms first, then register-immediate) purely as a reading aid, with a
+/// unit test pinning the correspondence.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MOp {
+    // 0..=15: register-register ALU, in AluOp::ALL order.
+    AddRR = 0,
+    SubRR,
+    MulRR,
+    DivRR,
+    RemRR,
+    DivuRR,
+    RemuRR,
+    AndRR,
+    OrRR,
+    XorRR,
+    NorRR,
+    SllRR,
+    SrlRR,
+    SraRR,
+    SltRR,
+    SltuRR,
+    // 16..=31: register-immediate ALU, in AluOp::ALL order.
+    AddRI,
+    SubRI,
+    MulRI,
+    DivRI,
+    RemRI,
+    DivuRI,
+    RemuRI,
+    AndRI,
+    OrRI,
+    XorRI,
+    NorRI,
+    SllRI,
+    SrlRI,
+    SraRI,
+    SltRI,
+    SltuRI,
+    /// `a = imm`.
+    Li,
+    /// Sign-extending byte load: `a = sx8(mem[rb + imm])`.
+    Lb,
+    /// Zero-extending byte load.
+    Lbu,
+    /// Sign-extending halfword load.
+    Lh,
+    /// Zero-extending halfword load.
+    Lhu,
+    /// Word load.
+    Lw,
+    /// Byte store: `mem[rb + imm] = ra`.
+    Sb,
+    /// Halfword store.
+    Sh,
+    /// Word store.
+    Sw,
+    /// Branch to `imm` if `ra == rb`.
+    Beq,
+    /// Branch if `ra != rb`.
+    Bne,
+    /// Branch if `ra < rb` (signed).
+    Blt,
+    /// Branch if `ra >= rb` (signed).
+    Bge,
+    /// Branch if `ra < rb` (unsigned).
+    Bltu,
+    /// Branch if `ra >= rb` (unsigned).
+    Bgeu,
+    /// Unconditional jump to `imm`.
+    Jump,
+    /// Call: `$ra = pc + 1`, jump to `imm` (`a` carries the RA index).
+    Call,
+    /// Indirect jump to the value of register `a`.
+    JumpReg,
+    /// `fa = fb + fc`.
+    FAdd,
+    /// `fa = fb - fc`.
+    FSub,
+    /// `fa = fb * fc`.
+    FMul,
+    /// `fa = fb / fc`.
+    FDiv,
+    /// `fa = min(fb, fc)`.
+    FMin,
+    /// `fa = max(fb, fc)`.
+    FMax,
+    /// `fa = fb`.
+    FMov,
+    /// `fa = |fb|`.
+    FAbs,
+    /// `fa = -fb`.
+    FNeg,
+    /// `fa = sqrt(fb)`.
+    FSqrt,
+    /// `fa = fpool[imm]`.
+    FLi,
+    /// `fa = mem_f64[rb + imm]`.
+    FLd,
+    /// `mem_f64[rb + imm] = fa`.
+    FSd,
+    /// `fa = rb as i32 as f64`.
+    CvtIF,
+    /// `a = fb as i32` (truncating, saturating).
+    CvtFI,
+    /// `a = (fb == fc) as u32`.
+    FCeq,
+    /// `a = (fb < fc) as u32`.
+    FClt,
+    /// `a = (fb <= fc) as u32`.
+    FCle,
+    /// Stop successfully.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// One predecoded instruction: folded opcode, raw register indices, one
+/// immediate. 12 bytes, `Copy`, fetched as a unit by the dispatch loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MicroOp {
+    /// Folded opcode.
+    pub(crate) op: MOp,
+    /// Non-zero when this op heads a fused pair (see the module docs); the
+    /// second half is always the micro-op at the next index.
+    pub(crate) fuse: u8,
+    /// First register field (destination, store source, or branch lhs).
+    pub(crate) a: u8,
+    /// Second register field (source / base / branch rhs).
+    pub(crate) b: u8,
+    /// Third register field (second ALU/FPU source).
+    pub(crate) c: u8,
+    /// Immediate: ALU immediate, memory offset, branch/jump target, or
+    /// `f64` constant-pool index.
+    pub(crate) imm: i32,
+}
+
+impl MicroOp {
+    fn new(op: MOp) -> Self {
+        MicroOp {
+            op,
+            fuse: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+            imm: 0,
+        }
+    }
+
+    fn regs(op: MOp, a: u8, b: u8, c: u8) -> Self {
+        MicroOp {
+            op,
+            fuse: 0,
+            a,
+            b,
+            c,
+            imm: 0,
+        }
+    }
+
+    fn imm(op: MOp, a: u8, b: u8, imm: i32) -> Self {
+        MicroOp {
+            op,
+            fuse: 0,
+            a,
+            b,
+            c: 0,
+            imm,
+        }
+    }
+}
+
+/// A program lowered to the micro-op form the dispatch loop executes: a
+/// dense array strictly 1:1 with `Program::code`, plus the `f64` constant
+/// pool. Immutable once built; cheap to share across trial machines via
+/// [`std::sync::Arc`] (the fault campaign decodes once per campaign).
+#[derive(Debug)]
+pub struct DecodedProgram {
+    ops: Vec<MicroOp>,
+    fpool: Vec<f64>,
+    fused_pairs: usize,
+}
+
+impl DecodedProgram {
+    /// Lowers `program` (decode pass + fusion pass; one linear scan each).
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mut fpool = Vec::new();
+        let mut ops: Vec<MicroOp> = program
+            .code
+            .iter()
+            .map(|instr| decode_instr(instr, &mut fpool))
+            .collect();
+
+        // Fusion pass: mark every op that can fall through to an existing
+        // successor as a pair head. The dispatch loop retires the successor
+        // in the same iteration whenever the head actually fell through.
+        let mut fused_pairs = 0;
+        for i in 0..ops.len().saturating_sub(1) {
+            if program.code[i].can_fall_through() {
+                ops[i].fuse = 1;
+                fused_pairs += 1;
+            }
+        }
+        DecodedProgram {
+            ops,
+            fpool,
+            fused_pairs,
+        }
+    }
+
+    /// Number of micro-ops (equal to the source program's code length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of static fused pair heads (diagnostics and benches).
+    #[must_use]
+    pub fn fused_pairs(&self) -> usize {
+        self.fused_pairs
+    }
+
+    pub(crate) fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    pub(crate) fn fpool(&self) -> &[f64] {
+        &self.fpool
+    }
+}
+
+fn alu_rr(op: AluOp) -> MOp {
+    match op {
+        AluOp::Add => MOp::AddRR,
+        AluOp::Sub => MOp::SubRR,
+        AluOp::Mul => MOp::MulRR,
+        AluOp::Div => MOp::DivRR,
+        AluOp::Rem => MOp::RemRR,
+        AluOp::Divu => MOp::DivuRR,
+        AluOp::Remu => MOp::RemuRR,
+        AluOp::And => MOp::AndRR,
+        AluOp::Or => MOp::OrRR,
+        AluOp::Xor => MOp::XorRR,
+        AluOp::Nor => MOp::NorRR,
+        AluOp::Sll => MOp::SllRR,
+        AluOp::Srl => MOp::SrlRR,
+        AluOp::Sra => MOp::SraRR,
+        AluOp::Slt => MOp::SltRR,
+        AluOp::Sltu => MOp::SltuRR,
+    }
+}
+
+fn alu_ri(op: AluOp) -> MOp {
+    match op {
+        AluOp::Add => MOp::AddRI,
+        AluOp::Sub => MOp::SubRI,
+        AluOp::Mul => MOp::MulRI,
+        AluOp::Div => MOp::DivRI,
+        AluOp::Rem => MOp::RemRI,
+        AluOp::Divu => MOp::DivuRI,
+        AluOp::Remu => MOp::RemuRI,
+        AluOp::And => MOp::AndRI,
+        AluOp::Or => MOp::OrRI,
+        AluOp::Xor => MOp::XorRI,
+        AluOp::Nor => MOp::NorRI,
+        AluOp::Sll => MOp::SllRI,
+        AluOp::Srl => MOp::SrlRI,
+        AluOp::Sra => MOp::SraRI,
+        AluOp::Slt => MOp::SltRI,
+        AluOp::Sltu => MOp::SltuRI,
+    }
+}
+
+fn branch_op(cond: CmpOp) -> MOp {
+    match cond {
+        CmpOp::Eq => MOp::Beq,
+        CmpOp::Ne => MOp::Bne,
+        CmpOp::Lt => MOp::Blt,
+        CmpOp::Ge => MOp::Bge,
+        CmpOp::Ltu => MOp::Bltu,
+        CmpOp::Geu => MOp::Bgeu,
+    }
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+fn decode_instr(instr: &Instr, fpool: &mut Vec<f64>) -> MicroOp {
+    match *instr {
+        Instr::Alu { op, rd, rs, rt } => MicroOp::regs(
+            alu_rr(op),
+            rd.index() as u8,
+            rs.index() as u8,
+            rt.index() as u8,
+        ),
+        Instr::AluImm { op, rd, rs, imm } => {
+            MicroOp::imm(alu_ri(op), rd.index() as u8, rs.index() as u8, imm)
+        }
+        Instr::Li { rd, imm } => MicroOp::imm(MOp::Li, rd.index() as u8, 0, imm),
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            base,
+            off,
+        } => {
+            let op = match (width, signed) {
+                (MemWidth::Byte, true) => MOp::Lb,
+                (MemWidth::Byte, false) => MOp::Lbu,
+                (MemWidth::Half, true) => MOp::Lh,
+                (MemWidth::Half, false) => MOp::Lhu,
+                (MemWidth::Word, _) => MOp::Lw,
+            };
+            MicroOp::imm(op, rd.index() as u8, base.index() as u8, off)
+        }
+        Instr::Store {
+            width,
+            rs,
+            base,
+            off,
+        } => {
+            let op = match width {
+                MemWidth::Byte => MOp::Sb,
+                MemWidth::Half => MOp::Sh,
+                MemWidth::Word => MOp::Sw,
+            };
+            MicroOp::imm(op, rs.index() as u8, base.index() as u8, off)
+        }
+        Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => MicroOp::imm(
+            branch_op(cond),
+            rs.index() as u8,
+            rt.index() as u8,
+            target as i32,
+        ),
+        Instr::Jump { target } => MicroOp::imm(MOp::Jump, 0, 0, target as i32),
+        Instr::Call { target } => MicroOp::imm(
+            MOp::Call,
+            certa_isa::reg::RA.index() as u8,
+            0,
+            target as i32,
+        ),
+        Instr::JumpReg { rs } => MicroOp::regs(MOp::JumpReg, rs.index() as u8, 0, 0),
+        Instr::Fpu { op, fd, fs, ft } => {
+            let m = match op {
+                FpuOp::Add => MOp::FAdd,
+                FpuOp::Sub => MOp::FSub,
+                FpuOp::Mul => MOp::FMul,
+                FpuOp::Div => MOp::FDiv,
+                FpuOp::Min => MOp::FMin,
+                FpuOp::Max => MOp::FMax,
+            };
+            MicroOp::regs(m, fd.index() as u8, fs.index() as u8, ft.index() as u8)
+        }
+        Instr::FMov { fd, fs } => MicroOp::regs(MOp::FMov, fd.index() as u8, fs.index() as u8, 0),
+        Instr::FAbs { fd, fs } => MicroOp::regs(MOp::FAbs, fd.index() as u8, fs.index() as u8, 0),
+        Instr::FNeg { fd, fs } => MicroOp::regs(MOp::FNeg, fd.index() as u8, fs.index() as u8, 0),
+        Instr::FSqrt { fd, fs } => {
+            MicroOp::regs(MOp::FSqrt, fd.index() as u8, fs.index() as u8, 0)
+        }
+        Instr::FLi { fd, value } => {
+            let idx = fpool.len() as i32;
+            fpool.push(value);
+            MicroOp::imm(MOp::FLi, fd.index() as u8, 0, idx)
+        }
+        Instr::FLoad { fd, base, off } => {
+            MicroOp::imm(MOp::FLd, fd.index() as u8, base.index() as u8, off)
+        }
+        Instr::FStore { fs, base, off } => {
+            MicroOp::imm(MOp::FSd, fs.index() as u8, base.index() as u8, off)
+        }
+        Instr::CvtIF { fd, rs } => MicroOp::regs(MOp::CvtIF, fd.index() as u8, rs.index() as u8, 0),
+        Instr::CvtFI { rd, fs } => MicroOp::regs(MOp::CvtFI, rd.index() as u8, fs.index() as u8, 0),
+        Instr::FCmp { op, rd, fs, ft } => {
+            let m = match op {
+                FCmpOp::Eq => MOp::FCeq,
+                FCmpOp::Lt => MOp::FClt,
+                FCmpOp::Le => MOp::FCle,
+            };
+            MicroOp::regs(m, rd.index() as u8, fs.index() as u8, ft.index() as u8)
+        }
+        Instr::Halt => MicroOp::new(MOp::Halt),
+        Instr::Nop => MicroOp::new(MOp::Nop),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_isa::reg;
+
+    /// The documented ALU discriminant layout: decoding `AluOp::ALL[i]`
+    /// lands on discriminant `i` (register-register) / `16 + i`
+    /// (register-immediate).
+    #[test]
+    fn alu_discriminants_follow_all_order() {
+        for (i, &op) in AluOp::ALL.iter().enumerate() {
+            assert_eq!(alu_rr(op) as u8, i as u8, "{op:?} RR");
+            assert_eq!(alu_ri(op) as u8, 16 + i as u8, "{op:?} RI");
+        }
+    }
+
+    #[test]
+    fn micro_op_is_12_bytes() {
+        assert_eq!(std::mem::size_of::<MicroOp>(), 12);
+    }
+
+    #[test]
+    fn decode_is_one_to_one_with_code() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 5);
+        a.addi(reg::T0, reg::T0, 1);
+        a.fli(reg::F0, 2.5);
+        a.fli(reg::F1, -1.0);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::new(&p);
+        assert_eq!(d.len(), p.code.len());
+        assert_eq!(d.fpool(), &[2.5, -1.0]);
+        assert_eq!(d.ops()[0].op, MOp::Li);
+        assert_eq!(d.ops()[1].op, MOp::AddRI);
+        assert_eq!(d.ops()[4].op, MOp::Halt);
+    }
+
+    #[test]
+    fn fusion_marks_fall_through_heads_only() {
+        let mut a = certa_asm::Asm::new();
+        let buf = a.data_zero(8);
+        a.func("main", false);
+        a.la(reg::T0, buf); //  0: li     — head
+        a.lw(reg::T1, 0, reg::T0); //  1: load   — head (fall-through on success)
+        a.addi(reg::T1, reg::T1, 1); //  2: alui   — head
+        a.bnez(reg::T1, "skip"); //  3: branch — head (fall-through when not taken)
+        a.j("main"); //  4: jump   — never falls through
+        a.label("skip");
+        a.nop(); //  5: nop    — head
+        a.halt(); //  6: halt   — never falls through (and last)
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::new(&p);
+        let flags: Vec<u8> = d.ops().iter().map(|m| m.fuse).collect();
+        assert_eq!(flags, [1, 1, 1, 1, 0, 1, 0]);
+        assert_eq!(d.fused_pairs(), 5);
+    }
+
+    #[test]
+    fn last_instruction_is_never_a_head() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 1);
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::new(&p);
+        assert_eq!(d.ops()[0].fuse, 0, "no successor to fuse with");
+    }
+}

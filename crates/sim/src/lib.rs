@@ -18,6 +18,48 @@
 //!    the budget are classified as the paper's "infinite execution"
 //!    catastrophic failures.
 //!
+//! ## Execution pipeline
+//!
+//! Execution is a three-stage pipeline: **decode → fuse → dispatch**.
+//!
+//! 1. **Decode** ([`DecodedProgram::new`]): the [`certa_isa::Instr`] stream
+//!    is lowered once per program into a dense micro-op array — register
+//!    operands as raw `u8` indices, branch/jump targets and memory offsets
+//!    in a single `i32` immediate, and every sub-operation selector (ALU
+//!    op, access width, sign extension, branch condition) folded into the
+//!    opcode byte. The array is strictly 1:1 with `Program::code`, so the
+//!    architectural `pc`, hook instruction indices, and profiling indices
+//!    are untouched by predecoding.
+//! 2. **Fuse**: every instruction that can fall through to an existing
+//!    successor ([`certa_isa::Instr::can_fall_through`]) is marked as a
+//!    pair head; whenever the head actually falls through at runtime, the
+//!    dispatch loop retires its successor in the same iteration. This
+//!    covers the assembler's common idioms — compare + branch, address
+//!    compute + load/store, `li` + ALU — on every loop iteration.
+//! 3. **Dispatch** ([`Machine::run`], [`Machine::run_until`]): one flat
+//!    match over micro-ops, monomorphized over const-generic `PROFILE` and
+//!    `BOUNDED` flags so unprofiled, unbounded runs carry zero
+//!    per-instruction overhead for profiling or pause targets.
+//!
+//! **Invariants fusion must preserve** (enforced by the workspace
+//! differential suite in `tests/differential.rs`):
+//!
+//! * both halves of a pair bump `icount` and per-instruction
+//!   [`Machine::exec_counts`] individually — fused execution is invisible
+//!   in every profile;
+//! * every intermediate writeback, including the head's, flows through the
+//!   [`WritebackHook`], so fault-injection sites are identical to
+//!   unfused execution;
+//! * a pair never straddles a watchdog or [`Machine::run_until`] boundary —
+//!   near a boundary the head executes alone — so bounded runs pause at
+//!   exactly the requested instruction count.
+//!
+//! The original tree-walking interpreter survives as
+//! [`Machine::run_reference`] / [`Machine::run_until_reference`]: the
+//! differential oracle the predecoded pipeline is tested against
+//! (identical `Outcome`, output bytes, instruction counts, `exec_counts`,
+//! and hook call sequences).
+//!
 //! ## Checkpointing
 //!
 //! The simulator supports snapshot/restore of its complete architectural
@@ -27,6 +69,13 @@
 //! instruction count. Together these let a fault campaign checkpoint the
 //! golden run and fast-forward each trial to the neighborhood of its first
 //! injection point instead of re-executing from instruction zero.
+//!
+//! Restores are page-granular: the machine tracks which 4 KiB pages guest
+//! stores and host writes have dirtied since its memory was last
+//! synchronized with a snapshot, and re-restoring that same snapshot
+//! copies only those pages ([`Machine::restore`]). Restoring a different
+//! snapshot falls back to the whole-image copy
+//! ([`Machine::restore_full`]); both paths are bit-identical.
 //!
 //! **Determinism contract:** the simulator is a pure function of
 //! (program, initial state, hook behavior). Restoring a snapshot taken at
@@ -59,8 +108,10 @@
 //! assert_eq!(m.reg(V0), 42);
 //! ```
 
+mod decode;
 mod machine;
 
+pub use decode::DecodedProgram;
 pub use machine::{
     BoundedRun, CrashKind, Machine, MachineConfig, MachineError, MemError, NoHook, Outcome,
     RunResult, Snapshot, WritebackHook,

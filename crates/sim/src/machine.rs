@@ -1,9 +1,22 @@
 //! The functional simulator.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use certa_asm::DATA_BASE;
 use certa_isa::{reg, AluOp, FpuOp, FReg, Instr, MemWidth, Program, Reg};
+
+use crate::decode::{DecodedProgram, MOp, MicroOp};
+
+/// Granularity of dirty-memory tracking: one bit per 4 KiB page. Guest
+/// accesses are aligned and at most 8 bytes, so a single access never
+/// spans two pages.
+const PAGE_SIZE: usize = 4096;
+
+/// Monotonic id source for [`Snapshot`]s; id 0 is reserved for "no base
+/// snapshot" so a fresh machine never takes the dirty-page restore path.
+static SNAPSHOT_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -171,13 +184,19 @@ impl std::error::Error for MachineError {}
 /// Snapshots make fault campaigns cheap: the golden run records them at
 /// intervals, and every trial then [`Machine::restore`]s the latest snapshot
 /// before its first injection point instead of re-executing the prefix.
-/// Restoring is a pure `memcpy` — no allocation, no zeroing.
+/// Restoring never allocates or zeroes; when the machine's memory was last
+/// synchronized with the *same* snapshot, only the pages dirtied since are
+/// copied back (see [`Machine::restore`]).
 ///
 /// Per-instruction profiling counts ([`Machine::exec_counts`]) are *not*
 /// part of a snapshot: they are a measurement artifact of one specific run,
 /// not architectural state.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
+    /// Identity for dirty-page restore: machines remember the id of the
+    /// snapshot their memory was last synchronized with. Clones share the
+    /// id, which is sound because snapshots are immutable.
+    id: u64,
     regs: [u32; 32],
     fregs: [f64; 32],
     pc: u64,
@@ -193,7 +212,11 @@ impl Snapshot {
         self.icount
     }
 
-    /// Approximate heap footprint in bytes (dominated by the memory image).
+    /// Heap footprint in bytes for checkpoint budget accounting: the memory
+    /// image plus the inline state — both register files (integer and
+    /// floating-point), program counter, dynamic counters, and the id/Vec
+    /// bookkeeping — which `size_of::<Snapshot>()` covers because the
+    /// register files are stored inline, not boxed.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.mem.len() + std::mem::size_of::<Snapshot>()
@@ -251,6 +274,7 @@ impl WritebackHook for NoHook {}
 #[derive(Debug, Clone)]
 pub struct Machine<'p> {
     program: &'p Program,
+    decoded: Arc<DecodedProgram>,
     regs: [u32; 32],
     fregs: [f64; 32],
     mem: Vec<u8>,
@@ -260,6 +284,25 @@ pub struct Machine<'p> {
     exec_counts: Vec<u64>,
     profile: bool,
     max_instructions: u64,
+    /// One bit per [`PAGE_SIZE`] page, set by every guest store and host
+    /// write since the last restore point.
+    dirty: Vec<u64>,
+    /// Id of the [`Snapshot`] this machine's memory was last synchronized
+    /// with (0 = none): non-dirty pages are bit-identical to that snapshot,
+    /// which is what makes dirty-page restore exact.
+    base_snapshot: u64,
+}
+
+/// Control-flow effect of one executed micro-op.
+enum Step {
+    /// Fall through to the next instruction.
+    Next,
+    /// Transfer to an absolute instruction index.
+    Jump(u64),
+    /// The program executed `halt`.
+    Halt,
+    /// The instruction crashed the run.
+    Crash(CrashKind),
 }
 
 impl<'p> Machine<'p> {
@@ -271,6 +314,33 @@ impl<'p> Machine<'p> {
     /// Returns [`MachineError::DataSegmentTooLarge`] if the data segment
     /// (plus 4 KiB of loader slack) does not fit in `config.mem_size`.
     pub fn try_new(program: &'p Program, config: &MachineConfig) -> Result<Self, MachineError> {
+        let decoded = Arc::new(DecodedProgram::new(program));
+        Self::try_new_with_decoded(program, &decoded, config)
+    }
+
+    /// Like [`Machine::try_new`], but reuses an already-lowered
+    /// [`DecodedProgram`] instead of decoding again. Fault campaigns decode
+    /// once and share the result across the golden run and every trial
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::DataSegmentTooLarge`] as [`Machine::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` was not produced from `program` (length
+    /// mismatch) — a caller contract violation, not a runtime condition.
+    pub fn try_new_with_decoded(
+        program: &'p Program,
+        decoded: &Arc<DecodedProgram>,
+        config: &MachineConfig,
+    ) -> Result<Self, MachineError> {
+        assert_eq!(
+            decoded.len(),
+            program.code.len(),
+            "decoded program does not match the instruction stream"
+        );
         let lo = DATA_BASE as usize;
         let hi = lo + program.data.len();
         if hi + 4096 >= config.mem_size as usize {
@@ -284,8 +354,10 @@ impl<'p> Machine<'p> {
         let mut regs = [0u32; 32];
         regs[reg::SP.index()] = config.mem_size - 16;
         regs[reg::GP.index()] = DATA_BASE;
+        let dirty = vec![0u64; dirty_words(mem.len())];
         Ok(Machine {
             program,
+            decoded: Arc::clone(decoded),
             regs,
             fregs: [0.0; 32],
             mem,
@@ -299,6 +371,8 @@ impl<'p> Machine<'p> {
             },
             profile: config.profile,
             max_instructions: config.max_instructions,
+            dirty,
+            base_snapshot: 0,
         })
     }
 
@@ -329,6 +403,32 @@ impl<'p> Machine<'p> {
         snapshot: &Snapshot,
         config: &MachineConfig,
     ) -> Result<Self, MachineError> {
+        let decoded = Arc::new(DecodedProgram::new(program));
+        Self::from_snapshot_with_decoded(program, &decoded, snapshot, config)
+    }
+
+    /// Like [`Machine::from_snapshot`], but reuses an already-lowered
+    /// [`DecodedProgram`] (see [`Machine::try_new_with_decoded`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemSizeMismatch`] as
+    /// [`Machine::from_snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` was not produced from `program`.
+    pub fn from_snapshot_with_decoded(
+        program: &'p Program,
+        decoded: &Arc<DecodedProgram>,
+        snapshot: &Snapshot,
+        config: &MachineConfig,
+    ) -> Result<Self, MachineError> {
+        assert_eq!(
+            decoded.len(),
+            program.code.len(),
+            "decoded program does not match the instruction stream"
+        );
         if snapshot.mem.len() != config.mem_size as usize {
             return Err(MachineError::MemSizeMismatch {
                 snapshot: snapshot.mem.len(),
@@ -337,6 +437,7 @@ impl<'p> Machine<'p> {
         }
         Ok(Machine {
             program,
+            decoded: Arc::clone(decoded),
             regs: snapshot.regs,
             fregs: snapshot.fregs,
             mem: snapshot.mem.clone(),
@@ -350,7 +451,15 @@ impl<'p> Machine<'p> {
             },
             profile: config.profile,
             max_instructions: config.max_instructions,
+            dirty: vec![0u64; dirty_words(snapshot.mem.len())],
+            base_snapshot: snapshot.id,
         })
+    }
+
+    /// The shared micro-op lowering this machine dispatches over.
+    #[must_use]
+    pub fn decoded_program(&self) -> &Arc<DecodedProgram> {
+        &self.decoded
     }
 
     /// Captures the complete architectural state at the current instruction
@@ -358,6 +467,7 @@ impl<'p> Machine<'p> {
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
+            id: SNAPSHOT_IDS.fetch_add(1, Ordering::Relaxed),
             regs: self.regs,
             fregs: self.fregs,
             pc: self.pc,
@@ -369,9 +479,16 @@ impl<'p> Machine<'p> {
 
     /// Overwrites this machine's architectural state with `snapshot`.
     ///
-    /// This is the hot path of checkpointed fault campaigns: a straight
-    /// `memcpy` into the existing memory buffer — no allocation, no
-    /// zeroing. Watchdog budget and profiling configuration are unchanged.
+    /// This is the hot path of checkpointed fault campaigns, and it never
+    /// allocates or zeroes. When the machine's memory was last synchronized
+    /// with this same snapshot (a previous [`Machine::restore`] or
+    /// [`Machine::from_snapshot`] of it), only the pages dirtied since are
+    /// copied back — every clean page is already bit-identical, because all
+    /// guest stores and host writes mark the pages they touch. Restoring a
+    /// *different* snapshot falls back to the full-image copy (see
+    /// [`Machine::restore_full`]). Both paths produce bit-identical state.
+    ///
+    /// Watchdog budget and profiling configuration are unchanged.
     ///
     /// # Errors
     ///
@@ -384,13 +501,70 @@ impl<'p> Machine<'p> {
                 machine: self.mem.len(),
             });
         }
+        if self.base_snapshot == snapshot.id {
+            self.restore_registers(snapshot);
+            self.copy_dirty_pages_from(&snapshot.mem);
+        } else {
+            self.restore_full_unchecked(snapshot);
+        }
+        Ok(())
+    }
+
+    /// Overwrites this machine's architectural state with `snapshot` using
+    /// the whole-image `memcpy`, bypassing dirty-page tracking. Exposed so
+    /// the differential suite can prove both restore paths bit-identical;
+    /// ordinary callers should use [`Machine::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemSizeMismatch`] if the snapshot's memory
+    /// image differs in size from this machine's memory.
+    pub fn restore_full(&mut self, snapshot: &Snapshot) -> Result<(), MachineError> {
+        if snapshot.mem.len() != self.mem.len() {
+            return Err(MachineError::MemSizeMismatch {
+                snapshot: snapshot.mem.len(),
+                machine: self.mem.len(),
+            });
+        }
+        self.restore_full_unchecked(snapshot);
+        Ok(())
+    }
+
+    fn restore_full_unchecked(&mut self, snapshot: &Snapshot) {
+        self.restore_registers(snapshot);
+        self.mem.copy_from_slice(&snapshot.mem);
+        self.base_snapshot = snapshot.id;
+        self.dirty.fill(0);
+    }
+
+    fn restore_registers(&mut self, snapshot: &Snapshot) {
         self.regs = snapshot.regs;
         self.fregs = snapshot.fregs;
         self.pc = snapshot.pc;
         self.icount = snapshot.icount;
         self.value_producing = snapshot.value_producing;
-        self.mem.copy_from_slice(&snapshot.mem);
-        Ok(())
+    }
+
+    /// Copies only dirty pages from `from` and clears the dirty set.
+    fn copy_dirty_pages_from(&mut self, from: &[u8]) {
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let page = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let start = page * PAGE_SIZE;
+                let end = (start + PAGE_SIZE).min(from.len());
+                self.mem[start..end].copy_from_slice(&from[start..end]);
+            }
+            *word = 0;
+        }
+    }
+
+    /// Number of pages dirtied since the last restore point (diagnostics
+    /// and benches).
+    #[must_use]
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether this machine's architectural state is bit-identical to
@@ -472,6 +646,9 @@ impl<'p> Machine<'p> {
     /// Returns [`MemError`] if the range is outside addressable memory.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
         let range = self.host_range(addr, bytes.len() as u32)?;
+        for page in (range.start / PAGE_SIZE)..=(range.end.saturating_sub(1) / PAGE_SIZE) {
+            self.dirty[page >> 6] |= 1 << (page & 63);
+        }
         self.mem[range].copy_from_slice(bytes);
         Ok(())
     }
@@ -500,76 +677,23 @@ impl<'p> Machine<'p> {
     // ------------------------------------------------------------------
 
     #[inline]
-    fn check_access(&self, addr: u32, size: u32) -> Result<usize, CrashKind> {
-        if !addr.is_multiple_of(size) {
-            return Err(CrashKind::Misaligned { addr, size });
-        }
-        let start = addr as usize;
-        let end = start + size as usize;
-        if addr < DATA_BASE || end > self.mem.len() {
-            return Err(CrashKind::MemOutOfBounds { addr, size });
-        }
-        Ok(start)
-    }
-
-    #[inline]
     fn load(&self, addr: u32, width: MemWidth, signed: bool) -> Result<u32, CrashKind> {
-        let size = width.bytes();
-        let i = self.check_access(addr, size)?;
-        Ok(match (width, signed) {
-            (MemWidth::Byte, false) => u32::from(self.mem[i]),
-            (MemWidth::Byte, true) => self.mem[i] as i8 as i32 as u32,
-            (MemWidth::Half, false) => {
-                u32::from(u16::from_le_bytes([self.mem[i], self.mem[i + 1]]))
-            }
-            (MemWidth::Half, true) => {
-                i16::from_le_bytes([self.mem[i], self.mem[i + 1]]) as i32 as u32
-            }
-            (MemWidth::Word, _) => u32::from_le_bytes(
-                self.mem[i..i + 4].try_into().expect("4-byte slice"),
-            ),
-        })
+        load_mem(&self.mem, addr, width, signed)
     }
 
     #[inline]
     fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), CrashKind> {
-        let size = width.bytes();
-        let i = self.check_access(addr, size)?;
-        match width {
-            MemWidth::Byte => self.mem[i] = value as u8,
-            MemWidth::Half => self.mem[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-            MemWidth::Word => self.mem[i..i + 4].copy_from_slice(&value.to_le_bytes()),
-        }
-        Ok(())
+        store_mem(&mut self.mem, &mut self.dirty, addr, width, value)
     }
 
     #[inline]
     fn load_f64(&self, addr: u32) -> Result<f64, CrashKind> {
-        if !addr.is_multiple_of(8) {
-            return Err(CrashKind::Misaligned { addr, size: 8 });
-        }
-        let start = addr as usize;
-        let end = start + 8;
-        if addr < DATA_BASE || end > self.mem.len() {
-            return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
-        }
-        Ok(f64::from_le_bytes(
-            self.mem[start..end].try_into().expect("8-byte slice"),
-        ))
+        load_f64_mem(&self.mem, addr)
     }
 
     #[inline]
     fn store_f64(&mut self, addr: u32, value: f64) -> Result<(), CrashKind> {
-        if !addr.is_multiple_of(8) {
-            return Err(CrashKind::Misaligned { addr, size: 8 });
-        }
-        let start = addr as usize;
-        let end = start + 8;
-        if addr < DATA_BASE || end > self.mem.len() {
-            return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
-        }
-        self.mem[start..end].copy_from_slice(&value.to_le_bytes());
-        Ok(())
+        store_f64_mem(&mut self.mem, &mut self.dirty, addr, value)
     }
 
     // ------------------------------------------------------------------
@@ -598,15 +722,29 @@ impl<'p> Machine<'p> {
         self.fregs[fd.index()] = v;
     }
 
-    /// Runs to completion with no hook.
+    /// Runs to completion with no hook — the single no-hook entry point
+    /// shared by every hook-free caller.
     pub fn run_simple(&mut self) -> RunResult {
         self.run(&mut NoHook)
     }
 
+    /// Bounded no-hook execution: [`Machine::run_until`] through the same
+    /// shared [`NoHook`] path as [`Machine::run_simple`].
+    pub fn run_until_simple(&mut self, target: u64) -> BoundedRun {
+        self.run_until(&mut NoHook, target)
+    }
+
     /// Runs to completion, invoking `hook` on every value-producing
-    /// writeback.
+    /// writeback. Dispatches over the predecoded micro-op pipeline; the
+    /// `PROFILE`/`BOUNDED` const generics mean an unprofiled unbounded run
+    /// carries zero per-instruction overhead for either feature.
     pub fn run<H: WritebackHook>(&mut self, hook: &mut H) -> RunResult {
-        match self.run_loop::<H, false>(hook, 0) {
+        let result = if self.profile {
+            self.run_decoded::<H, true, false>(hook, 0)
+        } else {
+            self.run_decoded::<H, false, false>(hook, 0)
+        };
+        match result {
             BoundedRun::Finished(result) => result,
             BoundedRun::Paused => unreachable!("unbounded run cannot pause"),
         }
@@ -620,16 +758,143 @@ impl<'p> Machine<'p> {
     /// executing anything; a target beyond the program's natural end returns
     /// [`BoundedRun::Finished`]. The bounded and unbounded paths share one
     /// monomorphized dispatch loop, so `run_until` pays no per-instruction
-    /// dispatch penalty over [`Machine::run`].
+    /// dispatch penalty over [`Machine::run`] — and pauses are invisible:
+    /// fused micro-op pairs never straddle the target boundary.
     pub fn run_until<H: WritebackHook>(&mut self, hook: &mut H, target: u64) -> BoundedRun {
-        self.run_loop::<H, true>(hook, target)
+        if self.profile {
+            self.run_decoded::<H, true, true>(hook, target)
+        } else {
+            self.run_decoded::<H, false, true>(hook, target)
+        }
     }
 
-    /// The single dispatch loop behind [`Machine::run`] and
-    /// [`Machine::run_until`]. `BOUNDED` is a const generic so the target
-    /// comparison is compiled out entirely for unbounded runs.
+    /// Runs to completion over the original [`Instr`] tree-walking
+    /// interpreter — the reference pipeline the predecoded dispatch is
+    /// differentially tested against. Slower than [`Machine::run`];
+    /// observably identical.
+    pub fn run_reference<H: WritebackHook>(&mut self, hook: &mut H) -> RunResult {
+        match self.run_loop_reference::<H, false>(hook, 0) {
+            BoundedRun::Finished(result) => result,
+            BoundedRun::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Bounded execution over the reference interpreter (see
+    /// [`Machine::run_reference`]).
+    pub fn run_until_reference<H: WritebackHook>(
+        &mut self,
+        hook: &mut H,
+        target: u64,
+    ) -> BoundedRun {
+        self.run_loop_reference::<H, true>(hook, target)
+    }
+
+    /// The micro-op dispatch loop behind [`Machine::run`] and
+    /// [`Machine::run_until`].
+    ///
+    /// `PROFILE` hoists the per-instruction `exec_counts` update out of the
+    /// unprofiled monomorphization entirely; `BOUNDED` compiles the target
+    /// comparison out of unbounded runs. `pc`/`icount`/`value_producing`
+    /// live in locals and are synced back to the architectural fields at
+    /// every exit, so pauses and crashes observe exactly the reference
+    /// interpreter's state.
+    ///
+    /// Fused pairs: when a micro-op carries the fuse flag, actually *fell
+    /// through* ([`Step::Next`]), and the second half would still be
+    /// strictly before the next boundary (`run_until` target or watchdog),
+    /// both halves retire in this iteration — each bumping
+    /// `icount`/`exec_counts` and passing its writeback through the hook
+    /// individually. Near a boundary (or after a taken branch, crash, or
+    /// halt in the head) the head's effect stands alone, which is what
+    /// makes pauses invisible to fusion.
+    fn run_decoded<H: WritebackHook, const PROFILE: bool, const BOUNDED: bool>(
+        &mut self,
+        hook: &mut H,
+        target: u64,
+    ) -> BoundedRun {
+        let decoded = Arc::clone(&self.decoded);
+        let ops = decoded.ops();
+        let fpool = decoded.fpool();
+        // The nearest instruction-count boundary at which dispatch must
+        // re-check before executing: a fused pair may only retire its
+        // second half when that half's pre-execution checks would pass.
+        let stop = if BOUNDED {
+            target.min(self.max_instructions)
+        } else {
+            self.max_instructions
+        };
+        let max_instructions = self.max_instructions;
+        let mut pc = self.pc;
+        let mut icount = self.icount;
+        let mut vp = self.value_producing;
+        let outcome = {
+            // Disjoint field borrows: the compiler sees the register
+            // files, memory image, dirty bitset, and profile counters as
+            // non-aliasing, so a guest store can never invalidate a cached
+            // register value or slice length.
+            let regs = &mut self.regs;
+            let fregs = &mut self.fregs;
+            let mem = self.mem.as_mut_slice();
+            let dirty = self.dirty.as_mut_slice();
+            let exec_counts = self.exec_counts.as_mut_slice();
+            loop {
+                if BOUNDED && icount >= target {
+                    break None;
+                }
+                if icount >= max_instructions {
+                    break Some(Outcome::InfiniteRun);
+                }
+                if pc >= ops.len() as u64 {
+                    break Some(Outcome::Crashed(CrashKind::PcOutOfRange { pc }));
+                }
+                let at = pc as usize;
+                let m = ops[at];
+                icount += 1;
+                if PROFILE {
+                    exec_counts[at] += 1;
+                }
+                let mut step = exec_op(regs, fregs, mem, dirty, &mut vp, hook, at, m, fpool);
+                if m.fuse != 0 && icount < stop && matches!(step, Step::Next) {
+                    // Fused pair: the head fell through, carries the fuse
+                    // flag (a successor exists), and the successor's
+                    // pre-execution checks would pass — retire the
+                    // successor in the same iteration, skipping one round
+                    // of outer bounds/watchdog/pause checks. The second
+                    // dispatch is a distinct inlined copy of `exec_op`,
+                    // giving the hot path two alternating indirect-branch
+                    // sites, which predict better than one shared site.
+                    let at2 = at + 1;
+                    icount += 1;
+                    if PROFILE {
+                        exec_counts[at2] += 1;
+                    }
+                    pc += 1;
+                    step = exec_op(regs, fregs, mem, dirty, &mut vp, hook, at2, ops[at2], fpool);
+                }
+                match step {
+                    Step::Next => pc += 1,
+                    Step::Jump(t) => pc = t,
+                    Step::Halt => break Some(Outcome::Halted),
+                    Step::Crash(kind) => break Some(Outcome::Crashed(kind)),
+                }
+            }
+        };
+        self.pc = pc;
+        self.icount = icount;
+        self.value_producing = vp;
+        match outcome {
+            None => BoundedRun::Paused,
+            Some(outcome) => self.finish(outcome),
+        }
+    }
+
+
+    /// The dispatch loop of the reference [`Instr`] interpreter, behind
+    /// [`Machine::run_reference`] and [`Machine::run_until_reference`].
+    /// `BOUNDED` is a const generic so the target comparison is compiled
+    /// out entirely for unbounded runs.
     #[allow(clippy::too_many_lines)]
-    fn run_loop<H: WritebackHook, const BOUNDED: bool>(
+    fn run_loop_reference<H: WritebackHook, const BOUNDED: bool>(
         &mut self,
         hook: &mut H,
         target: u64,
@@ -776,6 +1041,366 @@ impl<'p> Machine<'p> {
             instructions: self.icount,
             value_producing: self.value_producing,
         })
+    }
+}
+
+/// Number of `u64` bitset words needed to track `mem_len` bytes of memory
+/// at [`PAGE_SIZE`] granularity.
+fn dirty_words(mem_len: usize) -> usize {
+    mem_len.div_ceil(PAGE_SIZE).div_ceil(64)
+}
+
+// ---------------------------------------------------------------------
+// Guest memory and writeback primitives.
+//
+// These are free functions over disjoint `&mut` borrows rather than
+// methods so the micro-op dispatch loop can hand the compiler non-aliasing
+// views of the register files, memory image, and dirty bitset — a store
+// can then never invalidate a cached register value. The reference
+// interpreter reaches them through thin `Machine` method wrappers, so both
+// pipelines share one implementation of the memory model.
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn mark_page_dirty(dirty: &mut [u64], addr: u32) {
+    let page = addr as usize / PAGE_SIZE;
+    dirty[page >> 6] |= 1 << (page & 63);
+}
+
+#[inline(always)]
+fn check_access(mem_len: usize, addr: u32, size: u32) -> Result<usize, CrashKind> {
+    if !addr.is_multiple_of(size) {
+        return Err(CrashKind::Misaligned { addr, size });
+    }
+    let start = addr as usize;
+    let end = start + size as usize;
+    if addr < DATA_BASE || end > mem_len {
+        return Err(CrashKind::MemOutOfBounds { addr, size });
+    }
+    Ok(start)
+}
+
+#[inline(always)]
+fn load_mem(mem: &[u8], addr: u32, width: MemWidth, signed: bool) -> Result<u32, CrashKind> {
+    let size = width.bytes();
+    let i = check_access(mem.len(), addr, size)?;
+    Ok(match (width, signed) {
+        (MemWidth::Byte, false) => u32::from(mem[i]),
+        (MemWidth::Byte, true) => mem[i] as i8 as i32 as u32,
+        (MemWidth::Half, false) => u32::from(u16::from_le_bytes([mem[i], mem[i + 1]])),
+        (MemWidth::Half, true) => i16::from_le_bytes([mem[i], mem[i + 1]]) as i32 as u32,
+        (MemWidth::Word, _) => {
+            u32::from_le_bytes(mem[i..i + 4].try_into().expect("4-byte slice"))
+        }
+    })
+}
+
+#[inline(always)]
+fn store_mem(
+    mem: &mut [u8],
+    dirty: &mut [u64],
+    addr: u32,
+    width: MemWidth,
+    value: u32,
+) -> Result<(), CrashKind> {
+    let size = width.bytes();
+    let i = check_access(mem.len(), addr, size)?;
+    mark_page_dirty(dirty, addr);
+    match width {
+        MemWidth::Byte => mem[i] = value as u8,
+        MemWidth::Half => mem[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        MemWidth::Word => mem[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn load_f64_mem(mem: &[u8], addr: u32) -> Result<f64, CrashKind> {
+    if !addr.is_multiple_of(8) {
+        return Err(CrashKind::Misaligned { addr, size: 8 });
+    }
+    let start = addr as usize;
+    let end = start + 8;
+    if addr < DATA_BASE || end > mem.len() {
+        return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
+    }
+    Ok(f64::from_le_bytes(
+        mem[start..end].try_into().expect("8-byte slice"),
+    ))
+}
+
+#[inline(always)]
+fn store_f64_mem(
+    mem: &mut [u8],
+    dirty: &mut [u64],
+    addr: u32,
+    value: f64,
+) -> Result<(), CrashKind> {
+    if !addr.is_multiple_of(8) {
+        return Err(CrashKind::Misaligned { addr, size: 8 });
+    }
+    let start = addr as usize;
+    let end = start + 8;
+    if addr < DATA_BASE || end > mem.len() {
+        return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
+    }
+    mark_page_dirty(dirty, addr);
+    mem[start..end].copy_from_slice(&value.to_le_bytes());
+    Ok(())
+}
+
+/// Integer writeback through the hook (raw register index, masked so the
+/// compiler emits no bounds check). Observably identical to
+/// [`Machine::write_int`]: the hook sees every writeback, including
+/// `$zero` destinations, whose value is then discarded.
+#[inline(always)]
+fn wint<H: WritebackHook>(
+    regs: &mut [u32; 32],
+    vp: &mut u64,
+    hook: &mut H,
+    at: usize,
+    rd: u8,
+    v: u32,
+) {
+    *vp += 1;
+    let v = hook.int_writeback(at, v);
+    if rd != 0 {
+        regs[(rd & 31) as usize] = v;
+    }
+}
+
+/// Floating-point writeback through the hook (raw register index).
+#[inline(always)]
+fn wfloat<H: WritebackHook>(
+    fregs: &mut [f64; 32],
+    vp: &mut u64,
+    hook: &mut H,
+    at: usize,
+    fd: u8,
+    v: f64,
+) {
+    *vp += 1;
+    let v = hook.float_writeback(at, v);
+    fregs[(fd & 31) as usize] = v;
+}
+
+/// Executes one micro-op and reports its control-flow effect: one flat
+/// match over the folded opcode — every sub-operation (ALU op, width,
+/// sign, condition) is baked into its own arm, so the interpreter pays a
+/// single dispatch per instruction with no second-level `match`.
+#[inline(always)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn exec_op<H: WritebackHook>(
+    regs: &mut [u32; 32],
+    fregs: &mut [f64; 32],
+    mem: &mut [u8],
+    dirty: &mut [u64],
+    vp: &mut u64,
+    hook: &mut H,
+    at: usize,
+    m: MicroOp,
+    fpool: &[f64],
+) -> Step {
+    /// Masked register read: no bounds-check branch in the hot loop.
+    macro_rules! r {
+        ($i:expr) => {
+            regs[(($i) & 31) as usize]
+        };
+    }
+    /// Masked floating-point register read.
+    macro_rules! f {
+        ($i:expr) => {
+            fregs[(($i) & 31) as usize]
+        };
+    }
+    /// Register-register ALU arm: `eval_alu` with a constant op folds to
+    /// the single operation at compile time.
+    macro_rules! rr {
+        ($op:expr) => {{
+            let v = eval_alu($op, r!(m.b), r!(m.c));
+            wint(regs, vp, hook, at, m.a, v);
+            Step::Next
+        }};
+    }
+    /// Register-immediate ALU arm.
+    macro_rules! ri {
+        ($op:expr) => {{
+            let v = eval_alu($op, r!(m.b), m.imm as u32);
+            wint(regs, vp, hook, at, m.a, v);
+            Step::Next
+        }};
+    }
+    /// Load arm: constant width/sign fold `load_mem` to one case.
+    macro_rules! ld {
+        ($width:expr, $signed:expr) => {{
+            let addr = r!(m.b).wrapping_add(m.imm as u32);
+            match load_mem(mem, addr, $width, $signed) {
+                Ok(v) => {
+                    wint(regs, vp, hook, at, m.a, v);
+                    Step::Next
+                }
+                Err(kind) => Step::Crash(kind),
+            }
+        }};
+    }
+    /// Store arm.
+    macro_rules! st {
+        ($width:expr) => {{
+            let addr = r!(m.b).wrapping_add(m.imm as u32);
+            match store_mem(mem, dirty, addr, $width, r!(m.a)) {
+                Ok(()) => Step::Next,
+                Err(kind) => Step::Crash(kind),
+            }
+        }};
+    }
+    /// Branch arm: `$cmp` is a two-argument comparison function.
+    macro_rules! br {
+        ($cmp:expr) => {{
+            let cmp = $cmp;
+            if cmp(r!(m.a), r!(m.b)) {
+                Step::Jump(u64::from(m.imm as u32))
+            } else {
+                Step::Next
+            }
+        }};
+    }
+    /// Two-operand FPU arithmetic arm.
+    macro_rules! fpu {
+        ($f:expr) => {{
+            let f = $f;
+            let v: f64 = f(f!(m.b), f!(m.c));
+            wfloat(fregs, vp, hook, at, m.a, v);
+            Step::Next
+        }};
+    }
+    /// One-operand FPU arm.
+    macro_rules! fpu1 {
+        ($f:expr) => {{
+            let f = $f;
+            let v: f64 = f(f!(m.b));
+            wfloat(fregs, vp, hook, at, m.a, v);
+            Step::Next
+        }};
+    }
+    /// Float-comparison arm writing a 0/1 integer.
+    macro_rules! fcmp {
+        ($f:expr) => {{
+            let f = $f;
+            let v = u32::from(f(f!(m.b), f!(m.c)));
+            wint(regs, vp, hook, at, m.a, v);
+            Step::Next
+        }};
+    }
+    match m.op {
+        MOp::AddRR => rr!(AluOp::Add),
+        MOp::SubRR => rr!(AluOp::Sub),
+        MOp::MulRR => rr!(AluOp::Mul),
+        MOp::DivRR => rr!(AluOp::Div),
+        MOp::RemRR => rr!(AluOp::Rem),
+        MOp::DivuRR => rr!(AluOp::Divu),
+        MOp::RemuRR => rr!(AluOp::Remu),
+        MOp::AndRR => rr!(AluOp::And),
+        MOp::OrRR => rr!(AluOp::Or),
+        MOp::XorRR => rr!(AluOp::Xor),
+        MOp::NorRR => rr!(AluOp::Nor),
+        MOp::SllRR => rr!(AluOp::Sll),
+        MOp::SrlRR => rr!(AluOp::Srl),
+        MOp::SraRR => rr!(AluOp::Sra),
+        MOp::SltRR => rr!(AluOp::Slt),
+        MOp::SltuRR => rr!(AluOp::Sltu),
+        MOp::AddRI => ri!(AluOp::Add),
+        MOp::SubRI => ri!(AluOp::Sub),
+        MOp::MulRI => ri!(AluOp::Mul),
+        MOp::DivRI => ri!(AluOp::Div),
+        MOp::RemRI => ri!(AluOp::Rem),
+        MOp::DivuRI => ri!(AluOp::Divu),
+        MOp::RemuRI => ri!(AluOp::Remu),
+        MOp::AndRI => ri!(AluOp::And),
+        MOp::OrRI => ri!(AluOp::Or),
+        MOp::XorRI => ri!(AluOp::Xor),
+        MOp::NorRI => ri!(AluOp::Nor),
+        MOp::SllRI => ri!(AluOp::Sll),
+        MOp::SrlRI => ri!(AluOp::Srl),
+        MOp::SraRI => ri!(AluOp::Sra),
+        MOp::SltRI => ri!(AluOp::Slt),
+        MOp::SltuRI => ri!(AluOp::Sltu),
+        MOp::Li => {
+            wint(regs, vp, hook, at, m.a, m.imm as u32);
+            Step::Next
+        }
+        MOp::Lb => ld!(MemWidth::Byte, true),
+        MOp::Lbu => ld!(MemWidth::Byte, false),
+        MOp::Lh => ld!(MemWidth::Half, true),
+        MOp::Lhu => ld!(MemWidth::Half, false),
+        MOp::Lw => ld!(MemWidth::Word, false),
+        MOp::Sb => st!(MemWidth::Byte),
+        MOp::Sh => st!(MemWidth::Half),
+        MOp::Sw => st!(MemWidth::Word),
+        MOp::Beq => br!(|x, y| x == y),
+        MOp::Bne => br!(|x, y| x != y),
+        MOp::Blt => br!(|x: u32, y: u32| (x as i32) < (y as i32)),
+        MOp::Bge => br!(|x: u32, y: u32| (x as i32) >= (y as i32)),
+        MOp::Bltu => br!(|x, y| x < y),
+        MOp::Bgeu => br!(|x, y| x >= y),
+        MOp::Jump => Step::Jump(u64::from(m.imm as u32)),
+        MOp::Call => {
+            wint(regs, vp, hook, at, m.a, (at + 1) as u32);
+            Step::Jump(u64::from(m.imm as u32))
+        }
+        MOp::JumpReg => Step::Jump(u64::from(r!(m.a))),
+        MOp::FAdd => fpu!(|x, y| x + y),
+        MOp::FSub => fpu!(|x, y| x - y),
+        MOp::FMul => fpu!(|x, y| x * y),
+        MOp::FDiv => fpu!(|x, y| x / y),
+        MOp::FMin => fpu!(f64::min),
+        MOp::FMax => fpu!(f64::max),
+        MOp::FMov => fpu1!(|x| x),
+        MOp::FAbs => fpu1!(f64::abs),
+        MOp::FNeg => fpu1!(|x: f64| -x),
+        MOp::FSqrt => fpu1!(f64::sqrt),
+        MOp::FLi => {
+            let v = fpool[m.imm as usize];
+            wfloat(fregs, vp, hook, at, m.a, v);
+            Step::Next
+        }
+        MOp::FLd => {
+            let addr = r!(m.b).wrapping_add(m.imm as u32);
+            match load_f64_mem(mem, addr) {
+                Ok(v) => {
+                    wfloat(fregs, vp, hook, at, m.a, v);
+                    Step::Next
+                }
+                Err(kind) => Step::Crash(kind),
+            }
+        }
+        MOp::FSd => {
+            let addr = r!(m.b).wrapping_add(m.imm as u32);
+            let v = f!(m.a);
+            match store_f64_mem(mem, dirty, addr, v) {
+                Ok(()) => Step::Next,
+                Err(kind) => Step::Crash(kind),
+            }
+        }
+        MOp::CvtIF => {
+            let v = r!(m.b) as i32 as f64;
+            wfloat(fregs, vp, hook, at, m.a, v);
+            Step::Next
+        }
+        MOp::CvtFI => {
+            let f = f!(m.b);
+            let v = if f.is_nan() {
+                0
+            } else {
+                f.clamp(i32::MIN as f64, i32::MAX as f64) as i32 as u32
+            };
+            wint(regs, vp, hook, at, m.a, v);
+            Step::Next
+        }
+        MOp::FCeq => fcmp!(|x, y| x == y),
+        MOp::FClt => fcmp!(|x, y| x < y),
+        MOp::FCle => fcmp!(|x, y| x <= y),
+        MOp::Halt => Step::Halt,
+        MOp::Nop => Step::Next,
     }
 }
 
@@ -1181,7 +1806,7 @@ mod snapshot_tests {
 
         // Snapshot mid-run, finish, then restore and finish again.
         let mut m = Machine::new(&p, &config);
-        assert_eq!(m.run_until(&mut NoHook, 57), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(57), BoundedRun::Paused);
         let snap = m.snapshot();
         assert_eq!(snap.instructions(), 57);
         let first = m.run_simple();
@@ -1203,7 +1828,7 @@ mod snapshot_tests {
         let golden_result = golden.run_simple();
 
         let mut m = Machine::new(&p, &config);
-        m.run_until(&mut NoHook, 123);
+        m.run_until_simple(123);
         let snap = m.snapshot();
         let mut resumed = Machine::from_snapshot(&p, &snap, &config).unwrap();
         assert!(resumed.state_eq(&snap));
@@ -1234,15 +1859,15 @@ mod snapshot_tests {
     fn run_until_stops_exactly_at_target() {
         let p = sum_program();
         let mut m = Machine::new(&p, &MachineConfig::default());
-        assert_eq!(m.run_until(&mut NoHook, 10), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(10), BoundedRun::Paused);
         assert_eq!(m.instructions(), 10);
         // Resuming with a lower or equal target executes nothing.
-        assert_eq!(m.run_until(&mut NoHook, 10), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(10), BoundedRun::Paused);
         assert_eq!(m.instructions(), 10);
-        assert_eq!(m.run_until(&mut NoHook, 5), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(5), BoundedRun::Paused);
         assert_eq!(m.instructions(), 10);
         // And a higher target continues from where it stopped.
-        assert_eq!(m.run_until(&mut NoHook, 11), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(11), BoundedRun::Paused);
         assert_eq!(m.instructions(), 11);
     }
 
@@ -1251,7 +1876,7 @@ mod snapshot_tests {
         let p = sum_program();
         let mut m = Machine::new(&p, &MachineConfig::default());
         let before = m.snapshot();
-        assert_eq!(m.run_until(&mut NoHook, 0), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(0), BoundedRun::Paused);
         assert_eq!(m.instructions(), 0);
         assert!(m.state_eq(&before));
     }
@@ -1263,7 +1888,7 @@ mod snapshot_tests {
         let expected = straight.run_simple();
 
         let mut m = Machine::new(&p, &MachineConfig::default());
-        match m.run_until(&mut NoHook, u64::MAX / 4) {
+        match m.run_until_simple(u64::MAX / 4) {
             BoundedRun::Finished(r) => assert_eq!(r, expected),
             BoundedRun::Paused => panic!("must finish before an enormous target"),
         }
@@ -1283,7 +1908,7 @@ mod snapshot_tests {
         // Target exactly N: the halt is the Nth instruction executed, so
         // the run finishes rather than pausing.
         let mut m = Machine::new(&p, &MachineConfig::default());
-        match m.run_until(&mut NoHook, n) {
+        match m.run_until_simple(n) {
             BoundedRun::Finished(r) => assert_eq!(r, expected),
             BoundedRun::Paused => panic!("target N must execute the halt"),
         }
@@ -1291,9 +1916,9 @@ mod snapshot_tests {
         // Target N-1 pauses with the halt still unexecuted; resuming
         // finishes identically to the straight run.
         let mut m = Machine::new(&p, &MachineConfig::default());
-        assert_eq!(m.run_until(&mut NoHook, n - 1), BoundedRun::Paused);
+        assert_eq!(m.run_until_simple(n - 1), BoundedRun::Paused);
         assert_eq!(m.instructions(), n - 1);
-        assert_eq!(m.run(&mut NoHook), expected);
+        assert_eq!(m.run_simple(), expected);
     }
 
     #[test]
@@ -1306,7 +1931,7 @@ mod snapshot_tests {
         let mut target = 0u64;
         let result = loop {
             target += 37;
-            match m.run_until(&mut NoHook, target) {
+            match m.run_until_simple(target) {
                 BoundedRun::Finished(r) => break r,
                 BoundedRun::Paused => assert_eq!(m.instructions(), target),
             }
@@ -1332,8 +1957,8 @@ mod snapshot_tests {
                 ..MachineConfig::default()
             },
         );
-        assert_eq!(m.run_until(&mut NoHook, 50), BoundedRun::Paused);
-        match m.run_until(&mut NoHook, 1000) {
+        assert_eq!(m.run_until_simple(50), BoundedRun::Paused);
+        match m.run_until_simple(1000) {
             BoundedRun::Finished(r) => {
                 assert_eq!(r.outcome, Outcome::InfiniteRun);
                 assert_eq!(r.instructions, 100);
@@ -1347,7 +1972,7 @@ mod snapshot_tests {
         let p = sum_program();
         let config = MachineConfig::default();
         let mut m = Machine::new(&p, &config);
-        m.run_until(&mut NoHook, 20);
+        m.run_until_simple(20);
         let snap = m.snapshot();
         assert!(m.state_eq(&snap));
 
@@ -1360,7 +1985,7 @@ mod snapshot_tests {
         assert!(!r.state_eq(&snap));
 
         let mut r = Machine::from_snapshot(&p, &snap, &config).unwrap();
-        r.run_until(&mut NoHook, 21);
+        r.run_until_simple(21);
         assert!(!r.state_eq(&snap));
     }
 }
@@ -1550,5 +2175,208 @@ mod edge_case_tests {
         // li + cvt.d.w + trunc.w.d all produce values
         assert_eq!(r.value_producing, 3);
         assert_eq!(m.reg(V0), 7);
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use certa_asm::Asm;
+    use certa_isa::reg::{A0, T0, T1, V0};
+
+    /// A kernel mixing every fusion idiom: li+ALU, address compute +
+    /// load/store, compare + branch.
+    fn mixed_program() -> Program {
+        let mut a = Asm::new();
+        let buf = a.data_zero(64);
+        a.func("main", false);
+        a.la(T0, buf);
+        a.li(T1, 0);
+        a.li(V0, 0);
+        a.label("loop");
+        a.add(A0, T0, T1);
+        a.sb(T1, 0, A0);
+        a.lbu(A0, 0, A0);
+        a.add(V0, V0, A0);
+        a.addi(T1, T1, 1);
+        a.slti(A0, T1, 64);
+        a.bnez(A0, "loop");
+        a.halt();
+        a.endfunc();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn decoded_and_reference_pipelines_agree() {
+        let p = mixed_program();
+        let config = MachineConfig {
+            profile: true,
+            ..MachineConfig::default()
+        };
+        let mut fast = Machine::new(&p, &config);
+        let mut slow = Machine::new(&p, &config);
+        let a = fast.run_simple();
+        let b = slow.run_reference(&mut NoHook);
+        assert_eq!(a, b);
+        assert_eq!(fast.exec_counts(), slow.exec_counts());
+        for i in 0..32u8 {
+            assert_eq!(fast.reg(Reg::new(i)), slow.reg(Reg::new(i)));
+        }
+        assert!(fast.decoded_program().fused_pairs() > 0);
+    }
+
+    #[test]
+    fn hooks_see_identical_sequences_across_pipelines() {
+        #[derive(Default)]
+        struct Recorder {
+            events: Vec<(usize, u32)>,
+        }
+        impl WritebackHook for Recorder {
+            fn int_writeback(&mut self, i: usize, v: u32) -> u32 {
+                self.events.push((i, v));
+                v ^ (self.events.len() as u32 & 1) // tamper every other writeback
+            }
+        }
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut fast = Machine::new(&p, &config);
+        let mut slow = Machine::new(&p, &config);
+        let mut fast_hook = Recorder::default();
+        let mut slow_hook = Recorder::default();
+        let a = fast.run(&mut fast_hook);
+        let b = slow.run_reference(&mut slow_hook);
+        assert_eq!(a, b);
+        assert_eq!(fast_hook.events, slow_hook.events);
+    }
+
+    #[test]
+    fn bounded_pauses_are_exact_across_fused_pairs() {
+        let p = mixed_program();
+        let mut reference = Machine::new(&p, &MachineConfig::default());
+        let expected = reference.run_reference(&mut NoHook);
+        // Pause at every possible boundary: fused pairs must split cleanly.
+        for target in 0..expected.instructions {
+            let mut m = Machine::new(&p, &MachineConfig::default());
+            assert_eq!(m.run_until_simple(target), BoundedRun::Paused);
+            assert_eq!(m.instructions(), target, "pause at {target}");
+            assert_eq!(m.run_simple(), expected, "resume from {target}");
+        }
+    }
+
+    #[test]
+    fn watchdog_is_exact_across_fused_pairs() {
+        let p = mixed_program();
+        let mut reference = Machine::new(&p, &MachineConfig::default());
+        let expected = reference.run_simple();
+        for budget in 1..expected.instructions {
+            let mut m = Machine::new(
+                &p,
+                &MachineConfig {
+                    max_instructions: budget,
+                    ..MachineConfig::default()
+                },
+            );
+            let r = m.run_simple();
+            assert_eq!(r.outcome, Outcome::InfiniteRun, "budget {budget}");
+            assert_eq!(r.instructions, budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn dirty_page_restore_matches_full_restore() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until_simple(20);
+        let snap = m.snapshot();
+        m.restore(&snap).unwrap(); // different id: full path, sets the base
+        assert!(m.state_eq(&snap));
+
+        // Run ahead, then restore the same snapshot: dirty-page path.
+        m.run_until_simple(120);
+        assert!(m.dirty_pages() > 0, "stores must dirty pages");
+        m.restore(&snap).unwrap();
+        assert!(m.state_eq(&snap), "dirty-page restore must be bit-identical");
+        assert_eq!(m.dirty_pages(), 0, "restore clears the dirty set");
+
+        // And the run from the dirty-restored state matches a full restore.
+        let mut full = Machine::new(&p, &config);
+        full.restore_full(&snap).unwrap();
+        assert_eq!(m.run_simple(), full.run_simple());
+        for i in 0..32u8 {
+            assert_eq!(m.reg(Reg::new(i)), full.reg(Reg::new(i)));
+        }
+    }
+
+    #[test]
+    fn restoring_a_different_snapshot_takes_the_full_path() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until_simple(10);
+        let early = m.snapshot();
+        m.run_until_simple(200);
+        let late = m.snapshot();
+
+        m.restore(&early).unwrap();
+        assert!(m.state_eq(&early));
+        // Different snapshot while based on `early`: must fall back to the
+        // full copy (pages differing between the two are not dirty).
+        m.run_until_simple(40);
+        m.restore(&late).unwrap();
+        assert!(m.state_eq(&late));
+    }
+
+    #[test]
+    fn host_writes_are_dirty_tracked() {
+        let p = mixed_program();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let snap = m.snapshot();
+        m.restore(&snap).unwrap(); // establish base
+        assert_eq!(m.dirty_pages(), 0);
+        m.write_bytes(DATA_BASE, &[7; 10_000]).unwrap();
+        assert!(m.dirty_pages() >= 3, "10 KB spans at least 3 pages");
+        m.restore(&snap).unwrap();
+        assert!(m.state_eq(&snap));
+    }
+
+    #[test]
+    fn from_snapshot_seeds_the_dirty_base() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until_simple(50);
+        let snap = m.snapshot();
+        let mut resumed = Machine::from_snapshot(&p, &snap, &config).unwrap();
+        resumed.run_until_simple(300);
+        resumed.restore(&snap).unwrap(); // dirty-page path straight away
+        assert!(resumed.state_eq(&snap));
+        let mut straight = Machine::from_snapshot(&p, &snap, &config).unwrap();
+        assert_eq!(resumed.run_simple(), straight.run_simple());
+    }
+
+    #[test]
+    fn snapshot_size_accounts_for_register_files() {
+        let p = mixed_program();
+        let m = Machine::new(&p, &MachineConfig::default());
+        let snap = m.snapshot();
+        // memory image + integer regs (128 B) + float regs (256 B) + ids
+        // and counters — not just the memory image.
+        assert!(snap.size_bytes() >= snap_mem_len(&snap) + 128 + 256 + 8);
+    }
+
+    fn snap_mem_len(snap: &Snapshot) -> usize {
+        snap.mem.len()
+    }
+
+    #[test]
+    fn shared_decoded_program_runs_identically() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let decoded = Arc::new(DecodedProgram::new(&p));
+        let mut shared = Machine::try_new_with_decoded(&p, &decoded, &config).unwrap();
+        let mut owned = Machine::new(&p, &config);
+        assert_eq!(shared.run_simple(), owned.run_simple());
+        assert!(Arc::ptr_eq(shared.decoded_program(), &decoded));
     }
 }

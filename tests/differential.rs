@@ -1,0 +1,193 @@
+//! Differential suite for the predecoded execution pipeline: for every
+//! workload in the study, the micro-op dispatch ([`Machine::run`]) and the
+//! reference `Instr` interpreter ([`Machine::run_reference`]) must produce
+//! identical `Outcome`, output bytes, instruction counts, register files,
+//! and `exec_counts` — including under `run_until` pause/resume, under an
+//! injecting `WritebackHook`, and across dirty-page vs full-image restore.
+
+use certa::core::analyze;
+use certa::fault::{golden_run, FaultPlan, Injector, Protection};
+use certa::isa::Reg;
+use certa::sim::{BoundedRun, Machine, MachineConfig, NoHook, Outcome, RunResult};
+use certa::workloads::all_workloads;
+use certa::workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn machine_config(w: &dyn Workload, profile: bool) -> MachineConfig {
+    MachineConfig {
+        mem_size: w.mem_size(),
+        profile,
+        ..MachineConfig::default()
+    }
+}
+
+fn fresh_machine<'p>(w: &'p dyn Workload, profile: bool) -> Machine<'p> {
+    let mut m = Machine::new(w.program(), &machine_config(w, profile));
+    w.prepare(&mut m);
+    m
+}
+
+fn assert_same_state(fast: &Machine<'_>, slow: &Machine<'_>, label: &str) {
+    for i in 0..32u8 {
+        assert_eq!(
+            fast.reg(Reg::new(i)),
+            slow.reg(Reg::new(i)),
+            "{label}: register ${i} diverged"
+        );
+    }
+    assert_eq!(
+        fast.instructions(),
+        slow.instructions(),
+        "{label}: icount diverged"
+    );
+}
+
+/// Golden (fault-free, profiled) runs must agree on everything the
+/// campaign observes: result, per-instruction execution counts, registers,
+/// and extracted output bytes.
+#[test]
+fn golden_runs_agree_across_pipelines() {
+    for w in all_workloads() {
+        let mut fast = fresh_machine(&*w, true);
+        let mut slow = fresh_machine(&*w, true);
+        let a = fast.run_simple();
+        let b = slow.run_reference(&mut NoHook);
+        assert_eq!(a, b, "{}: run result", w.name());
+        assert_eq!(a.outcome, Outcome::Halted, "{}", w.name());
+        assert_eq!(
+            fast.exec_counts(),
+            slow.exec_counts(),
+            "{}: exec_counts",
+            w.name()
+        );
+        assert_same_state(&fast, &slow, w.name());
+        assert_eq!(
+            w.extract(&fast),
+            w.extract(&slow),
+            "{}: output bytes",
+            w.name()
+        );
+    }
+}
+
+/// Chopping a decoded run into uneven `run_until` slices must be invisible:
+/// the final result equals the reference interpreter's straight run, and
+/// every pause lands exactly on its target (fused pairs must split).
+#[test]
+fn bounded_decoded_runs_match_straight_reference_runs() {
+    for w in all_workloads() {
+        let mut slow = fresh_machine(&*w, false);
+        let expected = slow.run_reference(&mut NoHook);
+
+        let mut fast = fresh_machine(&*w, false);
+        // Uneven, prime-ish slices to land pauses inside fused pairs.
+        let slice = (expected.instructions / 7).max(1) | 1;
+        let mut target = 0u64;
+        let result = loop {
+            target += slice;
+            match fast.run_until_simple(target) {
+                BoundedRun::Finished(r) => break r,
+                BoundedRun::Paused => {
+                    assert_eq!(fast.instructions(), target, "{}: pause point", w.name());
+                }
+            }
+        };
+        assert_eq!(result, expected, "{}: sliced run result", w.name());
+        assert_same_state(&fast, &slow, w.name());
+        assert_eq!(w.extract(&fast), w.extract(&slow), "{}", w.name());
+    }
+}
+
+fn run_injected(
+    w: &dyn Workload,
+    plan: &FaultPlan,
+    reference: bool,
+    chunked: bool,
+) -> (RunResult, u32, Option<Vec<u8>>) {
+    let tags = analyze(w.program());
+    let mut m = fresh_machine(w, false);
+    let mut injector = Injector::new(w.program(), &tags, Protection::Off, plan.clone());
+    let result = if reference {
+        m.run_reference(&mut injector)
+    } else if chunked {
+        let mut target = 0u64;
+        loop {
+            target += 10_001;
+            match m.run_until(&mut injector, target) {
+                BoundedRun::Finished(r) => break r,
+                BoundedRun::Paused => {}
+            }
+        }
+    } else {
+        m.run(&mut injector)
+    };
+    let output = (result.outcome == Outcome::Halted)
+        .then(|| w.extract(&m))
+        .flatten();
+    (result, injector.injected(), output)
+}
+
+/// Under an injecting hook — bit flips landing on exact writeback indices —
+/// the pipelines must stay bit-identical: same flips hit the same dynamic
+/// writebacks, so outcome, icount, injected count, and output all match.
+/// The decoded pipeline is additionally exercised with pause/resume to
+/// prove injection sites are unaffected by bounded execution.
+#[test]
+fn injected_trials_agree_across_pipelines() {
+    for w in all_workloads() {
+        let tags = analyze(w.program());
+        let golden = golden_run(&*w, &tags, Protection::Off, u64::MAX / 2);
+        let mut rng = SmallRng::seed_from_u64(0xD1FF ^ golden.instructions);
+        let plan = FaultPlan::sample(&mut rng, golden.eligible_population, 5);
+
+        let (ref_result, ref_injected, ref_output) = run_injected(&*w, &plan, true, false);
+        let (dec_result, dec_injected, dec_output) = run_injected(&*w, &plan, false, false);
+        let (chk_result, chk_injected, chk_output) = run_injected(&*w, &plan, false, true);
+
+        assert_eq!(dec_result, ref_result, "{}: injected result", w.name());
+        assert_eq!(dec_injected, ref_injected, "{}: injected count", w.name());
+        assert_eq!(dec_output, ref_output, "{}: injected output", w.name());
+        assert_eq!(chk_result, ref_result, "{}: chunked result", w.name());
+        assert_eq!(chk_injected, ref_injected, "{}: chunked count", w.name());
+        assert_eq!(chk_output, ref_output, "{}: chunked output", w.name());
+    }
+}
+
+/// Dirty-page restore vs full-image restore: a trial resumed from a
+/// snapshot must not care which restore path refreshed the machine.
+#[test]
+fn dirty_page_and_full_image_restore_agree() {
+    for w in all_workloads() {
+        let mut m = fresh_machine(&*w, false);
+        let probe = {
+            let mut probe = fresh_machine(&*w, false);
+            probe.run_simple().instructions
+        };
+        assert_eq!(m.run_until_simple(probe / 2), BoundedRun::Paused);
+        let snap = m.snapshot();
+
+        // Dirty path: finish the run (dirtying pages), then restore the
+        // snapshot the machine is already based on.
+        m.restore(&snap).unwrap(); // establishes the base (full copy)
+        m.run_simple();
+        m.restore(&snap).unwrap(); // dirty-page path
+        let a = m.run_simple();
+        let out_a = w.extract(&m);
+
+        // Full path: an explicit whole-image restore on a fresh machine.
+        let mut full = Machine::from_snapshot(
+            w.program(),
+            &snap,
+            &machine_config(&*w, false),
+        )
+        .unwrap();
+        full.restore_full(&snap).unwrap();
+        let b = full.run_simple();
+        let out_b = w.extract(&full);
+
+        assert_eq!(a, b, "{}: restore-path result", w.name());
+        assert_eq!(out_a, out_b, "{}: restore-path output", w.name());
+        assert_same_state(&m, &full, w.name());
+    }
+}
