@@ -1,0 +1,103 @@
+//! Bench trajectory gate: compares the freshly written `BENCH_*.json`
+//! summaries against the committed baselines under `baselines/` and fails
+//! (non-zero exit) when a headline geomean regresses by more than the
+//! threshold — closing ROADMAP's "bench trajectory tracking" loop in CI.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trajectory            # compare fresh results against baselines
+//! bench_trajectory --update   # copy fresh results over the baselines
+//! ```
+//!
+//! Metrics are dimensionless speedup ratios (tier-vs-tier on the same
+//! machine and the same run), which transfer across machines far better
+//! than absolute MIPS; the threshold still leaves 10% headroom for CI
+//! noise, per the acceptance criteria.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use certa_bench::{json_number, workspace_root};
+
+/// Allowed relative regression of a tracked geomean before CI fails.
+const THRESHOLD: f64 = 0.10;
+
+/// One tracked benchmark artifact: file stem and headline metric key.
+const TRACKED: &[(&str, &str)] = &[
+    ("dispatch", "geomean_speedup"),
+    ("campaign", "speedup"),
+];
+
+fn read_metric(path: &Path, key: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json_number(&text, key)
+        .ok_or_else(|| format!("{} has no numeric \"{key}\"", path.display()))
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("bench_trajectory: cannot resolve workspace root: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_dir = root.join("baselines");
+    let mut failed = false;
+    for &(name, key) in TRACKED {
+        let fresh_path = root.join(format!("BENCH_{name}.json"));
+        let baseline_path = baseline_dir.join(format!("BENCH_{name}.json"));
+        if update {
+            match std::fs::create_dir_all(&baseline_dir)
+                .and_then(|()| std::fs::copy(&fresh_path, &baseline_path))
+            {
+                Ok(_) => println!("updated {}", baseline_path.display()),
+                Err(e) => {
+                    eprintln!("bench_trajectory: cannot update {name} baseline: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        let fresh = match read_metric(&fresh_path, key) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench_trajectory: {e} (run the {name} bench first)");
+                failed = true;
+                continue;
+            }
+        };
+        let baseline = match read_metric(&baseline_path, key) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("bench_trajectory: {e} — no baseline, skipping {name} (run with --update to record one)");
+                continue;
+            }
+        };
+        let ratio = fresh / baseline;
+        let verdict = if ratio < 1.0 - THRESHOLD {
+            failed = true;
+            "REGRESSION"
+        } else if ratio > 1.0 + THRESHOLD {
+            "improved (consider --update)"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name}: {key} fresh {fresh:.3} vs baseline {baseline:.3} ({:+.1}%) — {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_trajectory: geomean regressed more than {:.0}% against committed baselines",
+            THRESHOLD * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

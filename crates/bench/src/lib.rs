@@ -597,27 +597,110 @@ pub fn geomean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
-/// Writes `BENCH_{name}.json` into the workspace root (the nearest
-/// ancestor of the current directory holding a `Cargo.lock`, since `cargo
-/// bench` runs benches with the *package* directory as CWD), so CI can
-/// upload every `BENCH_*.json` as a build artifact and track the perf
-/// trajectory across PRs. Returns the path written.
+// ---------------------------------------------------------------------
+// Clock-drift-resistant tier timing (shared by the dispatch bench and
+// the sbtune example)
+// ---------------------------------------------------------------------
+
+/// Median of the samples (`0.0` for an empty slice).
+#[must_use]
+pub fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Per-tier timing results from [`time_tiers`].
+pub struct TierRounds {
+    /// Best (lowest) sample value observed per tier.
+    pub best: Vec<f64>,
+    /// `rounds[r][tier]`: the sample every tier produced in round `r`.
+    rounds: Vec<Vec<f64>>,
+}
+
+impl TierRounds {
+    /// Median over rounds of `rounds[r][num] / rounds[r][den]` — a
+    /// tier-vs-tier ratio taken within each round, so it stays meaningful
+    /// on hosts whose clock drifts between rounds (each round samples the
+    /// tiers back-to-back at nearly one clock operating point).
+    #[must_use]
+    pub fn median_ratio(&self, num: usize, den: usize) -> f64 {
+        median(self.rounds.iter().map(|r| r[num] / r[den]).collect())
+    }
+}
+
+/// Runs `rounds` timing rounds; in each round every sampler is invoked
+/// once, back-to-back, and should return a cost metric where *lower is
+/// better* (e.g. seconds per simulated instruction over a rep-accumulated
+/// sample long enough not to alias host clock stepping). Compare tiers
+/// through [`TierRounds::median_ratio`], not across separately-timed
+/// runs.
+pub fn time_tiers(rounds: usize, samplers: &mut [&mut dyn FnMut() -> f64]) -> TierRounds {
+    let mut best = vec![f64::MAX; samplers.len()];
+    let mut all = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut round = Vec::with_capacity(samplers.len());
+        for (slot, sampler) in samplers.iter_mut().enumerate() {
+            let v = sampler();
+            if v < best[slot] {
+                best[slot] = v;
+            }
+            round.push(v);
+        }
+        all.push(round);
+    }
+    TierRounds { best, rounds: all }
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// holding a `Cargo.lock` (benches and bins run with the *package*
+/// directory as CWD), falling back to the current directory itself.
+///
+/// # Errors
+///
+/// Propagates the underlying [`std::io::Error`] if the current directory
+/// cannot be resolved.
+pub fn workspace_root() -> std::io::Result<std::path::PathBuf> {
+    let cwd = std::env::current_dir()?;
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.lock").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+    }
+    Ok(cwd)
+}
+
+/// Writes `BENCH_{name}.json` into the workspace root (see
+/// [`workspace_root`]), so CI can upload every `BENCH_*.json` as a build
+/// artifact and track the perf trajectory across PRs. Returns the path
+/// written.
 ///
 /// # Errors
 ///
 /// Propagates the underlying [`std::io::Error`] if the file cannot be
 /// written.
 pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
-    let mut root = std::env::current_dir()?;
-    for dir in std::env::current_dir()?.ancestors() {
-        if dir.join("Cargo.lock").is_file() {
-            root = dir.to_path_buf();
-            break;
-        }
-    }
-    let path = root.join(format!("BENCH_{name}.json"));
+    let path = workspace_root()?.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, json)?;
     Ok(path)
+}
+
+/// Extracts the numeric value of `"key": <number>` from a flat JSON
+/// document — the `BENCH_*.json` summaries are written by this crate with
+/// a known shape, so a dependency-free scan is all the trajectory checker
+/// needs. Returns the first occurrence; `None` when the key is missing or
+/// its value does not parse as a number.
+#[must_use]
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Parses the `--trials N` / `--seed N` CLI convention used by the
@@ -688,6 +771,16 @@ mod tests {
         assert_eq!(p.failure_pct, 0.0);
         assert_eq!(p.acceptable_pct, 100.0);
         assert_eq!(p.mean_score, 1.0);
+    }
+
+    #[test]
+    fn json_number_extracts_bench_metrics() {
+        let json = r#"{"bench":"dispatch","geomean_speedup":2.076,"neg":-1.5e2,"workloads":[{"speedup":9.9}]}"#;
+        assert_eq!(json_number(json, "geomean_speedup"), Some(2.076));
+        assert_eq!(json_number(json, "neg"), Some(-150.0));
+        assert_eq!(json_number(json, "speedup"), Some(9.9));
+        assert_eq!(json_number(json, "missing"), None);
+        assert_eq!(json_number(r#"{"bench":"x"}"#, "bench"), None);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub struct Cfg {
     pub blocks: Vec<BasicBlock>,
     /// Map from instruction index to owning block id.
     block_of: Vec<usize>,
+    /// Predecessor lists, cached at build time (the inverse of `succs`).
+    preds: Vec<Vec<usize>>,
 }
 
 impl Cfg {
@@ -124,7 +126,18 @@ impl Cfg {
             blocks[b].succs = succs;
         }
 
-        Cfg { blocks, block_of }
+        let mut preds = vec![Vec::new(); blocks.len()];
+        for (b, block) in blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(b);
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            preds,
+        }
     }
 
     /// The block containing instruction `index`.
@@ -149,16 +162,54 @@ impl Cfg {
         self.blocks.is_empty()
     }
 
-    /// Predecessor lists (computed on demand).
+    /// Predecessor lists (cached at build time; the inverse of every
+    /// block's `succs`).
     #[must_use]
-    pub fn predecessors(&self) -> Vec<Vec<usize>> {
-        let mut preds = vec![Vec::new(); self.blocks.len()];
-        for (b, block) in self.blocks.iter().enumerate() {
-            for &s in &block.succs {
-                preds[s].push(b);
-            }
+    pub fn predecessors(&self) -> &[Vec<usize>] {
+        &self.preds
+    }
+
+    /// Successor block ids of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn succs(&self, b: usize) -> &[usize] {
+        &self.blocks[b].succs
+    }
+
+    /// The block that textually follows `b` — the fall-through successor —
+    /// when `b`'s terminator can fall through into it
+    /// ([`certa_isa::BranchKind::can_fall_through`]) and `b` is not the
+    /// last block. The simulator's superblock builder chains straight-line
+    /// runs through this edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn fallthrough_succ(&self, b: usize, program: &Program) -> Option<usize> {
+        let block = &self.blocks[b];
+        let last = block.end - 1;
+        if program.code[last].branch_kind().can_fall_through() && block.end < program.code.len() {
+            Some(self.block_of[block.end])
+        } else {
+            None
         }
-        preds
+    }
+
+    /// The block a static jump/call terminator of `b` transfers to, if any
+    /// (conditional branches report their taken-path block here too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn static_target_succ(&self, b: usize, program: &Program) -> Option<usize> {
+        program.code[self.blocks[b].end - 1]
+            .static_target()
+            .map(|t| self.block_of[t])
     }
 
     /// Renders the CFG in Graphviz dot format (for debugging and docs).
@@ -282,6 +333,53 @@ mod tests {
                 assert!(preds[s].contains(&b));
             }
         }
+    }
+
+    #[test]
+    fn fallthrough_and_target_queries() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 3);
+        a.label("loop");
+        a.addi(T0, T0, -1);
+        a.bnez(T0, "loop");
+        a.j("done");
+        a.label("done");
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        // blocks: [li], [addi, bnez], [j], [halt]
+        let entry = cfg.block_of(0);
+        let body = cfg.block_of(1);
+        let jump = cfg.block_of(3);
+        let done = cfg.block_of(4);
+        // A plain block falls through into its textual successor.
+        assert_eq!(cfg.fallthrough_succ(entry, &p), Some(body));
+        // A conditional terminator has both a fall-through and a target.
+        assert_eq!(cfg.fallthrough_succ(body, &p), Some(jump));
+        assert_eq!(cfg.static_target_succ(body, &p), Some(body));
+        // An unconditional jump never falls through but has a target.
+        assert_eq!(cfg.fallthrough_succ(jump, &p), None);
+        assert_eq!(cfg.static_target_succ(jump, &p), Some(done));
+        // Halt has neither.
+        assert_eq!(cfg.fallthrough_succ(done, &p), None);
+        assert_eq!(cfg.static_target_succ(done, &p), None);
+        // succs() exposes the same edges as the block structs.
+        assert_eq!(cfg.succs(body), &cfg.blocks[body].succs[..]);
+    }
+
+    #[test]
+    fn last_block_never_reports_fallthrough() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 1);
+        a.nop();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let last = cfg.len() - 1;
+        assert_eq!(cfg.fallthrough_succ(last, &p), None);
     }
 
     #[test]

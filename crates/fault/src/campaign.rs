@@ -45,7 +45,9 @@
 
 use certa_core::TagMap;
 use certa_isa::Program;
-use certa_sim::{BoundedRun, DecodedProgram, Machine, MachineConfig, Outcome, Snapshot};
+use certa_sim::{
+    BoundedRun, DecodedProgram, Machine, MachineConfig, Outcome, Snapshot, SuperblockPolicy,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -246,6 +248,72 @@ struct Checkpoint {
     eligible_seen: u64,
 }
 
+/// The golden checkpoints plus precomputed page diffs between adjacent
+/// pairs, so a worker machine hopping from one checkpoint to another
+/// copies only the pages that actually differ along the hop (plus its own
+/// dirty pages) instead of the whole memory image.
+struct CheckpointSet {
+    checkpoints: Vec<Checkpoint>,
+    /// `adjacent_diffs[i]`: pages on which checkpoints `i` and `i + 1`
+    /// differ ([`Snapshot::diff_pages`] — byte-exact, diffs are a restore
+    /// correctness contract).
+    adjacent_diffs: Vec<Vec<u32>>,
+}
+
+impl CheckpointSet {
+    fn new(checkpoints: Vec<Checkpoint>) -> Self {
+        let adjacent_diffs = checkpoints
+            .windows(2)
+            .map(|w| {
+                w[0].snapshot
+                    .diff_pages(&w[1].snapshot)
+                    .expect("golden checkpoints share one memory size")
+            })
+            .collect();
+        CheckpointSet {
+            checkpoints,
+            adjacent_diffs,
+        }
+    }
+
+    /// Restores `machine` to checkpoint `index` as cheaply as the
+    /// machine's current base allows: dirty-page restore when it is
+    /// already based on that checkpoint, a page-diff restore when it is
+    /// based on another checkpoint of this set and the hop's diff union is
+    /// small, and the plain full-image fallback otherwise. All three paths
+    /// are bit-identical.
+    fn restore(&self, machine: &mut Machine<'_>, index: usize, diff_scratch: &mut Vec<u32>) {
+        let target = &self.checkpoints[index];
+        let base = machine.base_snapshot_id();
+        if base != target.snapshot.id() {
+            if let Some(from) = self
+                .checkpoints
+                .iter()
+                .position(|c| c.snapshot.id() == base)
+            {
+                // Union of adjacent diffs along the hop (diffs are
+                // symmetric, so backward hops reuse the same lists).
+                let (lo, hi) = (from.min(index), from.max(index));
+                diff_scratch.clear();
+                for diff in &self.adjacent_diffs[lo..hi] {
+                    diff_scratch.extend_from_slice(diff);
+                }
+                diff_scratch.sort_unstable();
+                diff_scratch.dedup();
+                if diff_scratch.len() < target.snapshot.page_count() / 2 {
+                    machine
+                        .restore_with_diff(&target.snapshot, diff_scratch)
+                        .expect("checkpoint memory image matches the trial machine");
+                    return;
+                }
+            }
+        }
+        machine
+            .restore(&target.snapshot)
+            .expect("checkpoint memory image matches the trial machine");
+    }
+}
+
 /// Runs the golden reference like [`golden_run`], additionally recording
 /// checkpoints: snapshots spaced `stride` dynamic instructions apart,
 /// thinned (keep every other, double the stride) whenever the count would
@@ -361,15 +429,18 @@ fn run_trial_scratch(
 /// trial is compared with golden snapshots at checkpoint boundaries; on a
 /// bit-identical match the golden result is spliced in and the suffix is
 /// skipped. See the module docs for why both directions are exact.
+#[allow(clippy::too_many_arguments)]
 fn run_trial_checkpointed(
     machine: &mut Machine<'_>,
     target: &dyn Target,
     tags: &TagMap,
     config: &CampaignConfig,
     plan: &FaultPlan,
-    checkpoints: &[Checkpoint],
+    checkpoint_set: &CheckpointSet,
+    diff_scratch: &mut Vec<u32>,
     golden: &GoldenRun,
 ) -> TrialResult {
+    let checkpoints = &checkpoint_set.checkpoints;
     let planned = plan.len() as u32;
     if planned == 0 {
         // No flips will ever fire, so the trial *is* the golden run.
@@ -386,9 +457,7 @@ fn run_trial_checkpointed(
         .partition_point(|c| c.eligible_seen <= earliest)
         .saturating_sub(1);
     let checkpoint = &checkpoints[cp_index];
-    machine
-        .restore(&checkpoint.snapshot)
-        .expect("checkpoint memory image matches the trial machine");
+    checkpoint_set.restore(machine, cp_index, diff_scratch);
     let mut injector =
         Injector::with_model(target.program(), tags, config.protection, plan.clone(), config.model)
             .resume_from(checkpoint.eligible_seen);
@@ -502,7 +571,7 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
             config.checkpoint_budget_bytes,
             config.checkpoint_stride,
         );
-        (golden, Some(checkpoints))
+        (golden, Some(CheckpointSet::new(checkpoints)))
     } else {
         let (golden, _) = golden_run_checkpointed(
             target,
@@ -532,6 +601,15 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         max_instructions: watchdog,
         profile: false,
     };
+    // Trials re-lower the program with the golden run's execution counts
+    // seeding the superblock policy: only blocks the golden run actually
+    // reached get trace bodies, which is where trials spend nearly all of
+    // their time (they diverge from golden only after a flip lands).
+    // Decoded once, shared by every worker machine.
+    let trial_decoded = Arc::new(DecodedProgram::with_policy(
+        program,
+        &SuperblockPolicy::seeded(golden.exec_counts.clone()),
+    ));
 
     // Pre-sample every trial's plan. This matches sampling inside the
     // trial exactly — the per-trial RNG is used for nothing else — and the
@@ -544,31 +622,34 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         .collect();
 
     let trials = match &checkpoints {
-        Some(checkpoints) => {
+        Some(checkpoint_set) => {
             // Sort by injection point so neighboring trials restore the
-            // same (cache-warm) checkpoint.
+            // same (cache-warm) checkpoint — and so hops between
+            // checkpoints are short, keeping the page-diff unions small.
             let mut order: Vec<usize> = (0..config.trials).collect();
             order.sort_by_key(|&t| plans[t].earliest_injection().unwrap_or(u64::MAX));
             schedule_trials(
                 &order,
                 threads,
                 || {
-                    Machine::from_snapshot_with_decoded(
+                    let machine = Machine::from_snapshot_with_decoded(
                         program,
-                        &decoded,
-                        &checkpoints[0].snapshot,
+                        &trial_decoded,
+                        &checkpoint_set.checkpoints[0].snapshot,
                         &machine_config,
                     )
-                    .expect("checkpoint matches the campaign machine config")
+                    .expect("checkpoint matches the campaign machine config");
+                    (machine, Vec::new())
                 },
-                |machine, t| {
+                |(machine, diff_scratch), t| {
                     run_trial_checkpointed(
                         machine,
                         target,
                         tags,
                         config,
                         &plans[t],
-                        checkpoints,
+                        checkpoint_set,
+                        diff_scratch,
                         &golden,
                     )
                 },
@@ -581,7 +662,14 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                 threads,
                 || (),
                 |(), t| {
-                    run_trial_scratch(target, &decoded, tags, config, &machine_config, &plans[t])
+                    run_trial_scratch(
+                        target,
+                        &trial_decoded,
+                        tags,
+                        config,
+                        &machine_config,
+                        &plans[t],
+                    )
                 },
             )
         }
@@ -858,6 +946,44 @@ mod tests {
             assert_eq!(a.output, b.output);
             assert_eq!(a.instructions, b.instructions);
             assert_eq!(a.injected, b.injected);
+        }
+    }
+
+    /// Checkpoint-hopping restores (forward and backward, through the
+    /// precomputed adjacent page diffs) must land on bit-identical state.
+    #[test]
+    fn checkpoint_set_hops_are_bit_identical() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let decoded = Arc::new(DecodedProgram::new(&t.program));
+        let (_, checkpoints) =
+            golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
+        assert!(checkpoints.len() >= 4, "need several checkpoints to hop");
+        let set = CheckpointSet::new(checkpoints);
+        assert_eq!(set.adjacent_diffs.len(), set.checkpoints.len() - 1);
+
+        let config = MachineConfig {
+            mem_size: t.mem_size(),
+            max_instructions: 1_000_000,
+            profile: false,
+        };
+        let mut machine = Machine::from_snapshot_with_decoded(
+            &t.program,
+            &decoded,
+            &set.checkpoints[0].snapshot,
+            &config,
+        )
+        .unwrap();
+        let mut scratch = Vec::new();
+        // Forward hops (adjacent and multi-step), with dirty state in
+        // between; then a backward hop.
+        for &index in &[1usize, 3, 2, 0, 3] {
+            machine.run_until_simple(machine.instructions() + 17);
+            set.restore(&mut machine, index, &mut scratch);
+            assert!(
+                machine.state_eq(&set.checkpoints[index].snapshot),
+                "hop to checkpoint {index} must be exact"
+            );
         }
     }
 

@@ -302,6 +302,50 @@ pub enum UseKind {
     Control,
 }
 
+/// Control-flow classification of an instruction, used by CFG construction
+/// and the simulator's superblock builder to follow straight-line runs
+/// without re-matching the full [`Instr`] enum.
+///
+/// Obtained from [`Instr::branch_kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Straight-line: execution always continues at the next instruction
+    /// (the instruction may still *crash* — loads and stores are here).
+    FallThrough,
+    /// Conditional branch: continues at `target` when taken, at the next
+    /// instruction otherwise.
+    Conditional {
+        /// Taken-path instruction index.
+        target: usize,
+    },
+    /// Unconditional jump to a static target.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Call: jumps to `target` and defines `$ra`.
+    Call {
+        /// Callee entry instruction index.
+        target: usize,
+    },
+    /// Indirect jump through a register (returns); no static target.
+    Indirect,
+    /// Stops execution.
+    Halt,
+}
+
+impl BranchKind {
+    /// Whether this kind ever continues at the next instruction index
+    /// (mirrors [`Instr::can_fall_through`]).
+    #[must_use]
+    pub const fn can_fall_through(self) -> bool {
+        matches!(
+            self,
+            BranchKind::FallThrough | BranchKind::Conditional { .. }
+        )
+    }
+}
+
 /// A single instruction.
 ///
 /// Branch and jump targets are *instruction indices* into the program's code
@@ -600,6 +644,21 @@ impl Instr {
         )
     }
 
+    /// Classifies this instruction's effect on control flow (see
+    /// [`BranchKind`]). `branch_kind().can_fall_through()` agrees with
+    /// [`Instr::can_fall_through`] by construction (a unit test pins it).
+    #[must_use]
+    pub fn branch_kind(&self) -> BranchKind {
+        match *self {
+            Instr::Branch { target, .. } => BranchKind::Conditional { target },
+            Instr::Jump { target } => BranchKind::Jump { target },
+            Instr::Call { target } => BranchKind::Call { target },
+            Instr::JumpReg { .. } => BranchKind::Indirect,
+            Instr::Halt => BranchKind::Halt,
+            _ => BranchKind::FallThrough,
+        }
+    }
+
     /// Whether this instruction can change control flow (branch, jump, call,
     /// indirect jump, halt).
     #[must_use]
@@ -817,6 +876,79 @@ mod tests {
         }
         .can_fall_through());
         assert!(Instr::Nop.can_fall_through());
+    }
+
+    #[test]
+    fn branch_kind_classifies_every_transfer() {
+        assert_eq!(
+            Instr::Branch {
+                cond: CmpOp::Lt,
+                rs: reg::T0,
+                rt: reg::T1,
+                target: 9
+            }
+            .branch_kind(),
+            BranchKind::Conditional { target: 9 }
+        );
+        assert_eq!(
+            Instr::Jump { target: 4 }.branch_kind(),
+            BranchKind::Jump { target: 4 }
+        );
+        assert_eq!(
+            Instr::Call { target: 2 }.branch_kind(),
+            BranchKind::Call { target: 2 }
+        );
+        assert_eq!(
+            Instr::JumpReg { rs: reg::RA }.branch_kind(),
+            BranchKind::Indirect
+        );
+        assert_eq!(Instr::Halt.branch_kind(), BranchKind::Halt);
+        assert_eq!(Instr::Nop.branch_kind(), BranchKind::FallThrough);
+        assert_eq!(
+            Instr::Store {
+                width: MemWidth::Word,
+                rs: reg::T0,
+                base: reg::SP,
+                off: 0
+            }
+            .branch_kind(),
+            BranchKind::FallThrough
+        );
+    }
+
+    #[test]
+    fn branch_kind_fall_through_agrees_with_instr() {
+        let samples = [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Jump { target: 0 },
+            Instr::Call { target: 0 },
+            Instr::JumpReg { rs: reg::RA },
+            Instr::Li {
+                rd: reg::T0,
+                imm: 3,
+            },
+            Instr::Branch {
+                cond: CmpOp::Eq,
+                rs: reg::T0,
+                rt: reg::T1,
+                target: 0,
+            },
+            Instr::Load {
+                width: MemWidth::Word,
+                signed: false,
+                rd: reg::T0,
+                base: reg::T1,
+                off: 0,
+            },
+        ];
+        for i in samples {
+            assert_eq!(
+                i.branch_kind().can_fall_through(),
+                i.can_fall_through(),
+                "{i}"
+            );
+        }
     }
 
     #[test]

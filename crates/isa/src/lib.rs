@@ -27,7 +27,7 @@ mod instr;
 mod program;
 mod register;
 
-pub use instr::{AluOp, CmpOp, FCmpOp, FpuOp, Instr, MemWidth, RegRef, UseKind};
+pub use instr::{AluOp, BranchKind, CmpOp, FCmpOp, FpuOp, Instr, MemWidth, RegRef, UseKind};
 pub use program::{FuncMeta, Program, ProgramError};
 pub use register::{reg, FReg, Reg, RegParseError};
 

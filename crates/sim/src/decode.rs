@@ -52,9 +52,30 @@
 //!   boundary: when the second half would cross it, the head executes
 //!   alone as an ordinary micro-op.
 //!
+//! # Superblocks
+//!
+//! A third pass derives a **superblock table** from the program's control
+//! flow graph ([`certa_core::Cfg`]): for each basic-block entry, a
+//! straight-line *trace* of micro-ops is laid out by following fall-through
+//! edges and unconditional jumps across block boundaries, with conditional
+//! branches embedded as **side-exit guards** (taken → leave the trace) and
+//! calls/indirect jumps/halts terminating it. The dispatch loop executes a
+//! whole trace with watchdog/pause checks hoisted to the trace boundary —
+//! see [`crate::Machine::run`] — falling back to fused per-op dispatch for
+//! cold blocks and mid-block entry points (e.g. resuming from a snapshot
+//! taken mid-trace).
+//!
+//! Each trace element carries its original instruction index, so `pc`,
+//! `icount`, `exec_counts`, and hook indices remain exactly 1:1 with the
+//! reference interpreter. A [`SuperblockPolicy`] decides which block
+//! entries earn a trace: by static trace length, or seeded with
+//! `exec_counts` from a profiled run so only blocks the golden run actually
+//! executed get bodies (the fault campaign uses this for trial machines).
+//!
 //! [`run_until`]: crate::Machine::run_until
 
-use certa_isa::{AluOp, CmpOp, FCmpOp, FpuOp, Instr, MemWidth, Program};
+use certa_core::Cfg;
+use certa_isa::{AluOp, BranchKind, CmpOp, FCmpOp, FpuOp, Instr, MemWidth, Program};
 
 /// Micro-op opcode with every sub-operation selector folded in.
 ///
@@ -232,21 +253,169 @@ impl MicroOp {
     }
 }
 
+/// Combo tag: no second op — the element executes `op` alone.
+pub(crate) const COMBO_NONE: u8 = 0;
+/// Combo tag: two ALU/`li` ops retired by one dispatch.
+pub(crate) const COMBO_ALU_ALU: u8 = 1;
+/// Combo tag: ALU/`li` feeding (or preceding) an integer load.
+pub(crate) const COMBO_ALU_LOAD: u8 = 2;
+/// Combo tag: integer load followed by an ALU/`li` op.
+pub(crate) const COMBO_LOAD_ALU: u8 = 3;
+/// Combo tag: ALU/`li` followed by a conditional branch.
+pub(crate) const COMBO_ALU_BRANCH: u8 = 4;
+
+/// One element of a superblock trace: one micro-op — or a **combo pair**
+/// of two adjacent micro-ops retired by a single dispatch — plus the
+/// instruction indices they were lifted from, so hooks, profiling, and
+/// `pc` reconstruction stay 1:1 with the source program. 32 bytes, laid
+/// out densely per trace.
+///
+/// Two bytes are repurposed inside the copied micro-ops:
+///
+/// * `op.fuse` is the **sequential continuation flag**: non-zero means
+///   the next trace element starts at this element's last instruction
+///   plus one, so a fall-through retirement stays inside the trace
+///   without any bounds or index check.
+/// * `op2.fuse` is the **combo tag** (`COMBO_*`): which fused-pair arm
+///   executes this element, or [`COMBO_NONE`] for a single op.
+///
+/// Control transfers use the universal continuation rule instead: the
+/// trace continues iff the next element's `at` equals the dynamic target
+/// (sound for any linearization — traced-through jumps and call returns
+/// compare equal, side exits compare unequal).
+///
+/// Combo pairs keep per-instruction observability exactly: both halves
+/// bump `icount`/`exec_counts` individually, writebacks flow through the
+/// hook in program order with their own instruction indices, and a crash
+/// in either half reports that half's `pc`. `li` halves are normalized to
+/// `addi rd, $zero, imm` so the ALU arms cover them.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SuperOp {
+    /// First micro-op (`fuse` = sequential continuation flag).
+    pub(crate) op: MicroOp,
+    /// Original instruction index of `op`.
+    pub(crate) at: u32,
+    /// Second micro-op of a combo pair (`fuse` = combo tag); `Nop` with
+    /// tag [`COMBO_NONE`] for single elements.
+    pub(crate) op2: MicroOp,
+    /// Original instruction index of `op2` (meaningful only for combos).
+    pub(crate) at2: u32,
+}
+
+impl SuperOp {
+    /// Instruction index the element's fall-through path resumes after:
+    /// the last constituent instruction.
+    fn last_at(&self) -> u32 {
+        if self.op2.fuse == COMBO_NONE {
+            self.at
+        } else {
+            self.at2
+        }
+    }
+}
+
+/// One superblock: a straight-line trace in the shared [`SuperOp`] arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Superblock {
+    /// First trace element in the arena.
+    pub(crate) start: u32,
+    /// Trace length in elements (combo pairs count once).
+    pub(crate) elems: u32,
+    /// Trace length in **instructions** — the exact upper bound on what
+    /// one pass through the trace can retire, which is what the dispatch
+    /// loop checks against the watchdog/pause boundary before entering.
+    pub(crate) instrs: u32,
+}
+
+/// Profitability policy for the superblock pass: which basic-block entries
+/// earn a straight-line trace body, and how long traces may grow.
+#[derive(Debug, Clone)]
+pub struct SuperblockPolicy {
+    /// Build superblocks at all (`false` = fused per-op dispatch only; the
+    /// benches use this to isolate the superblock tier's contribution).
+    pub enable: bool,
+    /// Minimum trace length (in micro-ops) worth the block-entry lookup;
+    /// shorter traces fall back to fused dispatch.
+    pub min_len: usize,
+    /// Trace length cap (bounds trace memory and the boundary slack the
+    /// dispatch loop must leave before the watchdog/pause target).
+    pub max_len: usize,
+    /// Optional per-instruction execution counts from a profiled run
+    /// (e.g. the campaign's golden run): when present, only block entries
+    /// with at least [`SuperblockPolicy::hot_threshold`] recorded
+    /// executions get trace bodies.
+    pub hot_counts: Option<Vec<u64>>,
+    /// Minimum entry execution count for [`SuperblockPolicy::hot_counts`]
+    /// seeding.
+    pub hot_threshold: u64,
+}
+
+impl Default for SuperblockPolicy {
+    fn default() -> Self {
+        SuperblockPolicy {
+            enable: true,
+            min_len: 2,
+            max_len: 64,
+            hot_counts: None,
+            hot_threshold: 1,
+        }
+    }
+}
+
+impl SuperblockPolicy {
+    /// Superblocks off: the decoded program executes purely through the
+    /// fused per-op dispatch tier.
+    #[must_use]
+    pub fn disabled() -> Self {
+        SuperblockPolicy {
+            enable: false,
+            ..SuperblockPolicy::default()
+        }
+    }
+
+    /// Profile-seeded policy: only basic blocks whose entry instruction
+    /// executed at least once in `exec_counts` get trace bodies. The fault
+    /// campaign seeds trial machines with the golden run's counts.
+    #[must_use]
+    pub fn seeded(exec_counts: Vec<u64>) -> Self {
+        SuperblockPolicy {
+            hot_counts: Some(exec_counts),
+            ..SuperblockPolicy::default()
+        }
+    }
+}
+
 /// A program lowered to the micro-op form the dispatch loop executes: a
-/// dense array strictly 1:1 with `Program::code`, plus the `f64` constant
-/// pool. Immutable once built; cheap to share across trial machines via
-/// [`std::sync::Arc`] (the fault campaign decodes once per campaign).
+/// dense array strictly 1:1 with `Program::code`, the `f64` constant
+/// pool, and the superblock trace table. Immutable once built; cheap to
+/// share across trial machines via [`std::sync::Arc`] (the fault campaign
+/// decodes once per campaign).
 #[derive(Debug)]
 pub struct DecodedProgram {
     ops: Vec<MicroOp>,
     fpool: Vec<f64>,
     fused_pairs: usize,
+    /// Superblock descriptors; `sb_entry[pc]` holds `id + 1`.
+    superblocks: Vec<Superblock>,
+    /// Shared trace arena, indexed by [`Superblock::start`]/`len`.
+    sb_ops: Vec<SuperOp>,
+    /// Per-instruction superblock entry map: `0` = no trace starts here,
+    /// else the superblock id plus one. Only basic-block entry points are
+    /// ever non-zero.
+    sb_entry: Vec<u32>,
 }
 
 impl DecodedProgram {
-    /// Lowers `program` (decode pass + fusion pass; one linear scan each).
+    /// Lowers `program` with the default [`SuperblockPolicy`] (decode pass
+    /// + fusion pass + CFG-derived superblock pass).
     #[must_use]
     pub fn new(program: &Program) -> Self {
+        Self::with_policy(program, &SuperblockPolicy::default())
+    }
+
+    /// Lowers `program` with an explicit superblock policy.
+    #[must_use]
+    pub fn with_policy(program: &Program, policy: &SuperblockPolicy) -> Self {
         let mut fpool = Vec::new();
         let mut ops: Vec<MicroOp> = program
             .code
@@ -264,10 +433,14 @@ impl DecodedProgram {
                 fused_pairs += 1;
             }
         }
+        let (superblocks, sb_ops, sb_entry) = build_superblocks(program, &ops, policy);
         DecodedProgram {
             ops,
             fpool,
             fused_pairs,
+            superblocks,
+            sb_ops,
+            sb_entry,
         }
     }
 
@@ -289,12 +462,231 @@ impl DecodedProgram {
         self.fused_pairs
     }
 
+    /// Number of superblock trace bodies (diagnostics and benches).
+    #[must_use]
+    pub fn superblock_count(&self) -> usize {
+        self.superblocks.len()
+    }
+
+    /// Total micro-ops across all superblock traces (diagnostics; traces
+    /// overlap, so this can exceed [`DecodedProgram::len`]).
+    #[must_use]
+    pub fn superblock_ops(&self) -> usize {
+        self.sb_ops.len()
+    }
+
     pub(crate) fn ops(&self) -> &[MicroOp] {
         &self.ops
     }
 
     pub(crate) fn fpool(&self) -> &[f64] {
         &self.fpool
+    }
+
+    pub(crate) fn superblocks(&self) -> &[Superblock] {
+        &self.superblocks
+    }
+
+    pub(crate) fn sb_ops(&self) -> &[SuperOp] {
+        &self.sb_ops
+    }
+
+    pub(crate) fn sb_entry(&self) -> &[u32] {
+        &self.sb_entry
+    }
+}
+
+/// The superblock pass: walks the [`Cfg`] and lays out one straight-line
+/// trace per profitable basic-block entry. Traces follow fall-through
+/// edges and unconditional jumps, embed conditional branches as side
+/// exits, trace **through calls** into the callee (laying the call site's
+/// return point after the callee's `jr`, so a well-behaved return
+/// continues in-trace — the dispatch loop's dynamic-target comparison
+/// side-exits if the return address was corrupted), and stop at indirect
+/// jumps with no pending return point, halts, code end, the length cap, or
+/// the first revisited block (which bounds every trace even for `j self`
+/// loops).
+#[allow(clippy::cast_possible_truncation)]
+fn build_superblocks(
+    program: &Program,
+    ops: &[MicroOp],
+    policy: &SuperblockPolicy,
+) -> (Vec<Superblock>, Vec<SuperOp>, Vec<u32>) {
+    let n = ops.len();
+    let mut sb_entry = vec![0u32; n];
+    if !policy.enable || n == 0 {
+        return (Vec::new(), Vec::new(), sb_entry);
+    }
+    let cfg = Cfg::build(program);
+    let min_len = policy.min_len.max(1);
+    let mut superblocks: Vec<Superblock> = Vec::new();
+    let mut sb_ops: Vec<SuperOp> = Vec::new();
+    // Generation-stamped visited set: `visited[b] == seed` means block `b`
+    // is already part of the trace currently being built.
+    let mut visited = vec![usize::MAX; cfg.len()];
+    let mut trace: Vec<(MicroOp, u32)> = Vec::with_capacity(policy.max_len);
+    for seed in 0..cfg.len() {
+        let entry = cfg.blocks[seed].start;
+        if let Some(counts) = &policy.hot_counts {
+            if counts.get(entry).copied().unwrap_or(0) < policy.hot_threshold {
+                continue;
+            }
+        }
+        trace.clear();
+        let mut cur = seed;
+        // Return points of calls traced through, innermost last: when the
+        // callee's `jr` retires, the trace resumes at the block after the
+        // call site (the dispatch loop verifies the dynamic target).
+        let mut ret_stack: Vec<usize> = Vec::new();
+        'trace: while visited[cur] != seed {
+            visited[cur] = seed;
+            let block = &cfg.blocks[cur];
+            for (i, &op) in ops.iter().enumerate().take(block.end).skip(block.start) {
+                if trace.len() >= policy.max_len {
+                    break 'trace;
+                }
+                trace.push((op, i as u32));
+            }
+            let last = block.end - 1;
+            cur = match program.code[last].branch_kind() {
+                // Straight-line and not-taken conditional paths continue
+                // at the textual successor block.
+                BranchKind::FallThrough | BranchKind::Conditional { .. } => {
+                    match cfg.fallthrough_succ(cur, program) {
+                        Some(next) => next,
+                        None => break 'trace,
+                    }
+                }
+                // Unconditional jumps are traced through: the jump retires
+                // inside the trace and execution continues at its target.
+                BranchKind::Jump { .. } => match cfg.static_target_succ(cur, program) {
+                    Some(next) => next,
+                    None => break 'trace,
+                },
+                // Calls are traced into the callee; remember where a
+                // matching return should resume.
+                BranchKind::Call { .. } => {
+                    if last + 1 < n {
+                        ret_stack.push(cfg.block_of(last + 1));
+                    }
+                    match cfg.static_target_succ(cur, program) {
+                        Some(next) => next,
+                        None => break 'trace,
+                    }
+                }
+                // An indirect jump closes the innermost traced call (the
+                // guest's return idiom); with no pending call it ends the
+                // trace.
+                BranchKind::Indirect => match ret_stack.pop() {
+                    Some(next) => next,
+                    None => break 'trace,
+                },
+                BranchKind::Halt => break 'trace,
+            };
+        }
+        if trace.len() < min_len {
+            continue;
+        }
+        let start = sb_ops.len();
+        pair_trace(&trace, &mut sb_ops);
+        // Sequential-continuation post-pass: an element's `op.fuse` is set
+        // iff the next element resumes at this element's last instruction
+        // plus one, so fall-through retirements continue in-trace without
+        // an index comparison. The final element always exits.
+        for k in start..sb_ops.len() {
+            let seq = sb_ops
+                .get(k + 1)
+                .is_some_and(|next| next.at == sb_ops[k].last_at() + 1);
+            sb_ops[k].op.fuse = u8::from(seq);
+        }
+        let id = u32::try_from(superblocks.len()).expect("superblock count fits u32");
+        superblocks.push(Superblock {
+            start: u32::try_from(start).expect("trace arena fits u32"),
+            elems: (sb_ops.len() - start) as u32,
+            instrs: trace.len() as u32,
+        });
+        sb_entry[entry] = id + 1;
+    }
+    (superblocks, sb_ops, sb_entry)
+}
+
+/// Whether a micro-op is an integer ALU form (register-register or
+/// register-immediate; the first 32 discriminants).
+fn is_alu(op: MOp) -> bool {
+    (op as u8) < 32
+}
+
+/// Whether a micro-op is an integer load.
+fn is_load(op: MOp) -> bool {
+    matches!(op, MOp::Lb | MOp::Lbu | MOp::Lh | MOp::Lhu | MOp::Lw)
+}
+
+/// Whether a micro-op is a conditional branch.
+fn is_branch(op: MOp) -> bool {
+    matches!(
+        op,
+        MOp::Beq | MOp::Bne | MOp::Blt | MOp::Bge | MOp::Bltu | MOp::Bgeu
+    )
+}
+
+/// Normalizes `li rd, imm` to `addi rd, $zero, imm` so the generic ALU
+/// combo arms cover it (reading `$zero` yields 0, so the result is `imm`
+/// bit-for-bit, and the writeback path is identical).
+fn alu_normalized(m: MicroOp) -> Option<MicroOp> {
+    if is_alu(m.op) {
+        Some(m)
+    } else if m.op == MOp::Li {
+        Some(MicroOp {
+            op: MOp::AddRI,
+            b: 0,
+            ..m
+        })
+    } else {
+        None
+    }
+}
+
+/// The pairing pass: greedily fuses adjacent *sequential* trace
+/// instructions into combo elements (ALU/ALU, ALU/load, load/ALU,
+/// ALU/branch — the four classes that dominate the dynamic stream),
+/// halving dispatches on covered pairs. Non-sequential neighbors (laid
+/// across a traced-through jump) and uncovered shapes stay single.
+fn pair_trace(trace: &[(MicroOp, u32)], sb_ops: &mut Vec<SuperOp>) {
+    let single = |m: MicroOp, at: u32| {
+        let mut pad = MicroOp::new(MOp::Nop);
+        pad.fuse = COMBO_NONE;
+        SuperOp {
+            op: m,
+            at,
+            op2: pad,
+            at2: at,
+        }
+    };
+    let mut k = 0;
+    while k < trace.len() {
+        let (m1, at1) = trace[k];
+        let next = trace.get(k + 1).filter(|&&(_, at2)| at2 == at1 + 1);
+        let combo = next.and_then(|&(m2, at2)| {
+            let pair = match (alu_normalized(m1), alu_normalized(m2)) {
+                (Some(a1), Some(a2)) => (COMBO_ALU_ALU, a1, a2),
+                (Some(a1), None) if is_load(m2.op) => (COMBO_ALU_LOAD, a1, m2),
+                (Some(a1), None) if is_branch(m2.op) => (COMBO_ALU_BRANCH, a1, m2),
+                (None, Some(a2)) if is_load(m1.op) => (COMBO_LOAD_ALU, m1, a2),
+                _ => return None,
+            };
+            Some((pair, at2))
+        });
+        match combo {
+            Some(((tag, op, mut op2), at2)) => {
+                op2.fuse = tag;
+                sb_ops.push(SuperOp { op, at: at1, op2, at2 });
+                k += 2;
+            }
+            None => {
+                sb_ops.push(single(m1, at1));
+                k += 1;
+            }
+        }
     }
 }
 
@@ -514,6 +906,224 @@ mod tests {
         let flags: Vec<u8> = d.ops().iter().map(|m| m.fuse).collect();
         assert_eq!(flags, [1, 1, 1, 1, 0, 1, 0]);
         assert_eq!(d.fused_pairs(), 5);
+    }
+
+    #[test]
+    fn superblocks_cover_block_entries_only() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 3); //  0: block entry (program entry)
+        a.label("loop");
+        a.addi(reg::T0, reg::T0, -1); //  1: block entry (branch target)
+        a.bnez(reg::T0, "loop"); //  2
+        a.halt(); //  3: block entry (after branch)
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::default()
+            },
+        );
+        assert!(d.superblock_count() >= 2);
+        // Entries only at leaders: 0, 1, 3.
+        let entries: Vec<usize> = (0..d.len())
+            .filter(|&i| d.sb_entry()[i] != 0)
+            .collect();
+        assert!(entries.contains(&0));
+        assert!(entries.contains(&1));
+        assert!(!entries.contains(&2), "mid-block pc is never a trace entry");
+    }
+
+    #[test]
+    fn traces_follow_jumps_and_stop_on_cycles() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 1); // 0
+        a.j("tail"); // 1: traced through
+        a.label("dead");
+        a.nop(); // 2
+        a.label("tail");
+        a.addi(reg::T0, reg::T0, 1); // 3
+        a.halt(); // 4
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::default()
+            },
+        );
+        // The trace from instruction 0 follows the jump into `tail` and
+        // ends at the halt: instructions {0, 1, 3, 4}.
+        let id = d.sb_entry()[0];
+        assert!(id != 0, "entry block earns a trace");
+        let info = d.superblocks()[(id - 1) as usize];
+        assert_eq!(info.instrs, 4);
+        let ats: Vec<u32> = d.sb_ops()[info.start as usize..(info.start + info.elems) as usize]
+            .iter()
+            .flat_map(|s| {
+                if s.op2.fuse == COMBO_NONE {
+                    vec![s.at]
+                } else {
+                    vec![s.at, s.at2]
+                }
+            })
+            .collect();
+        assert_eq!(ats, [0, 1, 3, 4]);
+
+        // A self-loop cannot trace forever.
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.label("spin");
+        a.j("spin");
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::default()
+            },
+        );
+        assert!(d.superblock_count() <= 1);
+        assert!(d.superblock_ops() <= 1);
+    }
+
+    #[test]
+    fn traces_follow_calls_and_returns() {
+        let mut a = certa_asm::Asm::new();
+        a.func("sq", false);
+        a.mul(reg::V0, reg::A0, reg::A0); // 0
+        a.ret(); // 1
+        a.endfunc();
+        a.func("main", false);
+        a.li(reg::A0, 4); // 2 (entry)
+        a.call("sq"); // 3
+        a.halt(); // 4
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::default()
+            },
+        );
+        let id = d.sb_entry()[2];
+        assert!(id != 0);
+        let info = d.superblocks()[(id - 1) as usize];
+        // li, call, callee mul, callee ret, then the return point (halt).
+        assert_eq!(info.instrs, 5);
+        let first = d.sb_ops()[info.start as usize];
+        assert_eq!(first.at, 2);
+    }
+
+    #[test]
+    fn pairing_covers_alu_chains_and_normalizes_li() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 7); // 0: li -> AddRI against $zero
+        a.addi(reg::T0, reg::T0, 1); // 1
+        a.add(reg::T1, reg::T0, reg::T0); // 2
+        a.sub(reg::T1, reg::T1, reg::T0); // 3
+        a.halt(); // 4
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::default()
+            },
+        );
+        let id = d.sb_entry()[0];
+        let info = d.superblocks()[(id - 1) as usize];
+        assert_eq!(info.instrs, 5);
+        // Four ALU-class ops pair into two combo elements, plus the halt.
+        assert_eq!(info.elems, 3);
+        let body = &d.sb_ops()[info.start as usize..(info.start + info.elems) as usize];
+        assert_eq!(body[0].op2.fuse, COMBO_ALU_ALU);
+        assert_eq!(body[0].op.op, MOp::AddRI, "li normalized to addi-from-zero");
+        assert_eq!(body[0].op.b, 0);
+        assert_eq!(body[1].op2.fuse, COMBO_ALU_ALU);
+        assert_eq!(body[2].op2.fuse, COMBO_NONE);
+    }
+
+    #[test]
+    fn disabled_policy_builds_no_superblocks() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 1);
+        a.addi(reg::T0, reg::T0, 1);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(&p, &SuperblockPolicy::disabled());
+        assert_eq!(d.superblock_count(), 0);
+        assert!(d.sb_entry().iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn seeded_policy_skips_cold_blocks() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.li(reg::T0, 1); // 0: hot
+        a.addi(reg::T0, reg::T0, 1); // 1
+        a.beqz(reg::T0, "cold"); // 2
+        a.halt(); // 3
+        a.label("cold");
+        a.nop(); // 4: never executed in the golden run
+        a.nop(); // 5
+        a.halt(); // 6
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let mut counts = vec![1u64; p.code.len()];
+        counts[4] = 0;
+        counts[5] = 0;
+        counts[6] = 0;
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::seeded(counts)
+            },
+        );
+        assert!(d.sb_entry()[0] != 0, "hot entry gets a trace");
+        assert_eq!(d.sb_entry()[4], 0, "cold block is skipped");
+    }
+
+    #[test]
+    fn sequential_flags_reflect_layout() {
+        let mut a = certa_asm::Asm::new();
+        a.func("main", false);
+        a.fli(reg::F0, 1.0); // 0 (float: never paired)
+        a.fli(reg::F1, 2.0); // 1
+        a.j("next"); // 2: traced through — non-sequential continuation
+        a.label("dead");
+        a.nop(); // 3
+        a.label("next");
+        a.fli(reg::F2, 3.0); // 4
+        a.halt(); // 5
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let d = DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy {
+                min_len: 1,
+                ..SuperblockPolicy::default()
+            },
+        );
+        let id = d.sb_entry()[0];
+        let info = d.superblocks()[(id - 1) as usize];
+        let body = &d.sb_ops()[info.start as usize..(info.start + info.elems) as usize];
+        // 0 -> 1 sequential; 1 -> 2 sequential; 2 (jump) -> 4 is NOT
+        // sequential (the jump continues via the dynamic-target rule);
+        // 4 -> 5 sequential; 5 (halt) terminal.
+        let flags: Vec<u8> = body.iter().map(|s| s.op.fuse).collect();
+        assert_eq!(flags, [1, 1, 0, 1, 0]);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!
 //! ## Execution pipeline
 //!
-//! Execution is a three-stage pipeline: **decode → fuse → dispatch**.
+//! Lowering is a four-stage pipeline — **decode → fuse → superblock →
+//! dispatch** — producing three runtime execution tiers (reference
+//! tree-walker, fused micro-op dispatch, superblock traces); see
+//! `ARCHITECTURE.md` at the workspace root for the full picture.
 //!
 //! 1. **Decode** ([`DecodedProgram::new`]): the [`certa_isa::Instr`] stream
 //!    is lowered once per program into a dense micro-op array — register
@@ -36,23 +39,41 @@
 //!    dispatch loop retires its successor in the same iteration. This
 //!    covers the assembler's common idioms — compare + branch, address
 //!    compute + load/store, `li` + ALU — on every loop iteration.
-//! 3. **Dispatch** ([`Machine::run`], [`Machine::run_until`]): one flat
-//!    match over micro-ops, monomorphized over const-generic `PROFILE` and
+//! 3. **Superblock** ([`SuperblockPolicy`]): a control-flow graph
+//!    ([`certa_core::Cfg`]) of the program drives a trace pass — each
+//!    profitable basic-block entry gets a straight-line run of micro-ops
+//!    following fall-through edges, unconditional jumps, and static
+//!    call/return linkage, with conditional branches embedded as side-exit
+//!    guards and adjacent ALU/load/branch ops paired into single-dispatch
+//!    combo elements. The policy picks entries by static trace length or
+//!    seeded with a profiled run's `exec_counts` (the fault campaign seeds
+//!    trial machines with the golden run's counts).
+//! 4. **Dispatch** ([`Machine::run`], [`Machine::run_until`]): trace
+//!    bodies execute with watchdog/pause checks hoisted to trace
+//!    boundaries; everything else goes through the flat fused per-op
+//!    match. Both are monomorphized over const-generic `PROFILE` and
 //!    `BOUNDED` flags so unprofiled, unbounded runs carry zero
-//!    per-instruction overhead for profiling or pause targets.
+//!    per-instruction overhead for profiling or pause targets. A `pc`
+//!    that is not a trace entry (e.g. resuming from a snapshot taken
+//!    mid-trace) simply dispatches per-op until control reaches one.
 //!
-//! **Invariants fusion must preserve** (enforced by the workspace
-//! differential suite in `tests/differential.rs`):
+//! **Invariants fusion and superblocks must preserve** (enforced by the
+//! workspace differential suite in `tests/differential.rs`, including a
+//! seeded random-program generator):
 //!
-//! * both halves of a pair bump `icount` and per-instruction
-//!   [`Machine::exec_counts`] individually — fused execution is invisible
-//!   in every profile;
-//! * every intermediate writeback, including the head's, flows through the
-//!   [`WritebackHook`], so fault-injection sites are identical to
-//!   unfused execution;
-//! * a pair never straddles a watchdog or [`Machine::run_until`] boundary —
-//!   near a boundary the head executes alone — so bounded runs pause at
-//!   exactly the requested instruction count.
+//! * every instruction bumps `icount` and per-instruction
+//!   [`Machine::exec_counts`] individually — fused pairs, combo elements,
+//!   and traces are invisible in every profile;
+//! * every intermediate writeback flows through the [`WritebackHook`]
+//!   with its own instruction index, in program order, so fault-injection
+//!   sites are identical across tiers;
+//! * neither a fused pair nor a trace ever straddles a watchdog or
+//!   [`Machine::run_until`] boundary — near a boundary execution falls
+//!   back to single ops — so bounded runs pause at exactly the requested
+//!   instruction count;
+//! * crashes report the faulting instruction's `pc` and count it exactly
+//!   as the reference interpreter does, wherever inside a trace or pair
+//!   they strike.
 //!
 //! The original tree-walking interpreter survives as
 //! [`Machine::run_reference`] / [`Machine::run_until_reference`]: the
@@ -111,7 +132,7 @@
 mod decode;
 mod machine;
 
-pub use decode::DecodedProgram;
+pub use decode::{DecodedProgram, SuperblockPolicy};
 pub use machine::{
     BoundedRun, CrashKind, Machine, MachineConfig, MachineError, MemError, NoHook, Outcome,
     RunResult, Snapshot, WritebackHook,

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use certa_asm::DATA_BASE;
 use certa_isa::{reg, AluOp, FpuOp, FReg, Instr, MemWidth, Program, Reg};
 
-use crate::decode::{DecodedProgram, MOp, MicroOp};
+use crate::decode::{DecodedProgram, MOp, MicroOp, SuperOp};
 
 /// Granularity of dirty-memory tracking: one bit per 4 KiB page. Guest
 /// accesses are aligned and at most 8 bytes, so a single access never
@@ -203,6 +203,12 @@ pub struct Snapshot {
     icount: u64,
     value_producing: u64,
     mem: Vec<u8>,
+    /// One 64-bit hash per [`PAGE_SIZE`] page of `mem`, computed at
+    /// snapshot time and shared by clones. [`Machine::state_eq`] uses
+    /// these to refute equality in O(pages-compared) without touching
+    /// page bytes: differing hashes prove differing content (equal hashes
+    /// prove nothing and fall back to an exact compare).
+    page_hashes: Arc<[u64]>,
 }
 
 impl Snapshot {
@@ -212,15 +218,77 @@ impl Snapshot {
         self.icount
     }
 
+    /// Snapshot identity (used by campaigns to key precomputed page diffs;
+    /// see [`Machine::restore_with_diff`]).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of [`PAGE_SIZE`] pages in the memory image.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.mem.len().div_ceil(PAGE_SIZE)
+    }
+
     /// Heap footprint in bytes for checkpoint budget accounting: the memory
-    /// image plus the inline state — both register files (integer and
-    /// floating-point), program counter, dynamic counters, and the id/Vec
-    /// bookkeeping — which `size_of::<Snapshot>()` covers because the
-    /// register files are stored inline, not boxed.
+    /// image, the per-page hash table, plus the inline state — both
+    /// register files (integer and floating-point), program counter,
+    /// dynamic counters, and the id/Vec bookkeeping — which
+    /// `size_of::<Snapshot>()` covers because the register files are
+    /// stored inline, not boxed.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.mem.len() + std::mem::size_of::<Snapshot>()
+        self.mem.len()
+            + self.page_hashes.len() * std::mem::size_of::<u64>()
+            + std::mem::size_of::<Snapshot>()
     }
+
+    /// Page indices on which `self` and `other` differ, byte-exactly
+    /// (page hashes are deliberately not consulted: a hash collision must
+    /// never hide a real difference, because campaigns feed this list to
+    /// [`Machine::restore_with_diff`] where missing a page would corrupt
+    /// the restore). Returns `None` when the images differ in size.
+    #[must_use]
+    pub fn diff_pages(&self, other: &Snapshot) -> Option<Vec<u32>> {
+        if self.mem.len() != other.mem.len() {
+            return None;
+        }
+        let mut pages = Vec::new();
+        for (page, (a, b)) in self
+            .mem
+            .chunks(PAGE_SIZE)
+            .zip(other.mem.chunks(PAGE_SIZE))
+            .enumerate()
+        {
+            if a != b {
+                pages.push(page as u32);
+            }
+        }
+        Some(pages)
+    }
+}
+
+/// Hashes one page of guest memory (any non-cryptographic mixer works:
+/// [`Machine::state_eq`] only ever uses hash *inequality* as evidence, so
+/// collisions cost a fallback comparison, never correctness).
+fn hash_page(bytes: &[u8]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ v).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        h ^= h >> 29;
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Per-page hashes for a full memory image.
+fn hash_pages(mem: &[u8]) -> Arc<[u64]> {
+    mem.chunks(PAGE_SIZE).map(hash_page).collect()
 }
 
 /// Error returned by the host-side memory access helpers.
@@ -291,6 +359,15 @@ pub struct Machine<'p> {
     /// with (0 = none): non-dirty pages are bit-identical to that snapshot,
     /// which is what makes dirty-page restore exact.
     base_snapshot: u64,
+    /// Per-page hashes of the base snapshot's memory (shared with it),
+    /// `None` when there is no base. Clean pages of this machine hash to
+    /// these values by the dirty-tracking invariant, which is what lets
+    /// [`Machine::state_eq`] refute cross-snapshot equality in
+    /// O(pages-compared) instead of O(memory).
+    base_hashes: Option<Arc<[u64]>>,
+    /// Instructions retired inside superblock traces (diagnostics: lets
+    /// benches and tests verify the superblock tier actually executed).
+    sb_retired: u64,
 }
 
 /// Control-flow effect of one executed micro-op.
@@ -373,6 +450,8 @@ impl<'p> Machine<'p> {
             max_instructions: config.max_instructions,
             dirty,
             base_snapshot: 0,
+            base_hashes: None,
+            sb_retired: 0,
         })
     }
 
@@ -453,6 +532,8 @@ impl<'p> Machine<'p> {
             max_instructions: config.max_instructions,
             dirty: vec![0u64; dirty_words(snapshot.mem.len())],
             base_snapshot: snapshot.id,
+            base_hashes: Some(Arc::clone(&snapshot.page_hashes)),
+            sb_retired: 0,
         })
     }
 
@@ -474,6 +555,7 @@ impl<'p> Machine<'p> {
             icount: self.icount,
             value_producing: self.value_producing,
             mem: self.mem.clone(),
+            page_hashes: hash_pages(&self.mem),
         }
     }
 
@@ -534,6 +616,7 @@ impl<'p> Machine<'p> {
         self.restore_registers(snapshot);
         self.mem.copy_from_slice(&snapshot.mem);
         self.base_snapshot = snapshot.id;
+        self.base_hashes = Some(Arc::clone(&snapshot.page_hashes));
         self.dirty.fill(0);
     }
 
@@ -567,10 +650,78 @@ impl<'p> Machine<'p> {
         self.dirty.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Id of the snapshot this machine's memory was last synchronized
+    /// with, or 0 when it has none (a freshly loaded machine). Campaigns
+    /// use this to pick a precomputed page diff for
+    /// [`Machine::restore_with_diff`].
+    #[must_use]
+    pub fn base_snapshot_id(&self) -> u64 {
+        self.base_snapshot
+    }
+
+    /// Restores `snapshot` using a precomputed page diff against the
+    /// machine's current base snapshot: instead of the whole-image copy a
+    /// cross-snapshot [`Machine::restore`] would make, only the pages
+    /// dirtied since the last restore point **plus** `changed_pages` are
+    /// copied. The fault campaign precomputes diffs between adjacent
+    /// golden checkpoints so checkpoint-hopping restores are page-granular
+    /// too.
+    ///
+    /// **Contract:** `changed_pages` must include every page on which the
+    /// machine's current base snapshot (see
+    /// [`Machine::base_snapshot_id`]) and `snapshot` differ — e.g. the
+    /// union of adjacent [`Snapshot::diff_pages`] lists along the hop.
+    /// Every other page is clean (bit-identical to the base, hence to
+    /// `snapshot`) or dirty (copied here). Out-of-range page indices are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemSizeMismatch`] if the snapshot's memory
+    /// image differs in size from this machine's memory.
+    pub fn restore_with_diff(
+        &mut self,
+        snapshot: &Snapshot,
+        changed_pages: &[u32],
+    ) -> Result<(), MachineError> {
+        if snapshot.mem.len() != self.mem.len() {
+            return Err(MachineError::MemSizeMismatch {
+                snapshot: snapshot.mem.len(),
+                machine: self.mem.len(),
+            });
+        }
+        self.restore_registers(snapshot);
+        self.copy_dirty_pages_from(&snapshot.mem);
+        for &page in changed_pages {
+            let start = page as usize * PAGE_SIZE;
+            if start >= snapshot.mem.len() {
+                continue;
+            }
+            let end = (start + PAGE_SIZE).min(snapshot.mem.len());
+            self.mem[start..end].copy_from_slice(&snapshot.mem[start..end]);
+        }
+        self.base_snapshot = snapshot.id;
+        self.base_hashes = Some(Arc::clone(&snapshot.page_hashes));
+        Ok(())
+    }
+
     /// Whether this machine's architectural state is bit-identical to
     /// `snapshot` (floats compared by bit pattern, so NaNs compare
     /// faithfully). Cheap fields are compared first so divergent states
-    /// usually return `false` without touching the memory image.
+    /// usually return `false` without touching the memory image, and the
+    /// memory comparison exploits dirty-page tracking:
+    ///
+    /// * against the machine's own base snapshot, only dirty pages are
+    ///   compared (exact, O(dirty pages));
+    /// * against any other snapshot, per-page hashes refute inequality
+    ///   first — clean pages by comparing the base's and the snapshot's
+    ///   stored hashes, dirty pages by hashing current content — and only
+    ///   when no hash disagrees (the rare "probably reconverged" case)
+    ///   does an exact full comparison confirm.
+    ///
+    /// This is what makes the campaign's reconvergence probe cheap: the
+    /// common not-yet-reconverged answer costs O(dirty pages), not
+    /// O(memory).
     #[must_use]
     pub fn state_eq(&self, snapshot: &Snapshot) -> bool {
         self.icount == snapshot.icount
@@ -582,7 +733,62 @@ impl<'p> Machine<'p> {
                 .iter()
                 .zip(&snapshot.fregs)
                 .all(|(a, b)| a.to_bits() == b.to_bits())
-            && self.mem == snapshot.mem
+            && self.mem_eq(snapshot)
+    }
+
+    /// Memory comparison half of [`Machine::state_eq`].
+    fn mem_eq(&self, snapshot: &Snapshot) -> bool {
+        if snapshot.mem.len() != self.mem.len() {
+            return false;
+        }
+        if self.base_snapshot == snapshot.id {
+            // Clean pages are bit-identical to this very snapshot by the
+            // dirty-tracking invariant: comparing dirty pages is exact.
+            return self.dirty_pages_match(snapshot);
+        }
+        if let Some(base_hashes) = &self.base_hashes {
+            if base_hashes.len() == snapshot.page_hashes.len() {
+                // Fast refutation: a differing hash proves differing
+                // content (clean pages hash to the base snapshot's value).
+                for (page, (&bh, &sh)) in base_hashes
+                    .iter()
+                    .zip(snapshot.page_hashes.iter())
+                    .enumerate()
+                {
+                    let dirty = self.dirty[page >> 6] & (1 << (page & 63)) != 0;
+                    if dirty {
+                        let start = page * PAGE_SIZE;
+                        let end = (start + PAGE_SIZE).min(self.mem.len());
+                        if hash_page(&self.mem[start..end]) != sh {
+                            return false;
+                        }
+                    } else if bh != sh {
+                        return false;
+                    }
+                }
+                // No hash disagrees: confirm exactly (hash equality is
+                // evidence, not proof).
+                return self.mem == snapshot.mem;
+            }
+        }
+        self.mem == snapshot.mem
+    }
+
+    /// Exact comparison of this machine's dirty pages against `snapshot`.
+    fn dirty_pages_match(&self, snapshot: &Snapshot) -> bool {
+        for (w, &word) in self.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let page = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let start = page * PAGE_SIZE;
+                let end = (start + PAGE_SIZE).min(self.mem.len());
+                if self.mem[start..end] != snapshot.mem[start..end] {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Current value of an integer register.
@@ -615,6 +821,14 @@ impl<'p> Machine<'p> {
     #[must_use]
     pub fn exec_counts(&self) -> &[u64] {
         &self.exec_counts
+    }
+
+    /// Dynamic instructions retired inside superblock traces so far —
+    /// the superblock tier's coverage of this machine's execution
+    /// (diagnostics; compare with [`Machine::instructions`]).
+    #[must_use]
+    pub fn superblock_instructions(&self) -> u64 {
+        self.sb_retired
     }
 
     // ------------------------------------------------------------------
@@ -815,6 +1029,9 @@ impl<'p> Machine<'p> {
         let decoded = Arc::clone(&self.decoded);
         let ops = decoded.ops();
         let fpool = decoded.fpool();
+        let superblocks = decoded.superblocks();
+        let sb_ops = decoded.sb_ops();
+        let sb_entry = decoded.sb_entry();
         // The nearest instruction-count boundary at which dispatch must
         // re-check before executing: a fused pair may only retire its
         // second half when that half's pre-execution checks would pass.
@@ -848,6 +1065,51 @@ impl<'p> Machine<'p> {
                     break Some(Outcome::Crashed(CrashKind::PcOutOfRange { pc }));
                 }
                 let at = pc as usize;
+                // Superblock tier: when a trace starts at `pc` and retiring
+                // its full length cannot cross the pause/watchdog boundary,
+                // execute the whole straight-line body with per-instruction
+                // fetch/bounds/watchdog checks hoisted out. Near a boundary
+                // (or at a mid-trace pc, e.g. after a snapshot restore) the
+                // fused per-op tier below handles the instruction instead.
+                let sb = sb_entry[at];
+                if sb != 0 {
+                    let info = superblocks[(sb - 1) as usize];
+                    if icount + u64::from(info.instrs) <= stop {
+                        let body = &sb_ops
+                            [info.start as usize..info.start as usize + info.elems as usize];
+                        match run_superblock::<H, PROFILE>(
+                            regs,
+                            fregs,
+                            mem,
+                            dirty,
+                            exec_counts,
+                            &mut vp,
+                            hook,
+                            body,
+                            fpool,
+                        ) {
+                            SbExit::Continue {
+                                executed,
+                                next_pc,
+                            } => {
+                                icount += executed;
+                                self.sb_retired += executed;
+                                pc = next_pc;
+                                continue;
+                            }
+                            SbExit::Done {
+                                executed,
+                                final_pc,
+                                outcome,
+                            } => {
+                                icount += executed;
+                                self.sb_retired += executed;
+                                pc = final_pc;
+                                break Some(outcome);
+                            }
+                        }
+                    }
+                }
                 let m = ops[at];
                 icount += 1;
                 if PROFILE {
@@ -1182,6 +1444,249 @@ fn wfloat<H: WritebackHook>(
     *vp += 1;
     let v = hook.float_writeback(at, v);
     fregs[(fd & 31) as usize] = v;
+}
+
+/// How one pass through a superblock trace ended.
+enum SbExit {
+    /// The trace was left at an instruction boundary (full fall-out, side
+    /// exit, or internal transfer leaving the trace): `executed`
+    /// instructions retired and control continues at `next_pc`.
+    Continue {
+        /// Instructions retired by this pass.
+        executed: u64,
+        /// Program counter to continue dispatch at.
+        next_pc: u64,
+    },
+    /// The run finished inside the trace (halt or crash).
+    Done {
+        /// Instructions retired by this pass (including the final one).
+        executed: u64,
+        /// Architectural `pc` of the halting/faulting instruction, exactly
+        /// as the per-op tiers would leave it.
+        final_pc: u64,
+        /// How the run ended.
+        outcome: Outcome,
+    },
+}
+
+/// Evaluates the ALU half of a combo element: the micro-op is one of the
+/// 32 ALU discriminants (register-register below 16, register-immediate
+/// from 16, each block in [`AluOp::ALL`] order — pinned by a decode test),
+/// so the operation and operand-2 source fall out of the discriminant.
+#[inline(always)]
+fn alu_flat(regs: &[u32; 32], m: MicroOp) -> u32 {
+    let d = m.op as u8;
+    let lhs = regs[(m.b & 31) as usize];
+    let rhs = if d < 16 {
+        regs[(m.c & 31) as usize]
+    } else {
+        m.imm as u32
+    };
+    eval_alu(AluOp::ALL[(d & 15) as usize], lhs, rhs)
+}
+
+/// Evaluates the load half of a combo element.
+#[inline(always)]
+fn load_flat(mem: &[u8], addr: u32, op: MOp) -> Result<u32, CrashKind> {
+    match op {
+        MOp::Lb => load_mem(mem, addr, MemWidth::Byte, true),
+        MOp::Lbu => load_mem(mem, addr, MemWidth::Byte, false),
+        MOp::Lh => load_mem(mem, addr, MemWidth::Half, true),
+        MOp::Lhu => load_mem(mem, addr, MemWidth::Half, false),
+        _ => load_mem(mem, addr, MemWidth::Word, false),
+    }
+}
+
+/// Evaluates the conditional-branch half of a combo element.
+#[inline(always)]
+fn branch_flat(op: MOp, a: u32, b: u32) -> bool {
+    match op {
+        MOp::Beq => a == b,
+        MOp::Bne => a != b,
+        MOp::Blt => (a as i32) < (b as i32),
+        MOp::Bge => (a as i32) >= (b as i32),
+        MOp::Bltu => a < b,
+        _ => a >= b,
+    }
+}
+
+/// Executes one superblock trace to its first exit. The caller has already
+/// proven the full trace (in instructions) fits below the watchdog/pause
+/// boundary, so the body runs with no per-instruction fetch, bounds, or
+/// boundary checks — only the element dispatch itself, plus `exec_counts`
+/// updates when `PROFILE` (profiling indices must stay exact per
+/// instruction). Combo elements retire two instructions per dispatch,
+/// with both halves individually counted, hooked, and crash-precise.
+///
+/// Continuation rules (see [`SuperOp`]):
+///
+/// * a fall-through retirement stays in-trace iff the element's
+///   sequential flag is set (the builder proved the next element resumes
+///   at the element's last instruction plus one), with no index
+///   comparison at all;
+/// * a transfer stays in-trace iff the next element's `at` equals the
+///   dynamic target — true for traced-through jumps, calls, and honest
+///   returns; false for side exits and corrupted return addresses.
+///
+/// Exits reconstruct the architectural `pc` from the element's original
+/// instruction indices.
+///
+/// Deliberately *not* inlined into the dispatch loop: trace entries are
+/// amortized over whole traces, and a standalone symbol keeps the trace
+/// executor's code layout independent of the outer loop's (interpreter
+/// throughput is notoriously alignment-sensitive).
+#[inline(never)]
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_superblock<H: WritebackHook, const PROFILE: bool>(
+    regs: &mut [u32; 32],
+    fregs: &mut [f64; 32],
+    mem: &mut [u8],
+    dirty: &mut [u64],
+    exec_counts: &mut [u64],
+    vp: &mut u64,
+    hook: &mut H,
+    body: &[SuperOp],
+    fpool: &[f64],
+) -> SbExit {
+    use crate::decode::{COMBO_ALU_ALU, COMBO_ALU_LOAD, COMBO_LOAD_ALU, COMBO_NONE};
+    let mut i = 0usize;
+    let mut retired = 0u64;
+    macro_rules! exit_seq {
+        ($s:expr, $last_at:expr) => {{
+            if $s.op.fuse == 0 {
+                // Sequential flag clear: the next element (if any) does
+                // not resume at `last_at + 1` — leave the trace.
+                return SbExit::Continue {
+                    executed: retired,
+                    next_pc: u64::from($last_at) + 1,
+                };
+            }
+            i += 1;
+        }};
+    }
+    macro_rules! exit_jump {
+        ($t:expr) => {{
+            let t = $t;
+            i += 1;
+            if i == body.len() || u64::from(body[i].at) != t {
+                return SbExit::Continue {
+                    executed: retired,
+                    next_pc: t,
+                };
+            }
+        }};
+    }
+    /// One trace element (single or combo pair): each expansion is a
+    /// distinct set of inlined dispatch sites, and the loop body expands
+    /// it four times so consecutive elements rotate across four
+    /// branch-predictor sites — the same courtesy the fused tier gets
+    /// from its head/successor split, doubled (measured best at 4 on the
+    /// dev box; 6 regresses on i-cache).
+    macro_rules! element {
+        () => {{
+        let s = body[i];
+        let combo = s.op2.fuse;
+        if combo == COMBO_NONE {
+            retired += 1;
+            if PROFILE {
+                exec_counts[s.at as usize] += 1;
+            }
+            match exec_op(regs, fregs, mem, dirty, vp, hook, s.at as usize, s.op, fpool) {
+                Step::Next => exit_seq!(s, s.at),
+                Step::Jump(t) => exit_jump!(t),
+                Step::Halt => {
+                    return SbExit::Done {
+                        executed: retired,
+                        final_pc: u64::from(s.at),
+                        outcome: Outcome::Halted,
+                    }
+                }
+                Step::Crash(kind) => {
+                    return SbExit::Done {
+                        executed: retired,
+                        final_pc: u64::from(s.at),
+                        outcome: Outcome::Crashed(kind),
+                    }
+                }
+            }
+        } else {
+        // Combo pair: one dispatch, two architecturally distinct
+        // retirements (separate icount/profile/hook events per half).
+        retired += 2;
+        if PROFILE {
+            exec_counts[s.at as usize] += 1;
+            exec_counts[s.at2 as usize] += 1;
+        }
+        match combo {
+            COMBO_ALU_ALU => {
+                let v1 = alu_flat(regs, s.op);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = alu_flat(regs, s.op2);
+                wint(regs, vp, hook, s.at2 as usize, s.op2.a, v2);
+                exit_seq!(s, s.at2);
+            }
+            COMBO_ALU_LOAD => {
+                let v1 = alu_flat(regs, s.op);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let addr = regs[(s.op2.b & 31) as usize].wrapping_add(s.op2.imm as u32);
+                match load_flat(mem, addr, s.op2.op) {
+                    Ok(v) => {
+                        wint(regs, vp, hook, s.at2 as usize, s.op2.a, v);
+                        exit_seq!(s, s.at2);
+                    }
+                    Err(kind) => {
+                        return SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            COMBO_LOAD_ALU => {
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_flat(mem, addr, s.op.op) {
+                    Ok(v) => wint(regs, vp, hook, s.at as usize, s.op.a, v),
+                    Err(kind) => {
+                        // The first half crashed: the second never
+                        // executed (and must not be counted).
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        return SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v2 = alu_flat(regs, s.op2);
+                wint(regs, vp, hook, s.at2 as usize, s.op2.a, v2);
+                exit_seq!(s, s.at2);
+            }
+            _ => {
+                // COMBO_ALU_BRANCH
+                let v1 = alu_flat(regs, s.op);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let a = regs[(s.op2.a & 31) as usize];
+                let b = regs[(s.op2.b & 31) as usize];
+                if branch_flat(s.op2.op, a, b) {
+                    exit_jump!(u64::from(s.op2.imm as u32));
+                } else {
+                    exit_seq!(s, s.at2);
+                }
+            }
+        }
+        }
+        }};
+    }
+    loop {
+        element!();
+        element!();
+        element!();
+        element!();
+    }
 }
 
 /// Executes one micro-op and reports its control-flow effect: one flat
@@ -2378,5 +2883,181 @@ mod pipeline_tests {
         let mut owned = Machine::new(&p, &config);
         assert_eq!(shared.run_simple(), owned.run_simple());
         assert!(Arc::ptr_eq(shared.decoded_program(), &decoded));
+    }
+
+    #[test]
+    fn diff_pages_is_byte_exact_and_symmetric() {
+        let p = mixed_program();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let a = m.snapshot();
+        m.write_bytes(DATA_BASE, &[1; 10]).unwrap();
+        m.write_bytes(DATA_BASE + 3 * 4096, &[2; 4097]).unwrap();
+        let b = m.snapshot();
+        let diff = a.diff_pages(&b).unwrap();
+        // DATA_BASE = 0x1000 = page 1; +3 pages and the 4097-byte write
+        // spilling into the next.
+        assert_eq!(diff, vec![1, 4, 5]);
+        assert_eq!(b.diff_pages(&a).unwrap(), diff);
+        assert_eq!(a.diff_pages(&a).unwrap(), Vec::<u32>::new());
+        assert!(a.page_count() > 20);
+    }
+
+    #[test]
+    fn restore_with_diff_matches_full_restore() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until_simple(15);
+        let early = m.snapshot();
+        m.run_until_simple(200);
+        let late = m.snapshot();
+        let delta = early.diff_pages(&late).unwrap();
+
+        // Base the machine on `early`, dirty some pages, then hop to
+        // `late` through the precomputed diff.
+        m.restore(&early).unwrap();
+        assert_eq!(m.base_snapshot_id(), early.id());
+        m.run_until_simple(120);
+        m.restore_with_diff(&late, &delta).unwrap();
+        assert_eq!(m.base_snapshot_id(), late.id());
+        assert!(m.state_eq(&late), "diff restore must be bit-identical");
+
+        // And execution from the diff-restored state matches a machine
+        // fully restored from `late`.
+        let mut full = Machine::from_snapshot(&p, &late, &config).unwrap();
+        assert_eq!(m.run_simple(), full.run_simple());
+        for i in 0..32u8 {
+            assert_eq!(m.reg(Reg::new(i)), full.reg(Reg::new(i)));
+        }
+    }
+
+    #[test]
+    fn restore_with_diff_rejects_size_mismatch_and_ignores_wild_pages() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        let snap = m.snapshot();
+        let smaller = Machine::new(
+            &p,
+            &MachineConfig {
+                mem_size: 1 << 20,
+                ..config
+            },
+        )
+        .snapshot();
+        assert!(matches!(
+            m.restore_with_diff(&smaller, &[]),
+            Err(MachineError::MemSizeMismatch { .. })
+        ));
+        // Out-of-range page indices are ignored, not a panic.
+        m.restore_with_diff(&snap, &[u32::MAX, 9_999_999]).unwrap();
+        assert!(m.state_eq(&snap));
+    }
+
+    #[test]
+    fn state_eq_fast_paths_agree_with_exact_comparison() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until_simple(10);
+        let a = m.snapshot();
+        m.run_until_simple(40);
+        let b = m.snapshot();
+
+        // Same-base dirty-page path: true right after restoring, false
+        // after guest stores diverge the state.
+        m.restore(&a).unwrap();
+        assert!(m.state_eq(&a));
+        m.run_until_simple(40);
+        // icount now matches `b`: memory must be consulted.
+        assert!(m.state_eq(&b), "re-executed run reconverges with b");
+        m.write_bytes(DATA_BASE + 8, &[0xEE]).unwrap();
+        assert!(!m.state_eq(&b), "dirty-page divergence detected");
+
+        // Cross-snapshot hash path: machine based on `a`, compared
+        // against `b` (differing icount/regs are caught early, so pin
+        // them equal by comparing the same instruction boundary).
+        m.restore(&a).unwrap();
+        m.run_until_simple(40);
+        assert!(m.state_eq(&b));
+        assert!(!m.state_eq(&a), "icount mismatch refutes instantly");
+    }
+
+    #[test]
+    fn superblock_tier_carries_the_run_and_can_be_disabled() {
+        use crate::decode::SuperblockPolicy;
+        let p = mixed_program();
+        let config = MachineConfig::default();
+
+        let mut sb = Machine::new(&p, &config);
+        let r = sb.run_simple();
+        assert!(
+            sb.superblock_instructions() > r.instructions / 2,
+            "superblocks should retire most of this loopy kernel ({} of {})",
+            sb.superblock_instructions(),
+            r.instructions
+        );
+
+        let disabled = Arc::new(DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy::disabled(),
+        ));
+        let mut fused = Machine::try_new_with_decoded(&p, &disabled, &config).unwrap();
+        assert_eq!(fused.run_simple(), r);
+        assert_eq!(fused.superblock_instructions(), 0);
+    }
+
+    #[test]
+    fn superblock_and_fused_tiers_agree_with_profiling_and_hooks() {
+        use crate::decode::SuperblockPolicy;
+        #[derive(Default)]
+        struct Recorder {
+            events: Vec<(usize, u32)>,
+        }
+        impl WritebackHook for Recorder {
+            fn int_writeback(&mut self, i: usize, v: u32) -> u32 {
+                self.events.push((i, v));
+                v ^ (self.events.len() as u32 & 3)
+            }
+        }
+        let p = mixed_program();
+        let config = MachineConfig {
+            profile: true,
+            ..MachineConfig::default()
+        };
+        let disabled = Arc::new(DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy::disabled(),
+        ));
+        let mut sb = Machine::new(&p, &config);
+        let mut fused = Machine::try_new_with_decoded(&p, &disabled, &config).unwrap();
+        let mut sb_hook = Recorder::default();
+        let mut fused_hook = Recorder::default();
+        let a = sb.run(&mut sb_hook);
+        let b = fused.run(&mut fused_hook);
+        assert_eq!(a, b);
+        assert_eq!(sb_hook.events, fused_hook.events);
+        assert_eq!(sb.exec_counts(), fused.exec_counts());
+        for i in 0..32u8 {
+            assert_eq!(sb.reg(Reg::new(i)), fused.reg(Reg::new(i)));
+        }
+    }
+
+    #[test]
+    fn mid_trace_resume_falls_back_to_fused_dispatch() {
+        // Pausing mid-superblock and restoring lands the pc at a
+        // non-entry instruction: the dispatch loop must fall back to the
+        // per-op tier and still finish bit-identically.
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut reference = Machine::new(&p, &config);
+        let expected = reference.run_reference(&mut NoHook);
+        for target in [3, 7, 11, 23] {
+            let mut m = Machine::new(&p, &config);
+            assert_eq!(m.run_until_simple(target), BoundedRun::Paused);
+            let snap = m.snapshot();
+            let mut resumed = Machine::from_snapshot(&p, &snap, &config).unwrap();
+            assert_eq!(resumed.run_simple(), expected, "resume at {target}");
+        }
     }
 }

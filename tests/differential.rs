@@ -5,13 +5,20 @@
 //! and `exec_counts` — including under `run_until` pause/resume, under an
 //! injecting `WritebackHook`, and across dirty-page vs full-image restore.
 
+use std::sync::Arc;
+
+use certa::asm::Asm;
 use certa::core::analyze;
 use certa::fault::{golden_run, FaultPlan, Injector, Protection};
-use certa::isa::Reg;
-use certa::sim::{BoundedRun, Machine, MachineConfig, NoHook, Outcome, RunResult};
+use certa::isa::{reg, Program, Reg};
+use certa::sim::{
+    BoundedRun, DecodedProgram, Machine, MachineConfig, NoHook, Outcome, RunResult,
+    SuperblockPolicy, WritebackHook,
+};
 use certa::workloads::all_workloads;
 use certa::workloads::Workload;
 use rand::rngs::SmallRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 fn machine_config(w: &dyn Workload, profile: bool) -> MachineConfig {
@@ -151,6 +158,368 @@ fn injected_trials_agree_across_pipelines() {
         assert_eq!(chk_result, ref_result, "{}: chunked result", w.name());
         assert_eq!(chk_injected, ref_injected, "{}: chunked count", w.name());
         assert_eq!(chk_output, ref_output, "{}: chunked output", w.name());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded random-program generator: loops, conditional side exits,
+// traced-through calls and jumps, guarded memory traffic, occasional
+// wild accesses — the shapes the superblock builder linearizes. Every
+// branch except the fixed-count loop closers is forward, so programs
+// terminate (the watchdog backstops wild control flow anyway).
+// ---------------------------------------------------------------------
+
+const BUF_LEN: u32 = 512;
+
+fn random_program(seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut a = Asm::new();
+    let buf = a.data_zero(BUF_LEN as usize);
+
+    a.func("leaf", false);
+    a.muli(reg::V0, reg::A0, 3);
+    a.addi(reg::V0, reg::V0, 7);
+    a.ret();
+    a.endfunc();
+
+    a.func("main", false);
+    a.la(reg::S0, buf);
+    for (k, r) in [reg::T0, reg::T1, reg::T2, reg::T3, reg::V0, reg::A0]
+        .into_iter()
+        .enumerate()
+    {
+        a.li(r, rng.gen_range(-64..64) * (k as i32 + 1));
+    }
+    let outer: i32 = rng.gen_range(3..8);
+    a.li(reg::S1, outer);
+    a.label("outer");
+
+    let temps = [reg::T0, reg::T1, reg::T2, reg::T3, reg::V0, reg::A0];
+    let pick = |rng: &mut SmallRng| temps[rng.gen_range(0..temps.len())];
+    let body_len = rng.gen_range(8..28);
+    let mut label_id = 0usize;
+    // Pending forward labels: (name, ops until placement).
+    let mut pending: Vec<(String, i32)> = Vec::new();
+    for _ in 0..body_len {
+        for p in &mut pending {
+            p.1 -= 1;
+        }
+        while let Some(pos) = pending.iter().position(|p| p.1 <= 0) {
+            let (name, _) = pending.remove(pos);
+            a.label(&name);
+        }
+        match rng.gen_range(0..100) {
+            // Register-register ALU.
+            0..=29 => {
+                let (d, s, t) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+                match rng.gen_range(0..8) {
+                    0 => a.add(d, s, t),
+                    1 => a.sub(d, s, t),
+                    2 => a.and(d, s, t),
+                    3 => a.or(d, s, t),
+                    4 => a.xor(d, s, t),
+                    5 => a.mul(d, s, t),
+                    6 => a.div(d, s, t),
+                    _ => a.sll(d, s, t),
+                }
+            }
+            // Register-immediate ALU / li.
+            30..=49 => {
+                let (d, s) = (pick(&mut rng), pick(&mut rng));
+                let imm = rng.gen_range(-32..32);
+                match rng.gen_range(0..6) {
+                    0 => a.addi(d, s, imm),
+                    1 => a.muli(d, s, imm),
+                    2 => a.andi(d, s, imm & 0xFF),
+                    3 => a.slti(d, s, imm),
+                    4 => a.srai(d, s, rng.gen_range(0..6)),
+                    _ => a.li(d, imm * 5),
+                }
+            }
+            // Guarded memory traffic on the scratch buffer.
+            50..=69 => {
+                let d = pick(&mut rng);
+                let s = pick(&mut rng);
+                match rng.gen_range(0..4) {
+                    0 => {
+                        let off = rng.gen_range(0..(BUF_LEN / 4) as i32) * 4;
+                        a.sw(s, off, reg::S0);
+                    }
+                    1 => {
+                        let off = rng.gen_range(0..(BUF_LEN / 4) as i32) * 4;
+                        a.lw(d, off, reg::S0);
+                    }
+                    2 => {
+                        let off = rng.gen_range(0..BUF_LEN as i32);
+                        a.sb(s, off, reg::S0);
+                    }
+                    _ => {
+                        let off = rng.gen_range(0..BUF_LEN as i32);
+                        a.lbu(d, off, reg::S0);
+                    }
+                }
+            }
+            // Forward conditional side exit (lands mid-trace).
+            70..=84 => {
+                let name = format!("skip{label_id}");
+                label_id += 1;
+                let (s, t) = (pick(&mut rng), pick(&mut rng));
+                match rng.gen_range(0..4) {
+                    0 => a.beq(s, t, &name),
+                    1 => a.bne(s, t, &name),
+                    2 => a.blt(s, t, &name),
+                    _ => a.bgez(s, &name),
+                }
+                pending.push((name, rng.gen_range(1..5)));
+            }
+            // Inner fixed-count loop.
+            85..=90 => {
+                let name = format!("inner{label_id}");
+                label_id += 1;
+                a.li(reg::S2, rng.gen_range(1..4));
+                a.label(&name);
+                let (d, s) = (pick(&mut rng), pick(&mut rng));
+                a.add(d, d, s);
+                a.addi(reg::S2, reg::S2, -1);
+                a.bnez(reg::S2, &name);
+            }
+            // Traced-through call.
+            91..=94 => a.call("leaf"),
+            // Forward unconditional jump (non-sequential trace layout).
+            95..=97 => {
+                let name = format!("fwd{label_id}");
+                label_id += 1;
+                a.j(&name);
+                pick(&mut rng); // keep the stream moving
+                a.nop();
+                a.label(&name);
+            }
+            // Rarely: a wild access that may crash (tiers must agree on
+            // the crash pc/icount too).
+            _ => {
+                let d = pick(&mut rng);
+                a.lw(d, rng.gen_range(-8..8) * 4, pick(&mut rng));
+            }
+        }
+    }
+    for (name, _) in pending {
+        a.label(&name);
+    }
+    a.addi(reg::S1, reg::S1, -1);
+    a.bnez(reg::S1, "outer");
+    a.halt();
+    a.endfunc();
+    a.assemble().expect("random program assembles")
+}
+
+/// A deterministic tampering hook: records every writeback and flips low
+/// bits on a fixed cadence, so injected divergence (including into
+/// addresses and branch inputs) stresses side exits identically per tier.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<(usize, u64)>,
+    tamper: bool,
+}
+
+impl WritebackHook for Recorder {
+    fn int_writeback(&mut self, i: usize, v: u32) -> u32 {
+        self.events.push((i, u64::from(v)));
+        if self.tamper && self.events.len().is_multiple_of(37) {
+            v ^ 3
+        } else {
+            v
+        }
+    }
+    fn float_writeback(&mut self, i: usize, v: f64) -> f64 {
+        self.events.push((i, v.to_bits()));
+        v
+    }
+}
+
+/// Policy variants every seed is exercised under (superblock shapes from
+/// degenerate 1-op traces to long call-threaded ones).
+fn random_policy(rng: &mut SmallRng) -> SuperblockPolicy {
+    SuperblockPolicy {
+        min_len: rng.gen_range(1..4),
+        max_len: rng.gen_range(4..80),
+        ..SuperblockPolicy::default()
+    }
+}
+
+struct TierRun {
+    result: RunResult,
+    events: Vec<(usize, u64)>,
+    exec_counts: Vec<u64>,
+    regs: Vec<u32>,
+    mem: Vec<u8>,
+    sb_instructions: u64,
+}
+
+fn run_tier(p: &Program, decoded: &Arc<DecodedProgram>, reference: bool, tamper: bool) -> TierRun {
+    let config = MachineConfig {
+        profile: true,
+        max_instructions: 1 << 20,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::try_new_with_decoded(p, decoded, &config).unwrap();
+    let mut hook = Recorder {
+        tamper,
+        ..Recorder::default()
+    };
+    let result = if reference {
+        m.run_reference(&mut hook)
+    } else {
+        m.run(&mut hook)
+    };
+    let buf_base = certa::asm::DATA_BASE;
+    TierRun {
+        result,
+        events: hook.events,
+        exec_counts: m.exec_counts().to_vec(),
+        regs: (0..32).map(|i| m.reg(Reg::new(i))).collect(),
+        mem: m.read_bytes(buf_base, BUF_LEN).unwrap().to_vec(),
+        sb_instructions: m.superblock_instructions(),
+    }
+}
+
+fn assert_tiers_agree(seed: u64, a: &TierRun, b: &TierRun, label: &str) {
+    assert_eq!(a.result, b.result, "seed {seed}: {label} result");
+    assert_eq!(a.events, b.events, "seed {seed}: {label} hook sequence");
+    assert_eq!(a.exec_counts, b.exec_counts, "seed {seed}: {label} counts");
+    assert_eq!(a.regs, b.regs, "seed {seed}: {label} registers");
+    assert_eq!(a.mem, b.mem, "seed {seed}: {label} memory");
+}
+
+/// The core random-program property: superblock ≡ fused ≡ reference on
+/// outcome, hook sequences (plain and tampering), exec counts, registers,
+/// and memory, across random superblock policies.
+#[test]
+fn random_programs_agree_across_all_three_tiers() {
+    let mut covered = 0u64;
+    for seed in 0..60u64 {
+        let p = random_program(seed);
+        let mut rng = SmallRng::seed_from_u64(!seed);
+        let sb = Arc::new(DecodedProgram::with_policy(&p, &random_policy(&mut rng)));
+        let fused = Arc::new(DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy::disabled(),
+        ));
+        for tamper in [false, true] {
+            let r = run_tier(&p, &fused, true, tamper);
+            let f = run_tier(&p, &fused, false, tamper);
+            let s = run_tier(&p, &sb, false, tamper);
+            assert_tiers_agree(seed, &f, &r, "fused-vs-reference");
+            assert_tiers_agree(seed, &s, &r, "superblock-vs-reference");
+            covered += s.sb_instructions;
+            assert_eq!(f.sb_instructions, 0, "disabled policy must stay fused");
+        }
+    }
+    assert!(
+        covered > 10_000,
+        "random programs must actually exercise the superblock tier ({covered})"
+    );
+}
+
+/// Pause/resume at arbitrary boundaries — including mid-superblock — is
+/// invisible: sliced bounded runs equal the straight reference run.
+#[test]
+fn random_programs_pause_and_resume_mid_superblock() {
+    for seed in 0..20u64 {
+        let p = random_program(seed);
+        let config = MachineConfig {
+            max_instructions: 1 << 20,
+            ..MachineConfig::default()
+        };
+        let mut reference = Machine::new(&p, &config);
+        let expected = reference.run_reference(&mut NoHook);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let mut m = Machine::new(&p, &config);
+        let mut target = 0u64;
+        let result = loop {
+            target += rng.gen_range(1..23);
+            match m.run_until_simple(target) {
+                BoundedRun::Finished(r) => break r,
+                BoundedRun::Paused => {
+                    assert_eq!(m.instructions(), target, "seed {seed}: pause point");
+                }
+            }
+        };
+        assert_eq!(result, expected, "seed {seed}: sliced run");
+        for i in 0..32u8 {
+            assert_eq!(
+                m.reg(Reg::new(i)),
+                reference.reg(Reg::new(i)),
+                "seed {seed}: register {i}"
+            );
+        }
+
+        // Watchdog boundaries are exact across tiers too.
+        if expected.instructions > 2 {
+            let budget = expected.instructions / 2;
+            for reference_tier in [false, true] {
+                let mut m = Machine::new(
+                    &p,
+                    &MachineConfig {
+                        max_instructions: budget,
+                        ..MachineConfig::default()
+                    },
+                );
+                let r = if reference_tier {
+                    m.run_reference(&mut NoHook)
+                } else {
+                    m.run_simple()
+                };
+                assert_eq!(r.outcome, Outcome::InfiniteRun, "seed {seed}");
+                assert_eq!(r.instructions, budget, "seed {seed}: watchdog point");
+            }
+        }
+    }
+}
+
+/// Fault injection through the hook lands on identical dynamic writebacks
+/// in every tier — flips at superblock boundaries and inside traces
+/// produce the same outcome, icount, injected count, and memory.
+#[test]
+fn random_programs_agree_under_fault_injection() {
+    for seed in 40..60u64 {
+        let p = random_program(seed);
+        let tags = analyze(&p);
+        let config = MachineConfig {
+            max_instructions: 1 << 20,
+            ..MachineConfig::default()
+        };
+        // Population under Protection::Off = every value-producing
+        // writeback of the fault-free run.
+        let mut probe = Machine::new(&p, &config);
+        let base = probe.run_simple();
+        if base.value_producing == 0 {
+            continue;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37));
+        let plan = FaultPlan::sample(&mut rng, base.value_producing, 4);
+
+        let mut results = Vec::new();
+        for tier in ["reference", "fused", "superblock"] {
+            let decoded = match tier {
+                "fused" => Arc::new(DecodedProgram::with_policy(
+                    &p,
+                    &SuperblockPolicy::disabled(),
+                )),
+                _ => Arc::new(DecodedProgram::new(&p)),
+            };
+            let mut m = Machine::try_new_with_decoded(&p, &decoded, &config).unwrap();
+            let mut injector = Injector::new(&p, &tags, Protection::Off, plan.clone());
+            let result = if tier == "reference" {
+                m.run_reference(&mut injector)
+            } else {
+                m.run(&mut injector)
+            };
+            let mem = m.read_bytes(certa::asm::DATA_BASE, BUF_LEN).unwrap().to_vec();
+            results.push((result, injector.injected(), mem));
+        }
+        assert_eq!(results[0], results[1], "seed {seed}: fused injection");
+        assert_eq!(results[0], results[2], "seed {seed}: superblock injection");
     }
 }
 
