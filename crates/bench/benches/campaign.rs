@@ -123,9 +123,24 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         assert_eq!(a.injected, b.injected, "trial {i} injected must match");
     }
 
+    // Restore-path breakdown of the warmup's checkpointed run: how many
+    // trial restores took the dirty-page fast path, the checkpoint-hop
+    // page-diff path (and how many of those hop unions came from the
+    // bounded cache), and the full-image fallback.
+    let rs = fast.restore_stats;
+    println!(
+        "campaign restores: {} dirty-page, {} diff-hop ({} hop-union cache hits), {} full-image",
+        rs.dirty_page, rs.diff_hop, rs.diff_union_cache_hits, rs.full_image
+    );
+    assert_eq!(
+        slow.restore_stats,
+        certa_fault::RestoreStats::default(),
+        "scratch campaigns never restore checkpoints"
+    );
+
     // Headline number: one warm timed campaign per mode.
     let start = Instant::now();
-    std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true)));
+    let timed = std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true)));
     let with_checkpoints = start.elapsed();
     let start = Instant::now();
     std::hint::black_box(run_campaign(&target, &tags, &campaign_config(false)));
@@ -147,17 +162,24 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         "campaign throughput: checkpointing on {on_mips:.1} MIPS, off {off_mips:.1} MIPS \
          ({campaign_instructions} simulated instructions per campaign)"
     );
+    let trs = timed.restore_stats;
     let json = format!(
         "{{\"bench\":\"campaign\",\"golden_instructions\":{},\"trials\":{},\
          \"checkpointing_on_secs\":{:.6},\"checkpointing_off_secs\":{:.6},\
-         \"speedup\":{:.3},\"checkpointing_on_mips\":{:.3},\"checkpointing_off_mips\":{:.3}}}\n",
+         \"speedup\":{:.3},\"checkpointing_on_mips\":{:.3},\"checkpointing_off_mips\":{:.3},\
+         \"restores_dirty_page\":{},\"restores_diff_hop\":{},\
+         \"restores_diff_union_cache_hits\":{},\"restores_full_image\":{}}}\n",
         golden.instructions,
         campaign_config(true).trials,
         with_checkpoints.as_secs_f64(),
         from_scratch.as_secs_f64(),
         speedup,
         on_mips,
-        off_mips
+        off_mips,
+        trs.dirty_page,
+        trs.diff_hop,
+        trs.diff_union_cache_hits,
+        trs.full_image
     );
     match certa_bench::write_bench_json("campaign", &json) {
         Ok(path) => println!("wrote {}", path.display()),

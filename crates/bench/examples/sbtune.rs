@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use certa_bench::time_tiers;
-use certa_sim::{DecodedProgram, Machine, MachineConfig, NoHook, SuperblockPolicy};
+use certa_sim::{chain_census, DecodedProgram, Machine, MachineConfig, NoHook, SuperblockPolicy};
 use certa_workloads::{all_workloads, Workload};
 
 fn time_runs(
@@ -54,9 +54,34 @@ fn main() {
         ..SuperblockPolicy::default()
     };
     println!("policy: min_len={min_len} max_len={max_len} rounds={rounds}");
+
+    // Dynamic chain census across the study: the measurement that decides
+    // which concrete 2-/3-op sequences earn specialized handlers.
+    let mut census_all: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for w in all_workloads() {
+        let config = MachineConfig {
+            mem_size: w.mem_size(),
+            profile: true,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(w.program(), &config);
+        w.prepare(&mut m);
+        m.run_simple();
+        for (name, weight) in chain_census(w.program(), Some(m.exec_counts())) {
+            *census_all.entry(name).or_default() += weight;
+        }
+    }
+    let mut census: Vec<(String, u64)> = census_all.into_iter().collect();
+    census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("top dynamic chains (aggregated over all workloads):");
+    for (name, weight) in census.iter().take(12) {
+        println!("  {name:<28} {weight}");
+    }
+
     println!(
-        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>10} {:>10} {:>10} {:>9}",
-        "workload", "sbs", "elems", "avg", "cov", "ref MIPS", "fus MIPS", "sb MIPS", "sb/fused"
+        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "workload", "sbs", "elems", "avg", "spec", "cov", "ref MIPS", "fus MIPS", "sb MIPS",
+        "sb/fused"
     );
     let mut ratios = Vec::new();
     for w in all_workloads() {
@@ -95,11 +120,12 @@ fn main() {
         let elems = sb.superblock_ops();
         ratios.push(med_ratio);
         println!(
-            "{:<10} {:>5} {:>7} {:>7.1} {:>5.1}% {:>10.1} {:>10.1} {:>10.1} {:>8.2}x",
+            "{:<10} {:>5} {:>7} {:>7.1} {:>5.1}% {:>5.1}% {:>10.1} {:>10.1} {:>10.1} {:>8.2}x",
             w.name(),
             count,
             elems,
             elems as f64 / count.max(1) as f64,
+            sb.superblock_specialized() as f64 / elems.max(1) as f64 * 100.0,
             cov,
             mips(timing.best[0]),
             mips(timing.best[1]),

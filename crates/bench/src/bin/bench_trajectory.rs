@@ -18,16 +18,26 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use certa_bench::{json_number, workspace_root};
+use certa_bench::{json_number, json_workload_names, json_workload_number, workspace_root};
 
 /// Allowed relative regression of a tracked geomean before CI fails.
 const THRESHOLD: f64 = 0.10;
 
+/// Allowed relative regression of a single workload's dispatch ratio —
+/// looser than the geomean gate, because per-workload ratios carry the
+/// full brunt of link-time layout luck that the geomean averages away.
+const WORKLOAD_THRESHOLD: f64 = 0.25;
+
 /// One tracked benchmark artifact: file stem and headline metric key.
 const TRACKED: &[(&str, &str)] = &[
     ("dispatch", "geomean_speedup"),
+    ("dispatch", "geomean_superblock_vs_fused"),
     ("campaign", "speedup"),
 ];
+
+/// Per-workload dispatch ratios gated at [`WORKLOAD_THRESHOLD`]: the
+/// drift-resistant tier-vs-tier ratios, not absolute MIPS.
+const WORKLOAD_KEYS: &[&str] = &["speedup", "speedup_vs_fused"];
 
 fn read_metric(path: &Path, key: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path)
@@ -47,10 +57,15 @@ fn main() -> ExitCode {
     };
     let baseline_dir = root.join("baselines");
     let mut failed = false;
-    for &(name, key) in TRACKED {
-        let fresh_path = root.join(format!("BENCH_{name}.json"));
-        let baseline_path = baseline_dir.join(format!("BENCH_{name}.json"));
-        if update {
+    if update {
+        let mut done: Vec<&str> = Vec::new();
+        for &(name, _) in TRACKED {
+            if done.contains(&name) {
+                continue;
+            }
+            done.push(name);
+            let fresh_path = root.join(format!("BENCH_{name}.json"));
+            let baseline_path = baseline_dir.join(format!("BENCH_{name}.json"));
             match std::fs::create_dir_all(&baseline_dir)
                 .and_then(|()| std::fs::copy(&fresh_path, &baseline_path))
             {
@@ -60,8 +75,16 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             }
-            continue;
         }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    for &(name, key) in TRACKED {
+        let fresh_path = root.join(format!("BENCH_{name}.json"));
+        let baseline_path = baseline_dir.join(format!("BENCH_{name}.json"));
         let fresh = match read_metric(&fresh_path, key) {
             Ok(v) => v,
             Err(e) => {
@@ -91,10 +114,53 @@ fn main() -> ExitCode {
             (ratio - 1.0) * 100.0
         );
     }
+
+    // Per-workload dispatch gates: every workload present in the baseline
+    // must still be present fresh, and its tier-vs-tier ratios may not
+    // regress past the (looser) per-workload threshold. Catches a single
+    // workload cratering while the geomean stays inside its band.
+    let fresh_path = root.join("BENCH_dispatch.json");
+    let baseline_path = baseline_dir.join("BENCH_dispatch.json");
+    if let (Ok(fresh_json), Ok(baseline_json)) = (
+        std::fs::read_to_string(&fresh_path),
+        std::fs::read_to_string(&baseline_path),
+    ) {
+        for workload in json_workload_names(&baseline_json) {
+            for &key in WORKLOAD_KEYS {
+                let Some(base) = json_workload_number(&baseline_json, &workload, key) else {
+                    continue;
+                };
+                let Some(fresh) = json_workload_number(&fresh_json, &workload, key) else {
+                    eprintln!(
+                        "bench_trajectory: {workload} missing from fresh BENCH_dispatch.json"
+                    );
+                    failed = true;
+                    continue;
+                };
+                let ratio = fresh / base;
+                if ratio < 1.0 - WORKLOAD_THRESHOLD {
+                    eprintln!(
+                        "dispatch/{workload}: {key} fresh {fresh:.3} vs baseline {base:.3} \
+                         ({:+.1}%) — WORKLOAD REGRESSION",
+                        (ratio - 1.0) * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "dispatch/{workload}: {key} fresh {fresh:.3} vs baseline {base:.3} \
+                         ({:+.1}%) — ok",
+                        (ratio - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+    }
     if failed {
         eprintln!(
-            "bench_trajectory: geomean regressed more than {:.0}% against committed baselines",
-            THRESHOLD * 100.0
+            "bench_trajectory: a tracked metric regressed past its threshold (geomean {:.0}%, \
+             per-workload {:.0}%) against committed baselines — see the lines above",
+            THRESHOLD * 100.0,
+            WORKLOAD_THRESHOLD * 100.0
         );
         ExitCode::FAILURE
     } else {

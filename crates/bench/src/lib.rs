@@ -637,17 +637,26 @@ impl TierRounds {
 /// sample long enough not to alias host clock stepping). Compare tiers
 /// through [`TierRounds::median_ratio`], not across separately-timed
 /// runs.
+///
+/// Within a round the samplers run in **rotated order** (round `r` starts
+/// at sampler `r % n`): a clock regime that decays or ramps *during* a
+/// round would otherwise bias whichever tier always samples last, and the
+/// median over rounds cannot remove a bias that is systematic in sampler
+/// position. Rotation turns position bias into symmetric noise the median
+/// does absorb.
 pub fn time_tiers(rounds: usize, samplers: &mut [&mut dyn FnMut() -> f64]) -> TierRounds {
-    let mut best = vec![f64::MAX; samplers.len()];
+    let n = samplers.len();
+    let mut best = vec![f64::MAX; n];
     let mut all = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
-        let mut round = Vec::with_capacity(samplers.len());
-        for (slot, sampler) in samplers.iter_mut().enumerate() {
-            let v = sampler();
+    for r in 0..rounds {
+        let mut round = vec![0.0f64; n];
+        for k in 0..n {
+            let slot = (r + k) % n;
+            let v = samplers[slot]();
             if v < best[slot] {
                 best[slot] = v;
             }
-            round.push(v);
+            round[slot] = v;
         }
         all.push(round);
     }
@@ -694,13 +703,52 @@ pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<std::path::Pa
 /// its value does not parse as a number.
 #[must_use]
 pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    json_number_from(json, 0, key)
+}
+
+/// Like [`json_number`], but scanning only from byte offset `from` — the
+/// building block for per-record extraction in array-of-objects summaries.
+#[must_use]
+pub fn json_number_from(json: &str, from: usize, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
-    let start = json.find(&needle)? + needle.len();
+    let start = from + json.get(from..)?.find(&needle)? + needle.len();
     let rest = json[start..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts `key` from the workload record named `name` in a
+/// `BENCH_dispatch.json`-shaped document (an array of
+/// `{"name":"...", ...}` objects): finds the record's `"name"` anchor and
+/// reads the first `key` after it. `None` when the workload or key is
+/// missing.
+#[must_use]
+pub fn json_workload_number(json: &str, name: &str, key: &str) -> Option<f64> {
+    let anchor = format!("\"name\":\"{name}\"");
+    let start = json.find(&anchor)? + anchor.len();
+    // Bound the scan at the record's closing brace: a key missing from
+    // *this* record must return `None`, not the next record's value.
+    let end = start + json[start..].find('}').unwrap_or(json.len() - start);
+    json_number_from(&json[..end], start, key)
+}
+
+/// The workload names present in a `BENCH_dispatch.json`-shaped document,
+/// in order of appearance.
+#[must_use]
+pub fn json_workload_names(json: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut at = 0;
+    while let Some(pos) = json[at..].find("\"name\":\"") {
+        let start = at + pos + "\"name\":\"".len();
+        let Some(end) = json[start..].find('"') else {
+            break;
+        };
+        names.push(json[start..start + end].to_string());
+        at = start + end;
+    }
+    names
 }
 
 /// Parses the `--trials N` / `--seed N` CLI convention used by the
@@ -781,6 +829,51 @@ mod tests {
         assert_eq!(json_number(json, "speedup"), Some(9.9));
         assert_eq!(json_number(json, "missing"), None);
         assert_eq!(json_number(r#"{"bench":"x"}"#, "bench"), None);
+    }
+
+    #[test]
+    fn json_workload_helpers_extract_per_record_metrics() {
+        let json = r#"{"bench":"dispatch","geomean_speedup":1.5,"workloads":[
+            {"name":"susan","speedup":2.1,"speedup_vs_fused":1.5},
+            {"name":"mpeg","speedup":1.6,"speedup_vs_fused":1.2}]}"#;
+        assert_eq!(json_workload_names(json), ["susan", "mpeg"]);
+        assert_eq!(json_workload_number(json, "susan", "speedup"), Some(2.1));
+        assert_eq!(
+            json_workload_number(json, "mpeg", "speedup_vs_fused"),
+            Some(1.2)
+        );
+        assert_eq!(json_workload_number(json, "mpeg", "speedup"), Some(1.6));
+        assert_eq!(json_workload_number(json, "gsm", "speedup"), None);
+        assert_eq!(json_workload_number(json, "susan", "missing"), None);
+        assert_eq!(json_workload_names("{}"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn time_tiers_rotates_sampler_order() {
+        // Record invocation order across rounds: with 3 samplers and 3
+        // rounds, each sampler must lead exactly one round.
+        let order = std::cell::RefCell::new(Vec::new());
+        let mut s0 = || {
+            order.borrow_mut().push(0);
+            1.0
+        };
+        let mut s1 = || {
+            order.borrow_mut().push(1);
+            2.0
+        };
+        let mut s2 = || {
+            order.borrow_mut().push(2);
+            4.0
+        };
+        let timing = time_tiers(3, &mut [&mut s0, &mut s1, &mut s2]);
+        assert_eq!(
+            order.into_inner(),
+            [0, 1, 2, 1, 2, 0, 2, 0, 1],
+            "round r starts at sampler r % n"
+        );
+        assert_eq!(timing.best, [1.0, 2.0, 4.0]);
+        assert!((timing.median_ratio(0, 1) - 0.5).abs() < 1e-12);
+        assert!((timing.median_ratio(2, 1) - 2.0).abs() < 1e-12);
     }
 
     #[test]

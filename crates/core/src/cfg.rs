@@ -30,6 +30,79 @@ pub struct Cfg {
     block_of: Vec<usize>,
     /// Predecessor lists, cached at build time (the inverse of `succs`).
     preds: Vec<Vec<usize>>,
+    /// Immediate dominator per block (`idom[entry] == entry`), `None` for
+    /// blocks unreachable from the program entry. Cached at build time;
+    /// powers the back-edge / natural-loop queries the simulator's
+    /// taken-path trace linearization asks.
+    idom: Vec<Option<usize>>,
+}
+
+/// Immediate dominators by the iterative Cooper–Harvey–Kennedy scheme:
+/// reverse-postorder sweeps intersecting the dominator chains of processed
+/// predecessors until a fixed point. CFGs here are small (hundreds of
+/// blocks), so the simple O(N·E) iteration is plenty.
+fn compute_idoms(blocks: &[BasicBlock], preds: &[Vec<usize>], entry: usize) -> Vec<Option<usize>> {
+    let n = blocks.len();
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    if n == 0 {
+        return idom;
+    }
+    // Postorder DFS from the entry block (iterative, explicit stack).
+    let mut post: Vec<usize> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    state[entry] = 1;
+    while let Some(&(b, next)) = stack.last() {
+        if let Some(&s) = blocks[b].succs.get(next) {
+            stack.last_mut().expect("stack is non-empty").1 += 1;
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    let rpo: Vec<usize> = post.iter().rev().copied().collect();
+    let mut rpo_index = vec![usize::MAX; n];
+    for (k, &b) in rpo.iter().enumerate() {
+        rpo_index[b] = k;
+    }
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a].expect("processed block has an idom");
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b].expect("processed block has an idom");
+            }
+        }
+        a
+    };
+    idom[entry] = Some(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, p, cur),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
 }
 
 impl Cfg {
@@ -133,10 +206,17 @@ impl Cfg {
             }
         }
 
+        let idom = if n == 0 {
+            Vec::new()
+        } else {
+            compute_idoms(&blocks, &preds, block_of[program.entry.min(n - 1)])
+        };
+
         Cfg {
             blocks,
             block_of,
             preds,
+            idom,
         }
     }
 
@@ -197,6 +277,49 @@ impl Cfg {
         } else {
             None
         }
+    }
+
+    /// Whether block `a` dominates block `b`: every path from the program
+    /// entry to `b` passes through `a`. Blocks unreachable from the entry
+    /// are dominated by nothing (and dominate nothing), so this returns
+    /// `false` for them — conservative for every caller.
+    #[must_use]
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom.get(a).copied().flatten().is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            let Some(id) = self.idom.get(cur).copied().flatten() else {
+                return false;
+            };
+            if cur == a {
+                return true;
+            }
+            if id == cur {
+                // Reached the entry without meeting `a`.
+                return false;
+            }
+            cur = id;
+        }
+    }
+
+    /// Whether `from → to` is a natural-loop **back edge**: `to` is a CFG
+    /// successor of `from` and dominates it (the classical definition, so
+    /// `to` is the loop header of a natural loop containing `from`). The
+    /// simulator's superblock builder uses this to decide when a
+    /// conditional terminator is loop-closing and the *taken* path should
+    /// be linearized next.
+    #[must_use]
+    pub fn is_back_edge(&self, from: usize, to: usize) -> bool {
+        self.blocks[from].succs.contains(&to) && self.dominates(to, from)
+    }
+
+    /// Whether block `h` is a natural-loop header: some predecessor
+    /// reaches it through a back edge.
+    #[must_use]
+    pub fn is_loop_header(&self, h: usize) -> bool {
+        self.preds[h].iter().any(|&p| self.is_back_edge(p, h))
     }
 
     /// The block a static jump/call terminator of `b` transfers to, if any
@@ -380,6 +503,68 @@ mod tests {
         let cfg = Cfg::build(&p);
         let last = cfg.len() - 1;
         assert_eq!(cfg.fallthrough_succ(last, &p), None);
+    }
+
+    #[test]
+    fn back_edges_and_loop_headers() {
+        let mut a = Asm::new();
+        a.func("main", false);
+        a.li(T0, 3); // block E
+        a.label("outer");
+        a.li(A0, 2); // block O (outer header)
+        a.label("inner");
+        a.addi(A0, A0, -1); // block I (inner header)
+        a.bnez(A0, "inner");
+        a.addi(T0, T0, -1); // block L (outer latch)
+        a.bnez(T0, "outer");
+        a.halt(); // block X
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let entry = cfg.block_of(0);
+        let outer = cfg.block_of(1);
+        let inner = cfg.block_of(2);
+        let latch = cfg.block_of(4);
+        let exit = cfg.block_of(6);
+        // Dominance: entry dominates everything; outer dominates the loop
+        // bodies; the exit dominates only itself.
+        for b in [entry, outer, inner, latch, exit] {
+            assert!(cfg.dominates(entry, b));
+            assert!(cfg.dominates(b, b));
+        }
+        assert!(cfg.dominates(outer, inner));
+        assert!(cfg.dominates(outer, latch));
+        assert!(!cfg.dominates(exit, entry));
+        assert!(!cfg.dominates(latch, inner));
+        // Back edges: inner→inner (self-loop) and latch→outer; the exit
+        // edges are not back edges.
+        assert!(cfg.is_back_edge(inner, inner));
+        assert!(cfg.is_back_edge(latch, outer));
+        assert!(!cfg.is_back_edge(inner, latch));
+        assert!(!cfg.is_back_edge(latch, exit));
+        assert!(cfg.is_loop_header(inner));
+        assert!(cfg.is_loop_header(outer));
+        assert!(!cfg.is_loop_header(exit));
+        assert!(!cfg.is_loop_header(entry));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_dominators() {
+        let mut a = Asm::new();
+        a.func("dead", false);
+        a.nop(); // never called: unreachable from entry
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.halt();
+        a.endfunc();
+        let p = a.assemble().unwrap();
+        let cfg = Cfg::build(&p);
+        let dead = cfg.block_of(0);
+        let main = cfg.block_of(p.entry);
+        assert!(!cfg.dominates(main, dead));
+        assert!(!cfg.dominates(dead, dead), "unreachable: conservatively no");
+        assert!(!cfg.is_loop_header(dead));
     }
 
     #[test]

@@ -50,8 +50,8 @@ use certa_sim::{
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::injector::{EligibleCounter, ErrorModel, FaultPlan, Injector, Protection};
 
@@ -164,6 +164,35 @@ impl TrialResult {
     }
 }
 
+/// How the campaign's trial restores broke down by path (see
+/// [`certa_sim::Machine::restore`] /
+/// [`certa_sim::Machine::restore_with_diff`]): the cheap dirty-page path,
+/// the checkpoint-hopping page-diff path, and the full-image fallback.
+/// All zero for campaigns that run without checkpointing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Same-checkpoint restores: only the pages the previous trial
+    /// dirtied were copied.
+    pub dirty_page: u64,
+    /// Checkpoint-hopping restores through a page-diff union (dirty pages
+    /// plus the pages differing along the hop).
+    pub diff_hop: u64,
+    /// Diff-hop restores whose page-diff union came from the bounded
+    /// hop-union cache instead of being re-unioned from adjacent diffs.
+    pub diff_union_cache_hits: u64,
+    /// Full-image `memcpy` fallbacks (hop too wide, or the machine's base
+    /// was not a checkpoint of this set).
+    pub full_image: u64,
+}
+
+impl RestoreStats {
+    /// Total trial restores across all paths.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dirty_page + self.diff_hop + self.full_image
+    }
+}
+
 /// Aggregated campaign results.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -171,6 +200,8 @@ pub struct CampaignResult {
     pub golden: GoldenRun,
     /// Per-trial results, in trial order.
     pub trials: Vec<TrialResult>,
+    /// Restore-path breakdown of the checkpointed trial scheduler.
+    pub restore_stats: RestoreStats,
 }
 
 impl CampaignResult {
@@ -248,6 +279,16 @@ struct Checkpoint {
     eligible_seen: u64,
 }
 
+/// One cached hop union: the `(lo, hi)` checkpoint index pair and the
+/// sorted, deduplicated union of adjacent page diffs along it.
+type HopUnion = ((usize, usize), Arc<Vec<u32>>);
+
+/// Capacity of the hop-union cache: trials sorted by injection point
+/// cluster on a handful of (usually late) checkpoints, so a small MRU
+/// list covers the popular hops among the ≤ [`MAX_CHECKPOINTS`]
+/// checkpoints without ever growing with trial count.
+const HOP_CACHE_CAPACITY: usize = 16;
+
 /// The golden checkpoints plus precomputed page diffs between adjacent
 /// pairs, so a worker machine hopping from one checkpoint to another
 /// copies only the pages that actually differ along the hop (plus its own
@@ -258,6 +299,18 @@ struct CheckpointSet {
     /// differ ([`Snapshot::diff_pages`] — byte-exact, diffs are a restore
     /// correctness contract).
     adjacent_diffs: Vec<Vec<u32>>,
+    /// Bounded MRU cache of hop page-diff unions keyed by `(lo, hi)`
+    /// checkpoint index pairs: trial clusters on late checkpoints would
+    /// otherwise re-union the same adjacent diffs once per trial. Shared
+    /// across workers; accessed with `try_lock` so a contended cache
+    /// degrades to per-hop unioning, never to serialization.
+    hop_cache: Mutex<Vec<HopUnion>>,
+    /// Restore-path counters (see [`RestoreStats`]), relaxed — they are
+    /// diagnostics, aggregated after the scheduler joins.
+    dirty_restores: AtomicU64,
+    diff_restores: AtomicU64,
+    diff_cache_hits: AtomicU64,
+    full_restores: AtomicU64,
 }
 
 impl CheckpointSet {
@@ -273,7 +326,57 @@ impl CheckpointSet {
         CheckpointSet {
             checkpoints,
             adjacent_diffs,
+            hop_cache: Mutex::new(Vec::with_capacity(HOP_CACHE_CAPACITY)),
+            dirty_restores: AtomicU64::new(0),
+            diff_restores: AtomicU64::new(0),
+            diff_cache_hits: AtomicU64::new(0),
+            full_restores: AtomicU64::new(0),
         }
+    }
+
+    /// The union of adjacent page diffs along the hop `lo..hi`, from the
+    /// bounded MRU cache when available; the flag reports whether it was
+    /// a cache hit (the caller counts hits only for unions it actually
+    /// uses). Unions of at least `cache_page_limit` pages are not cached
+    /// — the caller will take the full-image path anyway, and an
+    /// unusable union must not occupy an MRU slot. Falls back to
+    /// unioning into `diff_scratch` (returning `None`) when the cache
+    /// lock is contended — correctness never depends on the cache, only
+    /// the re-union work does.
+    fn hop_union(
+        &self,
+        lo: usize,
+        hi: usize,
+        cache_page_limit: usize,
+        diff_scratch: &mut Vec<u32>,
+    ) -> (Option<Arc<Vec<u32>>>, bool) {
+        if let Ok(mut cache) = self.hop_cache.try_lock() {
+            if let Some(pos) = cache.iter().position(|(key, _)| *key == (lo, hi)) {
+                let entry = cache.remove(pos);
+                let union = Arc::clone(&entry.1);
+                cache.insert(0, entry); // MRU to the front
+                return (Some(union), true);
+            }
+            let mut union: Vec<u32> = Vec::new();
+            for diff in &self.adjacent_diffs[lo..hi] {
+                union.extend_from_slice(diff);
+            }
+            union.sort_unstable();
+            union.dedup();
+            let union = Arc::new(union);
+            if union.len() < cache_page_limit {
+                cache.insert(0, ((lo, hi), Arc::clone(&union)));
+                cache.truncate(HOP_CACHE_CAPACITY);
+            }
+            return (Some(union), false);
+        }
+        diff_scratch.clear();
+        for diff in &self.adjacent_diffs[lo..hi] {
+            diff_scratch.extend_from_slice(diff);
+        }
+        diff_scratch.sort_unstable();
+        diff_scratch.dedup();
+        (None, false)
     }
 
     /// Restores `machine` to checkpoint `index` as cheaply as the
@@ -294,23 +397,37 @@ impl CheckpointSet {
                 // Union of adjacent diffs along the hop (diffs are
                 // symmetric, so backward hops reuse the same lists).
                 let (lo, hi) = (from.min(index), from.max(index));
-                diff_scratch.clear();
-                for diff in &self.adjacent_diffs[lo..hi] {
-                    diff_scratch.extend_from_slice(diff);
-                }
-                diff_scratch.sort_unstable();
-                diff_scratch.dedup();
-                if diff_scratch.len() < target.snapshot.page_count() / 2 {
+                let limit = target.snapshot.page_count() / 2;
+                let (cached, cache_hit) = self.hop_union(lo, hi, limit, diff_scratch);
+                let union: &[u32] = cached.as_deref().map_or(&diff_scratch[..], |u| &u[..]);
+                if union.len() < limit {
                     machine
-                        .restore_with_diff(&target.snapshot, diff_scratch)
+                        .restore_with_diff(&target.snapshot, union)
                         .expect("checkpoint memory image matches the trial machine");
+                    self.diff_restores.fetch_add(1, Ordering::Relaxed);
+                    if cache_hit {
+                        self.diff_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     return;
                 }
             }
+            self.full_restores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dirty_restores.fetch_add(1, Ordering::Relaxed);
         }
         machine
             .restore(&target.snapshot)
             .expect("checkpoint memory image matches the trial machine");
+    }
+
+    /// Snapshot of the restore-path counters.
+    fn stats(&self) -> RestoreStats {
+        RestoreStats {
+            dirty_page: self.dirty_restores.load(Ordering::Relaxed),
+            diff_hop: self.diff_restores.load(Ordering::Relaxed),
+            diff_union_cache_hits: self.diff_cache_hits.load(Ordering::Relaxed),
+            full_image: self.full_restores.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -621,14 +738,14 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         })
         .collect();
 
-    let trials = match &checkpoints {
+    let (trials, restore_stats) = match &checkpoints {
         Some(checkpoint_set) => {
             // Sort by injection point so neighboring trials restore the
             // same (cache-warm) checkpoint — and so hops between
             // checkpoints are short, keeping the page-diff unions small.
             let mut order: Vec<usize> = (0..config.trials).collect();
             order.sort_by_key(|&t| plans[t].earliest_injection().unwrap_or(u64::MAX));
-            schedule_trials(
+            let trials = schedule_trials(
                 &order,
                 threads,
                 || {
@@ -653,11 +770,12 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                         &golden,
                     )
                 },
-            )
+            );
+            (trials, checkpoint_set.stats())
         }
         None => {
             let order: Vec<usize> = (0..config.trials).collect();
-            schedule_trials(
+            let trials = schedule_trials(
                 &order,
                 threads,
                 || (),
@@ -671,11 +789,16 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                         &plans[t],
                     )
                 },
-            )
+            );
+            (trials, RestoreStats::default())
         }
     };
 
-    CampaignResult { golden, trials }
+    CampaignResult {
+        golden,
+        trials,
+        restore_stats,
+    }
 }
 
 #[cfg(test)]
@@ -985,6 +1108,78 @@ mod tests {
                 "hop to checkpoint {index} must be exact"
             );
         }
+    }
+
+    /// Repeated hops between the same checkpoint pair must be served from
+    /// the hop-union cache (after the first), and the restore-path
+    /// counters must partition the restores.
+    #[test]
+    fn hop_union_cache_hits_on_repeated_hops() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let decoded = Arc::new(DecodedProgram::new(&t.program));
+        let (_, checkpoints) =
+            golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
+        assert!(checkpoints.len() >= 4);
+        let set = CheckpointSet::new(checkpoints);
+        let config = MachineConfig {
+            mem_size: t.mem_size(),
+            max_instructions: 1_000_000,
+            profile: false,
+        };
+        let mut machine = Machine::from_snapshot_with_decoded(
+            &t.program,
+            &decoded,
+            &set.checkpoints[0].snapshot,
+            &config,
+        )
+        .unwrap();
+        let mut scratch = Vec::new();
+        // Ping-pong over the same pair: hop 0→3 unions once, every
+        // further 0↔3 hop (diffs are symmetric) is a cache hit.
+        for &index in &[3usize, 0, 3, 0, 3] {
+            set.restore(&mut machine, index, &mut scratch);
+            assert!(machine.state_eq(&set.checkpoints[index].snapshot));
+        }
+        let stats = set.stats();
+        assert_eq!(stats.diff_hop, 5, "every ping-pong hop is diff-based");
+        assert_eq!(
+            stats.diff_union_cache_hits, 4,
+            "all but the first (0,3) union come from the cache"
+        );
+        assert_eq!(stats.dirty_page, 0);
+        assert_eq!(stats.full_image, 0);
+        assert_eq!(stats.total(), 5);
+    }
+
+    /// The campaign surfaces the restore breakdown, and it accounts for
+    /// every checkpointed trial restore (scratch campaigns report zeros).
+    #[test]
+    fn campaign_reports_restore_stats() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 16,
+            errors: 2,
+            threads: 2,
+            checkpoint_stride: 50,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert!(
+            r.restore_stats.total() >= 1,
+            "checkpointed trials must restore at least once: {:?}",
+            r.restore_stats
+        );
+        let scratch = run_campaign(
+            &t,
+            &tags,
+            &CampaignConfig {
+                checkpointing: false,
+                ..cfg
+            },
+        );
+        assert_eq!(scratch.restore_stats, RestoreStats::default());
     }
 
     #[test]

@@ -58,7 +58,8 @@ mod injector;
 mod stats;
 
 pub use campaign::{
-    golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenRun, Target, TrialResult,
+    golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenRun, RestoreStats, Target,
+    TrialResult,
 };
 pub use injector::{ErrorModel, FaultPlan, Injector, Protection};
 pub use stats::{mean, proportion_ci95, stddev};

@@ -132,7 +132,7 @@
 mod decode;
 mod machine;
 
-pub use decode::{DecodedProgram, SuperblockPolicy};
+pub use decode::{chain_census, DecodedProgram, SuperblockPolicy};
 pub use machine::{
     BoundedRun, CrashKind, Machine, MachineConfig, MachineError, MemError, NoHook, Outcome,
     RunResult, Snapshot, WritebackHook,

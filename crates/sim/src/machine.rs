@@ -1497,6 +1497,22 @@ fn load_flat(mem: &[u8], addr: u32, op: MOp) -> Result<u32, CrashKind> {
     }
 }
 
+/// Evaluates the store half of a combo element.
+#[inline(always)]
+fn store_flat(
+    mem: &mut [u8],
+    dirty: &mut [u64],
+    addr: u32,
+    op: MOp,
+    value: u32,
+) -> Result<(), CrashKind> {
+    match op {
+        MOp::Sb => store_mem(mem, dirty, addr, MemWidth::Byte, value),
+        MOp::Sh => store_mem(mem, dirty, addr, MemWidth::Half, value),
+        _ => store_mem(mem, dirty, addr, MemWidth::Word, value),
+    }
+}
+
 /// Evaluates the conditional-branch half of a combo element.
 #[inline(always)]
 fn branch_flat(op: MOp, a: u32, b: u32) -> bool {
@@ -1548,15 +1564,35 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
     body: &[SuperOp],
     fpool: &[f64],
 ) -> SbExit {
-    use crate::decode::{COMBO_ALU_ALU, COMBO_ALU_LOAD, COMBO_LOAD_ALU, COMBO_NONE};
+    use crate::decode::{
+        CH3_FIRST, CH3_SLLI_ADD_LW, CH_ADDI_ADD, CH_ADDI_LW, CH_ADDI_SLT, CH_ADDI_SLTI,
+        CH_ADD_ADD, CH_ADD_ADDI, CH_ADD_LBU, CH_ADD_LW, CH_ADD_SRAI, CH_ADD_SUB, CH_ANDI_SLLI,
+        CH_LBU_ADD, CH_LBU_SUB, CH_LW_ADD, CH_LW_ADDI, CH_LW_BEQ, CH_LW_LW, CH_LW_SLLI,
+        CH_LW_XOR, CH_MULI_ADD, CH_MULI_SUB, CH_MUL_ADD, CH_OR_OR, CH_SLLI_ADD, CH_SLTI_ADD,
+        CH_SLTI_BNE, CH_SLT_SUB, CH_SRAI_XOR, CH_SRLI_ANDI, CH_SUB_ADD, CH_SUB_MUL, CH_SUB_SRAI,
+        CH_ADDI_BLT, CH_ADDI_MULI, CH_ADD_SLLI, CH_ADD_SW, CH_LBU_LBU, CH_MULI_SLLI,
+        CH_MUL_SUB, CH_SLT_XORI, CH_SUB_LBU, CH_SW_ADDI, CH_FADD_ADDI, CH_FADD_FADD, CH_FLD_FMUL, CH_FMUL_FADD,
+        CH_MULI_MULI, CH_ADD_FLD, CH_SUB_SUB, CH3_ADDI_SLTI_BNE, CH3_ADDI_SLT_SUB,
+        CH_SW_SW, CH_XOR_SUB, CH3_ADD_FLD_FMUL, CH3_ADD_LW_ADD, CH3_ANDI_SLLI_ADD,
+        CH3_FLD_FMUL_FADD, CH3_LW_ADD_ADD, CH3_LW_LW_LW, CH3_SLLI_ADD_FLD, CH3_SW_SW_SW,
+        COMBO_ALU_ALU, COMBO_ALU_BRANCH, COMBO_ALU_LOAD, COMBO_ALU_STORE, COMBO_ANY_ANY,
+        COMBO_LOAD_ALU, COMBO_NONE, COMBO_STORE_ALU, COMBO_STORE_STORE,
+    };
     let mut i = 0usize;
     let mut retired = 0u64;
+    // `vp` arrives as `&mut u64`: left as-is, every writeback would pay a
+    // load/add/store through the pointer. Shadowing it with a local (and
+    // syncing once at every exit, via the labeled block) lets the counter
+    // live in a register for the whole trace, like the fused loop's.
+    let mut vpl = *vp;
+    let result = 'exec: {
+        let vp = &mut vpl;
     macro_rules! exit_seq {
         ($s:expr, $last_at:expr) => {{
             if $s.op.fuse == 0 {
                 // Sequential flag clear: the next element (if any) does
                 // not resume at `last_at + 1` — leave the trace.
-                return SbExit::Continue {
+                break 'exec SbExit::Continue {
                     executed: retired,
                     next_pc: u64::from($last_at) + 1,
                 };
@@ -1569,10 +1605,134 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
             let t = $t;
             i += 1;
             if i == body.len() || u64::from(body[i].at) != t {
-                return SbExit::Continue {
+                break 'exec SbExit::Continue {
                     executed: retired,
                     next_pc: t,
                 };
+            }
+        }};
+    }
+    // -----------------------------------------------------------------
+    // Specialized chain halves (see the `CH_*` tags in `decode.rs`): the
+    // ALU operation, operand form, load width/sign, and branch condition
+    // are all static, so each expansion is straight-line code — no
+    // `AluOp::ALL` jump table, no width dispatch. Every half still reads
+    // its operands from the register file *after* the previous half's
+    // writeback (hooks may tamper; `$zero` discards), which is what keeps
+    // the chains bit-identical to sequential execution.
+    // -----------------------------------------------------------------
+    /// First/second ALU half of a chain: `op1`/`op2` picks the micro-op,
+    /// `rr`/`ri` the operand-2 source, `$aop` the constant operation.
+    macro_rules! chain_alu {
+        ($s:expr, op1, rr, $aop:expr) => {{
+            let v = eval_alu($aop, regs[($s.op.b & 31) as usize], regs[($s.op.c & 31) as usize]);
+            wint(regs, vp, hook, $s.at as usize, $s.op.a, v);
+        }};
+        ($s:expr, op1, ri, $aop:expr) => {{
+            let v = eval_alu($aop, regs[($s.op.b & 31) as usize], $s.op.imm as u32);
+            wint(regs, vp, hook, $s.at as usize, $s.op.a, v);
+        }};
+        ($s:expr, op2, rr, $aop:expr) => {{
+            let v = eval_alu(
+                $aop,
+                regs[($s.op2.b & 31) as usize],
+                regs[($s.op2.c & 31) as usize],
+            );
+            wint(regs, vp, hook, $s.at2 as usize, $s.op2.a, v);
+        }};
+        ($s:expr, op2, ri, $aop:expr) => {{
+            let v = eval_alu($aop, regs[($s.op2.b & 31) as usize], $s.op2.imm as u32);
+            wint(regs, vp, hook, $s.at2 as usize, $s.op2.a, v);
+        }};
+    }
+    /// Constant-width load as the chain's *second* half (a crash exits
+    /// with the load's pc; the first half's retirement stands).
+    macro_rules! chain_ld2 {
+        ($s:expr, $width:expr, $signed:expr) => {{
+            let addr = regs[($s.op2.b & 31) as usize].wrapping_add($s.op2.imm as u32);
+            match load_mem(mem, addr, $width, $signed) {
+                Ok(v) => wint(regs, vp, hook, $s.at2 as usize, $s.op2.a, v),
+                Err(kind) => {
+                    break 'exec SbExit::Done {
+                        executed: retired,
+                        final_pc: u64::from($s.at2),
+                        outcome: Outcome::Crashed(kind),
+                    }
+                }
+            }
+        }};
+    }
+    /// Constant-width load as the chain's *first* half (a crash un-counts
+    /// the never-executed second half, like the generic load/ALU arm).
+    macro_rules! chain_ld1 {
+        ($s:expr, $width:expr, $signed:expr) => {{
+            let addr = regs[($s.op.b & 31) as usize].wrapping_add($s.op.imm as u32);
+            match load_mem(mem, addr, $width, $signed) {
+                Ok(v) => wint(regs, vp, hook, $s.at as usize, $s.op.a, v),
+                Err(kind) => {
+                    retired -= 1;
+                    if PROFILE {
+                        exec_counts[$s.at2 as usize] -= 1;
+                    }
+                    break 'exec SbExit::Done {
+                        executed: retired,
+                        final_pc: u64::from($s.at),
+                        outcome: Outcome::Crashed(kind),
+                    };
+                }
+            }
+        }};
+    }
+    /// Constant-width store as the chain's *second* half (stores are not
+    /// value-producing: no hook, no `vp` bump — exactly like the single-op
+    /// arms).
+    macro_rules! chain_st2 {
+        ($s:expr, $width:expr) => {{
+            let addr = regs[($s.op2.b & 31) as usize].wrapping_add($s.op2.imm as u32);
+            match store_mem(mem, dirty, addr, $width, regs[($s.op2.a & 31) as usize]) {
+                Ok(()) => {}
+                Err(kind) => {
+                    break 'exec SbExit::Done {
+                        executed: retired,
+                        final_pc: u64::from($s.at2),
+                        outcome: Outcome::Crashed(kind),
+                    }
+                }
+            }
+        }};
+    }
+    /// Constant-width store as the chain's *first* half (a crash un-counts
+    /// the never-executed second half).
+    macro_rules! chain_st1 {
+        ($s:expr, $width:expr) => {{
+            let addr = regs[($s.op.b & 31) as usize].wrapping_add($s.op.imm as u32);
+            match store_mem(mem, dirty, addr, $width, regs[($s.op.a & 31) as usize]) {
+                Ok(()) => {}
+                Err(kind) => {
+                    retired -= 1;
+                    if PROFILE {
+                        exec_counts[$s.at2 as usize] -= 1;
+                    }
+                    break 'exec SbExit::Done {
+                        executed: retired,
+                        final_pc: u64::from($s.at),
+                        outcome: Outcome::Crashed(kind),
+                    };
+                }
+            }
+        }};
+    }
+    /// Constant-condition conditional branch closing a chain.
+    macro_rules! chain_br2 {
+        ($s:expr, $cmp:expr) => {{
+            let cmp = $cmp;
+            if cmp(
+                regs[($s.op2.a & 31) as usize],
+                regs[($s.op2.b & 31) as usize],
+            ) {
+                exit_jump!(u64::from($s.op2.imm as u32));
+            } else {
+                exit_seq!($s, $s.at2);
             }
         }};
     }
@@ -1584,7 +1744,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
     /// dev box; 6 regresses on i-cache).
     macro_rules! element {
         () => {{
-        let s = body[i];
+        let s = &body[i];
         let combo = s.op2.fuse;
         if combo == COMBO_NONE {
             retired += 1;
@@ -1595,14 +1755,14 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                 Step::Next => exit_seq!(s, s.at),
                 Step::Jump(t) => exit_jump!(t),
                 Step::Halt => {
-                    return SbExit::Done {
+                    break 'exec SbExit::Done {
                         executed: retired,
                         final_pc: u64::from(s.at),
                         outcome: Outcome::Halted,
                     }
                 }
                 Step::Crash(kind) => {
-                    return SbExit::Done {
+                    break 'exec SbExit::Done {
                         executed: retired,
                         final_pc: u64::from(s.at),
                         outcome: Outcome::Crashed(kind),
@@ -1610,12 +1770,22 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                 }
             }
         } else {
-        // Combo pair: one dispatch, two architecturally distinct
-        // retirements (separate icount/profile/hook events per half).
-        retired += 2;
-        if PROFILE {
-            exec_counts[s.at as usize] += 1;
-            exec_counts[s.at2 as usize] += 1;
+        // Combo pair or specialized chain: one dispatch, two (or three)
+        // architecturally distinct retirements (separate
+        // icount/profile/hook events per constituent instruction).
+        if combo >= CH3_FIRST {
+            retired += 3;
+            if PROFILE {
+                exec_counts[s.at as usize] += 1;
+                exec_counts[s.at as usize + 1] += 1;
+                exec_counts[s.at2 as usize] += 1;
+            }
+        } else {
+            retired += 2;
+            if PROFILE {
+                exec_counts[s.at as usize] += 1;
+                exec_counts[s.at2 as usize] += 1;
+            }
         }
         match combo {
             COMBO_ALU_ALU => {
@@ -1635,7 +1805,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                         exit_seq!(s, s.at2);
                     }
                     Err(kind) => {
-                        return SbExit::Done {
+                        break 'exec SbExit::Done {
                             executed: retired,
                             final_pc: u64::from(s.at2),
                             outcome: Outcome::Crashed(kind),
@@ -1654,7 +1824,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                         if PROFILE {
                             exec_counts[s.at2 as usize] -= 1;
                         }
-                        return SbExit::Done {
+                        break 'exec SbExit::Done {
                             executed: retired,
                             final_pc: u64::from(s.at),
                             outcome: Outcome::Crashed(kind),
@@ -1665,8 +1835,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                 wint(regs, vp, hook, s.at2 as usize, s.op2.a, v2);
                 exit_seq!(s, s.at2);
             }
-            _ => {
-                // COMBO_ALU_BRANCH
+            COMBO_ALU_BRANCH => {
                 let v1 = alu_flat(regs, s.op);
                 wint(regs, vp, hook, s.at as usize, s.op.a, v1);
                 let a = regs[(s.op2.a & 31) as usize];
@@ -1677,16 +1846,736 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                     exit_seq!(s, s.at2);
                 }
             }
+            COMBO_ANY_ANY => {
+                // Catch-all pair: both halves through the full single-op
+                // executor — the trace-tier mirror of the fused tier's
+                // dynamic pairing. The builder guarantees the head either
+                // falls through or crashes.
+                match exec_op(regs, fregs, mem, dirty, vp, hook, s.at as usize, s.op, fpool) {
+                    Step::Next => {}
+                    Step::Crash(kind) => {
+                        // The head crashed: the second half never executed
+                        // (and must not be counted).
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                    Step::Jump(_) | Step::Halt => {
+                        unreachable!("ANY_ANY head always falls through or crashes")
+                    }
+                }
+                match exec_op(regs, fregs, mem, dirty, vp, hook, s.at2 as usize, s.op2, fpool) {
+                    Step::Next => exit_seq!(s, s.at2),
+                    Step::Jump(t) => exit_jump!(t),
+                    Step::Halt => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Halted,
+                        }
+                    }
+                    Step::Crash(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            COMBO_ALU_STORE => {
+                let v1 = alu_flat(regs, s.op);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let addr = regs[(s.op2.b & 31) as usize].wrapping_add(s.op2.imm as u32);
+                match store_flat(mem, dirty, addr, s.op2.op, regs[(s.op2.a & 31) as usize]) {
+                    Ok(()) => exit_seq!(s, s.at2),
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            COMBO_STORE_ALU => {
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match store_flat(mem, dirty, addr, s.op.op, regs[(s.op.a & 31) as usize]) {
+                    Ok(()) => {}
+                    Err(kind) => {
+                        // The first half crashed: the second never
+                        // executed (and must not be counted).
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v2 = alu_flat(regs, s.op2);
+                wint(regs, vp, hook, s.at2 as usize, s.op2.a, v2);
+                exit_seq!(s, s.at2);
+            }
+            COMBO_STORE_STORE => {
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match store_flat(mem, dirty, addr, s.op.op, regs[(s.op.a & 31) as usize]) {
+                    Ok(()) => {}
+                    Err(kind) => {
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let addr = regs[(s.op2.b & 31) as usize].wrapping_add(s.op2.imm as u32);
+                match store_flat(mem, dirty, addr, s.op2.op, regs[(s.op2.a & 31) as usize]) {
+                    Ok(()) => exit_seq!(s, s.at2),
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            // --- specialized 2-op chains (census-dominant concrete
+            // opcode pairs; straight-line, no inner dispatch) ---
+            CH_SLLI_ADD => {
+                chain_alu!(s, op1, ri, AluOp::Sll);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_ADD => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADDI_SLTI => {
+                chain_alu!(s, op1, ri, AluOp::Add);
+                chain_alu!(s, op2, ri, AluOp::Slt);
+                exit_seq!(s, s.at2);
+            }
+            CH_SUB_SRAI => {
+                chain_alu!(s, op1, rr, AluOp::Sub);
+                chain_alu!(s, op2, ri, AluOp::Sra);
+                exit_seq!(s, s.at2);
+            }
+            CH_SRAI_XOR => {
+                chain_alu!(s, op1, ri, AluOp::Sra);
+                chain_alu!(s, op2, rr, AluOp::Xor);
+                exit_seq!(s, s.at2);
+            }
+            CH_XOR_SUB => {
+                chain_alu!(s, op1, rr, AluOp::Xor);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_SLTI_ADD => {
+                chain_alu!(s, op1, ri, AluOp::Slt);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_ADDI => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_alu!(s, op2, ri, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_MULI_ADD => {
+                chain_alu!(s, op1, ri, AluOp::Mul);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ANDI_SLLI => {
+                chain_alu!(s, op1, ri, AluOp::And);
+                chain_alu!(s, op2, ri, AluOp::Sll);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_LW => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_ld2!(s, MemWidth::Word, false);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADDI_LW => {
+                chain_alu!(s, op1, ri, AluOp::Add);
+                chain_ld2!(s, MemWidth::Word, false);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_LBU => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_ld2!(s, MemWidth::Byte, false);
+                exit_seq!(s, s.at2);
+            }
+            CH_LW_ADD => {
+                chain_ld1!(s, MemWidth::Word, false);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_LW_ADDI => {
+                chain_ld1!(s, MemWidth::Word, false);
+                chain_alu!(s, op2, ri, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_LBU_SUB => {
+                chain_ld1!(s, MemWidth::Byte, false);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_LW_SLLI => {
+                chain_ld1!(s, MemWidth::Word, false);
+                chain_alu!(s, op2, ri, AluOp::Sll);
+                exit_seq!(s, s.at2);
+            }
+            CH_SLTI_BNE => {
+                chain_alu!(s, op1, ri, AluOp::Slt);
+                chain_br2!(s, |x, y| x != y);
+            }
+            CH_LW_BEQ => {
+                chain_ld1!(s, MemWidth::Word, false);
+                chain_br2!(s, |x, y| x == y);
+            }
+            CH_SUB_ADD => {
+                chain_alu!(s, op1, rr, AluOp::Sub);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_SUB => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_SUB_SUB => {
+                chain_alu!(s, op1, rr, AluOp::Sub);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_LW_LW => {
+                chain_ld1!(s, MemWidth::Word, false);
+                chain_ld2!(s, MemWidth::Word, false);
+                exit_seq!(s, s.at2);
+            }
+            CH_SW_SW => {
+                chain_st1!(s, MemWidth::Word);
+                chain_st2!(s, MemWidth::Word);
+                exit_seq!(s, s.at2);
+            }
+            CH_LBU_ADD => {
+                chain_ld1!(s, MemWidth::Byte, false);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADDI_ADD => {
+                chain_alu!(s, op1, ri, AluOp::Add);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_SRAI => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_alu!(s, op2, ri, AluOp::Sra);
+                exit_seq!(s, s.at2);
+            }
+            CH_MUL_ADD => {
+                chain_alu!(s, op1, rr, AluOp::Mul);
+                chain_alu!(s, op2, rr, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_SUB_MUL => {
+                chain_alu!(s, op1, rr, AluOp::Sub);
+                chain_alu!(s, op2, rr, AluOp::Mul);
+                exit_seq!(s, s.at2);
+            }
+            CH_SLT_SUB => {
+                chain_alu!(s, op1, rr, AluOp::Slt);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADDI_SLT => {
+                chain_alu!(s, op1, ri, AluOp::Add);
+                chain_alu!(s, op2, rr, AluOp::Slt);
+                exit_seq!(s, s.at2);
+            }
+            CH_OR_OR => {
+                chain_alu!(s, op1, rr, AluOp::Or);
+                chain_alu!(s, op2, rr, AluOp::Or);
+                exit_seq!(s, s.at2);
+            }
+            CH_LW_XOR => {
+                chain_ld1!(s, MemWidth::Word, false);
+                chain_alu!(s, op2, rr, AluOp::Xor);
+                exit_seq!(s, s.at2);
+            }
+            CH_SRLI_ANDI => {
+                chain_alu!(s, op1, ri, AluOp::Srl);
+                chain_alu!(s, op2, ri, AluOp::And);
+                exit_seq!(s, s.at2);
+            }
+            CH_MULI_SUB => {
+                chain_alu!(s, op1, ri, AluOp::Mul);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_FADD_ADDI => {
+                let v1 = fregs[(s.op.b & 31) as usize] + fregs[(s.op.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at as usize, s.op.a, v1);
+                chain_alu!(s, op2, ri, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_FMUL_FADD => {
+                let v1 = fregs[(s.op.b & 31) as usize] * fregs[(s.op.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = fregs[(s.op2.b & 31) as usize] + fregs[(s.op2.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at2 as usize, s.op2.a, v2);
+                exit_seq!(s, s.at2);
+            }
+            CH_FADD_FADD => {
+                let v1 = fregs[(s.op.b & 31) as usize] + fregs[(s.op.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = fregs[(s.op2.b & 31) as usize] + fregs[(s.op2.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at2 as usize, s.op2.a, v2);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_FLD => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                let addr = regs[(s.op2.b & 31) as usize].wrapping_add(s.op2.imm as u32);
+                match load_f64_mem(mem, addr) {
+                    Ok(v) => {
+                        wfloat(fregs, vp, hook, s.at2 as usize, s.op2.a, v);
+                        exit_seq!(s, s.at2);
+                    }
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            CH_SUB_LBU => {
+                chain_alu!(s, op1, rr, AluOp::Sub);
+                chain_ld2!(s, MemWidth::Byte, false);
+                exit_seq!(s, s.at2);
+            }
+            CH_LBU_LBU => {
+                chain_ld1!(s, MemWidth::Byte, false);
+                chain_ld2!(s, MemWidth::Byte, false);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_SLLI => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_alu!(s, op2, ri, AluOp::Sll);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADD_SW => {
+                chain_alu!(s, op1, rr, AluOp::Add);
+                chain_st2!(s, MemWidth::Word);
+                exit_seq!(s, s.at2);
+            }
+            CH_MULI_SLLI => {
+                chain_alu!(s, op1, ri, AluOp::Mul);
+                chain_alu!(s, op2, ri, AluOp::Sll);
+                exit_seq!(s, s.at2);
+            }
+            CH_SW_ADDI => {
+                chain_st1!(s, MemWidth::Word);
+                chain_alu!(s, op2, ri, AluOp::Add);
+                exit_seq!(s, s.at2);
+            }
+            CH_SLT_XORI => {
+                chain_alu!(s, op1, rr, AluOp::Slt);
+                chain_alu!(s, op2, ri, AluOp::Xor);
+                exit_seq!(s, s.at2);
+            }
+            CH_MUL_SUB => {
+                chain_alu!(s, op1, rr, AluOp::Mul);
+                chain_alu!(s, op2, rr, AluOp::Sub);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADDI_BLT => {
+                chain_alu!(s, op1, ri, AluOp::Add);
+                chain_br2!(s, |x: u32, y: u32| (x as i32) < (y as i32));
+            }
+            CH_MULI_MULI => {
+                chain_alu!(s, op1, ri, AluOp::Mul);
+                chain_alu!(s, op2, ri, AluOp::Mul);
+                exit_seq!(s, s.at2);
+            }
+            CH_ADDI_MULI => {
+                chain_alu!(s, op1, ri, AluOp::Add);
+                chain_alu!(s, op2, ri, AluOp::Mul);
+                exit_seq!(s, s.at2);
+            }
+            CH_FLD_FMUL => {
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_f64_mem(mem, addr) {
+                    Ok(v) => wfloat(fregs, vp, hook, s.at as usize, s.op.a, v),
+                    Err(kind) => {
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v2 = fregs[(s.op2.b & 31) as usize] * fregs[(s.op2.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at2 as usize, s.op2.a, v2);
+                exit_seq!(s, s.at2);
+            }
+            // --- specialized 3-op chains (field layouts documented at
+            // `specialize_triple` in decode.rs) ---
+            CH3_SLLI_ADD_LW => {
+                // op = {a:t, b:s, c:u, imm:sh}; op2 = {a:x, b:y, c:d, imm:off}.
+                let v1 = eval_alu(AluOp::Sll, regs[(s.op.b & 31) as usize], s.op.imm as u32);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op2.a & 31) as usize],
+                    regs[(s.op2.b & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at as usize + 1, s.op.c, v2);
+                let addr = regs[(s.op.c & 31) as usize].wrapping_add(s.op2.imm as u32);
+                match load_mem(mem, addr, MemWidth::Word, false) {
+                    Ok(v) => {
+                        wint(regs, vp, hook, s.at2 as usize, s.op2.c, v);
+                        exit_seq!(s, s.at2);
+                    }
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            CH3_ADD_LW_ADD => {
+                // op = {a:u, b:x, c:y, imm:off}; op2 = {a:d, b:v, c:q}.
+                let v1 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op.b & 31) as usize],
+                    regs[(s.op.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let addr = regs[(s.op.a & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_mem(mem, addr, MemWidth::Word, false) {
+                    Ok(v) => wint(regs, vp, hook, s.at as usize + 1, s.op2.a, v),
+                    Err(kind) => {
+                        // Crash at the middle instruction: the third
+                        // never executed.
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at) + 1,
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v3 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op2.a & 31) as usize],
+                    regs[(s.op2.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at2 as usize, s.op2.b, v3);
+                exit_seq!(s, s.at2);
+            }
+            CH3_LW_ADD_ADD => {
+                // op = {a:d, b:base, c:y, imm:off}; op2 = {a:u, b:v, c:q}.
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_mem(mem, addr, MemWidth::Word, false) {
+                    Ok(v) => wint(regs, vp, hook, s.at as usize, s.op.a, v),
+                    Err(kind) => {
+                        // Crash at the first instruction: neither add
+                        // executed.
+                        retired -= 2;
+                        if PROFILE {
+                            exec_counts[s.at as usize + 1] -= 1;
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v2 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op.a & 31) as usize],
+                    regs[(s.op.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at as usize + 1, s.op2.a, v2);
+                let v3 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op2.a & 31) as usize],
+                    regs[(s.op2.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at2 as usize, s.op2.b, v3);
+                exit_seq!(s, s.at2);
+            }
+            CH3_ANDI_SLLI_ADD => {
+                // op = {a:t, b:s, c:u, imm: i1 & 0xFFFF | i2 << 16};
+                // op2 = {a:x, b:v, c:p}.
+                let i1 = i32::from(s.op.imm as i16);
+                let i2 = s.op.imm >> 16;
+                let v1 = eval_alu(AluOp::And, regs[(s.op.b & 31) as usize], i1 as u32);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = eval_alu(AluOp::Sll, regs[(s.op2.a & 31) as usize], i2 as u32);
+                wint(regs, vp, hook, s.at as usize + 1, s.op.c, v2);
+                let v3 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op.c & 31) as usize],
+                    regs[(s.op2.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at2 as usize, s.op2.b, v3);
+                exit_seq!(s, s.at2);
+            }
+            CH3_SLLI_ADD_FLD => {
+                // op = {a:t, b:s, c:u, imm:sh}; op2 = {a:x, b:y, c:fd, imm:off}.
+                let v1 = eval_alu(AluOp::Sll, regs[(s.op.b & 31) as usize], s.op.imm as u32);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op2.a & 31) as usize],
+                    regs[(s.op2.b & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at as usize + 1, s.op.c, v2);
+                let addr = regs[(s.op.c & 31) as usize].wrapping_add(s.op2.imm as u32);
+                match load_f64_mem(mem, addr) {
+                    Ok(v) => {
+                        wfloat(fregs, vp, hook, s.at2 as usize, s.op2.c, v);
+                        exit_seq!(s, s.at2);
+                    }
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            CH3_LW_LW_LW => {
+                // op = {a:d1, b:b1, c:d2, imm:off1};
+                // op2 = {a:b2, b:d3, c:b3, imm: off2 & 0xFFFF | off3 << 16}.
+                let off2 = i32::from(s.op2.imm as i16);
+                let off3 = s.op2.imm >> 16;
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_mem(mem, addr, MemWidth::Word, false) {
+                    Ok(v) => wint(regs, vp, hook, s.at as usize, s.op.a, v),
+                    Err(kind) => {
+                        retired -= 2;
+                        if PROFILE {
+                            exec_counts[s.at as usize + 1] -= 1;
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let addr = regs[(s.op2.a & 31) as usize].wrapping_add(off2 as u32);
+                match load_mem(mem, addr, MemWidth::Word, false) {
+                    Ok(v) => wint(regs, vp, hook, s.at as usize + 1, s.op.c, v),
+                    Err(kind) => {
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at) + 1,
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let addr = regs[(s.op2.c & 31) as usize].wrapping_add(off3 as u32);
+                match load_mem(mem, addr, MemWidth::Word, false) {
+                    Ok(v) => {
+                        wint(regs, vp, hook, s.at2 as usize, s.op2.b, v);
+                        exit_seq!(s, s.at2);
+                    }
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            CH3_SW_SW_SW => {
+                // op = {a:rs1, b:b1, c:rs2, imm:off1};
+                // op2 = {a:b2, b:rs3, c:b3, imm: off2 & 0xFFFF | off3 << 16}.
+                let off2 = i32::from(s.op2.imm as i16);
+                let off3 = s.op2.imm >> 16;
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match store_mem(mem, dirty, addr, MemWidth::Word, regs[(s.op.a & 31) as usize]) {
+                    Ok(()) => {}
+                    Err(kind) => {
+                        retired -= 2;
+                        if PROFILE {
+                            exec_counts[s.at as usize + 1] -= 1;
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let addr = regs[(s.op2.a & 31) as usize].wrapping_add(off2 as u32);
+                match store_mem(mem, dirty, addr, MemWidth::Word, regs[(s.op.c & 31) as usize]) {
+                    Ok(()) => {}
+                    Err(kind) => {
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at) + 1,
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let addr = regs[(s.op2.c & 31) as usize].wrapping_add(off3 as u32);
+                match store_mem(mem, dirty, addr, MemWidth::Word, regs[(s.op2.b & 31) as usize]) {
+                    Ok(()) => exit_seq!(s, s.at2),
+                    Err(kind) => {
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at2),
+                            outcome: Outcome::Crashed(kind),
+                        }
+                    }
+                }
+            }
+            CH3_ADD_FLD_FMUL => {
+                // op = {a:u, b:x, c:y, imm:off}; op2 = {a:fd, b:fv, c:fq}.
+                let v1 = eval_alu(
+                    AluOp::Add,
+                    regs[(s.op.b & 31) as usize],
+                    regs[(s.op.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let addr = regs[(s.op.a & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_f64_mem(mem, addr) {
+                    Ok(v) => wfloat(fregs, vp, hook, s.at as usize + 1, s.op2.a, v),
+                    Err(kind) => {
+                        retired -= 1;
+                        if PROFILE {
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at) + 1,
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v3 = fregs[(s.op2.a & 31) as usize] * fregs[(s.op2.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at2 as usize, s.op2.b, v3);
+                exit_seq!(s, s.at2);
+            }
+            CH3_FLD_FMUL_FADD => {
+                // op = {a:fd, b:b, c:t, imm:off}; op2 = {a:u, b:v, c:q}.
+                let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
+                match load_f64_mem(mem, addr) {
+                    Ok(v) => wfloat(fregs, vp, hook, s.at as usize, s.op.a, v),
+                    Err(kind) => {
+                        retired -= 2;
+                        if PROFILE {
+                            exec_counts[s.at as usize + 1] -= 1;
+                            exec_counts[s.at2 as usize] -= 1;
+                        }
+                        break 'exec SbExit::Done {
+                            executed: retired,
+                            final_pc: u64::from(s.at),
+                            outcome: Outcome::Crashed(kind),
+                        };
+                    }
+                }
+                let v2 = fregs[(s.op.a & 31) as usize] * fregs[(s.op.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at as usize + 1, s.op2.a, v2);
+                let v3 = fregs[(s.op2.a & 31) as usize] + fregs[(s.op2.c & 31) as usize];
+                wfloat(fregs, vp, hook, s.at2 as usize, s.op2.b, v3);
+                exit_seq!(s, s.at2);
+            }
+            CH3_ADDI_SLT_SUB => {
+                // op = {a:a1, b:b1, c:u, imm:imm}; op2 = {a:x, b:v, c:q}.
+                let v1 = eval_alu(AluOp::Add, regs[(s.op.b & 31) as usize], s.op.imm as u32);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = eval_alu(
+                    AluOp::Slt,
+                    regs[(s.op2.a & 31) as usize],
+                    regs[(s.op.a & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at as usize + 1, s.op.c, v2);
+                let v3 = eval_alu(
+                    AluOp::Sub,
+                    regs[(s.op2.c & 31) as usize],
+                    regs[(s.op.c & 31) as usize],
+                );
+                wint(regs, vp, hook, s.at2 as usize, s.op2.b, v3);
+                exit_seq!(s, s.at2);
+            }
+            CH3_ADDI_SLTI_BNE => {
+                // op = {a:a1, b:b1, c:a2, imm: i1 & 0xFFFF | i2 << 16};
+                // op2 = {a:b2, b:s, c:t, imm:target}.
+                let i1 = i32::from(s.op.imm as i16);
+                let i2 = s.op.imm >> 16;
+                let v1 = eval_alu(AluOp::Add, regs[(s.op.b & 31) as usize], i1 as u32);
+                wint(regs, vp, hook, s.at as usize, s.op.a, v1);
+                let v2 = eval_alu(AluOp::Slt, regs[(s.op2.a & 31) as usize], i2 as u32);
+                wint(regs, vp, hook, s.at as usize + 1, s.op.c, v2);
+                if regs[(s.op2.b & 31) as usize] != regs[(s.op2.c & 31) as usize] {
+                    exit_jump!(u64::from(s.op2.imm as u32));
+                } else {
+                    exit_seq!(s, s.at2);
+                }
+            }
+            // Every tag decode.rs can emit has an explicit arm above: a
+            // tag landing here means a matcher/executor mismatch, which
+            // must fail loudly, not misexecute another chain's layout.
+            other => unreachable!("trace element carries unknown chain tag {other}"),
         }
         }
         }};
     }
     loop {
-        element!();
-        element!();
-        element!();
-        element!();
-    }
+            element!();
+            element!();
+            element!();
+            element!();
+        }
+    };
+    *vp = vpl;
+    result
 }
 
 /// Executes one micro-op and reports its control-flow effect: one flat

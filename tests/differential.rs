@@ -523,6 +523,170 @@ fn random_programs_agree_under_fault_injection() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Taken-path loop linearization edges: the superblock builder now lays a
+// loop-closing conditional branch's *backward* target next (unrolling
+// iterations until the trace cap), so these shapes pin the equivalence
+// across unrolled laps specifically.
+// ---------------------------------------------------------------------
+
+/// Nested counted loops (inner trip varies per outer iteration via a
+/// data dependency), with a traced call inside the loop body.
+fn nested_loop_program() -> Program {
+    let mut a = Asm::new();
+    let buf = a.data_zero(64);
+    a.func("bump", false);
+    a.addi(reg::V0, reg::V0, 3); // traced-through callee
+    a.ret();
+    a.endfunc();
+    a.func("main", false);
+    a.la(reg::S0, buf);
+    a.li(reg::V0, 0);
+    a.li(reg::T0, 5); // outer counter
+    a.label("outer");
+    a.add(reg::T1, reg::T0, reg::ZERO); // inner trip = outer counter
+    a.label("inner");
+    a.add(reg::V0, reg::V0, reg::T1);
+    a.call("bump"); // call inside the innermost loop body
+    a.sw(reg::V0, 0, reg::S0);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, "inner"); // inner back edge (unrolled)
+    a.addi(reg::T0, reg::T0, -1);
+    a.bnez(reg::T0, "outer"); // outer back edge
+    a.halt();
+    a.endfunc();
+    a.assemble().unwrap()
+}
+
+/// Nested loops with a traced call in the body: all three tiers agree on
+/// every observable, and the superblock tier actually runs the trace.
+#[test]
+fn nested_loops_with_calls_agree_across_tiers() {
+    let p = nested_loop_program();
+    for policy in [
+        SuperblockPolicy::default(),
+        SuperblockPolicy {
+            min_len: 1,
+            max_len: 24, // cap lands mid-lap: exercises lap truncation
+            ..SuperblockPolicy::default()
+        },
+    ] {
+        let sb = Arc::new(DecodedProgram::with_policy(&p, &policy));
+        let fused = Arc::new(DecodedProgram::with_policy(
+            &p,
+            &SuperblockPolicy::disabled(),
+        ));
+        for tamper in [false, true] {
+            let r = run_tier(&p, &fused, true, tamper);
+            let f = run_tier(&p, &fused, false, tamper);
+            let s = run_tier(&p, &sb, false, tamper);
+            assert_tiers_agree(7001, &f, &r, "nested fused-vs-reference");
+            assert_tiers_agree(7001, &s, &r, "nested superblock-vs-reference");
+            if !tamper {
+                assert!(
+                    s.sb_instructions > 0,
+                    "nested-loop program must exercise the superblock tier"
+                );
+            }
+        }
+    }
+}
+
+/// Pause and watchdog boundaries landing mid-unrolled-iteration: slicing
+/// a hot loop at every possible boundary is invisible, and the watchdog
+/// fires at exactly its budget in every tier.
+#[test]
+fn pause_lands_mid_unrolled_iteration() {
+    let p = nested_loop_program();
+    let config = MachineConfig::default();
+    let mut reference = Machine::new(&p, &config);
+    let expected = reference.run_reference(&mut NoHook);
+
+    // Every pause point (step 1): each boundary lands inside some
+    // unrolled lap of the inner-loop trace.
+    let mut m = Machine::new(&p, &config);
+    for target in 1..expected.instructions {
+        assert_eq!(m.run_until_simple(target), BoundedRun::Paused);
+        assert_eq!(m.instructions(), target, "pause at {target}");
+    }
+    match m.run_until_simple(expected.instructions) {
+        BoundedRun::Finished(r) => assert_eq!(r, expected),
+        BoundedRun::Paused => panic!("final step must finish"),
+    }
+    for i in 0..32u8 {
+        assert_eq!(m.reg(Reg::new(i)), reference.reg(Reg::new(i)));
+    }
+
+    // Watchdog at every budget below the natural end.
+    for budget in (1..expected.instructions).step_by(7) {
+        let cfg = MachineConfig {
+            max_instructions: budget,
+            ..MachineConfig::default()
+        };
+        let mut fast = Machine::new(&p, &cfg);
+        let mut slow = Machine::new(&p, &cfg);
+        let a = fast.run_simple();
+        let b = slow.run_reference(&mut NoHook);
+        assert_eq!(a, b, "watchdog budget {budget}");
+        assert_eq!(a.outcome, Outcome::InfiniteRun);
+        assert_eq!(a.instructions, budget);
+    }
+}
+
+/// A tampering hook that corrupts the loop counter mid-trace: the flip
+/// lands inside an unrolled lap, the loop-closing branch goes the "wrong"
+/// way relative to the linearized path, and the side exit must carry all
+/// three tiers to the identical (early or late) outcome.
+#[test]
+fn tampering_with_loop_counter_mid_trace_agrees() {
+    struct CorruptCounter {
+        countdown: u32,
+        hits: u64,
+    }
+    impl WritebackHook for CorruptCounter {
+        fn int_writeback(&mut self, _i: usize, v: u32) -> u32 {
+            self.hits += 1;
+            if self.hits == self.countdown as u64 {
+                v ^ 0x7 // flip low bits of whatever retires here
+            } else {
+                v
+            }
+        }
+    }
+    let p = nested_loop_program();
+    let config = MachineConfig {
+        max_instructions: 1 << 16,
+        ..MachineConfig::default()
+    };
+    let sb = Arc::new(DecodedProgram::new(&p));
+    let fused = Arc::new(DecodedProgram::with_policy(
+        &p,
+        &SuperblockPolicy::disabled(),
+    ));
+    // Sweep the corruption over the first 60 writebacks: some land on the
+    // inner counter (`addi t1, t1, -1`) inside an unrolled lap, flipping
+    // the loop-closing branch against the trace's taken-path layout.
+    for countdown in 1..60u32 {
+        let mut results = Vec::new();
+        for (decoded, reference) in [(&fused, true), (&fused, false), (&sb, false)] {
+            let mut m = Machine::try_new_with_decoded(&p, decoded, &config).unwrap();
+            let mut hook = CorruptCounter {
+                countdown,
+                hits: 0,
+            };
+            let r = if reference {
+                m.run_reference(&mut hook)
+            } else {
+                m.run(&mut hook)
+            };
+            let regs: Vec<u32> = (0..32).map(|i| m.reg(Reg::new(i))).collect();
+            results.push((r, hook.hits, regs));
+        }
+        assert_eq!(results[0], results[1], "countdown {countdown}: fused");
+        assert_eq!(results[0], results[2], "countdown {countdown}: superblock");
+    }
+}
+
 /// Dirty-page restore vs full-image restore: a trial resumed from a
 /// snapshot must not care which restore path refreshed the machine.
 #[test]
