@@ -82,7 +82,6 @@ impl Target for RingThresholdTarget {
         machine
             .read_bytes(self.output_addr, RING as u32)
             .ok()
-            .map(<[u8]>::to_vec)
     }
 }
 
@@ -163,10 +162,17 @@ fn bench_campaign_throughput(c: &mut Criterion) {
          ({campaign_instructions} simulated instructions per campaign)"
     );
     let trs = timed.restore_stats;
+    println!(
+        "campaign rates: {:.1} trials/s checkpointed, {} checkpoint capture bytes \
+         (copy-on-write: only pages written between checkpoints are materialized)",
+        timed.trials_per_second(),
+        timed.checkpoint_capture_bytes
+    );
     let json = format!(
         "{{\"bench\":\"campaign\",\"golden_instructions\":{},\"trials\":{},\
          \"checkpointing_on_secs\":{:.6},\"checkpointing_off_secs\":{:.6},\
          \"speedup\":{:.3},\"checkpointing_on_mips\":{:.3},\"checkpointing_off_mips\":{:.3},\
+         \"trials_per_second\":{:.3},\"checkpoint_capture_bytes\":{},\
          \"restores_dirty_page\":{},\"restores_diff_hop\":{},\
          \"restores_diff_union_cache_hits\":{},\"restores_full_image\":{}}}\n",
         golden.instructions,
@@ -176,6 +182,8 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         speedup,
         on_mips,
         off_mips,
+        timed.trials_per_second(),
+        timed.checkpoint_capture_bytes,
         trs.dirty_page,
         trs.diff_hop,
         trs.diff_union_cache_hits,

@@ -1,0 +1,219 @@
+//! Paper-scale fault-campaign bench: 1024 trials (Table-2 order of
+//! magnitude) against a medium golden run, checkpointing on vs. off.
+//!
+//! The 24-trial `campaign` bench measures restore mechanics but spreads
+//! its trials too thin to exercise the checkpoint-hop union cache the way
+//! a real table-scale campaign does; this bench runs enough trials that
+//! every checkpoint group is revisited by many workers and the hop-union
+//! MRU must serve repeated hops from cache. The trajectory gate
+//! (`bench_trajectory`) tracks the headline speedup *and* fails if the
+//! cache-hit counter reads zero — the MRU path can never silently rot
+//! into dead code.
+//!
+//! `CERTA_PAPER_TRIALS` overrides the trial count (CI uses a short-trial
+//! variant to bound runtime; the acceptance numbers are recorded at the
+//! default 1024).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use certa_asm::Asm;
+use certa_core::analyze;
+use certa_fault::{run_campaign, CampaignConfig, Protection, Target};
+use certa_isa::{reg, Program};
+use certa_sim::Machine;
+
+/// Ring buffer size (bytes); each slot is rewritten every `RING`
+/// iterations, which lets corrupted outputs heal and trials reconverge
+/// with the golden run — the behavior checkpointing exploits.
+const RING: usize = 4096;
+/// Loop iterations; ~12 instructions each puts the golden run near 1.6M —
+/// long enough that from-scratch re-execution dominates the off-mode
+/// campaign, short enough that 1024 off-mode trials stay benchable.
+const ITERS: i32 = 1 << 17;
+/// Default trial count (Table-2 scale).
+const DEFAULT_TRIALS: usize = 1024;
+
+/// Same ring-threshold kernel as the `campaign` bench, scaled down:
+/// `out[i % RING] = ((in[i % RING] * 3 + 7) & 0xff) < 128`.
+struct RingThresholdTarget {
+    program: Program,
+    input_addr: u32,
+    output_addr: u32,
+}
+
+impl RingThresholdTarget {
+    fn new() -> Self {
+        let mut a = Asm::new();
+        let input_addr = a.data_zero(RING);
+        let output_addr = a.data_zero(RING);
+        a.func("threshold", true);
+        a.la(reg::T0, input_addr);
+        a.la(reg::T4, output_addr);
+        a.li(reg::T1, 0);
+        a.label("loop");
+        a.andi(reg::T5, reg::T1, (RING - 1) as i32);
+        a.add(reg::T3, reg::T0, reg::T5);
+        a.lbu(reg::T3, 0, reg::T3);
+        a.muli(reg::T3, reg::T3, 3);
+        a.addi(reg::T3, reg::T3, 7);
+        a.andi(reg::T3, reg::T3, 255);
+        a.slti(reg::T3, reg::T3, 128);
+        a.add(reg::T6, reg::T4, reg::T5);
+        a.sb(reg::T3, 0, reg::T6);
+        a.addi(reg::T1, reg::T1, 1);
+        a.slti(reg::T6, reg::T1, ITERS);
+        a.bnez(reg::T6, "loop");
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.call("threshold");
+        a.halt();
+        a.endfunc();
+        RingThresholdTarget {
+            program: a.assemble().unwrap(),
+            input_addr,
+            output_addr,
+        }
+    }
+}
+
+impl Target for RingThresholdTarget {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, machine: &mut Machine<'_>) {
+        let input: Vec<u8> = (0..RING).map(|i| (i * 151 + 43) as u8).collect();
+        machine.write_bytes(self.input_addr, &input).unwrap();
+    }
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        machine.read_bytes(self.output_addr, RING as u32).ok()
+    }
+}
+
+fn trial_count() -> usize {
+    std::env::var("CERTA_PAPER_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_TRIALS)
+}
+
+fn campaign_config(checkpointing: bool) -> CampaignConfig {
+    CampaignConfig {
+        trials: trial_count(),
+        errors: 1,
+        protection: Protection::On,
+        seed: 0x7AB1E2,
+        checkpointing,
+        // Pinned worker count (not the core count): paper-scale campaigns
+        // are a multi-worker workload, and the hop-union MRU is a *shared*
+        // cache — each worker sweeps every checkpoint group, so adjacent
+        // hops recur across workers and all but the first come from
+        // cache. Pinning also makes the speedup comparable across
+        // machines; both modes are equally affected.
+        threads: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_campaign_paper(c: &mut Criterion) {
+    let target = RingThresholdTarget::new();
+    let tags = analyze(target.program());
+    let trials = trial_count();
+    println!("paper-scale campaign: {trials} trials (CERTA_PAPER_TRIALS overrides)");
+
+    // Warmup + determinism spot-check on a small prefix of the trial
+    // space: the full determinism contract is covered by the workspace
+    // property suite; here we only want warm caches and a sanity check.
+    let warm_cfg = CampaignConfig {
+        trials: trials.min(64),
+        ..campaign_config(true)
+    };
+    let warm_scratch_cfg = CampaignConfig {
+        checkpointing: false,
+        ..warm_cfg.clone()
+    };
+    let fast = run_campaign(&target, &tags, &warm_cfg);
+    let slow = run_campaign(&target, &tags, &warm_scratch_cfg);
+    for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
+        assert_eq!(a.outcome, b.outcome, "trial {i} outcome must match");
+        assert_eq!(a.output, b.output, "trial {i} output must match");
+        assert_eq!(a.instructions, b.instructions, "trial {i} icount must match");
+        assert_eq!(a.injected, b.injected, "trial {i} injected must match");
+    }
+
+    // Headline: one timed campaign per mode at full scale.
+    let start = Instant::now();
+    let timed = std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true)));
+    let with_checkpoints = start.elapsed();
+    let start = Instant::now();
+    std::hint::black_box(run_campaign(&target, &tags, &campaign_config(false)));
+    let from_scratch = start.elapsed();
+    let speedup = from_scratch.as_secs_f64() / with_checkpoints.as_secs_f64();
+
+    let golden_instructions = timed.golden.instructions;
+    let rs = timed.restore_stats;
+    println!(
+        "paper campaign wall-clock: checkpointing on {:.3} s, off {:.3} s → {:.1}x speedup \
+         (target ≥ 5x)",
+        with_checkpoints.as_secs_f64(),
+        from_scratch.as_secs_f64(),
+        speedup
+    );
+    println!(
+        "paper campaign rates: {:.1} trials/s, {} checkpoint capture bytes, golden {} instructions",
+        timed.trials_per_second(),
+        timed.checkpoint_capture_bytes,
+        golden_instructions
+    );
+    println!(
+        "paper campaign restores: {} dirty-page, {} diff-hop ({} hop-union cache hits), \
+         {} full-image",
+        rs.dirty_page, rs.diff_hop, rs.diff_union_cache_hits, rs.full_image
+    );
+    assert!(
+        rs.diff_union_cache_hits > 0,
+        "a {trials}-trial campaign must revisit checkpoint hops often enough to hit the \
+         hop-union cache; zero hits means the MRU path regressed to dead code"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"campaign_paper\",\"golden_instructions\":{},\"trials\":{},\
+         \"checkpointing_on_secs\":{:.6},\"checkpointing_off_secs\":{:.6},\
+         \"speedup\":{:.3},\"trials_per_second\":{:.3},\"checkpoint_capture_bytes\":{},\
+         \"restores_dirty_page\":{},\"restores_diff_hop\":{},\
+         \"restores_diff_union_cache_hits\":{},\"restores_full_image\":{}}}\n",
+        golden_instructions,
+        trials,
+        with_checkpoints.as_secs_f64(),
+        from_scratch.as_secs_f64(),
+        speedup,
+        timed.trials_per_second(),
+        timed.checkpoint_capture_bytes,
+        rs.dirty_page,
+        rs.diff_hop,
+        rs.diff_union_cache_hits,
+        rs.full_image
+    );
+    match certa_bench::write_bench_json("campaign_paper", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_campaign_paper.json: {e}"),
+    }
+
+    // One criterion entry (checkpointed mode only: the off mode at this
+    // scale is minutes, and the headline above already timed it once).
+    let mut group = c.benchmark_group("campaign_paper_throughput");
+    group.sample_size(2);
+    group.throughput(Throughput::Elements(trials as u64));
+    group.bench_function("checkpointing_on", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_paper);
+criterion_main!(benches);

@@ -33,6 +33,7 @@ const TRACKED: &[(&str, &str)] = &[
     ("dispatch", "geomean_speedup"),
     ("dispatch", "geomean_superblock_vs_fused"),
     ("campaign", "speedup"),
+    ("campaign_paper", "speedup"),
 ];
 
 /// Per-workload dispatch ratios gated at [`WORKLOAD_THRESHOLD`]: the
@@ -155,10 +156,34 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Liveness gate on the paper-scale campaign's hop-union MRU cache: a
+    // table-scale trial count must revisit checkpoint hops often enough to
+    // hit the cache, so a zero hit counter means the cached path silently
+    // regressed to dead code (exactly the failure mode that shipped
+    // unnoticed when the 24-trial bench was the only campaign artifact).
+    let paper_path = root.join("BENCH_campaign_paper.json");
+    match read_metric(&paper_path, "restores_diff_union_cache_hits") {
+        Ok(hits) if hits > 0.0 => {
+            println!("campaign_paper: restores_diff_union_cache_hits {hits:.0} — ok");
+        }
+        Ok(_) => {
+            eprintln!(
+                "campaign_paper: restores_diff_union_cache_hits is ZERO — the hop-union \
+                 MRU cache path is dead"
+            );
+            failed = true;
+        }
+        Err(e) => {
+            eprintln!("bench_trajectory: {e} (run the campaign_paper bench first)");
+            failed = true;
+        }
+    }
+
     if failed {
         eprintln!(
             "bench_trajectory: a tracked metric regressed past its threshold (geomean {:.0}%, \
-             per-workload {:.0}%) against committed baselines — see the lines above",
+             per-workload {:.0}%) against committed baselines, or a liveness gate failed — \
+             see the lines above",
             THRESHOLD * 100.0,
             WORKLOAD_THRESHOLD * 100.0
         );

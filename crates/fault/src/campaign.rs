@@ -16,20 +16,30 @@
 //!    at or before its [`FaultPlan::earliest_injection`] point and seeds
 //!    its [`Injector`] with the checkpoint's eligible-writeback count, so
 //!    the skipped prefix — which carries no flips — is never re-executed.
-//! 3. **Detects reconvergence**: once all of a trial's flips are applied,
-//!    the trial is compared against the golden snapshot at each subsequent
-//!    checkpoint boundary; if the states are bit-identical the rest of the
-//!    run *is* the golden run, so the golden outcome/output are spliced in
-//!    without executing the suffix. (Masked flips — the common case under
-//!    protection — converge quickly.)
-//! 4. **Schedules without reallocation**: worker threads
-//!    ([`std::thread::scope`]) each own one reusable [`Machine`]; restoring
-//!    a checkpoint copies into its existing buffers — and because the
-//!    simulator tracks dirty pages, re-restoring the checkpoint a worker
-//!    is already based on copies only the pages the previous trial
-//!    touched, not the whole memory image. Trials are handed out sorted by
-//!    injection point so neighboring trials share (and cheaply re-restore)
-//!    the same checkpoint.
+//! 3. **Detects reconvergence adaptively**: probing is only meaningful
+//!    once every planned flip has been applied, so after its last flip's
+//!    checkpoint the trial runs *straight through* the intermediate
+//!    checkpoints without pausing (pauses also force the simulator out of
+//!    its superblock traces, so fewer pauses mean faster trial
+//!    execution). The first probe lands at the first checkpoint past
+//!    [`FaultPlan::latest_injection`]; if the states are bit-identical
+//!    ([`Machine::state_eq`] — O(dirty pages) via copy-on-write page
+//!    sharing and per-page hashes) the rest of the run *is* the golden
+//!    run, and the golden outcome/output are spliced in without executing
+//!    the suffix. A trial that has not reconverged backs off
+//!    exponentially (probe gaps 1, 2, 4, … checkpoints): masked flips —
+//!    the common case under protection — splice at the first probe, while
+//!    persistently divergent trials stop paying per-checkpoint pauses.
+//! 4. **Schedules for incremental restore**: worker threads
+//!    ([`std::thread::scope`]) each own one reusable [`Machine`]. Trials
+//!    are sorted by restore checkpoint and injection point, then handed
+//!    out in contiguous *chunks*, so a worker's consecutive trials
+//!    restore the very checkpoint the machine is already based on —
+//!    O(pages the previous trial wrote) of pointer swaps — and the hops
+//!    that remain (between chunk groups) recur across workers, keeping
+//!    the bounded hop-union MRU cache hot. Restores never copy page
+//!    bytes and never allocate: copy-on-write page sharing swaps page
+//!    pointers and recycles displaced pages.
 //! 5. **Decodes once**: the program is lowered to the simulator's micro-op
 //!    form ([`certa_sim::DecodedProgram`]) a single time per campaign and
 //!    shared by the golden run and every trial machine.
@@ -174,11 +184,16 @@ pub struct RestoreStats {
     /// Same-checkpoint restores: only the pages the previous trial
     /// dirtied were copied.
     pub dirty_page: u64,
-    /// Checkpoint-hopping restores through a page-diff union (dirty pages
-    /// plus the pages differing along the hop).
+    /// Checkpoint-hopping restores through page-diff unions (dirty pages
+    /// plus the pages differing along the hop, walked through aligned
+    /// segment waypoints).
     pub diff_hop: u64,
-    /// Diff-hop restores whose page-diff union came from the bounded
-    /// hop-union cache instead of being re-unioned from adjacent diffs.
+    /// Hop segments whose page-diff union came from the bounded
+    /// hop-union MRU cache instead of being re-unioned from adjacent
+    /// diffs. Counted per segment, so a single long diff-hop restore can
+    /// contribute several hits; aligned segment keys recur across
+    /// workers, which is what keeps this nonzero at paper scale (gated
+    /// in CI).
     pub diff_union_cache_hits: u64,
     /// Full-image `memcpy` fallbacks (hop too wide, or the machine's base
     /// was not a checkpoint of this set).
@@ -202,9 +217,30 @@ pub struct CampaignResult {
     pub trials: Vec<TrialResult>,
     /// Restore-path breakdown of the checkpointed trial scheduler.
     pub restore_stats: RestoreStats,
+    /// Bytes actually materialized capturing the golden checkpoints: under
+    /// copy-on-write page sharing a capture copies only the pages written
+    /// since the previous checkpoint, so this is far below
+    /// `checkpoints × memory size`. Zero for campaigns run without
+    /// checkpointing.
+    pub checkpoint_capture_bytes: u64,
+    /// Wall-clock time of the whole campaign (golden run, checkpoint
+    /// capture, and all trials).
+    pub elapsed: std::time::Duration,
 }
 
 impl CampaignResult {
+    /// Completed trials per wall-clock second — the paper-scale campaign
+    /// throughput number (golden-run time is included in the denominator,
+    /// as a campaign cannot run without it).
+    #[must_use]
+    pub fn trials_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.trials.len() as f64 / secs
+    }
+
     /// Fraction of trials that ended catastrophically (Table 2's
     /// "% failures").
     #[must_use]
@@ -267,7 +303,7 @@ pub fn golden_run(
     // plain golden run, sharing one implementation with the checkpointed
     // path so the two can never diverge.
     let decoded = Arc::new(DecodedProgram::new(target.program()));
-    let (golden, _) =
+    let (golden, _, _) =
         golden_run_checkpointed(target, &decoded, tags, protection, watchdog, 0, u64::MAX);
     golden
 }
@@ -283,11 +319,16 @@ struct Checkpoint {
 /// sorted, deduplicated union of adjacent page diffs along it.
 type HopUnion = ((usize, usize), Arc<Vec<u32>>);
 
-/// Capacity of the hop-union cache: trials sorted by injection point
-/// cluster on a handful of (usually late) checkpoints, so a small MRU
-/// list covers the popular hops among the ≤ [`MAX_CHECKPOINTS`]
-/// checkpoints without ever growing with trial count.
+/// Capacity of the hop-union cache: with segmented hops (see
+/// [`CheckpointSet::hop_step`]) the working key set is the
+/// [`HOP_SEGMENT`]-aligned segments of the ≤ [`MAX_CHECKPOINTS`]
+/// checkpoint range plus short partial edges, so a small MRU list covers
+/// it without ever growing with trial count.
 const HOP_CACHE_CAPACITY: usize = 16;
+
+/// Segment length (in checkpoints) of the aligned waypoints long hops
+/// walk through (see [`CheckpointSet::hop_step`]).
+const HOP_SEGMENT: usize = 4;
 
 /// The golden checkpoints plus precomputed page diffs between adjacent
 /// pairs, so a worker machine hopping from one checkpoint to another
@@ -379,42 +420,86 @@ impl CheckpointSet {
         (None, false)
     }
 
+    /// The next checkpoint index on the segmented walk from `cur` toward
+    /// `dest`: the nearest [`HOP_SEGMENT`]-aligned index in that
+    /// direction, clamped to `dest`. Walking through aligned waypoints
+    /// gives long hops *canonical* cache keys — every worker crossing the
+    /// same region reuses the same `(kS, (k+1)S)` segment unions, no
+    /// matter where its own hop started — where a direct `(from, index)`
+    /// key would be unique to one worker's momentary position and never
+    /// hit the cache.
+    fn hop_step(cur: usize, dest: usize) -> usize {
+        const S: usize = HOP_SEGMENT;
+        if dest > cur {
+            ((cur / S + 1) * S).min(dest)
+        } else {
+            (if cur.is_multiple_of(S) { cur.saturating_sub(S) } else { (cur / S) * S }).max(dest)
+        }
+    }
+
     /// Restores `machine` to checkpoint `index` as cheaply as the
     /// machine's current base allows: dirty-page restore when it is
-    /// already based on that checkpoint, a page-diff restore when it is
-    /// based on another checkpoint of this set and the hop's diff union is
-    /// small, and the plain full-image fallback otherwise. All three paths
-    /// are bit-identical.
+    /// already based on that checkpoint; otherwise, when it is based on
+    /// another checkpoint of this set, a walk of page-diff restores
+    /// through [`Self::hop_step`] waypoints (each segment an
+    /// O(segment-diff) pointer-swap restore, with segment unions served
+    /// from the MRU cache); and the plain full-restore fallback when the
+    /// base is foreign or a segment union blows past half the image. All
+    /// paths are bit-identical: every waypoint restore lands the machine
+    /// exactly on that checkpoint's state.
     fn restore(&self, machine: &mut Machine<'_>, index: usize, diff_scratch: &mut Vec<u32>) {
         let target = &self.checkpoints[index];
         let base = machine.base_snapshot_id();
-        if base != target.snapshot.id() {
-            if let Some(from) = self
-                .checkpoints
-                .iter()
-                .position(|c| c.snapshot.id() == base)
-            {
-                // Union of adjacent diffs along the hop (diffs are
-                // symmetric, so backward hops reuse the same lists).
-                let (lo, hi) = (from.min(index), from.max(index));
-                let limit = target.snapshot.page_count() / 2;
+        if base == target.snapshot.id() {
+            self.dirty_restores.fetch_add(1, Ordering::Relaxed);
+            machine
+                .restore(&target.snapshot)
+                .expect("checkpoint memory image matches the trial machine");
+            return;
+        }
+        if let Some(from) = self
+            .checkpoints
+            .iter()
+            .position(|c| c.snapshot.id() == base)
+        {
+            let limit = target.snapshot.page_count() / 2;
+            let mut cache_hits = 0u64;
+            let mut cur = from;
+            loop {
+                let next = Self::hop_step(cur, index);
+                // Adjacent diffs are symmetric, so backward segments
+                // reuse the forward segment's key and union.
+                let (lo, hi) = (cur.min(next), cur.max(next));
                 let (cached, cache_hit) = self.hop_union(lo, hi, limit, diff_scratch);
                 let union: &[u32] = cached.as_deref().map_or(&diff_scratch[..], |u| &u[..]);
-                if union.len() < limit {
+                if union.len() >= limit {
+                    // Degenerate segment (most of the image changed):
+                    // swapping every page is cheaper than walking diffs.
+                    // Hits from segments already walked still count — the
+                    // liveness gate must see every real cache use.
+                    self.full_restores.fetch_add(1, Ordering::Relaxed);
+                    self.diff_cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
                     machine
-                        .restore_with_diff(&target.snapshot, union)
+                        .restore(&target.snapshot)
                         .expect("checkpoint memory image matches the trial machine");
-                    self.diff_restores.fetch_add(1, Ordering::Relaxed);
-                    if cache_hit {
-                        self.diff_cache_hits.fetch_add(1, Ordering::Relaxed);
-                    }
                     return;
                 }
+                machine
+                    .restore_with_diff(&self.checkpoints[next].snapshot, union)
+                    .expect("checkpoint memory image matches the trial machine");
+                if cache_hit {
+                    cache_hits += 1;
+                }
+                if next == index {
+                    break;
+                }
+                cur = next;
             }
-            self.full_restores.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.dirty_restores.fetch_add(1, Ordering::Relaxed);
+            self.diff_restores.fetch_add(1, Ordering::Relaxed);
+            self.diff_cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
+            return;
         }
+        self.full_restores.fetch_add(1, Ordering::Relaxed);
         machine
             .restore(&target.snapshot)
             .expect("checkpoint memory image matches the trial machine");
@@ -435,7 +520,9 @@ impl CheckpointSet {
 /// checkpoints: snapshots spaced `stride` dynamic instructions apart,
 /// thinned (keep every other, double the stride) whenever the count would
 /// exceed the memory budget. Checkpoint 0 is always the post-`prepare`
-/// state at instruction zero, so every trial has a restore point.
+/// state at instruction zero, so every trial has a restore point. The
+/// third return value is the bytes actually materialized by the captures
+/// (see [`certa_sim::Machine::capture_bytes`]).
 fn golden_run_checkpointed(
     target: &dyn Target,
     decoded: &Arc<DecodedProgram>,
@@ -444,7 +531,7 @@ fn golden_run_checkpointed(
     watchdog: u64,
     budget_bytes: usize,
     stride: u64,
-) -> (GoldenRun, Vec<Checkpoint>) {
+) -> (GoldenRun, Vec<Checkpoint>, u64) {
     let program = target.program();
     let config = MachineConfig {
         mem_size: target.mem_size(),
@@ -506,7 +593,8 @@ fn golden_run_checkpointed(
         eligible_population: counter.count,
         exec_counts: machine.exec_counts().to_vec(),
     };
-    (golden, checkpoints)
+    let capture_bytes = machine.capture_bytes();
+    (golden, checkpoints, capture_bytes)
 }
 
 /// Runs one trial the slow way: fresh machine, staged input, execute from
@@ -540,12 +628,28 @@ fn run_trial_scratch(
     }
 }
 
+/// Largest reconvergence-probe gap (in checkpoints) the exponential
+/// backoff reaches. Bounded so a trial that diverges early but heals late
+/// still splices within a few probes of healing, while a persistently
+/// divergent trial pays at most O(log checkpoints) pauses.
+const MAX_PROBE_GAP: usize = 8;
+
 /// Runs one trial from the nearest golden checkpoint at or before its
-/// earliest injection point, reusing `machine`'s buffers (restore is a
-/// `memcpy`, never an allocation). After the last flip is applied, the
-/// trial is compared with golden snapshots at checkpoint boundaries; on a
+/// earliest injection point, reusing `machine`'s buffers (restore is
+/// pointer swaps into existing page slots, never an allocation).
+///
+/// Reconvergence probing is adaptive: the first probe lands at the first
+/// checkpoint past the plan's *latest* injection point — probing earlier
+/// can never splice (some planned flip has not fired), so the trial runs
+/// straight through earlier checkpoints without pausing, which also keeps
+/// the simulator inside its superblock traces (a pause boundary forces
+/// per-op dispatch near it). On a failed probe the gap to the next probe
+/// doubles (1, 2, 4, … up to [`MAX_PROBE_GAP`] checkpoints). On a
 /// bit-identical match the golden result is spliced in and the suffix is
-/// skipped. See the module docs for why both directions are exact.
+/// skipped — probing later than the actual reconvergence point only costs
+/// execution time, never correctness, because a reconverged trial stays
+/// bit-identical to golden at every later checkpoint too. See the module
+/// docs for why both directions are exact.
 #[allow(clippy::too_many_arguments)]
 fn run_trial_checkpointed(
     machine: &mut Machine<'_>,
@@ -570,6 +674,7 @@ fn run_trial_checkpointed(
     }
 
     let earliest = plan.earliest_injection().expect("plan is non-empty");
+    let latest = plan.latest_injection().expect("plan is non-empty");
     let cp_index = checkpoints
         .partition_point(|c| c.eligible_seen <= earliest)
         .saturating_sub(1);
@@ -579,10 +684,14 @@ fn run_trial_checkpointed(
         Injector::with_model(target.program(), tags, config.protection, plan.clone(), config.model)
             .resume_from(checkpoint.eligible_seen);
 
-    let mut next_index = cp_index + 1;
+    // First checkpoint whose eligible count is past every planned flip
+    // (on the golden path; a control-divergent trial cannot splice anyway
+    // and the injected == planned guard below stays authoritative).
+    let mut next_index = checkpoints.partition_point(|c| c.eligible_seen <= latest);
+    let mut probe_gap = 1usize;
     let result = loop {
         let Some(next_cp) = checkpoints.get(next_index) else {
-            // Past the last checkpoint: run out the remainder unbounded.
+            // Past the last probe point: run out the remainder unbounded.
             break machine.run(&mut injector);
         };
         match machine.run_until(&mut injector, next_cp.snapshot.instructions()) {
@@ -599,7 +708,8 @@ fn run_trial_checkpointed(
                         injected: injector.injected(),
                     };
                 }
-                next_index += 1;
+                next_index += probe_gap;
+                probe_gap = (probe_gap * 2).min(MAX_PROBE_GAP);
             }
         }
     };
@@ -618,15 +728,28 @@ fn run_trial_checkpointed(
 
 /// Runs `order`'s trials across `threads` scoped workers, each owning one
 /// reusable worker state (for checkpointed campaigns, a [`Machine`] whose
-/// buffers are recycled across trials). Trials are handed out in `order`
-/// through an atomic cursor; results land at their trial index.
-fn schedule_trials<W, G, F>(order: &[usize], threads: usize, mk_worker: G, run: F) -> Vec<TrialResult>
+/// page slots are recycled across trials). Trials are handed out in
+/// `order` through an atomic cursor in contiguous chunks of `chunk`
+/// trials: with `order` sorted by restore checkpoint, a worker's
+/// consecutive trials then restore the checkpoint its machine is already
+/// based on (the O(previous trial's written pages) fast path) instead of
+/// interleaving checkpoint groups across workers. Results land at their
+/// trial index, so the output is independent of the handout. `chunk = 1`
+/// degrades to the plain work-stealing cursor.
+fn schedule_trials<W, G, F>(
+    order: &[usize],
+    threads: usize,
+    chunk: usize,
+    mk_worker: G,
+    run: F,
+) -> Vec<TrialResult>
 where
     W: Send,
     G: Fn() -> W + Sync,
     F: Fn(&mut W, usize) -> TrialResult + Sync,
 {
     let n = order.len();
+    let chunk = chunk.max(1);
     let mut results: Vec<Option<TrialResult>> = vec![None; n];
     let threads = threads.min(n);
     if threads <= 1 || n <= 1 {
@@ -644,8 +767,13 @@ where
                         let mut local = Vec::new();
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&t) = order.get(k) else { break };
-                            local.push((t, run(&mut worker, t)));
+                            let start = k.saturating_mul(chunk);
+                            if start >= n {
+                                break;
+                            }
+                            for &t in &order[start..(start + chunk).min(n)] {
+                                local.push((t, run(&mut worker, t)));
+                            }
                         }
                         local
                     })
@@ -673,13 +801,14 @@ where
 /// Panics if the golden run fails (see [`golden_run`]).
 #[must_use]
 pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig) -> CampaignResult {
+    let started = std::time::Instant::now();
     // One decode per campaign: the golden run and every trial machine share
     // the same micro-op lowering.
     let decoded = Arc::new(DecodedProgram::new(target.program()));
     // Large budget for the golden run; the trial watchdog derives from it.
     let golden_budget = u64::MAX / 2;
-    let (golden, checkpoints) = if config.checkpointing {
-        let (golden, checkpoints) = golden_run_checkpointed(
+    let (golden, checkpoints, checkpoint_capture_bytes) = if config.checkpointing {
+        let (golden, checkpoints, capture_bytes) = golden_run_checkpointed(
             target,
             &decoded,
             tags,
@@ -688,9 +817,9 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
             config.checkpoint_budget_bytes,
             config.checkpoint_stride,
         );
-        (golden, Some(CheckpointSet::new(checkpoints)))
+        (golden, Some(CheckpointSet::new(checkpoints)), capture_bytes)
     } else {
-        let (golden, _) = golden_run_checkpointed(
+        let (golden, _, _) = golden_run_checkpointed(
             target,
             &decoded,
             tags,
@@ -699,7 +828,7 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
             0,
             u64::MAX,
         );
-        (golden, None)
+        (golden, None, 0)
     };
     let watchdog = golden
         .instructions
@@ -740,14 +869,40 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
 
     let (trials, restore_stats) = match &checkpoints {
         Some(checkpoint_set) => {
-            // Sort by injection point so neighboring trials restore the
-            // same (cache-warm) checkpoint — and so hops between
-            // checkpoints are short, keeping the page-diff unions small.
+            // Sort by (restore checkpoint, injection point): trials of one
+            // checkpoint group sit contiguously, ordered by how early they
+            // diverge. Chunked handout (see `schedule_trials`) then gives
+            // each worker a run of same-checkpoint trials — consecutive
+            // trials restore incrementally from the previous trial's start
+            // state — and the chunk-boundary hops recur across workers, so
+            // the bounded hop-union MRU cache serves them warm.
+            let cps = &checkpoint_set.checkpoints;
             let mut order: Vec<usize> = (0..config.trials).collect();
-            order.sort_by_key(|&t| plans[t].earliest_injection().unwrap_or(u64::MAX));
+            order.sort_by_key(|&t| {
+                plans[t].earliest_injection().map_or(
+                    (usize::MAX, u64::MAX),
+                    |e| {
+                        let cp = cps
+                            .partition_point(|c| c.eligible_seen <= e)
+                            .saturating_sub(1);
+                        (cp, e)
+                    },
+                )
+            });
+            // Chunks sized so each worker lands several chunks in every
+            // checkpoint group: within a group a worker's consecutive
+            // chunks restore on the dirty-page fast path, while every
+            // worker still crosses every group boundary — so the adjacent
+            // checkpoint hops recur once per worker and the hop-union MRU
+            // serves all but the first from cache. (One giant chunk per
+            // worker would minimize hops but leave every hop key unique —
+            // a cold cache and a load-balance cliff.)
+            let groups = cps.len().max(1);
+            let chunk = (config.trials / (groups * threads * 2).max(1)).clamp(1, 64);
             let trials = schedule_trials(
                 &order,
                 threads,
+                chunk,
                 || {
                     let machine = Machine::from_snapshot_with_decoded(
                         program,
@@ -778,6 +933,7 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
             let trials = schedule_trials(
                 &order,
                 threads,
+                1,
                 || (),
                 |(), t| {
                     run_trial_scratch(
@@ -798,6 +954,8 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         golden,
         trials,
         restore_stats,
+        checkpoint_capture_bytes,
+        elapsed: started.elapsed(),
     }
 }
 
@@ -858,7 +1016,7 @@ mod tests {
         }
 
         fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
-            machine.read_bytes(self.output_addr, 4).ok().map(<[u8]>::to_vec)
+            machine.read_bytes(self.output_addr, 4).ok()
         }
     }
 
@@ -1022,7 +1180,7 @@ mod tests {
         let tags = analyze(&t.program);
         let plain = golden_run(&t, &tags, Protection::On, 1_000_000);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
-        let (checkpointed, cps) = golden_run_checkpointed(
+        let (checkpointed, cps, _) = golden_run_checkpointed(
             &t,
             &decoded,
             &tags,
@@ -1079,7 +1237,7 @@ mod tests {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
-        let (_, checkpoints) =
+        let (_, checkpoints, _) =
             golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
         assert!(checkpoints.len() >= 4, "need several checkpoints to hop");
         let set = CheckpointSet::new(checkpoints);
@@ -1118,7 +1276,7 @@ mod tests {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
-        let (_, checkpoints) =
+        let (_, checkpoints, _) =
             golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
         assert!(checkpoints.len() >= 4);
         let set = CheckpointSet::new(checkpoints);
@@ -1150,6 +1308,76 @@ mod tests {
         assert_eq!(stats.dirty_page, 0);
         assert_eq!(stats.full_image, 0);
         assert_eq!(stats.total(), 5);
+    }
+
+    /// A machine whose base snapshot is foreign to the checkpoint set must
+    /// take (and count) the full-image path, completing the
+    /// dirty/diff/cache/full partition of [`RestoreStats`]; a follow-up
+    /// restore of the same checkpoint is back on the dirty-page path.
+    #[test]
+    fn foreign_base_takes_the_full_image_path() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let decoded = Arc::new(DecodedProgram::new(&t.program));
+        let (_, checkpoints, _) =
+            golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
+        let set = CheckpointSet::new(checkpoints);
+        let config = MachineConfig {
+            mem_size: t.mem_size(),
+            max_instructions: 1_000_000,
+            profile: false,
+        };
+        // A snapshot that is not part of the checkpoint set.
+        let mut foreign = Machine::try_new_with_decoded(&t.program, &decoded, &config).unwrap();
+        t.prepare(&mut foreign);
+        foreign.run_until_simple(13);
+        let foreign_snap = foreign.snapshot();
+
+        let mut machine =
+            Machine::from_snapshot_with_decoded(&t.program, &decoded, &foreign_snap, &config)
+                .unwrap();
+        let mut scratch = Vec::new();
+        set.restore(&mut machine, 2, &mut scratch);
+        assert!(machine.state_eq(&set.checkpoints[2].snapshot));
+        set.restore(&mut machine, 2, &mut scratch);
+        let stats = set.stats();
+        assert_eq!(stats.full_image, 1, "foreign base cannot hop by diff");
+        assert_eq!(stats.dirty_page, 1, "second restore is same-base");
+        assert_eq!(stats.diff_hop, 0);
+        assert_eq!(stats.diff_union_cache_hits, 0);
+        assert_eq!(stats.total(), 2);
+    }
+
+    /// The campaign reports wall-clock throughput and the bytes its
+    /// checkpoint captures actually materialized (zero without
+    /// checkpointing — there are no checkpoints to pay for).
+    #[test]
+    fn campaign_reports_throughput_and_capture_bytes() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 8,
+            errors: 1,
+            checkpoint_stride: 50,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert!(r.elapsed > std::time::Duration::ZERO);
+        assert!(r.trials_per_second() > 0.0);
+        assert!(
+            r.checkpoint_capture_bytes > 0,
+            "checkpoint captures must account for the pages they materialize"
+        );
+        let scratch = run_campaign(
+            &t,
+            &tags,
+            &CampaignConfig {
+                checkpointing: false,
+                ..cfg
+            },
+        );
+        assert_eq!(scratch.checkpoint_capture_bytes, 0);
+        assert!(scratch.trials_per_second() > 0.0);
     }
 
     /// The campaign surfaces the restore breakdown, and it accounts for

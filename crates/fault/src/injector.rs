@@ -135,6 +135,15 @@ impl FaultPlan {
         self.flips.first().map(|&(idx, _)| idx)
     }
 
+    /// The largest planned eligible-execution index, or `None` for an
+    /// empty plan. The campaign's reconvergence probe starts at the first
+    /// checkpoint past this point — earlier probes can never splice,
+    /// because not every planned flip has been applied yet.
+    #[must_use]
+    pub fn latest_injection(&self) -> Option<u64> {
+        self.flips.last().map(|&(idx, _)| idx)
+    }
+
     /// The planned `(execution index, bit)` pairs, sorted by index.
     #[must_use]
     pub fn pairs(&self) -> &[(u64, u8)] {

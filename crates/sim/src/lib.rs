@@ -131,6 +131,7 @@
 
 mod decode;
 mod machine;
+mod mem;
 
 pub use decode::{chain_census, DecodedProgram, SuperblockPolicy};
 pub use machine::{

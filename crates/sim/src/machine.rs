@@ -8,11 +8,9 @@ use certa_asm::DATA_BASE;
 use certa_isa::{reg, AluOp, FpuOp, FReg, Instr, MemWidth, Program, Reg};
 
 use crate::decode::{DecodedProgram, MOp, MicroOp, SuperOp};
-
-/// Granularity of dirty-memory tracking: one bit per 4 KiB page. Guest
-/// accesses are aligned and at most 8 bytes, so a single access never
-/// spans two pages.
-const PAGE_SIZE: usize = 4096;
+use crate::mem::{
+    hash_page, load_f64_mem, load_mem, store_f64_mem, store_mem, PageBuf, PagedMem,
+};
 
 /// Monotonic id source for [`Snapshot`]s; id 0 is reserved for "no base
 /// snapshot" so a fresh machine never takes the dirty-page restore path.
@@ -179,14 +177,16 @@ impl std::error::Error for MachineError {}
 
 /// A complete copy of the architectural state of a [`Machine`] at an
 /// instruction boundary: register files, program counter, dynamic counters,
-/// and the full memory image.
+/// and the full memory image as a table of shared 4 KiB pages.
 ///
 /// Snapshots make fault campaigns cheap: the golden run records them at
 /// intervals, and every trial then [`Machine::restore`]s the latest snapshot
 /// before its first injection point instead of re-executing the prefix.
-/// Restoring never allocates or zeroes; when the machine's memory was last
-/// synchronized with the *same* snapshot, only the pages dirtied since are
-/// copied back (see [`Machine::restore`]).
+/// The page table is copy-on-write-shared with the machine it was captured
+/// from (and with every machine later restored from it): capture
+/// materializes only the pages written since the previous capture, and
+/// restore swaps page pointers instead of copying bytes (see
+/// [`Machine::restore`] and the `mem` module docs).
 ///
 /// Per-instruction profiling counts ([`Machine::exec_counts`]) are *not*
 /// part of a snapshot: they are a measurement artifact of one specific run,
@@ -202,12 +202,20 @@ pub struct Snapshot {
     pc: u64,
     icount: u64,
     value_producing: u64,
-    mem: Vec<u8>,
-    /// One 64-bit hash per [`PAGE_SIZE`] page of `mem`, computed at
-    /// snapshot time and shared by clones. [`Machine::state_eq`] uses
-    /// these to refute equality in O(pages-compared) without touching
-    /// page bytes: differing hashes prove differing content (equal hashes
-    /// prove nothing and fall back to an exact compare).
+    /// The memory image: one immutable shared page per [`PAGE_SIZE`]
+    /// bytes. Cloning a snapshot (or restoring from it) bumps reference
+    /// counts; nobody can write through these `Arc`s — a machine holding
+    /// one copies the page out before its first write.
+    pages: Vec<Arc<PageBuf>>,
+    /// Addressable bytes (the tail of the last page past this is zero
+    /// padding).
+    mem_len: usize,
+    /// One 64-bit hash per page, computed incrementally at capture (clean
+    /// pages reuse the previous capture's hash) and shared by clones.
+    /// [`Machine::state_eq`] uses these to refute equality in
+    /// O(pages-compared) without touching page bytes: differing hashes
+    /// prove differing content (equal hashes prove nothing and fall back
+    /// to an exact compare).
     page_hashes: Arc<[u64]>,
 }
 
@@ -228,18 +236,25 @@ impl Snapshot {
     /// Number of [`PAGE_SIZE`] pages in the memory image.
     #[must_use]
     pub fn page_count(&self) -> usize {
-        self.mem.len().div_ceil(PAGE_SIZE)
+        self.pages.len()
     }
 
-    /// Heap footprint in bytes for checkpoint budget accounting: the memory
-    /// image, the per-page hash table, plus the inline state — both
-    /// register files (integer and floating-point), program counter,
-    /// dynamic counters, and the id/Vec bookkeeping — which
-    /// `size_of::<Snapshot>()` covers because the register files are
-    /// stored inline, not boxed.
+    /// Logical footprint in bytes for checkpoint budget accounting: the
+    /// (fully materialized) memory image, the per-page hash table, plus
+    /// the inline state — both register files (integer and
+    /// floating-point), program counter, dynamic counters, and the
+    /// id/Vec bookkeeping — which `size_of::<Snapshot>()` covers because
+    /// the register files are stored inline, not boxed.
+    ///
+    /// Deliberately *logical*, not physical: copy-on-write sharing means
+    /// the real incremental cost of a capture is far smaller (see
+    /// [`Machine::capture_bytes`]), but budget-derived checkpoint counts
+    /// must not depend on how much happened to be shared at capture time,
+    /// or campaign results would stop being a pure function of the
+    /// configuration.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.mem.len()
+        self.mem_len
             + self.page_hashes.len() * std::mem::size_of::<u64>()
             + std::mem::size_of::<Snapshot>()
     }
@@ -248,47 +263,24 @@ impl Snapshot {
     /// (page hashes are deliberately not consulted: a hash collision must
     /// never hide a real difference, because campaigns feed this list to
     /// [`Machine::restore_with_diff`] where missing a page would corrupt
-    /// the restore). Returns `None` when the images differ in size.
+    /// the restore). Pages sharing one `Arc` are identical by
+    /// construction and skipped without touching their bytes — adjacent
+    /// golden checkpoints share almost everything, which is what makes
+    /// campaign diff precomputation cheap. Returns `None` when the images
+    /// differ in size.
     #[must_use]
     pub fn diff_pages(&self, other: &Snapshot) -> Option<Vec<u32>> {
-        if self.mem.len() != other.mem.len() {
+        if self.mem_len != other.mem_len || self.pages.len() != other.pages.len() {
             return None;
         }
         let mut pages = Vec::new();
-        for (page, (a, b)) in self
-            .mem
-            .chunks(PAGE_SIZE)
-            .zip(other.mem.chunks(PAGE_SIZE))
-            .enumerate()
-        {
-            if a != b {
+        for (page, (a, b)) in self.pages.iter().zip(&other.pages).enumerate() {
+            if !Arc::ptr_eq(a, b) && **a != **b {
                 pages.push(page as u32);
             }
         }
         Some(pages)
     }
-}
-
-/// Hashes one page of guest memory (any non-cryptographic mixer works:
-/// [`Machine::state_eq`] only ever uses hash *inequality* as evidence, so
-/// collisions cost a fallback comparison, never correctness).
-fn hash_page(bytes: &[u8]) -> u64 {
-    let mut h = 0x9E37_79B9_7F4A_7C15u64;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-        h = (h ^ v).wrapping_mul(0x2545_F491_4F6C_DD1D);
-        h ^= h >> 29;
-    }
-    for &b in chunks.remainder() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// Per-page hashes for a full memory image.
-fn hash_pages(mem: &[u8]) -> Arc<[u64]> {
-    mem.chunks(PAGE_SIZE).map(hash_page).collect()
 }
 
 /// Error returned by the host-side memory access helpers.
@@ -345,16 +337,15 @@ pub struct Machine<'p> {
     decoded: Arc<DecodedProgram>,
     regs: [u32; 32],
     fregs: [f64; 32],
-    mem: Vec<u8>,
+    /// Paged copy-on-write memory image, including the per-page dirty
+    /// bitset (see the `mem` module docs).
+    mem: PagedMem,
     pc: u64,
     icount: u64,
     value_producing: u64,
     exec_counts: Vec<u64>,
     profile: bool,
     max_instructions: u64,
-    /// One bit per [`PAGE_SIZE`] page, set by every guest store and host
-    /// write since the last restore point.
-    dirty: Vec<u64>,
     /// Id of the [`Snapshot`] this machine's memory was last synchronized
     /// with (0 = none): non-dirty pages are bit-identical to that snapshot,
     /// which is what makes dirty-page restore exact.
@@ -368,6 +359,10 @@ pub struct Machine<'p> {
     /// Instructions retired inside superblock traces (diagnostics: lets
     /// benches and tests verify the superblock tier actually executed).
     sb_retired: u64,
+    /// Cumulative bytes materialized by [`Machine::snapshot`] captures
+    /// (owned pages copied into fresh shared pages) — the true
+    /// incremental cost of checkpointing under copy-on-write sharing.
+    capture_bytes: u64,
 }
 
 /// Control-flow effect of one executed micro-op.
@@ -426,12 +421,15 @@ impl<'p> Machine<'p> {
                 mem_size: config.mem_size,
             });
         }
-        let mut mem = vec![0u8; config.mem_size as usize];
-        mem[lo..hi].copy_from_slice(&program.data);
+        let mut mem = PagedMem::new_zeroed(config.mem_size as usize);
+        mem.copy_in(lo, &program.data);
+        // The freshly loaded image has no base snapshot, so the dirty bits
+        // the loader just set carry no meaning; clear them so diagnostics
+        // (and the first capture's hash reuse guard) see a clean machine.
+        mem.clear_dirty();
         let mut regs = [0u32; 32];
         regs[reg::SP.index()] = config.mem_size - 16;
         regs[reg::GP.index()] = DATA_BASE;
-        let dirty = vec![0u64; dirty_words(mem.len())];
         Ok(Machine {
             program,
             decoded: Arc::clone(decoded),
@@ -448,10 +446,10 @@ impl<'p> Machine<'p> {
             },
             profile: config.profile,
             max_instructions: config.max_instructions,
-            dirty,
             base_snapshot: 0,
             base_hashes: None,
             sb_retired: 0,
+            capture_bytes: 0,
         })
     }
 
@@ -508,9 +506,9 @@ impl<'p> Machine<'p> {
             program.code.len(),
             "decoded program does not match the instruction stream"
         );
-        if snapshot.mem.len() != config.mem_size as usize {
+        if snapshot.mem_len != config.mem_size as usize {
             return Err(MachineError::MemSizeMismatch {
-                snapshot: snapshot.mem.len(),
+                snapshot: snapshot.mem_len,
                 machine: config.mem_size as usize,
             });
         }
@@ -519,7 +517,9 @@ impl<'p> Machine<'p> {
             decoded: Arc::clone(decoded),
             regs: snapshot.regs,
             fregs: snapshot.fregs,
-            mem: snapshot.mem.clone(),
+            // O(pages) reference bumps: the machine shares every page with
+            // the snapshot and copies one out only when it first writes it.
+            mem: PagedMem::from_shared(&snapshot.pages, snapshot.mem_len),
             pc: snapshot.pc,
             icount: snapshot.icount,
             value_producing: snapshot.value_producing,
@@ -530,10 +530,10 @@ impl<'p> Machine<'p> {
             },
             profile: config.profile,
             max_instructions: config.max_instructions,
-            dirty: vec![0u64; dirty_words(snapshot.mem.len())],
             base_snapshot: snapshot.id,
             base_hashes: Some(Arc::clone(&snapshot.page_hashes)),
             sb_retired: 0,
+            capture_bytes: 0,
         })
     }
 
@@ -545,30 +545,59 @@ impl<'p> Machine<'p> {
 
     /// Captures the complete architectural state at the current instruction
     /// boundary. See [`Snapshot`] for what is (and is not) included.
+    ///
+    /// Capture is incremental under copy-on-write sharing: only the pages
+    /// written since the previous capture/restore point are materialized
+    /// (copied into fresh shared pages and rehashed); everything else is a
+    /// reference bump reusing the previous hashes. The machine's memory is
+    /// left sharing every page with the new snapshot, which becomes its
+    /// base — so an immediately following [`Machine::restore`] of it is
+    /// free, and [`Machine::state_eq`] against it is O(pages) pointer
+    /// compares. This is why capture takes `&mut self`: it flips written
+    /// pages from owned to shared (the architectural state is unchanged).
     #[must_use]
-    pub fn snapshot(&self) -> Snapshot {
+    pub fn snapshot(&mut self) -> Snapshot {
+        let (pages, page_hashes, fresh) = self.mem.capture(self.base_hashes.as_ref());
+        self.capture_bytes += fresh;
+        let id = SNAPSHOT_IDS.fetch_add(1, Ordering::Relaxed);
+        self.base_snapshot = id;
+        self.base_hashes = Some(Arc::clone(&page_hashes));
         Snapshot {
-            id: SNAPSHOT_IDS.fetch_add(1, Ordering::Relaxed),
+            id,
             regs: self.regs,
             fregs: self.fregs,
             pc: self.pc,
             icount: self.icount,
             value_producing: self.value_producing,
-            mem: self.mem.clone(),
-            page_hashes: hash_pages(&self.mem),
+            pages,
+            mem_len: self.mem.len(),
+            page_hashes,
         }
+    }
+
+    /// Cumulative bytes materialized by this machine's
+    /// [`Machine::snapshot`] captures — the true incremental cost of
+    /// checkpointing under copy-on-write sharing (untouched pages cost a
+    /// reference bump, not a copy). Campaigns report this as checkpoint
+    /// capture bytes.
+    #[must_use]
+    pub fn capture_bytes(&self) -> u64 {
+        self.capture_bytes
     }
 
     /// Overwrites this machine's architectural state with `snapshot`.
     ///
-    /// This is the hot path of checkpointed fault campaigns, and it never
-    /// allocates or zeroes. When the machine's memory was last synchronized
-    /// with this same snapshot (a previous [`Machine::restore`] or
-    /// [`Machine::from_snapshot`] of it), only the pages dirtied since are
-    /// copied back — every clean page is already bit-identical, because all
-    /// guest stores and host writes mark the pages they touch. Restoring a
-    /// *different* snapshot falls back to the full-image copy (see
-    /// [`Machine::restore_full`]). Both paths produce bit-identical state.
+    /// This is the hot path of checkpointed fault campaigns. When the
+    /// machine's memory was last synchronized with this same snapshot (a
+    /// previous [`Machine::restore`], [`Machine::snapshot`] capture, or
+    /// [`Machine::from_snapshot`] of it), the rollback is O(dirty pages)
+    /// of pointer swaps: every page written since is swapped back to
+    /// sharing the snapshot's page, and every clean page is untouched —
+    /// no page bytes are copied at all (displaced owned pages are
+    /// recycled, so the steady-state trial loop never allocates).
+    /// Restoring a *different* snapshot falls back to swapping every slot
+    /// (see [`Machine::restore_full`] — still pointer swaps, not copies).
+    /// Both paths produce bit-identical state.
     ///
     /// Watchdog budget and profiling configuration are unchanged.
     ///
@@ -577,34 +606,35 @@ impl<'p> Machine<'p> {
     /// Returns [`MachineError::MemSizeMismatch`] if the snapshot's memory
     /// image differs in size from this machine's memory.
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), MachineError> {
-        if snapshot.mem.len() != self.mem.len() {
+        if snapshot.mem_len != self.mem.len() {
             return Err(MachineError::MemSizeMismatch {
-                snapshot: snapshot.mem.len(),
+                snapshot: snapshot.mem_len,
                 machine: self.mem.len(),
             });
         }
         if self.base_snapshot == snapshot.id {
             self.restore_registers(snapshot);
-            self.copy_dirty_pages_from(&snapshot.mem);
+            self.mem.restore_dirty_from(&snapshot.pages);
         } else {
             self.restore_full_unchecked(snapshot);
         }
         Ok(())
     }
 
-    /// Overwrites this machine's architectural state with `snapshot` using
-    /// the whole-image `memcpy`, bypassing dirty-page tracking. Exposed so
-    /// the differential suite can prove both restore paths bit-identical;
-    /// ordinary callers should use [`Machine::restore`].
+    /// Overwrites this machine's architectural state with `snapshot` by
+    /// swapping **every** page to share the snapshot's, bypassing
+    /// dirty-page tracking. Exposed so the differential suite can prove
+    /// both restore paths bit-identical; ordinary callers should use
+    /// [`Machine::restore`].
     ///
     /// # Errors
     ///
     /// Returns [`MachineError::MemSizeMismatch`] if the snapshot's memory
     /// image differs in size from this machine's memory.
     pub fn restore_full(&mut self, snapshot: &Snapshot) -> Result<(), MachineError> {
-        if snapshot.mem.len() != self.mem.len() {
+        if snapshot.mem_len != self.mem.len() {
             return Err(MachineError::MemSizeMismatch {
-                snapshot: snapshot.mem.len(),
+                snapshot: snapshot.mem_len,
                 machine: self.mem.len(),
             });
         }
@@ -614,10 +644,9 @@ impl<'p> Machine<'p> {
 
     fn restore_full_unchecked(&mut self, snapshot: &Snapshot) {
         self.restore_registers(snapshot);
-        self.mem.copy_from_slice(&snapshot.mem);
+        self.mem.restore_all_from(&snapshot.pages);
         self.base_snapshot = snapshot.id;
         self.base_hashes = Some(Arc::clone(&snapshot.page_hashes));
-        self.dirty.fill(0);
     }
 
     fn restore_registers(&mut self, snapshot: &Snapshot) {
@@ -628,26 +657,11 @@ impl<'p> Machine<'p> {
         self.value_producing = snapshot.value_producing;
     }
 
-    /// Copies only dirty pages from `from` and clears the dirty set.
-    fn copy_dirty_pages_from(&mut self, from: &[u8]) {
-        for (w, word) in self.dirty.iter_mut().enumerate() {
-            let mut bits = *word;
-            while bits != 0 {
-                let page = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let start = page * PAGE_SIZE;
-                let end = (start + PAGE_SIZE).min(from.len());
-                self.mem[start..end].copy_from_slice(&from[start..end]);
-            }
-            *word = 0;
-        }
-    }
-
     /// Number of pages dirtied since the last restore point (diagnostics
     /// and benches).
     #[must_use]
     pub fn dirty_pages(&self) -> usize {
-        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+        self.mem.dirty_page_count()
     }
 
     /// Id of the snapshot this machine's memory was last synchronized
@@ -660,12 +674,13 @@ impl<'p> Machine<'p> {
     }
 
     /// Restores `snapshot` using a precomputed page diff against the
-    /// machine's current base snapshot: instead of the whole-image copy a
+    /// machine's current base snapshot: instead of the every-slot swap a
     /// cross-snapshot [`Machine::restore`] would make, only the pages
     /// dirtied since the last restore point **plus** `changed_pages` are
-    /// copied. The fault campaign precomputes diffs between adjacent
-    /// golden checkpoints so checkpoint-hopping restores are page-granular
-    /// too.
+    /// swapped to share the snapshot's pages (pointer swaps — no byte
+    /// copies on any path). The fault campaign precomputes diffs between
+    /// adjacent golden checkpoints so checkpoint-hopping restores are
+    /// page-granular too.
     ///
     /// **Contract:** `changed_pages` must include every page on which the
     /// machine's current base snapshot (see
@@ -684,22 +699,14 @@ impl<'p> Machine<'p> {
         snapshot: &Snapshot,
         changed_pages: &[u32],
     ) -> Result<(), MachineError> {
-        if snapshot.mem.len() != self.mem.len() {
+        if snapshot.mem_len != self.mem.len() {
             return Err(MachineError::MemSizeMismatch {
-                snapshot: snapshot.mem.len(),
+                snapshot: snapshot.mem_len,
                 machine: self.mem.len(),
             });
         }
         self.restore_registers(snapshot);
-        self.copy_dirty_pages_from(&snapshot.mem);
-        for &page in changed_pages {
-            let start = page as usize * PAGE_SIZE;
-            if start >= snapshot.mem.len() {
-                continue;
-            }
-            let end = (start + PAGE_SIZE).min(snapshot.mem.len());
-            self.mem[start..end].copy_from_slice(&snapshot.mem[start..end]);
-        }
+        self.mem.restore_diff_from(&snapshot.pages, changed_pages);
         self.base_snapshot = snapshot.id;
         self.base_hashes = Some(Arc::clone(&snapshot.page_hashes));
         Ok(())
@@ -738,7 +745,7 @@ impl<'p> Machine<'p> {
 
     /// Memory comparison half of [`Machine::state_eq`].
     fn mem_eq(&self, snapshot: &Snapshot) -> bool {
-        if snapshot.mem.len() != self.mem.len() {
+        if snapshot.mem_len != self.mem.len() || snapshot.pages.len() != self.mem.page_count() {
             return false;
         }
         if self.base_snapshot == snapshot.id {
@@ -749,17 +756,23 @@ impl<'p> Machine<'p> {
         if let Some(base_hashes) = &self.base_hashes {
             if base_hashes.len() == snapshot.page_hashes.len() {
                 // Fast refutation: a differing hash proves differing
-                // content (clean pages hash to the base snapshot's value).
+                // content (clean pages hash to the base snapshot's value),
+                // and a page sharing the snapshot's `Arc` is identical by
+                // construction.
                 for (page, (&bh, &sh)) in base_hashes
                     .iter()
                     .zip(snapshot.page_hashes.iter())
                     .enumerate()
                 {
-                    let dirty = self.dirty[page >> 6] & (1 << (page & 63)) != 0;
-                    if dirty {
-                        let start = page * PAGE_SIZE;
-                        let end = (start + PAGE_SIZE).min(self.mem.len());
-                        if hash_page(&self.mem[start..end]) != sh {
+                    if self
+                        .mem
+                        .shared_page(page)
+                        .is_some_and(|a| Arc::ptr_eq(a, &snapshot.pages[page]))
+                    {
+                        continue;
+                    }
+                    if self.mem.is_dirty(page) {
+                        if hash_page(self.mem.page_bytes(page)) != sh {
                             return false;
                         }
                     } else if bh != sh {
@@ -767,28 +780,24 @@ impl<'p> Machine<'p> {
                     }
                 }
                 // No hash disagrees: confirm exactly (hash equality is
-                // evidence, not proof).
-                return self.mem == snapshot.mem;
+                // evidence, not proof; pointer-equal pages short-circuit).
+                return self.mem.eq_pages(&snapshot.pages);
             }
         }
-        self.mem == snapshot.mem
+        self.mem.eq_pages(&snapshot.pages)
     }
 
-    /// Exact comparison of this machine's dirty pages against `snapshot`.
+    /// Exact comparison of this machine's dirty pages against `snapshot`
+    /// (clean pages share the snapshot's `Arc`s or equal them by the
+    /// dirty-tracking invariant).
     fn dirty_pages_match(&self, snapshot: &Snapshot) -> bool {
-        for (w, &word) in self.dirty.iter().enumerate() {
-            let mut bits = word;
-            while bits != 0 {
-                let page = (w << 6) + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let start = page * PAGE_SIZE;
-                let end = (start + PAGE_SIZE).min(self.mem.len());
-                if self.mem[start..end] != snapshot.mem[start..end] {
-                    return false;
-                }
+        let mut equal = true;
+        self.mem.for_each_dirty(|page| {
+            if equal && *self.mem.page_bytes(page) != *snapshot.pages[page] {
+                equal = false;
             }
-        }
-        true
+        });
+        equal
     }
 
     /// Current value of an integer register.
@@ -844,13 +853,18 @@ impl<'p> Machine<'p> {
         Ok(start..end)
     }
 
-    /// Reads guest memory (harness use; bounds-checked, alignment-free).
+    /// Reads guest memory (harness use; bounds-checked, alignment-free,
+    /// may span pages — which is why this returns an owned buffer: the
+    /// paged image has no contiguous slice to borrow).
     ///
     /// # Errors
     ///
     /// Returns [`MemError`] if the range is outside addressable memory.
-    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
-        Ok(&self.mem[self.host_range(addr, len)?])
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemError> {
+        let range = self.host_range(addr, len)?;
+        let mut out = vec![0u8; len as usize];
+        self.mem.copy_out(range.start, &mut out);
+        Ok(out)
     }
 
     /// Writes guest memory (harness use; bounds-checked, alignment-free).
@@ -860,10 +874,7 @@ impl<'p> Machine<'p> {
     /// Returns [`MemError`] if the range is outside addressable memory.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
         let range = self.host_range(addr, bytes.len() as u32)?;
-        for page in (range.start / PAGE_SIZE)..=(range.end.saturating_sub(1) / PAGE_SIZE) {
-            self.dirty[page >> 6] |= 1 << (page & 63);
-        }
-        self.mem[range].copy_from_slice(bytes);
+        self.mem.copy_in(range.start, bytes);
         Ok(())
     }
 
@@ -873,8 +884,10 @@ impl<'p> Machine<'p> {
     ///
     /// Returns [`MemError`] if the range is outside addressable memory.
     pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
-        let b = self.read_bytes(addr, 4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        let range = self.host_range(addr, 4)?;
+        let mut b = [0u8; 4];
+        self.mem.copy_out(range.start, &mut b);
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Writes a little-endian 32-bit word to guest memory (harness use).
@@ -897,7 +910,7 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn store(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), CrashKind> {
-        store_mem(&mut self.mem, &mut self.dirty, addr, width, value)
+        store_mem(&mut self.mem, addr, width, value)
     }
 
     #[inline]
@@ -907,7 +920,7 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn store_f64(&mut self, addr: u32, value: f64) -> Result<(), CrashKind> {
-        store_f64_mem(&mut self.mem, &mut self.dirty, addr, value)
+        store_f64_mem(&mut self.mem, addr, value)
     }
 
     // ------------------------------------------------------------------
@@ -1046,13 +1059,12 @@ impl<'p> Machine<'p> {
         let mut vp = self.value_producing;
         let outcome = {
             // Disjoint field borrows: the compiler sees the register
-            // files, memory image, dirty bitset, and profile counters as
+            // files, paged memory image, and profile counters as
             // non-aliasing, so a guest store can never invalidate a cached
             // register value or slice length.
             let regs = &mut self.regs;
             let fregs = &mut self.fregs;
-            let mem = self.mem.as_mut_slice();
-            let dirty = self.dirty.as_mut_slice();
+            let mem = &mut self.mem;
             let exec_counts = self.exec_counts.as_mut_slice();
             loop {
                 if BOUNDED && icount >= target {
@@ -1081,7 +1093,6 @@ impl<'p> Machine<'p> {
                             regs,
                             fregs,
                             mem,
-                            dirty,
                             exec_counts,
                             &mut vp,
                             hook,
@@ -1115,7 +1126,7 @@ impl<'p> Machine<'p> {
                 if PROFILE {
                     exec_counts[at] += 1;
                 }
-                let mut step = exec_op(regs, fregs, mem, dirty, &mut vp, hook, at, m, fpool);
+                let mut step = exec_op(regs, fregs, mem, &mut vp, hook, at, m, fpool);
                 if m.fuse != 0 && icount < stop && matches!(step, Step::Next) {
                     // Fused pair: the head fell through, carries the fuse
                     // flag (a successor exists), and the successor's
@@ -1131,7 +1142,7 @@ impl<'p> Machine<'p> {
                         exec_counts[at2] += 1;
                     }
                     pc += 1;
-                    step = exec_op(regs, fregs, mem, dirty, &mut vp, hook, at2, ops[at2], fpool);
+                    step = exec_op(regs, fregs, mem, &mut vp, hook, at2, ops[at2], fpool);
                 }
                 match step {
                     Step::Next => pc += 1,
@@ -1306,110 +1317,17 @@ impl<'p> Machine<'p> {
     }
 }
 
-/// Number of `u64` bitset words needed to track `mem_len` bytes of memory
-/// at [`PAGE_SIZE`] granularity.
-fn dirty_words(mem_len: usize) -> usize {
-    mem_len.div_ceil(PAGE_SIZE).div_ceil(64)
-}
-
 // ---------------------------------------------------------------------
-// Guest memory and writeback primitives.
-//
-// These are free functions over disjoint `&mut` borrows rather than
-// methods so the micro-op dispatch loop can hand the compiler non-aliasing
-// views of the register files, memory image, and dirty bitset — a store
-// can then never invalidate a cached register value. The reference
-// interpreter reaches them through thin `Machine` method wrappers, so both
-// pipelines share one implementation of the memory model.
+// Guest memory primitives live in the `mem` module (`load_mem`,
+// `store_mem`, `load_f64_mem`, `store_f64_mem` over the paged
+// copy-on-write image); the writeback helpers below stay here. All are
+// free functions over disjoint `&mut` borrows rather than methods so the
+// micro-op dispatch loop can hand the compiler non-aliasing views of the
+// register files and the memory image — a store can then never
+// invalidate a cached register value. The reference interpreter reaches
+// them through thin `Machine` method wrappers, so both pipelines share
+// one implementation of the memory model.
 // ---------------------------------------------------------------------
-
-#[inline(always)]
-fn mark_page_dirty(dirty: &mut [u64], addr: u32) {
-    let page = addr as usize / PAGE_SIZE;
-    dirty[page >> 6] |= 1 << (page & 63);
-}
-
-#[inline(always)]
-fn check_access(mem_len: usize, addr: u32, size: u32) -> Result<usize, CrashKind> {
-    if !addr.is_multiple_of(size) {
-        return Err(CrashKind::Misaligned { addr, size });
-    }
-    let start = addr as usize;
-    let end = start + size as usize;
-    if addr < DATA_BASE || end > mem_len {
-        return Err(CrashKind::MemOutOfBounds { addr, size });
-    }
-    Ok(start)
-}
-
-#[inline(always)]
-fn load_mem(mem: &[u8], addr: u32, width: MemWidth, signed: bool) -> Result<u32, CrashKind> {
-    let size = width.bytes();
-    let i = check_access(mem.len(), addr, size)?;
-    Ok(match (width, signed) {
-        (MemWidth::Byte, false) => u32::from(mem[i]),
-        (MemWidth::Byte, true) => mem[i] as i8 as i32 as u32,
-        (MemWidth::Half, false) => u32::from(u16::from_le_bytes([mem[i], mem[i + 1]])),
-        (MemWidth::Half, true) => i16::from_le_bytes([mem[i], mem[i + 1]]) as i32 as u32,
-        (MemWidth::Word, _) => {
-            u32::from_le_bytes(mem[i..i + 4].try_into().expect("4-byte slice"))
-        }
-    })
-}
-
-#[inline(always)]
-fn store_mem(
-    mem: &mut [u8],
-    dirty: &mut [u64],
-    addr: u32,
-    width: MemWidth,
-    value: u32,
-) -> Result<(), CrashKind> {
-    let size = width.bytes();
-    let i = check_access(mem.len(), addr, size)?;
-    mark_page_dirty(dirty, addr);
-    match width {
-        MemWidth::Byte => mem[i] = value as u8,
-        MemWidth::Half => mem[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-        MemWidth::Word => mem[i..i + 4].copy_from_slice(&value.to_le_bytes()),
-    }
-    Ok(())
-}
-
-#[inline(always)]
-fn load_f64_mem(mem: &[u8], addr: u32) -> Result<f64, CrashKind> {
-    if !addr.is_multiple_of(8) {
-        return Err(CrashKind::Misaligned { addr, size: 8 });
-    }
-    let start = addr as usize;
-    let end = start + 8;
-    if addr < DATA_BASE || end > mem.len() {
-        return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
-    }
-    Ok(f64::from_le_bytes(
-        mem[start..end].try_into().expect("8-byte slice"),
-    ))
-}
-
-#[inline(always)]
-fn store_f64_mem(
-    mem: &mut [u8],
-    dirty: &mut [u64],
-    addr: u32,
-    value: f64,
-) -> Result<(), CrashKind> {
-    if !addr.is_multiple_of(8) {
-        return Err(CrashKind::Misaligned { addr, size: 8 });
-    }
-    let start = addr as usize;
-    let end = start + 8;
-    if addr < DATA_BASE || end > mem.len() {
-        return Err(CrashKind::MemOutOfBounds { addr, size: 8 });
-    }
-    mark_page_dirty(dirty, addr);
-    mem[start..end].copy_from_slice(&value.to_le_bytes());
-    Ok(())
-}
 
 /// Integer writeback through the hook (raw register index, masked so the
 /// compiler emits no bounds check). Observably identical to
@@ -1487,7 +1405,7 @@ fn alu_flat(regs: &[u32; 32], m: MicroOp) -> u32 {
 
 /// Evaluates the load half of a combo element.
 #[inline(always)]
-fn load_flat(mem: &[u8], addr: u32, op: MOp) -> Result<u32, CrashKind> {
+fn load_flat(mem: &PagedMem, addr: u32, op: MOp) -> Result<u32, CrashKind> {
     match op {
         MOp::Lb => load_mem(mem, addr, MemWidth::Byte, true),
         MOp::Lbu => load_mem(mem, addr, MemWidth::Byte, false),
@@ -1500,16 +1418,15 @@ fn load_flat(mem: &[u8], addr: u32, op: MOp) -> Result<u32, CrashKind> {
 /// Evaluates the store half of a combo element.
 #[inline(always)]
 fn store_flat(
-    mem: &mut [u8],
-    dirty: &mut [u64],
+    mem: &mut PagedMem,
     addr: u32,
     op: MOp,
     value: u32,
 ) -> Result<(), CrashKind> {
     match op {
-        MOp::Sb => store_mem(mem, dirty, addr, MemWidth::Byte, value),
-        MOp::Sh => store_mem(mem, dirty, addr, MemWidth::Half, value),
-        _ => store_mem(mem, dirty, addr, MemWidth::Word, value),
+        MOp::Sb => store_mem(mem, addr, MemWidth::Byte, value),
+        MOp::Sh => store_mem(mem, addr, MemWidth::Half, value),
+        _ => store_mem(mem, addr, MemWidth::Word, value),
     }
 }
 
@@ -1556,8 +1473,7 @@ fn branch_flat(op: MOp, a: u32, b: u32) -> bool {
 fn run_superblock<H: WritebackHook, const PROFILE: bool>(
     regs: &mut [u32; 32],
     fregs: &mut [f64; 32],
-    mem: &mut [u8],
-    dirty: &mut [u64],
+    mem: &mut PagedMem,
     exec_counts: &mut [u64],
     vp: &mut u64,
     hook: &mut H,
@@ -1689,7 +1605,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
     macro_rules! chain_st2 {
         ($s:expr, $width:expr) => {{
             let addr = regs[($s.op2.b & 31) as usize].wrapping_add($s.op2.imm as u32);
-            match store_mem(mem, dirty, addr, $width, regs[($s.op2.a & 31) as usize]) {
+            match store_mem(mem, addr, $width, regs[($s.op2.a & 31) as usize]) {
                 Ok(()) => {}
                 Err(kind) => {
                     break 'exec SbExit::Done {
@@ -1706,7 +1622,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
     macro_rules! chain_st1 {
         ($s:expr, $width:expr) => {{
             let addr = regs[($s.op.b & 31) as usize].wrapping_add($s.op.imm as u32);
-            match store_mem(mem, dirty, addr, $width, regs[($s.op.a & 31) as usize]) {
+            match store_mem(mem, addr, $width, regs[($s.op.a & 31) as usize]) {
                 Ok(()) => {}
                 Err(kind) => {
                     retired -= 1;
@@ -1751,7 +1667,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
             if PROFILE {
                 exec_counts[s.at as usize] += 1;
             }
-            match exec_op(regs, fregs, mem, dirty, vp, hook, s.at as usize, s.op, fpool) {
+            match exec_op(regs, fregs, mem, vp, hook, s.at as usize, s.op, fpool) {
                 Step::Next => exit_seq!(s, s.at),
                 Step::Jump(t) => exit_jump!(t),
                 Step::Halt => {
@@ -1851,7 +1767,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                 // executor — the trace-tier mirror of the fused tier's
                 // dynamic pairing. The builder guarantees the head either
                 // falls through or crashes.
-                match exec_op(regs, fregs, mem, dirty, vp, hook, s.at as usize, s.op, fpool) {
+                match exec_op(regs, fregs, mem, vp, hook, s.at as usize, s.op, fpool) {
                     Step::Next => {}
                     Step::Crash(kind) => {
                         // The head crashed: the second half never executed
@@ -1870,7 +1786,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                         unreachable!("ANY_ANY head always falls through or crashes")
                     }
                 }
-                match exec_op(regs, fregs, mem, dirty, vp, hook, s.at2 as usize, s.op2, fpool) {
+                match exec_op(regs, fregs, mem, vp, hook, s.at2 as usize, s.op2, fpool) {
                     Step::Next => exit_seq!(s, s.at2),
                     Step::Jump(t) => exit_jump!(t),
                     Step::Halt => {
@@ -1893,7 +1809,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                 let v1 = alu_flat(regs, s.op);
                 wint(regs, vp, hook, s.at as usize, s.op.a, v1);
                 let addr = regs[(s.op2.b & 31) as usize].wrapping_add(s.op2.imm as u32);
-                match store_flat(mem, dirty, addr, s.op2.op, regs[(s.op2.a & 31) as usize]) {
+                match store_flat(mem, addr, s.op2.op, regs[(s.op2.a & 31) as usize]) {
                     Ok(()) => exit_seq!(s, s.at2),
                     Err(kind) => {
                         break 'exec SbExit::Done {
@@ -1906,7 +1822,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
             }
             COMBO_STORE_ALU => {
                 let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
-                match store_flat(mem, dirty, addr, s.op.op, regs[(s.op.a & 31) as usize]) {
+                match store_flat(mem, addr, s.op.op, regs[(s.op.a & 31) as usize]) {
                     Ok(()) => {}
                     Err(kind) => {
                         // The first half crashed: the second never
@@ -1928,7 +1844,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
             }
             COMBO_STORE_STORE => {
                 let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
-                match store_flat(mem, dirty, addr, s.op.op, regs[(s.op.a & 31) as usize]) {
+                match store_flat(mem, addr, s.op.op, regs[(s.op.a & 31) as usize]) {
                     Ok(()) => {}
                     Err(kind) => {
                         retired -= 1;
@@ -1943,7 +1859,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                     }
                 }
                 let addr = regs[(s.op2.b & 31) as usize].wrapping_add(s.op2.imm as u32);
-                match store_flat(mem, dirty, addr, s.op2.op, regs[(s.op2.a & 31) as usize]) {
+                match store_flat(mem, addr, s.op2.op, regs[(s.op2.a & 31) as usize]) {
                     Ok(()) => exit_seq!(s, s.at2),
                     Err(kind) => {
                         break 'exec SbExit::Done {
@@ -2433,7 +2349,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                 let off2 = i32::from(s.op2.imm as i16);
                 let off3 = s.op2.imm >> 16;
                 let addr = regs[(s.op.b & 31) as usize].wrapping_add(s.op.imm as u32);
-                match store_mem(mem, dirty, addr, MemWidth::Word, regs[(s.op.a & 31) as usize]) {
+                match store_mem(mem, addr, MemWidth::Word, regs[(s.op.a & 31) as usize]) {
                     Ok(()) => {}
                     Err(kind) => {
                         retired -= 2;
@@ -2449,7 +2365,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                     }
                 }
                 let addr = regs[(s.op2.a & 31) as usize].wrapping_add(off2 as u32);
-                match store_mem(mem, dirty, addr, MemWidth::Word, regs[(s.op.c & 31) as usize]) {
+                match store_mem(mem, addr, MemWidth::Word, regs[(s.op.c & 31) as usize]) {
                     Ok(()) => {}
                     Err(kind) => {
                         retired -= 1;
@@ -2464,7 +2380,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
                     }
                 }
                 let addr = regs[(s.op2.c & 31) as usize].wrapping_add(off3 as u32);
-                match store_mem(mem, dirty, addr, MemWidth::Word, regs[(s.op2.b & 31) as usize]) {
+                match store_mem(mem, addr, MemWidth::Word, regs[(s.op2.b & 31) as usize]) {
                     Ok(()) => exit_seq!(s, s.at2),
                     Err(kind) => {
                         break 'exec SbExit::Done {
@@ -2587,8 +2503,7 @@ fn run_superblock<H: WritebackHook, const PROFILE: bool>(
 fn exec_op<H: WritebackHook>(
     regs: &mut [u32; 32],
     fregs: &mut [f64; 32],
-    mem: &mut [u8],
-    dirty: &mut [u64],
+    mem: &mut PagedMem,
     vp: &mut u64,
     hook: &mut H,
     at: usize,
@@ -2641,7 +2556,7 @@ fn exec_op<H: WritebackHook>(
     macro_rules! st {
         ($width:expr) => {{
             let addr = r!(m.b).wrapping_add(m.imm as u32);
-            match store_mem(mem, dirty, addr, $width, r!(m.a)) {
+            match store_mem(mem, addr, $width, r!(m.a)) {
                 Ok(()) => Step::Next,
                 Err(kind) => Step::Crash(kind),
             }
@@ -2770,7 +2685,7 @@ fn exec_op<H: WritebackHook>(
         MOp::FSd => {
             let addr = r!(m.b).wrapping_add(m.imm as u32);
             let v = f!(m.a);
-            match store_f64_mem(mem, dirty, addr, v) {
+            match store_f64_mem(mem, addr, v) {
                 Ok(()) => Step::Next,
                 Err(kind) => Step::Crash(kind),
             }
@@ -3702,6 +3617,96 @@ mod pipeline_tests {
         }
     }
 
+    /// Copy-on-write sharing: a page co-owned by several snapshots must
+    /// survive a machine write untouched in every one of them, and the
+    /// write must land only in the machine.
+    #[test]
+    fn write_to_page_shared_by_three_snapshots_preserves_all() {
+        let p = mixed_program();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        m.write_bytes(DATA_BASE + 100, &[0xAA; 16]).unwrap();
+        // Three captures with no writes in between: all three snapshots
+        // (and the machine) share the same page `Arc`s.
+        let s1 = m.snapshot();
+        let s2 = m.snapshot();
+        let s3 = m.snapshot();
+        assert_eq!(s1.diff_pages(&s2).unwrap(), Vec::<u32>::new());
+        assert_eq!(s2.diff_pages(&s3).unwrap(), Vec::<u32>::new());
+
+        // Write through the shared page: the machine copies it out.
+        m.write_bytes(DATA_BASE + 104, &[0xBB; 4]).unwrap();
+        assert_eq!(m.read_bytes(DATA_BASE + 104, 4).unwrap(), &[0xBB; 4]);
+        for snap in [&s1, &s2, &s3] {
+            let probe = Machine::from_snapshot(&p, snap, &MachineConfig::default()).unwrap();
+            assert_eq!(
+                probe.read_bytes(DATA_BASE + 100, 16).unwrap(),
+                vec![0xAA; 16],
+                "snapshot pages must be immune to machine writes"
+            );
+            // Rolling the writer back onto each snapshot is exact.
+            let saved = m.read_bytes(DATA_BASE + 104, 4).unwrap();
+            m.restore(snap).unwrap();
+            assert!(m.state_eq(snap));
+            assert_eq!(m.read_bytes(DATA_BASE + 104, 4).unwrap(), &[0xAA; 4]);
+            // Re-apply the write so the next loop iteration sees it again.
+            m.write_bytes(DATA_BASE + 104, &saved).unwrap();
+        }
+    }
+
+    /// Capture accounting: only pages written since the previous capture
+    /// are materialized (and counted); an untouched re-capture costs zero.
+    #[test]
+    fn capture_bytes_counts_only_written_pages() {
+        let p = mixed_program();
+        let mut m = Machine::new(&p, &MachineConfig::default());
+        let _first = m.snapshot();
+        let after_first = m.capture_bytes();
+        assert!(
+            after_first > 0,
+            "the first capture materializes the loaded data pages"
+        );
+
+        // No writes: a re-capture shares everything and costs nothing.
+        let _second = m.snapshot();
+        assert_eq!(m.capture_bytes(), after_first);
+
+        // One byte dirties one page: exactly one page is materialized.
+        m.write_bytes(DATA_BASE + 200, &[1]).unwrap();
+        let _third = m.snapshot();
+        assert_eq!(m.capture_bytes(), after_first + 4096);
+    }
+
+    /// Restores are pointer swaps under the hood, but each path must stay
+    /// bit-identical when interleaved with writes that force page copies.
+    #[test]
+    fn cow_restore_paths_stay_exact_under_interleaved_writes() {
+        let p = mixed_program();
+        let config = MachineConfig::default();
+        let mut m = Machine::new(&p, &config);
+        m.run_until_simple(40);
+        let early = m.snapshot();
+        m.run_until_simple(160);
+        let late = m.snapshot();
+        let delta = early.diff_pages(&late).unwrap();
+
+        // dirty-path restore after COW writes
+        m.write_bytes(DATA_BASE + 300, &[7; 64]).unwrap();
+        m.restore(&late).unwrap();
+        assert!(m.state_eq(&late));
+        // diff-path hop back to early, with fresh dirty pages
+        m.write_bytes(DATA_BASE + 300, &[9; 64]).unwrap();
+        m.restore_with_diff(&early, &delta).unwrap();
+        assert!(m.state_eq(&early));
+        // full path onto a machine that never saw these snapshots
+        let mut other = Machine::new(&p, &config);
+        other.restore_full(&late).unwrap();
+        assert!(other.state_eq(&late));
+        assert_eq!(m.run_simple(), {
+            let mut fresh = Machine::from_snapshot(&p, &early, &config).unwrap();
+            fresh.run_simple()
+        });
+    }
+
     #[test]
     fn restoring_a_different_snapshot_takes_the_full_path() {
         let p = mixed_program();
@@ -3752,15 +3757,11 @@ mod pipeline_tests {
     #[test]
     fn snapshot_size_accounts_for_register_files() {
         let p = mixed_program();
-        let m = Machine::new(&p, &MachineConfig::default());
+        let mut m = Machine::new(&p, &MachineConfig::default());
         let snap = m.snapshot();
         // memory image + integer regs (128 B) + float regs (256 B) + ids
         // and counters — not just the memory image.
-        assert!(snap.size_bytes() >= snap_mem_len(&snap) + 128 + 256 + 8);
-    }
-
-    fn snap_mem_len(snap: &Snapshot) -> usize {
-        snap.mem.len()
+        assert!(snap.size_bytes() >= snap.mem_len + 128 + 256 + 8);
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub fn read_output(
     if len != expected_len {
         return None;
     }
-    machine.read_bytes(buf_addr, len).ok().map(<[u8]>::to_vec)
+    machine.read_bytes(buf_addr, len).ok()
 }
 
 /// Converts an `i16` slice to little-endian bytes.

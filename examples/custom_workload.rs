@@ -80,7 +80,7 @@ impl Target for FilterWorkload {
         if len != N as u32 {
             return None;
         }
-        machine.read_bytes(self.out_addr, len).ok().map(<[u8]>::to_vec)
+        machine.read_bytes(self.out_addr, len).ok()
     }
 }
 

@@ -377,7 +377,7 @@ fn run_tier(p: &Program, decoded: &Arc<DecodedProgram>, reference: bool, tamper:
         events: hook.events,
         exec_counts: m.exec_counts().to_vec(),
         regs: (0..32).map(|i| m.reg(Reg::new(i))).collect(),
-        mem: m.read_bytes(buf_base, BUF_LEN).unwrap().to_vec(),
+        mem: m.read_bytes(buf_base, BUF_LEN).unwrap(),
         sb_instructions: m.superblock_instructions(),
     }
 }
@@ -515,7 +515,7 @@ fn random_programs_agree_under_fault_injection() {
             } else {
                 m.run(&mut injector)
             };
-            let mem = m.read_bytes(certa::asm::DATA_BASE, BUF_LEN).unwrap().to_vec();
+            let mem = m.read_bytes(certa::asm::DATA_BASE, BUF_LEN).unwrap();
             results.push((result, injector.injected(), mem));
         }
         assert_eq!(results[0], results[1], "seed {seed}: fused injection");

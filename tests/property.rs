@@ -289,7 +289,6 @@ impl Target for TransformTarget {
         machine
             .read_bytes(self.output_addr, self.size as u32 + 4)
             .ok()
-            .map(<[u8]>::to_vec)
     }
 }
 
