@@ -89,7 +89,7 @@ fn campaign_config(checkpointing: bool) -> CampaignConfig {
     CampaignConfig {
         trials: 24,
         errors: 1,
-        protection: Protection::On,
+        protection: Protection::ControlOnly,
         seed: 0xBE11C,
         checkpointing,
         ..CampaignConfig::default()
@@ -100,7 +100,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     let target = RingThresholdTarget::new();
     let tags = analyze(target.program());
 
-    let golden = golden_run(&target, &tags, Protection::On, u64::MAX / 2);
+    let golden = golden_run(&target, &tags, Protection::ControlOnly, u64::MAX / 2);
     assert!(
         golden.instructions >= 10_000_000,
         "bench workload must exceed 10M golden instructions, got {}",
@@ -116,10 +116,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     let fast = run_campaign(&target, &tags, &campaign_config(true));
     let slow = run_campaign(&target, &tags, &campaign_config(false));
     for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
-        assert_eq!(a.outcome, b.outcome, "trial {i} outcome must match");
-        assert_eq!(a.output, b.output, "trial {i} output must match");
-        assert_eq!(a.instructions, b.instructions, "trial {i} icount must match");
-        assert_eq!(a.injected, b.injected, "trial {i} injected must match");
+        assert_eq!(a, b, "trial {i} record must match");
     }
 
     // Restore-path breakdown of the warmup's checkpointed run: how many

@@ -86,7 +86,7 @@ pub fn measure_point(
     let mut scores = Vec::new();
     let mut details = Vec::new();
     let mut acceptable = 0usize;
-    for trial in &result.trials {
+    for trial in result.completed() {
         if trial.is_catastrophic() {
             continue;
         }
@@ -187,8 +187,8 @@ pub fn table2(trials: usize, seed: u64) -> Vec<Table2Row> {
     for w in all_workloads() {
         let tags = analyze(w.program());
         for errors in table2_error_levels(w.name()) {
-            let with = measure_point(&*w, &tags, Protection::On, errors, trials, seed);
-            let without = measure_point(&*w, &tags, Protection::Off, errors, trials, seed ^ 1);
+            let with = measure_point(&*w, &tags, Protection::ControlOnly, errors, trials, seed);
+            let without = measure_point(&*w, &tags, Protection::None, errors, trials, seed ^ 1);
             let golden = certa_fault::run_campaign(
                 w.as_target(),
                 &tags,
@@ -431,9 +431,9 @@ pub fn figure(spec: &FigureSpec, trials: usize, seed: u64) -> Vec<FigurePoint> {
     spec.errors
         .iter()
         .map(|&errors| {
-            let protected = measure_point(&**w, &tags, Protection::On, errors, trials, seed);
+            let protected = measure_point(&**w, &tags, Protection::ControlOnly, errors, trials, seed);
             let unprotected = spec.include_unprotected.then(|| {
-                measure_point(&**w, &tags, Protection::Off, errors, trials, seed ^ 0xF)
+                measure_point(&**w, &tags, Protection::None, errors, trials, seed ^ 0xF)
             });
             FigurePoint {
                 protected,
@@ -536,7 +536,7 @@ pub fn ablation(trials: usize, errors: u64, seed: u64) -> Vec<AblationRow> {
     for w in all_workloads() {
         for (variant, opts) in ablation_variants() {
             let tags = analyze_with(w.program(), &opts);
-            let point = measure_point(&*w, &tags, Protection::On, errors, trials, seed);
+            let point = measure_point(&*w, &tags, Protection::ControlOnly, errors, trials, seed);
             let golden = certa_fault::run_campaign(
                 w.as_target(),
                 &tags,
@@ -815,7 +815,7 @@ mod tests {
         let workloads = all_workloads();
         let w = workloads.iter().find(|w| w.name() == "adpcm").expect("adpcm");
         let tags = analyze(w.program());
-        let p = measure_point(&**w, &tags, Protection::On, 0, 3, 1);
+        let p = measure_point(&**w, &tags, Protection::ControlOnly, 0, 3, 1);
         assert_eq!(p.failure_pct, 0.0);
         assert_eq!(p.acceptable_pct, 100.0);
         assert_eq!(p.mean_score, 1.0);

@@ -13,16 +13,17 @@
 //!    doubling the spacing whenever the budget would be exceeded, and
 //!    remembers how many *eligible* writebacks each snapshot had seen.
 //! 2. **Fast-forwards each trial**: a trial restores the latest checkpoint
-//!    at or before its [`FaultPlan::earliest_injection`] point and seeds
-//!    its [`Injector`] with the checkpoint's eligible-writeback count, so
-//!    the skipped prefix — which carries no flips — is never re-executed.
+//!    at or before its earliest planned flip — by eligible-writeback count
+//!    for register plans ([`FaultPlan`]), by dynamic instruction count for
+//!    memory-cell plans ([`MemoryFaultPlan`]) — so the skipped prefix,
+//!    which carries no flips, is never re-executed.
 //! 3. **Detects reconvergence adaptively**: probing is only meaningful
 //!    once every planned flip has been applied, so after its last flip's
 //!    checkpoint the trial runs *straight through* the intermediate
 //!    checkpoints without pausing (pauses also force the simulator out of
 //!    its superblock traces, so fewer pauses mean faster trial
-//!    execution). The first probe lands at the first checkpoint past
-//!    [`FaultPlan::latest_injection`]; if the states are bit-identical
+//!    execution). The first probe lands at the first checkpoint past the
+//!    plan's latest injection point; if the states are bit-identical
 //!    ([`Machine::state_eq`] — O(dirty pages) via copy-on-write page
 //!    sharing and per-page hashes) the rest of the run *is* the golden
 //!    run, and the golden outcome/output are spliced in without executing
@@ -52,21 +53,56 @@
 //! equals the golden state, which makes the suffix exact too. The
 //! workspace property suite (`tests/property.rs`) verifies this
 //! equivalence across random seeds and workload sizes.
+//!
+//! # Harness fault containment
+//!
+//! At paper scale a campaign must survive its own harness: a trial whose
+//! hook panics, or one that wedges past any reasonable wall-clock bound,
+//! must not take down the worker thread and the campaign with it. Every
+//! trial attempt therefore runs under [`std::panic::catch_unwind`] with a
+//! wall-clock deadline ([`CampaignConfig::trial_timeout`]) checked
+//! between instruction slices. A failed attempt (panic or timeout)
+//! discards the possibly-poisoned machine state — checkpointed workers
+//! are rebuilt from checkpoint 0 via [`Machine::restore_full`], scratch
+//! workers build a fresh machine anyway — and the trial is retried once.
+//! A trial that fails the harness twice is recorded as
+//! [`TrialStatus::HarnessError`], never silently dropped, and
+//! [`CampaignResult::verify_reconciliation`] (asserted by
+//! [`run_campaign`]) checks that scheduled = completed + retried-out and
+//! that every failure, retry, and rebuild is accounted for.
+//! [`CampaignConfig::harness_faults`] lets tests sabotage specific trials
+//! with deliberate panics and hangs to prove all of this end to end.
 
 use certa_core::TagMap;
 use certa_isa::Program;
 use certa_sim::{
-    BoundedRun, DecodedProgram, Machine, MachineConfig, Outcome, Snapshot, SuperblockPolicy,
+    BoundedRun, DecodedProgram, Machine, MachineConfig, NoHook, Outcome, RunResult, Snapshot,
+    SuperblockPolicy, WritebackHook, DATA_BASE,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use crate::injector::{EligibleCounter, ErrorModel, FaultPlan, Injector, Protection};
+use crate::injector::{EligibleCounter, ErrorModel, FaultPlan, Injector};
+use crate::regime::{FaultTarget, MemoryFaultPlan, Protection};
 
 /// Hard cap on golden-run checkpoints, regardless of memory budget.
 const MAX_CHECKPOINTS: usize = 32;
+
+/// Instructions executed between wall-clock deadline checks on otherwise
+/// unbounded run segments. Large enough that the pause overhead (which
+/// forces the simulator out of its superblock traces near the boundary)
+/// is negligible, small enough that a wedged trial is caught within a
+/// fraction of a second.
+const RUN_SLICE: u64 = 1 << 20;
+
+/// Harness attempts per trial: the first run plus one retry. A trial that
+/// fails the harness this many times is reported as
+/// [`TrialStatus::HarnessError`].
+const MAX_ATTEMPTS: u32 = 2;
 
 /// Something that can be fault-injected: a program plus the harness logic
 /// that stages its input into guest memory and extracts its output.
@@ -90,6 +126,43 @@ pub trait Target: Sync {
     }
 }
 
+/// Deliberate harness sabotage for containment tests: which trials'
+/// attempts are poisoned with a panicking hook or a wall-clock hang.
+///
+/// Each entry is `(trial index, number of leading attempts to poison)`:
+/// `(3, 1)` makes trial 3's first attempt fail and its retry succeed,
+/// `(3, 2)` retries trial 3 out into a [`TrialStatus::HarnessError`].
+/// Empty by default — production campaigns never sabotage themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HarnessFaultInjection {
+    /// Trials whose leading attempts panic before the run starts.
+    pub panic_trials: Vec<(usize, u32)>,
+    /// Trials whose leading attempts stall past the wall-clock deadline.
+    pub hang_trials: Vec<(usize, u32)>,
+}
+
+impl HarnessFaultInjection {
+    /// Whether no sabotage is configured (the production case).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.panic_trials.is_empty() && self.hang_trials.is_empty()
+    }
+
+    fn panic_attempts(&self, trial: usize) -> u32 {
+        self.panic_trials
+            .iter()
+            .find(|&&(t, _)| t == trial)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    fn hang_attempts(&self, trial: usize) -> u32 {
+        self.hang_trials
+            .iter()
+            .find(|&&(t, _)| t == trial)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
 /// Campaign configuration.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -97,11 +170,14 @@ pub struct CampaignConfig {
     pub trials: usize,
     /// Bit flips injected per trial (the paper's "errors inserted").
     pub errors: u64,
-    /// Protection regime.
+    /// Protection regime (the control-vs-data axis; see [`Protection`]).
     pub protection: Protection,
+    /// Where faults land: register writebacks or resident memory cells.
+    pub target: FaultTarget,
     /// Base seed; trial `t` uses a seed derived from `(seed, t)`.
     pub seed: u64,
     /// Watchdog budget as a multiple of the golden instruction count.
+    /// Exceeding it is the experiment's "infinite execution" outcome.
     pub watchdog_factor: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
@@ -119,6 +195,14 @@ pub struct CampaignConfig {
     /// exceed the budget, so any golden length ends up with a bounded,
     /// roughly even checkpoint set.
     pub checkpoint_stride: u64,
+    /// Wall-clock deadline per trial attempt — the escalation above the
+    /// instruction-budget watchdog. A watchdog trip is an experimental
+    /// outcome ([`certa_sim::Outcome::InfiniteRun`]); blowing the
+    /// wall-clock deadline is a *harness* failure, handled by the
+    /// containment policy (retry once, then [`TrialStatus::HarnessError`]).
+    pub trial_timeout: Duration,
+    /// Deliberate sabotage for containment tests (empty in production).
+    pub harness_faults: HarnessFaultInjection,
 }
 
 impl Default for CampaignConfig {
@@ -126,7 +210,8 @@ impl Default for CampaignConfig {
         CampaignConfig {
             trials: 100,
             errors: 1,
-            protection: Protection::On,
+            protection: Protection::ControlOnly,
+            target: FaultTarget::Registers,
             seed: 0xCE27A,
             watchdog_factor: 10,
             threads: 0,
@@ -134,6 +219,8 @@ impl Default for CampaignConfig {
             checkpointing: true,
             checkpoint_budget_bytes: 256 << 20,
             checkpoint_stride: 1 << 16,
+            trial_timeout: Duration::from_secs(60),
+            harness_faults: HarnessFaultInjection::default(),
         }
     }
 }
@@ -153,7 +240,7 @@ pub struct GoldenRun {
 }
 
 /// One trial's result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialResult {
     /// How the run ended.
     pub outcome: Outcome,
@@ -171,6 +258,94 @@ impl TrialResult {
     #[must_use]
     pub fn is_catastrophic(&self) -> bool {
         self.outcome.is_catastrophic()
+    }
+}
+
+/// Which harness-level failure mode an attempt (or a retried-out trial)
+/// hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessFailure {
+    /// The trial panicked (caught by the per-trial `catch_unwind`).
+    Panic,
+    /// The trial blew its wall-clock deadline.
+    Timeout,
+}
+
+/// How one scheduled trial ended, harness-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialStatus {
+    /// The trial ran to an experimental outcome.
+    Completed(TrialResult),
+    /// The trial failed the harness [`MAX_ATTEMPTS`] times and was
+    /// retried out. Reported, never silently dropped.
+    HarnessError(HarnessFailure),
+}
+
+/// One scheduled trial's record: its status plus how many harness retries
+/// it consumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// How the trial ended.
+    pub status: TrialStatus,
+    /// Harness retries consumed (0 for a first-attempt completion).
+    pub retries: u32,
+}
+
+impl TrialRecord {
+    /// The experimental result, if the trial completed.
+    #[must_use]
+    pub fn result(&self) -> Option<&TrialResult> {
+        match &self.status {
+            TrialStatus::Completed(result) => Some(result),
+            TrialStatus::HarnessError(_) => None,
+        }
+    }
+
+    /// Whether the trial was retried out as a harness error.
+    #[must_use]
+    pub fn is_harness_error(&self) -> bool {
+        matches!(self.status, TrialStatus::HarnessError(_))
+    }
+}
+
+/// Campaign-level containment accounting (see the module docs): every
+/// failed attempt, retry, machine rebuild, and retried-out trial is
+/// counted, and [`CampaignResult::verify_reconciliation`] checks they
+/// balance against the per-trial records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HarnessStats {
+    /// Attempts that panicked (caught and contained).
+    pub panics: u64,
+    /// Attempts that blew the wall-clock deadline.
+    pub timeouts: u64,
+    /// Retries granted after failed attempts.
+    pub retries: u64,
+    /// Machine rebuilds after failed attempts (restore-from-checkpoint-0
+    /// for checkpointed workers, fresh construction for scratch workers).
+    pub rebuilds: u64,
+    /// Trials retried out into [`TrialStatus::HarnessError`].
+    pub harness_errors: u64,
+}
+
+/// Shared atomic counterpart of [`HarnessStats`], bumped by workers.
+#[derive(Default)]
+struct HarnessCounters {
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    rebuilds: AtomicU64,
+    harness_errors: AtomicU64,
+}
+
+impl HarnessCounters {
+    fn snapshot(&self) -> HarnessStats {
+        HarnessStats {
+            panics: self.panics.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            harness_errors: self.harness_errors.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -208,15 +383,43 @@ impl RestoreStats {
     }
 }
 
+/// Counts of completed trials by raw simulator outcome, plus the trials
+/// the harness retried out. Replaces the old positional
+/// `(halted, crashed, infinite)` tuple — with a six-way verdict taxonomy
+/// layered on top (see `certa_fidelity::verdict`), positional counts are
+/// an accident waiting to happen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Trials that ran to a clean halt.
+    pub halted: usize,
+    /// Trials that crashed (memory violation, misalignment, control
+    /// derailment).
+    pub crashed: usize,
+    /// Trials that tripped the instruction-budget watchdog.
+    pub infinite: usize,
+    /// Trials retried out as [`TrialStatus::HarnessError`].
+    pub harness_error: usize,
+}
+
+impl OutcomeCounts {
+    /// Total scheduled trials accounted for.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.halted + self.crashed + self.infinite + self.harness_error
+    }
+}
+
 /// Aggregated campaign results.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// The fault-free reference run.
     pub golden: GoldenRun,
-    /// Per-trial results, in trial order.
-    pub trials: Vec<TrialResult>,
+    /// Per-trial records, in trial order.
+    pub trials: Vec<TrialRecord>,
     /// Restore-path breakdown of the checkpointed trial scheduler.
     pub restore_stats: RestoreStats,
+    /// Containment accounting (all zero for an unsabotaged, healthy run).
+    pub harness_stats: HarnessStats,
     /// Bytes actually materialized capturing the golden checkpoints: under
     /// copy-on-write page sharing a capture copies only the pages written
     /// since the previous checkpoint, so this is far below
@@ -241,38 +444,99 @@ impl CampaignResult {
         self.trials.len() as f64 / secs
     }
 
-    /// Fraction of trials that ended catastrophically (Table 2's
-    /// "% failures").
+    /// Iterates over the results of trials that completed (skipping
+    /// harness errors).
+    pub fn completed(&self) -> impl Iterator<Item = &TrialResult> + '_ {
+        self.trials.iter().filter_map(TrialRecord::result)
+    }
+
+    /// Fraction of completed trials that ended catastrophically (Table
+    /// 2's "% failures").
     #[must_use]
     pub fn failure_rate(&self) -> f64 {
-        if self.trials.is_empty() {
+        let mut completed = 0usize;
+        let mut failures = 0usize;
+        for trial in self.completed() {
+            completed += 1;
+            failures += usize::from(trial.is_catastrophic());
+        }
+        if completed == 0 {
             return 0.0;
         }
-        let failures = self.trials.iter().filter(|t| t.is_catastrophic()).count();
-        failures as f64 / self.trials.len() as f64
+        failures as f64 / completed as f64
     }
 
     /// Iterates over the outputs of completed (halted) trials.
     pub fn completed_outputs(&self) -> impl Iterator<Item = &[u8]> + '_ {
-        self.trials
-            .iter()
-            .filter_map(|t| t.output.as_deref())
+        self.completed().filter_map(|t| t.output.as_deref())
     }
 
-    /// Counts trials by outcome: `(halted, crashed, infinite)`.
+    /// Counts every scheduled trial by raw outcome (see
+    /// [`OutcomeCounts`]).
     #[must_use]
-    pub fn outcome_counts(&self) -> (usize, usize, usize) {
-        let mut halted = 0;
-        let mut crashed = 0;
-        let mut infinite = 0;
-        for t in &self.trials {
-            match t.outcome {
-                Outcome::Halted => halted += 1,
-                Outcome::Crashed(_) => crashed += 1,
-                Outcome::InfiniteRun => infinite += 1,
+    pub fn outcome_counts(&self) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for record in &self.trials {
+            match &record.status {
+                TrialStatus::Completed(t) => match t.outcome {
+                    Outcome::Halted => counts.halted += 1,
+                    Outcome::Crashed(_) => counts.crashed += 1,
+                    Outcome::InfiniteRun => counts.infinite += 1,
+                },
+                TrialStatus::HarnessError(_) => counts.harness_error += 1,
             }
         }
-        (halted, crashed, infinite)
+        counts
+    }
+
+    /// Checks the campaign-level containment invariants: every scheduled
+    /// trial is either completed or a harness error, the per-trial retry
+    /// counts sum to the campaign retry counter, every failed attempt was
+    /// either retried or retried out, and every failed attempt rebuilt
+    /// its worker machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    /// [`run_campaign`] asserts this before returning, so a violation is
+    /// a harness bug, not an experimental outcome.
+    pub fn verify_reconciliation(&self) -> Result<(), String> {
+        let completed = self.completed().count();
+        let errors = self.trials.iter().filter(|r| r.is_harness_error()).count();
+        if completed + errors != self.trials.len() {
+            return Err(format!(
+                "trial records do not partition: {completed} completed + {errors} errors != {} scheduled",
+                self.trials.len()
+            ));
+        }
+        let stats = &self.harness_stats;
+        if errors as u64 != stats.harness_errors {
+            return Err(format!(
+                "harness-error records ({errors}) disagree with the campaign counter ({})",
+                stats.harness_errors
+            ));
+        }
+        let retry_sum: u64 = self.trials.iter().map(|r| u64::from(r.retries)).sum();
+        if retry_sum != stats.retries {
+            return Err(format!(
+                "per-trial retries ({retry_sum}) disagree with the campaign counter ({})",
+                stats.retries
+            ));
+        }
+        let failed_attempts = stats.panics + stats.timeouts;
+        if failed_attempts != stats.retries + stats.harness_errors {
+            return Err(format!(
+                "failed attempts ({failed_attempts}) != retries ({}) + harness errors ({})",
+                stats.retries, stats.harness_errors
+            ));
+        }
+        if stats.rebuilds != failed_attempts {
+            return Err(format!(
+                "rebuilds ({}) != failed attempts ({failed_attempts})",
+                stats.rebuilds
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -597,6 +861,124 @@ fn golden_run_checkpointed(
     (golden, checkpoints, capture_bytes)
 }
 
+/// One trial's pre-sampled fault plan, dispatched by the campaign's
+/// [`FaultTarget`].
+#[derive(Debug, Clone)]
+enum TrialPlan {
+    /// Register-writeback flips, keyed by eligible-execution index.
+    Reg(FaultPlan),
+    /// Memory-cell flips, keyed by dynamic instruction count.
+    Mem(MemoryFaultPlan),
+}
+
+impl TrialPlan {
+    fn is_empty(&self) -> bool {
+        match self {
+            TrialPlan::Reg(p) => p.is_empty(),
+            TrialPlan::Mem(p) => p.is_empty(),
+        }
+    }
+
+    fn earliest_injection(&self) -> Option<u64> {
+        match self {
+            TrialPlan::Reg(p) => p.earliest_injection(),
+            TrialPlan::Mem(p) => p.earliest_injection(),
+        }
+    }
+}
+
+/// The latest checkpoint a trial with this plan can restore from:
+/// register plans compare against the checkpoint's eligible-writeback
+/// count, memory plans against its dynamic instruction count (strictly
+/// below the earliest flip boundary, which is where the flip *pauses*,
+/// so restoring there would skip it).
+fn restore_checkpoint_index(checkpoints: &[Checkpoint], plan: &TrialPlan) -> usize {
+    match plan {
+        TrialPlan::Reg(p) => {
+            let earliest = p.earliest_injection().expect("plan is non-empty");
+            checkpoints
+                .partition_point(|c| c.eligible_seen <= earliest)
+                .saturating_sub(1)
+        }
+        TrialPlan::Mem(p) => {
+            let earliest = p.earliest_injection().expect("plan is non-empty");
+            checkpoints
+                .partition_point(|c| c.snapshot.instructions() < earliest)
+                .saturating_sub(1)
+        }
+    }
+}
+
+/// How a trial attempt ended, harness-wise: an experimental result, or a
+/// blown wall-clock deadline (the containment wrapper decides retry vs.
+/// [`TrialStatus::HarnessError`]).
+enum TrialExec {
+    Done(TrialResult),
+    TimedOut,
+}
+
+/// Runs `machine` to completion in [`RUN_SLICE`]-instruction slices,
+/// checking the wall-clock `deadline` between slices. `None` means the
+/// deadline passed with the run still going — a harness failure, distinct
+/// from the instruction-budget watchdog (which finishes the run with
+/// [`Outcome::InfiniteRun`], an experimental outcome).
+fn run_sliced<H: WritebackHook>(
+    machine: &mut Machine<'_>,
+    hook: &mut H,
+    deadline: Instant,
+) -> Option<RunResult> {
+    loop {
+        let bound = machine.instructions().saturating_add(RUN_SLICE);
+        match machine.run_until(hook, bound) {
+            BoundedRun::Finished(result) => return Some(result),
+            BoundedRun::Paused => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Applies a memory-cell plan's flips at their instruction boundaries:
+/// runs to each boundary, flips the planned data-segment bit through the
+/// copy-on-write store, and counts the flips that landed. Returns the
+/// run's result if it finished before (or at) some boundary, `Ok(None)`
+/// if all boundaries were passed with the run still going, and
+/// `Err(TrialExec::TimedOut)` on a blown deadline.
+fn apply_memory_flips(
+    machine: &mut Machine<'_>,
+    plan: &MemoryFaultPlan,
+    injected: &mut u32,
+    deadline: Instant,
+) -> Result<Option<RunResult>, TrialExec> {
+    let mut hook = NoHook;
+    for &(at, offset, bit) in plan.triples() {
+        if at <= machine.instructions() {
+            // Resumed past this boundary (cannot happen from the campaign
+            // scheduler, which restores strictly below the earliest flip,
+            // but explicit plans could): the flip is missed, exactly as a
+            // hook attached late would miss it.
+            continue;
+        }
+        match machine.run_until(&mut hook, at) {
+            BoundedRun::Finished(result) => return Ok(Some(result)),
+            BoundedRun::Paused => {
+                if Instant::now() >= deadline {
+                    return Err(TrialExec::TimedOut);
+                }
+                if machine
+                    .flip_memory_bit(DATA_BASE.saturating_add(offset), bit)
+                    .is_ok()
+                {
+                    *injected += 1;
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Runs one trial the slow way: fresh machine, staged input, execute from
 /// instruction zero. This is the reference path (`checkpointing: false`)
 /// the accelerated path must match bit-for-bit.
@@ -606,26 +988,54 @@ fn run_trial_scratch(
     tags: &TagMap,
     config: &CampaignConfig,
     machine_config: &MachineConfig,
-    plan: &FaultPlan,
-) -> TrialResult {
+    plan: &TrialPlan,
+    deadline: Instant,
+) -> TrialExec {
     let program = target.program();
     let mut machine = Machine::try_new_with_decoded(program, decoded, machine_config)
         .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"));
     target.prepare(&mut machine);
-    let mut injector =
-        Injector::with_model(program, tags, config.protection, plan.clone(), config.model);
-    let result = machine.run(&mut injector);
+    let (result, injected) = match plan {
+        TrialPlan::Reg(plan) => {
+            let mut injector = Injector::with_model(
+                program,
+                tags,
+                config.protection,
+                plan.clone(),
+                config.model,
+            );
+            let Some(result) = run_sliced(&mut machine, &mut injector, deadline) else {
+                return TrialExec::TimedOut;
+            };
+            (result, injector.injected())
+        }
+        TrialPlan::Mem(plan) => {
+            let mut injected = 0u32;
+            let early = match apply_memory_flips(&mut machine, plan, &mut injected, deadline) {
+                Ok(early) => early,
+                Err(timed_out) => return timed_out,
+            };
+            let result = match early {
+                Some(result) => result,
+                None => match run_sliced(&mut machine, &mut NoHook, deadline) {
+                    Some(result) => result,
+                    None => return TrialExec::TimedOut,
+                },
+            };
+            (result, injected)
+        }
+    };
     let output = if result.outcome == Outcome::Halted {
         target.extract(&machine)
     } else {
         None
     };
-    TrialResult {
+    TrialExec::Done(TrialResult {
         outcome: result.outcome,
         output,
         instructions: result.instructions,
-        injected: injector.injected(),
-    }
+        injected,
+    })
 }
 
 /// Largest reconvergence-probe gap (in checkpoints) the exponential
@@ -650,66 +1060,137 @@ const MAX_PROBE_GAP: usize = 8;
 /// execution time, never correctness, because a reconverged trial stays
 /// bit-identical to golden at every later checkpoint too. See the module
 /// docs for why both directions are exact.
+///
+/// Memory-cell plans follow the identical structure with instruction
+/// counts in place of eligible-writeback counts: run to each flip
+/// boundary, flip the planned bit through the copy-on-write store, then
+/// probe for reconvergence past the last boundary.
 #[allow(clippy::too_many_arguments)]
 fn run_trial_checkpointed(
     machine: &mut Machine<'_>,
     target: &dyn Target,
     tags: &TagMap,
     config: &CampaignConfig,
-    plan: &FaultPlan,
+    plan: &TrialPlan,
     checkpoint_set: &CheckpointSet,
     diff_scratch: &mut Vec<u32>,
     golden: &GoldenRun,
-) -> TrialResult {
+    deadline: Instant,
+) -> TrialExec {
     let checkpoints = &checkpoint_set.checkpoints;
-    let planned = plan.len() as u32;
-    if planned == 0 {
+    if plan.is_empty() {
         // No flips will ever fire, so the trial *is* the golden run.
-        return TrialResult {
+        return TrialExec::Done(TrialResult {
             outcome: Outcome::Halted,
             output: Some(golden.output.clone()),
             instructions: golden.instructions,
             injected: 0,
-        };
+        });
     }
 
-    let earliest = plan.earliest_injection().expect("plan is non-empty");
-    let latest = plan.latest_injection().expect("plan is non-empty");
-    let cp_index = checkpoints
-        .partition_point(|c| c.eligible_seen <= earliest)
-        .saturating_sub(1);
+    let cp_index = restore_checkpoint_index(checkpoints, plan);
     let checkpoint = &checkpoints[cp_index];
     checkpoint_set.restore(machine, cp_index, diff_scratch);
-    let mut injector =
-        Injector::with_model(target.program(), tags, config.protection, plan.clone(), config.model)
-            .resume_from(checkpoint.eligible_seen);
 
-    // First checkpoint whose eligible count is past every planned flip
-    // (on the golden path; a control-divergent trial cannot splice anyway
-    // and the injected == planned guard below stays authoritative).
-    let mut next_index = checkpoints.partition_point(|c| c.eligible_seen <= latest);
-    let mut probe_gap = 1usize;
-    let result = loop {
-        let Some(next_cp) = checkpoints.get(next_index) else {
-            // Past the last probe point: run out the remainder unbounded.
-            break machine.run(&mut injector);
-        };
-        match machine.run_until(&mut injector, next_cp.snapshot.instructions()) {
-            BoundedRun::Finished(result) => break result,
-            BoundedRun::Paused => {
-                if injector.injected() == planned && machine.state_eq(&next_cp.snapshot) {
-                    // Every planned flip is applied and the state has
-                    // reconverged with the golden run (the flips were
-                    // masked): the remainder is bit-identical to golden.
-                    return TrialResult {
-                        outcome: Outcome::Halted,
-                        output: Some(golden.output.clone()),
-                        instructions: golden.instructions,
-                        injected: injector.injected(),
+    // Stage 1: apply every planned flip, then find the first probe index.
+    // Register plans inject through the writeback hook while running;
+    // memory plans pause at each flip boundary and flip the stored bit.
+    enum Stage1 {
+        Probing { next_index: usize },
+        Finished(RunResult),
+    }
+    let planned;
+    let mut injector = None;
+    let mut mem_injected = 0u32;
+    let stage1 = match plan {
+        TrialPlan::Reg(plan) => {
+            planned = plan.len() as u32;
+            let latest = plan.latest_injection().expect("plan is non-empty");
+            injector = Some(
+                Injector::with_model(
+                    target.program(),
+                    tags,
+                    config.protection,
+                    plan.clone(),
+                    config.model,
+                )
+                .resume_from(checkpoint.eligible_seen),
+            );
+            // First checkpoint whose eligible count is past every planned
+            // flip (on the golden path; a control-divergent trial cannot
+            // splice anyway and the injected == planned guard below stays
+            // authoritative).
+            Stage1::Probing {
+                next_index: checkpoints.partition_point(|c| c.eligible_seen <= latest),
+            }
+        }
+        TrialPlan::Mem(plan) => {
+            planned = plan.len() as u32;
+            let latest = plan.latest_injection().expect("plan is non-empty");
+            match apply_memory_flips(machine, plan, &mut mem_injected, deadline) {
+                Ok(None) => Stage1::Probing {
+                    next_index: checkpoints
+                        .partition_point(|c| c.snapshot.instructions() <= latest),
+                },
+                Ok(Some(result)) => Stage1::Finished(result),
+                Err(timed_out) => return timed_out,
+            }
+        }
+    };
+
+    // Stage 2: run toward completion, pausing at probe checkpoints to
+    // test for reconvergence with the golden run.
+    let injected_now = |injector: &Option<Injector>, mem_injected: u32| match injector {
+        Some(inj) => inj.injected(),
+        None => mem_injected,
+    };
+    let result = match stage1 {
+        Stage1::Finished(result) => result,
+        Stage1::Probing { mut next_index } => {
+            let mut probe_gap = 1usize;
+            let mut mem_hook = NoHook;
+            loop {
+                let Some(next_cp) = checkpoints.get(next_index) else {
+                    // Past the last probe point: run out the remainder in
+                    // deadline-checked slices.
+                    let finished = match &mut injector {
+                        Some(inj) => run_sliced(machine, inj, deadline),
+                        None => run_sliced(machine, &mut mem_hook, deadline),
                     };
+                    match finished {
+                        Some(result) => break result,
+                        None => return TrialExec::TimedOut,
+                    }
+                };
+                let bound = next_cp.snapshot.instructions();
+                let paused = match &mut injector {
+                    Some(inj) => machine.run_until(inj, bound),
+                    None => machine.run_until(&mut mem_hook, bound),
+                };
+                match paused {
+                    BoundedRun::Finished(result) => break result,
+                    BoundedRun::Paused => {
+                        if Instant::now() >= deadline {
+                            return TrialExec::TimedOut;
+                        }
+                        if injected_now(&injector, mem_injected) == planned
+                            && machine.state_eq(&next_cp.snapshot)
+                        {
+                            // Every planned flip is applied and the state
+                            // has reconverged with the golden run (the
+                            // flips were masked): the remainder is
+                            // bit-identical to golden.
+                            return TrialExec::Done(TrialResult {
+                                outcome: Outcome::Halted,
+                                output: Some(golden.output.clone()),
+                                instructions: golden.instructions,
+                                injected: planned,
+                            });
+                        }
+                        next_index += probe_gap;
+                        probe_gap = (probe_gap * 2).min(MAX_PROBE_GAP);
+                    }
                 }
-                next_index += probe_gap;
-                probe_gap = (probe_gap * 2).min(MAX_PROBE_GAP);
             }
         }
     };
@@ -718,11 +1199,79 @@ fn run_trial_checkpointed(
     } else {
         None
     };
-    TrialResult {
+    TrialExec::Done(TrialResult {
         outcome: result.outcome,
         output,
         instructions: result.instructions,
-        injected: injector.injected(),
+        injected: injected_now(&injector, mem_injected),
+    })
+}
+
+/// The per-trial containment wrapper: runs up to [`MAX_ATTEMPTS`]
+/// attempts of `attempt_run` under `catch_unwind` with a fresh wall-clock
+/// deadline each, applying any configured sabotage
+/// ([`CampaignConfig::harness_faults`]) at attempt entry, rebuilding the
+/// worker after every failed attempt, and bumping the shared containment
+/// counters so [`CampaignResult::verify_reconciliation`] can balance the
+/// books.
+fn contain<W>(
+    trial: usize,
+    config: &CampaignConfig,
+    counters: &HarnessCounters,
+    worker: &mut W,
+    rebuild: impl Fn(&mut W),
+    attempt_run: impl Fn(&mut W, Instant) -> TrialExec,
+) -> TrialRecord {
+    let mut retries = 0u32;
+    let mut last_failure = None;
+    for attempt in 0..MAX_ATTEMPTS {
+        let deadline = Instant::now() + config.trial_timeout;
+        let exec = catch_unwind(AssertUnwindSafe(|| {
+            if attempt < config.harness_faults.panic_attempts(trial) {
+                // `resume_unwind` skips the global panic hook: injected
+                // faults are expected and must not spam stderr.
+                std::panic::resume_unwind(Box::new("injected harness fault: panicking hook"));
+            }
+            if attempt < config.harness_faults.hang_attempts(trial) {
+                // Simulate a wedged trial: stall past the deadline.
+                std::thread::sleep(config.trial_timeout + Duration::from_millis(20));
+            }
+            if Instant::now() >= deadline {
+                return TrialExec::TimedOut;
+            }
+            attempt_run(&mut *worker, deadline)
+        }));
+        match exec {
+            Ok(TrialExec::Done(result)) => {
+                return TrialRecord {
+                    status: TrialStatus::Completed(result),
+                    retries,
+                };
+            }
+            Ok(TrialExec::TimedOut) => {
+                counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                last_failure = Some(HarnessFailure::Timeout);
+            }
+            Err(_) => {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                last_failure = Some(HarnessFailure::Panic);
+            }
+        }
+        // The attempt failed: whatever state the machine was left in is
+        // suspect, so discard it before any retry.
+        rebuild(&mut *worker);
+        counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+        if attempt + 1 < MAX_ATTEMPTS {
+            retries += 1;
+            counters.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    counters.harness_errors.fetch_add(1, Ordering::Relaxed);
+    TrialRecord {
+        status: TrialStatus::HarnessError(
+            last_failure.expect("at least one attempt ran and failed"),
+        ),
+        retries,
     }
 }
 
@@ -736,21 +1285,22 @@ fn run_trial_checkpointed(
 /// interleaving checkpoint groups across workers. Results land at their
 /// trial index, so the output is independent of the handout. `chunk = 1`
 /// degrades to the plain work-stealing cursor.
-fn schedule_trials<W, G, F>(
+fn schedule_trials<R, W, G, F>(
     order: &[usize],
     threads: usize,
     chunk: usize,
     mk_worker: G,
     run: F,
-) -> Vec<TrialResult>
+) -> Vec<R>
 where
+    R: Send,
     W: Send,
     G: Fn() -> W + Sync,
-    F: Fn(&mut W, usize) -> TrialResult + Sync,
+    F: Fn(&mut W, usize) -> R + Sync,
 {
     let n = order.len();
     let chunk = chunk.max(1);
-    let mut results: Vec<Option<TrialResult>> = vec![None; n];
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let threads = threads.min(n);
     if threads <= 1 || n <= 1 {
         let mut worker = mk_worker();
@@ -794,11 +1344,15 @@ where
 
 /// Runs a full campaign: golden run, then `config.trials` parallel
 /// fault-injection trials (checkpoint-accelerated by default — see the
-/// module docs; results are bit-identical to from-scratch execution).
+/// module docs; results are bit-identical to from-scratch execution),
+/// each contained by the harness-fault policy (panic isolation,
+/// wall-clock timeout, bounded retry).
 ///
 /// # Panics
 ///
-/// Panics if the golden run fails (see [`golden_run`]).
+/// Panics if the golden run fails (see [`golden_run`]) or if the
+/// campaign's trial accounting does not reconcile (a harness bug — see
+/// [`CampaignResult::verify_reconciliation`]).
 #[must_use]
 pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig) -> CampaignResult {
     let started = std::time::Instant::now();
@@ -860,13 +1414,26 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
     // Pre-sample every trial's plan. This matches sampling inside the
     // trial exactly — the per-trial RNG is used for nothing else — and the
     // scheduler needs the injection points up front to sort trials.
-    let plans: Vec<FaultPlan> = (0..config.trials)
+    let plans: Vec<TrialPlan> = (0..config.trials)
         .map(|t| {
             let mut rng = SmallRng::seed_from_u64(trial_seed(config.seed, t));
-            FaultPlan::sample(&mut rng, golden.eligible_population, config.errors)
+            match config.target {
+                FaultTarget::Registers => TrialPlan::Reg(FaultPlan::sample(
+                    &mut rng,
+                    golden.eligible_population,
+                    config.errors,
+                )),
+                FaultTarget::MemoryCells => TrialPlan::Mem(MemoryFaultPlan::sample(
+                    &mut rng,
+                    golden.instructions,
+                    program.data.len(),
+                    config.errors,
+                )),
+            }
         })
         .collect();
 
+    let counters = HarnessCounters::default();
     let (trials, restore_stats) = match &checkpoints {
         Some(checkpoint_set) => {
             // Sort by (restore checkpoint, injection point): trials of one
@@ -879,15 +1446,10 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
             let cps = &checkpoint_set.checkpoints;
             let mut order: Vec<usize> = (0..config.trials).collect();
             order.sort_by_key(|&t| {
-                plans[t].earliest_injection().map_or(
-                    (usize::MAX, u64::MAX),
-                    |e| {
-                        let cp = cps
-                            .partition_point(|c| c.eligible_seen <= e)
-                            .saturating_sub(1);
-                        (cp, e)
-                    },
-                )
+                let plan = &plans[t];
+                plan.earliest_injection().map_or((usize::MAX, u64::MAX), |e| {
+                    (restore_checkpoint_index(cps, plan), e)
+                })
             });
             // Chunks sized so each worker lands several chunks in every
             // checkpoint group: within a group a worker's consecutive
@@ -913,16 +1475,29 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                     .expect("checkpoint matches the campaign machine config");
                     (machine, Vec::new())
                 },
-                |(machine, diff_scratch), t| {
-                    run_trial_checkpointed(
-                        machine,
-                        target,
-                        tags,
+                |worker: &mut (Machine<'_>, Vec<u32>), t| {
+                    contain(
+                        t,
                         config,
-                        &plans[t],
-                        checkpoint_set,
-                        diff_scratch,
-                        &golden,
+                        &counters,
+                        worker,
+                        |w| {
+                            w.0.restore_full(&checkpoint_set.checkpoints[0].snapshot)
+                                .expect("checkpoint matches the campaign machine config");
+                        },
+                        |w, deadline| {
+                            run_trial_checkpointed(
+                                &mut w.0,
+                                target,
+                                tags,
+                                config,
+                                &plans[t],
+                                checkpoint_set,
+                                &mut w.1,
+                                &golden,
+                                deadline,
+                            )
+                        },
                     )
                 },
             );
@@ -935,14 +1510,27 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
                 threads,
                 1,
                 || (),
-                |(), t| {
-                    run_trial_scratch(
-                        target,
-                        &trial_decoded,
-                        tags,
+                |worker, t| {
+                    contain(
+                        t,
                         config,
-                        &machine_config,
-                        &plans[t],
+                        &counters,
+                        worker,
+                        |_| {
+                            // Scratch trials build a fresh machine per
+                            // attempt; the "rebuild" is that construction.
+                        },
+                        |_, deadline| {
+                            run_trial_scratch(
+                                target,
+                                &trial_decoded,
+                                tags,
+                                config,
+                                &machine_config,
+                                &plans[t],
+                                deadline,
+                            )
+                        },
                     )
                 },
             );
@@ -950,13 +1538,18 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
         }
     };
 
-    CampaignResult {
+    let result = CampaignResult {
         golden,
         trials,
         restore_stats,
+        harness_stats: counters.snapshot(),
         checkpoint_capture_bytes,
         elapsed: started.elapsed(),
+    };
+    if let Err(violation) = result.verify_reconciliation() {
+        panic!("campaign trial accounting must reconcile: {violation}");
     }
+    result
 }
 
 #[cfg(test)]
@@ -1024,7 +1617,7 @@ mod tests {
     fn golden_run_captures_reference() {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
-        let g = golden_run(&t, &tags, Protection::On, 1_000_000);
+        let g = golden_run(&t, &tags, Protection::ControlOnly, 1_000_000);
         let sum = u32::from_le_bytes(g.output.clone().try_into().unwrap());
         assert_eq!(sum, (0..64u32).sum::<u32>());
         assert!(g.eligible_population > 0);
@@ -1042,7 +1635,8 @@ mod tests {
         };
         let r = run_campaign(&t, &tags, &cfg);
         assert_eq!(r.failure_rate(), 0.0);
-        for trial in &r.trials {
+        assert_eq!(r.completed().count(), 4);
+        for trial in r.completed() {
             assert_eq!(trial.output.as_deref(), Some(&r.golden.output[..]));
             assert_eq!(trial.injected, 0);
         }
@@ -1050,14 +1644,14 @@ mod tests {
 
     #[test]
     fn protected_campaign_never_crashes_this_kernel() {
-        // With protection on, faults hit only the accumulator chain: outputs
-        // may differ but control never derails.
+        // With control data protected, faults hit only the accumulator
+        // chain: outputs may differ but control never derails.
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let cfg = CampaignConfig {
             trials: 50,
             errors: 2,
-            protection: Protection::On,
+            protection: Protection::ControlOnly,
             threads: 2,
             ..CampaignConfig::default()
         };
@@ -1082,7 +1676,7 @@ mod tests {
         let cfg = CampaignConfig {
             trials: 60,
             errors: 4,
-            protection: Protection::Off,
+            protection: Protection::None,
             threads: 2,
             ..CampaignConfig::default()
         };
@@ -1091,6 +1685,28 @@ mod tests {
             r.failure_rate() > 0.0,
             "unprotected injection into addresses/branches should crash sometimes"
         );
+    }
+
+    #[test]
+    fn full_protection_campaign_is_all_masked() {
+        // The all-shielded sanity pole: no instruction is eligible, every
+        // plan is empty, every trial splices as the golden run.
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 12,
+            errors: 3,
+            protection: Protection::Full,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert_eq!(r.golden.eligible_population, 0);
+        assert_eq!(r.completed().count(), 12);
+        for trial in r.completed() {
+            assert_eq!(trial.output.as_deref(), Some(&r.golden.output[..]));
+            assert_eq!(trial.injected, 0);
+        }
     }
 
     #[test]
@@ -1105,11 +1721,7 @@ mod tests {
         };
         let a = run_campaign(&t, &tags, &cfg);
         let b = run_campaign(&t, &tags, &cfg);
-        for (x, y) in a.trials.iter().zip(&b.trials) {
-            assert_eq!(x.outcome, y.outcome);
-            assert_eq!(x.output, y.output);
-            assert_eq!(x.instructions, y.instructions);
-        }
+        assert_eq!(a.trials, b.trials);
     }
 
     #[test]
@@ -1119,25 +1731,25 @@ mod tests {
         let cfg = CampaignConfig {
             trials: 8,
             errors: 3,
-            protection: Protection::On,
+            protection: Protection::ControlOnly,
             threads: 1,
             ..CampaignConfig::default()
         };
         let r = run_campaign(&t, &tags, &cfg);
-        for trial in r.trials.iter().filter(|t| !t.is_catastrophic()) {
+        for trial in r.completed().filter(|t| !t.is_catastrophic()) {
             assert_eq!(trial.injected, 3);
         }
     }
 
     /// The determinism contract: checkpointed and from-scratch campaigns
-    /// must agree on every per-trial observable, under both protection
-    /// regimes, with a stride small enough to exercise multi-checkpoint
+    /// must agree on every per-trial observable, under every protection
+    /// regime, with a stride small enough to exercise multi-checkpoint
     /// restore, reconvergence splicing, and the unbounded tail.
     #[test]
     fn checkpointed_trials_match_scratch_exactly() {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
-        for protection in [Protection::On, Protection::Off] {
+        for protection in Protection::all() {
             for threads in [1, 3] {
                 let fast_cfg = CampaignConfig {
                     trials: 24,
@@ -1160,15 +1772,43 @@ mod tests {
                     slow.golden.eligible_population
                 );
                 for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
-                    assert_eq!(a.outcome, b.outcome, "trial {i} outcome ({protection:?})");
-                    assert_eq!(a.output, b.output, "trial {i} output ({protection:?})");
-                    assert_eq!(
-                        a.instructions, b.instructions,
-                        "trial {i} instructions ({protection:?})"
-                    );
-                    assert_eq!(a.injected, b.injected, "trial {i} injected ({protection:?})");
+                    assert_eq!(a, b, "trial {i} record ({protection:?})");
                 }
             }
+        }
+    }
+
+    /// The determinism contract holds for memory-cell campaigns too: the
+    /// instruction-count-keyed flip boundaries make checkpointed memory
+    /// trials exactly as splice-able as register trials.
+    #[test]
+    fn memory_target_checkpointed_matches_scratch() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        for threads in [1, 3] {
+            let fast_cfg = CampaignConfig {
+                trials: 24,
+                errors: 2,
+                target: FaultTarget::MemoryCells,
+                threads,
+                checkpoint_stride: 50,
+                ..CampaignConfig::default()
+            };
+            let slow_cfg = CampaignConfig {
+                checkpointing: false,
+                ..fast_cfg.clone()
+            };
+            let fast = run_campaign(&t, &tags, &fast_cfg);
+            let slow = run_campaign(&t, &tags, &slow_cfg);
+            for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
+                assert_eq!(a, b, "memory trial {i} record");
+            }
+            // Memory flips into live input data must perturb some sums.
+            let corrupted = fast
+                .completed_outputs()
+                .filter(|o| *o != &fast.golden.output[..])
+                .count();
+            assert!(corrupted > 0, "memory faults should perturb some outputs");
         }
     }
 
@@ -1178,13 +1818,13 @@ mod tests {
     fn golden_run_is_unchanged_by_checkpointing() {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
-        let plain = golden_run(&t, &tags, Protection::On, 1_000_000);
+        let plain = golden_run(&t, &tags, Protection::ControlOnly, 1_000_000);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
         let (checkpointed, cps, _) = golden_run_checkpointed(
             &t,
             &decoded,
             &tags,
-            Protection::On,
+            Protection::ControlOnly,
             1_000_000,
             256 << 20,
             50,
@@ -1211,7 +1851,7 @@ mod tests {
         let fast_cfg = CampaignConfig {
             trials: 10,
             errors: 3,
-            protection: Protection::Off,
+            protection: Protection::None,
             threads: 2,
             checkpoint_budget_bytes: 1, // clamps to one snapshot
             ..CampaignConfig::default()
@@ -1222,12 +1862,7 @@ mod tests {
         };
         let fast = run_campaign(&t, &tags, &fast_cfg);
         let slow = run_campaign(&t, &tags, &slow_cfg);
-        for (a, b) in fast.trials.iter().zip(&slow.trials) {
-            assert_eq!(a.outcome, b.outcome);
-            assert_eq!(a.output, b.output);
-            assert_eq!(a.instructions, b.instructions);
-            assert_eq!(a.injected, b.injected);
-        }
+        assert_eq!(fast.trials, slow.trials);
     }
 
     /// Checkpoint-hopping restores (forward and backward, through the
@@ -1237,8 +1872,15 @@ mod tests {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
-        let (_, checkpoints, _) =
-            golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
+        let (_, checkpoints, _) = golden_run_checkpointed(
+            &t,
+            &decoded,
+            &tags,
+            Protection::ControlOnly,
+            1_000_000,
+            256 << 20,
+            40,
+        );
         assert!(checkpoints.len() >= 4, "need several checkpoints to hop");
         let set = CheckpointSet::new(checkpoints);
         assert_eq!(set.adjacent_diffs.len(), set.checkpoints.len() - 1);
@@ -1276,8 +1918,15 @@ mod tests {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
-        let (_, checkpoints, _) =
-            golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
+        let (_, checkpoints, _) = golden_run_checkpointed(
+            &t,
+            &decoded,
+            &tags,
+            Protection::ControlOnly,
+            1_000_000,
+            256 << 20,
+            40,
+        );
         assert!(checkpoints.len() >= 4);
         let set = CheckpointSet::new(checkpoints);
         let config = MachineConfig {
@@ -1319,8 +1968,15 @@ mod tests {
         let t = SumTarget::new();
         let tags = analyze(&t.program);
         let decoded = Arc::new(DecodedProgram::new(&t.program));
-        let (_, checkpoints, _) =
-            golden_run_checkpointed(&t, &decoded, &tags, Protection::On, 1_000_000, 256 << 20, 40);
+        let (_, checkpoints, _) = golden_run_checkpointed(
+            &t,
+            &decoded,
+            &tags,
+            Protection::ControlOnly,
+            1_000_000,
+            256 << 20,
+            40,
+        );
         let set = CheckpointSet::new(checkpoints);
         let config = MachineConfig {
             mem_size: t.mem_size(),
@@ -1417,12 +2073,71 @@ mod tests {
         let cfg = CampaignConfig {
             trials: 30,
             errors: 5,
-            protection: Protection::Off,
+            protection: Protection::None,
             threads: 2,
             ..CampaignConfig::default()
         };
         let r = run_campaign(&t, &tags, &cfg);
-        let (h, c, i) = r.outcome_counts();
-        assert_eq!(h + c + i, 30);
+        let counts = r.outcome_counts();
+        assert_eq!(counts.total(), 30);
+        assert_eq!(counts.harness_error, 0, "healthy campaigns never retry out");
+        assert_eq!(r.harness_stats, HarnessStats::default());
+    }
+
+    /// Sabotaged trials (one panicking attempt, one hung attempt) are
+    /// contained, retried, and completed; a trial sabotaged on every
+    /// attempt is retried out as a harness error; and the books balance.
+    #[test]
+    fn harness_faults_are_contained_and_reconciled() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let cfg = CampaignConfig {
+            trials: 10,
+            errors: 2,
+            threads: 1,
+            trial_timeout: Duration::from_millis(100),
+            harness_faults: HarnessFaultInjection {
+                panic_trials: vec![(1, 1), (7, MAX_ATTEMPTS)],
+                hang_trials: vec![(4, 1)],
+            },
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&t, &tags, &cfg);
+        assert_eq!(r.trials.len(), 10);
+        assert_eq!(r.trials[1].retries, 1, "panicked attempt is retried");
+        assert!(r.trials[1].result().is_some());
+        assert_eq!(r.trials[4].retries, 1, "hung attempt is retried");
+        assert!(r.trials[4].result().is_some());
+        assert_eq!(
+            r.trials[7].status,
+            TrialStatus::HarnessError(HarnessFailure::Panic),
+            "a trial failing every attempt is retried out, never dropped"
+        );
+        let stats = r.harness_stats;
+        assert_eq!(stats.panics, 1 + u64::from(MAX_ATTEMPTS));
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.harness_errors, 1);
+        assert_eq!(r.outcome_counts().harness_error, 1);
+        r.verify_reconciliation().unwrap();
+
+        // The unaffected trials match an unsabotaged campaign exactly.
+        let clean = run_campaign(
+            &t,
+            &tags,
+            &CampaignConfig {
+                harness_faults: HarnessFaultInjection::default(),
+                ..cfg.clone()
+            },
+        );
+        for (i, (a, b)) in r.trials.iter().zip(&clean.trials).enumerate() {
+            if i == 7 {
+                continue; // retried out under sabotage
+            }
+            assert_eq!(
+                a.result(),
+                b.result(),
+                "trial {i} result must be unaffected by sabotage elsewhere"
+            );
+        }
     }
 }

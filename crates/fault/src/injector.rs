@@ -7,20 +7,13 @@ use certa_sim::WritebackHook;
 use rand::seq::index::sample as index_sample;
 use rand::Rng;
 
-/// Whether the static analysis' protection is applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Protection {
-    /// Inject only into instructions tagged low-reliability (protected run).
-    On,
-    /// Inject into any value-producing instruction (unprotected baseline).
-    Off,
-}
+use crate::regime::Protection;
 
 /// The kind of value corruption applied at an injection point.
 ///
 /// The paper studies [`ErrorModel::SingleBitFlip`]; the other models are
-/// provided as extensions for studying correlated upsets and latched
-/// faults with the same campaign machinery.
+/// provided as extensions for studying correlated upsets, burst upsets,
+/// and latched faults with the same campaign machinery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ErrorModel {
     /// XOR one uniformly chosen bit (the paper's soft-error model).
@@ -28,6 +21,14 @@ pub enum ErrorModel {
     SingleBitFlip,
     /// XOR two adjacent bits (a correlated double upset).
     AdjacentDoubleBitFlip,
+    /// XOR a run of `len` adjacent bits starting at the chosen position
+    /// (wrapping within the value's width) — a multi-bit burst upset.
+    /// `len = 1` degenerates to [`ErrorModel::SingleBitFlip`]; `len = 2`
+    /// to [`ErrorModel::AdjacentDoubleBitFlip`].
+    BurstFlip {
+        /// Burst length in bits (clamped to at least 1).
+        len: u8,
+    },
     /// Clear one uniformly chosen bit (stuck-at-0 on the latched result).
     StuckAtZero,
     /// Set one uniformly chosen bit (stuck-at-1 on the latched result).
@@ -43,6 +44,13 @@ impl ErrorModel {
         match self {
             ErrorModel::SingleBitFlip => value ^ m,
             ErrorModel::AdjacentDoubleBitFlip => value ^ m ^ m.rotate_left(1),
+            ErrorModel::BurstFlip { len } => {
+                let mut mask = 0u32;
+                for i in 0..u32::from(len.max(1)).min(32) {
+                    mask |= m.rotate_left(i);
+                }
+                value ^ mask
+            }
             ErrorModel::StuckAtZero => value & !m,
             ErrorModel::StuckAtOne => value | m,
         }
@@ -57,6 +65,13 @@ impl ErrorModel {
         let new = match self {
             ErrorModel::SingleBitFlip => bits ^ m,
             ErrorModel::AdjacentDoubleBitFlip => bits ^ m ^ m.rotate_left(1),
+            ErrorModel::BurstFlip { len } => {
+                let mut mask = 0u64;
+                for i in 0..u32::from(len.max(1)).min(64) {
+                    mask |= m.rotate_left(i);
+                }
+                bits ^ mask
+            }
             ErrorModel::StuckAtZero => bits & !m,
             ErrorModel::StuckAtOne => bits | m,
         };
@@ -183,10 +198,20 @@ pub struct Injector {
 
 #[derive(Debug)]
 enum EligibleSet {
-    /// Protection on: the boolean per instruction is `tag == LowReliability`.
+    /// A regime with a per-instruction mask (see
+    /// [`Protection::eligibility_mask`]).
     Tagged(Vec<bool>),
-    /// Protection off: every value-producing writeback is eligible.
+    /// [`Protection::None`]: every value-producing writeback is eligible.
     All,
+}
+
+impl EligibleSet {
+    fn for_regime(program: &Program, tags: &TagMap, protection: Protection) -> EligibleSet {
+        match protection.eligibility_mask(program, tags) {
+            Some(mask) => EligibleSet::Tagged(mask),
+            None => EligibleSet::All,
+        }
+    }
 }
 
 impl Injector {
@@ -211,14 +236,8 @@ impl Injector {
         plan: FaultPlan,
         model: ErrorModel,
     ) -> Injector {
-        let eligible = match protection {
-            Protection::On => {
-                EligibleSet::Tagged((0..program.code.len()).map(|i| tags.is_low_reliability(i)).collect())
-            }
-            Protection::Off => EligibleSet::All,
-        };
         Injector {
-            eligible,
+            eligible: EligibleSet::for_regime(program, tags, protection),
             plan,
             model,
             seen: 0,
@@ -317,12 +336,9 @@ pub(crate) struct EligibleCounter {
 
 impl EligibleCounter {
     pub(crate) fn new(program: &Program, tags: &TagMap, protection: Protection) -> Self {
-        let eligible = match protection {
-            Protection::On => (0..program.code.len())
-                .map(|i| tags.is_low_reliability(i))
-                .collect(),
-            Protection::Off => vec![true; program.code.len()],
-        };
+        let eligible = protection
+            .eligibility_mask(program, tags)
+            .unwrap_or_else(|| vec![true; program.code.len()]);
         EligibleCounter { eligible, count: 0 }
     }
 }
@@ -460,7 +476,7 @@ mod tests {
         let plan = FaultPlan::from_pairs(&[(1, 0), (4, 2)]);
 
         // Fresh injector: flips fire at eligible indices 1 and 4.
-        let mut fresh = Injector::new(&program, &tags, Protection::Off, plan.clone());
+        let mut fresh = Injector::new(&program, &tags, Protection::None, plan.clone());
         let flipped: Vec<bool> = (0..6)
             .map(|_| fresh.int_writeback(0, 0) != 0)
             .collect();
@@ -471,7 +487,7 @@ mod tests {
         // Resumed at 2: index 1 is in the past and must be skipped; the
         // flip at index 4 fires after two more writebacks (indices 2, 3).
         let mut resumed =
-            Injector::new(&program, &tags, Protection::Off, plan).resume_from(2);
+            Injector::new(&program, &tags, Protection::None, plan).resume_from(2);
         assert_eq!(resumed.eligible_seen(), 2);
         let flipped: Vec<bool> = (0..4)
             .map(|_| resumed.int_writeback(0, 0) != 0)

@@ -14,18 +14,38 @@
 //! uniformly samples `errors` distinct dynamic executions of *eligible*
 //! instructions and XORs one uniformly-chosen bit into each sampled result.
 //!
-//! Eligibility depends on [`Protection`]:
+//! Eligibility depends on the [`Protection`] *regime* — the
+//! control-vs-data axis of the experiment:
 //!
-//! * [`Protection::On`] — only instructions tagged
-//!   [`certa_core::Tag::LowReliability`] by the static analysis receive
-//!   faults (everything else is assumed protected by redundancy, per the
-//!   paper).
-//! * [`Protection::Off`] — every value-producing instruction is fair game
+//! * [`Protection::None`] — every value-producing instruction is fair game
 //!   (the unprotected baseline of Table 2).
+//! * [`Protection::ControlOnly`] — only instructions tagged
+//!   [`certa_core::Tag::LowReliability`] by the static analysis receive
+//!   faults (everything else is assumed protected by redundancy — the
+//!   paper's proposed scheme).
+//! * [`Protection::DataOnly`] — the complement: faults land only on the
+//!   instructions the analysis would have shielded.
+//! * [`Protection::Full`] — nothing is eligible; the all-masked sanity
+//!   pole of the regime matrix.
+//!
+//! Orthogonally, [`FaultTarget`] selects *where* faults land: register
+//! writebacks (the paper's model) or resident memory cells of the guest
+//! data segment ([`MemoryFaultPlan`] — bits flipped in stored state at
+//! sampled instruction boundaries, through the simulator's copy-on-write
+//! page store).
 //!
 //! Trials run in parallel with deterministic per-trial seeds, and each run
 //! is bounded by a watchdog of `watchdog_factor ×` the golden instruction
-//! count; runs that exceed it are the paper's "infinite execution" failures.
+//! count; runs that exceed it are the paper's "infinite execution"
+//! failures. Above the watchdog sits a *harness* containment layer: every
+//! trial attempt runs under panic isolation with a wall-clock deadline,
+//! failed attempts are retried once from rebuilt machine state, and a
+//! trial that fails twice is reported as a [`TrialStatus::HarnessError`]
+//! — never silently dropped (the campaign asserts the accounting
+//! reconciles; see [`CampaignResult::verify_reconciliation`]).
+//! Per-regime verdict distributions aggregate into [`ToleranceProfile`]
+//! rows (verdict counts plus Wilson 95% intervals) — the regime-matrix
+//! table the `campaign_matrix` binary emits.
 //!
 //! ## Checkpoint acceleration
 //!
@@ -55,11 +75,14 @@
 
 mod campaign;
 mod injector;
+mod regime;
 mod stats;
 
 pub use campaign::{
-    golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenRun, RestoreStats, Target,
-    TrialResult,
+    golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenRun, HarnessFailure,
+    HarnessFaultInjection, HarnessStats, OutcomeCounts, RestoreStats, Target, TrialRecord,
+    TrialResult, TrialStatus,
 };
-pub use injector::{ErrorModel, FaultPlan, Injector, Protection};
+pub use injector::{ErrorModel, FaultPlan, Injector};
+pub use regime::{FaultTarget, MemoryFaultPlan, Protection, ToleranceProfile};
 pub use stats::{mean, proportion_ci95, stddev};

@@ -24,12 +24,25 @@ pub fn stddev(values: &[f64]) -> f64 {
 /// 95% Wilson score interval for a binomial proportion: returns
 /// `(lower, upper)` for `successes` out of `n`.
 ///
-/// Used to attach confidence intervals to campaign failure rates.
+/// Edge cases are well-defined:
+/// - `n = 0` carries no information, so the interval is the vacuous
+///   `(0.0, 1.0)`.
+/// - `successes = 0` returns a lower bound of exactly `0.0`; the upper
+///   bound is the Wilson "rule of three"-style bound, strictly below 1.
+/// - `successes = n` returns an upper bound of exactly `1.0` (floating-
+///   point rounding in the Wilson formula is pinned here); the lower
+///   bound is strictly above 0.
+/// - `successes > n` is clamped to `n` rather than producing an interval
+///   outside `[0, 1]`.
+///
+/// Used to attach confidence intervals to campaign failure rates and
+/// per-verdict tolerance profiles.
 #[must_use]
 pub fn proportion_ci95(successes: usize, n: usize) -> (f64, f64) {
     if n == 0 {
         return (0.0, 1.0);
     }
+    let successes = successes.min(n);
     let z = 1.959_963_984_540_054_f64;
     let n_f = n as f64;
     let p = successes as f64 / n_f;
@@ -37,10 +50,17 @@ pub fn proportion_ci95(successes: usize, n: usize) -> (f64, f64) {
     let denom = 1.0 + z2 / n_f;
     let centre = p + z2 / (2.0 * n_f);
     let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
-    (
-        ((centre - margin) / denom).max(0.0),
-        ((centre + margin) / denom).min(1.0),
-    )
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        ((centre - margin) / denom).max(0.0)
+    };
+    let hi = if successes == n {
+        1.0
+    } else {
+        ((centre + margin) / denom).min(1.0)
+    };
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -77,5 +97,32 @@ mod tests {
     #[test]
     fn wilson_empty_sample() {
         assert_eq!(proportion_ci95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_zero_successes_pins_lower_bound() {
+        for n in [1usize, 7, 100, 4096] {
+            let (lo, hi) = proportion_ci95(0, n);
+            assert_eq!(lo, 0.0, "n={n}");
+            assert!(hi > 0.0 && hi < 1.0, "n={n}: hi={hi}");
+        }
+    }
+
+    #[test]
+    fn wilson_all_successes_pins_upper_bound() {
+        for n in [1usize, 7, 100, 4096] {
+            let (lo, hi) = proportion_ci95(n, n);
+            assert_eq!(hi, 1.0, "n={n}");
+            assert!(lo > 0.0 && lo < 1.0, "n={n}: lo={lo}");
+        }
+        // The lower bound tightens toward 1 as evidence accumulates.
+        let (lo_small, _) = proportion_ci95(10, 10);
+        let (lo_large, _) = proportion_ci95(1000, 1000);
+        assert!(lo_large > lo_small);
+    }
+
+    #[test]
+    fn wilson_clamps_excess_successes() {
+        assert_eq!(proportion_ci95(15, 10), proportion_ci95(10, 10));
     }
 }

@@ -14,10 +14,17 @@
 //! | GSM   | SNR difference of decoded speech | [`snr_db`] / [`snr_loss_db`] |
 //! | ART   | confidence-of-match error | [`confidence_error`] |
 //!
+//! The [`verdict`] module layers the study's trial-outcome taxonomy on
+//! top of these measures: it classifies one trial's raw result into
+//! masked / tolerable / silent-corruption / detected-crash / hang /
+//! detected-by-check (see [`verdict::TrialVerdict`]), driven by
+//! per-workload [`verdict::ThresholdProfile`]s.
+//!
 //! All functions are pure and dependency-free.
 
 pub mod mpeg;
 pub mod schedule;
+pub mod verdict;
 
 /// Peak signal-to-noise ratio in dB between two equal-length 8-bit images.
 ///

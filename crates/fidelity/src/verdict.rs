@@ -1,0 +1,359 @@
+//! The trial-outcome taxonomy (the paper's §5 outcome classes, extended
+//! with the SWAT/Relyzer-style detected/silent split).
+//!
+//! A raw trial result — how the simulated run ended plus whatever output
+//! bytes it left behind — is classified into a [`TrialVerdict`]:
+//!
+//! | Verdict | Meaning |
+//! |---|---|
+//! | [`Masked`](TrialVerdict::Masked) | output bit-exactly equals the golden output |
+//! | [`Tolerable`](TrialVerdict::Tolerable) | output differs but clears the workload's fidelity threshold |
+//! | [`SilentCorruption`](TrialVerdict::SilentCorruption) | output differs, below threshold, and nothing detected it |
+//! | [`DetectedCrash`](TrialVerdict::DetectedCrash) | the run died on a hardware-visible fault |
+//! | [`Hang`](TrialVerdict::Hang) | the instruction watchdog expired (the paper's "infinite execution") |
+//! | [`DetectedByCheck`](TrialVerdict::DetectedByCheck) | an output-level validity check rejected the result |
+//! | [`HarnessError`](TrialVerdict::HarnessError) | the *harness* failed twice on this trial (not an experimental outcome) |
+//!
+//! Classification is driven by a [`ThresholdProfile`] (the per-workload
+//! acceptance floor, Table 1) and a [`TrialJudgment`] computed by the
+//! workload's fidelity measure. This module is deliberately free of
+//! simulator and campaign dependencies: the glue that maps simulator
+//! outcomes and campaign records onto [`RawOutcome`]s lives upstream (in
+//! `certa-workloads`), which keeps `certa-fidelity` pure.
+
+/// Why a detected crash was detected — a coarse, simulator-agnostic
+/// mirror of the crash taxonomy (memory faults, alignment faults, wild
+/// control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashCause {
+    /// Out-of-bounds load or store.
+    MemoryAccess,
+    /// Misaligned load or store.
+    Misaligned,
+    /// Program counter left the program (wild jump/return).
+    ControlFlow,
+}
+
+/// How the simulated run itself ended, before any output inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawOutcome {
+    /// The run halted cleanly; the output (if readable) can be judged.
+    Halted,
+    /// The run died on a hardware-detectable fault.
+    Crashed(CrashCause),
+    /// The run exceeded its instruction watchdog.
+    Watchdog,
+}
+
+/// The six-way outcome classification of one trial, plus the harness
+/// containment bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrialVerdict {
+    /// Output is bit-exactly the golden output: the fault was masked.
+    Masked,
+    /// Output differs but clears the per-workload fidelity threshold —
+    /// the paper's "tolerable degradation".
+    Tolerable {
+        /// Normalized fidelity score in `[0, 1]` of the degraded output.
+        score: f64,
+    },
+    /// Output differs, falls below the threshold, and no check caught it:
+    /// the dangerous bucket.
+    SilentCorruption,
+    /// The run crashed on a hardware-visible fault (detected for free).
+    DetectedCrash(CrashCause),
+    /// The run exceeded its instruction watchdog.
+    Hang,
+    /// An output-level validity check (unreadable/malformed output region,
+    /// infeasible schedule, …) rejected the result — detected, though the
+    /// run halted "successfully".
+    DetectedByCheck,
+    /// The campaign harness itself failed twice on this trial (panic or
+    /// wall-clock timeout); the trial has no experimental outcome but is
+    /// never silently dropped.
+    HarnessError,
+}
+
+/// What the workload's fidelity measure says about a differing output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialJudgment {
+    /// Normalized fidelity score in `[0, 1]`.
+    pub score: f64,
+    /// Whether the output clears the workload's documented acceptance
+    /// threshold (Table 1).
+    pub acceptable: bool,
+    /// Whether an application-level validity check rejected the output
+    /// outright (e.g. an MCF schedule that is not a feasible assignment).
+    pub detected: bool,
+}
+
+/// Per-workload classification thresholds: the floor a degraded output's
+/// normalized score must clear — *in addition to* the workload's own
+/// acceptance flag — to count as [`TrialVerdict::Tolerable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdProfile {
+    /// Minimum normalized score for the tolerable bucket.
+    pub tolerable_min_score: f64,
+}
+
+impl Default for ThresholdProfile {
+    /// Defers entirely to the workload's own acceptance flag.
+    fn default() -> Self {
+        ThresholdProfile {
+            tolerable_min_score: 0.0,
+        }
+    }
+}
+
+impl ThresholdProfile {
+    /// The study's per-workload profiles. Scores are the normalized
+    /// `[0, 1]` fidelity scores each workload derives from its Table 1
+    /// measure (PSNR, bad-frame fraction, schedule optimality, byte
+    /// similarity, SNR loss, match confidence); the floors restate the
+    /// paper's acceptance levels in that space, so classification cannot
+    /// drift from the workloads' own `acceptable` flags while still being
+    /// tunable per application. Unknown names get the permissive default.
+    #[must_use]
+    pub fn for_workload(name: &str) -> Self {
+        let tolerable_min_score = match name {
+            // PSNR ≥ 10 dB of a 60 dB scale.
+            "susan" => 0.15,
+            // ≤ 10% bad frames.
+            "mpeg" => 0.85,
+            // Valid schedule within 2× optimal cost.
+            "mcf" => 0.45,
+            // Decrypt must recover nearly all plaintext bytes.
+            "blowfish" => 0.90,
+            // SNR loss ≤ 6 dB of the audible scale.
+            "gsm" => 0.60,
+            // Object still recognized, confidence error bounded.
+            "art" => 0.50,
+            // Decoded PCM similarity.
+            "adpcm" => 0.70,
+            _ => 0.0,
+        };
+        ThresholdProfile {
+            tolerable_min_score,
+        }
+    }
+}
+
+/// Classifies one completed trial.
+///
+/// `output` is the trial's extracted output bytes (`None` when the run
+/// halted but the output region was unreadable/malformed — an
+/// output-level check catching the corruption). `judge` is invoked only
+/// when the output exists and differs from `golden`, and returns the
+/// workload's fidelity judgment of it.
+pub fn classify(
+    outcome: RawOutcome,
+    output: Option<&[u8]>,
+    golden: &[u8],
+    profile: &ThresholdProfile,
+    judge: impl FnOnce(&[u8]) -> TrialJudgment,
+) -> TrialVerdict {
+    match outcome {
+        RawOutcome::Crashed(cause) => TrialVerdict::DetectedCrash(cause),
+        RawOutcome::Watchdog => TrialVerdict::Hang,
+        RawOutcome::Halted => {
+            let Some(bytes) = output else {
+                return TrialVerdict::DetectedByCheck;
+            };
+            if bytes == golden {
+                return TrialVerdict::Masked;
+            }
+            let j = judge(bytes);
+            if j.detected {
+                TrialVerdict::DetectedByCheck
+            } else if j.acceptable && j.score >= profile.tolerable_min_score {
+                TrialVerdict::Tolerable { score: j.score }
+            } else {
+                TrialVerdict::SilentCorruption
+            }
+        }
+    }
+}
+
+/// Verdict counts over a set of trials — one field per
+/// [`TrialVerdict`] bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// [`TrialVerdict::Masked`] trials.
+    pub masked: usize,
+    /// [`TrialVerdict::Tolerable`] trials.
+    pub tolerable: usize,
+    /// [`TrialVerdict::SilentCorruption`] trials.
+    pub silent_corruption: usize,
+    /// [`TrialVerdict::DetectedCrash`] trials.
+    pub detected_crash: usize,
+    /// [`TrialVerdict::Hang`] trials.
+    pub hang: usize,
+    /// [`TrialVerdict::DetectedByCheck`] trials.
+    pub detected_by_check: usize,
+    /// [`TrialVerdict::HarnessError`] trials.
+    pub harness_error: usize,
+}
+
+impl VerdictCounts {
+    /// Adds one verdict to its bucket.
+    pub fn record(&mut self, verdict: &TrialVerdict) {
+        match verdict {
+            TrialVerdict::Masked => self.masked += 1,
+            TrialVerdict::Tolerable { .. } => self.tolerable += 1,
+            TrialVerdict::SilentCorruption => self.silent_corruption += 1,
+            TrialVerdict::DetectedCrash(_) => self.detected_crash += 1,
+            TrialVerdict::Hang => self.hang += 1,
+            TrialVerdict::DetectedByCheck => self.detected_by_check += 1,
+            TrialVerdict::HarnessError => self.harness_error += 1,
+        }
+    }
+
+    /// Total trials counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.masked
+            + self.tolerable
+            + self.silent_corruption
+            + self.detected_crash
+            + self.hang
+            + self.detected_by_check
+            + self.harness_error
+    }
+
+    /// `(label, count)` pairs in presentation order — the serialization
+    /// and reporting order of the taxonomy.
+    #[must_use]
+    pub fn labeled(&self) -> [(&'static str, usize); 7] {
+        [
+            ("masked", self.masked),
+            ("tolerable", self.tolerable),
+            ("silent_corruption", self.silent_corruption),
+            ("detected_crash", self.detected_crash),
+            ("hang", self.hang),
+            ("detected_by_check", self.detected_by_check),
+            ("harness_error", self.harness_error),
+        ]
+    }
+
+    /// Trials detected by *any* means (crash, watchdog, or output-level
+    /// check) — the paper's "user would notice and rerun" aggregate.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.detected_crash + self.hang + self.detected_by_check
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judge_fixed(score: f64, acceptable: bool, detected: bool) -> impl FnOnce(&[u8]) -> TrialJudgment {
+        move |_| TrialJudgment {
+            score,
+            acceptable,
+            detected,
+        }
+    }
+
+    #[test]
+    fn crash_and_watchdog_map_directly() {
+        let p = ThresholdProfile::default();
+        assert_eq!(
+            classify(
+                RawOutcome::Crashed(CrashCause::MemoryAccess),
+                None,
+                b"g",
+                &p,
+                judge_fixed(1.0, true, false)
+            ),
+            TrialVerdict::DetectedCrash(CrashCause::MemoryAccess)
+        );
+        assert_eq!(
+            classify(RawOutcome::Watchdog, None, b"g", &p, judge_fixed(1.0, true, false)),
+            TrialVerdict::Hang
+        );
+    }
+
+    #[test]
+    fn exact_output_is_masked_without_judging() {
+        let p = ThresholdProfile::default();
+        // judge panics if called: bit-exact outputs must never be judged.
+        let v = classify(RawOutcome::Halted, Some(b"same"), b"same", &p, |_| {
+            panic!("judge must not run for masked outputs")
+        });
+        assert_eq!(v, TrialVerdict::Masked);
+    }
+
+    #[test]
+    fn unreadable_output_is_detected_by_check() {
+        let p = ThresholdProfile::default();
+        let v = classify(RawOutcome::Halted, None, b"g", &p, judge_fixed(0.0, false, false));
+        assert_eq!(v, TrialVerdict::DetectedByCheck);
+    }
+
+    #[test]
+    fn differing_output_splits_on_threshold() {
+        let p = ThresholdProfile {
+            tolerable_min_score: 0.8,
+        };
+        let ok = classify(RawOutcome::Halted, Some(b"x"), b"g", &p, judge_fixed(0.9, true, false));
+        assert_eq!(ok, TrialVerdict::Tolerable { score: 0.9 });
+        // Acceptable by the workload but below the profile floor: silent.
+        let low = classify(RawOutcome::Halted, Some(b"x"), b"g", &p, judge_fixed(0.5, true, false));
+        assert_eq!(low, TrialVerdict::SilentCorruption);
+        let bad = classify(RawOutcome::Halted, Some(b"x"), b"g", &p, judge_fixed(0.9, false, false));
+        assert_eq!(bad, TrialVerdict::SilentCorruption);
+        // An application-level validity check wins over the score.
+        let det = classify(RawOutcome::Halted, Some(b"x"), b"g", &p, judge_fixed(0.9, true, true));
+        assert_eq!(det, TrialVerdict::DetectedByCheck);
+    }
+
+    #[test]
+    fn counts_partition_and_label() {
+        let mut c = VerdictCounts::default();
+        for v in [
+            TrialVerdict::Masked,
+            TrialVerdict::Masked,
+            TrialVerdict::Tolerable { score: 0.9 },
+            TrialVerdict::SilentCorruption,
+            TrialVerdict::DetectedCrash(CrashCause::ControlFlow),
+            TrialVerdict::Hang,
+            TrialVerdict::DetectedByCheck,
+            TrialVerdict::HarnessError,
+        ] {
+            c.record(&v);
+        }
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.masked, 2);
+        assert_eq!(c.detected(), 3);
+        let labels: Vec<&str> = c.labeled().iter().map(|(l, _)| *l).collect();
+        assert_eq!(
+            labels,
+            [
+                "masked",
+                "tolerable",
+                "silent_corruption",
+                "detected_crash",
+                "hang",
+                "detected_by_check",
+                "harness_error"
+            ]
+        );
+        assert_eq!(c.labeled().iter().map(|(_, n)| n).sum::<usize>(), c.total());
+    }
+
+    #[test]
+    fn workload_profiles_are_within_unit_interval() {
+        for name in ["susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm", "unknown"] {
+            let p = ThresholdProfile::for_workload(name);
+            assert!(
+                (0.0..=1.0).contains(&p.tolerable_min_score),
+                "{name}: {p:?}"
+            );
+        }
+        assert_eq!(
+            ThresholdProfile::for_workload("unknown").tolerable_min_score,
+            0.0
+        );
+    }
+}

@@ -133,6 +133,7 @@ mod decode;
 mod machine;
 mod mem;
 
+pub use certa_asm::DATA_BASE;
 pub use decode::{chain_census, DecodedProgram, SuperblockPolicy};
 pub use machine::{
     BoundedRun, CrashKind, Machine, MachineConfig, MachineError, MemError, NoHook, Outcome,

@@ -878,6 +878,20 @@ impl<'p> Machine<'p> {
         Ok(())
     }
 
+    /// XORs one bit of the byte at guest address `addr` (memory-cell fault
+    /// injection). The flip goes through the copy-on-write path, so it is
+    /// tracked as a dirty page and survives checkpoint restores exactly
+    /// like a guest store would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is outside addressable memory.
+    pub fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<(), MemError> {
+        let range = self.host_range(addr, 1)?;
+        self.mem.flip_bit(range.start, bit);
+        Ok(())
+    }
+
     /// Reads a little-endian 32-bit word from guest memory (harness use).
     ///
     /// # Errors

@@ -364,6 +364,16 @@ impl PagedMem {
         }
     }
 
+    /// XORs one bit of the byte at `pos`, going through the copy-on-write
+    /// path so the flip lands in an owned page and is tracked as dirty
+    /// (a memory-cell fault model hook). The caller has bounds-checked
+    /// `pos` against [`Self::len`].
+    pub(crate) fn flip_bit(&mut self, pos: usize, bit: u8) {
+        let page = pos / PAGE_SIZE;
+        let off = pos % PAGE_SIZE;
+        self.page_for_write(page)[off] ^= 1 << (bit % 8);
+    }
+
     /// Whether the image equals a snapshot's page table byte-for-byte,
     /// with the pointer-equality fast path (`Arc::ptr_eq` pages are
     /// identical by construction).

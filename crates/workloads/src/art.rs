@@ -475,7 +475,7 @@ mod tests {
             &CampaignConfig {
                 trials: 12,
                 errors: 2,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 threads: 4,
                 ..CampaignConfig::default()
             },

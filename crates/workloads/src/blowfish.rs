@@ -659,7 +659,7 @@ mod tests {
             &CampaignConfig {
                 trials: 8,
                 errors: 2,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 threads: 4,
                 ..CampaignConfig::default()
             },

@@ -454,7 +454,7 @@ mod tests {
             &CampaignConfig {
                 trials: 16,
                 errors: 3,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 threads: 4,
                 ..CampaignConfig::default()
             },

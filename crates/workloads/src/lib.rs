@@ -35,8 +35,12 @@ pub mod mcf;
 pub mod mpeg;
 pub mod susan;
 
-use certa_fault::Target;
+use certa_fault::{Target, TrialStatus};
 use certa_fidelity::schedule::ScheduleFidelity;
+use certa_fidelity::verdict::{
+    classify, CrashCause, RawOutcome, ThresholdProfile, TrialJudgment, TrialVerdict,
+};
+use certa_sim::{CrashKind, Outcome};
 
 pub use adpcm::AdpcmWorkload;
 pub use art::ArtWorkload;
@@ -108,6 +112,55 @@ pub trait Workload: Target {
     /// Evaluates a completed trial's output against the golden output.
     /// `None` (unreadable output region) must yield a zero-score fidelity.
     fn evaluate(&self, golden: &[u8], trial: Option<&[u8]>) -> Fidelity;
+
+    /// This workload's verdict-classification thresholds (the study's
+    /// per-application acceptance floors; see
+    /// [`ThresholdProfile::for_workload`]).
+    fn threshold_profile(&self) -> ThresholdProfile {
+        ThresholdProfile::for_workload(self.name())
+    }
+
+    /// Classifies one campaign trial record into the six-way verdict
+    /// taxonomy (plus the harness bucket): simulator outcomes map onto
+    /// [`RawOutcome`]s, and differing outputs are judged by this
+    /// workload's own fidelity measure against
+    /// [`Self::threshold_profile`]. Harness-errored trials classify as
+    /// [`TrialVerdict::HarnessError`] — reported, never dropped.
+    fn classify_trial(&self, status: &TrialStatus, golden: &[u8]) -> TrialVerdict {
+        let trial = match status {
+            TrialStatus::Completed(trial) => trial,
+            TrialStatus::HarnessError(_) => return TrialVerdict::HarnessError,
+        };
+        let outcome = match &trial.outcome {
+            Outcome::Halted => RawOutcome::Halted,
+            Outcome::Crashed(kind) => RawOutcome::Crashed(match kind {
+                CrashKind::MemOutOfBounds { .. } => CrashCause::MemoryAccess,
+                CrashKind::Misaligned { .. } => CrashCause::Misaligned,
+                CrashKind::PcOutOfRange { .. } => CrashCause::ControlFlow,
+            }),
+            Outcome::InfiniteRun => RawOutcome::Watchdog,
+        };
+        classify(
+            outcome,
+            trial.output.as_deref(),
+            golden,
+            &self.threshold_profile(),
+            |bytes| {
+                let fidelity = self.evaluate(golden, Some(bytes));
+                TrialJudgment {
+                    score: fidelity.score,
+                    acceptable: fidelity.acceptable,
+                    // The only application-level validity check among the
+                    // measures: an MCF schedule that is not a feasible
+                    // assignment is rejected outright.
+                    detected: matches!(
+                        fidelity.detail,
+                        FidelityDetail::Schedule(ScheduleFidelity::Incomplete)
+                    ),
+                }
+            },
+        )
+    }
 }
 
 /// Constructs every workload in the study, in the paper's presentation

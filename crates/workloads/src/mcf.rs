@@ -562,7 +562,7 @@ mod tests {
             &CampaignConfig {
                 trials: 16,
                 errors: 1,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 threads: 4,
                 ..CampaignConfig::default()
             },

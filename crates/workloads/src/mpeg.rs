@@ -583,7 +583,7 @@ mod tests {
             &CampaignConfig {
                 trials: 12,
                 errors: 5,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 threads: 4,
                 ..CampaignConfig::default()
             },

@@ -354,7 +354,7 @@ mod tests {
             &CampaignConfig {
                 trials: 12,
                 errors: 20,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 threads: 4,
                 ..CampaignConfig::default()
             },

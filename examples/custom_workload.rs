@@ -93,7 +93,7 @@ fn main() {
         stats.low_reliability, stats.total
     );
 
-    for protection in [Protection::On, Protection::Off] {
+    for protection in [Protection::ControlOnly, Protection::None] {
         let result = run_campaign(
             &w,
             &tags,

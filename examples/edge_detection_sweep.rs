@@ -25,7 +25,7 @@ fn main() {
 
     for errors in [50u64, 200, 800, 1600, 2400] {
         let mut cells = Vec::new();
-        for protection in [Protection::On, Protection::Off] {
+        for protection in [Protection::ControlOnly, Protection::None] {
             let result = run_campaign(
                 &susan,
                 &tags,

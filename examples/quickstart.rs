@@ -47,7 +47,7 @@ fn main() {
     // program still terminates correctly — that is the paper's thesis.
     let plan = FaultPlan::from_pairs(&[(5, 3)]);
     let mut machine = Machine::new(&program, &MachineConfig::default());
-    let mut injector = Injector::new(&program, &tags, Protection::On, plan);
+    let mut injector = Injector::new(&program, &tags, Protection::ControlOnly, plan);
     let outcome = machine.run(&mut injector);
     println!(
         "faulty result: sum of squares = {} ({}, {} fault injected)",

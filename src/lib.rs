@@ -31,7 +31,7 @@
 //!     &CampaignConfig {
 //!         trials: 4,
 //!         errors: 10,
-//!         protection: Protection::On,
+//!         protection: Protection::ControlOnly,
 //!         ..CampaignConfig::default()
 //!     },
 //! );

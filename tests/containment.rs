@@ -1,0 +1,112 @@
+//! Differential containment suite: a campaign whose harness is
+//! deliberately sabotaged — a panicking trial, a hung trial, and a trial
+//! poisoned on every attempt — must contain each failure, retry per
+//! policy, account for every attempt, and leave every *unaffected*
+//! trial's result byte-identical to a campaign run without the sabotage.
+
+use std::time::Duration;
+
+use certa::core::analyze;
+use certa::fault::{
+    run_campaign, CampaignConfig, HarnessFailure, HarnessFaultInjection, Protection, Target,
+    TrialStatus,
+};
+use certa::fidelity::verdict::{TrialVerdict, VerdictCounts};
+use certa::workloads::{AdpcmWorkload, Workload};
+
+fn config(harness_faults: HarnessFaultInjection) -> CampaignConfig {
+    CampaignConfig {
+        trials: 12,
+        errors: 2,
+        protection: Protection::ControlOnly,
+        seed: 0xC07A1,
+        // Single worker: a poisoned worker must not be able to hide
+        // behind a healthy one, and the hang's wall-clock stall stays
+        // bounded by one trial_timeout.
+        threads: 1,
+        trial_timeout: Duration::from_millis(200),
+        harness_faults,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn sabotaged_campaign_is_contained_retried_and_differentially_clean() {
+    let w = AdpcmWorkload::new();
+    let tags = analyze(w.program());
+
+    let sabotage = HarnessFaultInjection {
+        // Trial 2: first attempt panics, retry completes.
+        // Trial 9: every attempt panics — retried out.
+        panic_trials: vec![(2, 1), (9, 2)],
+        // Trial 5: first attempt stalls past the deadline, retry completes.
+        hang_trials: vec![(5, 1)],
+    };
+    // run_campaign itself asserts verify_reconciliation(); reaching the
+    // assertions below means the books already balanced.
+    let poisoned = run_campaign(&w, &tags, &config(sabotage));
+    let clean = run_campaign(&w, &tags, &config(HarnessFaultInjection::default()));
+
+    // The panicked and hung trials were contained and completed on retry.
+    assert_eq!(poisoned.trials[2].retries, 1);
+    assert!(poisoned.trials[2].result().is_some());
+    assert_eq!(poisoned.trials[5].retries, 1);
+    assert!(poisoned.trials[5].result().is_some());
+
+    // The always-poisoned trial was retried out per policy — reported as
+    // a harness error, never silently dropped.
+    assert_eq!(
+        poisoned.trials[9].status,
+        TrialStatus::HarnessError(HarnessFailure::Panic)
+    );
+    assert_eq!(poisoned.trials[9].retries, 1);
+    assert_eq!(poisoned.outcome_counts().harness_error, 1);
+    assert_eq!(poisoned.outcome_counts().total(), 12);
+
+    // Every failed attempt is accounted: 3 panics + 1 timeout = 3 retries
+    // + 1 retried-out trial, and each failure rebuilt the worker machine.
+    let stats = poisoned.harness_stats;
+    assert_eq!(stats.panics, 3);
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.retries, 3);
+    assert_eq!(stats.rebuilds, 4);
+    assert_eq!(stats.harness_errors, 1);
+    poisoned.verify_reconciliation().expect("books must balance");
+
+    // Differential check: sabotage must not leak into any other trial.
+    // Retried trials run from rebuilt machine state, so their results —
+    // and every untouched trial's — are byte-identical to the clean run.
+    let clean_stats = clean.harness_stats;
+    assert_eq!(clean_stats, Default::default());
+    for (i, (a, b)) in poisoned.trials.iter().zip(&clean.trials).enumerate() {
+        if i == 9 {
+            continue; // retried out under sabotage, completed when clean
+        }
+        assert_eq!(
+            a.result(),
+            b.result(),
+            "trial {i}: sabotage elsewhere must not change this result"
+        );
+    }
+    assert!(clean.trials[9].result().is_some());
+
+    // Verdict classification keeps the harness bucket separate: the
+    // retried-out trial classifies as HarnessError, and the remaining
+    // verdicts match the clean campaign's exactly.
+    let mut poisoned_counts = VerdictCounts::default();
+    let mut clean_counts = VerdictCounts::default();
+    for (i, (a, b)) in poisoned.trials.iter().zip(&clean.trials).enumerate() {
+        let va = w.classify_trial(&a.status, &poisoned.golden.output);
+        let vb = w.classify_trial(&b.status, &clean.golden.output);
+        if i == 9 {
+            assert_eq!(va, TrialVerdict::HarnessError);
+        } else {
+            assert_eq!(va, vb, "trial {i} verdict");
+        }
+        poisoned_counts.record(&va);
+        clean_counts.record(&vb);
+    }
+    assert_eq!(poisoned_counts.harness_error, 1);
+    assert_eq!(clean_counts.harness_error, 0);
+    assert_eq!(poisoned_counts.total(), clean_counts.total());
+}

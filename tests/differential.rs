@@ -114,7 +114,7 @@ fn run_injected(
 ) -> (RunResult, u32, Option<Vec<u8>>) {
     let tags = analyze(w.program());
     let mut m = fresh_machine(w, false);
-    let mut injector = Injector::new(w.program(), &tags, Protection::Off, plan.clone());
+    let mut injector = Injector::new(w.program(), &tags, Protection::None, plan.clone());
     let result = if reference {
         m.run_reference(&mut injector)
     } else if chunked {
@@ -144,7 +144,7 @@ fn run_injected(
 fn injected_trials_agree_across_pipelines() {
     for w in all_workloads() {
         let tags = analyze(w.program());
-        let golden = golden_run(&*w, &tags, Protection::Off, u64::MAX / 2);
+        let golden = golden_run(&*w, &tags, Protection::None, u64::MAX / 2);
         let mut rng = SmallRng::seed_from_u64(0xD1FF ^ golden.instructions);
         let plan = FaultPlan::sample(&mut rng, golden.eligible_population, 5);
 
@@ -489,7 +489,7 @@ fn random_programs_agree_under_fault_injection() {
             max_instructions: 1 << 20,
             ..MachineConfig::default()
         };
-        // Population under Protection::Off = every value-producing
+        // Population under Protection::None = every value-producing
         // writeback of the fault-free run.
         let mut probe = Machine::new(&p, &config);
         let base = probe.run_simple();
@@ -509,7 +509,7 @@ fn random_programs_agree_under_fault_injection() {
                 _ => Arc::new(DecodedProgram::new(&p)),
             };
             let mut m = Machine::try_new_with_decoded(&p, &decoded, &config).unwrap();
-            let mut injector = Injector::new(&p, &tags, Protection::Off, plan.clone());
+            let mut injector = Injector::new(&p, &tags, Protection::None, plan.clone());
             let result = if tier == "reference" {
                 m.run_reference(&mut injector)
             } else {

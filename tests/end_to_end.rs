@@ -17,12 +17,12 @@ fn zero_error_campaigns_are_lossless_for_every_workload() {
             &CampaignConfig {
                 trials: 2,
                 errors: 0,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 ..CampaignConfig::default()
             },
         );
         assert_eq!(result.failure_rate(), 0.0, "{}", w.name());
-        for trial in &result.trials {
+        for trial in result.completed() {
             assert_eq!(
                 trial.output.as_deref(),
                 Some(&result.golden.output[..]),
@@ -55,7 +55,7 @@ fn protection_eliminates_catastrophic_failures() {
             &CampaignConfig {
                 trials: 25,
                 errors,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 ..CampaignConfig::default()
             },
         );
@@ -65,7 +65,7 @@ fn protection_eliminates_catastrophic_failures() {
             &CampaignConfig {
                 trials: 25,
                 errors,
-                protection: Protection::Off,
+                protection: Protection::None,
                 ..CampaignConfig::default()
             },
         );
@@ -102,7 +102,7 @@ fn fidelity_degrades_with_error_count() {
             &CampaignConfig {
                 trials: 20,
                 errors,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 ..CampaignConfig::default()
             },
         );
@@ -130,19 +130,14 @@ fn campaigns_are_deterministic() {
     let config = CampaignConfig {
         trials: 10,
         errors: 3,
-        protection: Protection::On,
+        protection: Protection::ControlOnly,
         seed: 1234,
         threads: 3,
         ..CampaignConfig::default()
     };
     let a = run_campaign(&**w, &tags, &config);
     let b = run_campaign(&**w, &tags, &config);
-    for (x, y) in a.trials.iter().zip(&b.trials) {
-        assert_eq!(x.outcome, y.outcome);
-        assert_eq!(x.output, y.output);
-        assert_eq!(x.instructions, y.instructions);
-        assert_eq!(x.injected, y.injected);
-    }
+    assert_eq!(a.trials, b.trials);
 }
 
 /// The golden run's eligible population must shrink when protection is on
@@ -171,7 +166,7 @@ fn eligible_population_and_tag_stats_are_consistent() {
             &tags,
             &CampaignConfig {
                 trials: 0,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 ..CampaignConfig::default()
             },
         );
@@ -180,7 +175,7 @@ fn eligible_population_and_tag_stats_are_consistent() {
             &tags,
             &CampaignConfig {
                 trials: 0,
-                protection: Protection::Off,
+                protection: Protection::None,
                 ..CampaignConfig::default()
             },
         );
@@ -215,16 +210,14 @@ fn extended_error_models_run_end_to_end() {
         let config = CampaignConfig {
             trials: 10,
             errors: 4,
-            protection: Protection::On,
+            protection: Protection::ControlOnly,
             model,
             ..CampaignConfig::default()
         };
         let a = run_campaign(&**w, &tags, &config);
         assert_eq!(a.failure_rate(), 0.0, "{model:?}");
         let b = run_campaign(&**w, &tags, &config);
-        for (x, y) in a.trials.iter().zip(&b.trials) {
-            assert_eq!(x.output, y.output, "{model:?} must be deterministic");
-        }
+        assert_eq!(a.trials, b.trials, "{model:?} must be deterministic");
     }
 }
 

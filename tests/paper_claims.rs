@@ -25,7 +25,7 @@ fn table2_shape_high_error_levels() {
             &CampaignConfig {
                 trials: 30,
                 errors,
-                protection: Protection::On,
+                protection: Protection::ControlOnly,
                 ..CampaignConfig::default()
             },
         );
@@ -35,7 +35,7 @@ fn table2_shape_high_error_levels() {
             &CampaignConfig {
                 trials: 30,
                 errors,
-                protection: Protection::Off,
+                protection: Protection::None,
                 ..CampaignConfig::default()
             },
         );
@@ -110,7 +110,7 @@ fn mcf_errors_are_noticeable_not_silent() {
         &CampaignConfig {
             trials: 40,
             errors: 2,
-            protection: Protection::On,
+            protection: Protection::ControlOnly,
             ..CampaignConfig::default()
         },
     );
@@ -153,7 +153,7 @@ fn susan_survives_moderate_errors_above_threshold() {
         &CampaignConfig {
             trials: 8,
             errors: 100,
-            protection: Protection::On,
+            protection: Protection::ControlOnly,
             ..CampaignConfig::default()
         },
     );
