@@ -1,0 +1,310 @@
+//! Distributed-campaign benchmark and robustness gate: drives the
+//! `certa-dist` coordinator against real `campaign_worker` OS processes
+//! on localhost, and proves the service's two core claims end to end:
+//!
+//! 1. **Determinism under distribution and loss** — the per-trial record
+//!    table of an in-process campaign, a 1-worker distributed campaign,
+//!    and an N-worker campaign whose slowest worker is SIGKILLed
+//!    mid-lease are all identical, and global reconciliation holds in
+//!    every case (the coordinator checks it before returning).
+//! 2. **Throughput scaling** — trials/s for 1 vs N workers, reported
+//!    per-worker and end-to-end in `BENCH_dist.json`. The ≥2× speedup
+//!    gate is enforced only where the host actually has the cores for N
+//!    workers; on smaller machines the numbers are still reported, with
+//!    the gate recorded as not enforced.
+//!
+//! Usage: `campaign_dist [--trials N] [--seed N]`; environment overrides:
+//! `CERTA_DIST_TRIALS`, `CERTA_DIST_WORKERS` (default 4),
+//! `CERTA_DIST_WORKLOAD` (default `susan`).
+//!
+//! Exits non-zero if any record table diverges, any campaign fails
+//! reconciliation, or the speedup gate (where enforced) fails.
+
+use std::fmt::Write as _;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use certa_bench::{harness_json, parse_cli, write_bench_json, AsTarget};
+use certa_core::analyze;
+use certa_dist::{Coordinator, DistConfig, DistProgress, DistResult};
+use certa_fault::{run_campaign, CampaignConfig, CampaignSession};
+use certa_workloads::{all_workloads, Workload};
+
+const ERRORS: u64 = 2;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config(trials: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        errors: ERRORS,
+        seed,
+        threads: 1,
+        ..CampaignConfig::default()
+    }
+}
+
+fn dist_config() -> DistConfig {
+    DistConfig {
+        lease_ttl: Duration::from_secs(2),
+        fallback_inline: false,
+        chunk_parts: 16,
+        worker_threads: 1,
+        drain_timeout: Duration::from_secs(300),
+        ..DistConfig::default()
+    }
+}
+
+fn worker_exe() -> std::io::Result<std::path::PathBuf> {
+    let me = std::env::current_exe()?;
+    Ok(me.with_file_name(format!(
+        "campaign_worker{}",
+        std::env::consts::EXE_SUFFIX
+    )))
+}
+
+fn spawn_worker(
+    exe: &std::path::Path,
+    addr: &str,
+    name: &str,
+    throttle_ms: Option<u64>,
+) -> std::io::Result<Child> {
+    let mut cmd = Command::new(exe);
+    cmd.args(["--connect", addr, "--name", name])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(ms) = throttle_ms {
+        cmd.env("CERTA_WORKER_THROTTLE_MS", ms.to_string());
+    }
+    cmd.spawn()
+}
+
+struct DistRun {
+    result: DistResult,
+    seconds: f64,
+    victim_killed: bool,
+}
+
+/// Runs one distributed campaign with `workers` subprocess workers. With
+/// `kill_victim`, worker 0 is throttled (so it provably holds leases) and
+/// SIGKILLed as soon as the campaign is demonstrably mid-flight.
+fn run_dist(
+    workload: &dyn Workload,
+    trials: usize,
+    seed: u64,
+    workers: usize,
+    kill_victim: bool,
+) -> Result<DistRun, String> {
+    let tags = analyze(workload.program());
+    let cfg = config(trials, seed);
+    let session = CampaignSession::new(workload.as_target(), &tags, &cfg);
+    let coordinator = Coordinator::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = coordinator.local_addr().map_err(|e| e.to_string())?.to_string();
+    let exe = worker_exe().map_err(|e| e.to_string())?;
+
+    let mut children: Vec<Child> = Vec::new();
+    let mut victim: Option<Mutex<Child>> = None;
+    for w in 0..workers {
+        let name = format!("worker-{w}");
+        let throttle = (kill_victim && w == 0).then_some(150);
+        let child = spawn_worker(&exe, &addr, &name, throttle)
+            .map_err(|e| format!("cannot spawn {name}: {e}"))?;
+        if kill_victim && w == 0 {
+            victim = Some(Mutex::new(child));
+        } else {
+            children.push(child);
+        }
+    }
+
+    let progress = DistProgress::default();
+    let done = AtomicBool::new(false);
+    let victim_killed = AtomicBool::new(false);
+    let mut outcome: Option<Result<DistResult, String>> = None;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        if let Some(victim) = &victim {
+            scope.spawn(|| {
+                // SIGKILL the victim once at least one chunk has landed —
+                // the campaign is then provably mid-flight, and the
+                // throttled victim is either holding a lease or about to.
+                while !done.load(Ordering::SeqCst) {
+                    if progress.chunks_done() >= 1 {
+                        if victim.lock().unwrap().kill().is_ok() {
+                            victim_killed.store(true, Ordering::SeqCst);
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+        }
+        outcome = Some(
+            coordinator
+                .run_with_progress(&session, workload.name(), &dist_config(), &progress)
+                .map_err(|e| e.to_string()),
+        );
+        done.store(true, Ordering::SeqCst);
+    });
+    let seconds = started.elapsed().as_secs_f64();
+
+    for mut child in children {
+        let _ = child.wait();
+    }
+    if let Some(victim) = victim {
+        let mut child = victim.into_inner().unwrap();
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    outcome.unwrap().map(|result| DistRun {
+        result,
+        seconds,
+        victim_killed: victim_killed.load(Ordering::SeqCst),
+    })
+}
+
+fn main() -> ExitCode {
+    let (cli_trials, seed) = parse_cli(256);
+    let trials = env_usize("CERTA_DIST_TRIALS", cli_trials);
+    let workers = env_usize("CERTA_DIST_WORKERS", 4).max(2);
+    let workload_name =
+        std::env::var("CERTA_DIST_WORKLOAD").unwrap_or_else(|_| "susan".into());
+    let Some(workload) = all_workloads()
+        .into_iter()
+        .find(|w| w.name() == workload_name)
+    else {
+        eprintln!("campaign_dist: unknown workload {workload_name:?}");
+        return ExitCode::FAILURE;
+    };
+    let workload = &*workload;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Inline baseline: the ordinary in-process campaign.
+    eprintln!("campaign_dist: inline baseline ({trials} trials of {workload_name})");
+    let tags = analyze(workload.program());
+    let inline_started = Instant::now();
+    let inline = run_campaign(workload.as_target(), &tags, &config(trials, seed));
+    let inline_seconds = inline_started.elapsed().as_secs_f64();
+
+    eprintln!("campaign_dist: 1 worker process");
+    let one = match run_dist(workload, trials, seed, 1, false) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("campaign_dist: 1-worker run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("campaign_dist: {workers} worker processes, SIGKILLing one mid-run");
+    let multi = match run_dist(workload, trials, seed, workers, true) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("campaign_dist: {workers}-worker run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let one_matches = one.result.campaign.trials == inline.trials;
+    let multi_matches = multi.result.campaign.trials == inline.trials;
+    let tps = |seconds: f64| trials as f64 / seconds.max(1e-9);
+    let inline_tps = tps(inline_seconds);
+    let one_tps = tps(one.seconds);
+    let multi_tps = tps(multi.seconds);
+    let speedup = multi_tps / one_tps.max(1e-9);
+    // The ≥2× gate needs the cores to exist: N workers plus the
+    // coordinator cannot beat one worker on a single-core host, and
+    // pretending otherwise would just make the gate flake. Report the
+    // measured numbers either way.
+    let gate_enforced = cores >= workers;
+
+    let mut per_worker = String::new();
+    for (i, w) in multi.result.workers.iter().enumerate() {
+        if i > 0 {
+            per_worker.push(',');
+        }
+        let _ = write!(
+            per_worker,
+            "{{\"name\":{:?},\"leases\":{},\"chunks\":{},\"trials\":{},\"stale\":{},\"heartbeats\":{},\"trials_per_sec\":{:.3}}}",
+            w.name,
+            w.leases,
+            w.chunks_completed,
+            w.trials_completed,
+            w.stale_completions,
+            w.heartbeats,
+            w.trials_completed as f64 / multi.seconds.max(1e-9)
+        );
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"campaign_dist\",\"workload\":{workload_name:?},\"trials\":{trials},\"errors\":{ERRORS},\"seed\":{seed},\"cores\":{cores},\
+\"inline\":{{\"seconds\":{inline_seconds:.3},\"trials_per_sec\":{inline_tps:.3}}},\
+\"one_worker\":{{\"seconds\":{:.3},\"trials_per_sec\":{one_tps:.3},\"redeliveries\":{},\"harness\":{}}},\
+\"multi_worker\":{{\"workers\":{workers},\"seconds\":{:.3},\"trials_per_sec\":{multi_tps:.3},\"redeliveries\":{},\"victim_killed\":{},\"harness\":{},\"per_worker\":[{per_worker}]}},\
+\"speedup_multi_over_one\":{speedup:.3},\"speedup_gate_enforced\":{gate_enforced},\"records_match\":{}}}",
+        one.seconds,
+        one.result.redeliveries,
+        harness_json(&one.result.campaign.harness_stats),
+        multi.seconds,
+        multi.result.redeliveries,
+        multi.victim_killed,
+        harness_json(&multi.result.campaign.harness_stats),
+        one_matches && multi_matches,
+    );
+
+    println!(
+        "{:<14} {:>9} {:>12} {:>13}",
+        "run", "seconds", "trials/s", "redeliveries"
+    );
+    println!("{:<14} {:>9.3} {:>12.1} {:>13}", "inline", inline_seconds, inline_tps, "-");
+    println!(
+        "{:<14} {:>9.3} {:>12.1} {:>13}",
+        "1 worker", one.seconds, one_tps, one.result.redeliveries
+    );
+    println!(
+        "{:<14} {:>9.3} {:>12.1} {:>13}",
+        format!("{workers} workers"),
+        multi.seconds,
+        multi_tps,
+        multi.result.redeliveries
+    );
+    eprintln!(
+        "campaign_dist: speedup {speedup:.2}x on {cores} core(s); victim killed: {}",
+        multi.victim_killed
+    );
+
+    match write_bench_json("dist", &json) {
+        Ok(path) => eprintln!("campaign_dist: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("campaign_dist: cannot write BENCH_dist.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !one_matches || !multi_matches {
+        eprintln!(
+            "campaign_dist: FAIL — record tables diverge (1-worker match: {one_matches}, {workers}-worker match: {multi_matches})"
+        );
+        return ExitCode::FAILURE;
+    }
+    if gate_enforced && speedup < 2.0 {
+        eprintln!(
+            "campaign_dist: FAIL — {workers} workers reached only {speedup:.2}x over 1 worker on {cores} cores"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !gate_enforced {
+        eprintln!(
+            "campaign_dist: speedup gate not enforced ({cores} core(s) < {workers} workers) — determinism gates still applied"
+        );
+    }
+    eprintln!("campaign_dist: record tables identical across inline, 1-worker, and {workers}-worker-with-kill runs");
+    ExitCode::SUCCESS
+}

@@ -22,10 +22,10 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use certa_bench::{parse_cli, write_bench_json, AsTarget};
+use certa_bench::{harness_json, parse_cli, write_bench_json, AsTarget};
 use certa_core::analyze;
 use certa_fault::{
-    run_campaign, CampaignConfig, FaultTarget, Protection, ToleranceProfile,
+    run_campaign, CampaignConfig, FaultTarget, HarnessStats, Protection, ToleranceProfile,
 };
 use certa_fidelity::verdict::VerdictCounts;
 use certa_workloads::{all_workloads, Workload};
@@ -41,7 +41,7 @@ fn run_cell(
     regime: Protection,
     trials: usize,
     seed: u64,
-) -> ToleranceProfile {
+) -> (ToleranceProfile, HarnessStats) {
     let tags = analyze(workload.program());
     let config = CampaignConfig {
         trials,
@@ -56,13 +56,14 @@ fn run_cell(
     for record in &result.trials {
         counts.record(&workload.classify_trial(&record.status, &result.golden.output));
     }
-    ToleranceProfile {
+    let profile = ToleranceProfile {
         workload: workload.name().to_string(),
         regime,
         target,
         errors: ERRORS,
         counts,
-    }
+    };
+    (profile, result.harness_stats)
 }
 
 fn main() -> ExitCode {
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
         .unwrap_or(cli_trials);
 
     let mut rows: Vec<ToleranceProfile> = Vec::new();
+    let mut harness = HarnessStats::default();
     for w in all_workloads() {
         for regime in Protection::all() {
             eprintln!(
@@ -80,24 +82,30 @@ fn main() -> ExitCode {
                 w.name(),
                 regime.label()
             );
-            rows.push(run_cell(&*w, FaultTarget::Registers, regime, trials, seed));
+            let (row, cell_harness) =
+                run_cell(&*w, FaultTarget::Registers, regime, trials, seed);
+            rows.push(row);
+            harness.merge(&cell_harness);
         }
         // Memory-cell faults hit stored state, which carries no
         // instruction tag — one regime-independent row per workload.
         eprintln!("campaign_matrix: {} memory_cells ({trials} trials)", w.name());
-        rows.push(run_cell(
+        let (row, cell_harness) = run_cell(
             &*w,
             FaultTarget::MemoryCells,
             Protection::None,
             trials,
             seed,
-        ));
+        );
+        rows.push(row);
+        harness.merge(&cell_harness);
     }
 
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"bench\":\"campaign_matrix\",\"trials\":{trials},\"errors\":{ERRORS},\"seed\":{seed},\"rows\":["
+        "{{\"bench\":\"campaign_matrix\",\"trials\":{trials},\"errors\":{ERRORS},\"seed\":{seed},\"harness\":{},\"rows\":[",
+        harness_json(&harness)
     );
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {

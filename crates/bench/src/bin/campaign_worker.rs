@@ -1,0 +1,99 @@
+//! A campaign worker process: connects to a `campaign_dist` (or any
+//! `certa-dist`) coordinator, resolves the advertised workload from the
+//! study's workload set, and runs leased trial chunks until the campaign
+//! drains.
+//!
+//! Usage: `campaign_worker --connect HOST:PORT [--name NAME]`
+//!
+//! Environment:
+//! * `CERTA_WORKER_THROTTLE_MS` — artificial per-chunk delay, so a bench
+//!   driver can designate a slow victim that provably holds a lease when
+//!   it gets SIGKILLed.
+//! * `CERTA_WORKER_HEARTBEAT_MS` — heartbeat period override.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use certa_dist::{run_worker, WorkerOptions};
+use certa_fault::Target;
+use certa_workloads::all_workloads;
+
+fn env_ms(key: &str) -> Option<Duration> {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+}
+
+fn resolve(name: &str) -> Option<Box<dyn Target>> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .map(|w| w as Box<dyn Target>)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut connect: Option<String> = None;
+    let mut name = format!("worker-{}", std::process::id());
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" if i + 1 < args.len() => {
+                connect = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--name" if i + 1 < args.len() => {
+                name = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("campaign_worker: unknown argument {other:?}");
+                eprintln!("usage: campaign_worker --connect HOST:PORT [--name NAME]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("campaign_worker: missing --connect HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    let addr: SocketAddr = match connect.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("campaign_worker: cannot resolve {connect:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = WorkerOptions {
+        name: name.clone(),
+        // Distinct per-process seeds keep reconnect storms de-synchronized.
+        backoff_seed: u64::from(std::process::id()),
+        ..WorkerOptions::default()
+    };
+    if let Some(throttle) = env_ms("CERTA_WORKER_THROTTLE_MS") {
+        opts.throttle_per_chunk = throttle;
+    }
+    if let Some(heartbeat) = env_ms("CERTA_WORKER_HEARTBEAT_MS") {
+        opts.heartbeat_interval = heartbeat;
+    }
+
+    match run_worker(addr, &resolve, &opts) {
+        Ok(report) => {
+            eprintln!(
+                "campaign_worker: {name} done — {} chunks, {} trials, {} stale, {} reconnects",
+                report.chunks_completed,
+                report.trials_completed,
+                report.stale_acks,
+                report.reconnects
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign_worker: {name} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -696,6 +696,18 @@ pub fn write_bench_json(name: &str, json: &str) -> std::io::Result<std::path::Pa
     Ok(path)
 }
 
+/// Serializes [`certa_fault::HarnessStats`] as a JSON object — the
+/// containment counters belong in every `BENCH_*.json` that runs
+/// campaigns, so harness health (panics, timeouts, retries, rebuilds,
+/// retried-out trials) is tracked across PRs alongside throughput.
+#[must_use]
+pub fn harness_json(stats: &certa_fault::HarnessStats) -> String {
+    format!(
+        "{{\"panics\":{},\"timeouts\":{},\"retries\":{},\"rebuilds\":{},\"harness_errors\":{}}}",
+        stats.panics, stats.timeouts, stats.retries, stats.rebuilds, stats.harness_errors
+    )
+}
+
 /// Extracts the numeric value of `"key": <number>` from a flat JSON
 /// document — the `BENCH_*.json` summaries are written by this crate with
 /// a known shape, so a dependency-free scan is all the trajectory checker

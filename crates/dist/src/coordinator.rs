@@ -1,0 +1,679 @@
+//! The campaign coordinator: owns the [`CampaignSession`] (golden run +
+//! checkpoint set), leases checkpoint-grouped trial chunks to workers,
+//! and assembles the globally reconciled [`CampaignResult`].
+//!
+//! Threading model: the caller's thread drives lease expiry, inline
+//! fallback, and the drain condition; one scoped acceptor thread takes
+//! connections off the listener; and each connection gets a scoped
+//! handler thread running a trivial request/response loop. All state the
+//! handlers touch lives in one `Shared` struct behind short-lived mutexes
+//! — no lock is ever held across trial execution or socket I/O.
+
+use std::collections::HashSet;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use certa_fault::{
+    CampaignResult, CampaignSession, HarnessStats, RestoreStats, TrialChunk, TrialRecord,
+};
+
+use crate::lease::{Completion, LeaseTable};
+use crate::protocol::{
+    read_frame, write_frame, JobSpec, Request, Response, PROTOCOL_VERSION,
+};
+use crate::DistError;
+
+/// Tuning knobs of a distributed campaign run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// How long a granted lease lives without a heartbeat. Must comfortably
+    /// exceed the worker heartbeat interval; a SIGKILLed worker's chunks
+    /// come back after at most this long.
+    pub lease_ttl: Duration,
+    /// Suggested worker poll delay when every open chunk is leased out.
+    pub worker_poll: Duration,
+    /// Degrade to in-process execution when zero workers ever attach
+    /// within [`DistConfig::fallback_grace`] — a campaign should complete
+    /// even if every worker binary is missing.
+    pub fallback_inline: bool,
+    /// How long to wait for a first worker before the inline fallback
+    /// kicks in.
+    pub fallback_grace: Duration,
+    /// Trial threads each worker process runs with (advertised in the
+    /// [`JobSpec`]).
+    pub worker_threads: u32,
+    /// Target chunk count for [`CampaignSession::chunk_plan`] — more
+    /// parts mean finer-grained redelivery after a worker loss, at more
+    /// round trips.
+    pub chunk_parts: usize,
+    /// Hard wall-clock bound on draining the chunk queue (golden run
+    /// excluded); exceeding it is [`DistError::Incomplete`]. A backstop
+    /// so a coordinator with no workers and no fallback cannot hang CI
+    /// forever.
+    pub drain_timeout: Duration,
+    /// After the last chunk completes, keep answering requests (`Lease` →
+    /// `Drained`, late `Complete`s → stale `Ack`s) until every attached
+    /// worker has been told `Drained`, or this long passes with no
+    /// incoming request — a coordinator that goes silent the instant the
+    /// queue drains strands any worker whose request was in flight.
+    pub shutdown_linger: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            lease_ttl: Duration::from_secs(5),
+            worker_poll: Duration::from_millis(100),
+            fallback_inline: true,
+            fallback_grace: Duration::from_secs(2),
+            worker_threads: 1,
+            chunk_parts: 16,
+            drain_timeout: Duration::from_secs(600),
+            shutdown_linger: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Per-worker attribution: what each attached worker (or the inline
+/// fallback, ledgered under the name `coordinator-inline`) contributed.
+#[derive(Debug, Clone)]
+pub struct WorkerLedger {
+    /// Name from the worker's `Hello`.
+    pub name: String,
+    /// Leases granted to this worker (including ones it later lost).
+    pub leases: u32,
+    /// Chunks whose completion was accepted from this worker.
+    pub chunks_completed: u32,
+    /// Trials inside those accepted chunks.
+    pub trials_completed: u64,
+    /// Duplicate completions dropped (the chunk was already done).
+    pub stale_completions: u32,
+    /// Heartbeats received.
+    pub heartbeats: u64,
+    /// Harness-counter deltas merged from accepted chunks.
+    pub harness: HarnessStats,
+    /// Restore-counter deltas merged from accepted chunks.
+    pub restores: RestoreStats,
+}
+
+impl WorkerLedger {
+    fn new(name: String) -> Self {
+        WorkerLedger {
+            name,
+            leases: 0,
+            chunks_completed: 0,
+            trials_completed: 0,
+            stale_completions: 0,
+            heartbeats: 0,
+            harness: HarnessStats::default(),
+            restores: RestoreStats::default(),
+        }
+    }
+}
+
+/// Live progress counters a driver (e.g. the `campaign_dist` bench) can
+/// watch from another thread — for instance to SIGKILL a worker once it
+/// is provably mid-campaign.
+#[derive(Debug, Default)]
+pub struct DistProgress {
+    chunks_total: AtomicUsize,
+    chunks_done: AtomicUsize,
+    workers_attached: AtomicUsize,
+    leases_granted: AtomicUsize,
+}
+
+impl DistProgress {
+    /// Total chunks in the campaign (0 until the run starts).
+    #[must_use]
+    pub fn chunks_total(&self) -> usize {
+        self.chunks_total.load(Ordering::Relaxed)
+    }
+
+    /// Chunks whose completion has been accepted so far.
+    #[must_use]
+    pub fn chunks_done(&self) -> usize {
+        self.chunks_done.load(Ordering::Relaxed)
+    }
+
+    /// Workers that have said `Hello` so far.
+    #[must_use]
+    pub fn workers_attached(&self) -> usize {
+        self.workers_attached.load(Ordering::Relaxed)
+    }
+
+    /// Leases granted so far (including re-grants).
+    #[must_use]
+    pub fn leases_granted(&self) -> usize {
+        self.leases_granted.load(Ordering::Relaxed)
+    }
+}
+
+/// A distributed campaign's outcome: the globally assembled (and
+/// reconciliation-checked) campaign result plus distribution-level
+/// accounting.
+#[derive(Debug)]
+pub struct DistResult {
+    /// The assembled campaign result — per-trial records bit-identical to
+    /// an in-process run of the same configuration.
+    pub campaign: CampaignResult,
+    /// Per-worker attribution, in attach order.
+    pub workers: Vec<WorkerLedger>,
+    /// Lease expiries (chunks returned to the queue) over the whole run.
+    pub redeliveries: u64,
+    /// Whether the inline fallback executed any chunks.
+    pub fallback_used: bool,
+}
+
+/// Shared coordinator state, borrowed by every handler thread.
+struct Shared<'s, 'a> {
+    session: &'s CampaignSession<'a>,
+    workload: String,
+    fingerprint: u64,
+    dist: DistConfig,
+    chunks: Vec<TrialChunk>,
+    started: Instant,
+    table: Mutex<LeaseTable>,
+    records: Mutex<Vec<Option<TrialRecord>>>,
+    harness: Mutex<HarnessStats>,
+    restores: Mutex<RestoreStats>,
+    workers: Mutex<Vec<WorkerLedger>>,
+    /// Worker ids that said `Hello` over the wire (the inline fallback
+    /// never appears here).
+    remote_workers: Mutex<HashSet<u32>>,
+    /// Remote workers that have been answered with `Drained`.
+    drained_workers: Mutex<HashSet<u32>>,
+    /// Coordinator-clock timestamp of the last incoming request.
+    last_request_ms: AtomicU64,
+    ever_attached: AtomicBool,
+    fallback_used: AtomicBool,
+    shutdown: AtomicBool,
+    progress: &'s DistProgress,
+}
+
+impl Shared<'_, '_> {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn with_ledger(&self, worker: u32, update: impl FnOnce(&mut WorkerLedger)) {
+        let mut workers = self.workers.lock().expect("ledger lock");
+        if let Some(ledger) = workers.get_mut(worker as usize) {
+            update(ledger);
+        }
+    }
+
+    fn handle(&self, request: Request) -> Response {
+        self.last_request_ms.store(self.now_ms(), Ordering::SeqCst);
+        match request {
+            Request::Hello { version, name } => {
+                if version != PROTOCOL_VERSION {
+                    return Response::Reject {
+                        reason: format!(
+                            "protocol version {version} != {PROTOCOL_VERSION}"
+                        ),
+                    };
+                }
+                let worker = {
+                    let mut workers = self.workers.lock().expect("ledger lock");
+                    workers.push(WorkerLedger::new(name));
+                    (workers.len() - 1) as u32
+                };
+                self.remote_workers
+                    .lock()
+                    .expect("remote lock")
+                    .insert(worker);
+                self.ever_attached.store(true, Ordering::SeqCst);
+                self.progress.workers_attached.fetch_add(1, Ordering::Relaxed);
+                Response::Welcome {
+                    worker,
+                    job: JobSpec {
+                        workload: self.workload.clone(),
+                        config: self.session.config().clone(),
+                        fingerprint: self.fingerprint,
+                        worker_threads: self.dist.worker_threads,
+                    },
+                }
+            }
+            Request::Lease {
+                worker,
+                fingerprint,
+            } => {
+                if fingerprint != self.fingerprint {
+                    return Response::Reject {
+                        reason: format!(
+                            "session fingerprint mismatch: worker {fingerprint:#x} != coordinator {:#x}",
+                            self.fingerprint
+                        ),
+                    };
+                }
+                let now = self.now_ms();
+                let granted = {
+                    let mut table = self.table.lock().expect("lease lock");
+                    table.expire(now);
+                    table
+                        .lease(worker, now)
+                        .map(Ok)
+                        .unwrap_or_else(|| Err(table.is_drained()))
+                };
+                match granted {
+                    Ok((lease, chunk, trials)) => {
+                        self.with_ledger(worker, |l| l.leases += 1);
+                        self.progress.leases_granted.fetch_add(1, Ordering::Relaxed);
+                        Response::Grant {
+                            lease,
+                            chunk,
+                            trials,
+                            ttl_ms: u64::try_from(self.dist.lease_ttl.as_millis())
+                                .unwrap_or(u64::MAX),
+                        }
+                    }
+                    Err(true) => {
+                        self.drained_workers
+                            .lock()
+                            .expect("drained lock")
+                            .insert(worker);
+                        Response::Drained
+                    }
+                    Err(false) => Response::Wait {
+                        poll_ms: u64::try_from(self.dist.worker_poll.as_millis())
+                            .unwrap_or(u64::MAX),
+                    },
+                }
+            }
+            Request::Heartbeat { worker, lease } => {
+                let now = self.now_ms();
+                let accepted = self.table.lock().expect("lease lock").heartbeat(lease, now);
+                self.with_ledger(worker, |l| l.heartbeats += 1);
+                Response::Ack { accepted }
+            }
+            Request::Complete {
+                worker,
+                lease: _,
+                chunk,
+                records,
+                harness,
+                restores,
+            } => match self.accept_completion(worker, chunk, records, &harness, &restores) {
+                Ok(accepted) => Response::Ack { accepted },
+                Err(reason) => Response::Reject { reason },
+            },
+        }
+    }
+
+    /// Validates and merges one chunk delivery. `Ok(true)` = fresh
+    /// (merged), `Ok(false)` = stale duplicate (dropped). Only fresh
+    /// completions touch the global records and stat sums — that is what
+    /// keeps the global reconciliation exact under redelivery.
+    fn accept_completion(
+        &self,
+        worker: u32,
+        chunk: u32,
+        records: Vec<(u32, TrialRecord)>,
+        harness: &HarnessStats,
+        restores: &RestoreStats,
+    ) -> Result<bool, String> {
+        let Some(expected) = self.chunks.get(chunk as usize) else {
+            return Err(format!("unknown chunk {chunk}"));
+        };
+        let mut got: Vec<u32> = records.iter().map(|(t, _)| *t).collect();
+        got.sort_unstable();
+        let mut want = expected.trials.clone();
+        want.sort_unstable();
+        if got != want {
+            return Err(format!("chunk {chunk} delivery does not match its trial ids"));
+        }
+        let completion = {
+            let mut table = self.table.lock().expect("lease lock");
+            table.complete(chunk, worker)
+        };
+        match completion {
+            None => Err(format!("unknown chunk {chunk}")),
+            Some(Completion::Stale) => {
+                self.with_ledger(worker, |l| l.stale_completions += 1);
+                Ok(false)
+            }
+            Some(Completion::Fresh) => {
+                {
+                    let mut slots = self.records.lock().expect("records lock");
+                    for (trial, record) in records {
+                        slots[trial as usize] = Some(record);
+                    }
+                }
+                self.harness.lock().expect("harness lock").merge(harness);
+                self.restores.lock().expect("restores lock").merge(restores);
+                let trials = expected.trials.len() as u64;
+                self.with_ledger(worker, |l| {
+                    l.chunks_completed += 1;
+                    l.trials_completed += trials;
+                    l.harness.merge(harness);
+                    l.restores.merge(restores);
+                });
+                self.progress.chunks_done.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+        }
+    }
+
+    /// The inline degradation path: the coordinator leases chunks to
+    /// itself and runs them on its own session, through the *same*
+    /// completion accounting as a remote delivery. Runs until nothing is
+    /// leasable (drained, or a late worker holds the remainder).
+    fn run_inline_fallback(&self) {
+        let worker = {
+            let mut workers = self.workers.lock().expect("ledger lock");
+            workers.push(WorkerLedger::new("coordinator-inline".into()));
+            (workers.len() - 1) as u32
+        };
+        self.fallback_used.store(true, Ordering::SeqCst);
+        loop {
+            let now = self.now_ms();
+            let granted = {
+                let mut table = self.table.lock().expect("lease lock");
+                table.expire(now);
+                table.lease(worker, now)
+            };
+            let Some((_lease, chunk, trials)) = granted else {
+                return;
+            };
+            self.with_ledger(worker, |l| l.leases += 1);
+            self.progress.leases_granted.fetch_add(1, Ordering::Relaxed);
+            let harness_before = self.session.harness_stats();
+            let restores_before = self.session.restore_stats();
+            let records = self.session.run_subset(&trials);
+            let harness = self.session.harness_stats().saturating_sub(&harness_before);
+            let restores = self.session.restore_stats().saturating_sub(&restores_before);
+            let pairs: Vec<(u32, TrialRecord)> =
+                trials.iter().copied().zip(records).collect();
+            if let Err(reason) = self.accept_completion(worker, chunk, pairs, &harness, &restores)
+            {
+                // Can only happen on a coordinator bug; surface loudly.
+                panic!("inline fallback delivery rejected: {reason}");
+            }
+        }
+    }
+}
+
+/// Reads one frame from a handler connection, idling in short timeouts so
+/// the shutdown flag stays responsive. `Ok(None)` means shutdown was
+/// requested while idle; `Err` means the connection is gone.
+fn read_frame_idle(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        // Peek with the short read timeout: only once at least one byte
+        // is available do we commit to a blocking frame read, so an idle
+        // poll can never desynchronize a partially read length prefix.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed",
+                ))
+            }
+            Ok(_) => {
+                stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+                let frame = read_frame(stream);
+                stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+                return frame.map(Some);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One connection's request/response loop.
+fn handle_connection(shared: &Shared<'_, '_>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let mut helloed: Vec<u32> = Vec::new();
+    while let Ok(Some(payload)) = read_frame_idle(&mut stream, &shared.shutdown) {
+        let response = match Request::decode(&payload) {
+            Ok(request) => shared.handle(request),
+            Err(e) => Response::Reject {
+                reason: format!("undecodable request: {e}"),
+            },
+        };
+        if let Response::Welcome { worker, .. } = &response {
+            helloed.push(*worker);
+        }
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+    // A closed connection can never be told `Drained`; release the
+    // post-drain linger from waiting on the workers it carried.
+    if !helloed.is_empty() {
+        shared
+            .drained_workers
+            .lock()
+            .expect("drained lock")
+            .extend(helloed);
+    }
+}
+
+/// The campaign coordinator: a bound listener plus the drive loop that
+/// leases chunks, expires lost workers, and assembles the global result.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    /// Binds the coordinator's listener (pass port 0 to let the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Coordinator { listener })
+    }
+
+    /// The bound address (workers connect here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs a distributed campaign to completion (see
+    /// [`Coordinator::run_with_progress`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::run_with_progress`].
+    pub fn run(
+        &self,
+        session: &CampaignSession<'_>,
+        workload: &str,
+        dist: &DistConfig,
+    ) -> Result<DistResult, DistError> {
+        let progress = DistProgress::default();
+        self.run_with_progress(session, workload, dist, &progress)
+    }
+
+    /// Runs a distributed campaign to completion: serves worker requests
+    /// until every chunk is completed, then assembles the global
+    /// [`CampaignResult`] and checks
+    /// [`CampaignResult::verify_reconciliation`] across everything that
+    /// arrived over the wire. `progress` is updated live.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Incomplete`] if the drain timeout expires or a record
+    /// is missing after drain (coordinator bugs or an abandoned
+    /// campaign); [`DistError::Reconciliation`] if the assembled result
+    /// fails the global invariants; [`DistError::Io`] on listener
+    /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal lock is poisoned (a handler thread
+    /// panicked), or if the inline fallback's own delivery is rejected —
+    /// both coordinator bugs.
+    pub fn run_with_progress(
+        &self,
+        session: &CampaignSession<'_>,
+        workload: &str,
+        dist: &DistConfig,
+        progress: &DistProgress,
+    ) -> Result<DistResult, DistError> {
+        let chunks = session.chunk_plan(dist.chunk_parts);
+        let ttl_ms = u64::try_from(dist.lease_ttl.as_millis()).unwrap_or(u64::MAX);
+        let table = LeaseTable::new(chunks.iter().map(|c| c.trials.clone()).collect(), ttl_ms);
+        progress.chunks_total.store(chunks.len(), Ordering::Relaxed);
+        let shared = Shared {
+            session,
+            workload: workload.to_string(),
+            fingerprint: session.fingerprint(),
+            dist: dist.clone(),
+            chunks,
+            started: Instant::now(),
+            table: Mutex::new(table),
+            records: Mutex::new(vec![None; session.config().trials]),
+            harness: Mutex::new(HarnessStats::default()),
+            restores: Mutex::new(RestoreStats::default()),
+            workers: Mutex::new(Vec::new()),
+            remote_workers: Mutex::new(HashSet::new()),
+            drained_workers: Mutex::new(HashSet::new()),
+            last_request_ms: AtomicU64::new(0),
+            ever_attached: AtomicBool::new(false),
+            fallback_used: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            progress,
+        };
+
+        let mut drain_error: Option<DistError> = None;
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(|| {
+                loop {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            scope.spawn(|| handle_connection(&shared, stream));
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            });
+
+            // The drive loop: expire lost leases, watch for drain, and
+            // degrade to inline execution if no worker ever shows up.
+            loop {
+                let drained = {
+                    let mut table = shared.table.lock().expect("lease lock");
+                    table.expire(shared.now_ms());
+                    table.is_drained()
+                };
+                if drained {
+                    break;
+                }
+                if shared.started.elapsed() >= dist.drain_timeout {
+                    drain_error = Some(DistError::Incomplete(format!(
+                        "drain timeout ({:?}) expired with chunks outstanding",
+                        dist.drain_timeout
+                    )));
+                    break;
+                }
+                if dist.fallback_inline
+                    && !shared.ever_attached.load(Ordering::SeqCst)
+                    && shared.started.elapsed() >= dist.fallback_grace
+                {
+                    shared.run_inline_fallback();
+                    continue;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Linger after drain: a worker whose request was in flight (or
+            // still rebuilding its session) would otherwise see the
+            // coordinator go silent and burn its whole reconnect budget.
+            // Keep serving until every `Hello`'d worker has either been
+            // answered `Drained` or dropped its connection, bounded by a
+            // no-incoming-request window for workers that died without
+            // closing cleanly (SIGKILL leaves the peer OS to close the
+            // socket, which still unblocks us via the connection path).
+            if drain_error.is_none() {
+                shared.last_request_ms.store(shared.now_ms(), Ordering::SeqCst);
+                loop {
+                    let all_notified = {
+                        let remote = shared.remote_workers.lock().expect("remote lock");
+                        let drained = shared.drained_workers.lock().expect("drained lock");
+                        remote.iter().all(|w| drained.contains(w))
+                    };
+                    let idle = shared
+                        .now_ms()
+                        .saturating_sub(shared.last_request_ms.load(Ordering::SeqCst));
+                    if all_notified
+                        || Duration::from_millis(idle) >= dist.shutdown_linger
+                        || shared.started.elapsed() >= dist.drain_timeout
+                    {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            shared.shutdown.store(true, Ordering::SeqCst);
+            acceptor.join().expect("acceptor thread panicked");
+        });
+
+        if let Some(error) = drain_error {
+            return Err(error);
+        }
+
+        let records = shared.records.into_inner().expect("records lock");
+        let mut trials = Vec::with_capacity(records.len());
+        for (trial, record) in records.into_iter().enumerate() {
+            match record {
+                Some(record) => trials.push(record),
+                None => {
+                    return Err(DistError::Incomplete(format!(
+                        "trial {trial} has no record after drain"
+                    )))
+                }
+            }
+        }
+        let campaign = CampaignResult {
+            golden: session.golden().clone(),
+            trials,
+            restore_stats: shared.restores.into_inner().expect("restores lock"),
+            harness_stats: shared.harness.into_inner().expect("harness lock"),
+            checkpoint_capture_bytes: session.checkpoint_capture_bytes(),
+            elapsed: session.elapsed(),
+        };
+        campaign
+            .verify_reconciliation()
+            .map_err(DistError::Reconciliation)?;
+        Ok(DistResult {
+            campaign,
+            workers: shared.workers.into_inner().expect("ledger lock"),
+            redeliveries: shared.table.into_inner().expect("lease lock").redeliveries(),
+            fallback_used: shared.fallback_used.load(Ordering::SeqCst),
+        })
+    }
+}

@@ -1,0 +1,288 @@
+//! The lease state machine: pure, millisecond-clocked, fully unit-tested
+//! in isolation from any socket.
+//!
+//! Every chunk moves `Queued → Leased → Completed`, with one back edge:
+//! a leased chunk whose expiry passes without a heartbeat re-queues
+//! (`Leased → Queued`) and its redelivery count increments. Completion
+//! wins every race — a chunk completed by *anyone* is done, even if its
+//! lease had already expired and the chunk was re-leased elsewhere,
+//! because chunk execution is idempotent (deterministic trial ids and
+//! seeds). A second completion of the same chunk is **stale**: detected,
+//! counted, and dropped, never double-merged into the global stats.
+//!
+//! Time is an explicit `now_ms` parameter (the coordinator passes a
+//! monotonic elapsed-milliseconds reading), which is what makes expiry
+//! deterministic under test.
+
+/// One chunk's place in the lease lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkState {
+    /// Waiting to be leased (initial state, and again after expiry).
+    Queued,
+    /// Leased out, expiring unless heartbeat-renewed.
+    Leased {
+        /// The current lease id.
+        lease: u64,
+        /// Worker holding the lease (ledger attribution).
+        worker: u32,
+        /// Expiry instant, in the coordinator's elapsed-milliseconds
+        /// clock.
+        expires_at_ms: u64,
+    },
+    /// Done. Terminal.
+    Completed {
+        /// Worker whose completion was accepted.
+        worker: u32,
+    },
+}
+
+/// What [`LeaseTable::complete`] decided about a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// First completion of the chunk: accept and merge the payload.
+    Fresh,
+    /// The chunk was already completed: drop the payload.
+    Stale,
+}
+
+/// One chunk's lease-tracking entry.
+#[derive(Debug)]
+struct ChunkEntry {
+    trials: Vec<u32>,
+    state: ChunkState,
+    redeliveries: u32,
+}
+
+/// The coordinator's chunk queue plus lease bookkeeping.
+#[derive(Debug)]
+pub struct LeaseTable {
+    chunks: Vec<ChunkEntry>,
+    next_lease: u64,
+    ttl_ms: u64,
+    completed: usize,
+    total_redeliveries: u64,
+}
+
+impl LeaseTable {
+    /// A table over `chunks` (indexed by position = chunk id) with the
+    /// given lease time-to-live.
+    #[must_use]
+    pub fn new(chunks: Vec<Vec<u32>>, ttl_ms: u64) -> Self {
+        LeaseTable {
+            chunks: chunks
+                .into_iter()
+                .map(|trials| ChunkEntry {
+                    trials,
+                    state: ChunkState::Queued,
+                    redeliveries: 0,
+                })
+                .collect(),
+            next_lease: 1,
+            ttl_ms: ttl_ms.max(1),
+            completed: 0,
+            total_redeliveries: 0,
+        }
+    }
+
+    /// Number of chunks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the table tracks no chunks at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Whether every chunk has completed.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.completed == self.chunks.len()
+    }
+
+    /// Chunks not yet completed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.chunks.len() - self.completed
+    }
+
+    /// Total lease expiries (chunk re-queues) so far.
+    #[must_use]
+    pub fn redeliveries(&self) -> u64 {
+        self.total_redeliveries
+    }
+
+    /// One chunk's state.
+    #[must_use]
+    pub fn state(&self, chunk: u32) -> Option<ChunkState> {
+        self.chunks.get(chunk as usize).map(|c| c.state)
+    }
+
+    /// Leases the first queued chunk to `worker`, returning
+    /// `(lease id, chunk id, trial ids)`. `None` when nothing is queued
+    /// (either everything is completed — check [`Self::is_drained`] — or
+    /// every open chunk is currently leased out).
+    pub fn lease(&mut self, worker: u32, now_ms: u64) -> Option<(u64, u32, Vec<u32>)> {
+        let (id, entry) = self
+            .chunks
+            .iter_mut()
+            .enumerate()
+            .find(|(_, c)| c.state == ChunkState::Queued)?;
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        entry.state = ChunkState::Leased {
+            lease,
+            worker,
+            expires_at_ms: now_ms.saturating_add(self.ttl_ms),
+        };
+        Some((lease, id as u32, entry.trials.clone()))
+    }
+
+    /// Renews the expiry of the chunk held under `lease`. Returns whether
+    /// a live lease was found (a heartbeat for an expired or completed
+    /// chunk is a no-op).
+    pub fn heartbeat(&mut self, lease: u64, now_ms: u64) -> bool {
+        for entry in &mut self.chunks {
+            if let ChunkState::Leased {
+                lease: held,
+                worker,
+                ..
+            } = entry.state
+            {
+                if held == lease {
+                    entry.state = ChunkState::Leased {
+                        lease: held,
+                        worker,
+                        expires_at_ms: now_ms.saturating_add(self.ttl_ms),
+                    };
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Re-queues every lease whose expiry has passed, bumping redelivery
+    /// counts. Returns how many chunks expired.
+    pub fn expire(&mut self, now_ms: u64) -> usize {
+        let mut expired = 0;
+        for entry in &mut self.chunks {
+            if let ChunkState::Leased { expires_at_ms, .. } = entry.state {
+                if now_ms >= expires_at_ms {
+                    entry.state = ChunkState::Queued;
+                    entry.redeliveries += 1;
+                    self.total_redeliveries += 1;
+                    expired += 1;
+                }
+            }
+        }
+        expired
+    }
+
+    /// Marks `chunk` completed by `worker`. The first completion of a
+    /// chunk is [`Completion::Fresh`] no matter which lease delivered it
+    /// (an expired-then-delivered chunk is still correct, by
+    /// idempotency); later completions are [`Completion::Stale`].
+    /// `None` for an unknown chunk id.
+    pub fn complete(&mut self, chunk: u32, worker: u32) -> Option<Completion> {
+        let entry = self.chunks.get_mut(chunk as usize)?;
+        if matches!(entry.state, ChunkState::Completed { .. }) {
+            return Some(Completion::Stale);
+        }
+        entry.state = ChunkState::Completed { worker };
+        self.completed += 1;
+        Some(Completion::Fresh)
+    }
+
+    /// One chunk's redelivery count.
+    #[must_use]
+    pub fn chunk_redeliveries(&self, chunk: u32) -> u32 {
+        self.chunks.get(chunk as usize).map_or(0, |c| c.redeliveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LeaseTable {
+        LeaseTable::new(vec![vec![0, 1], vec![2, 3], vec![4]], 100)
+    }
+
+    #[test]
+    fn lease_grant_and_complete() {
+        let mut t = table();
+        assert_eq!(t.remaining(), 3);
+        let (lease, chunk, trials) = t.lease(7, 0).expect("grants");
+        assert_eq!((lease, chunk, trials), (1, 0, vec![0, 1]));
+        assert_eq!(
+            t.state(0),
+            Some(ChunkState::Leased {
+                lease: 1,
+                worker: 7,
+                expires_at_ms: 100
+            })
+        );
+        assert_eq!(t.complete(0, 7), Some(Completion::Fresh));
+        assert_eq!(t.complete(0, 9), Some(Completion::Stale));
+        assert_eq!(t.state(0), Some(ChunkState::Completed { worker: 7 }));
+        assert!(!t.is_drained());
+        assert_eq!(t.complete(1, 7), Some(Completion::Fresh));
+        assert_eq!(t.complete(2, 7), Some(Completion::Fresh));
+        assert!(t.is_drained());
+        assert_eq!(t.complete(99, 7), None);
+    }
+
+    #[test]
+    fn expiry_requeues_with_redelivery_count() {
+        let mut t = table();
+        let (lease, chunk, _) = t.lease(1, 0).expect("grants");
+        assert_eq!(t.expire(99), 0, "not yet expired");
+        assert_eq!(t.expire(100), 1, "expires at ttl");
+        assert_eq!(t.state(chunk), Some(ChunkState::Queued));
+        assert_eq!(t.chunk_redeliveries(chunk), 1);
+        assert_eq!(t.redeliveries(), 1);
+        // The old lease is dead: heartbeats for it are rejected.
+        assert!(!t.heartbeat(lease, 150));
+        // Re-lease goes to whoever asks next, with a fresh lease id.
+        let (lease2, chunk2, _) = t.lease(2, 150).expect("re-grants");
+        assert_eq!(chunk2, chunk);
+        assert_ne!(lease2, lease);
+    }
+
+    #[test]
+    fn heartbeat_extends_expiry() {
+        let mut t = table();
+        let (lease, _, _) = t.lease(1, 0).expect("grants");
+        assert!(t.heartbeat(lease, 90));
+        assert_eq!(t.expire(100), 0, "renewed at 90, expires at 190");
+        assert_eq!(t.expire(190), 1);
+    }
+
+    #[test]
+    fn late_completion_of_expired_lease_is_fresh_once() {
+        let mut t = table();
+        let (_, chunk, _) = t.lease(1, 0).expect("grants");
+        t.expire(100);
+        // Worker 2 re-leases, but the original worker 1 delivers first
+        // (it was slow, not dead).
+        let (_, chunk2, _) = t.lease(2, 150).expect("re-grants");
+        assert_eq!(chunk2, chunk);
+        assert_eq!(t.complete(chunk, 1), Some(Completion::Fresh));
+        // Worker 2's later delivery of the same chunk is stale.
+        assert_eq!(t.complete(chunk, 2), Some(Completion::Stale));
+        assert_eq!(t.state(chunk), Some(ChunkState::Completed { worker: 1 }));
+    }
+
+    #[test]
+    fn exhausted_queue_returns_none_until_expiry() {
+        let mut t = LeaseTable::new(vec![vec![0]], 50);
+        assert!(t.lease(1, 0).is_some());
+        assert!(t.lease(2, 10).is_none(), "everything is leased out");
+        assert!(!t.is_drained());
+        t.expire(60);
+        assert!(t.lease(2, 60).is_some(), "expired chunk is leasable again");
+    }
+}

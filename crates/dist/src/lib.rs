@@ -1,0 +1,90 @@
+//! # certa-dist
+//!
+//! The distributed campaign service: splits a fault-injection campaign
+//! (`certa-fault`) along its coordinator/worker seam so trials run in
+//! separate OS processes — localhost TCP first, machines later.
+//!
+//! * The **coordinator** ([`Coordinator`]) owns the campaign session —
+//!   golden run, COW checkpoint set, pre-sampled plans — and hands out
+//!   checkpoint-grouped [`certa_fault::TrialChunk`]s as **expiring
+//!   leases** over a length-prefixed binary protocol ([`protocol`]).
+//! * Each **worker** ([`run_worker`]) independently rebuilds the same
+//!   session from the coordinator's [`JobSpec`] (construction is
+//!   deterministic; [`certa_fault::CampaignSession::fingerprint`] guards
+//!   against mismatch), leases chunks, runs them through the *identical*
+//!   trial path as an in-process campaign, and streams back
+//!   [`certa_fault::TrialRecord`]s plus harness/restore stats.
+//!
+//! ## Robustness model
+//!
+//! The same containment story as the per-trial harness, one level up: a
+//! whole worker must be un-droppable.
+//!
+//! * Workers heartbeat leased chunks on an interval; a missed heartbeat
+//!   lets the lease expire and the chunk re-queues with a redelivery
+//!   count ([`lease::LeaseTable`]).
+//! * Chunk re-execution is **idempotent**: trial ids are deterministic,
+//!   so a re-leased chunk overwrites the same records instead of
+//!   double-counting, and duplicate completions are detected and counted
+//!   as stale.
+//! * Workers reconnect with exponential backoff plus jitter after a
+//!   coordinator restart or connection loss.
+//! * The coordinator degrades to in-process execution when no worker
+//!   ever attaches ([`DistConfig::fallback_inline`]).
+//! * `verify_reconciliation` extends across the wire: the assembled
+//!   [`certa_fault::CampaignResult`] must satisfy scheduled = completed +
+//!   harness errors *globally*, counting only accepted (first)
+//!   completions — worker kills notwithstanding — with per-worker
+//!   attribution in the [`WorkerLedger`].
+
+mod coordinator;
+pub mod lease;
+pub mod protocol;
+mod worker;
+
+use std::fmt;
+
+pub use coordinator::{Coordinator, DistConfig, DistProgress, DistResult, WorkerLedger};
+pub use protocol::JobSpec;
+pub use worker::{
+    backoff_delay, run_worker, TargetResolver, WorkerOptions, WorkerReport, WorkerSabotage,
+};
+
+/// Why a distributed campaign (or one worker) failed.
+#[derive(Debug)]
+pub enum DistError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The peer spoke the protocol wrong (bad frame, bad tag, unexpected
+    /// message).
+    Protocol(String),
+    /// The worker's independently built session does not match the
+    /// coordinator's job (different binary, workload, or configuration).
+    JobMismatch(String),
+    /// The campaign drained but some trial records are missing — a
+    /// coordinator bug, never an acceptable outcome.
+    Incomplete(String),
+    /// The assembled global result failed
+    /// [`certa_fault::CampaignResult::verify_reconciliation`].
+    Reconciliation(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "i/o error: {e}"),
+            DistError::Protocol(what) => write!(f, "protocol error: {what}"),
+            DistError::JobMismatch(what) => write!(f, "job mismatch: {what}"),
+            DistError::Incomplete(what) => write!(f, "incomplete campaign: {what}"),
+            DistError::Reconciliation(what) => write!(f, "reconciliation failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}

@@ -1,0 +1,493 @@
+//! Wire protocol between coordinator and workers.
+//!
+//! Transport: one TCP connection per worker command stream (plus
+//! short-lived connections for heartbeats), carrying length-prefixed
+//! frames — a little-endian `u32` payload length followed by the payload,
+//! capped at [`MAX_FRAME_BYTES`]. Payloads are encoded with the
+//! hand-rolled bincode-style format of [`certa_fault::wire`]; every
+//! message starts with a one-byte message tag.
+//!
+//! The exchange is strictly request/response, worker-initiated (the
+//! coordinator never pushes), which keeps the coordinator's per-connection
+//! state machine trivial and makes worker loss indistinguishable from
+//! worker silence — exactly the failure model the lease table handles.
+//!
+//! ```text
+//! worker                         coordinator
+//!   | -- Hello{version,name} --->  |  register worker
+//!   | <-- Welcome{worker,job} ---  |  job spec + worker id
+//!   | -- Lease{worker,fp} ------>  |  expire stale leases, grant
+//!   | <-- Grant{lease,chunk,..} -  |    (or Wait / Drained / Reject)
+//!   | -- Heartbeat{lease} ------>  |  renew expiry     (own connection)
+//!   | -- Complete{lease,recs} -->  |  accept (fresh) or drop (stale)
+//!   | <-- Ack{accepted} ---------  |
+//! ```
+
+use std::io::{Read, Write};
+
+use certa_fault::wire::{
+    decode_campaign_config, decode_harness_stats, decode_restore_stats, decode_trial_record,
+    encode_campaign_config, encode_harness_stats, encode_restore_stats, encode_trial_record,
+    ByteReader, ByteWriter, WireError,
+};
+use certa_fault::{CampaignConfig, HarnessStats, RestoreStats, TrialRecord};
+
+/// Protocol version; a [`Request::Hello`] with any other version is
+/// rejected. Bump on any frame-format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload. Generous — the largest real frame
+/// is a [`Request::Complete`] carrying one chunk's trial records — but
+/// finite, so a corrupt length prefix cannot make a peer allocate
+/// unboundedly.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates socket errors; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates socket errors (including read timeouts, surfaced as
+/// [`std::io::ErrorKind::WouldBlock`] / `TimedOut`); rejects frames over
+/// [`MAX_FRAME_BYTES`] with [`std::io::ErrorKind::InvalidData`].
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Everything a worker needs to rebuild the coordinator's campaign
+/// session from scratch: the workload (resolved by name on the worker
+/// side), the campaign configuration, and the coordinator's session
+/// fingerprint the worker must independently reproduce.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload name (e.g. `"adpcm"`); the worker's resolver maps it to a
+    /// [`certa_fault::Target`].
+    pub workload: String,
+    /// The campaign configuration (sabotage excluded — see
+    /// [`certa_fault::wire`]).
+    pub config: CampaignConfig,
+    /// The coordinator session's
+    /// [`certa_fault::CampaignSession::fingerprint`].
+    pub fingerprint: u64,
+    /// Worker threads each worker process should run trials with.
+    pub worker_threads: u32,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug)]
+pub enum Request {
+    /// Introduce this worker process and negotiate the protocol version.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Human-readable worker name for the ledger.
+        name: String,
+    },
+    /// Ask for a chunk lease.
+    Lease {
+        /// Worker id from [`Response::Welcome`].
+        worker: u32,
+        /// The worker's independently computed session fingerprint.
+        fingerprint: u64,
+    },
+    /// Renew a lease's expiry (sent on a short-lived side connection so
+    /// it never interleaves with an in-flight request).
+    Heartbeat {
+        /// Worker id from [`Response::Welcome`].
+        worker: u32,
+        /// The lease being renewed.
+        lease: u64,
+    },
+    /// Deliver a completed chunk's records and stat deltas.
+    Complete {
+        /// Worker id from [`Response::Welcome`].
+        worker: u32,
+        /// The lease the chunk was run under (possibly already expired —
+        /// completion of a not-yet-completed chunk is accepted anyway,
+        /// because re-execution is idempotent).
+        lease: u64,
+        /// The chunk id.
+        chunk: u32,
+        /// `(trial id, record)` pairs, one per trial of the chunk.
+        records: Vec<(u32, TrialRecord)>,
+        /// Harness-counter delta attributable to this chunk.
+        harness: HarnessStats,
+        /// Restore-counter delta attributable to this chunk.
+        restores: RestoreStats,
+    },
+}
+
+/// Coordinator → worker messages.
+#[derive(Debug)]
+pub enum Response {
+    /// Reply to [`Request::Hello`].
+    Welcome {
+        /// The worker id to present in subsequent requests.
+        worker: u32,
+        /// The job to build a session for.
+        job: JobSpec,
+    },
+    /// A chunk lease.
+    Grant {
+        /// Lease id (unique per grant, including re-grants of one chunk).
+        lease: u64,
+        /// Chunk id to report back in [`Request::Complete`].
+        chunk: u32,
+        /// The chunk's trial ids.
+        trials: Vec<u32>,
+        /// Lease time-to-live; heartbeat well within it.
+        ttl_ms: u64,
+    },
+    /// Nothing leasable right now (everything is leased out); poll again
+    /// after `poll_ms`.
+    Wait {
+        /// Suggested delay before the next [`Request::Lease`].
+        poll_ms: u64,
+    },
+    /// Every chunk is completed; the worker can exit.
+    Drained,
+    /// Reply to [`Request::Heartbeat`] and [`Request::Complete`]:
+    /// whether the renewal/delivery was accepted (`false` = lease
+    /// unknown/expired for heartbeats, duplicate completion for
+    /// completes — both harmless by idempotency).
+    Ack {
+        /// Whether the request took effect.
+        accepted: bool,
+    },
+    /// The request cannot be served (version or fingerprint mismatch,
+    /// malformed chunk). The worker should give up, not retry.
+    Reject {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+fn encode_job_spec(w: &mut ByteWriter, job: &JobSpec) {
+    w.str(&job.workload);
+    encode_campaign_config(w, &job.config);
+    w.u64(job.fingerprint);
+    w.u32(job.worker_threads);
+}
+
+fn decode_job_spec(r: &mut ByteReader<'_>) -> Result<JobSpec, WireError> {
+    Ok(JobSpec {
+        workload: r.str()?,
+        config: decode_campaign_config(r)?,
+        fingerprint: r.u64()?,
+        worker_threads: r.u32()?,
+    })
+}
+
+impl Request {
+    /// Encodes this request as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::Hello { version, name } => {
+                w.u8(0);
+                w.u32(*version);
+                w.str(name);
+            }
+            Request::Lease {
+                worker,
+                fingerprint,
+            } => {
+                w.u8(1);
+                w.u32(*worker);
+                w.u64(*fingerprint);
+            }
+            Request::Heartbeat { worker, lease } => {
+                w.u8(2);
+                w.u32(*worker);
+                w.u64(*lease);
+            }
+            Request::Complete {
+                worker,
+                lease,
+                chunk,
+                records,
+                harness,
+                restores,
+            } => {
+                w.u8(3);
+                w.u32(*worker);
+                w.u64(*lease);
+                w.u32(*chunk);
+                w.u32(u32::try_from(records.len()).expect("chunk fits in u32"));
+                for (trial, record) in records {
+                    w.u32(*trial);
+                    encode_trial_record(&mut w, record);
+                }
+                encode_harness_stats(&mut w, harness);
+                encode_restore_stats(&mut w, restores);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, bad tags, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = ByteReader::new(payload);
+        let request = match r.u8()? {
+            0 => Request::Hello {
+                version: r.u32()?,
+                name: r.str()?,
+            },
+            1 => Request::Lease {
+                worker: r.u32()?,
+                fingerprint: r.u64()?,
+            },
+            2 => Request::Heartbeat {
+                worker: r.u32()?,
+                lease: r.u64()?,
+            },
+            3 => {
+                let worker = r.u32()?;
+                let lease = r.u64()?;
+                let chunk = r.u32()?;
+                let count = r.u32()? as usize;
+                let mut records = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let trial = r.u32()?;
+                    records.push((trial, decode_trial_record(&mut r)?));
+                }
+                Request::Complete {
+                    worker,
+                    lease,
+                    chunk,
+                    records,
+                    harness: decode_harness_stats(&mut r)?,
+                    restores: decode_restore_stats(&mut r)?,
+                }
+            }
+            _ => return Err(WireError::Malformed("request tag")),
+        };
+        r.expect_end()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes this response as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Welcome { worker, job } => {
+                w.u8(0);
+                w.u32(*worker);
+                encode_job_spec(&mut w, job);
+            }
+            Response::Grant {
+                lease,
+                chunk,
+                trials,
+                ttl_ms,
+            } => {
+                w.u8(1);
+                w.u64(*lease);
+                w.u32(*chunk);
+                w.u32(u32::try_from(trials.len()).expect("chunk fits in u32"));
+                for trial in trials {
+                    w.u32(*trial);
+                }
+                w.u64(*ttl_ms);
+            }
+            Response::Wait { poll_ms } => {
+                w.u8(2);
+                w.u64(*poll_ms);
+            }
+            Response::Drained => w.u8(3),
+            Response::Ack { accepted } => {
+                w.u8(4);
+                w.bool(*accepted);
+            }
+            Response::Reject { reason } => {
+                w.u8(5);
+                w.str(reason);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, bad tags, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = ByteReader::new(payload);
+        let response = match r.u8()? {
+            0 => Response::Welcome {
+                worker: r.u32()?,
+                job: decode_job_spec(&mut r)?,
+            },
+            1 => {
+                let lease = r.u64()?;
+                let chunk = r.u32()?;
+                let count = r.u32()? as usize;
+                let mut trials = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    trials.push(r.u32()?);
+                }
+                Response::Grant {
+                    lease,
+                    chunk,
+                    trials,
+                    ttl_ms: r.u64()?,
+                }
+            }
+            2 => Response::Wait { poll_ms: r.u64()? },
+            3 => Response::Drained,
+            4 => Response::Ack {
+                accepted: r.bool()?,
+            },
+            5 => Response::Reject { reason: r.str()? },
+            _ => return Err(WireError::Malformed("response tag")),
+        };
+        r.expect_end()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certa_fault::{TrialResult, TrialStatus};
+
+    #[test]
+    fn requests_roundtrip() {
+        let record = TrialRecord {
+            status: TrialStatus::Completed(TrialResult {
+                outcome: certa_sim::Outcome::Halted,
+                output: Some(vec![1, 2, 3]),
+                instructions: 42,
+                injected: 2,
+            }),
+            retries: 0,
+        };
+        let requests = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                name: "w1".into(),
+            },
+            Request::Lease {
+                worker: 3,
+                fingerprint: 0xABCD,
+            },
+            Request::Heartbeat {
+                worker: 3,
+                lease: 17,
+            },
+            Request::Complete {
+                worker: 3,
+                lease: 17,
+                chunk: 5,
+                records: vec![(9, record.clone()), (11, record)],
+                harness: HarnessStats {
+                    panics: 1,
+                    ..HarnessStats::default()
+                },
+                restores: RestoreStats {
+                    dirty_page: 4,
+                    ..RestoreStats::default()
+                },
+            },
+        ];
+        for request in &requests {
+            let bytes = request.encode();
+            let back = Request::decode(&bytes).expect("decodes");
+            assert_eq!(format!("{back:?}"), format!("{request:?}"));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = [
+            Response::Welcome {
+                worker: 1,
+                job: JobSpec {
+                    workload: "sum".into(),
+                    config: CampaignConfig::default(),
+                    fingerprint: 99,
+                    worker_threads: 2,
+                },
+            },
+            Response::Grant {
+                lease: 8,
+                chunk: 2,
+                trials: vec![1, 5, 9],
+                ttl_ms: 5000,
+            },
+            Response::Wait { poll_ms: 100 },
+            Response::Drained,
+            Response::Ack { accepted: true },
+            Response::Reject {
+                reason: "fingerprint mismatch".into(),
+            },
+        ];
+        for response in &responses {
+            let bytes = response.encode();
+            let back = Response::decode(&bytes).expect("decodes");
+            assert_eq!(format!("{back:?}"), format!("{response:?}"));
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let payload = Request::Lease {
+            worker: 1,
+            fingerprint: 2,
+        }
+        .encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

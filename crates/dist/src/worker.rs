@@ -1,0 +1,443 @@
+//! The campaign worker: connects to a coordinator, rebuilds the campaign
+//! session independently from the [`JobSpec`], and runs leased chunks
+//! through the *identical* trial path as an in-process campaign.
+//!
+//! Robustness: heartbeats on a leased chunk run on a guard thread over
+//! short-lived side connections (so they never interleave with an
+//! in-flight request frame); connection loss triggers reconnect with
+//! exponential backoff plus deterministic jitter; and the
+//! [`WorkerSabotage`] hook lets tests make a worker vanish mid-lease —
+//! from the coordinator's point of view indistinguishable from a SIGKILL.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use certa_fault::{CampaignSession, HarnessStats, RestoreStats, Target};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use crate::DistError;
+
+/// Maps the coordinator's workload name to a local fault-injection
+/// target. `None` marks the job unservable ([`DistError::JobMismatch`]).
+pub type TargetResolver = dyn Fn(&str) -> Option<Box<dyn Target>> + Sync;
+
+/// Deliberate worker sabotage for crash-tolerance tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerSabotage {
+    /// After this many lease grants, the worker abandons the next granted
+    /// chunk without running or releasing it and exits — its lease must
+    /// expire and the chunk redeliver. `Some(1)` = complete the first
+    /// chunk, vanish holding the second.
+    pub abandon_after_leases: Option<u32>,
+}
+
+/// Worker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Name reported in `Hello` (ledger attribution).
+    pub name: String,
+    /// Heartbeat period for a held lease. Must be well under the
+    /// coordinator's lease TTL.
+    pub heartbeat_interval: Duration,
+    /// Consecutive connection failures tolerated before giving up.
+    pub connect_attempts: u32,
+    /// Backoff base delay (first retry).
+    pub connect_base: Duration,
+    /// Backoff cap.
+    pub connect_cap: Duration,
+    /// Overrides the job's advertised trial-thread count.
+    pub threads_override: Option<usize>,
+    /// Read timeout on the main connection — how long a worker waits for
+    /// one response before treating the coordinator as gone and
+    /// reconnecting. Generous by default: a starved-but-alive
+    /// coordinator is much more common than a dead one, and a false
+    /// positive costs a full session rebuild.
+    pub io_timeout: Duration,
+    /// Artificial delay per granted chunk, before running it — lets tests
+    /// and benches hold a lease long enough to lose it on purpose.
+    pub throttle_per_chunk: Duration,
+    /// Jitter seed (deterministic backoff under test).
+    pub backoff_seed: u64,
+    /// Crash-tolerance sabotage hook.
+    pub sabotage: WorkerSabotage,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            name: "worker".into(),
+            heartbeat_interval: Duration::from_millis(500),
+            connect_attempts: 5,
+            connect_base: Duration::from_millis(50),
+            connect_cap: Duration::from_secs(2),
+            threads_override: None,
+            io_timeout: Duration::from_secs(60),
+            throttle_per_chunk: Duration::ZERO,
+            backoff_seed: 0,
+            sabotage: WorkerSabotage::default(),
+        }
+    }
+}
+
+/// What one worker accomplished, from its own point of view.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerReport {
+    /// Worker id assigned by the coordinator (last connection's).
+    pub worker: u32,
+    /// Lease grants received.
+    pub leases: u32,
+    /// Chunk completions the coordinator accepted as fresh.
+    pub chunks_completed: u32,
+    /// Trials inside those accepted chunks.
+    pub trials_completed: u64,
+    /// Completions the coordinator acknowledged as stale duplicates.
+    pub stale_acks: u32,
+    /// Successful re-connections after a connection loss.
+    pub reconnects: u32,
+    /// Whether the sabotage hook made this worker abandon a lease.
+    pub abandoned: bool,
+    /// Harness-counter deltas across accepted chunks.
+    pub harness: HarnessStats,
+    /// Restore-counter deltas across accepted chunks.
+    pub restores: RestoreStats,
+}
+
+/// Exponential backoff with deterministic jitter: `base << attempt`,
+/// capped at `cap`, then scaled into `[1/2, 1]` of itself by a
+/// [`SmallRng`] keyed on `(seed, attempt)` — reproducible in tests, yet
+/// de-synchronized across workers with distinct seeds.
+#[must_use]
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let capped = exp.min(cap);
+    let nanos = u64::try_from(capped.as_nanos()).unwrap_or(u64::MAX);
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    Duration::from_nanos(rng.gen_range(nanos / 2..nanos.saturating_add(1)))
+}
+
+/// One request/response exchange on the worker's main connection.
+fn roundtrip(stream: &mut TcpStream, request: &Request) -> Result<Response, DistError> {
+    write_frame(stream, &request.encode())?;
+    let payload = read_frame(stream)?;
+    Response::decode(&payload).map_err(|e| DistError::Protocol(e.to_string()))
+}
+
+/// Fires heartbeats for one held lease until `stop`. Each heartbeat is a
+/// fresh side connection — the main connection stays free for the
+/// eventual `Complete` frame. Heartbeat failures are swallowed: the worst
+/// case is a lost lease, which the redelivery machinery already covers.
+fn heartbeat_guard(
+    addr: SocketAddr,
+    worker: u32,
+    lease: u64,
+    interval: Duration,
+    stop: &AtomicBool,
+) {
+    let step = Duration::from_millis(20).min(interval);
+    let mut elapsed = Duration::ZERO;
+    loop {
+        while elapsed < interval {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(step);
+            elapsed += step;
+        }
+        elapsed = Duration::ZERO;
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = roundtrip(&mut stream, &Request::Heartbeat { worker, lease });
+        }
+    }
+}
+
+/// Serves one connection until drained, sabotaged, or errored.
+/// `Ok(true)` = the campaign is over for this worker (drained or
+/// deliberately abandoned); `Ok(false)` never occurs (connection loss is
+/// `Err(DistError::Io)`, which the caller turns into a reconnect).
+fn serve_connection(
+    mut stream: TcpStream,
+    addr: SocketAddr,
+    resolve: &TargetResolver,
+    opts: &WorkerOptions,
+    report: &mut WorkerReport,
+    attached: &mut bool,
+) -> Result<bool, DistError> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(opts.io_timeout))?;
+
+    let welcome = roundtrip(
+        &mut stream,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            name: opts.name.clone(),
+        },
+    )?;
+    let (worker, job) = match welcome {
+        Response::Welcome { worker, job } => (worker, job),
+        Response::Reject { reason } => return Err(DistError::Protocol(reason)),
+        other => {
+            return Err(DistError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+    };
+    report.worker = worker;
+    *attached = true;
+
+    // Resolve the workload and re-derive its tag map now (cheap), but
+    // DEFER the expensive session rebuild — the golden run and checkpoint
+    // capture — until the first `Grant`. The `Hello`→`Lease` gap stays at
+    // milliseconds, so a faster co-worker draining the campaign in that
+    // window costs this worker nothing but a `Drained` answer; building
+    // eagerly here once stranded a late worker against a coordinator that
+    // had already finished. Until the session exists we lease with the
+    // job's advertised fingerprint; the rebuilt session must then match
+    // it or the job is unservable.
+    let target = resolve(&job.workload).ok_or_else(|| {
+        DistError::JobMismatch(format!("unresolvable workload {:?}", job.workload))
+    })?;
+    let tags = certa_core::analyze(target.program());
+    let mut config = job.config.clone();
+    config.threads = opts
+        .threads_override
+        .unwrap_or(job.worker_threads as usize);
+    let mut session: Option<CampaignSession<'_>> = None;
+
+    loop {
+        let response = roundtrip(
+            &mut stream,
+            &Request::Lease {
+                worker,
+                fingerprint: job.fingerprint,
+            },
+        )?;
+        match response {
+            Response::Grant {
+                lease,
+                chunk,
+                trials,
+                ttl_ms: _,
+            } => {
+                if opts
+                    .sabotage
+                    .abandon_after_leases
+                    .is_some_and(|n| report.leases >= n)
+                {
+                    // Vanish holding the lease: no heartbeat, no
+                    // completion, no goodbye.
+                    report.abandoned = true;
+                    return Ok(true);
+                }
+                report.leases += 1;
+                let stop = Arc::new(AtomicBool::new(false));
+                let guard = {
+                    let stop = Arc::clone(&stop);
+                    let interval = opts.heartbeat_interval;
+                    std::thread::spawn(move || {
+                        heartbeat_guard(addr, worker, lease, interval, &stop);
+                    })
+                };
+                // First grant: rebuild the session under heartbeat cover
+                // (the guard above keeps the lease alive through the
+                // golden run), then prove both sides prepared the same
+                // campaign. On mismatch the held lease simply expires and
+                // the chunk redelivers — correct by design.
+                if session.is_none() {
+                    let built = CampaignSession::new(target.as_ref(), &tags, &config);
+                    let fingerprint = built.fingerprint();
+                    if fingerprint != job.fingerprint {
+                        stop.store(true, Ordering::SeqCst);
+                        guard.join().expect("heartbeat guard panicked");
+                        return Err(DistError::JobMismatch(format!(
+                            "session fingerprint {fingerprint:#x} != job fingerprint {:#x}",
+                            job.fingerprint
+                        )));
+                    }
+                    session = Some(built);
+                }
+                let session = session.as_ref().expect("session just built");
+                if !opts.throttle_per_chunk.is_zero() {
+                    std::thread::sleep(opts.throttle_per_chunk);
+                }
+                let harness_before = session.harness_stats();
+                let restores_before = session.restore_stats();
+                let records = session.run_subset(&trials);
+                let harness = session.harness_stats().saturating_sub(&harness_before);
+                let restores = session.restore_stats().saturating_sub(&restores_before);
+                stop.store(true, Ordering::SeqCst);
+                guard.join().expect("heartbeat guard panicked");
+
+                let trials_in_chunk = trials.len() as u64;
+                let complete = Request::Complete {
+                    worker,
+                    lease,
+                    chunk,
+                    records: trials.iter().copied().zip(records).collect(),
+                    harness,
+                    restores,
+                };
+                match roundtrip(&mut stream, &complete)? {
+                    Response::Ack { accepted: true } => {
+                        report.chunks_completed += 1;
+                        report.trials_completed += trials_in_chunk;
+                        report.harness.merge(&harness);
+                        report.restores.merge(&restores);
+                    }
+                    Response::Ack { accepted: false } => report.stale_acks += 1,
+                    Response::Reject { reason } => return Err(DistError::Protocol(reason)),
+                    other => {
+                        return Err(DistError::Protocol(format!(
+                            "expected Ack, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Response::Wait { poll_ms } => {
+                std::thread::sleep(Duration::from_millis(poll_ms.min(5_000)));
+            }
+            Response::Drained => return Ok(true),
+            Response::Reject { reason } => return Err(DistError::Protocol(reason)),
+            other => {
+                return Err(DistError::Protocol(format!(
+                    "expected Grant/Wait/Drained, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Runs a worker against the coordinator at `addr` until the campaign
+/// drains (or the sabotage hook fires). Reconnects with exponential
+/// backoff plus jitter on connection loss; gives up after
+/// [`WorkerOptions::connect_attempts`] consecutive failures.
+///
+/// # Errors
+///
+/// [`DistError::Io`] once reconnection is exhausted;
+/// [`DistError::JobMismatch`] when the workload cannot be resolved or the
+/// rebuilt session's fingerprint differs from the coordinator's;
+/// [`DistError::Protocol`] on undecodable or out-of-order responses —
+/// the latter two are fatal immediately (retrying cannot fix a wrong
+/// binary).
+///
+/// # Panics
+///
+/// Panics if the heartbeat guard thread panics (a worker bug).
+pub fn run_worker(
+    addr: SocketAddr,
+    resolve: &TargetResolver,
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, DistError> {
+    let mut report = WorkerReport::default();
+    // Consecutive failures: a successful attach (Hello/Welcome) resets
+    // the budget, so a long campaign survives any number of transient
+    // losses as long as each reconnect actually reaches the coordinator.
+    let mut failures = 0u32;
+    let mut connected_before = false;
+    loop {
+        let stream = match TcpStream::connect(addr) {
+            Ok(stream) => stream,
+            Err(e) => {
+                failures += 1;
+                if failures >= opts.connect_attempts {
+                    return Err(DistError::Io(e));
+                }
+                std::thread::sleep(backoff_delay(
+                    failures,
+                    opts.connect_base,
+                    opts.connect_cap,
+                    opts.backoff_seed,
+                ));
+                continue;
+            }
+        };
+        if connected_before {
+            report.reconnects += 1;
+        }
+        let mut attached = false;
+        let served = serve_connection(stream, addr, resolve, opts, &mut report, &mut attached);
+        if attached {
+            failures = 0;
+        }
+        match served {
+            Ok(_) => return Ok(report),
+            Err(DistError::Io(e)) => {
+                connected_before = true;
+                failures += 1;
+                if failures >= opts.connect_attempts {
+                    return Err(DistError::Io(e));
+                }
+                std::thread::sleep(backoff_delay(
+                    failures,
+                    opts.connect_base,
+                    opts.connect_cap,
+                    opts.backoff_seed,
+                ));
+            }
+            Err(fatal) => return Err(fatal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut previous_ceiling = Duration::ZERO;
+        for attempt in 0..8 {
+            let ceiling = base.saturating_mul(1 << attempt).min(cap);
+            let delay = backoff_delay(attempt, base, cap, 42);
+            assert!(delay <= ceiling, "attempt {attempt}: {delay:?} > {ceiling:?}");
+            assert!(
+                delay >= ceiling / 2,
+                "attempt {attempt}: {delay:?} < half of {ceiling:?}"
+            );
+            assert!(ceiling >= previous_ceiling);
+            previous_ceiling = ceiling;
+        }
+        assert_eq!(
+            base.saturating_mul(1 << 7).min(cap),
+            cap,
+            "late attempts are capped"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_attempt() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        assert_eq!(
+            backoff_delay(3, base, cap, 7),
+            backoff_delay(3, base, cap, 7)
+        );
+        // Different seeds de-synchronize workers (not guaranteed for
+        // every pair, but this pair is fixed).
+        assert_ne!(
+            backoff_delay(3, base, cap, 7),
+            backoff_delay(3, base, cap, 8)
+        );
+    }
+
+    #[test]
+    fn backoff_handles_zero_base() {
+        assert_eq!(
+            backoff_delay(5, Duration::ZERO, Duration::ZERO, 1),
+            Duration::ZERO
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Loopback integration tests: coordinator and workers in one process
+//! over 127.0.0.1, exercising the full wire protocol, lease expiry and
+//! redelivery, the inline fallback, and — the core robustness claim —
+//! that losing a worker mid-lease changes *nothing* about the final
+//! per-trial record table.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use certa_asm::Asm;
+use certa_core::analyze;
+use certa_dist::{
+    run_worker, Coordinator, DistConfig, DistError, DistResult, WorkerOptions, WorkerReport,
+    WorkerSabotage,
+};
+use certa_fault::{run_campaign, CampaignConfig, CampaignSession, Target};
+use certa_isa::reg::{T0, T1, T2, T3};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+/// The campaign crate's canonical tiny workload: sums 64 input bytes
+/// into a 32-bit little-endian output.
+struct SumTarget {
+    program: Program,
+    input_addr: u32,
+    output_addr: u32,
+}
+
+impl SumTarget {
+    fn new() -> Self {
+        let mut a = Asm::new();
+        let input_addr = a.data_zero(64);
+        let output_addr = a.data_zero(4);
+        a.func("sum", true);
+        a.la(T0, input_addr);
+        a.li(T1, 0);
+        a.li(T2, 0);
+        a.label("loop");
+        a.add(T3, T0, T1);
+        a.lbu(T3, 0, T3);
+        a.add(T2, T2, T3);
+        a.addi(T1, T1, 1);
+        a.slti(T3, T1, 64);
+        a.bnez(T3, "loop");
+        a.la(T0, output_addr);
+        a.sw(T2, 0, T0);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.call("sum");
+        a.halt();
+        a.endfunc();
+        SumTarget {
+            program: a.assemble().unwrap(),
+            input_addr,
+            output_addr,
+        }
+    }
+}
+
+impl Target for SumTarget {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, machine: &mut Machine<'_>) {
+        let input: Vec<u8> = (0..64u8).collect();
+        machine.write_bytes(self.input_addr, &input).unwrap();
+    }
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        machine.read_bytes(self.output_addr, 4).ok()
+    }
+}
+
+fn resolve_sum(name: &str) -> Option<Box<dyn Target>> {
+    (name == "sum").then(|| Box::new(SumTarget::new()) as Box<dyn Target>)
+}
+
+fn config(trials: usize) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        errors: 1,
+        seed: 0xd15c0,
+        threads: 1,
+        ..CampaignConfig::default()
+    }
+}
+
+fn fast_worker(name: &str, seed: u64) -> WorkerOptions {
+    WorkerOptions {
+        name: name.into(),
+        heartbeat_interval: Duration::from_millis(50),
+        connect_base: Duration::from_millis(10),
+        connect_cap: Duration::from_millis(100),
+        backoff_seed: seed,
+        ..WorkerOptions::default()
+    }
+}
+
+/// Runs a coordinator plus in-process worker threads to completion.
+fn run_distributed(
+    trials: usize,
+    dist: DistConfig,
+    workers: Vec<WorkerOptions>,
+) -> (DistResult, Vec<Result<WorkerReport, DistError>>) {
+    let target = SumTarget::new();
+    let tags = analyze(target.program());
+    let cfg = config(trials);
+    let session = CampaignSession::new(&target, &tags, &cfg);
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let addr: SocketAddr = coordinator.local_addr().expect("addr");
+    let mut result = None;
+    let mut reports = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|opts| scope.spawn(move || run_worker(addr, &resolve_sum, &opts)))
+            .collect();
+        result = Some(
+            coordinator
+                .run(&session, "sum", &dist)
+                .expect("distributed campaign"),
+        );
+        reports = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    (result.unwrap(), reports)
+}
+
+#[test]
+fn two_workers_reproduce_the_inline_campaign_exactly() {
+    let trials = 48;
+    let target = SumTarget::new();
+    let tags = analyze(target.program());
+    let inline = run_campaign(&target, &tags, &config(trials));
+
+    let dist = DistConfig {
+        fallback_inline: false,
+        chunk_parts: 6,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    };
+    let (result, reports) = run_distributed(
+        trials,
+        dist,
+        vec![fast_worker("alpha", 1), fast_worker("beta", 2)],
+    );
+
+    assert_eq!(result.campaign.trials, inline.trials, "per-trial records differ");
+    assert_eq!(result.campaign.harness_stats, inline.harness_stats);
+    assert!(!result.fallback_used);
+    // Both workers attached; together they account for every chunk.
+    assert_eq!(result.workers.len(), 2);
+    let chunks: u32 = result.workers.iter().map(|w| w.chunks_completed).sum();
+    assert!(
+        chunks >= 6,
+        "checkpoint-group cuts can only add chunks beyond the 6 requested parts"
+    );
+    let attributed: u64 = result.workers.iter().map(|w| w.trials_completed).sum();
+    assert_eq!(attributed, trials as u64);
+    for report in reports {
+        report.expect("worker finished clean");
+    }
+}
+
+/// Satellite: kill a worker mid-lease and prove the final record table is
+/// byte-identical to a clean single-worker run of the same configuration.
+#[test]
+fn worker_loss_mid_lease_redelivers_and_stays_deterministic() {
+    let trials = 64;
+
+    // Clean baseline: one well-behaved worker.
+    let clean_dist = DistConfig {
+        fallback_inline: false,
+        chunk_parts: 8,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    };
+    let (clean, _) = run_distributed(trials, clean_dist.clone(), vec![fast_worker("solo", 3)]);
+
+    // Sabotaged run: the victim completes one chunk, then vanishes while
+    // holding its second lease (no heartbeat, no completion — exactly
+    // what the coordinator observes after a SIGKILL). A short TTL lets
+    // the test expire it quickly; the survivor finishes the campaign.
+    let dist = DistConfig {
+        lease_ttl: Duration::from_millis(400),
+        fallback_inline: false,
+        chunk_parts: 8,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    };
+    let victim = WorkerOptions {
+        sabotage: WorkerSabotage {
+            abandon_after_leases: Some(1),
+        },
+        // Hold each chunk briefly so the survivor cannot drain the queue
+        // before the victim has taken its doomed second lease.
+        throttle_per_chunk: Duration::from_millis(100),
+        ..fast_worker("victim", 4)
+    };
+    let survivor = WorkerOptions {
+        throttle_per_chunk: Duration::from_millis(50),
+        ..fast_worker("survivor", 5)
+    };
+    let (wounded, reports) = run_distributed(trials, dist, vec![victim, survivor]);
+
+    assert!(
+        wounded.redeliveries >= 1,
+        "the abandoned lease must expire and redeliver"
+    );
+    assert_eq!(
+        wounded.campaign.trials, clean.campaign.trials,
+        "worker loss must not change a single trial record"
+    );
+    assert_eq!(wounded.campaign.harness_stats, clean.campaign.harness_stats);
+    wounded
+        .campaign
+        .verify_reconciliation()
+        .expect("global reconciliation after worker loss");
+
+    let victim_report = reports[0].as_ref().expect("victim exits voluntarily");
+    assert!(victim_report.abandoned);
+    reports[1].as_ref().expect("survivor finishes clean");
+}
+
+#[test]
+fn coordinator_degrades_to_inline_when_no_worker_attaches() {
+    let trials = 24;
+    let target = SumTarget::new();
+    let tags = analyze(target.program());
+    let inline = run_campaign(&target, &tags, &config(trials));
+
+    let session = CampaignSession::new(&target, &tags, &config(trials));
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let dist = DistConfig {
+        fallback_grace: Duration::from_millis(50),
+        chunk_parts: 4,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    };
+    let result = coordinator
+        .run(&session, "sum", &dist)
+        .expect("fallback campaign");
+
+    assert!(result.fallback_used);
+    assert_eq!(result.campaign.trials, inline.trials);
+    assert_eq!(result.workers.len(), 1);
+    assert_eq!(result.workers[0].name, "coordinator-inline");
+    assert_eq!(result.workers[0].trials_completed, trials as u64);
+}
+
+#[test]
+fn worker_gives_up_after_exhausting_backoff() {
+    // Bind then drop a listener to get a port that refuses connections.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let opts = WorkerOptions {
+        connect_attempts: 3,
+        connect_base: Duration::from_millis(5),
+        connect_cap: Duration::from_millis(20),
+        ..fast_worker("orphan", 6)
+    };
+    match run_worker(addr, &resolve_sum, &opts) {
+        Err(DistError::Io(_)) => {}
+        other => panic!("expected Io error after exhausted backoff, got {other:?}"),
+    }
+}
+
+#[test]
+fn unresolvable_workload_is_a_job_mismatch() {
+    let target = SumTarget::new();
+    let tags = analyze(target.program());
+    let session = CampaignSession::new(&target, &tags, &config(8));
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let addr = coordinator.local_addr().expect("addr");
+    let dist = DistConfig {
+        // The mismatched worker can never serve; the inline fallback
+        // would also never fire (the worker *attaches*), so keep the
+        // coordinator from hanging with a short drain timeout.
+        fallback_inline: false,
+        drain_timeout: Duration::from_secs(2),
+        ..DistConfig::default()
+    };
+
+    let rejections = AtomicU32::new(0);
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let resolve_nothing = |_: &str| -> Option<Box<dyn Target>> { None };
+            match run_worker(addr, &resolve_nothing, &fast_worker("confused", 7)) {
+                Err(DistError::JobMismatch(_)) => {
+                    rejections.fetch_add(1, Ordering::SeqCst);
+                }
+                other => panic!("expected JobMismatch, got {other:?}"),
+            }
+        });
+        match coordinator.run(&session, "sum", &dist) {
+            Err(DistError::Incomplete(_)) => {}
+            other => panic!("expected Incomplete after drain timeout, got {other:?}"),
+        }
+        worker.join().unwrap();
+    });
+    assert_eq!(rejections.load(Ordering::SeqCst), 1);
+}

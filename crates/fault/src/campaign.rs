@@ -92,12 +92,22 @@ use crate::regime::{FaultTarget, MemoryFaultPlan, Protection};
 /// Hard cap on golden-run checkpoints, regardless of memory budget.
 const MAX_CHECKPOINTS: usize = 32;
 
+/// Bounds on the per-slice instruction count between wall-clock deadline
+/// checks (see [`derive_run_slice`]).
+const MIN_RUN_SLICE: u64 = 1 << 12;
+const MAX_RUN_SLICE: u64 = 1 << 20;
+
 /// Instructions executed between wall-clock deadline checks on otherwise
-/// unbounded run segments. Large enough that the pause overhead (which
+/// unbounded run segments, derived from the golden run's dynamic
+/// instruction count: a sixty-fourth of the golden length, clamped to
+/// [`MIN_RUN_SLICE`]`..=`[`MAX_RUN_SLICE`]. Short workloads get tight
+/// hang detection (a wedged trial is caught within a small multiple of a
+/// healthy run), while long workloads keep the pause overhead (which
 /// forces the simulator out of its superblock traces near the boundary)
-/// is negligible, small enough that a wedged trial is caught within a
-/// fraction of a second.
-const RUN_SLICE: u64 = 1 << 20;
+/// negligible.
+fn derive_run_slice(golden_icount: u64) -> u64 {
+    (golden_icount / 64).clamp(MIN_RUN_SLICE, MAX_RUN_SLICE)
+}
 
 /// Harness attempts per trial: the first run plus one retry. A trial that
 /// fails the harness this many times is reported as
@@ -327,6 +337,34 @@ pub struct HarnessStats {
     pub harness_errors: u64,
 }
 
+impl HarnessStats {
+    /// Adds every counter of `other` into `self`. Merging is commutative
+    /// and associative with [`HarnessStats::default`] as identity, which
+    /// is what lets a distributed campaign sum per-chunk deltas in any
+    /// arrival order (see the workspace merge-algebra property suite).
+    pub fn merge(&mut self, other: &HarnessStats) {
+        self.panics += other.panics;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.rebuilds += other.rebuilds;
+        self.harness_errors += other.harness_errors;
+    }
+
+    /// The counter-wise delta `self - earlier`, saturating at zero. Used
+    /// to attribute a monotone shared counter snapshot to one chunk of
+    /// work: snapshot before, run, snapshot after, subtract.
+    #[must_use]
+    pub fn saturating_sub(&self, earlier: &HarnessStats) -> HarnessStats {
+        HarnessStats {
+            panics: self.panics.saturating_sub(earlier.panics),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            retries: self.retries.saturating_sub(earlier.retries),
+            rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
+            harness_errors: self.harness_errors.saturating_sub(earlier.harness_errors),
+        }
+    }
+}
+
 /// Shared atomic counterpart of [`HarnessStats`], bumped by workers.
 #[derive(Default)]
 struct HarnessCounters {
@@ -381,6 +419,29 @@ impl RestoreStats {
     pub fn total(&self) -> u64 {
         self.dirty_page + self.diff_hop + self.full_image
     }
+
+    /// Adds every counter of `other` into `self` (commutative/associative
+    /// with the default as identity — see [`HarnessStats::merge`]).
+    pub fn merge(&mut self, other: &RestoreStats) {
+        self.dirty_page += other.dirty_page;
+        self.diff_hop += other.diff_hop;
+        self.diff_union_cache_hits += other.diff_union_cache_hits;
+        self.full_image += other.full_image;
+    }
+
+    /// The counter-wise delta `self - earlier`, saturating at zero (see
+    /// [`HarnessStats::saturating_sub`]).
+    #[must_use]
+    pub fn saturating_sub(&self, earlier: &RestoreStats) -> RestoreStats {
+        RestoreStats {
+            dirty_page: self.dirty_page.saturating_sub(earlier.dirty_page),
+            diff_hop: self.diff_hop.saturating_sub(earlier.diff_hop),
+            diff_union_cache_hits: self
+                .diff_union_cache_hits
+                .saturating_sub(earlier.diff_union_cache_hits),
+            full_image: self.full_image.saturating_sub(earlier.full_image),
+        }
+    }
 }
 
 /// Counts of completed trials by raw simulator outcome, plus the trials
@@ -406,6 +467,15 @@ impl OutcomeCounts {
     #[must_use]
     pub fn total(&self) -> usize {
         self.halted + self.crashed + self.infinite + self.harness_error
+    }
+
+    /// Adds every bucket of `other` into `self` (commutative/associative
+    /// with the default as identity — see [`HarnessStats::merge`]).
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.halted += other.halted;
+        self.crashed += other.crashed;
+        self.infinite += other.infinite;
+        self.harness_error += other.harness_error;
     }
 }
 
@@ -917,18 +987,20 @@ enum TrialExec {
     TimedOut,
 }
 
-/// Runs `machine` to completion in [`RUN_SLICE`]-instruction slices,
-/// checking the wall-clock `deadline` between slices. `None` means the
-/// deadline passed with the run still going — a harness failure, distinct
-/// from the instruction-budget watchdog (which finishes the run with
-/// [`Outcome::InfiniteRun`], an experimental outcome).
+/// Runs `machine` to completion in `slice`-instruction slices (see
+/// [`derive_run_slice`]), checking the wall-clock `deadline` between
+/// slices. `None` means the deadline passed with the run still going — a
+/// harness failure, distinct from the instruction-budget watchdog (which
+/// finishes the run with [`Outcome::InfiniteRun`], an experimental
+/// outcome).
 fn run_sliced<H: WritebackHook>(
     machine: &mut Machine<'_>,
     hook: &mut H,
     deadline: Instant,
+    slice: u64,
 ) -> Option<RunResult> {
     loop {
-        let bound = machine.instructions().saturating_add(RUN_SLICE);
+        let bound = machine.instructions().saturating_add(slice.max(1));
         match machine.run_until(hook, bound) {
             BoundedRun::Finished(result) => return Some(result),
             BoundedRun::Paused => {
@@ -983,28 +1055,29 @@ fn apply_memory_flips(
 /// instruction zero. This is the reference path (`checkpointing: false`)
 /// the accelerated path must match bit-for-bit.
 fn run_trial_scratch(
-    target: &dyn Target,
-    decoded: &Arc<DecodedProgram>,
-    tags: &TagMap,
-    config: &CampaignConfig,
-    machine_config: &MachineConfig,
+    session: &CampaignSession<'_>,
     plan: &TrialPlan,
     deadline: Instant,
 ) -> TrialExec {
+    let target = session.target;
+    let config = &session.config;
     let program = target.program();
-    let mut machine = Machine::try_new_with_decoded(program, decoded, machine_config)
-        .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"));
+    let mut machine =
+        Machine::try_new_with_decoded(program, &session.trial_decoded, &session.machine_config)
+            .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"));
     target.prepare(&mut machine);
     let (result, injected) = match plan {
         TrialPlan::Reg(plan) => {
             let mut injector = Injector::with_model(
                 program,
-                tags,
+                session.tags,
                 config.protection,
                 plan.clone(),
                 config.model,
             );
-            let Some(result) = run_sliced(&mut machine, &mut injector, deadline) else {
+            let Some(result) =
+                run_sliced(&mut machine, &mut injector, deadline, session.run_slice)
+            else {
                 return TrialExec::TimedOut;
             };
             (result, injector.injected())
@@ -1017,7 +1090,7 @@ fn run_trial_scratch(
             };
             let result = match early {
                 Some(result) => result,
-                None => match run_sliced(&mut machine, &mut NoHook, deadline) {
+                None => match run_sliced(&mut machine, &mut NoHook, deadline, session.run_slice) {
                     Some(result) => result,
                     None => return TrialExec::TimedOut,
                 },
@@ -1065,18 +1138,20 @@ const MAX_PROBE_GAP: usize = 8;
 /// counts in place of eligible-writeback counts: run to each flip
 /// boundary, flip the planned bit through the copy-on-write store, then
 /// probe for reconvergence past the last boundary.
-#[allow(clippy::too_many_arguments)]
 fn run_trial_checkpointed(
+    session: &CampaignSession<'_>,
     machine: &mut Machine<'_>,
-    target: &dyn Target,
-    tags: &TagMap,
-    config: &CampaignConfig,
-    plan: &TrialPlan,
-    checkpoint_set: &CheckpointSet,
     diff_scratch: &mut Vec<u32>,
-    golden: &GoldenRun,
+    plan: &TrialPlan,
     deadline: Instant,
 ) -> TrialExec {
+    let target = session.target;
+    let config = &session.config;
+    let golden = &session.golden;
+    let checkpoint_set = session
+        .checkpoints
+        .as_ref()
+        .expect("checkpointed trial runner requires a checkpoint set");
     let checkpoints = &checkpoint_set.checkpoints;
     if plan.is_empty() {
         // No flips will ever fire, so the trial *is* the golden run.
@@ -1109,7 +1184,7 @@ fn run_trial_checkpointed(
             injector = Some(
                 Injector::with_model(
                     target.program(),
-                    tags,
+                    session.tags,
                     config.protection,
                     plan.clone(),
                     config.model,
@@ -1154,8 +1229,8 @@ fn run_trial_checkpointed(
                     // Past the last probe point: run out the remainder in
                     // deadline-checked slices.
                     let finished = match &mut injector {
-                        Some(inj) => run_sliced(machine, inj, deadline),
-                        None => run_sliced(machine, &mut mem_hook, deadline),
+                        Some(inj) => run_sliced(machine, inj, deadline, session.run_slice),
+                        None => run_sliced(machine, &mut mem_hook, deadline, session.run_slice),
                     };
                     match finished {
                         Some(result) => break result,
@@ -1355,201 +1430,449 @@ where
 /// [`CampaignResult::verify_reconciliation`]).
 #[must_use]
 pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig) -> CampaignResult {
-    let started = std::time::Instant::now();
-    // One decode per campaign: the golden run and every trial machine share
-    // the same micro-op lowering.
-    let decoded = Arc::new(DecodedProgram::new(target.program()));
-    // Large budget for the golden run; the trial watchdog derives from it.
-    let golden_budget = u64::MAX / 2;
-    let (golden, checkpoints, checkpoint_capture_bytes) = if config.checkpointing {
-        let (golden, checkpoints, capture_bytes) = golden_run_checkpointed(
-            target,
-            &decoded,
-            tags,
-            config.protection,
-            golden_budget,
-            config.checkpoint_budget_bytes,
-            config.checkpoint_stride,
+    let session = CampaignSession::new(target, tags, config);
+    let trials = session.run_all();
+    session.finish(trials)
+}
+
+/// A contiguous, checkpoint-grouped batch of trial ids — the unit of work
+/// the distributed coordinator (`certa-dist`) leases to workers.
+/// [`CampaignSession::chunk_plan`] cuts the session's sorted trial order
+/// into these, so a worker's consecutive trials within one chunk restore
+/// incrementally, exactly as the in-process scheduler's chunked handout
+/// does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialChunk {
+    /// Dense chunk id (`0..chunk_count`).
+    pub id: u32,
+    /// Global trial ids, in scheduling order.
+    pub trials: Vec<u32>,
+}
+
+/// A fully prepared campaign: the golden run, its checkpoint set, the
+/// predecoded trial program, and every trial's pre-sampled fault plan —
+/// everything [`run_campaign`] builds before scheduling, held open so
+/// trials can be executed in arbitrary subsets.
+///
+/// This is the seam the distributed service (`certa-dist`) splits the
+/// campaign along: a coordinator and each worker process independently
+/// build a session from the same `(target, config)` pair — construction
+/// is deterministic, and [`CampaignSession::fingerprint`] guards against
+/// mismatch — and then any party can run any subset of trial ids with
+/// [`CampaignSession::run_subset`], bit-identical to the same trials of
+/// an in-process [`run_campaign`]. Trial ids are deterministic (the
+/// per-trial seed depends only on `(config.seed, id)`), so re-executing a
+/// chunk after a lost worker overwrites the same records instead of
+/// double-counting.
+pub struct CampaignSession<'a> {
+    target: &'a dyn Target,
+    tags: &'a TagMap,
+    config: CampaignConfig,
+    /// Resolved worker-thread count (`config.threads` with 0 = per-core).
+    threads: usize,
+    /// Wall-clock deadline check interval in instructions (see
+    /// [`derive_run_slice`]).
+    run_slice: u64,
+    golden: GoldenRun,
+    checkpoints: Option<CheckpointSet>,
+    checkpoint_capture_bytes: u64,
+    trial_decoded: Arc<DecodedProgram>,
+    machine_config: MachineConfig,
+    plans: Vec<TrialPlan>,
+    counters: HarnessCounters,
+    started: Instant,
+}
+
+impl<'a> CampaignSession<'a> {
+    /// Prepares a campaign: golden run (with checkpoints when configured),
+    /// trial program lowering, and plan pre-sampling. Deterministic for a
+    /// given `(target, config)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run fails (see [`golden_run`]).
+    #[must_use]
+    pub fn new(target: &'a dyn Target, tags: &'a TagMap, config: &CampaignConfig) -> Self {
+        assert!(
+            u32::try_from(config.trials).is_ok(),
+            "trial ids must fit in u32"
         );
-        (golden, Some(CheckpointSet::new(checkpoints)), capture_bytes)
-    } else {
-        let (golden, _, _) = golden_run_checkpointed(
+        let started = std::time::Instant::now();
+        // One decode per session: the golden run and every trial machine
+        // share the same micro-op lowering.
+        let decoded = Arc::new(DecodedProgram::new(target.program()));
+        // Large budget for the golden run; the trial watchdog derives
+        // from it.
+        let golden_budget = u64::MAX / 2;
+        let (golden, checkpoints, checkpoint_capture_bytes) = if config.checkpointing {
+            let (golden, checkpoints, capture_bytes) = golden_run_checkpointed(
+                target,
+                &decoded,
+                tags,
+                config.protection,
+                golden_budget,
+                config.checkpoint_budget_bytes,
+                config.checkpoint_stride,
+            );
+            (golden, Some(CheckpointSet::new(checkpoints)), capture_bytes)
+        } else {
+            let (golden, _, _) = golden_run_checkpointed(
+                target,
+                &decoded,
+                tags,
+                config.protection,
+                golden_budget,
+                0,
+                u64::MAX,
+            );
+            (golden, None, 0)
+        };
+        let watchdog = golden
+            .instructions
+            .saturating_mul(config.watchdog_factor)
+            .max(golden.instructions + 1_000_000);
+
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.threads
+        };
+
+        let program = target.program();
+        let machine_config = MachineConfig {
+            mem_size: target.mem_size(),
+            max_instructions: watchdog,
+            profile: false,
+        };
+        // Trials re-lower the program with the golden run's execution
+        // counts seeding the superblock policy: only blocks the golden run
+        // actually reached get trace bodies, which is where trials spend
+        // nearly all of their time (they diverge from golden only after a
+        // flip lands). Decoded once, shared by every worker machine.
+        let trial_decoded = Arc::new(DecodedProgram::with_policy(
+            program,
+            &SuperblockPolicy::seeded(golden.exec_counts.clone()),
+        ));
+
+        // Pre-sample every trial's plan. This matches sampling inside the
+        // trial exactly — the per-trial RNG is used for nothing else — and
+        // the scheduler needs the injection points up front to sort
+        // trials.
+        let plans: Vec<TrialPlan> = (0..config.trials)
+            .map(|t| {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(config.seed, t));
+                match config.target {
+                    FaultTarget::Registers => TrialPlan::Reg(FaultPlan::sample(
+                        &mut rng,
+                        golden.eligible_population,
+                        config.errors,
+                    )),
+                    FaultTarget::MemoryCells => TrialPlan::Mem(MemoryFaultPlan::sample(
+                        &mut rng,
+                        golden.instructions,
+                        program.data.len(),
+                        config.errors,
+                    )),
+                }
+            })
+            .collect();
+
+        CampaignSession {
             target,
-            &decoded,
             tags,
-            config.protection,
-            golden_budget,
-            0,
-            u64::MAX,
-        );
-        (golden, None, 0)
-    };
-    let watchdog = golden
-        .instructions
-        .saturating_mul(config.watchdog_factor)
-        .max(golden.instructions + 1_000_000);
-
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        config.threads
-    };
-
-    let program = target.program();
-    let machine_config = MachineConfig {
-        mem_size: target.mem_size(),
-        max_instructions: watchdog,
-        profile: false,
-    };
-    // Trials re-lower the program with the golden run's execution counts
-    // seeding the superblock policy: only blocks the golden run actually
-    // reached get trace bodies, which is where trials spend nearly all of
-    // their time (they diverge from golden only after a flip lands).
-    // Decoded once, shared by every worker machine.
-    let trial_decoded = Arc::new(DecodedProgram::with_policy(
-        program,
-        &SuperblockPolicy::seeded(golden.exec_counts.clone()),
-    ));
-
-    // Pre-sample every trial's plan. This matches sampling inside the
-    // trial exactly — the per-trial RNG is used for nothing else — and the
-    // scheduler needs the injection points up front to sort trials.
-    let plans: Vec<TrialPlan> = (0..config.trials)
-        .map(|t| {
-            let mut rng = SmallRng::seed_from_u64(trial_seed(config.seed, t));
-            match config.target {
-                FaultTarget::Registers => TrialPlan::Reg(FaultPlan::sample(
-                    &mut rng,
-                    golden.eligible_population,
-                    config.errors,
-                )),
-                FaultTarget::MemoryCells => TrialPlan::Mem(MemoryFaultPlan::sample(
-                    &mut rng,
-                    golden.instructions,
-                    program.data.len(),
-                    config.errors,
-                )),
-            }
-        })
-        .collect();
-
-    let counters = HarnessCounters::default();
-    let (trials, restore_stats) = match &checkpoints {
-        Some(checkpoint_set) => {
-            // Sort by (restore checkpoint, injection point): trials of one
-            // checkpoint group sit contiguously, ordered by how early they
-            // diverge. Chunked handout (see `schedule_trials`) then gives
-            // each worker a run of same-checkpoint trials — consecutive
-            // trials restore incrementally from the previous trial's start
-            // state — and the chunk-boundary hops recur across workers, so
-            // the bounded hop-union MRU cache serves them warm.
-            let cps = &checkpoint_set.checkpoints;
-            let mut order: Vec<usize> = (0..config.trials).collect();
-            order.sort_by_key(|&t| {
-                let plan = &plans[t];
-                plan.earliest_injection().map_or((usize::MAX, u64::MAX), |e| {
-                    (restore_checkpoint_index(cps, plan), e)
-                })
-            });
-            // Chunks sized so each worker lands several chunks in every
-            // checkpoint group: within a group a worker's consecutive
-            // chunks restore on the dirty-page fast path, while every
-            // worker still crosses every group boundary — so the adjacent
-            // checkpoint hops recur once per worker and the hop-union MRU
-            // serves all but the first from cache. (One giant chunk per
-            // worker would minimize hops but leave every hop key unique —
-            // a cold cache and a load-balance cliff.)
-            let groups = cps.len().max(1);
-            let chunk = (config.trials / (groups * threads * 2).max(1)).clamp(1, 64);
-            let trials = schedule_trials(
-                &order,
-                threads,
-                chunk,
-                || {
-                    let machine = Machine::from_snapshot_with_decoded(
-                        program,
-                        &trial_decoded,
-                        &checkpoint_set.checkpoints[0].snapshot,
-                        &machine_config,
-                    )
-                    .expect("checkpoint matches the campaign machine config");
-                    (machine, Vec::new())
-                },
-                |worker: &mut (Machine<'_>, Vec<u32>), t| {
-                    contain(
-                        t,
-                        config,
-                        &counters,
-                        worker,
-                        |w| {
-                            w.0.restore_full(&checkpoint_set.checkpoints[0].snapshot)
-                                .expect("checkpoint matches the campaign machine config");
-                        },
-                        |w, deadline| {
-                            run_trial_checkpointed(
-                                &mut w.0,
-                                target,
-                                tags,
-                                config,
-                                &plans[t],
-                                checkpoint_set,
-                                &mut w.1,
-                                &golden,
-                                deadline,
-                            )
-                        },
-                    )
-                },
-            );
-            (trials, checkpoint_set.stats())
+            config: config.clone(),
+            threads,
+            run_slice: derive_run_slice(golden.instructions),
+            golden,
+            checkpoints,
+            checkpoint_capture_bytes,
+            trial_decoded,
+            machine_config,
+            plans,
+            counters: HarnessCounters::default(),
+            started,
         }
-        None => {
-            let order: Vec<usize> = (0..config.trials).collect();
-            let trials = schedule_trials(
-                &order,
-                threads,
-                1,
-                || (),
-                |worker, t| {
-                    contain(
-                        t,
-                        config,
-                        &counters,
-                        worker,
-                        |_| {
-                            // Scratch trials build a fresh machine per
-                            // attempt; the "rebuild" is that construction.
-                        },
-                        |_, deadline| {
-                            run_trial_scratch(
-                                target,
-                                &trial_decoded,
-                                tags,
-                                config,
-                                &machine_config,
-                                &plans[t],
-                                deadline,
-                            )
-                        },
-                    )
-                },
-            );
-            (trials, RestoreStats::default())
-        }
-    };
-
-    let result = CampaignResult {
-        golden,
-        trials,
-        restore_stats,
-        harness_stats: counters.snapshot(),
-        checkpoint_capture_bytes,
-        elapsed: started.elapsed(),
-    };
-    if let Err(violation) = result.verify_reconciliation() {
-        panic!("campaign trial accounting must reconcile: {violation}");
     }
-    result
+
+    /// The fault-free reference run.
+    #[must_use]
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    /// The campaign configuration this session was built from.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Bytes materialized capturing the golden checkpoints (see
+    /// [`CampaignResult::checkpoint_capture_bytes`]).
+    #[must_use]
+    pub fn checkpoint_capture_bytes(&self) -> u64 {
+        self.checkpoint_capture_bytes
+    }
+
+    /// Wall-clock time since session construction began (includes the
+    /// golden run, like [`CampaignResult::elapsed`]).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Snapshot of the cumulative harness containment counters across
+    /// every trial this session has run so far. Monotone — callers
+    /// attributing stats to one batch take before/after snapshots and
+    /// [`HarnessStats::saturating_sub`] them.
+    #[must_use]
+    pub fn harness_stats(&self) -> HarnessStats {
+        self.counters.snapshot()
+    }
+
+    /// Snapshot of the cumulative restore-path counters (all zero without
+    /// checkpointing). Monotone, like [`CampaignSession::harness_stats`].
+    #[must_use]
+    pub fn restore_stats(&self) -> RestoreStats {
+        self.checkpoints
+            .as_ref()
+            .map_or_else(RestoreStats::default, CheckpointSet::stats)
+    }
+
+    /// A deterministic digest of everything that shapes trial results:
+    /// the result-affecting configuration fields and the golden run
+    /// (output, instruction count, eligible population). Two processes
+    /// that independently built sessions from the same `(target, config)`
+    /// pair agree on every trial's record **iff** their fingerprints
+    /// match — the distributed service refuses to hand out work across a
+    /// mismatch.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = fnv1a_u64(FNV_OFFSET, self.config.trials as u64);
+        hash = fnv1a_u64(hash, self.config.errors);
+        hash = fnv1a_u64(hash, self.config.seed);
+        hash = fnv1a_u64(hash, self.config.watchdog_factor);
+        hash = fnv1a_bytes(hash, self.config.protection.label().as_bytes());
+        hash = fnv1a_bytes(hash, self.config.target.label().as_bytes());
+        let (model_tag, model_param) = match self.config.model {
+            ErrorModel::SingleBitFlip => (0u64, 0u64),
+            ErrorModel::AdjacentDoubleBitFlip => (1, 0),
+            ErrorModel::BurstFlip { len } => (2, u64::from(len)),
+            ErrorModel::StuckAtZero => (3, 0),
+            ErrorModel::StuckAtOne => (4, 0),
+        };
+        hash = fnv1a_u64(hash, model_tag);
+        hash = fnv1a_u64(hash, model_param);
+        hash = fnv1a_u64(hash, self.golden.instructions);
+        hash = fnv1a_u64(hash, self.golden.eligible_population);
+        hash = fnv1a_u64(hash, self.golden.output.len() as u64);
+        fnv1a_bytes(hash, &self.golden.output)
+    }
+
+    /// The scheduling sort key of one trial: its restore checkpoint group
+    /// and earliest injection point (empty plans sort last — they splice
+    /// the golden run and restore nothing).
+    fn sort_key(&self, trial: u32) -> (usize, u64) {
+        let plan = &self.plans[trial as usize];
+        match (&self.checkpoints, plan.earliest_injection()) {
+            (Some(set), Some(earliest)) => {
+                (restore_checkpoint_index(&set.checkpoints, plan), earliest)
+            }
+            _ => (usize::MAX, u64::MAX),
+        }
+    }
+
+    /// Cuts the full trial population into at most roughly `parts`
+    /// equal-size chunks along the scheduling order, never splitting a
+    /// chunk across a checkpoint-group boundary (a chunk that restores
+    /// one checkpoint stays cheap for whichever worker leases it). Every
+    /// trial id appears in exactly one chunk.
+    #[must_use]
+    pub fn chunk_plan(&self, parts: usize) -> Vec<TrialChunk> {
+        let n = self.config.trials;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&t| self.sort_key(t));
+        let max_len = n.div_ceil(parts.max(1)).max(1);
+        let mut chunks: Vec<TrialChunk> = Vec::new();
+        let mut current: Vec<u32> = Vec::new();
+        let mut current_group = usize::MAX;
+        for trial in order {
+            let group = self.sort_key(trial).0;
+            if !current.is_empty() && (current.len() >= max_len || group != current_group) {
+                chunks.push(TrialChunk {
+                    id: chunks.len() as u32,
+                    trials: std::mem::take(&mut current),
+                });
+            }
+            current_group = group;
+            current.push(trial);
+        }
+        if !current.is_empty() {
+            chunks.push(TrialChunk {
+                id: chunks.len() as u32,
+                trials: current,
+            });
+        }
+        chunks
+    }
+
+    /// Runs every trial of the campaign (equivalent to
+    /// [`CampaignSession::run_subset`] over `0..trials`).
+    #[must_use]
+    pub fn run_all(&self) -> Vec<TrialRecord> {
+        let ids: Vec<u32> = (0..self.config.trials as u32).collect();
+        self.run_subset(&ids)
+    }
+
+    /// Runs the given trials across this session's worker threads,
+    /// returning one record per id, aligned with `ids`. Each record is
+    /// bit-identical to the same trial of a full in-process campaign —
+    /// subsets only select *which* trials run, never what they compute —
+    /// so re-running an id (e.g. a re-leased distributed chunk) always
+    /// reproduces the same record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    #[must_use]
+    pub fn run_subset(&self, ids: &[u32]) -> Vec<TrialRecord> {
+        for &id in ids {
+            assert!(
+                (id as usize) < self.config.trials,
+                "trial id {id} out of range (campaign has {} trials)",
+                self.config.trials
+            );
+        }
+        let n = ids.len();
+        match &self.checkpoints {
+            Some(checkpoint_set) => {
+                // Sort by (restore checkpoint, injection point): trials of
+                // one checkpoint group sit contiguously, ordered by how
+                // early they diverge. Chunked handout (see
+                // `schedule_trials`) then gives each worker a run of
+                // same-checkpoint trials — consecutive trials restore
+                // incrementally from the previous trial's start state —
+                // and the chunk-boundary hops recur across workers, so the
+                // bounded hop-union MRU cache serves them warm.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&pos| self.sort_key(ids[pos]));
+                // Chunks sized so each worker lands several chunks in
+                // every checkpoint group: within a group a worker's
+                // consecutive chunks restore on the dirty-page fast path,
+                // while every worker still crosses every group boundary —
+                // so the adjacent checkpoint hops recur once per worker
+                // and the hop-union MRU serves all but the first from
+                // cache. (One giant chunk per worker would minimize hops
+                // but leave every hop key unique — a cold cache and a
+                // load-balance cliff.)
+                let groups = checkpoint_set.checkpoints.len().max(1);
+                let chunk = (n / (groups * self.threads * 2).max(1)).clamp(1, 64);
+                schedule_trials(
+                    &order,
+                    self.threads,
+                    chunk,
+                    || {
+                        let machine = Machine::from_snapshot_with_decoded(
+                            self.target.program(),
+                            &self.trial_decoded,
+                            &checkpoint_set.checkpoints[0].snapshot,
+                            &self.machine_config,
+                        )
+                        .expect("checkpoint matches the campaign machine config");
+                        (machine, Vec::new())
+                    },
+                    |worker: &mut (Machine<'_>, Vec<u32>), pos| {
+                        let trial = ids[pos] as usize;
+                        contain(
+                            trial,
+                            &self.config,
+                            &self.counters,
+                            worker,
+                            |w| {
+                                w.0.restore_full(&checkpoint_set.checkpoints[0].snapshot)
+                                    .expect("checkpoint matches the campaign machine config");
+                            },
+                            |w, deadline| {
+                                run_trial_checkpointed(
+                                    self,
+                                    &mut w.0,
+                                    &mut w.1,
+                                    &self.plans[trial],
+                                    deadline,
+                                )
+                            },
+                        )
+                    },
+                )
+            }
+            None => {
+                let order: Vec<usize> = (0..n).collect();
+                schedule_trials(
+                    &order,
+                    self.threads,
+                    1,
+                    || (),
+                    |worker, pos| {
+                        let trial = ids[pos] as usize;
+                        contain(
+                            trial,
+                            &self.config,
+                            &self.counters,
+                            worker,
+                            |_| {
+                                // Scratch trials build a fresh machine per
+                                // attempt; the "rebuild" is that
+                                // construction.
+                            },
+                            |_, deadline| {
+                                run_trial_scratch(self, &self.plans[trial], deadline)
+                            },
+                        )
+                    },
+                )
+            }
+        }
+    }
+
+    /// Assembles the final [`CampaignResult`] from this session and a
+    /// complete, trial-ordered record vector (normally
+    /// [`CampaignSession::run_all`]'s output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trial accounting does not reconcile (a harness bug —
+    /// see [`CampaignResult::verify_reconciliation`]).
+    #[must_use]
+    pub fn finish(self, trials: Vec<TrialRecord>) -> CampaignResult {
+        let restore_stats = self.restore_stats();
+        let harness_stats = self.counters.snapshot();
+        let result = CampaignResult {
+            golden: self.golden,
+            trials,
+            restore_stats,
+            harness_stats,
+            checkpoint_capture_bytes: self.checkpoint_capture_bytes,
+            elapsed: self.started.elapsed(),
+        };
+        if let Err(violation) = result.verify_reconciliation() {
+            panic!("campaign trial accounting must reconcile: {violation}");
+        }
+        result
+    }
+}
+
+/// FNV-1a offset basis (the fingerprint's seed).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+fn fnv1a_u64(hash: u64, value: u64) -> u64 {
+    fnv1a_bytes(hash, &value.to_le_bytes())
 }
 
 #[cfg(test)]

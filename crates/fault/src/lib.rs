@@ -72,16 +72,28 @@
 //! workspace-level property suite). A campaign-throughput criterion
 //! bench (`crates/bench/benches/campaign.rs`) measures the speedup — about
 //! 7× for a 12M-instruction golden run at 24 trials.
+//!
+//! ## Distributed seam
+//!
+//! [`CampaignSession`] holds a prepared campaign open — golden run,
+//! checkpoint set, predecoded trial program, pre-sampled plans — so trial
+//! subsets can run on demand ([`CampaignSession::run_subset`]),
+//! bit-identical to the in-process scheduler. The `certa-dist` crate
+//! splits a campaign along this seam into a lease-granting coordinator
+//! and worker processes; the [`wire`] module provides the byte-exact
+//! (de)serialization of [`TrialRecord`]s and friends that crosses that
+//! boundary.
 
 mod campaign;
 mod injector;
 mod regime;
 mod stats;
+pub mod wire;
 
 pub use campaign::{
-    golden_run, run_campaign, CampaignConfig, CampaignResult, GoldenRun, HarnessFailure,
-    HarnessFaultInjection, HarnessStats, OutcomeCounts, RestoreStats, Target, TrialRecord,
-    TrialResult, TrialStatus,
+    golden_run, run_campaign, CampaignConfig, CampaignResult, CampaignSession, GoldenRun,
+    HarnessFailure, HarnessFaultInjection, HarnessStats, OutcomeCounts, RestoreStats, Target,
+    TrialChunk, TrialRecord, TrialResult, TrialStatus,
 };
 pub use injector::{ErrorModel, FaultPlan, Injector};
 pub use regime::{FaultTarget, MemoryFaultPlan, Protection, ToleranceProfile};

@@ -1,0 +1,558 @@
+//! Byte-exact (de)serialization of campaign types for the distributed
+//! service (`certa-dist`).
+//!
+//! The workspace is dependency-free, so this is a tiny hand-rolled,
+//! bincode-style little-endian format: fixed-width integers, `u32`
+//! length-prefixed byte strings, and one tag byte per enum variant. Two
+//! properties matter:
+//!
+//! * **Round-trip exactness** — `decode(encode(x)) == x` for every value
+//!   (the distributed differential tests compare [`TrialRecord`]s that
+//!   crossed the wire byte-for-byte against in-process ones).
+//! * **Total decoding** — a decoder never panics on malformed input; it
+//!   returns [`WireError`], and the peer drops the connection.
+//!
+//! [`HarnessFaultInjection`] deliberately does not cross the wire: it
+//! decodes to its (empty) default, so sabotage configured on one process
+//! — the worker-loss differential tests kill workers, not trials — never
+//! leaks into another process's trials.
+
+use std::fmt;
+use std::time::Duration;
+
+use certa_sim::{CrashKind, Outcome};
+
+use crate::campaign::{
+    CampaignConfig, HarnessFailure, HarnessFaultInjection, HarnessStats, RestoreStats,
+    TrialRecord, TrialResult, TrialStatus,
+};
+use crate::injector::ErrorModel;
+use crate::regime::{FaultTarget, Protection};
+
+/// Why a decode failed. Either way the input did not come from a healthy
+/// peer speaking this protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// A tag byte or invariant did not match any encodable value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire value truncated"),
+            WireError::Malformed(what) => write!(f, "malformed wire value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is longer than `u32::MAX` bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("wire byte string fits in u32"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over an encoded buffer; every read is bounds-checked.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool (rejecting anything but 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32` length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| WireError::Malformed("utf-8"))
+    }
+
+    /// Whether the reader has consumed every byte.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Asserts the buffer is fully consumed — trailing garbage means the
+    /// peer and we disagree about the format.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+/// Encodes a simulator [`Outcome`].
+pub fn encode_outcome(w: &mut ByteWriter, outcome: &Outcome) {
+    match outcome {
+        Outcome::Halted => w.u8(0),
+        Outcome::Crashed(CrashKind::MemOutOfBounds { addr, size }) => {
+            w.u8(1);
+            w.u32(*addr);
+            w.u32(*size);
+        }
+        Outcome::Crashed(CrashKind::Misaligned { addr, size }) => {
+            w.u8(2);
+            w.u32(*addr);
+            w.u32(*size);
+        }
+        Outcome::Crashed(CrashKind::PcOutOfRange { pc }) => {
+            w.u8(3);
+            w.u64(*pc);
+        }
+        Outcome::InfiniteRun => w.u8(4),
+    }
+}
+
+/// Decodes a simulator [`Outcome`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a truncated buffer or unknown tag.
+pub fn decode_outcome(r: &mut ByteReader<'_>) -> Result<Outcome, WireError> {
+    Ok(match r.u8()? {
+        0 => Outcome::Halted,
+        1 => Outcome::Crashed(CrashKind::MemOutOfBounds {
+            addr: r.u32()?,
+            size: r.u32()?,
+        }),
+        2 => Outcome::Crashed(CrashKind::Misaligned {
+            addr: r.u32()?,
+            size: r.u32()?,
+        }),
+        3 => Outcome::Crashed(CrashKind::PcOutOfRange { pc: r.u64()? }),
+        4 => Outcome::InfiniteRun,
+        _ => return Err(WireError::Malformed("outcome tag")),
+    })
+}
+
+/// Encodes a [`TrialRecord`] (status, result payload, retry count).
+pub fn encode_trial_record(w: &mut ByteWriter, record: &TrialRecord) {
+    match &record.status {
+        TrialStatus::Completed(result) => {
+            w.u8(0);
+            encode_outcome(w, &result.outcome);
+            match &result.output {
+                Some(output) => {
+                    w.bool(true);
+                    w.bytes(output);
+                }
+                None => w.bool(false),
+            }
+            w.u64(result.instructions);
+            w.u32(result.injected);
+        }
+        TrialStatus::HarnessError(HarnessFailure::Panic) => w.u8(1),
+        TrialStatus::HarnessError(HarnessFailure::Timeout) => w.u8(2),
+    }
+    w.u32(record.retries);
+}
+
+/// Decodes a [`TrialRecord`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a truncated buffer or unknown tag.
+pub fn decode_trial_record(r: &mut ByteReader<'_>) -> Result<TrialRecord, WireError> {
+    let status = match r.u8()? {
+        0 => {
+            let outcome = decode_outcome(r)?;
+            let output = if r.bool()? {
+                Some(r.bytes()?.to_vec())
+            } else {
+                None
+            };
+            TrialStatus::Completed(TrialResult {
+                outcome,
+                output,
+                instructions: r.u64()?,
+                injected: r.u32()?,
+            })
+        }
+        1 => TrialStatus::HarnessError(HarnessFailure::Panic),
+        2 => TrialStatus::HarnessError(HarnessFailure::Timeout),
+        _ => return Err(WireError::Malformed("trial status tag")),
+    };
+    Ok(TrialRecord {
+        status,
+        retries: r.u32()?,
+    })
+}
+
+/// Encodes a [`HarnessStats`] counter block.
+pub fn encode_harness_stats(w: &mut ByteWriter, stats: &HarnessStats) {
+    w.u64(stats.panics);
+    w.u64(stats.timeouts);
+    w.u64(stats.retries);
+    w.u64(stats.rebuilds);
+    w.u64(stats.harness_errors);
+}
+
+/// Decodes a [`HarnessStats`] counter block.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] on a short buffer.
+pub fn decode_harness_stats(r: &mut ByteReader<'_>) -> Result<HarnessStats, WireError> {
+    Ok(HarnessStats {
+        panics: r.u64()?,
+        timeouts: r.u64()?,
+        retries: r.u64()?,
+        rebuilds: r.u64()?,
+        harness_errors: r.u64()?,
+    })
+}
+
+/// Encodes a [`RestoreStats`] counter block.
+pub fn encode_restore_stats(w: &mut ByteWriter, stats: &RestoreStats) {
+    w.u64(stats.dirty_page);
+    w.u64(stats.diff_hop);
+    w.u64(stats.diff_union_cache_hits);
+    w.u64(stats.full_image);
+}
+
+/// Decodes a [`RestoreStats`] counter block.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] on a short buffer.
+pub fn decode_restore_stats(r: &mut ByteReader<'_>) -> Result<RestoreStats, WireError> {
+    Ok(RestoreStats {
+        dirty_page: r.u64()?,
+        diff_hop: r.u64()?,
+        diff_union_cache_hits: r.u64()?,
+        full_image: r.u64()?,
+    })
+}
+
+fn encode_protection(w: &mut ByteWriter, protection: Protection) {
+    w.u8(match protection {
+        Protection::None => 0,
+        Protection::ControlOnly => 1,
+        Protection::DataOnly => 2,
+        Protection::Full => 3,
+    });
+}
+
+fn decode_protection(r: &mut ByteReader<'_>) -> Result<Protection, WireError> {
+    Ok(match r.u8()? {
+        0 => Protection::None,
+        1 => Protection::ControlOnly,
+        2 => Protection::DataOnly,
+        3 => Protection::Full,
+        _ => return Err(WireError::Malformed("protection tag")),
+    })
+}
+
+fn encode_error_model(w: &mut ByteWriter, model: ErrorModel) {
+    match model {
+        ErrorModel::SingleBitFlip => {
+            w.u8(0);
+            w.u8(0);
+        }
+        ErrorModel::AdjacentDoubleBitFlip => {
+            w.u8(1);
+            w.u8(0);
+        }
+        ErrorModel::BurstFlip { len } => {
+            w.u8(2);
+            w.u8(len);
+        }
+        ErrorModel::StuckAtZero => {
+            w.u8(3);
+            w.u8(0);
+        }
+        ErrorModel::StuckAtOne => {
+            w.u8(4);
+            w.u8(0);
+        }
+    }
+}
+
+fn decode_error_model(r: &mut ByteReader<'_>) -> Result<ErrorModel, WireError> {
+    let tag = r.u8()?;
+    let param = r.u8()?;
+    Ok(match tag {
+        0 => ErrorModel::SingleBitFlip,
+        1 => ErrorModel::AdjacentDoubleBitFlip,
+        2 => ErrorModel::BurstFlip { len: param },
+        3 => ErrorModel::StuckAtZero,
+        4 => ErrorModel::StuckAtOne,
+        _ => return Err(WireError::Malformed("error model tag")),
+    })
+}
+
+/// Encodes a [`CampaignConfig`]. [`CampaignConfig::harness_faults`] is
+/// **not** encoded (see the module docs); everything else round-trips
+/// exactly, including the fields that only shape scheduling.
+pub fn encode_campaign_config(w: &mut ByteWriter, config: &CampaignConfig) {
+    w.u64(config.trials as u64);
+    w.u64(config.errors);
+    encode_protection(w, config.protection);
+    w.u8(match config.target {
+        FaultTarget::Registers => 0,
+        FaultTarget::MemoryCells => 1,
+    });
+    w.u64(config.seed);
+    w.u64(config.watchdog_factor);
+    w.u64(config.threads as u64);
+    encode_error_model(w, config.model);
+    w.bool(config.checkpointing);
+    w.u64(config.checkpoint_budget_bytes as u64);
+    w.u64(config.checkpoint_stride);
+    w.u64(u64::try_from(config.trial_timeout.as_millis()).unwrap_or(u64::MAX));
+}
+
+/// Decodes a [`CampaignConfig`] (with an empty
+/// [`CampaignConfig::harness_faults`]).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a truncated buffer, unknown tag, or a count
+/// that does not fit the host's `usize`.
+pub fn decode_campaign_config(r: &mut ByteReader<'_>) -> Result<CampaignConfig, WireError> {
+    let as_usize =
+        |v: u64| usize::try_from(v).map_err(|_| WireError::Malformed("count exceeds usize"));
+    Ok(CampaignConfig {
+        trials: as_usize(r.u64()?)?,
+        errors: r.u64()?,
+        protection: decode_protection(r)?,
+        target: match r.u8()? {
+            0 => FaultTarget::Registers,
+            1 => FaultTarget::MemoryCells,
+            _ => return Err(WireError::Malformed("fault target tag")),
+        },
+        seed: r.u64()?,
+        watchdog_factor: r.u64()?,
+        threads: as_usize(r.u64()?)?,
+        model: decode_error_model(r)?,
+        checkpointing: r.bool()?,
+        checkpoint_budget_bytes: as_usize(r.u64()?)?,
+        checkpoint_stride: r.u64()?,
+        trial_timeout: Duration::from_millis(r.u64()?),
+        harness_faults: HarnessFaultInjection::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_record(record: &TrialRecord) {
+        let mut w = ByteWriter::new();
+        encode_trial_record(&mut w, record);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_trial_record(&mut r).expect("decodes");
+        r.expect_end().expect("fully consumed");
+        assert_eq!(&back, record);
+    }
+
+    #[test]
+    fn trial_records_roundtrip() {
+        let outcomes = [
+            Outcome::Halted,
+            Outcome::Crashed(CrashKind::MemOutOfBounds { addr: 7, size: 4 }),
+            Outcome::Crashed(CrashKind::Misaligned {
+                addr: 0xFFFF_0001,
+                size: 2,
+            }),
+            Outcome::Crashed(CrashKind::PcOutOfRange { pc: u64::MAX }),
+            Outcome::InfiniteRun,
+        ];
+        for (i, outcome) in outcomes.iter().enumerate() {
+            roundtrip_record(&TrialRecord {
+                status: TrialStatus::Completed(TrialResult {
+                    outcome: *outcome,
+                    output: (i % 2 == 0).then(|| vec![0u8, 1, 255, i as u8]),
+                    instructions: 123_456_789 + i as u64,
+                    injected: i as u32,
+                }),
+                retries: i as u32,
+            });
+        }
+        roundtrip_record(&TrialRecord {
+            status: TrialStatus::HarnessError(HarnessFailure::Panic),
+            retries: 1,
+        });
+        roundtrip_record(&TrialRecord {
+            status: TrialStatus::HarnessError(HarnessFailure::Timeout),
+            retries: 1,
+        });
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let harness = HarnessStats {
+            panics: 1,
+            timeouts: 2,
+            retries: 3,
+            rebuilds: 4,
+            harness_errors: 5,
+        };
+        let mut w = ByteWriter::new();
+        encode_harness_stats(&mut w, &harness);
+        let restores = RestoreStats {
+            dirty_page: 10,
+            diff_hop: 11,
+            diff_union_cache_hits: 12,
+            full_image: 13,
+        };
+        encode_restore_stats(&mut w, &restores);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(decode_harness_stats(&mut r).unwrap(), harness);
+        assert_eq!(decode_restore_stats(&mut r).unwrap(), restores);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn campaign_config_roundtrips_without_sabotage() {
+        let mut config = CampaignConfig {
+            trials: 12_345,
+            errors: 7,
+            protection: Protection::DataOnly,
+            target: FaultTarget::MemoryCells,
+            seed: 0xDEAD_BEEF,
+            watchdog_factor: 3,
+            threads: 9,
+            model: ErrorModel::BurstFlip { len: 5 },
+            checkpointing: false,
+            checkpoint_budget_bytes: 1 << 20,
+            checkpoint_stride: 4096,
+            trial_timeout: Duration::from_millis(1500),
+            ..CampaignConfig::default()
+        };
+        config.harness_faults.panic_trials.push((3, 1));
+        let mut w = ByteWriter::new();
+        encode_campaign_config(&mut w, &config);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_campaign_config(&mut r).expect("decodes");
+        r.expect_end().unwrap();
+        // Sabotage must not cross the wire.
+        assert!(back.harness_faults.is_empty());
+        let mut expected = config.clone();
+        expected.harness_faults = HarnessFaultInjection::default();
+        assert_eq!(format!("{back:?}"), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_not_panicked() {
+        let mut r = ByteReader::new(&[9]);
+        assert_eq!(
+            decode_outcome(&mut r),
+            Err(WireError::Malformed("outcome tag"))
+        );
+        let mut r = ByteReader::new(&[0, 0, 0]);
+        assert_eq!(decode_trial_record(&mut r), Err(WireError::Truncated));
+        // Completed + halted outcome, then a bool byte of 2: malformed.
+        let mut w = ByteWriter::new();
+        w.u8(0);
+        encode_outcome(&mut w, &Outcome::Halted);
+        w.u8(2); // invalid bool
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            decode_trial_record(&mut r),
+            Err(WireError::Malformed("bool"))
+        );
+    }
+}

@@ -241,6 +241,27 @@ impl VerdictCounts {
     pub fn detected(&self) -> usize {
         self.detected_crash + self.hang + self.detected_by_check
     }
+
+    /// Adds every bucket of `other` into `self`. Merging is commutative
+    /// and associative with [`VerdictCounts::default`] as identity — the
+    /// correctness oracle of the distributed campaign service, which sums
+    /// per-chunk counts in whatever order workers deliver them (see the
+    /// workspace merge-algebra property suite).
+    pub fn merge(&mut self, other: &VerdictCounts) {
+        self.masked += other.masked;
+        self.tolerable += other.tolerable;
+        self.silent_corruption += other.silent_corruption;
+        self.detected_crash += other.detected_crash;
+        self.hang += other.hang;
+        self.detected_by_check += other.detected_by_check;
+        self.harness_error += other.harness_error;
+    }
+}
+
+impl std::ops::AddAssign<&VerdictCounts> for VerdictCounts {
+    fn add_assign(&mut self, other: &VerdictCounts) {
+        self.merge(other);
+    }
 }
 
 #[cfg(test)]

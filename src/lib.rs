@@ -12,6 +12,9 @@
 //! * [`core`] — **the paper's contribution**: the backward CVar dataflow
 //!   analysis that tags instructions as low-reliability vs. protected.
 //! * [`fault`] — Monte-Carlo single-bit-flip campaigns.
+//! * [`dist`] — the distributed campaign service: a crash-tolerant
+//!   coordinator/worker split of the campaign over lease-based trial
+//!   chunks on localhost TCP.
 //! * [`fidelity`] — the application fidelity measures of Table 1.
 //! * [`workloads`] — the seven benchmark guests with golden references.
 //!
@@ -44,6 +47,7 @@
 
 pub use certa_asm as asm;
 pub use certa_core as core;
+pub use certa_dist as dist;
 pub use certa_fault as fault;
 pub use certa_fidelity as fidelity;
 pub use certa_isa as isa;

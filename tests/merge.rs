@@ -1,0 +1,196 @@
+//! Property tests for the distributed merge algebra.
+//!
+//! A distributed campaign sums per-chunk stat deltas as they arrive,
+//! from whichever worker delivers first — so every aggregate the
+//! coordinator assembles must form a commutative monoid: merging is
+//! associative, commutative, and has the `Default` value as identity.
+//! These properties are exactly what makes the final tables independent
+//! of worker count and chunk arrival order, and this suite pins them for
+//! `VerdictCounts`, `OutcomeCounts`, `HarnessStats`, and `RestoreStats`,
+//! plus the end product: `ToleranceProfile::to_json` must be
+//! byte-identical no matter how the same trials were chunked and
+//! reordered on the way in.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use certa::fault::{
+    FaultTarget, HarnessStats, OutcomeCounts, Protection, RestoreStats, ToleranceProfile,
+};
+use certa::fidelity::verdict::VerdictCounts;
+
+/// Per-bucket cap: big enough to exercise carries across chunks, small
+/// enough that no sum can overflow.
+const CAP: u128 = 1000;
+
+#[derive(Debug, Clone, Copy)]
+struct ArbVerdictCounts;
+
+impl Strategy for ArbVerdictCounts {
+    type Value = VerdictCounts;
+
+    fn generate(&self, rng: &mut TestRng) -> VerdictCounts {
+        VerdictCounts {
+            masked: rng.below(CAP) as usize,
+            tolerable: rng.below(CAP) as usize,
+            silent_corruption: rng.below(CAP) as usize,
+            detected_crash: rng.below(CAP) as usize,
+            hang: rng.below(CAP) as usize,
+            detected_by_check: rng.below(CAP) as usize,
+            harness_error: rng.below(CAP) as usize,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArbOutcomeCounts;
+
+impl Strategy for ArbOutcomeCounts {
+    type Value = OutcomeCounts;
+
+    fn generate(&self, rng: &mut TestRng) -> OutcomeCounts {
+        OutcomeCounts {
+            halted: rng.below(CAP) as usize,
+            crashed: rng.below(CAP) as usize,
+            infinite: rng.below(CAP) as usize,
+            harness_error: rng.below(CAP) as usize,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArbHarnessStats;
+
+impl Strategy for ArbHarnessStats {
+    type Value = HarnessStats;
+
+    fn generate(&self, rng: &mut TestRng) -> HarnessStats {
+        HarnessStats {
+            panics: rng.below(CAP) as u64,
+            timeouts: rng.below(CAP) as u64,
+            retries: rng.below(CAP) as u64,
+            rebuilds: rng.below(CAP) as u64,
+            harness_errors: rng.below(CAP) as u64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArbRestoreStats;
+
+impl Strategy for ArbRestoreStats {
+    type Value = RestoreStats;
+
+    fn generate(&self, rng: &mut TestRng) -> RestoreStats {
+        RestoreStats {
+            dirty_page: rng.below(CAP) as u64,
+            diff_hop: rng.below(CAP) as u64,
+            diff_union_cache_hits: rng.below(CAP) as u64,
+            full_image: rng.below(CAP) as u64,
+        }
+    }
+}
+
+/// Checks the commutative-monoid laws for one merge implementation.
+macro_rules! monoid_laws {
+    ($a:expr, $b:expr, $c:expr, $ty:ty) => {{
+        let (a, b, c) = ($a, $b, $c);
+        // Identity: default ∘ a = a ∘ default = a.
+        let mut left = <$ty>::default();
+        left.merge(&a);
+        let mut right = a;
+        right.merge(&<$ty>::default());
+        prop_assert_eq!(left, a);
+        prop_assert_eq!(right, a);
+        // Commutativity: a ∘ b = b ∘ a.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        // Associativity: (a ∘ b) ∘ c = a ∘ (b ∘ c).
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }};
+}
+
+proptest! {
+    #[test]
+    fn verdict_counts_merge_is_a_commutative_monoid(
+        a in ArbVerdictCounts,
+        b in ArbVerdictCounts,
+        c in ArbVerdictCounts,
+    ) {
+        monoid_laws!(a, b, c, VerdictCounts);
+    }
+
+    #[test]
+    fn outcome_counts_merge_is_a_commutative_monoid(
+        a in ArbOutcomeCounts,
+        b in ArbOutcomeCounts,
+        c in ArbOutcomeCounts,
+    ) {
+        monoid_laws!(a, b, c, OutcomeCounts);
+    }
+
+    #[test]
+    fn harness_stats_merge_is_a_commutative_monoid(
+        a in ArbHarnessStats,
+        b in ArbHarnessStats,
+        c in ArbHarnessStats,
+    ) {
+        monoid_laws!(a, b, c, HarnessStats);
+    }
+
+    #[test]
+    fn restore_stats_merge_is_a_commutative_monoid(
+        a in ArbRestoreStats,
+        b in ArbRestoreStats,
+        c in ArbRestoreStats,
+    ) {
+        monoid_laws!(a, b, c, RestoreStats);
+    }
+
+    /// The end product: for a fixed set of per-chunk verdict counts, the
+    /// serialized tolerance row is byte-identical no matter how many
+    /// workers produced the chunks or in which order they arrived.
+    #[test]
+    fn tolerance_profile_json_is_arrival_order_invariant(
+        chunks in prop::collection::vec(ArbVerdictCounts, 1..12),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let profile_from = |order: &[usize]| {
+            let mut counts = VerdictCounts::default();
+            for &i in order {
+                counts.merge(&chunks[i]);
+            }
+            ToleranceProfile {
+                workload: "susan".to_string(),
+                regime: Protection::ControlOnly,
+                target: FaultTarget::Registers,
+                errors: 2,
+                counts,
+            }
+            .to_json()
+        };
+
+        let canonical: Vec<usize> = (0..chunks.len()).collect();
+        // A deterministic Fisher–Yates shuffle stands in for "whatever
+        // order N racing workers happened to deliver in".
+        let mut shuffled = canonical.clone();
+        let mut rng = SmallRng::seed_from_u64(shuffle_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            shuffled.swap(i, j);
+        }
+
+        prop_assert_eq!(profile_from(&canonical), profile_from(&shuffled));
+    }
+}
