@@ -1,0 +1,278 @@
+//! Guest programs shared by the differential suite, the benches, and the
+//! build-time AOT generator.
+//!
+//! These used to live inside `tests/differential.rs` and the
+//! `campaign_paper` bench; they are hoisted here so a build script can
+//! construct byte-identical instruction streams and precompile them to
+//! native code — if the test built one program and the generator another,
+//! the differential suite would silently stop covering tier 4.
+
+use certa_asm::Asm;
+use certa_isa::{reg, Program};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scratch-buffer size of [`random_program`]'s guarded memory traffic.
+pub const RANDOM_BUF_LEN: u32 = 512;
+
+/// Seeded random-program generator: loops, conditional side exits,
+/// traced-through calls and jumps, guarded memory traffic, occasional
+/// wild accesses — the shapes the superblock builder linearizes and the
+/// AOT codegen compiles. Every branch except the fixed-count loop closers
+/// is forward, so programs terminate (the watchdog backstops wild control
+/// flow anyway).
+///
+/// # Panics
+///
+/// Panics if the generated source fails to assemble (a generator bug,
+/// not a runtime condition).
+#[must_use]
+pub fn random_program(seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut a = Asm::new();
+    let buf = a.data_zero(RANDOM_BUF_LEN as usize);
+
+    a.func("leaf", false);
+    a.muli(reg::V0, reg::A0, 3);
+    a.addi(reg::V0, reg::V0, 7);
+    a.ret();
+    a.endfunc();
+
+    a.func("main", false);
+    a.la(reg::S0, buf);
+    for (k, r) in [reg::T0, reg::T1, reg::T2, reg::T3, reg::V0, reg::A0]
+        .into_iter()
+        .enumerate()
+    {
+        a.li(r, rng.gen_range(-64..64) * (k as i32 + 1));
+    }
+    let outer: i32 = rng.gen_range(3..8);
+    a.li(reg::S1, outer);
+    a.label("outer");
+
+    let temps = [reg::T0, reg::T1, reg::T2, reg::T3, reg::V0, reg::A0];
+    let pick = |rng: &mut SmallRng| temps[rng.gen_range(0..temps.len())];
+    let body_len = rng.gen_range(8..28);
+    let mut label_id = 0usize;
+    // Pending forward labels: (name, ops until placement).
+    let mut pending: Vec<(String, i32)> = Vec::new();
+    for _ in 0..body_len {
+        for p in &mut pending {
+            p.1 -= 1;
+        }
+        while let Some(pos) = pending.iter().position(|p| p.1 <= 0) {
+            let (name, _) = pending.remove(pos);
+            a.label(&name);
+        }
+        match rng.gen_range(0..100) {
+            // Register-register ALU.
+            0..=29 => {
+                let (d, s, t) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+                match rng.gen_range(0..8) {
+                    0 => a.add(d, s, t),
+                    1 => a.sub(d, s, t),
+                    2 => a.and(d, s, t),
+                    3 => a.or(d, s, t),
+                    4 => a.xor(d, s, t),
+                    5 => a.mul(d, s, t),
+                    6 => a.div(d, s, t),
+                    _ => a.sll(d, s, t),
+                }
+            }
+            // Register-immediate ALU / li.
+            30..=49 => {
+                let (d, s) = (pick(&mut rng), pick(&mut rng));
+                let imm = rng.gen_range(-32..32);
+                match rng.gen_range(0..6) {
+                    0 => a.addi(d, s, imm),
+                    1 => a.muli(d, s, imm),
+                    2 => a.andi(d, s, imm & 0xFF),
+                    3 => a.slti(d, s, imm),
+                    4 => a.srai(d, s, rng.gen_range(0..6)),
+                    _ => a.li(d, imm * 5),
+                }
+            }
+            // Guarded memory traffic on the scratch buffer.
+            50..=69 => {
+                let d = pick(&mut rng);
+                let s = pick(&mut rng);
+                match rng.gen_range(0..4) {
+                    0 => {
+                        let off = rng.gen_range(0..(RANDOM_BUF_LEN / 4) as i32) * 4;
+                        a.sw(s, off, reg::S0);
+                    }
+                    1 => {
+                        let off = rng.gen_range(0..(RANDOM_BUF_LEN / 4) as i32) * 4;
+                        a.lw(d, off, reg::S0);
+                    }
+                    2 => {
+                        let off = rng.gen_range(0..RANDOM_BUF_LEN as i32);
+                        a.sb(s, off, reg::S0);
+                    }
+                    _ => {
+                        let off = rng.gen_range(0..RANDOM_BUF_LEN as i32);
+                        a.lbu(d, off, reg::S0);
+                    }
+                }
+            }
+            // Forward conditional side exit (lands mid-trace).
+            70..=84 => {
+                let name = format!("skip{label_id}");
+                label_id += 1;
+                let (s, t) = (pick(&mut rng), pick(&mut rng));
+                match rng.gen_range(0..4) {
+                    0 => a.beq(s, t, &name),
+                    1 => a.bne(s, t, &name),
+                    2 => a.blt(s, t, &name),
+                    _ => a.bgez(s, &name),
+                }
+                pending.push((name, rng.gen_range(1..5)));
+            }
+            // Inner fixed-count loop.
+            85..=90 => {
+                let name = format!("inner{label_id}");
+                label_id += 1;
+                a.li(reg::S2, rng.gen_range(1..4));
+                a.label(&name);
+                let (d, s) = (pick(&mut rng), pick(&mut rng));
+                a.add(d, d, s);
+                a.addi(reg::S2, reg::S2, -1);
+                a.bnez(reg::S2, &name);
+            }
+            // Traced-through call.
+            91..=94 => a.call("leaf"),
+            // Forward unconditional jump (non-sequential trace layout).
+            95..=97 => {
+                let name = format!("fwd{label_id}");
+                label_id += 1;
+                a.j(&name);
+                pick(&mut rng); // keep the stream moving
+                a.nop();
+                a.label(&name);
+            }
+            // Rarely: a wild access that may crash (tiers must agree on
+            // the crash pc/icount too).
+            _ => {
+                let d = pick(&mut rng);
+                a.lw(d, rng.gen_range(-8..8) * 4, pick(&mut rng));
+            }
+        }
+    }
+    for (name, _) in pending {
+        a.label(&name);
+    }
+    a.addi(reg::S1, reg::S1, -1);
+    a.bnez(reg::S1, "outer");
+    a.halt();
+    a.endfunc();
+    a.assemble().expect("random program assembles")
+}
+
+/// Nested counted loops (inner trip varies per outer iteration via a
+/// data dependency), with a traced call inside the loop body — the
+/// unrolled-lap kernel the pause/resume and mid-region snapshot tests
+/// slice at every boundary.
+///
+/// # Panics
+///
+/// Panics if the fixed source fails to assemble.
+#[must_use]
+pub fn nested_loop_program() -> Program {
+    let mut a = Asm::new();
+    let buf = a.data_zero(64);
+    a.func("bump", false);
+    a.addi(reg::V0, reg::V0, 3); // traced-through callee
+    a.ret();
+    a.endfunc();
+    a.func("main", false);
+    a.la(reg::S0, buf);
+    a.li(reg::V0, 0);
+    a.li(reg::T0, 5); // outer counter
+    a.label("outer");
+    a.add(reg::T1, reg::T0, reg::ZERO); // inner trip = outer counter
+    a.label("inner");
+    a.add(reg::V0, reg::V0, reg::T1);
+    a.call("bump"); // call inside the innermost loop body
+    a.sw(reg::V0, 0, reg::S0);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, "inner"); // inner back edge (unrolled)
+    a.addi(reg::T0, reg::T0, -1);
+    a.bnez(reg::T0, "outer"); // outer back edge
+    a.halt();
+    a.endfunc();
+    a.assemble().unwrap()
+}
+
+/// Ring size of the paper-scale campaign kernel (bytes).
+pub const PAPER_RING: usize = 4096;
+/// Loop iterations of the paper-scale campaign kernel (~12 instructions
+/// each puts the golden run near 1.6M).
+pub const PAPER_ITERS: i32 = 1 << 17;
+
+/// The ring-threshold kernel of the `campaign_paper` bench:
+/// `out[i % ring] = ((in[i % ring] * 3 + 7) & 0xff) < 128`, over `iters`
+/// iterations. Returns `(program, input_addr, output_addr)`.
+///
+/// # Panics
+///
+/// Panics if the fixed source fails to assemble.
+#[must_use]
+pub fn ring_threshold_program(ring: usize, iters: i32) -> (Program, u32, u32) {
+    assert!(ring.is_power_of_two(), "ring size must be a power of two");
+    let mut a = Asm::new();
+    let input_addr = a.data_zero(ring);
+    let output_addr = a.data_zero(ring);
+    a.func("threshold", true);
+    a.la(reg::T0, input_addr);
+    a.la(reg::T4, output_addr);
+    a.li(reg::T1, 0);
+    a.label("loop");
+    a.andi(reg::T5, reg::T1, (ring - 1) as i32);
+    a.add(reg::T3, reg::T0, reg::T5);
+    a.lbu(reg::T3, 0, reg::T3);
+    a.muli(reg::T3, reg::T3, 3);
+    a.addi(reg::T3, reg::T3, 7);
+    a.andi(reg::T3, reg::T3, 255);
+    a.slti(reg::T3, reg::T3, 128);
+    a.add(reg::T6, reg::T4, reg::T5);
+    a.sb(reg::T3, 0, reg::T6);
+    a.addi(reg::T1, reg::T1, 1);
+    a.slti(reg::T6, reg::T1, iters);
+    a.bnez(reg::T6, "loop");
+    a.ret();
+    a.endfunc();
+    a.func("main", false);
+    a.call("threshold");
+    a.halt();
+    a.endfunc();
+    (a.assemble().unwrap(), input_addr, output_addr)
+}
+
+/// Seeds of [`random_program`] the bench build script precompiles (the
+/// AOT differential tests iterate exactly these).
+pub const AOT_RANDOM_SEEDS: std::ops::Range<u64> = 0..12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_programs_are_deterministic_per_seed() {
+        for seed in [0u64, 3, 11] {
+            assert_eq!(
+                random_program(seed).code,
+                random_program(seed).code,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_programs_assemble() {
+        let p = nested_loop_program();
+        assert!(!p.code.is_empty());
+        let (ring, input, output) = ring_threshold_program(64, 8);
+        assert!(!ring.code.is_empty());
+        assert_ne!(input, output);
+    }
+}

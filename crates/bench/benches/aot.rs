@@ -1,0 +1,207 @@
+//! Criterion bench: tier-4 AOT native golden-run throughput per workload
+//! against the reference tree-walker and the superblock dispatch — all
+//! unprofiled and hook-free (the golden-run configuration fault campaigns
+//! accelerate with native code).
+//!
+//! Before any timing, every workload's AOT run is checked for parity with
+//! the reference interpreter (outcome, dynamic instruction count,
+//! value-producing count, extracted output) — a bench must never publish
+//! a speedup for code that diverges. Prints MIPS per workload plus the
+//! fraction of dynamic instructions retired inside native regions, and
+//! emits `BENCH_aot.json` with the headline `geomean_aot_vs_reference`
+//! (acceptance target ≥ 2.8×) for the `bench_trajectory` CI gate.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use certa_bench::{aot_workloads, geomean, time_tiers, write_bench_json};
+use certa_sim::{AotProgram, Machine, MachineConfig, NoHook, Outcome, RunResult};
+use certa_workloads::{all_workloads, Workload};
+
+/// Which execution path a sample times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// Tree-walking `Instr` interpreter.
+    Reference,
+    /// Superblock trace dispatch (the fastest interpreter tier).
+    Superblock,
+    /// AOT native regions with interpreter fallback.
+    Aot,
+}
+
+impl Tier {
+    const ALL: [Tier; 3] = [Tier::Reference, Tier::Superblock, Tier::Aot];
+}
+
+fn machine_config(w: &dyn Workload) -> MachineConfig {
+    MachineConfig {
+        mem_size: w.mem_size(),
+        ..MachineConfig::default()
+    }
+}
+
+/// One timed sample: `reps` back-to-back golden runs with construction
+/// and input staging excluded. Returns the run result and, for the AOT
+/// tier, the native-retired instruction count of the last rep.
+fn time_golden_reps(
+    w: &dyn Workload,
+    aot: &'static AotProgram,
+    tier: Tier,
+    reps: usize,
+) -> (Duration, RunResult, u64) {
+    let config = machine_config(w);
+    let mut total = Duration::ZERO;
+    let mut result = None;
+    let mut native = 0;
+    for _ in 0..reps {
+        let mut m = Machine::new(w.program(), &config);
+        w.prepare(&mut m);
+        let start = Instant::now();
+        let r = match tier {
+            Tier::Reference => m.run_reference(&mut NoHook),
+            Tier::Superblock => m.run_simple(),
+            Tier::Aot => m.run_aot(&mut NoHook, aot),
+        };
+        total += start.elapsed();
+        assert_eq!(r.outcome, Outcome::Halted, "{} golden run", w.name());
+        native = m.aot_instructions();
+        result = Some(r);
+    }
+    (total, result.expect("at least one rep"), native)
+}
+
+/// Asserts the AOT golden run is observationally identical to the
+/// reference interpreter for this workload.
+fn assert_parity(w: &dyn Workload, aot: &'static AotProgram) {
+    let config = machine_config(w);
+    let mut mr = Machine::new(w.program(), &config);
+    w.prepare(&mut mr);
+    let rr = mr.run_reference(&mut NoHook);
+    let mut ma = Machine::new(w.program(), &config);
+    w.prepare(&mut ma);
+    let ra = ma.run_aot(&mut NoHook, aot);
+    assert_eq!(rr, ra, "{}: AOT run result diverges", w.name());
+    assert_eq!(
+        w.extract(&mr),
+        w.extract(&ma),
+        "{}: AOT output diverges",
+        w.name()
+    );
+}
+
+fn bench_aot_throughput(c: &mut Criterion) {
+    let workloads = all_workloads();
+    let aots: Vec<&'static AotProgram> = workloads
+        .iter()
+        .map(|w| aot_workloads::lookup(w.name()).expect("workload is precompiled"))
+        .collect();
+
+    // Parity first, then a warmup sweep so clock governors settle.
+    for (w, aot) in workloads.iter().zip(&aots) {
+        assert_parity(&**w, aot);
+        for tier in Tier::ALL {
+            let _ = time_golden_reps(&**w, aot, tier, 1);
+        }
+    }
+
+    let mut rows = String::new();
+    let mut aot_vs_ref = Vec::new();
+    let mut aot_vs_sb = Vec::new();
+    println!(
+        "{:<10} {:>14} {:>10} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "workload", "instructions", "ref MIPS", "sb MIPS", "aot MIPS", "aot/ref", "aot/sb", "native %"
+    );
+    for (w, aot) in workloads.iter().zip(&aots) {
+        // Size reps so each sample spans ≥ ~20M simulated instructions.
+        let (_, probe, native) = time_golden_reps(&**w, aot, Tier::Aot, 1);
+        let reps = (20_000_000 / probe.instructions.max(1)).clamp(1, 2_000) as usize;
+        let spi_of = |tier: Tier| {
+            let (t, r, _) = time_golden_reps(&**w, aot, tier, reps);
+            t.as_secs_f64() / (r.instructions * reps as u64) as f64
+        };
+        let timing = time_tiers(
+            5,
+            &mut [
+                &mut || spi_of(Tier::Reference),
+                &mut || spi_of(Tier::Superblock),
+                &mut || spi_of(Tier::Aot),
+            ],
+        );
+        let to_mips = |spi: f64| 1.0 / spi / 1e6;
+        let (ref_mips, sb_mips, aot_mips) = (
+            to_mips(timing.best[0]),
+            to_mips(timing.best[1]),
+            to_mips(timing.best[2]),
+        );
+        let (w_ref, w_sb) = (timing.median_ratio(0, 2), timing.median_ratio(1, 2));
+        let coverage = native as f64 / probe.instructions.max(1) as f64;
+        aot_vs_ref.push(w_ref);
+        aot_vs_sb.push(w_sb);
+        println!(
+            "{:<10} {:>14} {:>10.1} {:>9.1} {:>9.1} {:>7.2}x {:>7.2}x {:>8.1}%",
+            w.name(),
+            probe.instructions,
+            ref_mips,
+            sb_mips,
+            aot_mips,
+            w_ref,
+            w_sb,
+            coverage * 100.0,
+        );
+        let _ = write!(
+            rows,
+            "{}{{\"name\":\"{}\",\"instructions\":{},\"reference_mips\":{:.3},\
+             \"superblock_mips\":{:.3},\"aot_mips\":{:.3},\"speedup\":{:.3},\
+             \"speedup_vs_superblock\":{:.3},\"aot_coverage\":{:.4}}}",
+            if rows.is_empty() { "" } else { "," },
+            w.name(),
+            probe.instructions,
+            ref_mips,
+            sb_mips,
+            aot_mips,
+            w_ref,
+            w_sb,
+            coverage,
+        );
+    }
+    let geo_ref = geomean(&aot_vs_ref);
+    let geo_sb = geomean(&aot_vs_sb);
+    println!(
+        "aot geomeans: aot/reference {geo_ref:.2}x (target ≥ 2.8x), \
+         aot/superblock {geo_sb:.2}x"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"aot\",\"geomean_aot_vs_reference\":{geo_ref:.3},\
+         \"geomean_aot_vs_superblock\":{geo_sb:.3},\"workloads\":[{rows}]}}\n"
+    );
+    match write_bench_json("aot", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_aot.json: {e}"),
+    }
+
+    // Criterion entries: the AOT tier on every workload, throughput-
+    // annotated (the interpreter tiers are covered by the dispatch bench).
+    let mut group = c.benchmark_group("aot_throughput");
+    group.sample_size(5);
+    for (w, aot) in workloads.iter().zip(&aots) {
+        let config = machine_config(&**w);
+        let mut probe = Machine::new(w.program(), &config);
+        w.prepare(&mut probe);
+        let instructions = probe.run_aot(&mut NoHook, aot).instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_function(BenchmarkId::new("aot", w.name()), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(w.program(), &config);
+                w.prepare(&mut m);
+                std::hint::black_box(m.run_aot(&mut NoHook, aot))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aot_throughput);
+criterion_main!(benches);

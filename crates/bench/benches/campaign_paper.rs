@@ -18,25 +18,27 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use certa_asm::Asm;
+use certa_aot::progs::{ring_threshold_program, PAPER_ITERS, PAPER_RING};
 use certa_core::analyze;
-use certa_fault::{run_campaign, CampaignConfig, Protection, Target};
-use certa_isa::{reg, Program};
-use certa_sim::Machine;
+use certa_fault::{
+    run_campaign, run_campaign_with_aot, CampaignConfig, CampaignSession, Protection, Target,
+};
+use certa_isa::Program;
+use certa_sim::{AotProgram, Machine};
 
-/// Ring buffer size (bytes); each slot is rewritten every `RING`
-/// iterations, which lets corrupted outputs heal and trials reconverge
-/// with the golden run — the behavior checkpointing exploits.
-const RING: usize = 4096;
-/// Loop iterations; ~12 instructions each puts the golden run near 1.6M —
-/// long enough that from-scratch re-execution dominates the off-mode
-/// campaign, short enough that 1024 off-mode trials stay benchable.
-const ITERS: i32 = 1 << 17;
 /// Default trial count (Table-2 scale).
 const DEFAULT_TRIALS: usize = 1024;
 
 /// Same ring-threshold kernel as the `campaign` bench, scaled down:
-/// `out[i % RING] = ((in[i % RING] * 3 + 7) & 0xff) < 128`.
+/// `out[i % RING] = ((in[i % RING] * 3 + 7) & 0xff) < 128`, built by
+/// [`certa_aot::progs::ring_threshold_program`] — the same source
+/// `build.rs` compiles into the tier-4 `ring-threshold-paper` native
+/// region. Each slot is rewritten every [`PAPER_RING`] iterations, which
+/// lets corrupted outputs heal and trials reconverge with the golden run
+/// (the behavior checkpointing exploits), and [`PAPER_ITERS`] ~12-
+/// instruction iterations put the golden run near 1.6M — long enough
+/// that from-scratch re-execution dominates the off-mode campaign, short
+/// enough that 1024 off-mode trials stay benchable.
 struct RingThresholdTarget {
     program: Program,
     input_addr: u32,
@@ -45,37 +47,26 @@ struct RingThresholdTarget {
 
 impl RingThresholdTarget {
     fn new() -> Self {
-        let mut a = Asm::new();
-        let input_addr = a.data_zero(RING);
-        let output_addr = a.data_zero(RING);
-        a.func("threshold", true);
-        a.la(reg::T0, input_addr);
-        a.la(reg::T4, output_addr);
-        a.li(reg::T1, 0);
-        a.label("loop");
-        a.andi(reg::T5, reg::T1, (RING - 1) as i32);
-        a.add(reg::T3, reg::T0, reg::T5);
-        a.lbu(reg::T3, 0, reg::T3);
-        a.muli(reg::T3, reg::T3, 3);
-        a.addi(reg::T3, reg::T3, 7);
-        a.andi(reg::T3, reg::T3, 255);
-        a.slti(reg::T3, reg::T3, 128);
-        a.add(reg::T6, reg::T4, reg::T5);
-        a.sb(reg::T3, 0, reg::T6);
-        a.addi(reg::T1, reg::T1, 1);
-        a.slti(reg::T6, reg::T1, ITERS);
-        a.bnez(reg::T6, "loop");
-        a.ret();
-        a.endfunc();
-        a.func("main", false);
-        a.call("threshold");
-        a.halt();
-        a.endfunc();
+        let (program, input_addr, output_addr) = ring_threshold_program(PAPER_RING, PAPER_ITERS);
         RingThresholdTarget {
-            program: a.assemble().unwrap(),
+            program,
             input_addr,
             output_addr,
         }
+    }
+}
+
+/// The precompiled tier-4 region for the paper kernel when this bench is
+/// built with the `aot` feature; `None` otherwise (campaign golden runs
+/// then execute on the interpreter, exactly as before tier 4 existed).
+fn paper_aot() -> Option<&'static AotProgram> {
+    #[cfg(feature = "aot")]
+    {
+        certa_bench::aot_workloads::lookup("ring-threshold-paper")
+    }
+    #[cfg(not(feature = "aot"))]
+    {
+        None
     }
 }
 
@@ -85,12 +76,12 @@ impl Target for RingThresholdTarget {
     }
 
     fn prepare(&self, machine: &mut Machine<'_>) {
-        let input: Vec<u8> = (0..RING).map(|i| (i * 151 + 43) as u8).collect();
+        let input: Vec<u8> = (0..PAPER_RING).map(|i| (i * 151 + 43) as u8).collect();
         machine.write_bytes(self.input_addr, &input).unwrap();
     }
 
     fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
-        machine.read_bytes(self.output_addr, RING as u32).ok()
+        machine.read_bytes(self.output_addr, PAPER_RING as u32).ok()
     }
 }
 
@@ -124,11 +115,22 @@ fn bench_campaign_paper(c: &mut Criterion) {
     let target = RingThresholdTarget::new();
     let tags = analyze(target.program());
     let trials = trial_count();
-    println!("paper-scale campaign: {trials} trials (CERTA_PAPER_TRIALS overrides)");
+    let aot = paper_aot();
+    println!(
+        "paper-scale campaign: {trials} trials (CERTA_PAPER_TRIALS overrides), golden runs {}",
+        if aot.is_some() {
+            "native (tier 4)"
+        } else {
+            "interpreted (build with --features aot for tier 4)"
+        }
+    );
 
     // Warmup + determinism spot-check on a small prefix of the trial
     // space: the full determinism contract is covered by the workspace
-    // property suite; here we only want warm caches and a sanity check.
+    // property suite; here we only want warm caches and a sanity check —
+    // and, with the aot feature on, a live cross-tier check (the fast
+    // campaign's golden run is native, the slow one's interpreted; their
+    // trial records must still match bit for bit).
     let warm_cfg = CampaignConfig {
         trials: trials.min(64),
         ..campaign_config(true)
@@ -137,18 +139,46 @@ fn bench_campaign_paper(c: &mut Criterion) {
         checkpointing: false,
         ..warm_cfg.clone()
     };
-    let fast = run_campaign(&target, &tags, &warm_cfg);
+    let fast = run_campaign_with_aot(&target, &tags, &warm_cfg, aot);
     let slow = run_campaign(&target, &tags, &warm_scratch_cfg);
     for (i, (a, b)) in fast.trials.iter().zip(&slow.trials).enumerate() {
         assert_eq!(a, b, "trial {i} record must match");
     }
 
+    // Golden-phase margin, measured on its own: session construction is
+    // the golden run plus checkpoint capture and plan sampling, so the
+    // interpreted-vs-native build-time ratio is the honest measure of
+    // what tier 4 buys the campaign's serial prefix (with the feature
+    // off, both builds are interpreted and the ratio reads ~1).
+    let start = Instant::now();
+    std::hint::black_box(CampaignSession::new(&target, &tags, &campaign_config(true)));
+    let session_interpreted = start.elapsed();
+    let start = Instant::now();
+    std::hint::black_box(CampaignSession::new_with_aot(
+        &target,
+        &tags,
+        &campaign_config(true),
+        aot,
+    ));
+    let session_native = start.elapsed();
+    let golden_speedup = session_interpreted.as_secs_f64() / session_native.as_secs_f64().max(1e-9);
+
     // Headline: one timed campaign per mode at full scale.
     let start = Instant::now();
-    let timed = std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true)));
+    let timed = std::hint::black_box(run_campaign_with_aot(
+        &target,
+        &tags,
+        &campaign_config(true),
+        aot,
+    ));
     let with_checkpoints = start.elapsed();
     let start = Instant::now();
-    std::hint::black_box(run_campaign(&target, &tags, &campaign_config(false)));
+    std::hint::black_box(run_campaign_with_aot(
+        &target,
+        &tags,
+        &campaign_config(false),
+        aot,
+    ));
     let from_scratch = start.elapsed();
     let speedup = from_scratch.as_secs_f64() / with_checkpoints.as_secs_f64();
 
@@ -168,6 +198,13 @@ fn bench_campaign_paper(c: &mut Criterion) {
         golden_instructions
     );
     println!(
+        "paper campaign golden phase (session build): interpreted {:.3} s, {} {:.3} s → {:.2}x",
+        session_interpreted.as_secs_f64(),
+        if aot.is_some() { "native" } else { "interpreted (aot off)" },
+        session_native.as_secs_f64(),
+        golden_speedup
+    );
+    println!(
         "paper campaign restores: {} dirty-page, {} diff-hop ({} hop-union cache hits), \
          {} full-image",
         rs.dirty_page, rs.diff_hop, rs.diff_union_cache_hits, rs.full_image
@@ -183,7 +220,9 @@ fn bench_campaign_paper(c: &mut Criterion) {
          \"checkpointing_on_secs\":{:.6},\"checkpointing_off_secs\":{:.6},\
          \"speedup\":{:.3},\"trials_per_second\":{:.3},\"checkpoint_capture_bytes\":{},\
          \"restores_dirty_page\":{},\"restores_diff_hop\":{},\
-         \"restores_diff_union_cache_hits\":{},\"restores_full_image\":{}}}\n",
+         \"restores_diff_union_cache_hits\":{},\"restores_full_image\":{},\
+         \"aot_golden\":{},\"session_build_secs_interpreted\":{:.6},\
+         \"session_build_secs_native\":{:.6},\"golden_session_speedup\":{:.3}}}\n",
         golden_instructions,
         trials,
         with_checkpoints.as_secs_f64(),
@@ -194,7 +233,11 @@ fn bench_campaign_paper(c: &mut Criterion) {
         rs.dirty_page,
         rs.diff_hop,
         rs.diff_union_cache_hits,
-        rs.full_image
+        rs.full_image,
+        aot.is_some(),
+        session_interpreted.as_secs_f64(),
+        session_native.as_secs_f64(),
+        golden_speedup
     );
     match certa_bench::write_bench_json("campaign_paper", &json) {
         Ok(path) => println!("wrote {}", path.display()),
@@ -207,7 +250,14 @@ fn bench_campaign_paper(c: &mut Criterion) {
     group.sample_size(2);
     group.throughput(Throughput::Elements(trials as u64));
     group.bench_function("checkpointing_on", |b| {
-        b.iter(|| std::hint::black_box(run_campaign(&target, &tags, &campaign_config(true))));
+        b.iter(|| {
+            std::hint::black_box(run_campaign_with_aot(
+                &target,
+                &tags,
+                &campaign_config(true),
+                aot,
+            ))
+        });
     });
     group.finish();
 }

@@ -1,9 +1,11 @@
 //! Superblock policy tuning harness: prints per-workload trace statistics,
-//! dynamic trace coverage, and carefully timed MIPS for the three
-//! execution tiers (reference tree-walker, fused dispatch, superblock
-//! traces), using the same clock-drift-resistant measurement harness as
-//! the `dispatch` bench ([`certa_bench::time_tiers`]: rep-accumulated
-//! samples, median of within-round tier ratios).
+//! dynamic trace coverage, the tier-4 AOT-region coverage fraction (when
+//! built with `--features aot`; `-` otherwise), and carefully timed MIPS
+//! for the three interpreter tiers (reference tree-walker, fused
+//! dispatch, superblock traces), using the same clock-drift-resistant
+//! measurement harness as the `dispatch` bench
+//! ([`certa_bench::time_tiers`]: rep-accumulated samples, median of
+//! within-round tier ratios).
 //!
 //! ```text
 //! cargo run --release -p certa-bench --example sbtune -- [min_len] [max_len] [rounds]
@@ -43,6 +45,30 @@ fn time_runs(
     (total, instructions * reps as u64)
 }
 
+/// Percentage of a golden run's dynamic instructions retired inside
+/// tier-4 native regions — measured live when this example is built with
+/// the `aot` feature, `None` otherwise (and for any program `build.rs`
+/// did not precompile).
+fn aot_coverage(w: &dyn Workload) -> Option<f64> {
+    #[cfg(feature = "aot")]
+    {
+        let aot = certa_bench::aot_workloads::lookup(w.name())?;
+        let config = MachineConfig {
+            mem_size: w.mem_size(),
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(w.program(), &config);
+        w.prepare(&mut m);
+        let r = m.run_aot(&mut NoHook, aot);
+        Some(m.aot_instructions() as f64 / r.instructions.max(1) as f64 * 100.0)
+    }
+    #[cfg(not(feature = "aot"))]
+    {
+        let _ = w;
+        None
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let min_len: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -79,9 +105,9 @@ fn main() {
     }
 
     println!(
-        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
-        "workload", "sbs", "elems", "avg", "spec", "cov", "ref MIPS", "fus MIPS", "sb MIPS",
-        "sb/fused"
+        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "workload", "sbs", "elems", "avg", "spec", "cov", "aot cov", "ref MIPS", "fus MIPS",
+        "sb MIPS", "sb/fused"
     );
     let mut ratios = Vec::new();
     for w in all_workloads() {
@@ -119,14 +145,17 @@ fn main() {
         let count = sb.superblock_count();
         let elems = sb.superblock_ops();
         ratios.push(med_ratio);
+        let aot_cov = aot_coverage(&*w)
+            .map_or_else(|| "-".to_string(), |c| format!("{c:.1}%"));
         println!(
-            "{:<10} {:>5} {:>7} {:>7.1} {:>5.1}% {:>5.1}% {:>10.1} {:>10.1} {:>10.1} {:>8.2}x",
+            "{:<10} {:>5} {:>7} {:>7.1} {:>5.1}% {:>5.1}% {:>8} {:>10.1} {:>10.1} {:>10.1} {:>8.2}x",
             w.name(),
             count,
             elems,
             elems as f64 / count.max(1) as f64,
             sb.superblock_specialized() as f64 / elems.max(1) as f64 * 100.0,
             cov,
+            aot_cov,
             mips(timing.best[0]),
             mips(timing.best[1]),
             mips(timing.best[2]),

@@ -34,6 +34,7 @@ const TRACKED: &[(&str, &str)] = &[
     ("dispatch", "geomean_superblock_vs_fused"),
     ("campaign", "speedup"),
     ("campaign_paper", "speedup"),
+    ("aot", "geomean_aot_vs_reference"),
 ];
 
 /// Per-workload dispatch ratios gated at [`WORKLOAD_THRESHOLD`]: the

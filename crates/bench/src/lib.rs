@@ -17,6 +17,24 @@
 //! | Figure 6 (ART) | [`figure`] with [`FigureSpec::art`] | `repro_fig6` | `experiments` |
 //! | Address-protection ablation | [`ablation`] | `repro_ablation` | `ablation` |
 
+/// Tier-4 native code for every shared guest program, generated at build
+/// time by `build.rs` via `certa-aot` (feature `aot` only). Exposes one
+/// `AOT_*` static per program plus `lookup(name)` and `ALL`; the parity
+/// tests and the `aot`/`campaign_paper` benches consume it.
+#[cfg(feature = "aot")]
+#[allow(
+    unused_variables,
+    unused_mut,
+    unused_assignments,
+    unused_parens,
+    clippy::all,
+    clippy::pedantic,
+    clippy::nursery
+)]
+pub mod aot_workloads {
+    include!(concat!(env!("OUT_DIR"), "/aot_workloads.rs"));
+}
+
 use std::fmt::Write as _;
 
 use certa_core::{analyze, analyze_with, AnalysisOptions, TagMap};

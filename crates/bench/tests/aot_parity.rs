@@ -1,0 +1,406 @@
+//! Tier-4 differential suite: the AOT native tier must be observationally
+//! identical to the reference tree-walker, the fused dispatch, and the
+//! superblock dispatch — outcome, dynamic instruction counts,
+//! value-producing counts, per-instruction `exec_counts`, register files,
+//! memory, and extracted outputs — for every paper workload, for the
+//! seeded random programs precompiled by `build.rs`, and across
+//! pause/resume and snapshot/restore landing at *every* instruction
+//! boundary of a nested-loop lap (satellite: mid-superblock and
+//! mid-AOT-region capture).
+#![cfg(feature = "aot")]
+
+use std::sync::Arc;
+
+use certa_aot::progs::{nested_loop_program, AOT_RANDOM_SEEDS, RANDOM_BUF_LEN};
+use certa_bench::aot_workloads;
+use certa_isa::{Program, Reg};
+use certa_sim::{
+    AotProgram, BoundedRun, DecodedProgram, Machine, MachineConfig, NoHook, Outcome, RunResult,
+    SuperblockPolicy, WritebackHook, DATA_BASE,
+};
+use certa_workloads::all_workloads;
+
+/// Watchdog for the random programs (they always halt far below this;
+/// tampered or truncated runs are caught instead of spinning).
+const WATCHDOG: u64 = 1 << 20;
+
+/// The four execution tiers under differential comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Reference,
+    Fused,
+    Superblock,
+    Aot,
+}
+
+const ALL_TIERS: [Tier; 4] = [Tier::Reference, Tier::Fused, Tier::Superblock, Tier::Aot];
+
+fn config(mem_size: u32) -> MachineConfig {
+    MachineConfig {
+        mem_size,
+        max_instructions: WATCHDOG,
+        profile: true,
+    }
+}
+
+/// Everything the campaign (and the fault injector) can observe of a run.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    result: RunResult,
+    regs: Vec<u32>,
+    fregs: Vec<u64>,
+    exec_counts: Vec<u64>,
+    mem: Vec<u8>,
+}
+
+fn fingerprint(m: &Machine<'_>, result: RunResult, mem_probe: u32) -> Fingerprint {
+    Fingerprint {
+        result,
+        regs: (0..32).map(|i| m.reg(Reg::new(i))).collect(),
+        fregs: (0..32)
+            .map(|i| m.freg(certa_isa::FReg::new(i)).to_bits())
+            .collect(),
+        exec_counts: m.exec_counts().to_vec(),
+        mem: m.read_bytes(DATA_BASE, mem_probe).unwrap_or_default(),
+    }
+}
+
+fn run_tier(
+    p: &Program,
+    aot: &AotProgram,
+    tier: Tier,
+    cfg: &MachineConfig,
+    mem_probe: u32,
+) -> (Fingerprint, u64) {
+    let decoded = match tier {
+        Tier::Fused => Arc::new(DecodedProgram::with_policy(p, &SuperblockPolicy::disabled())),
+        _ => Arc::new(DecodedProgram::new(p)),
+    };
+    let mut m = Machine::try_new_with_decoded(p, &decoded, cfg).expect("valid config");
+    let result = match tier {
+        Tier::Reference => m.run_reference(&mut NoHook),
+        Tier::Fused | Tier::Superblock => m.run_simple(),
+        Tier::Aot => m.run_aot(&mut NoHook, aot),
+    };
+    let native = m.aot_instructions();
+    (fingerprint(&m, result, mem_probe), native)
+}
+
+/// All seven paper workloads: the AOT golden run must match every
+/// interpreter tier on every observable, including extracted output.
+#[test]
+fn workload_golden_runs_agree_across_all_four_tiers() {
+    for w in all_workloads() {
+        let aot = aot_workloads::lookup(w.name()).expect("workload is precompiled");
+        let cfg = MachineConfig {
+            mem_size: w.mem_size(),
+            profile: true,
+            ..MachineConfig::default()
+        };
+        let mut reference = None;
+        for tier in ALL_TIERS {
+            let decoded = match tier {
+                Tier::Fused => Arc::new(DecodedProgram::with_policy(
+                    w.program(),
+                    &SuperblockPolicy::disabled(),
+                )),
+                _ => Arc::new(DecodedProgram::new(w.program())),
+            };
+            let mut m =
+                Machine::try_new_with_decoded(w.program(), &decoded, &cfg).expect("valid config");
+            w.prepare(&mut m);
+            let result = match tier {
+                Tier::Reference => m.run_reference(&mut NoHook),
+                Tier::Fused | Tier::Superblock => m.run_simple(),
+                Tier::Aot => m.run_aot(&mut NoHook, aot),
+            };
+            assert_eq!(result.outcome, Outcome::Halted, "{} {tier:?}", w.name());
+            let fp = (result.clone(), m.exec_counts().to_vec(), w.extract(&m));
+            if tier == Tier::Aot {
+                // The native tier must actually carry the bulk of the run.
+                let native = m.aot_instructions();
+                assert!(
+                    native * 2 > fp.0.instructions,
+                    "{}: only {native} of {} instructions ran natively",
+                    w.name(),
+                    result.instructions
+                );
+            }
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(r, &fp, "{} {tier:?} diverged", w.name()),
+            }
+        }
+    }
+}
+
+/// The precompiled random programs (same seeds as `build.rs`): all four
+/// tiers agree on every observable — including crash pcs/icounts for the
+/// seeds whose wild accesses fault — and under a halved watchdog the
+/// native tier reports the identical `InfiniteRun` boundary.
+#[test]
+fn random_programs_agree_across_all_four_tiers() {
+    let mut halted = 0u32;
+    let mut crashed = 0u32;
+    let mut native_total = 0u64;
+    for seed in AOT_RANDOM_SEEDS {
+        let p = certa_aot::progs::random_program(seed);
+        let aot = aot_workloads::lookup(&format!("random_{seed}")).expect("seed is precompiled");
+        let cfg = config(1 << 20);
+        let (expected, _) = run_tier(&p, aot, Tier::Reference, &cfg, RANDOM_BUF_LEN);
+        for tier in [Tier::Fused, Tier::Superblock, Tier::Aot] {
+            let (got, native) = run_tier(&p, aot, tier, &cfg, RANDOM_BUF_LEN);
+            assert_eq!(expected, got, "seed {seed} {tier:?} diverged");
+            if tier == Tier::Aot {
+                native_total += native;
+            }
+        }
+        match expected.result.outcome {
+            Outcome::Halted => halted += 1,
+            Outcome::Crashed(_) => crashed += 1,
+            Outcome::InfiniteRun => {}
+        }
+        // A tight watchdog must cut the native run at the identical point.
+        let short = MachineConfig {
+            max_instructions: (expected.result.instructions / 2).max(1),
+            ..cfg
+        };
+        let (expected_short, _) = run_tier(&p, aot, Tier::Reference, &short, RANDOM_BUF_LEN);
+        let (got_short, _) = run_tier(&p, aot, Tier::Aot, &short, RANDOM_BUF_LEN);
+        assert_eq!(expected_short, got_short, "seed {seed} watchdog diverged");
+    }
+    assert!(halted >= 5, "random corpus lost its halting majority");
+    assert!(crashed >= 1, "random corpus no longer covers crash parity");
+    assert!(native_total > 1_000, "native tier barely executed");
+}
+
+/// A hook that must observe every writeback (here: counting them) forces
+/// [`Machine::run_aot`] off the native path entirely — the run equals the
+/// interpreter tiers bit-for-bit and retires zero native instructions.
+#[test]
+fn hooked_runs_fall_back_to_the_interpreter() {
+    #[derive(Default)]
+    struct Counter {
+        ints: u64,
+        floats: u64,
+    }
+    impl WritebackHook for Counter {
+        fn int_writeback(&mut self, _i: usize, v: u32) -> u32 {
+            self.ints += 1;
+            v
+        }
+        fn float_writeback(&mut self, _i: usize, v: f64) -> f64 {
+            self.floats += 1;
+            v
+        }
+    }
+
+    let p = nested_loop_program();
+    let aot = aot_workloads::lookup("nested-loop").expect("precompiled");
+    let cfg = config(1 << 20);
+
+    let decoded = Arc::new(DecodedProgram::new(&p));
+    let mut mi = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+    let mut hi = Counter::default();
+    let ri = mi.run(&mut hi);
+
+    let mut ma = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+    let mut ha = Counter::default();
+    let ra = ma.run_aot(&mut ha, aot);
+
+    assert_eq!(ri, ra);
+    assert_eq!((hi.ints, hi.floats), (ha.ints, ha.floats));
+    assert_eq!(ha.ints, ra.value_producing, "hook saw every writeback");
+    assert_eq!(ma.aot_instructions(), 0, "hooked run must not go native");
+    assert_eq!(
+        fingerprint(&mi, ri, 64),
+        fingerprint(&ma, ra, 64),
+        "hooked fallback diverged"
+    );
+}
+
+/// Satellite: mid-superblock / mid-AOT-region capture. Pause the native
+/// run at *every* instruction boundary of the nested-loop kernel (pauses
+/// land inside unrolled laps and inside compiled regions), snapshot at
+/// the boundary, and prove that (a) the pause is exact, (b) resuming
+/// natively finishes bit-identically, and (c) a fresh machine restored
+/// from the snapshot finishes bit-identically on every other tier.
+#[test]
+fn every_pause_point_snapshots_and_resumes_bit_identically_across_tiers() {
+    let p = nested_loop_program();
+    let aot = aot_workloads::lookup("nested-loop").expect("precompiled");
+    let cfg = config(1 << 20);
+    let decoded = Arc::new(DecodedProgram::new(&p));
+    let fused = Arc::new(DecodedProgram::with_policy(&p, &SuperblockPolicy::disabled()));
+
+    let mut straight = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+    let expected_result = straight.run_reference(&mut NoHook);
+    assert_eq!(expected_result.outcome, Outcome::Halted);
+    let expected = fingerprint(&straight, expected_result, 64);
+
+    for pause in 1..expected.result.instructions {
+        // (a) native run pauses exactly at the boundary...
+        let mut m = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+        match m.run_until_aot(&mut NoHook, aot, pause) {
+            BoundedRun::Paused => assert_eq!(m.instructions(), pause, "pause point {pause}"),
+            BoundedRun::Finished(r) => panic!("finished early at {pause}: {r:?}"),
+        }
+        let snap = m.snapshot();
+
+        // (b) ...and resuming natively completes bit-identically.
+        let r = m.run_aot(&mut NoHook, aot);
+        assert_eq!(fingerprint(&m, r, 64), expected, "native resume at {pause}");
+
+        // (c) a machine restored from the mid-region snapshot agrees on
+        // every tier (resume pcs here are mid-block for most boundaries).
+        // Snapshots deliberately exclude `exec_counts`, so restored runs
+        // are compared against a restored *reference* baseline — which
+        // must itself match the straight run on everything but the
+        // profile of the pre-pause prefix.
+        let mut baseline = None;
+        for tier in ALL_TIERS {
+            let dec = if tier == Tier::Fused { &fused } else { &decoded };
+            let mut n = Machine::from_snapshot_with_decoded(&p, dec, &snap, &cfg)
+                .expect("snapshot restores");
+            let rn = match tier {
+                Tier::Reference => n.run_reference(&mut NoHook),
+                Tier::Fused | Tier::Superblock => n.run_simple(),
+                Tier::Aot => n.run_aot(&mut NoHook, aot),
+            };
+            let fp = fingerprint(&n, rn, 64);
+            match &baseline {
+                None => {
+                    assert_eq!(fp.result, expected.result, "restored result at {pause}");
+                    assert_eq!(fp.regs, expected.regs, "restored registers at {pause}");
+                    assert_eq!(fp.mem, expected.mem, "restored memory at {pause}");
+                    baseline = Some(fp);
+                }
+                Some(b) => assert_eq!(&fp, b, "restored {tier:?} at {pause}"),
+            }
+        }
+    }
+}
+
+/// Chopping a native run into uneven bounded slices is invisible: the
+/// final fingerprint equals the straight reference run for every
+/// precompiled random program.
+#[test]
+fn sliced_native_runs_match_straight_reference_runs() {
+    for seed in AOT_RANDOM_SEEDS {
+        let p = certa_aot::progs::random_program(seed);
+        let aot = aot_workloads::lookup(&format!("random_{seed}")).expect("precompiled");
+        let cfg = config(1 << 20);
+        let (expected, _) = run_tier(&p, aot, Tier::Reference, &cfg, RANDOM_BUF_LEN);
+
+        let decoded = Arc::new(DecodedProgram::new(&p));
+        let mut m = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+        // Uneven, prime-ish slices land pauses mid-region and mid-pair.
+        let slice = (expected.result.instructions / 7).max(1) | 1;
+        let mut target = 0u64;
+        let result = loop {
+            target += slice;
+            match m.run_until_aot(&mut NoHook, aot, target) {
+                BoundedRun::Finished(r) => break r,
+                BoundedRun::Paused => {
+                    assert_eq!(m.instructions(), target, "seed {seed} pause point");
+                }
+            }
+        };
+        assert_eq!(
+            fingerprint(&m, result, RANDOM_BUF_LEN),
+            expected,
+            "seed {seed} sliced native run diverged"
+        );
+    }
+}
+
+/// The paper-scale ring-threshold kernel (the `campaign_paper` golden
+/// run) is precompiled and bit-identical to the reference interpreter.
+#[test]
+fn ring_threshold_paper_kernel_agrees() {
+    let (p, input_addr, _) = certa_aot::progs::ring_threshold_program(
+        certa_aot::progs::PAPER_RING,
+        certa_aot::progs::PAPER_ITERS,
+    );
+    let aot = aot_workloads::lookup("ring-threshold-paper").expect("precompiled");
+    let cfg = MachineConfig {
+        mem_size: 1 << 20,
+        profile: true,
+        ..MachineConfig::default()
+    };
+    let decoded = Arc::new(DecodedProgram::new(&p));
+    let stage = |m: &mut Machine<'_>| {
+        let bytes: Vec<u8> = (0..certa_aot::progs::PAPER_RING)
+            .map(|i| (i * 151 + 43) as u8)
+            .collect();
+        m.write_bytes(input_addr, &bytes).expect("stage input");
+    };
+
+    let mut mr = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+    stage(&mut mr);
+    let rr = mr.run_reference(&mut NoHook);
+    assert_eq!(rr.outcome, Outcome::Halted);
+
+    let mut ma = Machine::try_new_with_decoded(&p, &decoded, &cfg).expect("valid config");
+    stage(&mut ma);
+    let ra = ma.run_aot(&mut NoHook, aot);
+    let native = ma.aot_instructions();
+    assert!(
+        native * 2 > ra.instructions,
+        "paper kernel barely ran natively"
+    );
+    assert_eq!(fingerprint(&ma, ra, 8192), fingerprint(&mr, rr, 8192));
+}
+
+/// The campaign seam the tentpole exists for: a session whose golden run
+/// and checkpoint capture executed on tier-4 native code must be
+/// indistinguishable from one built on the hooked interpreter — same
+/// session fingerprint, same golden observables (including the
+/// eligible-writeback population recovered from the execution profile),
+/// and bit-identical trial records end to end.
+#[test]
+fn native_golden_campaigns_match_interpreted_campaigns() {
+    use certa_core::analyze;
+    use certa_fault::{
+        run_campaign, run_campaign_with_aot, CampaignConfig, CampaignSession, Protection,
+    };
+
+    let workloads = all_workloads();
+    let w = workloads
+        .iter()
+        .min_by_key(|w| w.program().code.len())
+        .expect("at least one workload");
+    let aot = aot_workloads::lookup(w.name()).expect("workload is precompiled");
+    let tags = analyze(w.program());
+    let config = CampaignConfig {
+        trials: 24,
+        errors: 1,
+        protection: Protection::ControlOnly,
+        threads: 2,
+        seed: 0xA07_601D,
+        ..CampaignConfig::default()
+    };
+
+    let interpreted = CampaignSession::new(&**w, &tags, &config);
+    let native = CampaignSession::new_with_aot(&**w, &tags, &config, Some(aot));
+    assert_eq!(
+        interpreted.fingerprint(),
+        native.fingerprint(),
+        "{}: session fingerprints diverge",
+        w.name()
+    );
+    let (gi, gn) = (interpreted.golden(), native.golden());
+    assert_eq!(gi.output, gn.output, "{}: golden output", w.name());
+    assert_eq!(gi.instructions, gn.instructions);
+    assert_eq!(
+        gi.eligible_population, gn.eligible_population,
+        "{}: profile-derived eligible population diverges from the hook's",
+        w.name()
+    );
+    assert_eq!(gi.exec_counts, gn.exec_counts);
+
+    let ri = run_campaign(&**w, &tags, &config);
+    let rn = run_campaign_with_aot(&**w, &tags, &config, Some(aot));
+    assert_eq!(ri.trials, rn.trials, "{}: trial records diverge", w.name());
+    assert!(ri.trials.iter().any(|t| t.result().is_some()));
+}

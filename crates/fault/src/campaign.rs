@@ -76,8 +76,8 @@
 use certa_core::TagMap;
 use certa_isa::Program;
 use certa_sim::{
-    BoundedRun, DecodedProgram, Machine, MachineConfig, NoHook, Outcome, RunResult, Snapshot,
-    SuperblockPolicy, WritebackHook, DATA_BASE,
+    AotProgram, BoundedRun, DecodedProgram, Machine, MachineConfig, NoHook, Outcome, RunResult,
+    Snapshot, SuperblockPolicy, WritebackHook, DATA_BASE,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -638,7 +638,7 @@ pub fn golden_run(
     // path so the two can never diverge.
     let decoded = Arc::new(DecodedProgram::new(target.program()));
     let (golden, _, _) =
-        golden_run_checkpointed(target, &decoded, tags, protection, watchdog, 0, u64::MAX);
+        golden_run_checkpointed(target, &decoded, tags, protection, watchdog, 0, u64::MAX, None);
     golden
 }
 
@@ -660,9 +660,18 @@ type HopUnion = ((usize, usize), Arc<Vec<u32>>);
 /// it without ever growing with trial count.
 const HOP_CACHE_CAPACITY: usize = 16;
 
-/// Segment length (in checkpoints) of the aligned waypoints long hops
-/// walk through (see [`CheckpointSet::hop_step`]).
+/// Base segment length (in checkpoints) of the aligned waypoints long
+/// hops walk through (see [`CheckpointSet::hop_step`]).
 const HOP_SEGMENT: usize = 4;
+
+/// Largest aligned span a single hop step may cover. Spans double from
+/// [`HOP_SEGMENT`] while they stay aligned and inside the hop (a buddy
+/// decomposition), so a long walk crosses O(log distance) canonical
+/// spans instead of distance/[`HOP_SEGMENT`] segments — and every one of
+/// those spans is a cache key shared by *any* other hop crossing the
+/// same region. Sixteen base segments comfortably covers the
+/// [`MAX_CHECKPOINTS`]-bounded index range.
+const MAX_HOP_SPAN: usize = HOP_SEGMENT << 4;
 
 /// The golden checkpoints plus precomputed page diffs between adjacent
 /// pairs, so a worker machine hopping from one checkpoint to another
@@ -755,19 +764,54 @@ impl CheckpointSet {
     }
 
     /// The next checkpoint index on the segmented walk from `cur` toward
-    /// `dest`: the nearest [`HOP_SEGMENT`]-aligned index in that
-    /// direction, clamped to `dest`. Walking through aligned waypoints
-    /// gives long hops *canonical* cache keys — every worker crossing the
-    /// same region reuses the same `(kS, (k+1)S)` segment unions, no
-    /// matter where its own hop started — where a direct `(from, index)`
-    /// key would be unique to one worker's momentary position and never
-    /// hit the cache.
+    /// `dest`. An unaligned position first steps to the nearest
+    /// [`HOP_SEGMENT`] boundary in that direction (clamped to `dest`);
+    /// an aligned one covers the largest power-of-two span (from
+    /// [`HOP_SEGMENT`] up to [`MAX_HOP_SPAN`]) that both starts aligned
+    /// to twice its length — the buddy condition that keeps every span
+    /// at a canonical `(k·2ⁿS, (k+1)·2ⁿS)` position — and still fits
+    /// inside the hop. Walking through aligned waypoints gives long hops
+    /// *canonical* cache keys — every worker crossing the same region
+    /// reuses the same span unions, no matter where its own hop started
+    /// (a 1→N walk hits the spans an unrelated 3→N walk cached) — where
+    /// a direct `(from, index)` key would be unique to one worker's
+    /// momentary position and never hit the cache. Doubling spans also
+    /// shortens long walks to O(log distance) restore steps.
     fn hop_step(cur: usize, dest: usize) -> usize {
         const S: usize = HOP_SEGMENT;
         if dest > cur {
-            ((cur / S + 1) * S).min(dest)
+            if !cur.is_multiple_of(S) {
+                return ((cur / S + 1) * S).min(dest);
+            }
+            let mut span = S;
+            while span < MAX_HOP_SPAN
+                && cur.is_multiple_of(span << 1)
+                && cur + (span << 1) <= dest
+            {
+                span <<= 1;
+            }
+            if cur + span <= dest {
+                cur + span
+            } else {
+                dest
+            }
         } else {
-            (if cur.is_multiple_of(S) { cur.saturating_sub(S) } else { (cur / S) * S }).max(dest)
+            if !cur.is_multiple_of(S) {
+                return ((cur / S) * S).max(dest);
+            }
+            let mut span = S;
+            while span < MAX_HOP_SPAN
+                && cur.is_multiple_of(span << 1)
+                && cur >= (span << 1)
+                && cur - (span << 1) >= dest
+            {
+                span <<= 1;
+            }
+            if cur >= span && cur - span >= dest {
+                cur - span
+            } else {
+                dest
+            }
         }
     }
 
@@ -850,6 +894,30 @@ impl CheckpointSet {
     }
 }
 
+/// Per-instruction indicator of the eligible-writeback population: `1`
+/// where instruction `i` produces a value and `protection`'s mask admits
+/// it, else `0`. Dotting this with a profiled run's execution counts
+/// yields exactly what an [`EligibleCounter`] hook counts over the same
+/// run — every value-producing instruction performs one hook-visible
+/// writeback per execution — which is how the native golden path
+/// (hook-free by construction, see [`certa_sim::Machine::run_aot`])
+/// recovers `eligible_seen` at checkpoint boundaries.
+fn eligible_units(program: &Program, tags: &TagMap, protection: Protection) -> Vec<u64> {
+    let mask = protection.eligibility_mask(program, tags);
+    program
+        .code
+        .iter()
+        .enumerate()
+        .map(|(i, instr)| u64::from(instr.def().is_some() && mask.as_ref().is_none_or(|m| m[i])))
+        .collect()
+}
+
+/// The eligible-writeback count implied by a profile (see
+/// [`eligible_units`]).
+fn eligible_from_counts(units: &[u64], exec_counts: &[u64]) -> u64 {
+    units.iter().zip(exec_counts).map(|(u, c)| u * c).sum()
+}
+
 /// Runs the golden reference like [`golden_run`], additionally recording
 /// checkpoints: snapshots spaced `stride` dynamic instructions apart,
 /// thinned (keep every other, double the stride) whenever the count would
@@ -857,6 +925,13 @@ impl CheckpointSet {
 /// state at instruction zero, so every trial has a restore point. The
 /// third return value is the bytes actually materialized by the captures
 /// (see [`certa_sim::Machine::capture_bytes`]).
+///
+/// With `aot` supplied, the run executes on the tier-4 native regions
+/// ([`certa_sim::Machine::run_until_aot`]) instead of the hooked
+/// interpreter, and eligible-writeback counts are recovered from the
+/// profile ([`eligible_units`]) — bit-identical state, counts, and
+/// checkpoints either way, just faster.
+#[allow(clippy::too_many_arguments)]
 fn golden_run_checkpointed(
     target: &dyn Target,
     decoded: &Arc<DecodedProgram>,
@@ -865,6 +940,7 @@ fn golden_run_checkpointed(
     watchdog: u64,
     budget_bytes: usize,
     stride: u64,
+    aot: Option<&AotProgram>,
 ) -> (GoldenRun, Vec<Checkpoint>, u64) {
     let program = target.program();
     let config = MachineConfig {
@@ -876,6 +952,11 @@ fn golden_run_checkpointed(
         .unwrap_or_else(|e| panic!("machine configuration rejected: {e}"));
     target.prepare(&mut machine);
     let mut counter = EligibleCounter::new(program, tags, protection);
+    let units = aot.map(|_| eligible_units(program, tags, protection));
+    let eligible_seen = |machine: &Machine<'_>, counter: &EligibleCounter| match &units {
+        Some(units) => eligible_from_counts(units, machine.exec_counts()),
+        None => counter.count,
+    };
 
     let mut checkpoints = vec![Checkpoint {
         snapshot: machine.snapshot(),
@@ -887,7 +968,11 @@ fn golden_run_checkpointed(
 
     let result = loop {
         let next_at = machine.instructions().saturating_add(stride);
-        match machine.run_until(&mut counter, next_at) {
+        let bounded = match aot {
+            Some(aot) => machine.run_until_aot(&mut NoHook, aot, next_at),
+            None => machine.run_until(&mut counter, next_at),
+        };
+        match bounded {
             BoundedRun::Finished(result) => break result,
             BoundedRun::Paused => {
                 if checkpoints.len() >= max_snapshots {
@@ -905,7 +990,7 @@ fn golden_run_checkpointed(
                 if machine.instructions() - last.snapshot.instructions() >= stride {
                     checkpoints.push(Checkpoint {
                         snapshot: machine.snapshot(),
-                        eligible_seen: counter.count,
+                        eligible_seen: eligible_seen(&machine, &counter),
                     });
                 }
             }
@@ -918,13 +1003,22 @@ fn golden_run_checkpointed(
         "golden run must halt cleanly, got {}",
         result.outcome
     );
+    let eligible_population = eligible_seen(&machine, &counter);
+    debug_assert_eq!(
+        eligible_population,
+        eligible_from_counts(
+            &eligible_units(program, tags, protection),
+            machine.exec_counts()
+        ),
+        "hook-counted and profile-derived eligible populations must agree"
+    );
     let output = target
         .extract(&machine)
         .expect("golden run must produce readable output");
     let golden = GoldenRun {
         output,
         instructions: result.instructions,
-        eligible_population: counter.count,
+        eligible_population,
         exec_counts: machine.exec_counts().to_vec(),
     };
     let capture_bytes = machine.capture_bytes();
@@ -1435,6 +1529,29 @@ pub fn run_campaign(target: &dyn Target, tags: &TagMap, config: &CampaignConfig)
     session.finish(trials)
 }
 
+/// [`run_campaign`] with the golden run (and checkpoint capture)
+/// executed on tier-4 native code (see
+/// [`CampaignSession::new_with_aot`]). Fault trials stay on the
+/// interpreter — hooks observe every writeback there — so results are
+/// bit-identical to [`run_campaign`]; only the golden-run wall clock
+/// changes.
+///
+/// # Panics
+///
+/// Panics as [`run_campaign`] does, and additionally if `aot` was not
+/// generated from `target`'s program.
+#[must_use]
+pub fn run_campaign_with_aot(
+    target: &dyn Target,
+    tags: &TagMap,
+    config: &CampaignConfig,
+    aot: Option<&AotProgram>,
+) -> CampaignResult {
+    let session = CampaignSession::new_with_aot(target, tags, config, aot);
+    let trials = session.run_all();
+    session.finish(trials)
+}
+
 /// A contiguous, checkpoint-grouped batch of trial ids — the unit of work
 /// the distributed coordinator (`certa-dist`) leases to workers.
 /// [`CampaignSession::chunk_plan`] cuts the session's sorted trial order
@@ -1493,6 +1610,28 @@ impl<'a> CampaignSession<'a> {
     /// Panics if the golden run fails (see [`golden_run`]).
     #[must_use]
     pub fn new(target: &'a dyn Target, tags: &'a TagMap, config: &CampaignConfig) -> Self {
+        Self::new_with_aot(target, tags, config, None)
+    }
+
+    /// [`CampaignSession::new`], with the golden run executed on tier-4
+    /// native regions when `aot` is supplied (it must have been generated
+    /// from `target`'s program). Checkpoints, eligible-writeback counts,
+    /// and the seeded trial lowering are bit-identical to the interpreted
+    /// golden run — the native tier matches the reference on every
+    /// observable, including profile counts — so sessions built either
+    /// way are interchangeable (same [`CampaignSession::fingerprint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run fails (see [`golden_run`]) or on an
+    /// `aot`/program length mismatch.
+    #[must_use]
+    pub fn new_with_aot(
+        target: &'a dyn Target,
+        tags: &'a TagMap,
+        config: &CampaignConfig,
+        aot: Option<&AotProgram>,
+    ) -> Self {
         assert!(
             u32::try_from(config.trials).is_ok(),
             "trial ids must fit in u32"
@@ -1513,6 +1652,7 @@ impl<'a> CampaignSession<'a> {
                 golden_budget,
                 config.checkpoint_budget_bytes,
                 config.checkpoint_stride,
+                aot,
             );
             (golden, Some(CheckpointSet::new(checkpoints)), capture_bytes)
         } else {
@@ -1524,6 +1664,7 @@ impl<'a> CampaignSession<'a> {
                 golden_budget,
                 0,
                 u64::MAX,
+                aot,
             );
             (golden, None, 0)
         };
@@ -2151,6 +2292,7 @@ mod tests {
             1_000_000,
             256 << 20,
             50,
+            None,
         );
         assert_eq!(plain.output, checkpointed.output);
         assert_eq!(plain.instructions, checkpointed.instructions);
@@ -2203,6 +2345,7 @@ mod tests {
             1_000_000,
             256 << 20,
             40,
+            None,
         );
         assert!(checkpoints.len() >= 4, "need several checkpoints to hop");
         let set = CheckpointSet::new(checkpoints);
@@ -2249,6 +2392,7 @@ mod tests {
             1_000_000,
             256 << 20,
             40,
+            None,
         );
         assert!(checkpoints.len() >= 4);
         let set = CheckpointSet::new(checkpoints);
@@ -2299,6 +2443,7 @@ mod tests {
             1_000_000,
             256 << 20,
             40,
+            None,
         );
         let set = CheckpointSet::new(checkpoints);
         let config = MachineConfig {
@@ -2462,5 +2607,150 @@ mod tests {
                 "trial {i} result must be unaffected by sabotage elsewhere"
             );
         }
+    }
+
+    /// The span-growing waypoint walk must produce canonical power-of-two
+    /// aligned spans: unaligned starts step to the next base boundary,
+    /// aligned starts double their span while the buddy condition holds,
+    /// and the walk is symmetric (a backward hop crosses exactly the
+    /// forward hop's spans, so the symmetric-diff cache keys coincide).
+    #[test]
+    fn hop_step_walks_power_of_two_aligned_spans() {
+        let walk = |from: usize, to: usize| {
+            let mut spans = Vec::new();
+            let mut cur = from;
+            while cur != to {
+                let next = CheckpointSet::hop_step(cur, to);
+                spans.push((cur.min(next), cur.max(next)));
+                cur = next;
+            }
+            spans
+        };
+        assert_eq!(walk(1, 17), vec![(1, 4), (4, 8), (8, 16), (16, 17)]);
+        assert_eq!(walk(3, 17), vec![(3, 4), (4, 8), (8, 16), (16, 17)]);
+        assert_eq!(walk(17, 1), vec![(16, 17), (8, 16), (4, 8), (1, 4)]);
+        assert_eq!(walk(0, 31), vec![(0, 16), (16, 24), (24, 28), (28, 31)]);
+        assert_eq!(walk(31, 0), vec![(28, 31), (24, 28), (16, 24), (0, 16)]);
+        assert_eq!(walk(0, 3), vec![(0, 3)]);
+        assert_eq!(walk(6, 7), vec![(6, 7)]);
+        assert_eq!(walk(7, 6), vec![(6, 7)]);
+        // Spans cap at MAX_HOP_SPAN even over a fully aligned run.
+        let long = walk(0, 2 * MAX_HOP_SPAN);
+        assert_eq!(long[0], (0, MAX_HOP_SPAN));
+        assert_eq!(long[1], (MAX_HOP_SPAN, 2 * MAX_HOP_SPAN));
+        // Every span is canonical: its start is aligned to its length.
+        for (lo, hi) in walk(1, 17).into_iter().chain(walk(0, 31)) {
+            let span = hi - lo;
+            assert!(
+                !span.is_multiple_of(HOP_SEGMENT) || lo.is_multiple_of(span),
+                "span ({lo}, {hi}) is not canonically aligned"
+            );
+        }
+    }
+
+    /// The cross-worker payoff of canonical spans: a 1→N hop must be
+    /// served from span unions cached by an unrelated 3→N hop — the two
+    /// walks share every span past their first partial edge.
+    #[test]
+    fn unrelated_hops_share_cached_span_unions() {
+        let t = SumTarget::new();
+        let tags = analyze(&t.program);
+        let decoded = Arc::new(DecodedProgram::new(&t.program));
+        let (_, checkpoints, _) = golden_run_checkpointed(
+            &t,
+            &decoded,
+            &tags,
+            Protection::ControlOnly,
+            1_000_000,
+            256 << 20,
+            20,
+            None,
+        );
+        assert!(
+            checkpoints.len() >= 18,
+            "need indices through 17, got {}",
+            checkpoints.len()
+        );
+        let set = CheckpointSet::new(checkpoints);
+        let config = MachineConfig {
+            mem_size: t.mem_size(),
+            max_instructions: 1_000_000,
+            profile: false,
+        };
+        let mut scratch = Vec::new();
+
+        // A worker based on checkpoint 3 hops to 17, caching the unions
+        // of spans (3,4), (4,8), (8,16), (16,17) — all misses.
+        let mut from3 = Machine::from_snapshot_with_decoded(
+            &t.program,
+            &decoded,
+            &set.checkpoints[3].snapshot,
+            &config,
+        )
+        .unwrap();
+        set.restore(&mut from3, 17, &mut scratch);
+        assert!(from3.state_eq(&set.checkpoints[17].snapshot));
+        assert_eq!(set.stats().diff_union_cache_hits, 0);
+
+        // An unrelated worker based on checkpoint 1 hops to the same
+        // destination: spans (4,8), (8,16), (16,17) come from the cache;
+        // only its private partial edge (1,4) is new.
+        let mut from1 = Machine::from_snapshot_with_decoded(
+            &t.program,
+            &decoded,
+            &set.checkpoints[1].snapshot,
+            &config,
+        )
+        .unwrap();
+        set.restore(&mut from1, 17, &mut scratch);
+        assert!(from1.state_eq(&set.checkpoints[17].snapshot));
+        let stats = set.stats();
+        assert_eq!(
+            stats.diff_union_cache_hits, 3,
+            "1→17 must reuse the three spans the 3→17 hop cached"
+        );
+        assert_eq!(stats.diff_hop, 2);
+        assert_eq!(stats.full_image, 0);
+
+        // The backward hop crosses the same spans (diffs are symmetric):
+        // all four of 17→1's spans are now cached, (1,4) included.
+        set.restore(&mut from1, 1, &mut scratch);
+        assert!(from1.state_eq(&set.checkpoints[1].snapshot));
+        assert_eq!(set.stats().diff_union_cache_hits, 7);
+    }
+
+    /// Pins the zero-elapsed guard in [`CampaignResult::trials_per_second`]:
+    /// a degenerate duration must read as a rate of 0.0, never `inf`/`NaN`
+    /// (a coarse monotonic clock can legitimately report zero elapsed for
+    /// a tiny campaign, and downstream JSON emitters cannot represent the
+    /// IEEE specials). This is the only rate in the fault crate computed
+    /// from wall-clock time; the bench-side ratios all divide by timings
+    /// of full campaigns or multi-million-instruction runs, where a zero
+    /// denominator means a broken clock rather than a reachable state.
+    #[test]
+    fn trials_per_second_is_pinned_to_zero_on_zero_elapsed() {
+        let record = TrialRecord {
+            status: TrialStatus::HarnessError(HarnessFailure::Timeout),
+            retries: 1,
+        };
+        let result = CampaignResult {
+            golden: GoldenRun {
+                output: Vec::new(),
+                instructions: 0,
+                eligible_population: 0,
+                exec_counts: Vec::new(),
+            },
+            trials: vec![record; 3],
+            restore_stats: RestoreStats::default(),
+            harness_stats: HarnessStats::default(),
+            checkpoint_capture_bytes: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(result.trials_per_second(), 0.0, "zero elapsed, nonempty trials");
+        let nonzero = CampaignResult {
+            elapsed: Duration::from_millis(500),
+            ..result
+        };
+        assert_eq!(nonzero.trials_per_second(), 6.0);
     }
 }

@@ -91,7 +91,8 @@ mod stats;
 pub mod wire;
 
 pub use campaign::{
-    golden_run, run_campaign, CampaignConfig, CampaignResult, CampaignSession, GoldenRun,
+    golden_run, run_campaign, run_campaign_with_aot, CampaignConfig, CampaignResult,
+    CampaignSession, GoldenRun,
     HarnessFailure, HarnessFaultInjection, HarnessStats, OutcomeCounts, RestoreStats, Target,
     TrialChunk, TrialRecord, TrialResult, TrialStatus,
 };

@@ -21,9 +21,12 @@
 //! ## Execution pipeline
 //!
 //! Lowering is a four-stage pipeline — **decode → fuse → superblock →
-//! dispatch** — producing three runtime execution tiers (reference
-//! tree-walker, fused micro-op dispatch, superblock traces); see
-//! `ARCHITECTURE.md` at the workspace root for the full picture.
+//! dispatch** — producing three interpreter execution tiers (reference
+//! tree-walker, fused micro-op dispatch, superblock traces), plus a
+//! fourth, ahead-of-time compiled tier driven by [`Machine::run_aot`]
+//! (native Rust code generated per program by the `certa-aot` crate; see
+//! the [`aot`] module docs); see `ARCHITECTURE.md` at the workspace root
+//! for the full picture.
 //!
 //! 1. **Decode** ([`DecodedProgram::new`]): the [`certa_isa::Instr`] stream
 //!    is lowered once per program into a dense micro-op array — register
@@ -129,10 +132,12 @@
 //! assert_eq!(m.reg(V0), 42);
 //! ```
 
+pub mod aot;
 mod decode;
 mod machine;
 mod mem;
 
+pub use aot::{AotCtx, AotExit, AotProgram};
 pub use certa_asm::DATA_BASE;
 pub use decode::{chain_census, DecodedProgram, SuperblockPolicy};
 pub use machine::{

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use certa_asm::DATA_BASE;
 use certa_isa::{reg, AluOp, FpuOp, FReg, Instr, MemWidth, Program, Reg};
 
+use crate::aot::{AotCtx, AotExit, AotProgram};
 use crate::decode::{DecodedProgram, MOp, MicroOp, SuperOp};
 use crate::mem::{
     hash_page, load_f64_mem, load_mem, store_f64_mem, store_mem, PageBuf, PagedMem,
@@ -309,6 +310,15 @@ impl std::error::Error for MemError {}
 ///
 /// The default implementations pass values through unchanged.
 pub trait WritebackHook {
+    /// Whether this hook observably does nothing: both writeback methods
+    /// are the identity and carry no state. Only such hooks may execute
+    /// inside AOT native regions ([`Machine::run_aot`]), where individual
+    /// writebacks are compiled away; every other hook keeps the
+    /// interpreter tiers, which call it on every value-producing
+    /// writeback. `false` is the safe default — an implementation may opt
+    /// in only when both methods are left at their defaults.
+    const IS_NOOP: bool = false;
+
     /// Observes/modifies an integer register writeback.
     #[inline]
     fn int_writeback(&mut self, instr_index: usize, value: u32) -> u32 {
@@ -328,7 +338,9 @@ pub trait WritebackHook {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHook;
 
-impl WritebackHook for NoHook {}
+impl WritebackHook for NoHook {
+    const IS_NOOP: bool = true;
+}
 
 /// The simulator state: registers, memory, program counter.
 #[derive(Debug, Clone)]
@@ -359,6 +371,9 @@ pub struct Machine<'p> {
     /// Instructions retired inside superblock traces (diagnostics: lets
     /// benches and tests verify the superblock tier actually executed).
     sb_retired: u64,
+    /// Instructions retired inside AOT native regions (diagnostics: tier-4
+    /// coverage of this machine's execution).
+    aot_retired: u64,
     /// Cumulative bytes materialized by [`Machine::snapshot`] captures
     /// (owned pages copied into fresh shared pages) — the true
     /// incremental cost of checkpointing under copy-on-write sharing.
@@ -449,6 +464,7 @@ impl<'p> Machine<'p> {
             base_snapshot: 0,
             base_hashes: None,
             sb_retired: 0,
+            aot_retired: 0,
             capture_bytes: 0,
         })
     }
@@ -533,6 +549,7 @@ impl<'p> Machine<'p> {
             base_snapshot: snapshot.id,
             base_hashes: Some(Arc::clone(&snapshot.page_hashes)),
             sb_retired: 0,
+            aot_retired: 0,
             capture_bytes: 0,
         })
     }
@@ -840,6 +857,14 @@ impl<'p> Machine<'p> {
         self.sb_retired
     }
 
+    /// Dynamic instructions retired inside AOT native regions so far —
+    /// the tier-4 coverage of this machine's execution (diagnostics;
+    /// compare with [`Machine::instructions`]).
+    #[must_use]
+    pub fn aot_instructions(&self) -> u64 {
+        self.aot_retired
+    }
+
     // ------------------------------------------------------------------
     // host-side memory access (I/O injection and output capture)
     // ------------------------------------------------------------------
@@ -1028,6 +1053,158 @@ impl<'p> Machine<'p> {
         target: u64,
     ) -> BoundedRun {
         self.run_loop_reference::<H, true>(hook, target)
+    }
+
+    /// Runs to completion over tier 4: ahead-of-time compiled native
+    /// regions (see the [`crate::aot`] module docs), falling back to the
+    /// interpreter tiers wherever native code cannot go. Observably
+    /// identical to every other tier on outcome, output, instruction
+    /// counts, profile counts, and crash identity.
+    ///
+    /// Hooks that actually observe writebacks (`H::IS_NOOP == false`)
+    /// cannot run natively; such runs execute entirely on the
+    /// superblock/fused dispatch tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aot` was not generated from this machine's program
+    /// (code length mismatch) — a caller contract violation.
+    pub fn run_aot<H: WritebackHook>(&mut self, hook: &mut H, aot: &AotProgram) -> RunResult {
+        match self.run_aot_loop::<H, false>(hook, aot, 0) {
+            BoundedRun::Finished(result) => result,
+            BoundedRun::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Bounded execution over tier 4 (see [`Machine::run_aot`] and
+    /// [`Machine::run_until`]): pauses exactly at the `target` instruction
+    /// boundary. Native code never straddles a pause — a block that would
+    /// cross the boundary is handed to the interpreter, which stops at
+    /// precisely the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aot` was not generated from this machine's program.
+    pub fn run_until_aot<H: WritebackHook>(
+        &mut self,
+        hook: &mut H,
+        aot: &AotProgram,
+        target: u64,
+    ) -> BoundedRun {
+        self.run_aot_loop::<H, true>(hook, aot, target)
+    }
+
+    /// The tier-4 driver loop behind [`Machine::run_aot`] and
+    /// [`Machine::run_until_aot`]: alternates native region execution with
+    /// interpreter fallback, mirroring the check order of the interpreter
+    /// loops (pause, watchdog, fetch) so every boundary observation is
+    /// bit-identical.
+    fn run_aot_loop<H: WritebackHook, const BOUNDED: bool>(
+        &mut self,
+        hook: &mut H,
+        aot: &AotProgram,
+        target: u64,
+    ) -> BoundedRun {
+        assert_eq!(
+            aot.code_len,
+            self.program.code.len(),
+            "AOT program does not match the instruction stream"
+        );
+        if !H::IS_NOOP {
+            // The hook must observe every individual writeback — exactly
+            // what native code compiles away. Run the whole thing on the
+            // interpreter's fastest tier instead.
+            return if self.profile {
+                self.run_decoded::<H, true, BOUNDED>(hook, target)
+            } else {
+                self.run_decoded::<H, false, BOUNDED>(hook, target)
+            };
+        }
+        let run_region = if self.profile {
+            aot.run_profiled
+        } else {
+            aot.run
+        };
+        let stop = if BOUNDED {
+            target.min(self.max_instructions)
+        } else {
+            self.max_instructions
+        };
+        let code_len = aot.code_len as u64;
+        loop {
+            if BOUNDED && self.icount >= target {
+                return BoundedRun::Paused;
+            }
+            if self.icount >= self.max_instructions {
+                return self.finish(Outcome::InfiniteRun);
+            }
+            if self.pc >= code_len {
+                return self.finish(Outcome::Crashed(CrashKind::PcOutOfRange { pc: self.pc }));
+            }
+            let entered_at = self.icount;
+            let exit = {
+                let mut ctx = AotCtx::new(
+                    &mut self.regs,
+                    &mut self.fregs,
+                    &mut self.mem,
+                    self.exec_counts.as_mut_slice(),
+                    self.pc,
+                    self.icount,
+                    self.value_producing,
+                    stop,
+                );
+                let exit = run_region(&mut ctx);
+                let (pc, icount, vp) = ctx.state();
+                self.pc = pc;
+                self.icount = icount;
+                self.value_producing = vp;
+                exit
+            };
+            self.aot_retired += self.icount - entered_at;
+            match exit {
+                AotExit::Halted => return self.finish(Outcome::Halted),
+                AotExit::Crashed(kind) => return self.finish(Outcome::Crashed(kind)),
+                AotExit::Bounded => {
+                    // The next whole block would cross the pause/watchdog
+                    // boundary: the interpreter retires the sub-block tail
+                    // and stops exactly at the boundary (or finishes).
+                    return if self.profile {
+                        self.run_decoded::<H, true, BOUNDED>(hook, target)
+                    } else {
+                        self.run_decoded::<H, false, BOUNDED>(hook, target)
+                    };
+                }
+                AotExit::Escape => {
+                    // No compiled entry at the current pc. The region may
+                    // have retired instructions before escaping (e.g. an
+                    // indirect jump to an uncompiled target), so re-check
+                    // the boundaries the loop head checked, then retire
+                    // exactly one instruction on the interpreter and retry
+                    // native entry — a mid-block resume pc walks forward
+                    // to the next block boundary this way.
+                    if BOUNDED && self.icount >= target {
+                        return BoundedRun::Paused;
+                    }
+                    if self.icount >= self.max_instructions {
+                        return self.finish(Outcome::InfiniteRun);
+                    }
+                    if self.pc >= code_len {
+                        return self
+                            .finish(Outcome::Crashed(CrashKind::PcOutOfRange { pc: self.pc }));
+                    }
+                    let one = self.icount + 1;
+                    let step = if self.profile {
+                        self.run_decoded::<H, true, true>(hook, one)
+                    } else {
+                        self.run_decoded::<H, false, true>(hook, one)
+                    };
+                    match step {
+                        BoundedRun::Paused => {}
+                        BoundedRun::Finished(result) => return BoundedRun::Finished(result),
+                    }
+                }
+            }
+        }
     }
 
     /// The micro-op dispatch loop behind [`Machine::run`] and

@@ -7,6 +7,8 @@
 //! This facade crate re-exports the whole stack:
 //!
 //! * [`isa`] — the MIPS-like instruction set with def/use metadata.
+//! * [`aot`] — tier-4 ahead-of-time Rust code generation from CFGs, plus
+//!   the shared guest programs the differential suite and benches compile.
 //! * [`asm`] — the macro-assembler (builder DSL + text dialect).
 //! * [`sim`] — the functional simulator with fault-injection hooks.
 //! * [`core`] — **the paper's contribution**: the backward CVar dataflow
@@ -45,6 +47,7 @@
 //! }
 //! ```
 
+pub use certa_aot as aot;
 pub use certa_asm as asm;
 pub use certa_core as core;
 pub use certa_dist as dist;
