@@ -12,6 +12,13 @@
 //!    gate is enforced only where the host actually has the cores for N
 //!    workers; on smaller machines the numbers are still reported, with
 //!    the gate recorded as not enforced.
+//! 3. **Coordinator durability** — a `campaign_coordinator` subprocess
+//!    running the same campaign durably is SIGKILLed *provably*
+//!    mid-campaign (its stdout reports accepted chunks; it dies with
+//!    `1 ≤ done < total`), a fresh incarnation resumes from the
+//!    write-ahead journal with fresh workers, and the recovered record
+//!    table must be byte-identical to the inline baseline with at least
+//!    one chunk replayed from the journal rather than re-executed.
 //!
 //! Usage: `campaign_dist [--trials N] [--seed N]`; environment overrides:
 //! `CERTA_DIST_TRIALS`, `CERTA_DIST_WORKERS` (default 4),
@@ -21,6 +28,7 @@
 //! reconciliation, or the speedup gate (where enforced) fails.
 
 use std::fmt::Write as _;
+use std::io::BufRead as _;
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -29,7 +37,8 @@ use std::time::{Duration, Instant};
 use certa_bench::{harness_json, parse_cli, write_bench_json, AsTarget};
 use certa_core::analyze;
 use certa_dist::{Coordinator, DistConfig, DistProgress, DistResult};
-use certa_fault::{run_campaign, CampaignConfig, CampaignSession};
+use certa_fault::wire::{encode_trial_record, ByteWriter};
+use certa_fault::{run_campaign, CampaignConfig, CampaignSession, TrialRecord};
 use certa_workloads::{all_workloads, Workload};
 
 const ERRORS: u64 = 2;
@@ -170,6 +179,215 @@ fn run_dist(
     })
 }
 
+/// What the coordinator crash/resume phase measured.
+struct DurableStats {
+    /// Accepted chunks at the instant the first coordinator was killed.
+    killed_at_chunks: usize,
+    /// Total chunks in the campaign plan.
+    total_chunks: usize,
+    /// Parsed from the second incarnation's `RESUME` line.
+    resumed: bool,
+    epoch: u64,
+    replayed_chunks: u64,
+    replayed_trials: u64,
+    /// Completions the resumed incarnation rejected as carrying the dead
+    /// incarnation's epoch (0 here is normal: the first incarnation's
+    /// workers are killed with it, so usually nothing is left to fence).
+    stale_epoch_completions: u64,
+    /// Recovered record table byte-identical to the inline baseline.
+    records_match: bool,
+}
+
+/// The final record table in the campaign wire encoding — the same
+/// bytes `campaign_coordinator --records-out` writes.
+fn encode_records(trials: &[TrialRecord]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(trials.len() as u32);
+    for record in trials {
+        encode_trial_record(&mut w, record);
+    }
+    w.finish()
+}
+
+fn coordinator_exe() -> std::io::Result<std::path::PathBuf> {
+    let me = std::env::current_exe()?;
+    Ok(me.with_file_name(format!(
+        "campaign_coordinator{}",
+        std::env::consts::EXE_SUFFIX
+    )))
+}
+
+fn spawn_coordinator(
+    workload: &str,
+    trials: usize,
+    seed: u64,
+    journal: &std::path::Path,
+    records_out: &std::path::Path,
+) -> Result<Child, String> {
+    let exe = coordinator_exe().map_err(|e| e.to_string())?;
+    Command::new(&exe)
+        .args([
+            "--workload",
+            workload,
+            "--trials",
+            &trials.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--errors",
+            &ERRORS.to_string(),
+            "--chunk-parts",
+            "16",
+            "--journal",
+            &journal.display().to_string(),
+            "--records-out",
+            &records_out.display().to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", exe.display()))
+}
+
+fn kill_all(children: &mut Vec<Child>) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+    }
+    for mut child in children.drain(..) {
+        let _ = child.wait();
+    }
+}
+
+/// Reads the coordinator subprocess's stdout until its `ADDR` line.
+fn read_addr(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<String, String> {
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        if let Some(addr) = line.strip_prefix("ADDR ") {
+            return Ok(addr.to_string());
+        }
+    }
+    Err("coordinator exited before printing ADDR".into())
+}
+
+/// Phase 3: SIGKILL a durable coordinator provably mid-campaign, resume
+/// from its journal, gate the recovered record table against the inline
+/// baseline.
+fn run_durable_crash(
+    workload: &str,
+    trials: usize,
+    seed: u64,
+    workers: usize,
+    inline_records: &[u8],
+) -> Result<DurableStats, String> {
+    let pid = std::process::id();
+    let journal = std::env::temp_dir().join(format!("certa-dist-crash-{pid}.wal"));
+    let records_out = std::env::temp_dir().join(format!("certa-dist-crash-{pid}.records"));
+    let _ = std::fs::remove_file(&journal);
+    let worker_exe = worker_exe().map_err(|e| e.to_string())?;
+    let mut children: Vec<Child> = Vec::new();
+
+    let outcome = (|| {
+        // Incarnation 1: throttled workers stretch the campaign so the
+        // kill window (1 ≤ done < total) is wide; its stdout proves the
+        // kill landed mid-flight.
+        let mut coordinator = spawn_coordinator(workload, trials, seed, &journal, &records_out)?;
+        let stdout = coordinator.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = match read_addr(&mut lines) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = coordinator.kill();
+                let _ = coordinator.wait();
+                return Err(e);
+            }
+        };
+        for w in 0..workers {
+            children.push(
+                spawn_worker(&worker_exe, &addr, &format!("mortal-{w}"), Some(100))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        let mut killed_at: Option<(usize, usize)> = None;
+        for line in &mut lines {
+            let line = line.map_err(|e| e.to_string())?;
+            let Some(progress) = line.strip_prefix("PROGRESS ") else {
+                continue;
+            };
+            let mut parts = progress.split_whitespace();
+            let done: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            let total: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            if done >= 1 && done < total {
+                let _ = coordinator.kill();
+                killed_at = Some((done, total));
+                break;
+            }
+        }
+        let _ = coordinator.wait();
+        let Some((killed_at_chunks, total_chunks)) = killed_at else {
+            return Err("campaign finished before a mid-flight kill was possible".into());
+        };
+        // The orphaned workers would only burn reconnect budget against a
+        // dead port; incarnation 2 gets a fresh crew on a fresh port.
+        kill_all(&mut children);
+
+        // Incarnation 2: same journal, fresh everything else.
+        let mut coordinator = spawn_coordinator(workload, trials, seed, &journal, &records_out)?;
+        let stdout = coordinator.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = match read_addr(&mut lines) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = coordinator.kill();
+                let _ = coordinator.wait();
+                return Err(e);
+            }
+        };
+        for w in 0..workers {
+            children.push(
+                spawn_worker(&worker_exe, &addr, &format!("fresh-{w}"), None)
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        let mut resume_line: Option<String> = None;
+        for line in &mut lines {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.starts_with("RESUME ") {
+                resume_line = Some(line);
+            }
+        }
+        let status = coordinator.wait().map_err(|e| e.to_string())?;
+        if !status.success() {
+            return Err(format!("resumed coordinator exited with {status}"));
+        }
+        let resume_line =
+            resume_line.ok_or("resumed coordinator finished without a RESUME line")?;
+        let field = |key: &str| -> Option<u64> {
+            resume_line
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+                .and_then(|v| v.parse().ok())
+        };
+        let resumed = resume_line.contains("resumed=true");
+        let recovered = std::fs::read(&records_out)
+            .map_err(|e| format!("cannot read {}: {e}", records_out.display()))?;
+
+        Ok(DurableStats {
+            killed_at_chunks,
+            total_chunks,
+            resumed,
+            epoch: field("epoch").unwrap_or(0),
+            replayed_chunks: field("replayed_chunks").unwrap_or(0),
+            replayed_trials: field("replayed_trials").unwrap_or(0),
+            stale_epoch_completions: field("stale_epoch").unwrap_or(0),
+            records_match: recovered == inline_records,
+        })
+    })();
+
+    kill_all(&mut children);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&records_out);
+    outcome
+}
+
 fn main() -> ExitCode {
     let (cli_trials, seed) = parse_cli(256);
     let trials = env_usize("CERTA_DIST_TRIALS", cli_trials);
@@ -206,6 +424,15 @@ fn main() -> ExitCode {
         Ok(run) => run,
         Err(e) => {
             eprintln!("campaign_dist: {workers}-worker run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("campaign_dist: durable coordinator, SIGKILLed mid-campaign and resumed");
+    let inline_records = encode_records(&inline.trials);
+    let durable = match run_durable_crash(&workload_name, trials, seed, workers, &inline_records) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("campaign_dist: durable crash/resume phase failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -248,6 +475,7 @@ fn main() -> ExitCode {
 \"inline\":{{\"seconds\":{inline_seconds:.3},\"trials_per_sec\":{inline_tps:.3}}},\
 \"one_worker\":{{\"seconds\":{:.3},\"trials_per_sec\":{one_tps:.3},\"redeliveries\":{},\"harness\":{}}},\
 \"multi_worker\":{{\"workers\":{workers},\"seconds\":{:.3},\"trials_per_sec\":{multi_tps:.3},\"redeliveries\":{},\"victim_killed\":{},\"harness\":{},\"per_worker\":[{per_worker}]}},\
+\"durable\":{{\"killed_at_chunks\":{},\"total_chunks\":{},\"resumed\":{},\"epoch\":{},\"replayed_chunks\":{},\"replayed_trials\":{},\"stale_epoch_completions\":{},\"records_match\":{}}},\
 \"speedup_multi_over_one\":{speedup:.3},\"speedup_gate_enforced\":{gate_enforced},\"records_match\":{}}}",
         one.seconds,
         one.result.redeliveries,
@@ -256,6 +484,14 @@ fn main() -> ExitCode {
         multi.result.redeliveries,
         multi.victim_killed,
         harness_json(&multi.result.campaign.harness_stats),
+        durable.killed_at_chunks,
+        durable.total_chunks,
+        durable.resumed,
+        durable.epoch,
+        durable.replayed_chunks,
+        durable.replayed_trials,
+        durable.stale_epoch_completions,
+        durable.records_match,
         one_matches && multi_matches,
     );
 
@@ -279,6 +515,14 @@ fn main() -> ExitCode {
         "campaign_dist: speedup {speedup:.2}x on {cores} core(s); victim killed: {}",
         multi.victim_killed
     );
+    eprintln!(
+        "campaign_dist: coordinator killed at {}/{} chunks; resume epoch {} replayed {} chunks ({} trials)",
+        durable.killed_at_chunks,
+        durable.total_chunks,
+        durable.epoch,
+        durable.replayed_chunks,
+        durable.replayed_trials
+    );
 
     match write_bench_json("dist", &json) {
         Ok(path) => eprintln!("campaign_dist: wrote {}", path.display()),
@@ -294,6 +538,19 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if !durable.records_match {
+        eprintln!(
+            "campaign_dist: FAIL — record table recovered from the journal diverges from the inline baseline"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !durable.resumed || durable.replayed_chunks == 0 {
+        eprintln!(
+            "campaign_dist: FAIL — resumed coordinator replayed nothing (resumed: {}, replayed_chunks: {}); the kill landed at {}/{} chunks so the journal cannot have been empty",
+            durable.resumed, durable.replayed_chunks, durable.killed_at_chunks, durable.total_chunks
+        );
+        return ExitCode::FAILURE;
+    }
     if gate_enforced && speedup < 2.0 {
         eprintln!(
             "campaign_dist: FAIL — {workers} workers reached only {speedup:.2}x over 1 worker on {cores} cores"
@@ -305,6 +562,8 @@ fn main() -> ExitCode {
             "campaign_dist: speedup gate not enforced ({cores} core(s) < {workers} workers) — determinism gates still applied"
         );
     }
-    eprintln!("campaign_dist: record tables identical across inline, 1-worker, and {workers}-worker-with-kill runs");
+    eprintln!(
+        "campaign_dist: record tables identical across inline, 1-worker, {workers}-worker-with-kill, and coordinator-crash-resume runs"
+    );
     ExitCode::SUCCESS
 }

@@ -11,19 +11,35 @@
 
 use std::collections::HashSet;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use certa_fault::{
-    CampaignResult, CampaignSession, HarnessStats, RestoreStats, TrialChunk, TrialRecord,
+    CampaignResult, CampaignSession, HarnessStats, OutcomeCounts, RestoreStats, TrialChunk,
+    TrialRecord,
 };
+use certa_fidelity::verdict::{TrialVerdict, VerdictCounts};
 
+use crate::journal::{ChunkRecord, Journal, JournalIdentity};
 use crate::lease::{Completion, LeaseTable};
 use crate::protocol::{
     read_frame, write_frame, JobSpec, Request, Response, PROTOCOL_VERSION,
 };
 use crate::DistError;
+
+/// Classifies one trial record into the paper's verdict taxonomy.
+/// Supplied by the driver (it needs the workload's fidelity judge, which
+/// does not cross the coordinator seam); when present, per-chunk
+/// [`VerdictCounts`] ride along in the durable journal and the final
+/// [`DistResult`].
+pub type VerdictClassifier = dyn Fn(&TrialRecord) -> TrialVerdict + Sync;
+
+/// Ledger name under which a resumed coordinator attributes chunks
+/// replayed from the journal (keeping "every trial is attributed to
+/// exactly one worker" true across restarts).
+pub const REPLAY_LEDGER_NAME: &str = "journal-replay";
 
 /// Tuning knobs of a distributed campaign run.
 #[derive(Debug, Clone)]
@@ -59,6 +75,10 @@ pub struct DistConfig {
     /// incoming request — a coordinator that goes silent the instant the
     /// queue drains strands any worker whose request was in flight.
     pub shutdown_linger: Duration,
+    /// Test-only coordinator sabotage (the analogue of
+    /// `WorkerSabotage`): lets the crash-recovery differential tests
+    /// kill the coordinator at a provable point.
+    pub sabotage: CoordinatorSabotage,
 }
 
 impl Default for DistConfig {
@@ -72,8 +92,24 @@ impl Default for DistConfig {
             chunk_parts: 16,
             drain_timeout: Duration::from_secs(600),
             shutdown_linger: Duration::from_secs(5),
+            sabotage: CoordinatorSabotage::default(),
         }
     }
+}
+
+/// Test-only sabotage of the coordinator itself.
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatorSabotage {
+    /// Abort the drive loop — simulating coordinator death — once this
+    /// many **Fresh** completions have been accepted by this
+    /// incarnation (journal replays excluded). The run returns
+    /// [`DistError::Crashed`]; with a journal, a subsequent
+    /// [`Coordinator::run_durable`] resumes from the accepted chunks.
+    /// Everything in-memory is dropped exactly as a SIGKILL would drop
+    /// it; the bound listener survives only because the test holds the
+    /// same [`Coordinator`], which is what lets loopback tests restart
+    /// on the same address without `SO_REUSEADDR`.
+    pub die_after_fresh: Option<usize>,
 }
 
 /// Per-worker attribution: what each attached worker (or the inline
@@ -158,12 +194,42 @@ pub struct DistResult {
     /// The assembled campaign result — per-trial records bit-identical to
     /// an in-process run of the same configuration.
     pub campaign: CampaignResult,
-    /// Per-worker attribution, in attach order.
+    /// Per-worker attribution, in attach order (a resumed run leads with
+    /// the [`REPLAY_LEDGER_NAME`] ledger).
     pub workers: Vec<WorkerLedger>,
     /// Lease expiries (chunks returned to the queue) over the whole run.
     pub redeliveries: u64,
     /// Whether the inline fallback executed any chunks.
     pub fallback_used: bool,
+    /// Durability accounting (all-default for non-durable runs).
+    pub resume: ResumeStats,
+    /// Verdict counts summed over every chunk, when a
+    /// [`VerdictClassifier`] was supplied (journaled chunks contribute
+    /// their journaled counts).
+    pub verdicts: VerdictCounts,
+}
+
+/// What crash recovery did for one coordinator incarnation.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeStats {
+    /// Whether this run used a write-ahead journal at all.
+    pub durable: bool,
+    /// Whether a pre-existing journal was found and replayed.
+    pub resumed: bool,
+    /// The epoch this incarnation ran under (1 for a fresh journal,
+    /// `0` for non-durable runs).
+    pub epoch: u64,
+    /// Chunks replayed from the journal instead of re-executed.
+    pub replayed_chunks: u64,
+    /// Trials inside those replayed chunks.
+    pub replayed_trials: u64,
+    /// Duplicate journal records dropped during replay.
+    pub journal_duplicates: u64,
+    /// Bytes cut from the journal's torn tail.
+    pub torn_tail_bytes: u64,
+    /// Completions rejected because they carried another incarnation's
+    /// epoch (counted, never merged).
+    pub stale_epoch_completions: u64,
 }
 
 /// Shared coordinator state, borrowed by every handler thread.
@@ -174,10 +240,19 @@ struct Shared<'s, 'a> {
     dist: DistConfig,
     chunks: Vec<TrialChunk>,
     started: Instant,
+    /// This incarnation's fencing epoch (from the journal; 0 when not
+    /// durable — non-durable coordinators cannot restart, so no
+    /// completion can ever carry a different epoch).
+    epoch: u64,
+    /// The write-ahead journal; appended (and synced) under this lock
+    /// *before* a Fresh completion is merged anywhere.
+    journal: Mutex<Option<Journal>>,
+    classify: Option<&'s VerdictClassifier>,
     table: Mutex<LeaseTable>,
     records: Mutex<Vec<Option<TrialRecord>>>,
     harness: Mutex<HarnessStats>,
     restores: Mutex<RestoreStats>,
+    verdicts: Mutex<VerdictCounts>,
     workers: Mutex<Vec<WorkerLedger>>,
     /// Worker ids that said `Hello` over the wire (the inline fallback
     /// never appears here).
@@ -189,6 +264,11 @@ struct Shared<'s, 'a> {
     ever_attached: AtomicBool,
     fallback_used: AtomicBool,
     shutdown: AtomicBool,
+    /// Fresh completions accepted by this incarnation (journal replays
+    /// excluded) — the sabotage trigger.
+    fresh_accepted: AtomicUsize,
+    /// Completions rejected for carrying another incarnation's epoch.
+    stale_epoch: AtomicU64,
     progress: &'s DistProgress,
 }
 
@@ -234,6 +314,7 @@ impl Shared<'_, '_> {
                         fingerprint: self.fingerprint,
                         worker_threads: self.dist.worker_threads,
                     },
+                    epoch: self.epoch,
                 }
             }
             Request::Lease {
@@ -267,6 +348,7 @@ impl Shared<'_, '_> {
                             trials,
                             ttl_ms: u64::try_from(self.dist.lease_ttl.as_millis())
                                 .unwrap_or(u64::MAX),
+                            epoch: self.epoch,
                         }
                     }
                     Err(true) => {
@@ -282,23 +364,58 @@ impl Shared<'_, '_> {
                     },
                 }
             }
-            Request::Heartbeat { worker, lease } => {
+            Request::Heartbeat {
+                worker,
+                lease,
+                epoch,
+            } => {
+                // A lease from another epoch does not exist in this
+                // incarnation's table — even if the id collides with a
+                // live lease, renewing it would fence the wrong chunk.
+                if epoch != self.epoch {
+                    return Response::Ack {
+                        accepted: false,
+                        epoch: self.epoch,
+                    };
+                }
                 let now = self.now_ms();
                 let accepted = self.table.lock().expect("lease lock").heartbeat(lease, now);
                 self.with_ledger(worker, |l| l.heartbeats += 1);
-                Response::Ack { accepted }
+                Response::Ack {
+                    accepted,
+                    epoch: self.epoch,
+                }
             }
             Request::Complete {
                 worker,
                 lease: _,
                 chunk,
+                epoch,
                 records,
                 harness,
                 restores,
-            } => match self.accept_completion(worker, chunk, records, &harness, &restores) {
-                Ok(accepted) => Response::Ack { accepted },
-                Err(reason) => Response::Reject { reason },
-            },
+            } => {
+                // The fence: a chunk executed against a dead incarnation
+                // is already covered either by the journal (it was
+                // accepted before the crash) or by re-queueing (it was
+                // not) — merging it here could double-count. Reject and
+                // tally; the worker drops its stale payload on seeing
+                // the current epoch in the Ack.
+                if epoch != self.epoch {
+                    self.stale_epoch.fetch_add(1, Ordering::Relaxed);
+                    return Response::Ack {
+                        accepted: false,
+                        epoch: self.epoch,
+                    };
+                }
+                match self.accept_completion(worker, chunk, records, &harness, &restores) {
+                    Ok(accepted) => Response::Ack {
+                        accepted,
+                        epoch: self.epoch,
+                    },
+                    Err(reason) => Response::Reject { reason },
+                }
+            }
         }
     }
 
@@ -335,14 +452,45 @@ impl Shared<'_, '_> {
                 Ok(false)
             }
             Some(Completion::Fresh) => {
+                let verdicts = self.classify.map_or_else(VerdictCounts::default, |classify| {
+                    let mut counts = VerdictCounts::default();
+                    for (_, record) in &records {
+                        counts.record(&classify(record));
+                    }
+                    counts
+                });
+                let delta = ChunkRecord {
+                    chunk,
+                    outcomes: OutcomeCounts::of(records.iter().map(|(_, r)| r)),
+                    records,
+                    harness: *harness,
+                    restores: *restores,
+                    verdicts,
+                };
+                // The write-ahead barrier: the delta must be durable
+                // before it becomes visible anywhere in memory. An
+                // append failure is fatal by design — continuing would
+                // let the campaign diverge from its own journal.
+                {
+                    let mut journal = self.journal.lock().expect("journal lock");
+                    if let Some(journal) = journal.as_mut() {
+                        journal
+                            .append_chunk(&delta)
+                            .expect("write-ahead journal append failed");
+                    }
+                }
                 {
                     let mut slots = self.records.lock().expect("records lock");
-                    for (trial, record) in records {
+                    for (trial, record) in delta.records {
                         slots[trial as usize] = Some(record);
                     }
                 }
                 self.harness.lock().expect("harness lock").merge(harness);
                 self.restores.lock().expect("restores lock").merge(restores);
+                self.verdicts
+                    .lock()
+                    .expect("verdicts lock")
+                    .merge(&delta.verdicts);
                 let trials = expected.trials.len() as u64;
                 self.with_ledger(worker, |l| {
                     l.chunks_completed += 1;
@@ -350,6 +498,7 @@ impl Shared<'_, '_> {
                     l.harness.merge(harness);
                     l.restores.merge(restores);
                 });
+                self.fresh_accepted.fetch_add(1, Ordering::SeqCst);
                 self.progress.chunks_done.fetch_add(1, Ordering::Relaxed);
                 Ok(true)
             }
@@ -536,21 +685,100 @@ impl Coordinator {
         dist: &DistConfig,
         progress: &DistProgress,
     ) -> Result<DistResult, DistError> {
+        self.run_internal(session, workload, dist, progress, None, None)
+    }
+
+    /// Runs a **durable** distributed campaign: every Fresh chunk
+    /// completion is appended (and synced) to the write-ahead journal at
+    /// `journal_path` before it is merged, so a coordinator killed
+    /// mid-campaign can be restarted on the same journal and resume from
+    /// its completed chunks instead of from zero. If the journal already
+    /// holds a valid prefix for *this* campaign (same workload,
+    /// fingerprint, and chunk plan), it is replayed through the ordinary
+    /// completion merge under the [`REPLAY_LEDGER_NAME`] ledger, a torn
+    /// tail is cut, and the run continues under the next epoch —
+    /// completions from earlier incarnations are fenced off (counted in
+    /// [`ResumeStats::stale_epoch_completions`], never merged).
+    ///
+    /// `classify` optionally maps each trial record to the paper's
+    /// verdict taxonomy; the per-chunk [`VerdictCounts`] then ride along
+    /// in the journal and sum into [`DistResult::verdicts`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Coordinator::run_with_progress`] returns, plus
+    /// [`DistError::Journal`] when the journal cannot be opened or
+    /// belongs to a different campaign, and [`DistError::Crashed`] when
+    /// [`CoordinatorSabotage::die_after_fresh`] fires.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if a journal *append* fails mid-run: merging
+    /// an unjournaled delta would break the write-ahead invariant.
+    pub fn run_durable(
+        &self,
+        session: &CampaignSession<'_>,
+        workload: &str,
+        dist: &DistConfig,
+        progress: &DistProgress,
+        journal_path: &Path,
+        classify: Option<&VerdictClassifier>,
+    ) -> Result<DistResult, DistError> {
+        self.run_internal(session, workload, dist, progress, Some(journal_path), classify)
+    }
+
+    fn run_internal(
+        &self,
+        session: &CampaignSession<'_>,
+        workload: &str,
+        dist: &DistConfig,
+        progress: &DistProgress,
+        journal_path: Option<&Path>,
+        classify: Option<&VerdictClassifier>,
+    ) -> Result<DistResult, DistError> {
         let chunks = session.chunk_plan(dist.chunk_parts);
+        let fingerprint = session.fingerprint();
+        let (journal, recovery) = match journal_path {
+            Some(path) => {
+                let identity = JournalIdentity {
+                    workload,
+                    fingerprint,
+                    config: session.config(),
+                    chunks: &chunks,
+                };
+                let (journal, recovery) = Journal::open(path, &identity)
+                    .map_err(|e| DistError::Journal(e.to_string()))?;
+                (Some(journal), Some(recovery))
+            }
+            None => (None, None),
+        };
+        let mut resume = ResumeStats {
+            durable: journal.is_some(),
+            resumed: recovery.as_ref().is_some_and(|r| r.resumed),
+            epoch: recovery.as_ref().map_or(0, |r| r.epoch),
+            journal_duplicates: recovery.as_ref().map_or(0, |r| r.duplicates),
+            torn_tail_bytes: recovery.as_ref().map_or(0, |r| r.torn_tail_bytes),
+            ..ResumeStats::default()
+        };
+
         let ttl_ms = u64::try_from(dist.lease_ttl.as_millis()).unwrap_or(u64::MAX);
         let table = LeaseTable::new(chunks.iter().map(|c| c.trials.clone()).collect(), ttl_ms);
         progress.chunks_total.store(chunks.len(), Ordering::Relaxed);
         let shared = Shared {
             session,
             workload: workload.to_string(),
-            fingerprint: session.fingerprint(),
+            fingerprint,
             dist: dist.clone(),
             chunks,
             started: Instant::now(),
+            epoch: resume.epoch,
+            journal: Mutex::new(journal),
+            classify,
             table: Mutex::new(table),
             records: Mutex::new(vec![None; session.config().trials]),
             harness: Mutex::new(HarnessStats::default()),
             restores: Mutex::new(RestoreStats::default()),
+            verdicts: Mutex::new(VerdictCounts::default()),
             workers: Mutex::new(Vec::new()),
             remote_workers: Mutex::new(HashSet::new()),
             drained_workers: Mutex::new(HashSet::new()),
@@ -558,8 +786,62 @@ impl Coordinator {
             ever_attached: AtomicBool::new(false),
             fallback_used: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            fresh_accepted: AtomicUsize::new(0),
+            stale_epoch: AtomicU64::new(0),
             progress,
         };
+
+        // Replay the journal's completed chunks through the same merge a
+        // live delivery takes, before serving a single request: the
+        // lease table then re-queues exactly the chunks with no durable
+        // record. Attribution goes to a synthetic ledger so "every trial
+        // is attributed to exactly one worker" survives the restart.
+        if let Some(recovery) = recovery.filter(|r| !r.completed.is_empty()) {
+            let replay_worker = {
+                let mut workers = shared.workers.lock().expect("ledger lock");
+                workers.push(WorkerLedger::new(REPLAY_LEDGER_NAME.into()));
+                (workers.len() - 1) as u32
+            };
+            for delta in recovery.completed {
+                let chunk_trials = delta.records.len() as u64;
+                resume.replayed_chunks += 1;
+                resume.replayed_trials += chunk_trials;
+                let completion = shared
+                    .table
+                    .lock()
+                    .expect("lease lock")
+                    .complete(delta.chunk, replay_worker);
+                assert_eq!(
+                    completion,
+                    Some(Completion::Fresh),
+                    "journal recovery already deduplicated chunk records"
+                );
+                {
+                    let mut slots = shared.records.lock().expect("records lock");
+                    for (trial, record) in delta.records {
+                        slots[trial as usize] = Some(record);
+                    }
+                }
+                shared.harness.lock().expect("harness lock").merge(&delta.harness);
+                shared
+                    .restores
+                    .lock()
+                    .expect("restores lock")
+                    .merge(&delta.restores);
+                shared
+                    .verdicts
+                    .lock()
+                    .expect("verdicts lock")
+                    .merge(&delta.verdicts);
+                shared.with_ledger(replay_worker, |l| {
+                    l.chunks_completed += 1;
+                    l.trials_completed += chunk_trials;
+                    l.harness.merge(&delta.harness);
+                    l.restores.merge(&delta.restores);
+                });
+                progress.chunks_done.fetch_add(1, Ordering::Relaxed);
+            }
+        }
 
         let mut drain_error: Option<DistError> = None;
         std::thread::scope(|scope| {
@@ -586,6 +868,19 @@ impl Coordinator {
             // The drive loop: expire lost leases, watch for drain, and
             // degrade to inline execution if no worker ever shows up.
             loop {
+                // Sabotage first: if the test asked this incarnation to
+                // die after N fresh completions, it must die even if the
+                // campaign would drain in the same tick — "crashed
+                // provably mid-campaign" is the whole point.
+                if let Some(limit) = dist.sabotage.die_after_fresh {
+                    if shared.fresh_accepted.load(Ordering::SeqCst) >= limit {
+                        drain_error = Some(DistError::Crashed(format!(
+                            "sabotage: coordinator died after {} fresh completions",
+                            shared.fresh_accepted.load(Ordering::SeqCst)
+                        )));
+                        break;
+                    }
+                }
                 let drained = {
                     let mut table = shared.table.lock().expect("lease lock");
                     table.expire(shared.now_ms());
@@ -669,11 +964,14 @@ impl Coordinator {
         campaign
             .verify_reconciliation()
             .map_err(DistError::Reconciliation)?;
+        resume.stale_epoch_completions = shared.stale_epoch.load(Ordering::Relaxed);
         Ok(DistResult {
             campaign,
             workers: shared.workers.into_inner().expect("ledger lock"),
             redeliveries: shared.table.into_inner().expect("lease lock").redeliveries(),
             fallback_used: shared.fallback_used.load(Ordering::SeqCst),
+            resume,
+            verdicts: shared.verdicts.into_inner().expect("verdicts lock"),
         })
     }
 }

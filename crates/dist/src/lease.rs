@@ -10,6 +10,12 @@
 //! seeds). A second completion of the same chunk is **stale**: detected,
 //! counted, and dropped, never double-merged into the global stats.
 //!
+//! There is also a direct `Queued → Completed` edge with no lease at
+//! all: journal replay. A resumed coordinator marks every journaled
+//! chunk completed before serving its first request, which re-queues
+//! exactly the chunks that have no durable record (see the `journal`
+//! module).
+//!
 //! Time is an explicit `now_ms` parameter (the coordinator passes a
 //! monotonic elapsed-milliseconds reading), which is what makes expiry
 //! deterministic under test.
@@ -106,6 +112,12 @@ impl LeaseTable {
     #[must_use]
     pub fn remaining(&self) -> usize {
         self.chunks.len() - self.completed
+    }
+
+    /// Chunks completed so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed
     }
 
     /// Total lease expiries (chunk re-queues) so far.
@@ -229,9 +241,11 @@ mod tests {
         assert_eq!(t.complete(0, 9), Some(Completion::Stale));
         assert_eq!(t.state(0), Some(ChunkState::Completed { worker: 7 }));
         assert!(!t.is_drained());
+        assert_eq!(t.completed(), 1, "stale completions do not double-count");
         assert_eq!(t.complete(1, 7), Some(Completion::Fresh));
         assert_eq!(t.complete(2, 7), Some(Completion::Fresh));
         assert!(t.is_drained());
+        assert_eq!(t.completed(), 3);
         assert_eq!(t.complete(99, 7), None);
     }
 

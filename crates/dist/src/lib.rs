@@ -31,6 +31,12 @@
 //!   coordinator restart or connection loss.
 //! * The coordinator degrades to in-process execution when no worker
 //!   ever attaches ([`DistConfig::fallback_inline`]).
+//! * The **coordinator itself** is expendable when run durably
+//!   ([`Coordinator::run_durable`]): every Fresh chunk completion is
+//!   appended to a write-ahead [`journal`] before it is merged, so a
+//!   restarted coordinator replays completed chunks, re-queues the
+//!   rest, and fences off deliveries from its dead predecessor with a
+//!   monotonic epoch ([`ResumeStats`] reports what recovery did).
 //! * `verify_reconciliation` extends across the wire: the assembled
 //!   [`certa_fault::CampaignResult`] must satisfy scheduled = completed +
 //!   harness errors *globally*, counting only accepted (first)
@@ -38,13 +44,18 @@
 //!   attribution in the [`WorkerLedger`].
 
 mod coordinator;
+pub mod journal;
 pub mod lease;
 pub mod protocol;
 mod worker;
 
 use std::fmt;
 
-pub use coordinator::{Coordinator, DistConfig, DistProgress, DistResult, WorkerLedger};
+pub use coordinator::{
+    Coordinator, CoordinatorSabotage, DistConfig, DistProgress, DistResult, ResumeStats,
+    VerdictClassifier, WorkerLedger, REPLAY_LEDGER_NAME,
+};
+pub use journal::{ChunkRecord, Journal, JournalError, JournalFaultInjection, JournalIdentity};
 pub use protocol::JobSpec;
 pub use worker::{
     backoff_delay, run_worker, TargetResolver, WorkerOptions, WorkerReport, WorkerSabotage,
@@ -67,6 +78,13 @@ pub enum DistError {
     /// The assembled global result failed
     /// [`certa_fault::CampaignResult::verify_reconciliation`].
     Reconciliation(String),
+    /// The write-ahead journal could not be opened, or its valid prefix
+    /// belongs to a different campaign (see [`JournalError`]).
+    Journal(String),
+    /// The coordinator aborted mid-campaign (today only via
+    /// [`CoordinatorSabotage::die_after_fresh`] in crash-recovery
+    /// tests); a durable run can be resumed from its journal.
+    Crashed(String),
 }
 
 impl fmt::Display for DistError {
@@ -77,6 +95,8 @@ impl fmt::Display for DistError {
             DistError::JobMismatch(what) => write!(f, "job mismatch: {what}"),
             DistError::Incomplete(what) => write!(f, "incomplete campaign: {what}"),
             DistError::Reconciliation(what) => write!(f, "reconciliation failed: {what}"),
+            DistError::Journal(what) => write!(f, "journal error: {what}"),
+            DistError::Crashed(what) => write!(f, "coordinator crashed: {what}"),
         }
     }
 }

@@ -15,13 +15,25 @@
 //! ```text
 //! worker                         coordinator
 //!   | -- Hello{version,name} --->  |  register worker
-//!   | <-- Welcome{worker,job} ---  |  job spec + worker id
+//!   | <-- Welcome{worker,job,ep} -  |  job spec + worker id + epoch
 //!   | -- Lease{worker,fp} ------>  |  expire stale leases, grant
-//!   | <-- Grant{lease,chunk,..} -  |    (or Wait / Drained / Reject)
-//!   | -- Heartbeat{lease} ------>  |  renew expiry     (own connection)
-//!   | -- Complete{lease,recs} -->  |  accept (fresh) or drop (stale)
-//!   | <-- Ack{accepted} ---------  |
+//!   | <-- Grant{lease,chunk,ep,.} -  |    (or Wait / Drained / Reject)
+//!   | -- Heartbeat{lease,ep} --->  |  renew expiry     (own connection)
+//!   | -- Complete{lease,ep,recs}>  |  accept (fresh) or drop (stale)
+//!   | <-- Ack{accepted,ep} ------  |
 //! ```
+//!
+//! ## Epoch fencing
+//!
+//! Every coordinator incarnation runs under a monotonic **epoch**
+//! (persisted in the durable journal — see `certa-dist`'s `journal`
+//! module). [`Response::Welcome`], [`Response::Grant`], and
+//! [`Response::Ack`] carry it; [`Request::Heartbeat`] and
+//! [`Request::Complete`] must echo it. A completion stamped with a
+//! pre-restart epoch is rejected (`Ack { accepted: false }`) and counted
+//! as stale: lease ids restart from zero in a restarted coordinator, so
+//! without the fence a chunk executed against the dead incarnation could
+//! collide with a live lease id and double-merge after recovery.
 
 use std::io::{Read, Write};
 
@@ -34,7 +46,11 @@ use certa_fault::{CampaignConfig, HarnessStats, RestoreStats, TrialRecord};
 
 /// Protocol version; a [`Request::Hello`] with any other version is
 /// rejected. Bump on any frame-format change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial lease protocol; 2 = epoch fencing
+/// (`Welcome`/`Grant`/`Ack` carry the coordinator epoch,
+/// `Heartbeat`/`Complete` echo it).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload. Generous — the largest real frame
 /// is a [`Request::Complete`] carrying one chunk's trial records — but
@@ -125,6 +141,9 @@ pub enum Request {
         worker: u32,
         /// The lease being renewed.
         lease: u64,
+        /// The coordinator epoch the lease was granted under; a renewal
+        /// from a dead incarnation's epoch is refused.
+        epoch: u64,
     },
     /// Deliver a completed chunk's records and stat deltas.
     Complete {
@@ -136,6 +155,10 @@ pub enum Request {
         lease: u64,
         /// The chunk id.
         chunk: u32,
+        /// The coordinator epoch the lease was granted under; a delivery
+        /// stamped with another epoch is rejected as stale and counted,
+        /// never merged.
+        epoch: u64,
         /// `(trial id, record)` pairs, one per trial of the chunk.
         records: Vec<(u32, TrialRecord)>,
         /// Harness-counter delta attributable to this chunk.
@@ -154,10 +177,16 @@ pub enum Response {
         worker: u32,
         /// The job to build a session for.
         job: JobSpec,
+        /// The coordinator incarnation's epoch. A worker observing a new
+        /// epoch on re-`Hello` must drop any leases and undelivered
+        /// completions from the old one.
+        epoch: u64,
     },
     /// A chunk lease.
     Grant {
         /// Lease id (unique per grant, including re-grants of one chunk).
+        /// The id namespace is per-epoch: a restarted coordinator reuses
+        /// ids, which is why completions carry the epoch.
         lease: u64,
         /// Chunk id to report back in [`Request::Complete`].
         chunk: u32,
@@ -165,6 +194,9 @@ pub enum Response {
         trials: Vec<u32>,
         /// Lease time-to-live; heartbeat well within it.
         ttl_ms: u64,
+        /// The epoch this lease is valid under; echo it in
+        /// [`Request::Heartbeat`] and [`Request::Complete`].
+        epoch: u64,
     },
     /// Nothing leasable right now (everything is leased out); poll again
     /// after `poll_ms`.
@@ -176,11 +208,14 @@ pub enum Response {
     Drained,
     /// Reply to [`Request::Heartbeat`] and [`Request::Complete`]:
     /// whether the renewal/delivery was accepted (`false` = lease
-    /// unknown/expired for heartbeats, duplicate completion for
-    /// completes — both harmless by idempotency).
+    /// unknown/expired for heartbeats, duplicate or stale-epoch
+    /// completion for completes — all harmless by idempotency).
     Ack {
         /// Whether the request took effect.
         accepted: bool,
+        /// The coordinator's *current* epoch — lets a worker learn it was
+        /// fenced without waiting for the next re-`Hello`.
+        epoch: u64,
     },
     /// The request cannot be served (version or fingerprint mismatch,
     /// malformed chunk). The worker should give up, not retry.
@@ -225,15 +260,21 @@ impl Request {
                 w.u32(*worker);
                 w.u64(*fingerprint);
             }
-            Request::Heartbeat { worker, lease } => {
+            Request::Heartbeat {
+                worker,
+                lease,
+                epoch,
+            } => {
                 w.u8(2);
                 w.u32(*worker);
                 w.u64(*lease);
+                w.u64(*epoch);
             }
             Request::Complete {
                 worker,
                 lease,
                 chunk,
+                epoch,
                 records,
                 harness,
                 restores,
@@ -242,6 +283,7 @@ impl Request {
                 w.u32(*worker);
                 w.u64(*lease);
                 w.u32(*chunk);
+                w.u64(*epoch);
                 w.u32(u32::try_from(records.len()).expect("chunk fits in u32"));
                 for (trial, record) in records {
                     w.u32(*trial);
@@ -273,11 +315,13 @@ impl Request {
             2 => Request::Heartbeat {
                 worker: r.u32()?,
                 lease: r.u64()?,
+                epoch: r.u64()?,
             },
             3 => {
                 let worker = r.u32()?;
                 let lease = r.u64()?;
                 let chunk = r.u32()?;
+                let epoch = r.u64()?;
                 let count = r.u32()? as usize;
                 let mut records = Vec::with_capacity(count.min(1 << 20));
                 for _ in 0..count {
@@ -288,6 +332,7 @@ impl Request {
                     worker,
                     lease,
                     chunk,
+                    epoch,
                     records,
                     harness: decode_harness_stats(&mut r)?,
                     restores: decode_restore_stats(&mut r)?,
@@ -306,16 +351,18 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         match self {
-            Response::Welcome { worker, job } => {
+            Response::Welcome { worker, job, epoch } => {
                 w.u8(0);
                 w.u32(*worker);
                 encode_job_spec(&mut w, job);
+                w.u64(*epoch);
             }
             Response::Grant {
                 lease,
                 chunk,
                 trials,
                 ttl_ms,
+                epoch,
             } => {
                 w.u8(1);
                 w.u64(*lease);
@@ -325,15 +372,17 @@ impl Response {
                     w.u32(*trial);
                 }
                 w.u64(*ttl_ms);
+                w.u64(*epoch);
             }
             Response::Wait { poll_ms } => {
                 w.u8(2);
                 w.u64(*poll_ms);
             }
             Response::Drained => w.u8(3),
-            Response::Ack { accepted } => {
+            Response::Ack { accepted, epoch } => {
                 w.u8(4);
                 w.bool(*accepted);
+                w.u64(*epoch);
             }
             Response::Reject { reason } => {
                 w.u8(5);
@@ -354,6 +403,7 @@ impl Response {
             0 => Response::Welcome {
                 worker: r.u32()?,
                 job: decode_job_spec(&mut r)?,
+                epoch: r.u64()?,
             },
             1 => {
                 let lease = r.u64()?;
@@ -368,12 +418,14 @@ impl Response {
                     chunk,
                     trials,
                     ttl_ms: r.u64()?,
+                    epoch: r.u64()?,
                 }
             }
             2 => Response::Wait { poll_ms: r.u64()? },
             3 => Response::Drained,
             4 => Response::Ack {
                 accepted: r.bool()?,
+                epoch: r.u64()?,
             },
             5 => Response::Reject { reason: r.str()? },
             _ => return Err(WireError::Malformed("response tag")),
@@ -411,11 +463,13 @@ mod tests {
             Request::Heartbeat {
                 worker: 3,
                 lease: 17,
+                epoch: 2,
             },
             Request::Complete {
                 worker: 3,
                 lease: 17,
                 chunk: 5,
+                epoch: 2,
                 records: vec![(9, record.clone()), (11, record)],
                 harness: HarnessStats {
                     panics: 1,
@@ -445,16 +499,21 @@ mod tests {
                     fingerprint: 99,
                     worker_threads: 2,
                 },
+                epoch: 3,
             },
             Response::Grant {
                 lease: 8,
                 chunk: 2,
                 trials: vec![1, 5, 9],
                 ttl_ms: 5000,
+                epoch: 3,
             },
             Response::Wait { poll_ms: 100 },
             Response::Drained,
-            Response::Ack { accepted: true },
+            Response::Ack {
+                accepted: true,
+                epoch: 3,
+            },
             Response::Reject {
                 reason: "fingerprint mismatch".into(),
             },

@@ -4,21 +4,47 @@
 //!
 //! Robustness: heartbeats on a leased chunk run on a guard thread over
 //! short-lived side connections (so they never interleave with an
-//! in-flight request frame); connection loss triggers reconnect with
-//! exponential backoff plus deterministic jitter; and the
-//! [`WorkerSabotage`] hook lets tests make a worker vanish mid-lease —
-//! from the coordinator's point of view indistinguishable from a SIGKILL.
+//! in-flight request frame); connection loss triggers re-attach
+//! (re-connect + re-`Hello`) with exponential backoff plus deterministic
+//! jitter; and the [`WorkerSabotage`] hook lets tests make a worker
+//! vanish mid-lease — from the coordinator's point of view
+//! indistinguishable from a SIGKILL.
+//!
+//! ## Surviving a coordinator restart
+//!
+//! Re-attach is the *single* recovery path for every connection-level
+//! failure, including the coordinator dying and coming back. The
+//! expensive session (golden run + checkpoint capture) is built at most
+//! once per worker process and reused across any number of re-attaches —
+//! a coordinator restart costs the worker one `Hello`, not a rebuild.
+//! The epoch in the new `Welcome` then disambiguates what the outage
+//! meant:
+//!
+//! * **Same epoch** — the coordinator never died; the connection did. A
+//!   completion that was in flight when the connection dropped
+//!   (`PendingComplete`) is simply re-sent: the coordinator dedups
+//!   (`Ack { accepted: false }` = already merged, counted as a stale
+//!   ack).
+//! * **New epoch** — the old incarnation is dead. Its leases and any
+//!   undelivered completion are invalid by definition (the restarted
+//!   coordinator re-queues exactly the chunks its journal lacks), so the
+//!   worker drops the pending payload — counted in
+//!   [`WorkerReport::stale_epoch_drops`], never re-sent — and leases
+//!   afresh under the new epoch.
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use certa_fault::{CampaignSession, HarnessStats, RestoreStats, Target};
+use certa_core::TagMap;
+use certa_fault::{
+    CampaignConfig, CampaignSession, HarnessStats, RestoreStats, Target, TrialRecord,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{read_frame, write_frame, JobSpec, Request, Response, PROTOCOL_VERSION};
 use crate::DistError;
 
 /// Maps the coordinator's workload name to a local fault-injection
@@ -55,7 +81,7 @@ pub struct WorkerOptions {
     /// one response before treating the coordinator as gone and
     /// reconnecting. Generous by default: a starved-but-alive
     /// coordinator is much more common than a dead one, and a false
-    /// positive costs a full session rebuild.
+    /// positive costs a round of reconnect backoff.
     pub io_timeout: Duration,
     /// Artificial delay per granted chunk, before running it — lets tests
     /// and benches hold a lease long enough to lose it on purpose.
@@ -86,7 +112,7 @@ impl Default for WorkerOptions {
 /// What one worker accomplished, from its own point of view.
 #[derive(Debug, Default, Clone)]
 pub struct WorkerReport {
-    /// Worker id assigned by the coordinator (last connection's).
+    /// Worker id assigned by the coordinator (last attach's).
     pub worker: u32,
     /// Lease grants received.
     pub leases: u32,
@@ -96,8 +122,18 @@ pub struct WorkerReport {
     pub trials_completed: u64,
     /// Completions the coordinator acknowledged as stale duplicates.
     pub stale_acks: u32,
-    /// Successful re-connections after a connection loss.
+    /// Successful re-attaches (re-connect + re-`Hello`) after a
+    /// connection loss.
     pub reconnects: u32,
+    /// Times the expensive session (golden run + checkpoints) was built.
+    /// At most 1 per worker process, however many re-attaches happened —
+    /// the proof hook that a coordinator restart does not trigger a
+    /// rebuild.
+    pub session_builds: u32,
+    /// Completed chunks dropped un-sent because the coordinator's epoch
+    /// moved (the work was done for a dead incarnation; the restarted
+    /// coordinator re-queues whatever its journal lacks).
+    pub stale_epoch_drops: u32,
     /// Whether the sabotage hook made this worker abandon a lease.
     pub abandoned: bool,
     /// Harness-counter deltas across accepted chunks.
@@ -139,6 +175,7 @@ fn heartbeat_guard(
     addr: SocketAddr,
     worker: u32,
     lease: u64,
+    epoch: u64,
     interval: Duration,
     stop: &AtomicBool,
 ) {
@@ -156,44 +193,338 @@ fn heartbeat_guard(
         if let Ok(mut stream) = TcpStream::connect(addr) {
             let _ = stream.set_nodelay(true);
             let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-            let _ = roundtrip(&mut stream, &Request::Heartbeat { worker, lease });
+            let _ = roundtrip(
+                &mut stream,
+                &Request::Heartbeat {
+                    worker,
+                    lease,
+                    epoch,
+                },
+            );
         }
     }
 }
 
-/// Serves one connection until drained, sabotaged, or errored.
-/// `Ok(true)` = the campaign is over for this worker (drained or
-/// deliberately abandoned); `Ok(false)` never occurs (connection loss is
-/// `Err(DistError::Io)`, which the caller turns into a reconnect).
-fn serve_connection(
-    mut stream: TcpStream,
+/// A completed chunk whose `Complete` has not been accepted yet. Captured
+/// *before* the first delivery attempt, so a connection lost anywhere in
+/// the `Complete` round trip leaves the payload re-sendable. The stamped
+/// `epoch` decides its fate on re-attach: same epoch → re-send (the
+/// coordinator dedups), new epoch → drop and count (the work belonged to
+/// a dead incarnation).
+struct PendingComplete {
+    epoch: u64,
+    worker: u32,
+    lease: u64,
+    chunk: u32,
+    records: Vec<(u32, TrialRecord)>,
+    harness: HarnessStats,
+    restores: RestoreStats,
+    trials: u64,
+}
+
+impl PendingComplete {
+    fn request(&self) -> Request {
+        Request::Complete {
+            worker: self.worker,
+            lease: self.lease,
+            chunk: self.chunk,
+            epoch: self.epoch,
+            records: self.records.clone(),
+            harness: self.harness,
+            restores: self.restores,
+        }
+    }
+}
+
+/// Everything about the job that is fixed for the life of the worker
+/// process (the first `Welcome` pins it; later attaches must match).
+struct WorkerContext<'a> {
+    addr: SocketAddr,
+    fingerprint: u64,
+    target: &'a dyn Target,
+    tags: &'a TagMap,
+    config: CampaignConfig,
+    opts: &'a WorkerOptions,
+}
+
+/// How one attached connection ended, short of a connection error.
+enum Served {
+    /// The campaign is over for this worker (drained, or deliberately
+    /// abandoned by the sabotage hook).
+    Done,
+    /// The coordinator answered with a different epoch than this
+    /// connection attached under — re-attach to observe the new one.
+    Fenced,
+}
+
+/// Connects and performs the `Hello`/`Welcome` handshake, retrying with
+/// exponential backoff on connection-level failures. Returns the attached
+/// stream plus the coordinator-assigned worker id, the coordinator's
+/// epoch, and the job. `failures` counts *consecutive* losses across
+/// attach attempts and is reset by success; `connected_before`
+/// distinguishes a first attach from a re-attach (for the reconnect
+/// counter).
+fn attach(
+    addr: SocketAddr,
+    opts: &WorkerOptions,
+    report: &mut WorkerReport,
+    failures: &mut u32,
+    connected_before: &mut bool,
+) -> Result<(TcpStream, u32, u64, JobSpec), DistError> {
+    loop {
+        let attempt = (|| {
+            let mut stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            stream.set_read_timeout(Some(opts.io_timeout))?;
+            let welcome = roundtrip(
+                &mut stream,
+                &Request::Hello {
+                    version: PROTOCOL_VERSION,
+                    name: opts.name.clone(),
+                },
+            )?;
+            match welcome {
+                Response::Welcome { worker, job, epoch } => Ok((stream, worker, epoch, job)),
+                Response::Reject { reason } => Err(DistError::Protocol(reason)),
+                other => Err(DistError::Protocol(format!(
+                    "expected Welcome, got {other:?}"
+                ))),
+            }
+        })();
+        match attempt {
+            Ok(attached) => {
+                if *connected_before {
+                    report.reconnects += 1;
+                }
+                *connected_before = true;
+                *failures = 0;
+                return Ok(attached);
+            }
+            Err(DistError::Io(e)) => {
+                *failures += 1;
+                if *failures >= opts.connect_attempts {
+                    return Err(DistError::Io(e));
+                }
+                std::thread::sleep(backoff_delay(
+                    *failures,
+                    opts.connect_base,
+                    opts.connect_cap,
+                    opts.backoff_seed,
+                ));
+            }
+            Err(fatal) => return Err(fatal),
+        }
+    }
+}
+
+/// Delivers `pending` and settles the `Ack`. `Ok(None)` = settled (fresh
+/// or stale-duplicate — either way the payload is spent); `Ok(Some)` =
+/// the coordinator fenced us (new epoch): payload dropped and counted,
+/// caller must re-attach. A connection error propagates with `pending`
+/// still intact for the re-attach path to settle.
+fn deliver(
+    stream: &mut TcpStream,
+    epoch: u64,
+    pending: &mut Option<PendingComplete>,
+    report: &mut WorkerReport,
+) -> Result<Option<Served>, DistError> {
+    let request = pending.as_ref().expect("deliver needs a payload").request();
+    match roundtrip(stream, &request)? {
+        Response::Ack { accepted: true, .. } => {
+            let sent = pending.take().expect("payload still pending");
+            report.chunks_completed += 1;
+            report.trials_completed += sent.trials;
+            report.harness.merge(&sent.harness);
+            report.restores.merge(&sent.restores);
+            Ok(None)
+        }
+        Response::Ack {
+            accepted: false,
+            epoch: ack_epoch,
+        } => {
+            pending.take();
+            if ack_epoch == epoch {
+                // Duplicate delivery (e.g. our lease expired and someone
+                // else finished the chunk first): already merged once,
+                // harmless by idempotency.
+                report.stale_acks += 1;
+                Ok(None)
+            } else {
+                report.stale_epoch_drops += 1;
+                Ok(Some(Served::Fenced))
+            }
+        }
+        Response::Reject { reason } => Err(DistError::Protocol(reason)),
+        other => Err(DistError::Protocol(format!("expected Ack, got {other:?}"))),
+    }
+}
+
+/// Serves one attached connection until drained, sabotaged, fenced, or
+/// errored. Connection loss is `Err(DistError::Io)`, which the caller
+/// turns into a re-attach; `pending` carries any undelivered completion
+/// across that boundary.
+fn serve<'a>(
+    ctx: &WorkerContext<'a>,
+    stream: &mut TcpStream,
+    worker: u32,
+    epoch: u64,
+    session: &mut Option<CampaignSession<'a>>,
+    pending: &mut Option<PendingComplete>,
+    report: &mut WorkerReport,
+) -> Result<Served, DistError> {
+    // Settle a completion left over from a lost connection first: same
+    // epoch means the coordinator never died, so the chunk is either
+    // unmerged (re-send lands it) or already merged (stale ack). Only
+    // then ask for new work.
+    if pending.is_some() {
+        if let Some(served) = deliver(stream, epoch, pending, report)? {
+            return Ok(served);
+        }
+    }
+
+    loop {
+        let response = roundtrip(
+            stream,
+            &Request::Lease {
+                worker,
+                fingerprint: ctx.fingerprint,
+            },
+        )?;
+        match response {
+            Response::Grant {
+                lease,
+                chunk,
+                trials,
+                ttl_ms: _,
+                epoch: grant_epoch,
+            } => {
+                if grant_epoch != epoch {
+                    // Can only mean the coordinator restarted underneath
+                    // this connection; the grant belongs to an epoch we
+                    // never attached to. Re-attach rather than guess.
+                    return Ok(Served::Fenced);
+                }
+                if ctx
+                    .opts
+                    .sabotage
+                    .abandon_after_leases
+                    .is_some_and(|n| report.leases >= n)
+                {
+                    // Vanish holding the lease: no heartbeat, no
+                    // completion, no goodbye.
+                    report.abandoned = true;
+                    return Ok(Served::Done);
+                }
+                report.leases += 1;
+                let stop = Arc::new(AtomicBool::new(false));
+                let guard = {
+                    let stop = Arc::clone(&stop);
+                    let interval = ctx.opts.heartbeat_interval;
+                    let addr = ctx.addr;
+                    std::thread::spawn(move || {
+                        heartbeat_guard(addr, worker, lease, epoch, interval, &stop);
+                    })
+                };
+                // First grant ever: build the session under heartbeat
+                // cover (the guard above keeps the lease alive through
+                // the golden run), then prove both sides prepared the
+                // same campaign. The session then lives for the rest of
+                // the process — a re-attach, even one that crosses a
+                // coordinator restart, reuses it (the fingerprint check
+                // on every `Lease` keeps it honest). On mismatch the
+                // held lease simply expires and the chunk redelivers —
+                // correct by design.
+                if session.is_none() {
+                    let built = CampaignSession::new(ctx.target, ctx.tags, &ctx.config);
+                    report.session_builds += 1;
+                    let fingerprint = built.fingerprint();
+                    if fingerprint != ctx.fingerprint {
+                        stop.store(true, Ordering::SeqCst);
+                        guard.join().expect("heartbeat guard panicked");
+                        return Err(DistError::JobMismatch(format!(
+                            "session fingerprint {fingerprint:#x} != job fingerprint {:#x}",
+                            ctx.fingerprint
+                        )));
+                    }
+                    *session = Some(built);
+                }
+                let live = session.as_ref().expect("session just built");
+                if !ctx.opts.throttle_per_chunk.is_zero() {
+                    std::thread::sleep(ctx.opts.throttle_per_chunk);
+                }
+                let harness_before = live.harness_stats();
+                let restores_before = live.restore_stats();
+                let records = live.run_subset(&trials);
+                let harness = live.harness_stats().saturating_sub(&harness_before);
+                let restores = live.restore_stats().saturating_sub(&restores_before);
+                stop.store(true, Ordering::SeqCst);
+                guard.join().expect("heartbeat guard panicked");
+
+                // Stage the payload *before* the first send attempt, so
+                // a connection lost mid-round-trip can re-send it.
+                *pending = Some(PendingComplete {
+                    epoch,
+                    worker,
+                    lease,
+                    chunk,
+                    trials: trials.len() as u64,
+                    records: trials.iter().copied().zip(records).collect(),
+                    harness,
+                    restores,
+                });
+                if let Some(served) = deliver(stream, epoch, pending, report)? {
+                    return Ok(served);
+                }
+            }
+            Response::Wait { poll_ms } => {
+                std::thread::sleep(Duration::from_millis(poll_ms.min(5_000)));
+            }
+            Response::Drained => return Ok(Served::Done),
+            Response::Reject { reason } => return Err(DistError::Protocol(reason)),
+            other => {
+                return Err(DistError::Protocol(format!(
+                    "expected Grant/Wait/Drained, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Runs a worker against the coordinator at `addr` until the campaign
+/// drains (or the sabotage hook fires). Re-attaches with exponential
+/// backoff plus jitter on connection loss — including across a
+/// coordinator restart, where the new `Welcome`'s epoch tells the worker
+/// to drop work done for the dead incarnation (see the module docs) —
+/// and gives up after [`WorkerOptions::connect_attempts`] consecutive
+/// failures.
+///
+/// # Errors
+///
+/// [`DistError::Io`] once reconnection is exhausted;
+/// [`DistError::JobMismatch`] when the workload cannot be resolved, the
+/// rebuilt session's fingerprint differs from the coordinator's, or a
+/// re-attach is welcomed to a *different* job; [`DistError::Protocol`]
+/// on undecodable or out-of-order responses — the latter two are fatal
+/// immediately (retrying cannot fix a wrong binary).
+///
+/// # Panics
+///
+/// Panics if the heartbeat guard thread panics (a worker bug).
+pub fn run_worker(
     addr: SocketAddr,
     resolve: &TargetResolver,
     opts: &WorkerOptions,
-    report: &mut WorkerReport,
-    attached: &mut bool,
-) -> Result<bool, DistError> {
-    let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(opts.io_timeout))?;
+) -> Result<WorkerReport, DistError> {
+    let mut report = WorkerReport::default();
+    // Consecutive failures: a successful attach (Hello/Welcome) resets
+    // the budget, so a long campaign survives any number of transient
+    // losses as long as each re-attach actually reaches a coordinator.
+    let mut failures = 0u32;
+    let mut connected_before = false;
 
-    let welcome = roundtrip(
-        &mut stream,
-        &Request::Hello {
-            version: PROTOCOL_VERSION,
-            name: opts.name.clone(),
-        },
-    )?;
-    let (worker, job) = match welcome {
-        Response::Welcome { worker, job } => (worker, job),
-        Response::Reject { reason } => return Err(DistError::Protocol(reason)),
-        other => {
-            return Err(DistError::Protocol(format!(
-                "expected Welcome, got {other:?}"
-            )))
-        }
-    };
+    let (mut stream, mut worker, mut epoch, job) =
+        attach(addr, opts, &mut report, &mut failures, &mut connected_before)?;
     report.worker = worker;
-    *attached = true;
 
     // Resolve the workload and re-derive its tag map now (cheap), but
     // DEFER the expensive session rebuild — the golden run and checkpoint
@@ -212,181 +543,58 @@ fn serve_connection(
     config.threads = opts
         .threads_override
         .unwrap_or(job.worker_threads as usize);
+    let ctx = WorkerContext {
+        addr,
+        fingerprint: job.fingerprint,
+        target: target.as_ref(),
+        tags: &tags,
+        config,
+        opts,
+    };
     let mut session: Option<CampaignSession<'_>> = None;
+    let mut pending: Option<PendingComplete> = None;
 
     loop {
-        let response = roundtrip(
+        let served = serve(
+            &ctx,
             &mut stream,
-            &Request::Lease {
-                worker,
-                fingerprint: job.fingerprint,
-            },
-        )?;
-        match response {
-            Response::Grant {
-                lease,
-                chunk,
-                trials,
-                ttl_ms: _,
-            } => {
-                if opts
-                    .sabotage
-                    .abandon_after_leases
-                    .is_some_and(|n| report.leases >= n)
-                {
-                    // Vanish holding the lease: no heartbeat, no
-                    // completion, no goodbye.
-                    report.abandoned = true;
-                    return Ok(true);
-                }
-                report.leases += 1;
-                let stop = Arc::new(AtomicBool::new(false));
-                let guard = {
-                    let stop = Arc::clone(&stop);
-                    let interval = opts.heartbeat_interval;
-                    std::thread::spawn(move || {
-                        heartbeat_guard(addr, worker, lease, interval, &stop);
-                    })
-                };
-                // First grant: rebuild the session under heartbeat cover
-                // (the guard above keeps the lease alive through the
-                // golden run), then prove both sides prepared the same
-                // campaign. On mismatch the held lease simply expires and
-                // the chunk redelivers — correct by design.
-                if session.is_none() {
-                    let built = CampaignSession::new(target.as_ref(), &tags, &config);
-                    let fingerprint = built.fingerprint();
-                    if fingerprint != job.fingerprint {
-                        stop.store(true, Ordering::SeqCst);
-                        guard.join().expect("heartbeat guard panicked");
-                        return Err(DistError::JobMismatch(format!(
-                            "session fingerprint {fingerprint:#x} != job fingerprint {:#x}",
-                            job.fingerprint
-                        )));
-                    }
-                    session = Some(built);
-                }
-                let session = session.as_ref().expect("session just built");
-                if !opts.throttle_per_chunk.is_zero() {
-                    std::thread::sleep(opts.throttle_per_chunk);
-                }
-                let harness_before = session.harness_stats();
-                let restores_before = session.restore_stats();
-                let records = session.run_subset(&trials);
-                let harness = session.harness_stats().saturating_sub(&harness_before);
-                let restores = session.restore_stats().saturating_sub(&restores_before);
-                stop.store(true, Ordering::SeqCst);
-                guard.join().expect("heartbeat guard panicked");
-
-                let trials_in_chunk = trials.len() as u64;
-                let complete = Request::Complete {
-                    worker,
-                    lease,
-                    chunk,
-                    records: trials.iter().copied().zip(records).collect(),
-                    harness,
-                    restores,
-                };
-                match roundtrip(&mut stream, &complete)? {
-                    Response::Ack { accepted: true } => {
-                        report.chunks_completed += 1;
-                        report.trials_completed += trials_in_chunk;
-                        report.harness.merge(&harness);
-                        report.restores.merge(&restores);
-                    }
-                    Response::Ack { accepted: false } => report.stale_acks += 1,
-                    Response::Reject { reason } => return Err(DistError::Protocol(reason)),
-                    other => {
-                        return Err(DistError::Protocol(format!(
-                            "expected Ack, got {other:?}"
-                        )))
-                    }
-                }
-            }
-            Response::Wait { poll_ms } => {
-                std::thread::sleep(Duration::from_millis(poll_ms.min(5_000)));
-            }
-            Response::Drained => return Ok(true),
-            Response::Reject { reason } => return Err(DistError::Protocol(reason)),
-            other => {
-                return Err(DistError::Protocol(format!(
-                    "expected Grant/Wait/Drained, got {other:?}"
-                )))
-            }
-        }
-    }
-}
-
-/// Runs a worker against the coordinator at `addr` until the campaign
-/// drains (or the sabotage hook fires). Reconnects with exponential
-/// backoff plus jitter on connection loss; gives up after
-/// [`WorkerOptions::connect_attempts`] consecutive failures.
-///
-/// # Errors
-///
-/// [`DistError::Io`] once reconnection is exhausted;
-/// [`DistError::JobMismatch`] when the workload cannot be resolved or the
-/// rebuilt session's fingerprint differs from the coordinator's;
-/// [`DistError::Protocol`] on undecodable or out-of-order responses —
-/// the latter two are fatal immediately (retrying cannot fix a wrong
-/// binary).
-///
-/// # Panics
-///
-/// Panics if the heartbeat guard thread panics (a worker bug).
-pub fn run_worker(
-    addr: SocketAddr,
-    resolve: &TargetResolver,
-    opts: &WorkerOptions,
-) -> Result<WorkerReport, DistError> {
-    let mut report = WorkerReport::default();
-    // Consecutive failures: a successful attach (Hello/Welcome) resets
-    // the budget, so a long campaign survives any number of transient
-    // losses as long as each reconnect actually reaches the coordinator.
-    let mut failures = 0u32;
-    let mut connected_before = false;
-    loop {
-        let stream = match TcpStream::connect(addr) {
-            Ok(stream) => stream,
-            Err(e) => {
-                failures += 1;
-                if failures >= opts.connect_attempts {
-                    return Err(DistError::Io(e));
-                }
-                std::thread::sleep(backoff_delay(
-                    failures,
-                    opts.connect_base,
-                    opts.connect_cap,
-                    opts.backoff_seed,
-                ));
-                continue;
-            }
-        };
-        if connected_before {
-            report.reconnects += 1;
-        }
-        let mut attached = false;
-        let served = serve_connection(stream, addr, resolve, opts, &mut report, &mut attached);
-        if attached {
-            failures = 0;
-        }
+            worker,
+            epoch,
+            &mut session,
+            &mut pending,
+            &mut report,
+        );
         match served {
-            Ok(_) => return Ok(report),
-            Err(DistError::Io(e)) => {
-                connected_before = true;
-                failures += 1;
-                if failures >= opts.connect_attempts {
-                    return Err(DistError::Io(e));
-                }
-                std::thread::sleep(backoff_delay(
-                    failures,
-                    opts.connect_base,
-                    opts.connect_cap,
-                    opts.backoff_seed,
-                ));
-            }
+            Ok(Served::Done) => return Ok(report),
+            Ok(Served::Fenced) => {}
+            Err(DistError::Io(_)) => {}
             Err(fatal) => return Err(fatal),
         }
+        // Re-attach (failed attempts count toward the consecutive-failure
+        // budget until a Welcome lands). A different fingerprint means
+        // the restarted coordinator is running a different campaign — the
+        // session we hold cannot serve it, so that is fatal, not
+        // retriable.
+        let (new_stream, new_worker, new_epoch, new_job) =
+            attach(addr, opts, &mut report, &mut failures, &mut connected_before)?;
+        if new_job.fingerprint != ctx.fingerprint {
+            return Err(DistError::JobMismatch(format!(
+                "re-attach welcomed to a different job: fingerprint {:#x} != {:#x}",
+                new_job.fingerprint, ctx.fingerprint
+            )));
+        }
+        if new_epoch != epoch {
+            // The old incarnation is dead; anything staged for it is
+            // void. (A completion fenced by an explicit Ack was already
+            // dropped and counted in `deliver`.)
+            if pending.take().is_some() {
+                report.stale_epoch_drops += 1;
+            }
+        }
+        stream = new_stream;
+        worker = new_worker;
+        epoch = new_epoch;
+        report.worker = worker;
     }
 }
 

@@ -1,0 +1,295 @@
+//! Property tests for journal-driven crash recovery.
+//!
+//! The write-ahead invariant means a dead coordinator's journal holds
+//! *some prefix* of the campaign's completed chunks (in whatever order
+//! racing workers delivered them), possibly with a duplicate from a
+//! crash between append and merge, possibly with a torn final record.
+//! Resuming from **any** such journal must land the exact same final
+//! record table as a clean run — that is the whole durability claim,
+//! and it is what these properties pin:
+//!
+//! * any subset of chunk records, in any order, optionally duplicated,
+//!   resumes to the byte-identical record table;
+//! * any byte-length truncation of a valid journal (simulating death
+//!   mid-`write`) resumes to the byte-identical record table.
+//!
+//! Both properties drive the real [`Coordinator::run_durable`] path
+//! (inline fallback execution), so replay, re-queueing, merge, and the
+//! global reconciliation check are all exercised per case.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use certa_asm::Asm;
+use certa_core::analyze;
+use certa_dist::{
+    ChunkRecord, Coordinator, DistConfig, DistProgress, Journal, JournalIdentity,
+    REPLAY_LEDGER_NAME,
+};
+use certa_fault::{CampaignConfig, CampaignSession, Target, TrialChunk, TrialRecord};
+use certa_isa::reg::{T0, T1, T2, T3};
+use certa_isa::Program;
+use certa_sim::Machine;
+
+/// The campaign crate's canonical tiny workload: sums 64 input bytes
+/// into a 32-bit little-endian output.
+struct SumTarget {
+    program: Program,
+    input_addr: u32,
+    output_addr: u32,
+}
+
+impl SumTarget {
+    fn new() -> Self {
+        let mut a = Asm::new();
+        let input_addr = a.data_zero(64);
+        let output_addr = a.data_zero(4);
+        a.func("sum", true);
+        a.la(T0, input_addr);
+        a.li(T1, 0);
+        a.li(T2, 0);
+        a.label("loop");
+        a.add(T3, T0, T1);
+        a.lbu(T3, 0, T3);
+        a.add(T2, T2, T3);
+        a.addi(T1, T1, 1);
+        a.slti(T3, T1, 64);
+        a.bnez(T3, "loop");
+        a.la(T0, output_addr);
+        a.sw(T2, 0, T0);
+        a.ret();
+        a.endfunc();
+        a.func("main", false);
+        a.call("sum");
+        a.halt();
+        a.endfunc();
+        SumTarget {
+            program: a.assemble().unwrap(),
+            input_addr,
+            output_addr,
+        }
+    }
+}
+
+impl Target for SumTarget {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn prepare(&self, machine: &mut Machine<'_>) {
+        let input: Vec<u8> = (0..64u8).collect();
+        machine.write_bytes(self.input_addr, &input).unwrap();
+    }
+
+    fn extract(&self, machine: &Machine<'_>) -> Option<Vec<u8>> {
+        machine.read_bytes(self.output_addr, 4).ok()
+    }
+}
+
+const CHUNK_PARTS: usize = 4;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "certa-journal-resume-{}-{tag}-{seq}.wal",
+        std::process::id()
+    ))
+}
+
+/// One shared baseline, built once: the session (leaked — property cases
+/// run until the process exits anyway), the clean run's record table,
+/// the chunk deltas a complete campaign journals, and the raw bytes of
+/// that complete journal.
+struct Fixture {
+    session: CampaignSession<'static>,
+    config: CampaignConfig,
+    chunks: Vec<TrialChunk>,
+    baseline: Vec<TrialRecord>,
+    deltas: Vec<ChunkRecord>,
+    journal_bytes: Vec<u8>,
+}
+
+impl Fixture {
+    fn identity(&self) -> JournalIdentity<'_> {
+        JournalIdentity {
+            workload: "sum",
+            fingerprint: self.session.fingerprint(),
+            config: &self.config,
+            chunks: &self.chunks,
+        }
+    }
+}
+
+fn dist_config() -> DistConfig {
+    DistConfig {
+        fallback_inline: true,
+        fallback_grace: Duration::from_millis(10),
+        chunk_parts: CHUNK_PARTS,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let target: &'static SumTarget = Box::leak(Box::new(SumTarget::new()));
+        let tags = Box::leak(Box::new(analyze(target.program())));
+        let config = CampaignConfig {
+            trials: 16,
+            errors: 1,
+            seed: 0xd15c0,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let session = CampaignSession::new(target, tags, &config);
+        let chunks = session.chunk_plan(CHUNK_PARTS);
+
+        // A clean durable run (inline fallback) produces both the
+        // baseline record table and a complete journal to mine chunk
+        // deltas from.
+        let path = temp_path("baseline");
+        let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+        let result = coordinator
+            .run_durable(
+                &session,
+                "sum",
+                &dist_config(),
+                &DistProgress::default(),
+                &path,
+                None,
+            )
+            .expect("baseline campaign");
+        let journal_bytes = std::fs::read(&path).expect("journal bytes");
+        let identity = JournalIdentity {
+            workload: "sum",
+            fingerprint: session.fingerprint(),
+            config: &config,
+            chunks: &chunks,
+        };
+        let (_journal, recovery) = Journal::open(&path, &identity).expect("read back");
+        assert_eq!(
+            recovery.completed.len(),
+            chunks.len(),
+            "the clean run journaled every chunk"
+        );
+        drop(_journal);
+        std::fs::remove_file(&path).ok();
+
+        Fixture {
+            session,
+            config,
+            chunks,
+            baseline: result.campaign.trials,
+            deltas: recovery.completed,
+            journal_bytes,
+        }
+    })
+}
+
+/// Resumes a campaign from the journal at `path` and returns the final
+/// result, asserting completion.
+fn resume(path: &Path) -> certa_dist::DistResult {
+    let fx = fixture();
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    coordinator
+        .run_durable(
+            &fx.session,
+            "sum",
+            &dist_config(),
+            &DistProgress::default(),
+            path,
+            None,
+        )
+        .expect("resumed campaign")
+}
+
+proptest! {
+    /// Replaying any subset of a campaign's journaled chunks — any
+    /// size, any order, optionally with a duplicated record — resumes
+    /// to the identical final record table, with exactly the journaled
+    /// chunks attributed to replay and the rest re-executed.
+    #[test]
+    fn any_journal_prefix_resumes_to_the_identical_record_table(
+        prefix_sel in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        duplicate in any::<bool>(),
+    ) {
+        let fx = fixture();
+        let n = fx.deltas.len();
+        let k = (prefix_sel % (n as u64 + 1)) as usize;
+
+        // A deterministic Fisher–Yates shuffle stands in for "whatever
+        // order N racing workers happened to deliver in".
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(shuffle_seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+
+        let path = temp_path("prefix");
+        {
+            let (mut journal, recovery) =
+                Journal::open(&path, &fx.identity()).expect("fresh journal");
+            prop_assert!(!recovery.resumed);
+            for &i in &order[..k] {
+                journal.append_chunk(&fx.deltas[i]).expect("append");
+            }
+            if duplicate && k > 0 {
+                // A crash between journal append and in-memory merge
+                // legitimately leaves the same chunk journaled twice.
+                journal.append_chunk(&fx.deltas[order[0]]).expect("dup append");
+            }
+        }
+
+        let result = resume(&path);
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(&result.campaign.trials, &fx.baseline);
+        prop_assert!(result.resume.resumed);
+        prop_assert_eq!(result.resume.epoch, 2);
+        prop_assert_eq!(result.resume.replayed_chunks, k as u64);
+        prop_assert_eq!(
+            result.resume.journal_duplicates,
+            u64::from(duplicate && k > 0)
+        );
+        if k > 0 {
+            prop_assert_eq!(&result.workers[0].name, REPLAY_LEDGER_NAME);
+            prop_assert_eq!(
+                result.workers[0].trials_completed,
+                result.resume.replayed_trials
+            );
+        }
+    }
+
+    /// Truncating a valid journal at any byte length — death mid-write,
+    /// wherever it lands: inside the magic, mid-record-header,
+    /// mid-payload, or on a clean boundary — resumes to the identical
+    /// final record table. The torn tail is cut and its chunks simply
+    /// re-run.
+    #[test]
+    fn any_byte_truncation_resumes_to_the_identical_record_table(
+        cut_sel in any::<u64>(),
+    ) {
+        let fx = fixture();
+        let len = fx.journal_bytes.len() as u64;
+        let cut = (cut_sel % (len + 1)) as usize;
+
+        let path = temp_path("truncate");
+        std::fs::write(&path, &fx.journal_bytes[..cut]).expect("write cut journal");
+
+        let result = resume(&path);
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(&result.campaign.trials, &fx.baseline);
+        prop_assert!(result.resume.durable);
+    }
+}

@@ -11,8 +11,8 @@ use std::time::Duration;
 use certa_asm::Asm;
 use certa_core::analyze;
 use certa_dist::{
-    run_worker, Coordinator, DistConfig, DistError, DistResult, WorkerOptions, WorkerReport,
-    WorkerSabotage,
+    run_worker, Coordinator, CoordinatorSabotage, DistConfig, DistError, DistProgress,
+    DistResult, WorkerOptions, WorkerReport, WorkerSabotage, REPLAY_LEDGER_NAME,
 };
 use certa_fault::{run_campaign, CampaignConfig, CampaignSession, Target};
 use certa_isa::reg::{T0, T1, T2, T3};
@@ -222,6 +222,235 @@ fn worker_loss_mid_lease_redelivers_and_stays_deterministic() {
     let victim_report = reports[0].as_ref().expect("victim exits voluntarily");
     assert!(victim_report.abandoned);
     reports[1].as_ref().expect("survivor finishes clean");
+}
+
+/// Tentpole: kill the coordinator provably mid-campaign (via the
+/// sabotage hook — in-memory state is dropped exactly as a SIGKILL would
+/// drop it), restart it from the write-ahead journal, and prove the
+/// final record table is byte-identical to a clean inline run. The one
+/// worker survives the outage: it re-attaches to the new incarnation
+/// *without* rebuilding its session, and any completion staged for the
+/// dead epoch is fenced off, never double-merged.
+#[test]
+fn coordinator_crash_and_resume_is_byte_identical() {
+    let trials = 64;
+    let target = SumTarget::new();
+    let tags = analyze(target.program());
+    let inline = run_campaign(&target, &tags, &config(trials));
+
+    let journal_path = std::env::temp_dir().join(format!(
+        "certa-crash-resume-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+
+    let cfg = config(trials);
+    let session = CampaignSession::new(&target, &tags, &cfg);
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let addr: SocketAddr = coordinator.local_addr().expect("addr");
+    let dist = DistConfig {
+        fallback_inline: false,
+        chunk_parts: 8,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    };
+    // Die after two fresh completions: provably mid-campaign (the chunk
+    // plan has >= 8 parts), provably with something durable to resume
+    // from.
+    let sabotaged = DistConfig {
+        sabotage: CoordinatorSabotage {
+            die_after_fresh: Some(2),
+        },
+        ..dist.clone()
+    };
+    let worker_opts = WorkerOptions {
+        // Pace the chunks so the drive loop observes the crash threshold
+        // while most of the queue is still open.
+        throttle_per_chunk: Duration::from_millis(25),
+        // The gap between incarnations costs connect attempts; be
+        // generous enough that the worker always survives it.
+        connect_attempts: 10,
+        ..fast_worker("survivor", 11)
+    };
+
+    let mut crash = None;
+    let mut resumed = None;
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| run_worker(addr, &resolve_sum, &worker_opts));
+        let progress = DistProgress::default();
+        crash = Some(coordinator.run_durable(
+            &session,
+            "sum",
+            &sabotaged,
+            &progress,
+            &journal_path,
+            None,
+        ));
+        // "Restart": same listener (the test process never died, so it
+        // keeps the port), but every byte of campaign state — records,
+        // lease table, stat sums — was dropped with the crashed run.
+        // Only the journal carries over.
+        resumed = Some(coordinator.run_durable(
+            &session,
+            "sum",
+            &dist,
+            &DistProgress::default(),
+            &journal_path,
+            None,
+        ));
+        report = Some(handle.join().unwrap());
+    });
+
+    match crash.unwrap() {
+        Err(DistError::Crashed(_)) => {}
+        other => panic!("expected sabotaged run to crash, got {other:?}"),
+    }
+    let result = resumed.unwrap().expect("resumed campaign completes");
+    let report = report.unwrap().expect("worker survives the restart");
+
+    assert_eq!(
+        result.campaign.trials, inline.trials,
+        "a crash + resume must not change a single trial record"
+    );
+    assert_eq!(result.campaign.harness_stats, inline.harness_stats);
+    result
+        .campaign
+        .verify_reconciliation()
+        .expect("global reconciliation after resume");
+
+    assert!(result.resume.durable);
+    assert!(result.resume.resumed, "the journal must have been replayed");
+    assert_eq!(result.resume.epoch, 2, "second incarnation, second epoch");
+    assert!(
+        result.resume.replayed_chunks >= 2,
+        "both pre-crash completions were journaled ahead of their merge"
+    );
+    assert!(
+        (result.resume.replayed_chunks as usize) < result.workers.len() + 8,
+        "sanity: replay cannot exceed the chunk plan"
+    );
+    assert_eq!(result.workers[0].name, REPLAY_LEDGER_NAME);
+    assert_eq!(
+        result.workers[0].trials_completed,
+        result.resume.replayed_trials
+    );
+    let attributed: u64 = result.workers.iter().map(|w| w.trials_completed).sum();
+    assert_eq!(attributed, trials as u64, "replay + live work covers every trial");
+
+    assert!(
+        report.reconnects >= 1,
+        "the worker must have re-attached across the crash"
+    );
+    assert_eq!(
+        report.session_builds, 1,
+        "a coordinator restart must not cost the worker a session rebuild"
+    );
+
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+/// Satellite: a completion stamped with a dead incarnation's epoch is
+/// rejected (`Ack { accepted: false }` carrying the current epoch) and
+/// counted — never merged. Driven over the raw protocol so the stale
+/// epoch is deterministic, while the inline fallback runs the real
+/// campaign underneath.
+#[test]
+fn stale_epoch_completion_is_fenced_and_counted() {
+    use certa_dist::protocol::{read_frame, write_frame, Request, Response};
+
+    let trials = 24;
+    let target = SumTarget::new();
+    let tags = analyze(target.program());
+    let inline = run_campaign(&target, &tags, &config(trials));
+
+    let journal_path = std::env::temp_dir().join(format!(
+        "certa-stale-epoch-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+
+    let cfg = config(trials);
+    let session = CampaignSession::new(&target, &tags, &cfg);
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let addr: SocketAddr = coordinator.local_addr().expect("addr");
+    let dist = DistConfig {
+        fallback_inline: true,
+        fallback_grace: Duration::from_millis(50),
+        chunk_parts: 4,
+        drain_timeout: Duration::from_secs(120),
+        ..DistConfig::default()
+    };
+
+    let mut result = None;
+    let mut fenced_ack = None;
+    std::thread::scope(|scope| {
+        let saboteur = scope.spawn(|| {
+            // No `Hello`: saying hello would mark a worker as attached
+            // and hold off the inline fallback that actually runs this
+            // campaign. The fence must fire on epoch alone anyway — a
+            // dead incarnation's worker is exactly a peer whose other
+            // credentials all look plausible.
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+            // A delivery from an epoch that never existed (a fresh
+            // journal runs under epoch 1). The fence fires before any
+            // payload validation, exactly as it must for a
+            // predecessor's in-flight completion: the content is
+            // deliberately nonsense to prove nothing downstream looks
+            // at it.
+            let stale = Request::Complete {
+                worker: 0,
+                lease: 1,
+                chunk: 0,
+                epoch: 1001,
+                records: Vec::new(),
+                harness: certa_fault::HarnessStats::default(),
+                restores: certa_fault::RestoreStats::default(),
+            };
+            write_frame(&mut stream, &stale.encode()).expect("stale complete");
+            let ack = read_frame(&mut stream).expect("ack frame");
+            match Response::decode(&ack).expect("ack") {
+                Response::Ack { accepted, epoch } => Some((accepted, epoch)),
+                other => panic!("expected Ack, got {other:?}"),
+            }
+        });
+        result = Some(
+            coordinator
+                .run_durable(
+                    &session,
+                    "sum",
+                    &dist,
+                    &DistProgress::default(),
+                    &journal_path,
+                    None,
+                )
+                .expect("campaign completes despite the saboteur"),
+        );
+        fenced_ack = Some(saboteur.join().unwrap());
+    });
+
+    let (accepted, ack_epoch) = fenced_ack.unwrap().expect("ack received");
+    assert!(!accepted, "a stale-epoch completion must be refused");
+    assert_eq!(
+        ack_epoch, 1,
+        "the refusal advertises the current epoch so the sender can fence itself"
+    );
+
+    let result = result.unwrap();
+    assert_eq!(
+        result.resume.stale_epoch_completions, 1,
+        "the fenced delivery is counted"
+    );
+    assert_eq!(
+        result.campaign.trials, inline.trials,
+        "the nonsense payload must never reach the record table"
+    );
+    result
+        .campaign
+        .verify_reconciliation()
+        .expect("reconciliation unaffected by the fenced delivery");
+
+    let _ = std::fs::remove_file(&journal_path);
 }
 
 #[test]

@@ -463,6 +463,26 @@ pub struct OutcomeCounts {
 }
 
 impl OutcomeCounts {
+    /// Counts the outcomes of a record sequence — the same bucketing as
+    /// [`CampaignResult::outcome_counts`], usable on a chunk's records
+    /// before they are merged into a campaign (the write-ahead journal
+    /// stores per-chunk counts and cross-checks them against the decoded
+    /// records on replay).
+    pub fn of<'a>(records: impl IntoIterator<Item = &'a TrialRecord>) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for record in records {
+            match &record.status {
+                TrialStatus::Completed(t) => match t.outcome {
+                    Outcome::Halted => counts.halted += 1,
+                    Outcome::Crashed(_) => counts.crashed += 1,
+                    Outcome::InfiniteRun => counts.infinite += 1,
+                },
+                TrialStatus::HarnessError(_) => counts.harness_error += 1,
+            }
+        }
+        counts
+    }
+
     /// Total scheduled trials accounted for.
     #[must_use]
     pub fn total(&self) -> usize {
@@ -545,18 +565,7 @@ impl CampaignResult {
     /// [`OutcomeCounts`]).
     #[must_use]
     pub fn outcome_counts(&self) -> OutcomeCounts {
-        let mut counts = OutcomeCounts::default();
-        for record in &self.trials {
-            match &record.status {
-                TrialStatus::Completed(t) => match t.outcome {
-                    Outcome::Halted => counts.halted += 1,
-                    Outcome::Crashed(_) => counts.crashed += 1,
-                    Outcome::InfiniteRun => counts.infinite += 1,
-                },
-                TrialStatus::HarnessError(_) => counts.harness_error += 1,
-            }
-        }
-        counts
+        OutcomeCounts::of(&self.trials)
     }
 
     /// Checks the campaign-level containment invariants: every scheduled

@@ -20,11 +20,12 @@
 use std::fmt;
 use std::time::Duration;
 
+use certa_fidelity::verdict::VerdictCounts;
 use certa_sim::{CrashKind, Outcome};
 
 use crate::campaign::{
-    CampaignConfig, HarnessFailure, HarnessFaultInjection, HarnessStats, RestoreStats,
-    TrialRecord, TrialResult, TrialStatus,
+    CampaignConfig, HarnessFailure, HarnessFaultInjection, HarnessStats, OutcomeCounts,
+    RestoreStats, TrialRecord, TrialResult, TrialStatus,
 };
 use crate::injector::ErrorModel;
 use crate::regime::{FaultTarget, Protection};
@@ -322,6 +323,63 @@ pub fn decode_restore_stats(r: &mut ByteReader<'_>) -> Result<RestoreStats, Wire
     })
 }
 
+/// Encodes an [`OutcomeCounts`] counter block.
+pub fn encode_outcome_counts(w: &mut ByteWriter, counts: &OutcomeCounts) {
+    w.u64(counts.halted as u64);
+    w.u64(counts.crashed as u64);
+    w.u64(counts.infinite as u64);
+    w.u64(counts.harness_error as u64);
+}
+
+/// Decodes an [`OutcomeCounts`] counter block.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a short buffer or a count that does not fit
+/// the host's `usize`.
+pub fn decode_outcome_counts(r: &mut ByteReader<'_>) -> Result<OutcomeCounts, WireError> {
+    let as_usize =
+        |v: u64| usize::try_from(v).map_err(|_| WireError::Malformed("count exceeds usize"));
+    Ok(OutcomeCounts {
+        halted: as_usize(r.u64()?)?,
+        crashed: as_usize(r.u64()?)?,
+        infinite: as_usize(r.u64()?)?,
+        harness_error: as_usize(r.u64()?)?,
+    })
+}
+
+/// Encodes a [`VerdictCounts`] counter block, in
+/// [`VerdictCounts::labeled`] order.
+pub fn encode_verdict_counts(w: &mut ByteWriter, counts: &VerdictCounts) {
+    w.u64(counts.masked as u64);
+    w.u64(counts.tolerable as u64);
+    w.u64(counts.silent_corruption as u64);
+    w.u64(counts.detected_crash as u64);
+    w.u64(counts.hang as u64);
+    w.u64(counts.detected_by_check as u64);
+    w.u64(counts.harness_error as u64);
+}
+
+/// Decodes a [`VerdictCounts`] counter block.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a short buffer or a count that does not fit
+/// the host's `usize`.
+pub fn decode_verdict_counts(r: &mut ByteReader<'_>) -> Result<VerdictCounts, WireError> {
+    let as_usize =
+        |v: u64| usize::try_from(v).map_err(|_| WireError::Malformed("count exceeds usize"));
+    Ok(VerdictCounts {
+        masked: as_usize(r.u64()?)?,
+        tolerable: as_usize(r.u64()?)?,
+        silent_corruption: as_usize(r.u64()?)?,
+        detected_crash: as_usize(r.u64()?)?,
+        hang: as_usize(r.u64()?)?,
+        detected_by_check: as_usize(r.u64()?)?,
+        harness_error: as_usize(r.u64()?)?,
+    })
+}
+
 fn encode_protection(w: &mut ByteWriter, protection: Protection) {
     w.u8(match protection {
         Protection::None => 0,
@@ -501,6 +559,35 @@ mod tests {
         assert_eq!(decode_harness_stats(&mut r).unwrap(), harness);
         assert_eq!(decode_restore_stats(&mut r).unwrap(), restores);
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn count_blocks_roundtrip() {
+        let outcomes = OutcomeCounts {
+            halted: 100,
+            crashed: 20,
+            infinite: 3,
+            harness_error: 1,
+        };
+        let verdicts = VerdictCounts {
+            masked: 60,
+            tolerable: 25,
+            silent_corruption: 9,
+            detected_crash: 20,
+            hang: 3,
+            detected_by_check: 6,
+            harness_error: 1,
+        };
+        let mut w = ByteWriter::new();
+        encode_outcome_counts(&mut w, &outcomes);
+        encode_verdict_counts(&mut w, &verdicts);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(decode_outcome_counts(&mut r).unwrap(), outcomes);
+        assert_eq!(decode_verdict_counts(&mut r).unwrap(), verdicts);
+        r.expect_end().unwrap();
+        let mut r = ByteReader::new(&bytes[..11]);
+        assert_eq!(decode_outcome_counts(&mut r), Err(WireError::Truncated));
     }
 
     #[test]
