@@ -11,7 +11,10 @@
 //!   changes (~25 ms cadence).
 //! * `RESUME resumed={bool} epoch={n} replayed_chunks={n}
 //!   replayed_trials={n} duplicates={n} torn_tail_bytes={n}
-//!   stale_epoch={n}` — once, on successful completion.
+//!   stale_epoch={n} corrupt={n} dup_frames={n} auth_rejects={n}` —
+//!   once, on successful completion (the last three report wire
+//!   integrity: corrupt frames dropped, duplicate frames absorbed,
+//!   shared-secret rejections).
 //!
 //! On success the final record table is written to `--records-out` in
 //! the campaign wire encoding (`u32` count, then one
@@ -20,7 +23,7 @@
 //!
 //! Usage: `campaign_coordinator --journal PATH --records-out PATH
 //! [--listen HOST:PORT] [--workload NAME] [--trials N] [--seed N]
-//! [--errors N] [--chunk-parts N]`
+//! [--errors N] [--chunk-parts N] [--secret SECRET]`
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -42,6 +45,7 @@ struct Args {
     journal: String,
     chunk_parts: usize,
     records_out: String,
+    secret: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         journal: String::new(),
         chunk_parts: 16,
         records_out: String::new(),
+        secret: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -71,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                 args.chunk_parts = value.parse().map_err(|e| format!("--chunk-parts: {e}"))?;
             }
             "--records-out" => args.records_out = value.clone(),
+            "--secret" => args.secret = Some(value.clone()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 2;
@@ -121,6 +127,7 @@ fn run(args: &Args) -> Result<DistResult, String> {
         chunk_parts: args.chunk_parts,
         worker_threads: 1,
         drain_timeout: Duration::from_secs(300),
+        secret: args.secret.clone(),
         ..DistConfig::default()
     };
 
@@ -174,7 +181,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: campaign_coordinator --journal PATH --records-out PATH \
                  [--listen HOST:PORT] [--workload NAME] [--trials N] [--seed N] \
-                 [--errors N] [--chunk-parts N]"
+                 [--errors N] [--chunk-parts N] [--secret SECRET]"
             );
             return ExitCode::FAILURE;
         }
@@ -193,14 +200,17 @@ fn main() -> ExitCode {
     let r = &result.resume;
     println!(
         "RESUME resumed={} epoch={} replayed_chunks={} replayed_trials={} duplicates={} \
-         torn_tail_bytes={} stale_epoch={}",
+         torn_tail_bytes={} stale_epoch={} corrupt={} dup_frames={} auth_rejects={}",
         r.resumed,
         r.epoch,
         r.replayed_chunks,
         r.replayed_trials,
         r.journal_duplicates,
         r.torn_tail_bytes,
-        r.stale_epoch_completions
+        r.stale_epoch_completions,
+        result.wire.corrupt_frames,
+        result.wire.duplicate_frames,
+        result.wire.auth_rejects
     );
     let _ = std::io::stdout().flush();
     eprintln!(

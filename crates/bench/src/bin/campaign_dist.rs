@@ -19,6 +19,12 @@
 //!    write-ahead journal with fresh workers, and the recovered record
 //!    table must be byte-identical to the inline baseline with at least
 //!    one chunk replayed from the journal rather than re-executed.
+//! 4. **Wire chaos** — an N-worker campaign whose every connection (both
+//!    sides) runs under the adversarial fault-injection schedule
+//!    (resets, stalls, bit corruption, duplicate frames, delays) with
+//!    secret-authenticated Hellos still converges byte-identically, with
+//!    nonzero injected-fault and frame-recovery counters persisted to
+//!    `BENCH_dist.json`.
 //!
 //! Usage: `campaign_dist [--trials N] [--seed N]`; environment overrides:
 //! `CERTA_DIST_TRIALS`, `CERTA_DIST_WORKERS` (default 4),
@@ -36,7 +42,7 @@ use std::time::{Duration, Instant};
 
 use certa_bench::{harness_json, parse_cli, write_bench_json, AsTarget};
 use certa_core::analyze;
-use certa_dist::{Coordinator, DistConfig, DistProgress, DistResult};
+use certa_dist::{ChaosConfig, Coordinator, DistConfig, DistProgress, DistResult};
 use certa_fault::wire::{encode_trial_record, ByteWriter};
 use certa_fault::{run_campaign, CampaignConfig, CampaignSession, TrialRecord};
 use certa_workloads::{all_workloads, Workload};
@@ -85,12 +91,25 @@ fn spawn_worker(
     name: &str,
     throttle_ms: Option<u64>,
 ) -> std::io::Result<Child> {
+    spawn_worker_env(exe, addr, name, throttle_ms, &[])
+}
+
+fn spawn_worker_env(
+    exe: &std::path::Path,
+    addr: &str,
+    name: &str,
+    throttle_ms: Option<u64>,
+    env: &[(&str, String)],
+) -> std::io::Result<Child> {
     let mut cmd = Command::new(exe);
     cmd.args(["--connect", addr, "--name", name])
         .stdout(Stdio::null())
         .stderr(Stdio::null());
     if let Some(ms) = throttle_ms {
         cmd.env("CERTA_WORKER_THROTTLE_MS", ms.to_string());
+    }
+    for (key, value) in env {
+        cmd.env(key, value);
     }
     cmd.spawn()
 }
@@ -101,15 +120,24 @@ struct DistRun {
     victim_killed: bool,
 }
 
+/// Shared secret for the chaos phase — the point is to exercise the
+/// authenticated Hello/Welcome path in real subprocesses, not to hide
+/// anything.
+const CHAOS_SECRET: &str = "campaign-dist-chaos";
+
 /// Runs one distributed campaign with `workers` subprocess workers. With
 /// `kill_victim`, worker 0 is throttled (so it provably holds leases) and
-/// SIGKILLed as soon as the campaign is demonstrably mid-flight.
+/// SIGKILLed as soon as the campaign is demonstrably mid-flight. With
+/// `chaos_seed`, every connection on both sides runs under the
+/// adversarial fault schedule for that seed and the Hello/Welcome
+/// exchange is secret-authenticated.
 fn run_dist(
     workload: &dyn Workload,
     trials: usize,
     seed: u64,
     workers: usize,
     kill_victim: bool,
+    chaos_seed: Option<u64>,
 ) -> Result<DistRun, String> {
     let tags = analyze(workload.program());
     let cfg = config(trials, seed);
@@ -118,12 +146,24 @@ fn run_dist(
     let addr = coordinator.local_addr().map_err(|e| e.to_string())?.to_string();
     let exe = worker_exe().map_err(|e| e.to_string())?;
 
+    let mut dist = dist_config();
+    if let Some(chaos) = chaos_seed {
+        dist.chaos = Some(ChaosConfig::adversarial(chaos));
+        dist.secret = Some(CHAOS_SECRET.into());
+        dist.io_timeout = Duration::from_secs(2);
+    }
+
     let mut children: Vec<Child> = Vec::new();
     let mut victim: Option<Mutex<Child>> = None;
     for w in 0..workers {
         let name = format!("worker-{w}");
         let throttle = (kill_victim && w == 0).then_some(150);
-        let child = spawn_worker(&exe, &addr, &name, throttle)
+        let mut env: Vec<(&str, String)> = Vec::new();
+        if let Some(chaos) = chaos_seed {
+            env.push(("CERTA_WORKER_CHAOS_SEED", (chaos ^ (w as u64 + 1)).to_string()));
+            env.push(("CERTA_WORKER_SECRET", CHAOS_SECRET.into()));
+        }
+        let child = spawn_worker_env(&exe, &addr, &name, throttle, &env)
             .map_err(|e| format!("cannot spawn {name}: {e}"))?;
         if kill_victim && w == 0 {
             victim = Some(Mutex::new(child));
@@ -156,7 +196,7 @@ fn run_dist(
         }
         outcome = Some(
             coordinator
-                .run_with_progress(&session, workload.name(), &dist_config(), &progress)
+                .run_with_progress(&session, workload.name(), &dist, &progress)
                 .map_err(|e| e.to_string()),
         );
         done.store(true, Ordering::SeqCst);
@@ -412,7 +452,7 @@ fn main() -> ExitCode {
     let inline_seconds = inline_started.elapsed().as_secs_f64();
 
     eprintln!("campaign_dist: 1 worker process");
-    let one = match run_dist(workload, trials, seed, 1, false) {
+    let one = match run_dist(workload, trials, seed, 1, false, None) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("campaign_dist: 1-worker run failed: {e}");
@@ -420,7 +460,7 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("campaign_dist: {workers} worker processes, SIGKILLing one mid-run");
-    let multi = match run_dist(workload, trials, seed, workers, true) {
+    let multi = match run_dist(workload, trials, seed, workers, true, None) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("campaign_dist: {workers}-worker run failed: {e}");
@@ -437,8 +477,26 @@ fn main() -> ExitCode {
         }
     };
 
+    eprintln!("campaign_dist: {workers} worker processes under adversarial wire chaos");
+    let chaos_seed = seed ^ 0xc4a05;
+    let chaos = match run_dist(workload, trials, seed, workers, false, Some(chaos_seed)) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("campaign_dist: chaos run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let one_matches = one.result.campaign.trials == inline.trials;
     let multi_matches = multi.result.campaign.trials == inline.trials;
+    let chaos_matches = chaos.result.campaign.trials == inline.trials;
+    let chaos_injected = chaos.result.chaos.injected();
+    // Wire-recovery evidence at the coordinator: corrupt frames it
+    // dropped and duplicates it absorbed both originate from the
+    // *workers'* chaos domains, so nonzero counts prove the subprocess
+    // env hooks took effect end to end.
+    let chaos_recovered =
+        chaos.result.wire.corrupt_frames + chaos.result.wire.duplicate_frames;
     let tps = |seconds: f64| trials as f64 / seconds.max(1e-9);
     let inline_tps = tps(inline_seconds);
     let one_tps = tps(one.seconds);
@@ -476,6 +534,7 @@ fn main() -> ExitCode {
 \"one_worker\":{{\"seconds\":{:.3},\"trials_per_sec\":{one_tps:.3},\"redeliveries\":{},\"harness\":{}}},\
 \"multi_worker\":{{\"workers\":{workers},\"seconds\":{:.3},\"trials_per_sec\":{multi_tps:.3},\"redeliveries\":{},\"victim_killed\":{},\"harness\":{},\"per_worker\":[{per_worker}]}},\
 \"durable\":{{\"killed_at_chunks\":{},\"total_chunks\":{},\"resumed\":{},\"epoch\":{},\"replayed_chunks\":{},\"replayed_trials\":{},\"stale_epoch_completions\":{},\"records_match\":{}}},\
+\"chaos\":{{\"seed\":{chaos_seed},\"seconds\":{:.3},\"injected\":{chaos_injected},\"resets\":{},\"stalls\":{},\"payload_corruptions\":{},\"length_corruptions\":{},\"duplicates\":{},\"delays\":{},\"corrupt_frames\":{},\"duplicate_frames\":{},\"auth_rejects\":{},\"redeliveries\":{},\"records_match\":{chaos_matches}}},\
 \"speedup_multi_over_one\":{speedup:.3},\"speedup_gate_enforced\":{gate_enforced},\"records_match\":{}}}",
         one.seconds,
         one.result.redeliveries,
@@ -492,7 +551,18 @@ fn main() -> ExitCode {
         durable.replayed_trials,
         durable.stale_epoch_completions,
         durable.records_match,
-        one_matches && multi_matches,
+        chaos.seconds,
+        chaos.result.chaos.resets,
+        chaos.result.chaos.stalls,
+        chaos.result.chaos.payload_corruptions,
+        chaos.result.chaos.length_corruptions,
+        chaos.result.chaos.duplicates,
+        chaos.result.chaos.delays,
+        chaos.result.wire.corrupt_frames,
+        chaos.result.wire.duplicate_frames,
+        chaos.result.wire.auth_rejects,
+        chaos.result.redeliveries,
+        one_matches && multi_matches && chaos_matches,
     );
 
     println!(
@@ -511,9 +581,23 @@ fn main() -> ExitCode {
         multi_tps,
         multi.result.redeliveries
     );
+    println!(
+        "{:<14} {:>9.3} {:>12.1} {:>13}",
+        "chaos",
+        chaos.seconds,
+        tps(chaos.seconds),
+        chaos.result.redeliveries
+    );
     eprintln!(
         "campaign_dist: speedup {speedup:.2}x on {cores} core(s); victim killed: {}",
         multi.victim_killed
+    );
+    eprintln!(
+        "campaign_dist: chaos run injected {chaos_injected} faults (coordinator side); \
+         {} corrupt frames dropped, {} duplicate frames absorbed, {} redeliveries",
+        chaos.result.wire.corrupt_frames,
+        chaos.result.wire.duplicate_frames,
+        chaos.result.redeliveries
     );
     eprintln!(
         "campaign_dist: coordinator killed at {}/{} chunks; resume epoch {} replayed {} chunks ({} trials)",
@@ -532,9 +616,16 @@ fn main() -> ExitCode {
         }
     }
 
-    if !one_matches || !multi_matches {
+    if !one_matches || !multi_matches || !chaos_matches {
         eprintln!(
-            "campaign_dist: FAIL — record tables diverge (1-worker match: {one_matches}, {workers}-worker match: {multi_matches})"
+            "campaign_dist: FAIL — record tables diverge (1-worker match: {one_matches}, {workers}-worker match: {multi_matches}, chaos match: {chaos_matches})"
+        );
+        return ExitCode::FAILURE;
+    }
+    if chaos_injected == 0 || chaos_recovered == 0 {
+        eprintln!(
+            "campaign_dist: FAIL — chaos run proved nothing (injected: {chaos_injected}, \
+             corrupt+duplicate frames handled: {chaos_recovered})"
         );
         return ExitCode::FAILURE;
     }
@@ -563,7 +654,7 @@ fn main() -> ExitCode {
         );
     }
     eprintln!(
-        "campaign_dist: record tables identical across inline, 1-worker, {workers}-worker-with-kill, and coordinator-crash-resume runs"
+        "campaign_dist: record tables identical across inline, 1-worker, {workers}-worker-with-kill, coordinator-crash-resume, and wire-chaos runs"
     );
     ExitCode::SUCCESS
 }

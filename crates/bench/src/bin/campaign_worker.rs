@@ -10,12 +10,17 @@
 //!   driver can designate a slow victim that provably holds a lease when
 //!   it gets SIGKILLed.
 //! * `CERTA_WORKER_HEARTBEAT_MS` — heartbeat period override.
+//! * `CERTA_WORKER_CHAOS_SEED` — wrap every connection this worker dials
+//!   in the adversarial [`certa_dist::ChaosConfig`] schedule for that
+//!   seed (and raise the reconnect budget to survive it).
+//! * `CERTA_WORKER_SECRET` — shared secret for the Hello/Welcome
+//!   challenge/response.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use certa_dist::{run_worker, WorkerOptions};
+use certa_dist::{run_worker, Chaos, ChaosConfig, WorkerOptions};
 use certa_fault::Target;
 use certa_workloads::all_workloads;
 
@@ -79,15 +84,29 @@ fn main() -> ExitCode {
     if let Some(heartbeat) = env_ms("CERTA_WORKER_HEARTBEAT_MS") {
         opts.heartbeat_interval = heartbeat;
     }
+    if let Some(seed) = std::env::var("CERTA_WORKER_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        opts.chaos = Some(Chaos::new(ChaosConfig::adversarial(seed)));
+        opts.connect_attempts = opts.connect_attempts.max(50);
+    }
+    if let Ok(secret) = std::env::var("CERTA_WORKER_SECRET") {
+        opts.secret = Some(secret);
+    }
 
     match run_worker(addr, &resolve, &opts) {
         Ok(report) => {
             eprintln!(
-                "campaign_worker: {name} done — {} chunks, {} trials, {} stale, {} reconnects",
+                "campaign_worker: {name} done — {} chunks, {} trials, {} stale, {} reconnects, \
+                 {} corrupt frames dropped, {} duplicate frames absorbed, {} faults injected",
                 report.chunks_completed,
                 report.trials_completed,
                 report.stale_acks,
-                report.reconnects
+                report.reconnects,
+                report.corrupt_frames,
+                report.duplicate_frames,
+                report.chaos.injected()
             );
             ExitCode::SUCCESS
         }

@@ -10,7 +10,7 @@
 //! — no lock is ever held across trial execution or socket I/O.
 
 use std::collections::HashSet;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -22,10 +22,11 @@ use certa_fault::{
 };
 use certa_fidelity::verdict::{TrialVerdict, VerdictCounts};
 
+use crate::chaos::{Chaos, ChaosConfig, ChaosCounts, NetStream};
 use crate::journal::{ChunkRecord, Journal, JournalIdentity};
 use crate::lease::{Completion, LeaseTable};
 use crate::protocol::{
-    read_frame, write_frame, JobSpec, Request, Response, PROTOCOL_VERSION,
+    auth_proof, auth_token, FrameCodec, FrameError, JobSpec, Request, Response, PROTOCOL_VERSION,
 };
 use crate::DistError;
 
@@ -75,6 +76,21 @@ pub struct DistConfig {
     /// incoming request — a coordinator that goes silent the instant the
     /// queue drains strands any worker whose request was in flight.
     pub shutdown_linger: Duration,
+    /// Read/write timeout for every accepted connection: how long a
+    /// handler thread will block on one mid-frame read or one response
+    /// write before declaring the peer gone. A stalled peer can
+    /// therefore never wedge a handler thread.
+    pub io_timeout: Duration,
+    /// Shared secret for the `Hello`/`Welcome` challenge/response. When
+    /// set, a `Hello` with the wrong token is rejected (counted in
+    /// [`WireStats::auth_rejects`], never served). **Required** for
+    /// non-loopback listeners — [`Coordinator::run`] refuses to serve a
+    /// routable address without one.
+    pub secret: Option<String>,
+    /// Wire-fault injection applied to every accepted connection
+    /// (tests; the network analogue of
+    /// [`crate::JournalFaultInjection`]).
+    pub chaos: Option<ChaosConfig>,
     /// Test-only coordinator sabotage (the analogue of
     /// `WorkerSabotage`): lets the crash-recovery differential tests
     /// kill the coordinator at a provable point.
@@ -92,6 +108,9 @@ impl Default for DistConfig {
             chunk_parts: 16,
             drain_timeout: Duration::from_secs(600),
             shutdown_linger: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            secret: None,
+            chaos: None,
             sabotage: CoordinatorSabotage::default(),
         }
     }
@@ -186,6 +205,20 @@ impl DistProgress {
     }
 }
 
+/// Wire-hardening counters for one coordinator run: what the protocol's
+/// integrity and authentication layers caught and refused to act on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireStats {
+    /// Connections dropped because a received frame failed an integrity
+    /// check (checksum mismatch, sequence gap, oversize length prefix).
+    /// The offending payload was never decoded, let alone merged.
+    pub corrupt_frames: u64,
+    /// Duplicated frames the framing layer silently absorbed.
+    pub duplicate_frames: u64,
+    /// `Hello`s rejected for a bad shared-secret token.
+    pub auth_rejects: u64,
+}
+
 /// A distributed campaign's outcome: the globally assembled (and
 /// reconciliation-checked) campaign result plus distribution-level
 /// accounting.
@@ -207,6 +240,12 @@ pub struct DistResult {
     /// [`VerdictClassifier`] was supplied (journaled chunks contribute
     /// their journaled counts).
     pub verdicts: VerdictCounts,
+    /// What the frame-integrity and authentication layers caught on the
+    /// coordinator's side of the wire.
+    pub wire: WireStats,
+    /// Faults the coordinator's own chaos domain injected (zero without
+    /// [`DistConfig::chaos`]).
+    pub chaos: ChaosCounts,
 }
 
 /// What crash recovery did for one coordinator incarnation.
@@ -269,6 +308,12 @@ struct Shared<'s, 'a> {
     fresh_accepted: AtomicUsize,
     /// Completions rejected for carrying another incarnation's epoch.
     stale_epoch: AtomicU64,
+    /// Connections dropped for a corrupt frame (payload never decoded).
+    corrupt_frames: AtomicU64,
+    /// Duplicated frames absorbed by handler-connection codecs.
+    duplicate_frames: AtomicU64,
+    /// `Hello`s rejected for a bad shared-secret token.
+    auth_rejects: AtomicU64,
     progress: &'s DistProgress,
 }
 
@@ -287,7 +332,12 @@ impl Shared<'_, '_> {
     fn handle(&self, request: Request) -> Response {
         self.last_request_ms.store(self.now_ms(), Ordering::SeqCst);
         match request {
-            Request::Hello { version, name } => {
+            Request::Hello {
+                version,
+                name,
+                token,
+                challenge,
+            } => {
                 if version != PROTOCOL_VERSION {
                     return Response::Reject {
                         reason: format!(
@@ -295,6 +345,21 @@ impl Shared<'_, '_> {
                         ),
                     };
                 }
+                if let Some(secret) = self.dist.secret.as_deref() {
+                    if token != auth_token(secret, &name) {
+                        // Wrong or missing secret: never registered, never
+                        // served, only counted.
+                        self.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                        return Response::Reject {
+                            reason: "shared-secret authentication failed".into(),
+                        };
+                    }
+                }
+                let proof = self
+                    .dist
+                    .secret
+                    .as_deref()
+                    .map_or(0, |secret| auth_proof(secret, challenge));
                 let worker = {
                     let mut workers = self.workers.lock().expect("ledger lock");
                     workers.push(WorkerLedger::new(name));
@@ -315,6 +380,7 @@ impl Shared<'_, '_> {
                         worker_threads: self.dist.worker_threads,
                     },
                     epoch: self.epoch,
+                    proof,
                 }
             }
             Request::Lease {
@@ -546,51 +612,79 @@ impl Shared<'_, '_> {
 
 /// Reads one frame from a handler connection, idling in short timeouts so
 /// the shutdown flag stays responsive. `Ok(None)` means shutdown was
-/// requested while idle; `Err` means the connection is gone.
+/// requested while idle; `Err` means the connection is gone — or sent
+/// garbage ([`FrameError::Corrupt`]) and can no longer be trusted.
+/// `io_timeout` bounds the mid-frame read once bytes have started
+/// arriving, so a stalled peer cannot wedge the handler thread.
 fn read_frame_idle(
-    stream: &mut TcpStream,
+    stream: &mut NetStream,
+    codec: &mut FrameCodec,
     shutdown: &AtomicBool,
-) -> std::io::Result<Option<Vec<u8>>> {
+    io_timeout: Duration,
+) -> Result<Option<Vec<u8>>, FrameError> {
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(None);
         }
         // Peek with the short read timeout: only once at least one byte
-        // is available do we commit to a blocking frame read, so an idle
-        // poll can never desynchronize a partially read length prefix.
+        // is available do we commit to a bounded frame read, so an idle
+        // poll can never desynchronize a partially read frame header.
         let mut probe = [0u8; 1];
         match stream.peek(&mut probe) {
             Ok(0) => {
-                return Err(std::io::Error::new(
+                return Err(FrameError::Io(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "peer closed",
-                ))
+                )))
             }
             Ok(_) => {
-                stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-                let frame = read_frame(stream);
+                stream.set_read_timeout(Some(io_timeout))?;
+                let frame = codec.read_frame(stream);
                 stream.set_read_timeout(Some(Duration::from_millis(50)))?;
                 return frame.map(Some);
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(FrameError::Io(e)),
         }
     }
 }
 
-/// One connection's request/response loop.
-fn handle_connection(shared: &Shared<'_, '_>, mut stream: TcpStream) {
+/// One connection's request/response loop. A frame that fails an
+/// integrity check kills the connection on the spot — its payload is
+/// never decoded, never answered, only counted; the worker re-attaches
+/// through the same machinery as any connection loss.
+fn handle_connection(shared: &Shared<'_, '_>, mut stream: NetStream) {
     let _ = stream.set_nodelay(true);
+    // Full-duplex timeouts before the first byte moves: a socket that
+    // refuses them is dropped rather than trusted to never stall.
     if stream
-        .set_read_timeout(Some(Duration::from_millis(50)))
+        .set_write_timeout(Some(shared.dist.io_timeout))
         .is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
     {
         return;
     }
+    let mut codec = FrameCodec::new();
     let mut helloed: Vec<u32> = Vec::new();
-    while let Ok(Some(payload)) = read_frame_idle(&mut stream, &shared.shutdown) {
+    loop {
+        let payload = match read_frame_idle(
+            &mut stream,
+            &mut codec,
+            &shared.shutdown,
+            shared.dist.io_timeout,
+        ) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(FrameError::Corrupt(_) | FrameError::Oversize(_)) => {
+                shared.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
         let response = match Request::decode(&payload) {
             Ok(request) => shared.handle(request),
             Err(e) => Response::Reject {
@@ -600,10 +694,13 @@ fn handle_connection(shared: &Shared<'_, '_>, mut stream: TcpStream) {
         if let Response::Welcome { worker, .. } = &response {
             helloed.push(*worker);
         }
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        if codec.write_frame(&mut stream, &response.encode()).is_err() {
             break;
         }
     }
+    shared
+        .duplicate_frames
+        .fetch_add(codec.duplicates_dropped, Ordering::Relaxed);
     // A closed connection can never be told `Drained`; release the
     // post-drain linger from waiting on the workers it carried.
     if !helloed.is_empty() {
@@ -671,7 +768,8 @@ impl Coordinator {
     /// is missing after drain (coordinator bugs or an abandoned
     /// campaign); [`DistError::Reconciliation`] if the assembled result
     /// fails the global invariants; [`DistError::Io`] on listener
-    /// failures.
+    /// failures; [`DistError::Auth`] when the listener is bound to a
+    /// non-loopback address without [`DistConfig::secret`] configured.
     ///
     /// # Panics
     ///
@@ -736,6 +834,16 @@ impl Coordinator {
         journal_path: Option<&Path>,
         classify: Option<&VerdictClassifier>,
     ) -> Result<DistResult, DistError> {
+        // Identity gate before a single frame is served: a listener
+        // reachable from off-host must not hand the campaign to whoever
+        // connects first.
+        let local = self.listener.local_addr()?;
+        if !local.ip().is_loopback() && dist.secret.is_none() {
+            return Err(DistError::Auth(format!(
+                "refusing to serve non-loopback listener {local} without a shared secret"
+            )));
+        }
+        let chaos = dist.chaos.clone().map(Chaos::new);
         let chunks = session.chunk_plan(dist.chunk_parts);
         let fingerprint = session.fingerprint();
         let (journal, recovery) = match journal_path {
@@ -788,6 +896,9 @@ impl Coordinator {
             shutdown: AtomicBool::new(false),
             fresh_accepted: AtomicUsize::new(0),
             stale_epoch: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            duplicate_frames: AtomicU64::new(0),
+            auth_rejects: AtomicU64::new(0),
             progress,
         };
 
@@ -852,6 +963,10 @@ impl Coordinator {
                     }
                     match self.listener.accept() {
                         Ok((stream, _)) => {
+                            let stream = match &chaos {
+                                Some(chaos) => NetStream::Chaos(chaos.wrap(stream)),
+                                None => NetStream::Plain(stream),
+                            };
                             scope.spawn(|| handle_connection(&shared, stream));
                         }
                         Err(e)
@@ -965,6 +1080,11 @@ impl Coordinator {
             .verify_reconciliation()
             .map_err(DistError::Reconciliation)?;
         resume.stale_epoch_completions = shared.stale_epoch.load(Ordering::Relaxed);
+        let wire = WireStats {
+            corrupt_frames: shared.corrupt_frames.load(Ordering::Relaxed),
+            duplicate_frames: shared.duplicate_frames.load(Ordering::Relaxed),
+            auth_rejects: shared.auth_rejects.load(Ordering::Relaxed),
+        };
         Ok(DistResult {
             campaign,
             workers: shared.workers.into_inner().expect("ledger lock"),
@@ -972,6 +1092,8 @@ impl Coordinator {
             fallback_used: shared.fallback_used.load(Ordering::SeqCst),
             resume,
             verdicts: shared.verdicts.into_inner().expect("verdicts lock"),
+            wire,
+            chaos: chaos.as_ref().map_or_else(ChaosCounts::default, |c| c.counts()),
         })
     }
 }

@@ -211,18 +211,9 @@ pub struct Journal {
     torn: bool,
 }
 
-/// FNV-1a 64-bit — the workspace's standard content hash (same constants
-/// as the session fingerprint).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
+// FNV-1a 64-bit record checksums — the workspace's standard content
+// hash, shared with the wire protocol's frame checksums.
+use crate::protocol::fnv1a;
 
 fn encode_chunk_payload(chunk: &ChunkRecord) -> Vec<u8> {
     let mut w = ByteWriter::new();

@@ -43,6 +43,7 @@
 //!   completions — worker kills notwithstanding — with per-worker
 //!   attribution in the [`WorkerLedger`].
 
+pub mod chaos;
 mod coordinator;
 pub mod journal;
 pub mod lease;
@@ -51,12 +52,13 @@ mod worker;
 
 use std::fmt;
 
+pub use chaos::{Chaos, ChaosConfig, ChaosCounts, ChaosFault, ChaosListener, ChaosStream, NetStream};
 pub use coordinator::{
     Coordinator, CoordinatorSabotage, DistConfig, DistProgress, DistResult, ResumeStats,
-    VerdictClassifier, WorkerLedger, REPLAY_LEDGER_NAME,
+    VerdictClassifier, WireStats, WorkerLedger, REPLAY_LEDGER_NAME,
 };
 pub use journal::{ChunkRecord, Journal, JournalError, JournalFaultInjection, JournalIdentity};
-pub use protocol::JobSpec;
+pub use protocol::{FrameCodec, FrameError, JobSpec};
 pub use worker::{
     backoff_delay, run_worker, TargetResolver, WorkerOptions, WorkerReport, WorkerSabotage,
 };
@@ -85,6 +87,15 @@ pub enum DistError {
     /// [`CoordinatorSabotage::die_after_fresh`] in crash-recovery
     /// tests); a durable run can be resumed from its journal.
     Crashed(String),
+    /// A frame failed an integrity check — oversize length prefix,
+    /// checksum mismatch, or sequence gap ([`FrameError::Corrupt`]).
+    /// The connection was dropped without acting on the payload; for a
+    /// worker this is retriable through the same reattach machinery as
+    /// connection loss.
+    Frame(String),
+    /// Shared-secret authentication failed, or a non-loopback listener
+    /// was started without a secret configured. Never retriable.
+    Auth(String),
 }
 
 impl fmt::Display for DistError {
@@ -97,6 +108,8 @@ impl fmt::Display for DistError {
             DistError::Reconciliation(what) => write!(f, "reconciliation failed: {what}"),
             DistError::Journal(what) => write!(f, "journal error: {what}"),
             DistError::Crashed(what) => write!(f, "coordinator crashed: {what}"),
+            DistError::Frame(what) => write!(f, "frame integrity failure: {what}"),
+            DistError::Auth(what) => write!(f, "authentication failure: {what}"),
         }
     }
 }
@@ -106,5 +119,17 @@ impl std::error::Error for DistError {}
 impl From<std::io::Error> for DistError {
     fn from(e: std::io::Error) -> Self {
         DistError::Io(e)
+    }
+}
+
+impl From<FrameError> for DistError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => DistError::Io(io),
+            FrameError::Corrupt(what) => DistError::Frame(what.to_string()),
+            FrameError::Oversize(len) => {
+                DistError::Protocol(format!("frame payload of {len} bytes exceeds cap"))
+            }
+        }
     }
 }

@@ -42,9 +42,12 @@ use certa_fault::{
     CampaignConfig, CampaignSession, HarnessStats, RestoreStats, Target, TrialRecord,
 };
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
-use crate::protocol::{read_frame, write_frame, JobSpec, Request, Response, PROTOCOL_VERSION};
+use crate::chaos::{Chaos, ChaosCounts, NetStream};
+use crate::protocol::{
+    auth_proof, auth_token, FrameCodec, JobSpec, Request, Response, PROTOCOL_VERSION,
+};
 use crate::DistError;
 
 /// Maps the coordinator's workload name to a local fault-injection
@@ -90,6 +93,15 @@ pub struct WorkerOptions {
     pub backoff_seed: u64,
     /// Crash-tolerance sabotage hook.
     pub sabotage: WorkerSabotage,
+    /// Shared secret for the `Hello`/`Welcome` challenge/response. When
+    /// set, the `Hello` token is derived from it and the coordinator's
+    /// `Welcome` proof is verified (mismatch is fatal — the peer is an
+    /// imposter, not a flaky network).
+    pub secret: Option<String>,
+    /// Wire-fault injection domain for every connection this worker
+    /// opens (main, re-attach, heartbeat). Tests hold the [`Arc`] so the
+    /// injection counters survive a worker that dies of its own chaos.
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl Default for WorkerOptions {
@@ -105,6 +117,8 @@ impl Default for WorkerOptions {
             throttle_per_chunk: Duration::ZERO,
             backoff_seed: 0,
             sabotage: WorkerSabotage::default(),
+            secret: None,
+            chaos: None,
         }
     }
 }
@@ -136,16 +150,28 @@ pub struct WorkerReport {
     pub stale_epoch_drops: u32,
     /// Whether the sabotage hook made this worker abandon a lease.
     pub abandoned: bool,
+    /// Connections dropped because a received frame failed an integrity
+    /// check (checksum mismatch, sequence gap, oversize length prefix).
+    /// Each one fed the same re-attach machinery as a connection loss.
+    pub corrupt_frames: u64,
+    /// Duplicated frames the framing layer silently absorbed.
+    pub duplicate_frames: u64,
+    /// Faults this worker's own chaos domain injected (zero without
+    /// [`WorkerOptions::chaos`]).
+    pub chaos: ChaosCounts,
     /// Harness-counter deltas across accepted chunks.
     pub harness: HarnessStats,
     /// Restore-counter deltas across accepted chunks.
     pub restores: RestoreStats,
 }
 
-/// Exponential backoff with deterministic jitter: `base << attempt`,
-/// capped at `cap`, then scaled into `[1/2, 1]` of itself by a
+/// Exponential backoff with deterministic jitter: `base << attempt`
+/// (the shift exponent clamped at 16, so arbitrarily large `attempt`
+/// values cannot overflow), **capped at `cap` before jitter is
+/// applied**, then scaled into `[1/2, 1]` of the capped value by a
 /// [`SmallRng`] keyed on `(seed, attempt)` — reproducible in tests, yet
-/// de-synchronized across workers with distinct seeds.
+/// de-synchronized across workers with distinct seeds. Because the cap
+/// precedes the jitter, the returned delay never exceeds `cap`.
 #[must_use]
 pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
     let exp = base.saturating_mul(1u32 << attempt.min(16));
@@ -160,25 +186,72 @@ pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> 
     Duration::from_nanos(rng.gen_range(nanos / 2..nanos.saturating_add(1)))
 }
 
-/// One request/response exchange on the worker's main connection.
-fn roundtrip(stream: &mut TcpStream, request: &Request) -> Result<Response, DistError> {
-    write_frame(stream, &request.encode())?;
-    let payload = read_frame(stream)?;
-    Response::decode(&payload).map_err(|e| DistError::Protocol(e.to_string()))
+/// One connection's protocol state: the (possibly chaos-wrapped) socket
+/// and its frame codec. The codec lives and dies with the connection —
+/// sequence numbers never straddle a reconnect.
+struct Channel {
+    stream: NetStream,
+    codec: FrameCodec,
+}
+
+impl Channel {
+    fn new(stream: NetStream) -> Channel {
+        Channel {
+            stream,
+            codec: FrameCodec::new(),
+        }
+    }
+
+    /// One request/response exchange. Frame-integrity failures surface
+    /// as [`DistError::Frame`]; the caller must discard this channel.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, DistError> {
+        self.codec.write_frame(&mut self.stream, &request.encode())?;
+        let payload = self.codec.read_frame(&mut self.stream)?;
+        Response::decode(&payload).map_err(|e| DistError::Protocol(e.to_string()))
+    }
+
+    /// Folds this channel's framing counters into the report; call
+    /// whenever the channel is being discarded (cleanly or not).
+    fn retire(self, report: &mut WorkerReport) {
+        report.duplicate_frames += self.codec.duplicates_dropped;
+    }
+}
+
+/// Connects to the coordinator, applying the chaos wrapper (when
+/// configured) and full-duplex socket timeouts. A socket that refuses
+/// its timeouts is returned as an error, never used bare — an untimed
+/// socket is a thread leak waiting for a stalled peer.
+fn dial(
+    addr: SocketAddr,
+    io_timeout: Duration,
+    chaos: Option<&Arc<Chaos>>,
+) -> Result<NetStream, DistError> {
+    let stream = TcpStream::connect(addr)?;
+    let stream = match chaos {
+        Some(chaos) => NetStream::Chaos(chaos.wrap(stream)),
+        None => NetStream::Plain(stream),
+    };
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    Ok(stream)
 }
 
 /// Fires heartbeats for one held lease until `stop`. Each heartbeat is a
 /// fresh side connection — the main connection stays free for the
 /// eventual `Complete` frame. Heartbeat failures are swallowed: the worst
 /// case is a lost lease, which the redelivery machinery already covers.
+/// A socket that cannot take its timeouts is dropped and the beat
+/// skipped — never heartbeat over a socket that could block forever.
 fn heartbeat_guard(
     addr: SocketAddr,
-    worker: u32,
-    lease: u64,
-    epoch: u64,
+    beat: Request,
     interval: Duration,
+    io_timeout: Duration,
+    chaos: Option<&Arc<Chaos>>,
     stop: &AtomicBool,
 ) {
+    let timeout = io_timeout.min(Duration::from_secs(5));
     let step = Duration::from_millis(20).min(interval);
     let mut elapsed = Duration::ZERO;
     loop {
@@ -190,17 +263,8 @@ fn heartbeat_guard(
             elapsed += step;
         }
         elapsed = Duration::ZERO;
-        if let Ok(mut stream) = TcpStream::connect(addr) {
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-            let _ = roundtrip(
-                &mut stream,
-                &Request::Heartbeat {
-                    worker,
-                    lease,
-                    epoch,
-                },
-            );
+        if let Ok(stream) = dial(addr, timeout, chaos) {
+            let _ = Channel::new(stream).roundtrip(&beat);
         }
     }
 }
@@ -257,41 +321,88 @@ enum Served {
     Fenced,
 }
 
+/// One `Hello`/`Welcome` handshake attempt over a fresh connection. On
+/// failure the channel's framing counters are folded into the report
+/// before the error propagates.
+fn try_attach(
+    addr: SocketAddr,
+    opts: &WorkerOptions,
+    challenge: u64,
+    report: &mut WorkerReport,
+) -> Result<(Channel, u32, u64, JobSpec), DistError> {
+    let stream = dial(addr, opts.io_timeout, opts.chaos.as_ref())?;
+    let mut channel = Channel::new(stream);
+    let token = opts
+        .secret
+        .as_deref()
+        .map_or(0, |secret| auth_token(secret, &opts.name));
+    let attempt = (|| {
+        let welcome = channel.roundtrip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            name: opts.name.clone(),
+            token,
+            challenge,
+        })?;
+        match welcome {
+            Response::Welcome {
+                worker,
+                job,
+                epoch,
+                proof,
+            } => {
+                if let Some(secret) = opts.secret.as_deref() {
+                    if proof != auth_proof(secret, challenge) {
+                        // Whoever answered does not know the secret; this
+                        // is an imposter, not a flaky network — fatal.
+                        return Err(DistError::Auth(
+                            "coordinator failed the welcome proof".into(),
+                        ));
+                    }
+                }
+                Ok((worker, epoch, job))
+            }
+            Response::Reject { reason } => Err(DistError::Protocol(reason)),
+            other => Err(DistError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    })();
+    match attempt {
+        Ok((worker, epoch, job)) => Ok((channel, worker, epoch, job)),
+        Err(err) => {
+            channel.retire(report);
+            Err(err)
+        }
+    }
+}
+
 /// Connects and performs the `Hello`/`Welcome` handshake, retrying with
-/// exponential backoff on connection-level failures. Returns the attached
-/// stream plus the coordinator-assigned worker id, the coordinator's
-/// epoch, and the job. `failures` counts *consecutive* losses across
-/// attach attempts and is reset by success; `connected_before`
-/// distinguishes a first attach from a re-attach (for the reconnect
-/// counter).
+/// exponential backoff on connection-level failures — including framing
+/// corruption, which is just a connection loss with a counter. Returns
+/// the attached channel plus the coordinator-assigned worker id, the
+/// coordinator's epoch, and the job. `failures` counts *consecutive*
+/// losses across attach attempts and is reset by success;
+/// `connected_before` distinguishes a first attach from a re-attach (for
+/// the reconnect counter).
 fn attach(
     addr: SocketAddr,
     opts: &WorkerOptions,
     report: &mut WorkerReport,
     failures: &mut u32,
     connected_before: &mut bool,
-) -> Result<(TcpStream, u32, u64, JobSpec), DistError> {
+) -> Result<(Channel, u32, u64, JobSpec), DistError> {
+    // Challenges only need to differ between handshakes, not be
+    // unpredictable — the auth scheme gates accidents and chaos, not
+    // cryptanalysis (see the protocol module docs).
+    let mut challenge_rng = SmallRng::seed_from_u64(
+        opts.backoff_seed
+            ^ (u64::from(report.reconnects) << 24)
+            ^ u64::from(*failures)
+            ^ 0x6368_616c_6c65_6e67,
+    );
     loop {
-        let attempt = (|| {
-            let mut stream = TcpStream::connect(addr)?;
-            let _ = stream.set_nodelay(true);
-            stream.set_read_timeout(Some(opts.io_timeout))?;
-            let welcome = roundtrip(
-                &mut stream,
-                &Request::Hello {
-                    version: PROTOCOL_VERSION,
-                    name: opts.name.clone(),
-                },
-            )?;
-            match welcome {
-                Response::Welcome { worker, job, epoch } => Ok((stream, worker, epoch, job)),
-                Response::Reject { reason } => Err(DistError::Protocol(reason)),
-                other => Err(DistError::Protocol(format!(
-                    "expected Welcome, got {other:?}"
-                ))),
-            }
-        })();
-        match attempt {
+        let challenge = challenge_rng.next_u64();
+        let retriable = match try_attach(addr, opts, challenge, report) {
             Ok(attached) => {
                 if *connected_before {
                     report.reconnects += 1;
@@ -300,20 +411,23 @@ fn attach(
                 *failures = 0;
                 return Ok(attached);
             }
-            Err(DistError::Io(e)) => {
-                *failures += 1;
-                if *failures >= opts.connect_attempts {
-                    return Err(DistError::Io(e));
-                }
-                std::thread::sleep(backoff_delay(
-                    *failures,
-                    opts.connect_base,
-                    opts.connect_cap,
-                    opts.backoff_seed,
-                ));
+            Err(DistError::Io(e)) => DistError::Io(e),
+            Err(DistError::Frame(what)) => {
+                report.corrupt_frames += 1;
+                DistError::Frame(what)
             }
             Err(fatal) => return Err(fatal),
+        };
+        *failures += 1;
+        if *failures >= opts.connect_attempts {
+            return Err(retriable);
         }
+        std::thread::sleep(backoff_delay(
+            *failures,
+            opts.connect_base,
+            opts.connect_cap,
+            opts.backoff_seed,
+        ));
     }
 }
 
@@ -323,13 +437,13 @@ fn attach(
 /// caller must re-attach. A connection error propagates with `pending`
 /// still intact for the re-attach path to settle.
 fn deliver(
-    stream: &mut TcpStream,
+    channel: &mut Channel,
     epoch: u64,
     pending: &mut Option<PendingComplete>,
     report: &mut WorkerReport,
 ) -> Result<Option<Served>, DistError> {
     let request = pending.as_ref().expect("deliver needs a payload").request();
-    match roundtrip(stream, &request)? {
+    match channel.roundtrip(&request)? {
         Response::Ack { accepted: true, .. } => {
             let sent = pending.take().expect("payload still pending");
             report.chunks_completed += 1;
@@ -365,7 +479,7 @@ fn deliver(
 /// across that boundary.
 fn serve<'a>(
     ctx: &WorkerContext<'a>,
-    stream: &mut TcpStream,
+    channel: &mut Channel,
     worker: u32,
     epoch: u64,
     session: &mut Option<CampaignSession<'a>>,
@@ -377,19 +491,16 @@ fn serve<'a>(
     // unmerged (re-send lands it) or already merged (stale ack). Only
     // then ask for new work.
     if pending.is_some() {
-        if let Some(served) = deliver(stream, epoch, pending, report)? {
+        if let Some(served) = deliver(channel, epoch, pending, report)? {
             return Ok(served);
         }
     }
 
     loop {
-        let response = roundtrip(
-            stream,
-            &Request::Lease {
-                worker,
-                fingerprint: ctx.fingerprint,
-            },
-        )?;
+        let response = channel.roundtrip(&Request::Lease {
+            worker,
+            fingerprint: ctx.fingerprint,
+        })?;
         match response {
             Response::Grant {
                 lease,
@@ -420,9 +531,22 @@ fn serve<'a>(
                 let guard = {
                     let stop = Arc::clone(&stop);
                     let interval = ctx.opts.heartbeat_interval;
+                    let io_timeout = ctx.opts.io_timeout;
+                    let chaos = ctx.opts.chaos.clone();
                     let addr = ctx.addr;
                     std::thread::spawn(move || {
-                        heartbeat_guard(addr, worker, lease, epoch, interval, &stop);
+                        heartbeat_guard(
+                            addr,
+                            Request::Heartbeat {
+                                worker,
+                                lease,
+                                epoch,
+                            },
+                            interval,
+                            io_timeout,
+                            chaos.as_ref(),
+                            &stop,
+                        );
                     })
                 };
                 // First grant ever: build the session under heartbeat
@@ -472,7 +596,7 @@ fn serve<'a>(
                     harness,
                     restores,
                 });
-                if let Some(served) = deliver(stream, epoch, pending, report)? {
+                if let Some(served) = deliver(channel, epoch, pending, report)? {
                     return Ok(served);
                 }
             }
@@ -500,12 +624,16 @@ fn serve<'a>(
 ///
 /// # Errors
 ///
-/// [`DistError::Io`] once reconnection is exhausted;
+/// [`DistError::Io`] or [`DistError::Frame`] once reconnection is
+/// exhausted (frame corruption is handled exactly like connection loss:
+/// drop the connection, count it, re-attach);
 /// [`DistError::JobMismatch`] when the workload cannot be resolved, the
 /// rebuilt session's fingerprint differs from the coordinator's, or a
 /// re-attach is welcomed to a *different* job; [`DistError::Protocol`]
-/// on undecodable or out-of-order responses — the latter two are fatal
-/// immediately (retrying cannot fix a wrong binary).
+/// on undecodable or out-of-order responses; [`DistError::Auth`] when
+/// the coordinator cannot prove it knows the shared secret — the latter
+/// three are fatal immediately (retrying cannot fix a wrong binary or a
+/// wrong peer).
 ///
 /// # Panics
 ///
@@ -522,7 +650,7 @@ pub fn run_worker(
     let mut failures = 0u32;
     let mut connected_before = false;
 
-    let (mut stream, mut worker, mut epoch, job) =
+    let (mut channel, mut worker, mut epoch, job) =
         attach(addr, opts, &mut report, &mut failures, &mut connected_before)?;
     report.worker = worker;
 
@@ -557,7 +685,7 @@ pub fn run_worker(
     loop {
         let served = serve(
             &ctx,
-            &mut stream,
+            &mut channel,
             worker,
             epoch,
             &mut session,
@@ -565,17 +693,29 @@ pub fn run_worker(
             &mut report,
         );
         match served {
-            Ok(Served::Done) => return Ok(report),
+            Ok(Served::Done) => {
+                channel.retire(&mut report);
+                if let Some(chaos) = &opts.chaos {
+                    report.chaos = chaos.counts();
+                }
+                return Ok(report);
+            }
             Ok(Served::Fenced) => {}
             Err(DistError::Io(_)) => {}
+            Err(DistError::Frame(_)) => {
+                // The peer (or the chaos layer) sent garbage; the
+                // connection is untrusted. Same recovery as a loss.
+                report.corrupt_frames += 1;
+            }
             Err(fatal) => return Err(fatal),
         }
+        channel.retire(&mut report);
         // Re-attach (failed attempts count toward the consecutive-failure
         // budget until a Welcome lands). A different fingerprint means
         // the restarted coordinator is running a different campaign — the
         // session we hold cannot serve it, so that is fatal, not
         // retriable.
-        let (new_stream, new_worker, new_epoch, new_job) =
+        let (new_channel, new_worker, new_epoch, new_job) =
             attach(addr, opts, &mut report, &mut failures, &mut connected_before)?;
         if new_job.fingerprint != ctx.fingerprint {
             return Err(DistError::JobMismatch(format!(
@@ -591,7 +731,7 @@ pub fn run_worker(
                 report.stale_epoch_drops += 1;
             }
         }
-        stream = new_stream;
+        channel = new_channel;
         worker = new_worker;
         epoch = new_epoch;
         report.worker = worker;
@@ -639,6 +779,20 @@ mod tests {
             backoff_delay(3, base, cap, 7),
             backoff_delay(3, base, cap, 8)
         );
+    }
+
+    #[test]
+    fn backoff_survives_huge_attempt_values() {
+        // `base << 40` would overflow the u32 multiplier; the exponent
+        // clamp (16) plus the pre-jitter cap must keep any attempt
+        // number finite and within `cap`.
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        for attempt in [17, 40, 1000, u32::MAX] {
+            let delay = backoff_delay(attempt, base, cap, 9);
+            assert!(delay <= cap, "attempt {attempt}: {delay:?} > {cap:?}");
+            assert!(delay >= cap / 2, "attempt {attempt}: {delay:?} < half cap");
+        }
     }
 
     #[test]

@@ -357,7 +357,7 @@ fn coordinator_crash_and_resume_is_byte_identical() {
 /// campaign underneath.
 #[test]
 fn stale_epoch_completion_is_fenced_and_counted() {
-    use certa_dist::protocol::{read_frame, write_frame, Request, Response};
+    use certa_dist::protocol::{FrameCodec, Request, Response};
 
     let trials = 24;
     let target = SumTarget::new();
@@ -407,8 +407,11 @@ fn stale_epoch_completion_is_fenced_and_counted() {
                 harness: certa_fault::HarnessStats::default(),
                 restores: certa_fault::RestoreStats::default(),
             };
-            write_frame(&mut stream, &stale.encode()).expect("stale complete");
-            let ack = read_frame(&mut stream).expect("ack frame");
+            let mut codec = FrameCodec::new();
+            codec
+                .write_frame(&mut stream, &stale.encode())
+                .expect("stale complete");
+            let ack = codec.read_frame(&mut stream).expect("ack frame");
             match Response::decode(&ack).expect("ack") {
                 Response::Ack { accepted, epoch } => Some((accepted, epoch)),
                 other => panic!("expected Ack, got {other:?}"),

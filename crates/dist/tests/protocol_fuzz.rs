@@ -1,0 +1,238 @@
+//! Property-based fuzzing of the wire decoders (frame layer and message
+//! layer): adversarial bytes must always produce *typed errors* —
+//! never a panic, never an unbounded allocation, never a silently
+//! accepted corruption.
+//!
+//! Four claims, each driven by proptest:
+//!
+//! 1. `Request::decode` / `Response::decode` total on arbitrary bytes.
+//! 2. Every strict prefix of a valid encoding fails to decode (the
+//!    format is not ambiguous under truncation).
+//! 3. Any single-bit flip anywhere in a framed message — length prefix,
+//!    sequence number, checksum, payload — is rejected by
+//!    [`FrameCodec::read_frame`].
+//! 4. Forged length prefixes and element counts produce bounded
+//!    allocations and typed errors, not OOM.
+
+use std::io::Cursor;
+
+use certa_dist::protocol::{Request, Response, JobSpec, MAX_FRAME_BYTES};
+use certa_dist::{FrameCodec, FrameError};
+use certa_fault::CampaignConfig;
+use proptest::prelude::*;
+
+fn sample_requests(name: String, a: u64, b: u64, small: u32) -> Vec<Request> {
+    vec![
+        Request::Hello {
+            version: 3,
+            name,
+            token: a,
+            challenge: b,
+        },
+        Request::Lease {
+            worker: small,
+            fingerprint: a,
+        },
+        Request::Heartbeat {
+            worker: small,
+            lease: a,
+            epoch: b,
+        },
+        Request::Complete {
+            worker: small,
+            lease: a,
+            chunk: small ^ 1,
+            epoch: b,
+            records: Vec::new(),
+            harness: Default::default(),
+            restores: Default::default(),
+        },
+    ]
+}
+
+fn sample_responses(reason: String, a: u64, b: u64, small: u32) -> Vec<Response> {
+    vec![
+        Response::Welcome {
+            worker: small,
+            job: JobSpec {
+                workload: reason.clone(),
+                config: CampaignConfig::default(),
+                fingerprint: a,
+                worker_threads: 1,
+            },
+            epoch: b,
+            proof: a ^ b,
+        },
+        Response::Grant {
+            lease: a,
+            chunk: small,
+            trials: vec![0, 1, 2, small],
+            ttl_ms: b,
+            epoch: a,
+        },
+        Response::Wait { poll_ms: a },
+        Response::Drained,
+        Response::Ack {
+            accepted: small.is_multiple_of(2),
+            epoch: b,
+        },
+        Response::Reject { reason },
+    ]
+}
+
+/// Frames `payload` exactly as a peer would put it on the wire.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut codec = FrameCodec::new();
+    let mut wire = Vec::new();
+    codec.write_frame(&mut wire, payload).expect("vec write");
+    wire
+}
+
+fn ascii(bytes: Vec<u8>) -> String {
+    String::from_utf8(bytes).expect("generated ascii")
+}
+
+proptest! {
+    /// Claim 1: the message decoders are total — arbitrary bytes give
+    /// `Ok` or a typed `WireError`, never a panic.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Claim 2: no strict prefix of a valid encoding decodes — there is
+    /// no truncation point an attacker (or a cut connection) can hit
+    /// that yields a different-but-valid message.
+    #[test]
+    fn truncations_always_fail_to_decode(
+        name in prop::collection::vec(0x61u8..0x7b, 0..12),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        small in any::<u32>(),
+        cut in any::<usize>(),
+    ) {
+        for request in sample_requests(ascii(name.clone()), a, b, small) {
+            let full = request.encode();
+            let cut = cut % full.len();
+            prop_assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "truncated {request:?} at {cut}/{} decoded",
+                full.len()
+            );
+        }
+        for response in sample_responses(ascii(name.clone()), a, b, small) {
+            let full = response.encode();
+            let cut = cut % full.len();
+            prop_assert!(
+                Response::decode(&full[..cut]).is_err(),
+                "truncated {response:?} at {cut}/{} decoded",
+                full.len()
+            );
+        }
+    }
+
+    /// Claim 3: a single flipped bit anywhere in a framed message —
+    /// header or payload — is caught by the frame layer. FNV-1a's
+    /// byte-mix is bijective per step, so a one-bit change in the
+    /// checksummed region *always* changes the checksum; a flip in the
+    /// length prefix misframes the stream and fails the checksum or
+    /// truncates.
+    #[test]
+    fn single_bit_flips_never_survive_the_codec(
+        name in prop::collection::vec(0x61u8..0x7b, 0..12),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        small in any::<u32>(),
+        which in any::<usize>(),
+        flip in any::<usize>(),
+    ) {
+        let requests = sample_requests(ascii(name.clone()), a, b, small);
+        let request = &requests[which % requests.len()];
+        let mut wire = frame(&request.encode());
+        let bit = flip % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        let mut codec = FrameCodec::new();
+        let got = codec.read_frame(&mut Cursor::new(&wire));
+        prop_assert!(
+            got.is_err(),
+            "bit {bit} flipped in {request:?} but the frame was accepted"
+        );
+    }
+
+    /// Claim 4a: a length prefix over [`MAX_FRAME_BYTES`] is rejected as
+    /// `Corrupt` before any payload allocation happens.
+    #[test]
+    fn oversize_length_prefix_is_corrupt(
+        len in (MAX_FRAME_BYTES + 1)..u32::MAX,
+        junk in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        wire.extend_from_slice(&junk.to_le_bytes());
+        let mut codec = FrameCodec::new();
+        match codec.read_frame(&mut Cursor::new(&wire)) {
+            Err(FrameError::Corrupt(_)) => {}
+            other => prop_assert!(false, "expected Corrupt, got {other:?}"),
+        }
+    }
+
+    /// Claim 4b: a length prefix *under* the cap but far beyond the
+    /// actual bytes on the wire errors out with a typed I/O error; the
+    /// incremental read buffer never balloons to the claimed size
+    /// (`read_capped` grows in 1 MiB steps between reads, so a lying
+    /// 64 MiB prefix on an empty stream allocates at most one step).
+    #[test]
+    fn lying_length_prefix_is_a_typed_io_error(
+        len in (1u32 << 21)..MAX_FRAME_BYTES,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        wire.extend_from_slice(&u64::MAX.to_le_bytes());
+        wire.extend_from_slice(&body);
+        let mut codec = FrameCodec::new();
+        match codec.read_frame(&mut Cursor::new(&wire)) {
+            Err(FrameError::Io(_)) => {}
+            other => prop_assert!(false, "expected Io, got {other:?}"),
+        }
+    }
+
+    /// Claim 4c: a forged element count inside an otherwise-valid
+    /// payload (a `Complete` claiming `u32::MAX` records, a `Grant`
+    /// claiming `u32::MAX` trials) is a typed error with bounded
+    /// pre-allocation — the decoder reserves at most
+    /// `DECODE_PREALLOC_CAP` elements before the truncation shows.
+    #[test]
+    fn forged_element_counts_are_typed_errors(count in (1u32 << 16)..u32::MAX) {
+        let complete = Request::Complete {
+            worker: 1,
+            lease: 2,
+            chunk: 3,
+            epoch: 4,
+            records: Vec::new(),
+            harness: Default::default(),
+            restores: Default::default(),
+        };
+        let mut payload = complete.encode();
+        // tag(1) + worker(4) + lease(8) + chunk(4) + epoch(8) = 25.
+        payload[25..29].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(Request::decode(&payload).is_err());
+
+        let grant = Response::Grant {
+            lease: 1,
+            chunk: 2,
+            trials: Vec::new(),
+            ttl_ms: 3,
+            epoch: 4,
+        };
+        let mut payload = grant.encode();
+        // tag(1) + lease(8) + chunk(4) = 13.
+        payload[13..17].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(Response::decode(&payload).is_err());
+    }
+}
